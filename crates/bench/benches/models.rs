@@ -1,0 +1,99 @@
+//! Criterion benchmarks for the forecasting models: ARIMA CSS fits, the
+//! AICc grid search, LSTM training epochs, and multi-step forecasting —
+//! the per-model costs behind the paper's Table II.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use utilcast_linalg::rng::standard_normal;
+use utilcast_timeseries::arima::{auto_arima, Arima, ArimaFitOptions, ArimaGrid, ArimaOrder};
+use utilcast_timeseries::lstm::{Lstm, LstmConfig};
+use utilcast_timeseries::Forecaster;
+
+fn centroid_like_series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = 0.4f64;
+    (0..n)
+        .map(|t| {
+            x = (x + 0.01 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            (x + 0.1 * (t as f64 / 288.0 * std::f64::consts::TAU).sin()).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+fn bench_arima_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arima_fit");
+    for &n in &[500usize, 2000] {
+        let series = centroid_like_series(n, 1);
+        group.bench_with_input(BenchmarkId::new("ar1", n), &series, |b, s| {
+            b.iter(|| {
+                let mut m = Arima::new(ArimaOrder::new(1, 0, 0));
+                m.fit(black_box(s)).unwrap();
+                m
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("arima_212", n), &series, |b, s| {
+            b.iter(|| {
+                let mut m = Arima::new(ArimaOrder::new(2, 1, 2));
+                m.fit(black_box(s)).unwrap();
+                m
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_auto_arima(c: &mut Criterion) {
+    let series = centroid_like_series(1000, 2);
+    c.bench_function("auto_arima_quick_grid_1000", |b| {
+        b.iter(|| {
+            auto_arima(
+                black_box(&series),
+                &ArimaGrid::quick(),
+                &ArimaFitOptions {
+                    max_evals: 200,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let series = centroid_like_series(500, 3);
+    c.bench_function("lstm_train_10_epochs_500", |b| {
+        b.iter(|| {
+            let mut m = Lstm::new(LstmConfig {
+                epochs: 10,
+                hidden: 16,
+                window: 12,
+                ..Default::default()
+            });
+            m.fit(black_box(&series)).unwrap();
+            m
+        });
+    });
+    let mut fitted = Lstm::new(LstmConfig {
+        epochs: 10,
+        hidden: 16,
+        window: 12,
+        ..Default::default()
+    });
+    fitted.fit(&series).unwrap();
+    c.bench_function("lstm_forecast_h50", |b| {
+        b.iter(|| fitted.forecast(black_box(&series), 50).unwrap());
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let series = centroid_like_series(2000, 4);
+    let mut model = Arima::new(ArimaOrder::new(2, 0, 1));
+    model.fit(&series).unwrap();
+    c.bench_function("arima_forecast_h50_hist2000", |b| {
+        b.iter(|| model.forecast(black_box(&series), 50).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_arima_fit, bench_auto_arima, bench_lstm, bench_forecast);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the end-to-end per-step cost of the pipeline
+//! and the simnet controller — the "can the central node keep up with N
+//! machines per time slot" question.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use utilcast_core::pipeline::{Pipeline, PipelineConfig, TransmissionMode};
+use utilcast_datasets::{presets, Resource};
+
+fn bench_pipeline_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_step");
+    group.sample_size(30);
+    for &n in &[100usize, 1000] {
+        let trace = presets::google_like().nodes(n).steps(64).seed(1).generate();
+        let snapshots: Vec<Vec<f64>> = (0..64)
+            .map(|t| trace.snapshot(Resource::Cpu, t).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &snapshots, |b, snaps| {
+            b.iter(|| {
+                let mut p = Pipeline::new(PipelineConfig {
+                    num_nodes: n,
+                    k: 3,
+                    warmup: 10_000,
+                    transmission: TransmissionMode::Adaptive,
+                    ..Default::default()
+                })
+                .unwrap();
+                for x in snaps {
+                    p.step(black_box(x)).unwrap();
+                }
+                p.steps()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_forecast(c: &mut Criterion) {
+    let n = 1000;
+    let trace = presets::google_like().nodes(n).steps(80).seed(2).generate();
+    let mut p = Pipeline::new(PipelineConfig {
+        num_nodes: n,
+        k: 3,
+        warmup: 20,
+        retrain_every: 50,
+        ..Default::default()
+    })
+    .unwrap();
+    for t in 0..80 {
+        p.step(&trace.snapshot(Resource::Cpu, t).unwrap()).unwrap();
+    }
+    c.bench_function("pipeline_forecast_h50_n1000", |b| {
+        b.iter(|| p.forecast(black_box(50)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_pipeline_step, bench_pipeline_forecast);
+criterion_main!(benches);

@@ -1,0 +1,284 @@
+//! Ablations of the design choices DESIGN.md §6 calls out:
+//!
+//! 1. **Growing `V_t = V_0 (t+1)^γ` vs constant `V`** in the transmission
+//!    policy — constraint convergence and staleness error.
+//! 2. **Hungarian re-indexing vs greedy matching** — label stability and
+//!    forecast RMSE.
+//! 3. **Offset clipping `α` (Eq. 12) on vs off** — forecast RMSE.
+//! 4. **k-means++ vs random seeding** — intermediate RMSE.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Collected, Policy};
+use utilcast_bench::eval::{
+    intermediate_rmse, sample_hold_forecast_rmse_opts, Proposed, ScalarClusterer,
+    ScalarClusterStep,
+};
+use utilcast_bench::{report, Scale};
+use utilcast_clustering::hungarian::greedy_matching;
+use utilcast_clustering::kmeans::{KMeans, KMeansConfig};
+use utilcast_clustering::similarity::intersection_similarity;
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+use utilcast_datasets::{presets, Resource, Trace};
+
+#[derive(Serialize)]
+struct Output {
+    vt: Vec<(String, f64, f64)>,
+    matching: Vec<(String, f64)>,
+    offset_clip: Vec<(String, f64)>,
+    kmeans_init: Vec<(String, f64)>,
+}
+
+/// Ablation 1: growing vs constant penalty weight.
+fn ablate_vt(trace: &Trace) -> Vec<(String, f64, f64)> {
+    let budget = 0.2;
+    let variants: Vec<(String, TransmitConfig)> = vec![
+        (
+            "growing Vt (gamma=0.65)".into(),
+            TransmitConfig {
+                budget,
+                v0: 1.0,
+                gamma: 0.65,
+            },
+        ),
+        (
+            "constant V (gamma=0)".into(),
+            TransmitConfig {
+                budget,
+                v0: 1.0,
+                gamma: 0.0,
+            },
+        ),
+        (
+            "paper V0=1e-12".into(),
+            TransmitConfig {
+                budget,
+                v0: 1e-12,
+                gamma: 0.65,
+            },
+        ),
+    ];
+    let n = trace.num_nodes();
+    let steps = trace.num_steps();
+    variants
+        .into_iter()
+        .map(|(name, cfg)| {
+            let mut txs: Vec<AdaptiveTransmitter> =
+                (0..n).map(|_| AdaptiveTransmitter::new(cfg)).collect();
+            let mut z = trace.snapshot(Resource::Cpu, 0).expect("cpu");
+            let mut acc = TimeAveragedRmse::new();
+            let mut sent = n as u64;
+            for t in 1..steps {
+                let x = trace.snapshot(Resource::Cpu, t).expect("cpu");
+                for i in 0..n {
+                    if txs[i].decide(&[x[i]], &[z[i]]) {
+                        z[i] = x[i];
+                        sent += 1;
+                    }
+                }
+                acc.add(rmse_step_scalar(&z, &x));
+            }
+            let freq = sent as f64 / (n * steps) as f64;
+            (name, freq, acc.value())
+        })
+        .collect()
+}
+
+/// A dynamic clusterer that re-indexes with *greedy* matching instead of
+/// the Hungarian algorithm.
+struct GreedyReindex {
+    k: usize,
+    history: Option<Vec<usize>>,
+    t: usize,
+}
+
+impl ScalarClusterer for GreedyReindex {
+    fn step(&mut self, _t: usize, z: &[f64]) -> ScalarClusterStep {
+        let points: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        let result = KMeans::new(KMeansConfig {
+            k: self.k,
+            seed: self.t as u64,
+            ..Default::default()
+        })
+        .fit(&points)
+        .expect("scalar k-means");
+        self.t += 1;
+        let (assignments, centroids) = match &self.history {
+            None => (result.assignments, result.centroids),
+            Some(prev) => {
+                let w = intersection_similarity(&result.assignments, &[prev], 1, self.k);
+                let matching = greedy_matching(&w);
+                let assignments: Vec<usize> = result
+                    .assignments
+                    .iter()
+                    .map(|&a| matching.assignment[a])
+                    .collect();
+                let mut centroids = vec![Vec::new(); self.k];
+                for (km, c) in result.centroids.into_iter().enumerate() {
+                    centroids[matching.assignment[km]] = c;
+                }
+                (assignments, centroids)
+            }
+        };
+        self.history = Some(assignments.clone());
+        ScalarClusterStep {
+            assignments,
+            centroids: centroids
+                .iter()
+                .map(|c| c.first().copied().unwrap_or(0.0))
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy-reindex"
+    }
+}
+
+/// Ablation 2: Hungarian vs greedy matching, scored by forecast RMSE.
+fn ablate_matching(c: &Collected, warm: usize) -> Vec<(String, f64)> {
+    let mut hungarian = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+    let mut greedy = GreedyReindex {
+        k: 3,
+        history: None,
+        t: 0,
+    };
+    vec![
+        (
+            "hungarian".into(),
+            sample_hold_forecast_rmse_opts(c, &mut hungarian, &[5], 5, warm, true)[0],
+        ),
+        (
+            "greedy".into(),
+            sample_hold_forecast_rmse_opts(c, &mut greedy, &[5], 5, warm, true)[0],
+        ),
+    ]
+}
+
+/// Ablation 3: offset clipping on vs off.
+fn ablate_offset_clip(c: &Collected, warm: usize) -> Vec<(String, f64)> {
+    let mut a = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+    let mut b = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+    vec![
+        (
+            "clipped (Eq. 12)".into(),
+            sample_hold_forecast_rmse_opts(c, &mut a, &[5], 5, warm, true)[0],
+        ),
+        (
+            "unclipped".into(),
+            sample_hold_forecast_rmse_opts(c, &mut b, &[5], 5, warm, false)[0],
+        ),
+    ]
+}
+
+/// Ablation 4: k-means++ vs uniform random seeding, via intermediate RMSE.
+/// (The DynamicClusterer always uses k-means++; the random-seed condition
+/// drives k-means directly through a thin adapter.)
+fn ablate_kmeans_init(c: &Collected) -> Vec<(String, f64)> {
+    struct PlainKMeans {
+        k: usize,
+        plus_plus: bool,
+        t: usize,
+    }
+    impl ScalarClusterer for PlainKMeans {
+        fn step(&mut self, _t: usize, z: &[f64]) -> ScalarClusterStep {
+            let points: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+            let result = KMeans::new(KMeansConfig {
+                k: self.k,
+                n_init: 1,
+                plus_plus_init: self.plus_plus,
+                seed: self.t as u64,
+                ..Default::default()
+            })
+            .fit(&points)
+            .expect("scalar k-means");
+            self.t += 1;
+            ScalarClusterStep {
+                assignments: result.assignments,
+                centroids: result
+                    .centroids
+                    .iter()
+                    .map(|c| c.first().copied().unwrap_or(0.0))
+                    .collect(),
+            }
+        }
+        fn name(&self) -> &'static str {
+            "plain-kmeans"
+        }
+    }
+    let mut pp = PlainKMeans {
+        k: 3,
+        plus_plus: true,
+        t: 0,
+    };
+    let mut rand_init = PlainKMeans {
+        k: 3,
+        plus_plus: false,
+        t: 0,
+    };
+    vec![
+        ("k-means++".into(), intermediate_rmse(c, &mut pp)),
+        ("random init".into(), intermediate_rmse(c, &mut rand_init)),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    let warm = scale.steps / 6;
+    report::banner("ablations", "design-choice ablations (DESIGN.md §6)");
+    let trace = presets::google_like()
+        .nodes(scale.nodes)
+        .steps(scale.steps)
+        .generate();
+    let c = collect(&trace, Resource::Cpu, 0.3, Policy::Adaptive);
+
+    let vt = ablate_vt(&trace);
+    println!("\n1. penalty-weight schedule (budget 0.2):");
+    report::table(
+        &["variant", "realized freq", "staleness RMSE"],
+        &vt.iter()
+            .map(|(n, f_, r)| vec![n.clone(), report::f(*f_), report::f(*r)])
+            .collect::<Vec<_>>(),
+    );
+
+    let matching = ablate_matching(&c, warm);
+    println!("\n2. cluster re-indexing (forecast RMSE, h = 5):");
+    report::table(
+        &["matching", "RMSE"],
+        &matching
+            .iter()
+            .map(|(n, r)| vec![n.clone(), report::f(*r)])
+            .collect::<Vec<_>>(),
+    );
+
+    let offset_clip = ablate_offset_clip(&c, warm);
+    println!("\n3. per-node offset clipping (forecast RMSE, h = 5):");
+    report::table(
+        &["offsets", "RMSE"],
+        &offset_clip
+            .iter()
+            .map(|(n, r)| vec![n.clone(), report::f(*r)])
+            .collect::<Vec<_>>(),
+    );
+
+    let kmeans_init = ablate_kmeans_init(&c);
+    println!("\n4. k-means seeding (intermediate RMSE, single restart):");
+    report::table(
+        &["seeding", "RMSE"],
+        &kmeans_init
+            .iter()
+            .map(|(n, r)| vec![n.clone(), report::f(*r)])
+            .collect::<Vec<_>>(),
+    );
+
+    report::write_json(
+        "ablation_design_choices",
+        &Output {
+            vt,
+            matching,
+            offset_clip,
+            kmeans_init,
+        },
+    );
+}

@@ -1,0 +1,90 @@
+//! Ablation: Holt–Winters exponential smoothing as the per-cluster model,
+//! against the paper's sample-and-hold and ARIMA (no LSTM — this binary is
+//! the fast model comparison).
+//!
+//! ETS is not in the paper's evaluation; it sits inside the "ARIMA, LSTM,
+//! etc." family of Sec. V-C and is ~100x cheaper to (re)train than the
+//! AICc grid search, so it is the natural choice when even ARIMA's training
+//! budget is too much.
+
+use serde::Serialize;
+use utilcast_bench::eval::pipeline_forecast_rmse;
+use utilcast_bench::{report, Scale};
+use utilcast_core::pipeline::{ModelSpec, PipelineConfig};
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
+use utilcast_timeseries::ets::EtsConfig;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    model: String,
+    horizon: usize,
+    rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(40, 1200);
+    let warm = (scale.steps / 3).max(60);
+    let horizons = [1usize, 5, 25];
+    report::banner("ablation_ets", "Holt–Winters vs sample-and-hold vs ARIMA");
+
+    let config = |model: ModelSpec| PipelineConfig {
+        num_nodes: scale.nodes,
+        k: 3,
+        warmup: warm,
+        retrain_every: 288.min(scale.steps / 3),
+        model,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        let truth: Vec<Vec<f64>> = (0..scale.steps)
+            .map(|t| trace.snapshot(Resource::Cpu, t).expect("cpu"))
+            .collect();
+        let models: Vec<(&str, ModelSpec)> = vec![
+            ("sample-and-hold", ModelSpec::SampleAndHold),
+            (
+                "arima",
+                ModelSpec::AutoArima {
+                    grid: ArimaGrid::quick(),
+                    options: ArimaFitOptions {
+                        max_evals: 250,
+                        ..Default::default()
+                    },
+                },
+            ),
+            ("holt-winters", ModelSpec::HoltWinters(EtsConfig::default())),
+            (
+                "holt-winters daily",
+                ModelSpec::HoltWinters(EtsConfig {
+                    period: 288,
+                    ..Default::default()
+                }),
+            ),
+        ];
+        for (name, model) in models {
+            let rmses = pipeline_forecast_rmse(&truth, config(model), &horizons, warm);
+            for (hi, &h) in horizons.iter().enumerate() {
+                rows.push(vec![
+                    ds.name().to_string(),
+                    name.to_string(),
+                    h.to_string(),
+                    report::f(rmses[hi]),
+                ]);
+                json.push(Row {
+                    dataset: ds.name().to_string(),
+                    model: name.to_string(),
+                    horizon: h,
+                    rmse: rmses[hi],
+                });
+            }
+        }
+    }
+    report::table(&["dataset", "model", "h", "RMSE"], &rows);
+    report::write_json("ablation_ets", &json);
+}

@@ -1,0 +1,47 @@
+//! Fig. 3 — Behavior of the adaptive transmission algorithm: requested
+//! transmission frequency `B` versus the frequency actually realized on
+//! each dataset (the paper's log-log plot hugs the diagonal).
+//!
+//! Uses the full 2-D (CPU + memory) measurement vector per decision, as in
+//! the paper's Sec. V-A formulation.
+
+use serde::Serialize;
+use utilcast_bench::collect::collect_joint;
+use utilcast_bench::{report, Scale};
+use utilcast_datasets::presets::Dataset;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    requested: f64,
+    actual: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(60, 1500);
+    report::banner("fig03", "requested vs actual transmission frequency");
+    let budgets = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for &b in &budgets {
+            let collected = collect_joint(&trace, b);
+            let actual = collected[0].realized_frequency;
+            rows.push(vec![
+                ds.name().to_string(),
+                format!("{b}"),
+                report::f(actual),
+                report::f(actual / b),
+            ]);
+            json.push(Row {
+                dataset: ds.name().to_string(),
+                requested: b,
+                actual,
+            });
+        }
+    }
+    report::table(&["dataset", "requested B", "actual", "ratio"], &rows);
+    report::write_json("fig03_adaptive_transmission", &json);
+}

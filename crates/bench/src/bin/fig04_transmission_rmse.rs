@@ -1,0 +1,68 @@
+//! Fig. 4 — RMSE at `h = 0` (staleness error of the controller's store)
+//! versus requested transmission frequency: proposed adaptive method vs the
+//! uniform-sampling baseline, for each dataset and resource.
+//!
+//! Expected shape: adaptive at or below uniform everywhere, both falling to
+//! zero at `B = 1`.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::{report, Scale};
+use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    budget: f64,
+    adaptive_rmse: f64,
+    uniform_rmse: f64,
+}
+
+fn staleness_rmse(c: &utilcast_bench::collect::Collected) -> f64 {
+    let mut acc = TimeAveragedRmse::new();
+    for (z, x) in c.z.iter().zip(&c.x) {
+        acc.add(rmse_step_scalar(z, x));
+    }
+    acc.value()
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1500);
+    report::banner("fig04", "staleness RMSE vs budget: adaptive vs uniform");
+    let budgets = [0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            for &b in &budgets {
+                let ada = staleness_rmse(&collect(&trace, resource, b, Policy::Adaptive));
+                let uni = staleness_rmse(&collect(&trace, resource, b, Policy::Uniform));
+                rows.push(vec![
+                    ds.name().to_string(),
+                    resource.to_string(),
+                    format!("{b}"),
+                    report::f(ada),
+                    report::f(uni),
+                    if ada <= uni { "ok".into() } else { "!".into() },
+                ]);
+                json.push(Row {
+                    dataset: ds.name().to_string(),
+                    resource: resource.to_string(),
+                    budget: b,
+                    adaptive_rmse: ada,
+                    uniform_rmse: uni,
+                });
+            }
+        }
+    }
+    report::table(
+        &["dataset", "resource", "B", "adaptive", "uniform", "ada<=uni"],
+        &rows,
+    );
+    report::write_json("fig04_transmission_rmse", &json);
+}

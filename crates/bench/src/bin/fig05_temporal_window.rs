@@ -1,0 +1,54 @@
+//! Fig. 5 — Intermediate RMSE versus the temporal clustering dimension:
+//! clustering on feature vectors that stack each node's stored values over
+//! a window of 1..=30 steps.
+//!
+//! Expected shape: window length 1 (no windowing) is best on dynamic data —
+//! longer windows slow the clustering's reaction to the latest
+//! measurements.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::intermediate_rmse_windowed;
+use utilcast_bench::{report, Scale};
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    window: usize,
+    intermediate_rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    report::banner("fig05", "intermediate RMSE vs temporal clustering window");
+    let windows = [1usize, 2, 5, 10, 20, 30];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            let collected = collect(&trace, resource, 0.3, Policy::Adaptive);
+            for &w in &windows {
+                let rmse = intermediate_rmse_windowed(&collected, 3, 1, w, 0);
+                rows.push(vec![
+                    ds.name().to_string(),
+                    resource.to_string(),
+                    w.to_string(),
+                    report::f(rmse),
+                ]);
+                json.push(Row {
+                    dataset: ds.name().to_string(),
+                    resource: resource.to_string(),
+                    window: w,
+                    intermediate_rmse: rmse,
+                });
+            }
+        }
+    }
+    report::table(&["dataset", "resource", "window", "intermediate RMSE"], &rows);
+    report::write_json("fig05_temporal_window", &json);
+}

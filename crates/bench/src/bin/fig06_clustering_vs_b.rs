@@ -1,0 +1,68 @@
+//! Fig. 6 — Intermediate RMSE versus transmission budget `B` at fixed
+//! `K = 3`: proposed dynamic clustering vs the minimum-distance and static
+//! (offline) baselines.
+//!
+//! Expected shape: proposed below the baselines nearly everywhere, curves
+//! flattening around `B ≈ 0.3` (more bandwidth stops paying off).
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::{intermediate_rmse, MinDistance, Proposed, Static};
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    budget: f64,
+    proposed: f64,
+    min_distance: f64,
+    static_offline: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    report::banner("fig06", "intermediate RMSE vs budget, K = 3");
+    let budgets = [0.05, 0.1, 0.2, 0.3, 0.5, 0.75];
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            for &b in &budgets {
+                let c = collect(&trace, resource, b, Policy::Adaptive);
+                let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+                let mut mindist = MinDistance::new(3, 0);
+                let mut stat = Static::fit(&c.x, 3, 0);
+                let e_prop = intermediate_rmse(&c, &mut proposed);
+                let e_min = intermediate_rmse(&c, &mut mindist);
+                let e_stat = intermediate_rmse(&c, &mut stat);
+                rows.push(vec![
+                    ds.name().to_string(),
+                    resource.to_string(),
+                    format!("{b}"),
+                    report::f(e_prop),
+                    report::f(e_min),
+                    report::f(e_stat),
+                ]);
+                json.push(Row {
+                    dataset: ds.name().to_string(),
+                    resource: resource.to_string(),
+                    budget: b,
+                    proposed: e_prop,
+                    min_distance: e_min,
+                    static_offline: e_stat,
+                });
+            }
+        }
+    }
+    report::table(
+        &["dataset", "resource", "B", "proposed", "min-dist", "static"],
+        &rows,
+    );
+    report::write_json("fig06_clustering_vs_b", &json);
+}

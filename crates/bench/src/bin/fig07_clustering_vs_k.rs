@@ -1,0 +1,75 @@
+//! Fig. 7 — Intermediate RMSE versus the number of clusters `K` at fixed
+//! `B = 0.3`: proposed dynamic clustering vs the minimum-distance and
+//! static baselines.
+//!
+//! Expected shape: the proposed curve drops steeply and is already close to
+//! its floor at small `K` (a handful of centroids represent the whole
+//! system); the floor is positive because `B < 1` keeps the store stale
+//! even at `K = N`.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::{intermediate_rmse, MinDistance, Proposed, Static};
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    k: usize,
+    proposed: f64,
+    min_distance: f64,
+    static_offline: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    report::banner("fig07", "intermediate RMSE vs K, B = 0.3");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        let mut ks: Vec<usize> = [1usize, 2, 3, 5, 10, 20, scale.nodes / 2, scale.nodes]
+            .into_iter()
+            .filter(|&k| k >= 1 && k <= scale.nodes)
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            let c = collect(&trace, resource, 0.3, Policy::Adaptive);
+            for &k in &ks {
+                let mut proposed = Proposed::new(k, 1, SimilarityMeasure::Intersection, 0);
+                let mut mindist = MinDistance::new(k, 0);
+                let mut stat = Static::fit(&c.x, k, 0);
+                let e_prop = intermediate_rmse(&c, &mut proposed);
+                let e_min = intermediate_rmse(&c, &mut mindist);
+                let e_stat = intermediate_rmse(&c, &mut stat);
+                rows.push(vec![
+                    ds.name().to_string(),
+                    resource.to_string(),
+                    k.to_string(),
+                    report::f(e_prop),
+                    report::f(e_min),
+                    report::f(e_stat),
+                ]);
+                json.push(Row {
+                    dataset: ds.name().to_string(),
+                    resource: resource.to_string(),
+                    k,
+                    proposed: e_prop,
+                    min_distance: e_min,
+                    static_offline: e_stat,
+                });
+            }
+        }
+    }
+    report::table(
+        &["dataset", "resource", "K", "proposed", "min-dist", "static"],
+        &rows,
+    );
+    report::write_json("fig07_clustering_vs_k", &json);
+}

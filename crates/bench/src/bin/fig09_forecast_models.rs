@@ -1,0 +1,130 @@
+//! Fig. 9 — Time-averaged RMSE versus forecasting horizon `h` for the
+//! different per-cluster models: ARIMA, LSTM, sample-and-hold with `K = 3`,
+//! sample-and-hold with `K = N` (per-node), and the standard-deviation
+//! upper bound.
+//!
+//! Expected shape: all models below the std-dev bound for moderate `h`;
+//! `K = 3` sample-and-hold at or below `K = N` (centroids average out
+//! per-node noise); learned models competitive with or better than
+//! sample-and-hold.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::{per_node_hold_rmse, pipeline_forecast_rmse, std_dev_bound};
+use utilcast_bench::{report, Scale};
+use utilcast_core::pipeline::{ModelSpec, PipelineConfig};
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
+use utilcast_timeseries::lstm::LstmConfig;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    model: String,
+    horizon: usize,
+    rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(40, 1200);
+    let warm = (scale.steps / 3).max(60);
+    let horizons = [1usize, 5, 10, 25, 50];
+    report::banner("fig09", "forecast RMSE vs horizon for each model");
+
+    let pipeline_config = |model: ModelSpec, n: usize| PipelineConfig {
+        num_nodes: n,
+        k: 3,
+        warmup: warm,
+        retrain_every: 288.min(scale.steps / 3),
+        model,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            let truth: Vec<Vec<f64>> = (0..scale.steps)
+                .map(|t| trace.snapshot(resource, t).expect("resource in trace"))
+                .collect();
+            let collected = collect(&trace, resource, 0.3, Policy::Adaptive);
+
+            let mut results: Vec<(String, Vec<f64>)> = Vec::new();
+            results.push((
+                "sample-and-hold K=3".into(),
+                pipeline_forecast_rmse(
+                    &truth,
+                    pipeline_config(ModelSpec::SampleAndHold, scale.nodes),
+                    &horizons,
+                    warm,
+                ),
+            ));
+            results.push((
+                "sample-and-hold K=N".into(),
+                per_node_hold_rmse(&collected, &horizons, warm),
+            ));
+            results.push((
+                "arima".into(),
+                pipeline_forecast_rmse(
+                    &truth,
+                    pipeline_config(
+                        ModelSpec::AutoArima {
+                            grid: ArimaGrid::quick(),
+                            options: ArimaFitOptions {
+                                max_evals: 250,
+                                ..Default::default()
+                            },
+                        },
+                        scale.nodes,
+                    ),
+                    &horizons,
+                    warm,
+                ),
+            ));
+            results.push((
+                "lstm".into(),
+                pipeline_forecast_rmse(
+                    &truth,
+                    pipeline_config(
+                        ModelSpec::Lstm(LstmConfig {
+                            epochs: 40,
+                            hidden: 16,
+                            window: 16,
+                            learning_rate: 0.004,
+                            ..Default::default()
+                        }),
+                        scale.nodes,
+                    ),
+                    &horizons,
+                    warm,
+                ),
+            ));
+            let bound = std_dev_bound(&collected);
+            results.push(("std-deviation".into(), vec![bound; horizons.len()]));
+
+            for (model, rmses) in &results {
+                for (hi, &h) in horizons.iter().enumerate() {
+                    rows.push(vec![
+                        ds.name().to_string(),
+                        resource.to_string(),
+                        model.clone(),
+                        h.to_string(),
+                        report::f(rmses[hi]),
+                    ]);
+                    json.push(Row {
+                        dataset: ds.name().to_string(),
+                        resource: resource.to_string(),
+                        model: model.clone(),
+                        horizon: h,
+                        rmse: rmses[hi],
+                    });
+                }
+            }
+        }
+    }
+    report::table(&["dataset", "resource", "model", "h", "RMSE"], &rows);
+    report::write_json("fig09_forecast_models", &json);
+}

@@ -1,0 +1,76 @@
+//! Fig. 10 — Time-averaged forecast RMSE versus horizon using the
+//! sample-and-hold forecaster on top of different clustering methods:
+//! proposed dynamic clustering, minimum-distance, and static (offline).
+//!
+//! Expected shape: proposed best at small/medium `h`; static (which knows
+//! the whole series in advance) catches up at large `h`.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::{sample_hold_forecast_rmse, MinDistance, Proposed, Static};
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    method: String,
+    horizon: usize,
+    rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    let warm = scale.steps / 6;
+    let horizons = [1usize, 5, 10, 25, 50];
+    report::banner("fig10", "forecast RMSE vs horizon per clustering method (S&H)");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            let c = collect(&trace, resource, 0.3, Policy::Adaptive);
+            let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+            let mut mindist = MinDistance::new(3, 0);
+            let mut stat = Static::fit(&c.x, 3, 0);
+            let results = [
+                (
+                    "proposed",
+                    sample_hold_forecast_rmse(&c, &mut proposed, &horizons, 5, warm),
+                ),
+                (
+                    "min-distance",
+                    sample_hold_forecast_rmse(&c, &mut mindist, &horizons, 5, warm),
+                ),
+                (
+                    "static",
+                    sample_hold_forecast_rmse(&c, &mut stat, &horizons, 5, warm),
+                ),
+            ];
+            for (method, rmses) in &results {
+                for (hi, &h) in horizons.iter().enumerate() {
+                    rows.push(vec![
+                        ds.name().to_string(),
+                        resource.to_string(),
+                        method.to_string(),
+                        h.to_string(),
+                        report::f(rmses[hi]),
+                    ]);
+                    json.push(Row {
+                        dataset: ds.name().to_string(),
+                        resource: resource.to_string(),
+                        method: method.to_string(),
+                        horizon: h,
+                        rmse: rmses[hi],
+                    });
+                }
+            }
+        }
+    }
+    report::table(&["dataset", "resource", "method", "h", "RMSE"], &rows);
+    report::write_json("fig10_clustering_forecast", &json);
+}

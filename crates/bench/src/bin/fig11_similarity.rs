@@ -1,0 +1,63 @@
+//! Fig. 11 — Forecast RMSE with the paper's set-intersection similarity
+//! measure (Eq. 10) versus the Jaccard index of Greene et al. for cluster
+//! re-indexing, across horizons.
+//!
+//! Expected shape: the proposed measure at or below Jaccard everywhere.
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::{sample_hold_forecast_rmse, Proposed};
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    measure: String,
+    horizon: usize,
+    rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    let warm = scale.steps / 6;
+    let horizons = [1usize, 5, 10, 25, 50];
+    report::banner("fig11", "proposed similarity vs Jaccard index");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        for resource in [Resource::Cpu, Resource::Memory] {
+            let c = collect(&trace, resource, 0.3, Policy::Adaptive);
+            for (name, measure) in [
+                ("proposed", SimilarityMeasure::Intersection),
+                ("jaccard", SimilarityMeasure::Jaccard),
+            ] {
+                let mut clusterer = Proposed::new(3, 1, measure, 0);
+                let rmses = sample_hold_forecast_rmse(&c, &mut clusterer, &horizons, 5, warm);
+                for (hi, &h) in horizons.iter().enumerate() {
+                    rows.push(vec![
+                        ds.name().to_string(),
+                        resource.to_string(),
+                        name.to_string(),
+                        h.to_string(),
+                        report::f(rmses[hi]),
+                    ]);
+                    json.push(Row {
+                        dataset: ds.name().to_string(),
+                        resource: resource.to_string(),
+                        measure: name.to_string(),
+                        horizon: h,
+                        rmse: rmses[hi],
+                    });
+                }
+            }
+        }
+    }
+    report::table(&["dataset", "resource", "measure", "h", "RMSE"], &rows);
+    report::write_json("fig11_similarity", &json);
+}

@@ -1,0 +1,128 @@
+//! Fig. 12 — Monitor-based comparison with the Gaussian methods of
+//! Silvestri et al. [3]: RMSE versus number of monitors `K` on 100 nodes,
+//! 500-step training phase and 500-step testing phase.
+//!
+//! Methods: proposed (k-means monitors + cluster-representative
+//! estimation), minimum-distance (random monitors + nearest-series
+//! estimation), and the three Gaussian selectors with conditional-Gaussian
+//! estimation.
+//!
+//! Expected shape: proposed lowest (or tied) across `K` on
+//! weakly-correlated cluster data; Gaussian methods do not close the gap.
+
+use serde::Serialize;
+use utilcast_bench::{report, Scale};
+use utilcast_datasets::presets;
+use utilcast_datasets::Resource;
+use utilcast_gaussian::estimate::{ClusterEqualEstimator, GaussianEstimator};
+use utilcast_gaussian::protocol::{run_with_k, split};
+use utilcast_gaussian::selection::{
+    BatchSelection, ProposedKMeans, RandomMonitors, TopW, TopWUpdate,
+};
+
+#[derive(Serialize)]
+struct Row {
+    resource: String,
+    k: usize,
+    method: String,
+    rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(100, 1000);
+    let train_steps = scale.steps / 2;
+    report::banner(
+        "fig12",
+        "monitor-protocol RMSE vs K: proposed vs Gaussian baselines",
+    );
+    // The protocol's static split matches the paper's 500 + 500 steps.
+    // Low membership churn (so the cluster structure the proposed method
+    // learns in training persists into testing) but pronounced group-level
+    // regime shifts (the nonstationarity that breaks a fixed Gaussian
+    // mean/covariance — the paper's real traces have plenty; its Gaussian
+    // baselines blow up to RMSE ~1e5 on Bitbrains). See EXPERIMENTS.md.
+    let trace = presets::alibaba_like()
+        .nodes(scale.nodes)
+        .steps(scale.steps)
+        .churn(0.0005)
+        .regime_shifts(0.004)
+        .generate();
+
+    let ks = [5usize, 10, 25, 50]
+        .into_iter()
+        .filter(|&k| k < scale.nodes)
+        .collect::<Vec<_>>();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for resource in [Resource::Cpu, Resource::Memory] {
+        let data = trace.node_matrix(resource).expect("resource in trace");
+        let (train, test) = split(&data, train_steps);
+        for &k in &ks {
+            // Proposed: k-means monitors + explicit cluster assignment.
+            let selector = ProposedKMeans::default();
+            let (_, assignment) = selector
+                .select_with_assignment(&train, k)
+                .expect("proposed selection");
+            let proposed = run_with_k(
+                &train,
+                &test,
+                &selector,
+                &ClusterEqualEstimator {
+                    assignment: Some(assignment),
+                },
+                Some(k),
+            )
+            .expect("proposed protocol")
+            .rmse;
+            // Minimum-distance: random monitors averaged over seeds.
+            let min_dist = (0..5)
+                .map(|seed| {
+                    run_with_k(
+                        &train,
+                        &test,
+                        &RandomMonitors { seed },
+                        &ClusterEqualEstimator::default(),
+                        Some(k),
+                    )
+                    .expect("min-distance protocol")
+                    .rmse
+                })
+                .sum::<f64>()
+                / 5.0;
+            let top_w = run_with_k(&train, &test, &TopW, &GaussianEstimator, Some(k))
+                .expect("top-w protocol")
+                .rmse;
+            let top_w_update =
+                run_with_k(&train, &test, &TopWUpdate, &GaussianEstimator, Some(k))
+                    .expect("top-w-update protocol")
+                    .rmse;
+            let batch = run_with_k(&train, &test, &BatchSelection, &GaussianEstimator, Some(k))
+                .expect("batch protocol")
+                .rmse;
+
+            for (method, rmse) in [
+                ("proposed", proposed),
+                ("min-distance", min_dist),
+                ("top-w", top_w),
+                ("top-w-update", top_w_update),
+                ("batch", batch),
+            ] {
+                rows.push(vec![
+                    resource.to_string(),
+                    k.to_string(),
+                    method.to_string(),
+                    report::f(rmse),
+                ]);
+                json.push(Row {
+                    resource: resource.to_string(),
+                    k,
+                    method: method.to_string(),
+                    rmse,
+                });
+            }
+        }
+    }
+    report::table(&["resource", "K", "method", "RMSE"], &rows);
+    report::write_json("fig12_gaussian_comparison", &json);
+}

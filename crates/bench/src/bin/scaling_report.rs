@@ -1,0 +1,77 @@
+//! Controller scaling report: wall-clock cost of one pipeline step and one
+//! forecast call as the number of nodes grows — the "can one central node
+//! keep up with the datacenter per time slot" question behind the paper's
+//! scalability claims.
+//!
+//! A 5-minute sampling interval gives the controller 300 seconds per step;
+//! this report shows how many orders of magnitude of headroom the K=3
+//! pipeline has.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use utilcast_bench::{report, Scale};
+use utilcast_core::pipeline::{Pipeline, PipelineConfig, TransmissionMode};
+use utilcast_datasets::{presets, Resource};
+
+#[derive(Serialize)]
+struct Row {
+    nodes: usize,
+    step_micros: f64,
+    forecast_micros: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(0, 64); // nodes ignored; steps = timing reps
+    let reps = scale.steps.max(16);
+    report::banner("scaling", "per-step controller cost vs N (K = 3)");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &n in &[100usize, 400, 1000, 4000] {
+        let trace = presets::google_like().nodes(n).steps(reps + 8).seed(1).generate();
+        let mut pipeline = Pipeline::new(PipelineConfig {
+            num_nodes: n,
+            k: 3,
+            transmission: TransmissionMode::Adaptive,
+            warmup: 4,
+            retrain_every: 10_000,
+            ..Default::default()
+        })
+        .expect("valid config");
+        // Warm the pipeline (first steps include allocation effects).
+        for t in 0..8 {
+            pipeline
+                .step(&trace.snapshot(Resource::Cpu, t).expect("cpu"))
+                .expect("step");
+        }
+        let start = Instant::now();
+        for t in 8..8 + reps {
+            pipeline
+                .step(&trace.snapshot(Resource::Cpu, t).expect("cpu"))
+                .expect("step");
+        }
+        let step_micros = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = pipeline.forecast(50).expect("forecast");
+        }
+        let forecast_micros = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        rows.push(vec![
+            n.to_string(),
+            format!("{step_micros:.0}"),
+            format!("{forecast_micros:.0}"),
+            format!("{:.0}x", 300e6 / step_micros.max(1.0)),
+        ]);
+        json.push(Row {
+            nodes: n,
+            step_micros,
+            forecast_micros,
+        });
+    }
+    report::table(
+        &["nodes", "step (us)", "forecast h=50 (us)", "headroom @5min"],
+        &rows,
+    );
+    report::write_json("scaling_report", &json);
+}

@@ -1,0 +1,55 @@
+//! Table I — Intermediate RMSE of clustering independent scalars (one
+//! k-means per resource) versus full vectors (one joint k-means on
+//! CPU+memory vectors), scored per resource either way.
+//!
+//! Expected shape: scalar clustering at or below joint clustering on every
+//! dataset/resource (the paper finds cross-resource correlation weak).
+
+use serde::Serialize;
+use utilcast_bench::collect::collect_joint;
+use utilcast_bench::eval::{intermediate_rmse, intermediate_rmse_joint, Proposed};
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    resource: String,
+    scalar: f64,
+    full: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    report::banner("tab1", "intermediate RMSE: scalar vs full-vector clustering");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        // Shared transmission schedule (full-vector decisions) so the two
+        // clustering modes see identical stored values.
+        let per_resource = collect_joint(&trace, 0.3);
+        let joint = intermediate_rmse_joint(&per_resource, 3, 1, 0);
+        for (r, resource) in [Resource::Cpu, Resource::Memory].into_iter().enumerate() {
+            let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+            let scalar = intermediate_rmse(&per_resource[r], &mut proposed);
+            rows.push(vec![
+                format!("{} {}", resource, ds.name()),
+                report::f(scalar),
+                report::f(joint[r]),
+                if scalar <= joint[r] { "ok".into() } else { "!".into() },
+            ]);
+            json.push(Row {
+                dataset: ds.name().to_string(),
+                resource: resource.to_string(),
+                scalar,
+                full: joint[r],
+            });
+        }
+    }
+    report::table(&["resource & dataset", "scalar", "full", "scalar<=full"], &rows);
+    report::write_json("tab1_scalar_vs_vector", &json);
+}

@@ -1,0 +1,107 @@
+//! Table II — Aggregated training time of the forecasting models over the
+//! entire duration of one centroid series, per dataset.
+//!
+//! Follows the paper's protocol: initial training after the warmup phase,
+//! retraining every 288 steps, summing the wall-clock time of every
+//! (re)training. Expected shape: ARIMA total in the seconds range, LSTM an
+//! order of magnitude more — both tiny relative to the monitored horizon.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::Proposed;
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid, AutoArima};
+use utilcast_timeseries::lstm::{Lstm, LstmConfig};
+use utilcast_timeseries::Forecaster;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    total_steps: usize,
+    arima_seconds: f64,
+    lstm_seconds: f64,
+}
+
+/// Extracts one centroid series (cluster 0 of the proposed clustering) from
+/// a dataset, mirroring "one centroid over the entire duration".
+fn centroid_series(ds: Dataset, scale: Scale) -> Vec<f64> {
+    use utilcast_bench::eval::ScalarClusterer;
+    let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+    let collected = collect(&trace, Resource::Cpu, 0.3, Policy::Adaptive);
+    let mut clusterer = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+    collected
+        .z
+        .iter()
+        .enumerate()
+        .map(|(t, z)| clusterer.step(t, z).centroids[0])
+        .collect()
+}
+
+/// Total time spent (re)training `model` on the series under the paper's
+/// schedule.
+fn training_time(series: &[f64], mut model: impl Forecaster, warmup: usize, every: usize) -> Duration {
+    let mut total = Duration::ZERO;
+    let mut next_train = warmup;
+    while next_train <= series.len() {
+        let start = Instant::now();
+        model
+            .fit(&series[..next_train])
+            .expect("training on centroid series");
+        total += start.elapsed();
+        next_train += every;
+    }
+    total
+}
+
+fn main() {
+    let scale = Scale::from_env(40, 2000);
+    let warmup = (scale.steps / 2).min(1000).max(100);
+    let every = 288;
+    report::banner("tab2", "aggregate model-training time per dataset (one centroid)");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let series = centroid_series(ds, scale);
+        let arima = training_time(
+            &series,
+            AutoArima::new(
+                ArimaGrid::quick(),
+                ArimaFitOptions {
+                    max_evals: 300,
+                    ..Default::default()
+                },
+            ),
+            warmup,
+            every,
+        );
+        let lstm = training_time(
+            &series,
+            Lstm::new(LstmConfig {
+                epochs: 30,
+                hidden: 16,
+                ..Default::default()
+            }),
+            warmup,
+            every,
+        );
+        rows.push(vec![
+            format!("{} ({} steps)", ds.name(), series.len()),
+            format!("{:.2}", arima.as_secs_f64()),
+            format!("{:.2}", lstm.as_secs_f64()),
+        ]);
+        json.push(Row {
+            dataset: ds.name().to_string(),
+            total_steps: series.len(),
+            arima_seconds: arima.as_secs_f64(),
+            lstm_seconds: lstm.as_secs_f64(),
+        });
+    }
+    report::table(&["dataset", "ARIMA (s)", "LSTM (s)"], &rows);
+    report::write_json("tab2_training_time", &json);
+}

@@ -1,0 +1,61 @@
+//! Table III — Forecast RMSE for different history look-backs `M`
+//! (similarity measure, Eq. 10) and `M'` (membership/offset window,
+//! Sec. V-C), on the Google-like CPU data, at `h ∈ {1, 5, 10}`.
+//!
+//! Expected shape: `M = 1` good across the board; the best `M'` grows with
+//! `h` (forecasting further ahead favors longer, more stable membership
+//! statistics).
+
+use serde::Serialize;
+use utilcast_bench::collect::{collect, Policy};
+use utilcast_bench::eval::{sample_hold_forecast_rmse, Proposed};
+use utilcast_bench::{report, Scale};
+use utilcast_core::cluster::SimilarityMeasure;
+use utilcast_datasets::presets;
+use utilcast_datasets::Resource;
+
+#[derive(Serialize)]
+struct Row {
+    m: usize,
+    m_prime: usize,
+    horizon: usize,
+    rmse: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env(50, 1200);
+    let warm = scale.steps / 6;
+    let ms = [1usize, 5, 12, 100];
+    let m_primes = [1usize, 5, 12, 100];
+    let horizons = [1usize, 5, 10];
+    report::banner("tab3", "RMSE for different M and M' (Google-like CPU)");
+
+    let trace = presets::google_like()
+        .nodes(scale.nodes)
+        .steps(scale.steps)
+        .generate();
+    let c = collect(&trace, Resource::Cpu, 0.3, Policy::Adaptive);
+
+    let mut json = Vec::new();
+    for &h in &horizons {
+        println!("\nh = {h}");
+        let mut rows = Vec::new();
+        for &m in &ms {
+            let mut row = vec![format!("M={m}")];
+            for &mp in &m_primes {
+                let mut clusterer = Proposed::new(3, m, SimilarityMeasure::Intersection, 0);
+                let rmse = sample_hold_forecast_rmse(&c, &mut clusterer, &[h], mp, warm)[0];
+                row.push(report::f(rmse));
+                json.push(Row {
+                    m,
+                    m_prime: mp,
+                    horizon: h,
+                    rmse,
+                });
+            }
+            rows.push(row);
+        }
+        report::table(&["", "M'=1", "M'=5", "M'=12", "M'=100"], &rows);
+    }
+    report::write_json("tab3_m_mprime", &json);
+}

@@ -1,0 +1,96 @@
+//! Table IV — Wall-clock computation time of each monitor-selection
+//! approach on 100 nodes (selection + fitting + one test pass).
+//!
+//! Expected shape (cost ordering, not absolute numbers): minimum-distance
+//! cheapest, proposed cheap, Top-W moderate, Batch Selection heavier,
+//! Top-W-Update heaviest by a wide margin (per-pick refactorization).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use utilcast_bench::{report, Scale};
+use utilcast_datasets::presets::Dataset;
+use utilcast_datasets::Resource;
+use utilcast_gaussian::estimate::{ClusterEqualEstimator, Estimator, FittedEstimator, GaussianEstimator};
+use utilcast_gaussian::protocol::split;
+use utilcast_gaussian::selection::{
+    BatchSelection, MonitorSelector, ProposedKMeans, RandomMonitors, TopW, TopWUpdate,
+};
+use utilcast_linalg::Matrix;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    method: String,
+    seconds: f64,
+}
+
+fn time_gaussian(train: &Matrix, test: &Matrix, selector: &dyn MonitorSelector, k: usize) -> f64 {
+    let start = Instant::now();
+    let monitors = selector.select(train, k).expect("selection");
+    let fitted = GaussianEstimator.fit(train, &monitors).expect("fit");
+    for s in 0..test.ncols() {
+        let observed: Vec<f64> = monitors.iter().map(|&m| test[(m, s)]).collect();
+        let _ = fitted.estimate(&observed).expect("estimate");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn time_cluster_equal(
+    train: &Matrix,
+    test: &Matrix,
+    selector: &dyn MonitorSelector,
+    k: usize,
+) -> f64 {
+    let start = Instant::now();
+    let monitors = selector.select(train, k).expect("selection");
+    let fitted = ClusterEqualEstimator::default()
+        .fit(train, &monitors)
+        .expect("fit");
+    for s in 0..test.ncols() {
+        let observed: Vec<f64> = monitors.iter().map(|&m| test[(m, s)]).collect();
+        let _ = fitted.estimate(&observed).expect("estimate");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let scale = Scale::from_env(100, 1000);
+    let k = 25;
+    report::banner("tab4", "computation time per approach (selection + test pass)");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(scale.nodes).steps(scale.steps).generate();
+        let data = trace.node_matrix(Resource::Cpu).expect("cpu in trace");
+        let (train, test) = split(&data, scale.steps / 2);
+        let timings = [
+            (
+                "proposed",
+                time_cluster_equal(&train, &test, &ProposedKMeans::default(), k),
+            ),
+            (
+                "min-distance",
+                time_cluster_equal(&train, &test, &RandomMonitors::default(), k),
+            ),
+            ("top-w", time_gaussian(&train, &test, &TopW, k)),
+            ("top-w-update", time_gaussian(&train, &test, &TopWUpdate, k)),
+            ("batch", time_gaussian(&train, &test, &BatchSelection, k)),
+        ];
+        for (method, seconds) in timings {
+            rows.push(vec![
+                ds.name().to_string(),
+                method.to_string(),
+                format!("{seconds:.4}"),
+            ]);
+            json.push(Row {
+                dataset: ds.name().to_string(),
+                method: method.to_string(),
+                seconds,
+            });
+        }
+    }
+    report::table(&["dataset", "method", "seconds"], &rows);
+    report::write_json("tab4_gaussian_time", &json);
+}

@@ -1,0 +1,214 @@
+//! Simulated measurement collection: runs per-node transmitters over one
+//! resource of a trace and returns the stored-value series the controller
+//! would hold.
+
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, UniformTransmitter};
+use utilcast_datasets::{Resource, Trace};
+
+/// Which transmission policy to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The paper's Lyapunov policy.
+    Adaptive,
+    /// Fixed-interval sampling at the same budget.
+    Uniform,
+    /// `B = 1`: stored values are always fresh.
+    Always,
+}
+
+/// The collected (stale) store over time plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Collected {
+    /// `z[t][node]`: the controller's stored value at each step.
+    pub z: Vec<Vec<f64>>,
+    /// `x[t][node]`: the true measurements (for scoring).
+    pub x: Vec<Vec<f64>>,
+    /// Realized average transmission frequency.
+    pub realized_frequency: f64,
+}
+
+/// Simulates collection of one scalar resource under the given policy and
+/// budget. The first step always transmits (controller bootstrap), matching
+/// the pipeline and simnet drivers.
+///
+/// # Panics
+///
+/// Panics if the trace lacks the resource or `budget` is outside `(0, 1]`.
+pub fn collect(trace: &Trace, resource: Resource, budget: f64, policy: Policy) -> Collected {
+    let n = trace.num_nodes();
+    let steps = trace.num_steps();
+    let mut adaptive: Vec<AdaptiveTransmitter> = match policy {
+        Policy::Adaptive => (0..n)
+            .map(|_| AdaptiveTransmitter::new(TransmitConfig::with_budget(budget)))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut uniform: Vec<UniformTransmitter> = match policy {
+        Policy::Uniform => (0..n).map(|_| UniformTransmitter::new(budget)).collect(),
+        _ => Vec::new(),
+    };
+
+    let mut z_prev: Vec<f64> = Vec::new();
+    let mut z = Vec::with_capacity(steps);
+    let mut x_all = Vec::with_capacity(steps);
+    let mut sent: u64 = 0;
+    for t in 0..steps {
+        let x = trace.snapshot(resource, t).expect("resource in trace");
+        if t == 0 {
+            z_prev = x.clone();
+            sent += n as u64;
+            // Consume the transmitters' clocks on the bootstrap step.
+            match policy {
+                Policy::Adaptive => {
+                    for (tx, &v) in adaptive.iter_mut().zip(&x) {
+                        let _ = tx.decide(&[v], &[v]);
+                    }
+                }
+                Policy::Uniform => {
+                    for tx in &mut uniform {
+                        let _ = tx.decide();
+                    }
+                }
+                Policy::Always => {}
+            }
+        } else {
+            for i in 0..n {
+                let send = match policy {
+                    Policy::Adaptive => adaptive[i].decide(&[x[i]], &[z_prev[i]]),
+                    Policy::Uniform => uniform[i].decide(),
+                    Policy::Always => true,
+                };
+                if send {
+                    z_prev[i] = x[i];
+                    sent += 1;
+                }
+            }
+        }
+        z.push(z_prev.clone());
+        x_all.push(x);
+    }
+    Collected {
+        z,
+        x: x_all,
+        realized_frequency: sent as f64 / (steps as f64 * n as f64),
+    }
+}
+
+/// Simulates collection with the full `d`-dimensional measurement vector
+/// driving each node's single transmission decision (the paper's Sec. V-A
+/// formulation where the penalty averages over resource types). Returns one
+/// `Collected` per resource, sharing the same transmission schedule.
+///
+/// # Panics
+///
+/// Panics if `budget` is outside `(0, 1]`.
+pub fn collect_joint(trace: &Trace, budget: f64) -> Vec<Collected> {
+    let n = trace.num_nodes();
+    let d = trace.dim();
+    let steps = trace.num_steps();
+    let mut txs: Vec<AdaptiveTransmitter> = (0..n)
+        .map(|_| AdaptiveTransmitter::new(TransmitConfig::with_budget(budget)))
+        .collect();
+    let mut z_prev: Vec<Vec<f64>> = Vec::new();
+    let mut per_resource: Vec<Collected> = (0..d)
+        .map(|_| Collected {
+            z: Vec::with_capacity(steps),
+            x: Vec::with_capacity(steps),
+            realized_frequency: 0.0,
+        })
+        .collect();
+    let mut sent: u64 = 0;
+    for t in 0..steps {
+        if t == 0 {
+            z_prev = (0..n).map(|i| trace.measurement(i, 0).to_vec()).collect();
+            sent += n as u64;
+            for (i, tx) in txs.iter_mut().enumerate() {
+                let m = trace.measurement(i, 0);
+                let _ = tx.decide(m, m);
+            }
+        } else {
+            for (i, tx) in txs.iter_mut().enumerate() {
+                let m = trace.measurement(i, t);
+                if tx.decide(m, &z_prev[i]) {
+                    z_prev[i] = m.to_vec();
+                    sent += 1;
+                }
+            }
+        }
+        for (r, col) in per_resource.iter_mut().enumerate() {
+            col.z.push((0..n).map(|i| z_prev[i][r]).collect());
+            col.x
+                .push((0..n).map(|i| trace.measurement(i, t)[r]).collect());
+        }
+    }
+    let freq = sent as f64 / (steps as f64 * n as f64);
+    for col in &mut per_resource {
+        col.realized_frequency = freq;
+    }
+    per_resource
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilcast_datasets::presets;
+
+    #[test]
+    fn always_policy_is_exact() {
+        let trace = presets::alibaba_like().nodes(5).steps(30).seed(1).generate();
+        let c = collect(&trace, Resource::Cpu, 1.0, Policy::Always);
+        assert_eq!(c.z, c.x);
+        assert_eq!(c.realized_frequency, 1.0);
+    }
+
+    #[test]
+    fn adaptive_respects_budget_and_is_stale() {
+        let trace = presets::google_like().nodes(10).steps(300).seed(2).generate();
+        let c = collect(&trace, Resource::Cpu, 0.2, Policy::Adaptive);
+        assert!(c.realized_frequency <= 0.2 + 0.05, "freq {}", c.realized_frequency);
+        // Some values must be stale.
+        assert_ne!(c.z, c.x);
+        // Stored values always come from the true series' past.
+        for t in 1..c.z.len() {
+            for i in 0..10 {
+                let z = c.z[t][i];
+                assert!(
+                    (0..=t).any(|s| (c.x[s][i] - z).abs() < 1e-12),
+                    "stored value is not a past measurement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_frequency_matches_budget() {
+        let trace = presets::bitbrains_like().nodes(8).steps(400).seed(3).generate();
+        let c = collect(&trace, Resource::Memory, 0.25, Policy::Uniform);
+        assert!((c.realized_frequency - 0.25).abs() < 0.02, "freq {}", c.realized_frequency);
+    }
+
+    #[test]
+    fn joint_collection_shares_schedule() {
+        let trace = presets::alibaba_like().nodes(6).steps(200).seed(4).generate();
+        let cols = collect_joint(&trace, 0.3);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].realized_frequency, cols[1].realized_frequency);
+        // Staleness patterns coincide across resources: z changes exactly
+        // when the node transmitted the full vector.
+        for t in 1..200 {
+            for i in 0..6 {
+                let changed0 = (cols[0].z[t][i] - cols[0].z[t - 1][i]).abs() > 1e-15;
+                let changed1 = (cols[1].z[t][i] - cols[1].z[t - 1][i]).abs() > 1e-15;
+                // If resource 0 updated but resource 1 kept the same value
+                // it can look unchanged by coincidence; only assert the
+                // implication where a change is visible.
+                if changed1 {
+                    // A change in resource 1 implies a transmission, which
+                    // must have refreshed resource 0 to its current truth.
+                    assert!((cols[0].z[t][i] - cols[0].x[t][i]).abs() < 1e-12);
+                }
+                let _ = changed0;
+            }
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Evaluation loops shared by the experiment binaries: per-step clustering
+//! runners for the three methods, intermediate RMSE against the truth, and
+//! sample-and-hold forecast evaluation with per-node offsets.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use utilcast_clustering::baselines::{min_distance_step, StaticClustering};
+use utilcast_clustering::kmeans::nearest_centroid;
+use utilcast_core::cluster::{DynamicClusterer, DynamicClustererConfig, SimilarityMeasure};
+use utilcast_core::metrics::TimeAveragedRmse;
+use utilcast_core::offset::{forecast_membership, node_offset, OffsetSnapshot};
+
+use crate::collect::Collected;
+
+/// One step of clustering output on scalar values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarClusterStep {
+    /// Node → cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Scalar centroid per cluster.
+    pub centroids: Vec<f64>,
+}
+
+/// A per-step clustering method over scalar stored values.
+pub trait ScalarClusterer {
+    /// Processes step `t` with stored values `z`.
+    fn step(&mut self, t: usize, z: &[f64]) -> ScalarClusterStep;
+    /// Method name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's dynamic clusterer (k-means + Hungarian re-indexing).
+pub struct Proposed {
+    inner: DynamicClusterer,
+}
+
+impl Proposed {
+    /// Creates the proposed method with `K` clusters and look-back `M`.
+    pub fn new(k: usize, m: usize, similarity: SimilarityMeasure, seed: u64) -> Self {
+        Proposed {
+            inner: DynamicClusterer::new(DynamicClustererConfig {
+                k,
+                m,
+                similarity,
+                seed,
+                ..Default::default()
+            }),
+        }
+    }
+}
+
+impl ScalarClusterer for Proposed {
+    fn step(&mut self, _t: usize, z: &[f64]) -> ScalarClusterStep {
+        let points: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        let step = self.inner.step(&points).expect("non-empty scalar input");
+        ScalarClusterStep {
+            assignments: step.assignments,
+            centroids: step
+                .centroids
+                .iter()
+                .map(|c| c.first().copied().unwrap_or(0.0))
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "proposed"
+    }
+}
+
+/// The offline static baseline: fixed node grouping from the *entire true
+/// series*, per-step centroids from the stored values.
+pub struct Static {
+    clustering: StaticClustering,
+}
+
+impl Static {
+    /// Fits the static grouping on the full true series (offline knowledge,
+    /// as the paper grants this baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series are empty or `k` is zero.
+    pub fn fit(truth: &[Vec<f64>], k: usize, seed: u64) -> Self {
+        // truth[t][node] -> per-node series.
+        let n = truth.first().map_or(0, |row| row.len());
+        let series: Vec<Vec<f64>> = (0..n)
+            .map(|i| truth.iter().map(|row| row[i]).collect())
+            .collect();
+        Static {
+            clustering: StaticClustering::fit(&series, k, seed).expect("valid static clustering"),
+        }
+    }
+}
+
+impl ScalarClusterer for Static {
+    fn step(&mut self, _t: usize, z: &[f64]) -> ScalarClusterStep {
+        let values: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        let centroids = self.clustering.centroids_at(&values);
+        ScalarClusterStep {
+            assignments: self.clustering.assignments().to_vec(),
+            centroids: centroids
+                .iter()
+                .map(|c| c.first().copied().unwrap_or(0.0))
+                .collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// The minimum-distance baseline: random monitors each step, nearest-value
+/// assignment.
+pub struct MinDistance {
+    k: usize,
+    rng: StdRng,
+}
+
+impl MinDistance {
+    /// Creates the baseline with `k` random centroids per step.
+    pub fn new(k: usize, seed: u64) -> Self {
+        MinDistance {
+            k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ScalarClusterer for MinDistance {
+    fn step(&mut self, _t: usize, z: &[f64]) -> ScalarClusterStep {
+        let values: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        let (selected, assignments) =
+            min_distance_step(&values, self.k, &mut self.rng).expect("valid min-distance step");
+        ScalarClusterStep {
+            assignments,
+            centroids: selected.iter().map(|&i| z[i]).collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "min-distance"
+    }
+}
+
+/// Time-averaged intermediate RMSE: true measurements against their
+/// assigned centroid (the paper's Sec. VI-C definition — with stale stores
+/// the error is positive even at `K = N`).
+pub fn intermediate_rmse(collected: &Collected, clusterer: &mut dyn ScalarClusterer) -> f64 {
+    let mut acc = TimeAveragedRmse::new();
+    for (t, (z, x)) in collected.z.iter().zip(&collected.x).enumerate() {
+        let step = clusterer.step(t, z);
+        let n = x.len() as f64;
+        let sse: f64 = x
+            .iter()
+            .zip(&step.assignments)
+            .map(|(&xv, &a)| {
+                let c = step.centroids[a];
+                (xv - c) * (xv - c)
+            })
+            .sum();
+        acc.add((sse / n).sqrt());
+    }
+    acc.value()
+}
+
+/// Windowed variant for the Fig. 5 experiment: clustering runs on feature
+/// vectors containing each node's stored values over the last `window`
+/// steps; the intermediate RMSE is still scored on the current scalar
+/// (last window coordinate).
+pub fn intermediate_rmse_windowed(
+    collected: &Collected,
+    k: usize,
+    m: usize,
+    window: usize,
+    seed: u64,
+) -> f64 {
+    assert!(window >= 1, "window must be at least 1");
+    let mut clusterer = DynamicClusterer::new(DynamicClustererConfig {
+        k,
+        m,
+        seed,
+        ..Default::default()
+    });
+    let mut acc = TimeAveragedRmse::new();
+    let n = collected.x.first().map_or(0, |r| r.len());
+    for t in (window - 1)..collected.z.len() {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (t + 1 - window..=t)
+                    .map(|s| collected.z[s][i])
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        let step = clusterer.step(&points).expect("non-empty windowed input");
+        let x = &collected.x[t];
+        let sse: f64 = x
+            .iter()
+            .zip(&step.assignments)
+            .map(|(&xv, &a)| {
+                let c = step.centroids[a].last().copied().unwrap_or(0.0);
+                (xv - c) * (xv - c)
+            })
+            .sum();
+        acc.add((sse / n as f64).sqrt());
+    }
+    acc.value()
+}
+
+/// Joint-vector variant for Table I: clustering runs on the full
+/// `d`-dimensional stored vectors; the intermediate RMSE is scored per
+/// resource dimension. `per_resource[t][node]` are the scalar stores of
+/// each resource; returns one RMSE per resource.
+pub fn intermediate_rmse_joint(
+    per_resource: &[Collected],
+    k: usize,
+    m: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let d = per_resource.len();
+    assert!(d >= 1, "need at least one resource");
+    let steps = per_resource[0].z.len();
+    let n = per_resource[0].x.first().map_or(0, |r| r.len());
+    let mut clusterer = DynamicClusterer::new(DynamicClustererConfig {
+        k,
+        m,
+        seed,
+        ..Default::default()
+    });
+    let mut accs = vec![TimeAveragedRmse::new(); d];
+    for t in 0..steps {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|r| per_resource[r].z[t][i]).collect())
+            .collect();
+        let step = clusterer.step(&points).expect("non-empty joint input");
+        for (r, acc) in accs.iter_mut().enumerate() {
+            let sse: f64 = (0..n)
+                .map(|i| {
+                    let c = step.centroids[step.assignments[i]][r];
+                    let x = per_resource[r].x[t][i];
+                    (x - c) * (x - c)
+                })
+                .sum();
+            acc.add((sse / n as f64).sqrt());
+        }
+    }
+    accs.iter().map(|a| a.value()).collect()
+}
+
+/// Sample-and-hold forecast evaluation with per-node offsets (Eq. 12):
+/// drives the given clustering method over the stored series and, from each
+/// step `t >= warm`, forecasts `x̂_{i,t+h} = c_{j*,t} + ŝ_i` for every
+/// horizon in `horizons`, scoring against the true future. Returns one
+/// time-averaged RMSE per horizon.
+pub fn sample_hold_forecast_rmse(
+    collected: &Collected,
+    clusterer: &mut dyn ScalarClusterer,
+    horizons: &[usize],
+    m_prime: usize,
+    warm: usize,
+) -> Vec<f64> {
+    sample_hold_forecast_rmse_opts(collected, clusterer, horizons, m_prime, warm, true)
+}
+
+/// [`sample_hold_forecast_rmse`] with the Eq. 12 offset clipping made
+/// optional (`clip_offsets = false` is the `ablation_offset_alpha`
+/// condition).
+pub fn sample_hold_forecast_rmse_opts(
+    collected: &Collected,
+    clusterer: &mut dyn ScalarClusterer,
+    horizons: &[usize],
+    m_prime: usize,
+    warm: usize,
+    clip_offsets: bool,
+) -> Vec<f64> {
+    let steps = collected.z.len();
+    let mut history: VecDeque<(Vec<usize>, Vec<Vec<f64>>, Vec<Vec<f64>>)> = VecDeque::new();
+    let mut accs = vec![TimeAveragedRmse::new(); horizons.len()];
+    for t in 0..steps {
+        let z = &collected.z[t];
+        let step = clusterer.step(t, z);
+        let centroid_vecs: Vec<Vec<f64>> = step.centroids.iter().map(|&c| vec![c]).collect();
+        let value_vecs: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        history.push_front((step.assignments, value_vecs, centroid_vecs));
+        while history.len() > m_prime + 1 {
+            history.pop_back();
+        }
+        if t < warm {
+            continue;
+        }
+        let window_assign: Vec<&[usize]> = history.iter().map(|(a, _, _)| a.as_slice()).collect();
+        let window_snaps: Vec<OffsetSnapshot<'_>> = history
+            .iter()
+            .map(|(_, v, c)| OffsetSnapshot {
+                values: v,
+                centroids: c,
+            })
+            .collect();
+        let k = history.front().map_or(0, |(_, _, c)| c.len());
+        let n = z.len();
+        // Per-node prediction (horizon-independent under sample-and-hold).
+        let mut pred = vec![0.0; n];
+        for i in 0..n {
+            let j_star = forecast_membership(&window_assign, i, k);
+            let offset = if clip_offsets {
+                node_offset(&window_snaps, i, j_star)[0]
+            } else {
+                utilcast_core::offset::node_offset_unclipped(&window_snaps, i, j_star)[0]
+            };
+            pred[i] = history.front().expect("just pushed").2[j_star][0] + offset;
+        }
+        for (hi, &h) in horizons.iter().enumerate() {
+            if t + h >= steps {
+                continue;
+            }
+            let truth = &collected.x[t + h];
+            let sse: f64 = pred
+                .iter()
+                .zip(truth)
+                .map(|(p, x)| (p - x) * (p - x))
+                .sum();
+            accs[hi].add((sse / n as f64).sqrt());
+        }
+    }
+    accs.iter().map(|a| a.value()).collect()
+}
+
+/// Per-node sample-and-hold (the paper's `K = N` row in Fig. 9): every node
+/// forecasts its own stored value. Returns one RMSE per horizon.
+pub fn per_node_hold_rmse(collected: &Collected, horizons: &[usize], warm: usize) -> Vec<f64> {
+    let steps = collected.z.len();
+    let mut accs = vec![TimeAveragedRmse::new(); horizons.len()];
+    for t in warm..steps {
+        for (hi, &h) in horizons.iter().enumerate() {
+            if t + h >= steps {
+                continue;
+            }
+            let z = &collected.z[t];
+            let truth = &collected.x[t + h];
+            let n = z.len() as f64;
+            let sse: f64 = z.iter().zip(truth).map(|(p, x)| (p - x) * (p - x)).sum();
+            accs[hi].add((sse / n).sqrt());
+        }
+    }
+    accs.iter().map(|a| a.value()).collect()
+}
+
+/// The standard-deviation upper bound the paper plots: the pooled standard
+/// deviation of the true data.
+pub fn std_dev_bound(collected: &Collected) -> f64 {
+    let all: Vec<f64> = collected.x.iter().flatten().copied().collect();
+    utilcast_linalg::stats::std_dev(&all)
+}
+
+/// Drives a full [`utilcast_core::pipeline::Pipeline`] (with its own
+/// internal transmission) over the true series and scores its per-node
+/// forecasts at every horizon. Returns one time-averaged RMSE per horizon.
+///
+/// # Panics
+///
+/// Panics if the pipeline rejects the configuration or a step fails.
+pub fn pipeline_forecast_rmse(
+    truth: &[Vec<f64>],
+    config: utilcast_core::pipeline::PipelineConfig,
+    horizons: &[usize],
+    warm: usize,
+) -> Vec<f64> {
+    let steps = truth.len();
+    let max_h = horizons.iter().copied().max().unwrap_or(1);
+    let mut pipeline =
+        utilcast_core::pipeline::Pipeline::new(config).expect("valid pipeline config");
+    let mut accs = vec![TimeAveragedRmse::new(); horizons.len()];
+    for (t, x) in truth.iter().enumerate() {
+        pipeline.step(x).expect("pipeline step");
+        if t < warm || t + 1 >= steps {
+            continue;
+        }
+        let fc = pipeline.forecast(max_h.min(steps - 1 - t)).expect("forecast");
+        for (hi, &h) in horizons.iter().enumerate() {
+            if t + h >= steps {
+                continue;
+            }
+            let pred = &fc[h - 1];
+            let fut = &truth[t + h];
+            let n = fut.len() as f64;
+            let sse: f64 = pred.iter().zip(fut).map(|(p, x)| (p - x) * (p - x)).sum();
+            accs[hi].add((sse / n).sqrt());
+        }
+    }
+    accs.iter().map(|a| a.value()).collect()
+}
+
+/// Helper for experiments that need the closest centroid of a value.
+pub fn assign_to_centroids(value: f64, centroids: &[f64]) -> usize {
+    let vecs: Vec<Vec<f64>> = centroids.iter().map(|&c| vec![c]).collect();
+    nearest_centroid(&[value], &vecs).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{collect, Policy};
+    use utilcast_datasets::{presets, Resource};
+
+    fn collected() -> Collected {
+        let trace = presets::alibaba_like().nodes(20).steps(200).seed(6).generate();
+        collect(&trace, Resource::Cpu, 0.3, Policy::Adaptive)
+    }
+
+    #[test]
+    fn proposed_intermediate_beats_min_distance() {
+        let c = collected();
+        let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+        let mut mindist = MinDistance::new(3, 0);
+        let e_prop = intermediate_rmse(&c, &mut proposed);
+        let e_min = intermediate_rmse(&c, &mut mindist);
+        assert!(
+            e_prop < e_min,
+            "proposed {e_prop} should beat min-distance {e_min}"
+        );
+    }
+
+    #[test]
+    fn window_one_equals_unwindowed_proposed() {
+        let c = collected();
+        let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+        let plain = intermediate_rmse(&c, &mut proposed);
+        let windowed = intermediate_rmse_windowed(&c, 3, 1, 1, 0);
+        assert!((plain - windowed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_returns_one_rmse_per_resource() {
+        let trace = presets::alibaba_like().nodes(15).steps(120).seed(7).generate();
+        let cols = crate::collect::collect_joint(&trace, 0.3);
+        let rmses = intermediate_rmse_joint(&cols, 3, 1, 0);
+        assert_eq!(rmses.len(), 2);
+        assert!(rmses.iter().all(|r| r.is_finite() && *r > 0.0));
+    }
+
+    #[test]
+    fn forecast_rmse_grows_with_horizon() {
+        let c = collected();
+        let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+        let rmses = sample_hold_forecast_rmse(&c, &mut proposed, &[1, 25], 5, 20);
+        assert!(rmses[0] < rmses[1], "h=1 ({}) should beat h=25 ({})", rmses[0], rmses[1]);
+    }
+
+    #[test]
+    fn cluster_forecast_beats_per_node_hold_is_plausible() {
+        // Fig. 9's observation at larger h: K=3 sample-and-hold is not
+        // worse than K=N per-node hold on noisy fluctuating data. We only
+        // check both are finite and below the std bound at h=1.
+        let c = collected();
+        let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
+        let cluster = sample_hold_forecast_rmse(&c, &mut proposed, &[1], 5, 20)[0];
+        let per_node = per_node_hold_rmse(&c, &[1], 20)[0];
+        let bound = std_dev_bound(&c);
+        assert!(cluster < bound);
+        assert!(per_node < bound);
+    }
+
+    #[test]
+    fn assign_to_centroids_picks_nearest() {
+        assert_eq!(assign_to_centroids(0.4, &[0.0, 0.5, 1.0]), 1);
+    }
+}

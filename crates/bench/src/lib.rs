@@ -1,0 +1,42 @@
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §4 for the index).
+//!
+//! The binaries in `src/bin/` print the same rows/series the paper plots
+//! and also emit machine-readable JSON under `results/`. This library holds
+//! the pieces they share: simulated measurement collection under a
+//! transmission budget, clustering-method runners (proposed / static /
+//! minimum-distance), and forecast-evaluation loops.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collect;
+pub mod eval;
+pub mod report;
+
+/// Scale factors for experiments, overridable from the environment so the
+/// same binaries serve quick smoke runs and full reproductions:
+/// `UTILCAST_NODES`, `UTILCAST_STEPS` (defaults differ per binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of nodes per dataset.
+    pub nodes: usize,
+    /// Number of time steps per dataset.
+    pub steps: usize,
+}
+
+impl Scale {
+    /// Reads the scale from the environment, with the given defaults.
+    pub fn from_env(default_nodes: usize, default_steps: usize) -> Self {
+        let parse = |key: &str, default: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Scale {
+            nodes: parse("UTILCAST_NODES", default_nodes),
+            steps: parse("UTILCAST_STEPS", default_steps),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Baseline clustering strategies the paper compares against (Sec. VI-C2).
+//!
+//! * [`StaticClustering`] — the *offline* baseline: nodes are grouped once,
+//!   using k-means on each node's **entire** time series (assumed known in
+//!   advance), and the grouping never changes. Stronger assumptions than the
+//!   online method, per the paper.
+//! * [`min_distance_step`] — the *minimum-distance* baseline: at every step
+//!   `K` nodes are picked uniformly at random, their measurements act as
+//!   "centroids", and every other node is mapped to the nearest one. This
+//!   stands in for the randomized monitor-selection approaches
+//!   (compressed-sensing style) cited in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeans::{nearest_centroid, KMeans, KMeansConfig};
+use crate::ClusteringError;
+
+/// Offline static clustering over whole per-node time series.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_clustering::baselines::StaticClustering;
+///
+/// // Two nodes tracking each other, one node very different.
+/// let series = vec![
+///     vec![0.1, 0.2, 0.1, 0.2],
+///     vec![0.12, 0.21, 0.09, 0.19],
+///     vec![0.9, 0.95, 0.92, 0.97],
+/// ];
+/// let sc = StaticClustering::fit(&series, 2, 7)?;
+/// assert_eq!(sc.assignments()[0], sc.assignments()[1]);
+/// assert_ne!(sc.assignments()[0], sc.assignments()[2]);
+/// # Ok::<(), utilcast_clustering::ClusteringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticClustering {
+    assignments: Vec<usize>,
+    k: usize,
+}
+
+impl StaticClustering {
+    /// Groups nodes by k-means over their entire time series.
+    ///
+    /// `series[i]` is the full history of node `i` (all series must have
+    /// equal length).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusteringError`] from the underlying k-means
+    /// (empty input, zero `k`, ragged series).
+    pub fn fit(series: &[Vec<f64>], k: usize, seed: u64) -> Result<Self, ClusteringError> {
+        let result = KMeans::new(KMeansConfig {
+            k,
+            seed,
+            ..Default::default()
+        })
+        .fit(series)?;
+        Ok(StaticClustering {
+            assignments: result.assignments,
+            k,
+        })
+    }
+
+    /// The fixed node→cluster assignment.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Computes the per-cluster centroid of the given instantaneous values
+    /// (`values[i]` is node `i`'s current measurement vector) under the
+    /// fixed assignment. Empty clusters yield a zero vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the fitted node count or
+    /// `values` is empty.
+    pub fn centroids_at(&self, values: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(
+            values.len(),
+            self.assignments.len(),
+            "value count must match fitted node count"
+        );
+        assert!(!values.is_empty(), "values must be non-empty");
+        let dim = values[0].len();
+        let mut sums = vec![vec![0.0; dim]; self.k];
+        let mut counts = vec![0usize; self.k];
+        for (i, v) in values.iter().enumerate() {
+            let c = self.assignments[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for s in sum.iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+            }
+        }
+        sums
+    }
+}
+
+/// One step of the minimum-distance baseline.
+///
+/// Picks `k` distinct node indices uniformly at random, treats their values
+/// as centroids, and assigns every node to the nearest selected node.
+/// Returns `(selected_nodes, assignments)` where `assignments[i]` indexes
+/// into `selected_nodes`.
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::EmptyInput`] for no values,
+/// [`ClusteringError::ZeroClusters`] for `k == 0`, and
+/// [`ClusteringError::TooManyClusters`] if `k > values.len()`.
+pub fn min_distance_step(
+    values: &[Vec<f64>],
+    k: usize,
+    rng: &mut StdRng,
+) -> Result<(Vec<usize>, Vec<usize>), ClusteringError> {
+    if values.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if k == 0 {
+        return Err(ClusteringError::ZeroClusters);
+    }
+    if k > values.len() {
+        return Err(ClusteringError::TooManyClusters {
+            k,
+            points: values.len(),
+        });
+    }
+    // Partial Fisher–Yates for k distinct indices.
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    let selected: Vec<usize> = idx[..k].to_vec();
+    let centroids: Vec<Vec<f64>> = selected.iter().map(|&i| values[i].clone()).collect();
+    let assignments = values
+        .iter()
+        .map(|v| nearest_centroid(v, &centroids).0)
+        .collect();
+    Ok((selected, assignments))
+}
+
+/// Convenience wrapper around [`min_distance_step`] that owns its RNG so
+/// repeated steps stay reproducible from one seed.
+#[derive(Debug)]
+pub struct MinDistanceBaseline {
+    k: usize,
+    rng: StdRng,
+}
+
+impl MinDistanceBaseline {
+    /// Creates the baseline with `k` random centroids per step.
+    pub fn new(k: usize, seed: u64) -> Self {
+        MinDistanceBaseline {
+            k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs one step; see [`min_distance_step`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`min_distance_step`].
+    pub fn step(
+        &mut self,
+        values: &[Vec<f64>],
+    ) -> Result<(Vec<usize>, Vec<usize>), ClusteringError> {
+        min_distance_step(values, self.k, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_clustering_groups_similar_series() {
+        let series = vec![
+            vec![0.1, 0.2, 0.1],
+            vec![0.11, 0.19, 0.12],
+            vec![0.8, 0.9, 0.85],
+            vec![0.82, 0.88, 0.86],
+        ];
+        let sc = StaticClustering::fit(&series, 2, 3).unwrap();
+        assert_eq!(sc.assignments()[0], sc.assignments()[1]);
+        assert_eq!(sc.assignments()[2], sc.assignments()[3]);
+        assert_ne!(sc.assignments()[0], sc.assignments()[2]);
+        assert_eq!(sc.k(), 2);
+    }
+
+    #[test]
+    fn static_centroids_are_cluster_means() {
+        let series = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![10.0, 10.0]];
+        let sc = StaticClustering::fit(&series, 2, 0).unwrap();
+        let values = vec![vec![0.0], vec![2.0], vec![20.0]];
+        let centroids = sc.centroids_at(&values);
+        // The cluster containing nodes 0 and 1 should average to 1.0.
+        let low_cluster = sc.assignments()[0];
+        assert!((centroids[low_cluster][0] - 1.0).abs() < 1e-12);
+        let high_cluster = sc.assignments()[2];
+        assert!((centroids[high_cluster][0] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_distance_selects_k_distinct_nodes() {
+        let values: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (selected, assignments) = min_distance_step(&values, 4, &mut rng).unwrap();
+        assert_eq!(selected.len(), 4);
+        let mut uniq = selected.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "selected nodes must be distinct");
+        assert_eq!(assignments.len(), 10);
+        // Each selected node must map to itself (distance zero).
+        for (slot, &node) in selected.iter().enumerate() {
+            assert_eq!(assignments[node], slot);
+        }
+    }
+
+    #[test]
+    fn min_distance_rejects_bad_k() {
+        let values = vec![vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            min_distance_step(&values, 0, &mut rng),
+            Err(ClusteringError::ZeroClusters)
+        ));
+        assert!(matches!(
+            min_distance_step(&values, 3, &mut rng),
+            Err(ClusteringError::TooManyClusters { .. })
+        ));
+        assert!(matches!(
+            min_distance_step(&[], 1, &mut rng),
+            Err(ClusteringError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn min_distance_baseline_is_reproducible() {
+        let values: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 5) as f64]).collect();
+        let mut a = MinDistanceBaseline::new(3, 99);
+        let mut b = MinDistanceBaseline::new(3, 99);
+        for _ in 0..5 {
+            assert_eq!(a.step(&values).unwrap(), b.step(&values).unwrap());
+        }
+    }
+
+    #[test]
+    fn min_distance_assignment_is_nearest() {
+        let values = vec![vec![0.0], vec![10.0], vec![0.4]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let (selected, assignments) = min_distance_step(&values, 2, &mut rng).unwrap();
+        // Node 2 (value 0.4) must be assigned to whichever selected node is
+        // nearest in value.
+        let dist = |slot: usize| (values[selected[slot]][0] - 0.4f64).abs();
+        let assigned = assignments[2];
+        let other = 1 - assigned;
+        assert!(dist(assigned) <= dist(other));
+    }
+}

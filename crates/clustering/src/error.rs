@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for clustering operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusteringError {
+    /// No points were supplied.
+    EmptyInput,
+    /// `k` was zero.
+    ZeroClusters,
+    /// Points have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimension of the first point.
+        expected: usize,
+        /// Index of the offending point.
+        index: usize,
+        /// Dimension of the offending point.
+        found: usize,
+    },
+    /// More clusters requested than distinct points available.
+    TooManyClusters {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points supplied.
+        points: usize,
+    },
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::EmptyInput => write!(f, "no points supplied"),
+            ClusteringError::ZeroClusters => write!(f, "k must be at least 1"),
+            ClusteringError::DimensionMismatch {
+                expected,
+                index,
+                found,
+            } => write!(
+                f,
+                "point {index} has dimension {found} but expected {expected}"
+            ),
+            ClusteringError::TooManyClusters { k, points } => {
+                write!(f, "requested {k} clusters for {points} points")
+            }
+        }
+    }
+}
+
+impl Error for ClusteringError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(ClusteringError::EmptyInput.to_string(), "no points supplied");
+        assert!(ClusteringError::TooManyClusters { k: 5, points: 2 }
+            .to_string()
+            .contains("5 clusters for 2 points"));
+        assert!(ClusteringError::DimensionMismatch {
+            expected: 2,
+            index: 3,
+            found: 1
+        }
+        .to_string()
+        .contains("point 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusteringError>();
+    }
+}

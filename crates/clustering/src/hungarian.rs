@@ -1,0 +1,312 @@
+//! Maximum-weight bipartite matching (the Hungarian / Kuhn–Munkres
+//! algorithm).
+//!
+//! The paper re-indexes the `K` clusters produced by k-means at time `t`
+//! against the clusters of the previous `M` steps by maximizing the total
+//! similarity `Σ_k w_{k,φ(k)}` over one-to-one mappings `φ` (Eq. 11), which
+//! it notes is a maximum-weight bipartite matching problem solvable with the
+//! Hungarian algorithm. This module implements the `O(n³)` potential-based
+//! variant for dense square weight matrices.
+
+use utilcast_linalg::Matrix;
+
+/// Result of a matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    /// `assignment[row] = col`: the column matched to each row.
+    pub assignment: Vec<usize>,
+    /// Total weight of the matching.
+    pub total_weight: f64,
+}
+
+/// Finds the one-to-one row→column assignment maximizing total weight.
+///
+/// `weights[(k, j)]` is the benefit of assigning row `k` to column `j`; in
+/// the paper this is the similarity `w_{k,j}` between the new cluster `k`
+/// and the historical cluster index `j`.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or is empty.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_linalg::Matrix;
+/// use utilcast_clustering::hungarian::max_weight_matching;
+///
+/// let w = Matrix::from_rows(&[&[1.0, 9.0], &[9.0, 2.0]]);
+/// let m = max_weight_matching(&w);
+/// assert_eq!(m.assignment, vec![1, 0]);
+/// assert_eq!(m.total_weight, 18.0);
+/// ```
+pub fn max_weight_matching(weights: &Matrix) -> Matching {
+    assert!(weights.is_square(), "weight matrix must be square");
+    let n = weights.nrows();
+    assert!(n > 0, "weight matrix must be non-empty");
+    // Minimize negated weights.
+    let mut cost = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            cost[(r, c)] = -weights[(r, c)];
+        }
+    }
+    let assignment = min_cost_assignment(&cost);
+    let total_weight = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| weights[(r, c)])
+        .sum();
+    Matching {
+        assignment,
+        total_weight,
+    }
+}
+
+/// Finds the one-to-one row→column assignment minimizing total cost.
+///
+/// This is the classic `O(n³)` Hungarian algorithm with row/column
+/// potentials (the "e-maxx" formulation, 1-indexed internally).
+///
+/// # Panics
+///
+/// Panics if `cost` is not square or is empty.
+pub fn min_cost_assignment(cost: &Matrix) -> Vec<usize> {
+    assert!(cost.is_square(), "cost matrix must be square");
+    let n = cost.nrows();
+    assert!(n > 0, "cost matrix must be non-empty");
+    const INF: f64 = f64::INFINITY;
+
+    // Potentials for rows (u) and columns (v); p[j] = row matched to column j
+    // (0 = none); all arrays 1-indexed with index 0 as scratch.
+    let mut u = vec![0.0; n + 1];
+    let mut v = vec![0.0; n + 1];
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1, j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Exhaustive `O(n!)` matching used to cross-check the Hungarian
+/// implementation in tests; exposed for the bench crate's ablation of
+/// matching strategies. Only sensible for `n <= 8`.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square, empty, or larger than 8x8.
+pub fn brute_force_max_matching(weights: &Matrix) -> Matching {
+    assert!(weights.is_square(), "weight matrix must be square");
+    let n = weights.nrows();
+    assert!(n > 0 && n <= 8, "brute force limited to 1..=8 rows");
+    let mut cols: Vec<usize> = (0..n).collect();
+    let mut best: Option<Matching> = None;
+    permute(&mut cols, 0, &mut |perm| {
+        let w: f64 = perm.iter().enumerate().map(|(r, &c)| weights[(r, c)]).sum();
+        if best.as_ref().map_or(true, |b| w > b.total_weight) {
+            best = Some(Matching {
+                assignment: perm.to_vec(),
+                total_weight: w,
+            });
+        }
+    });
+    best.expect("at least one permutation")
+}
+
+fn permute<F: FnMut(&[usize])>(items: &mut [usize], start: usize, visit: &mut F) {
+    if start == items.len() {
+        visit(items);
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permute(items, start + 1, visit);
+        items.swap(start, i);
+    }
+}
+
+/// Greedy matching baseline: repeatedly takes the globally heaviest
+/// remaining `(row, col)` pair. Not optimal; used by the `ablation_matching`
+/// bench to quantify what the Hungarian step buys.
+///
+/// # Panics
+///
+/// Panics if `weights` is not square or is empty.
+pub fn greedy_matching(weights: &Matrix) -> Matching {
+    assert!(weights.is_square(), "weight matrix must be square");
+    let n = weights.nrows();
+    assert!(n > 0, "weight matrix must be non-empty");
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|r| (0..n).map(move |c| (r, c)))
+        .collect();
+    pairs.sort_by(|a, b| {
+        weights[(b.0, b.1)]
+            .partial_cmp(&weights[(a.0, a.1)])
+            .expect("finite weights")
+    });
+    let mut row_used = vec![false; n];
+    let mut col_used = vec![false; n];
+    let mut assignment = vec![0usize; n];
+    let mut total_weight = 0.0;
+    for (r, c) in pairs {
+        if !row_used[r] && !col_used[c] {
+            row_used[r] = true;
+            col_used[c] = true;
+            assignment[r] = c;
+            total_weight += weights[(r, c)];
+        }
+    }
+    Matching {
+        assignment,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_permutation(assignment: &[usize]) {
+        let mut seen = vec![false; assignment.len()];
+        for &c in assignment {
+            assert!(c < assignment.len());
+            assert!(!seen[c], "column {c} used twice");
+            seen[c] = true;
+        }
+    }
+
+    #[test]
+    fn trivial_one_by_one() {
+        let m = max_weight_matching(&Matrix::from_rows(&[&[3.5]]));
+        assert_eq!(m.assignment, vec![0]);
+        assert_eq!(m.total_weight, 3.5);
+    }
+
+    #[test]
+    fn two_by_two_cross_assignment() {
+        let w = Matrix::from_rows(&[&[1.0, 9.0], &[9.0, 2.0]]);
+        let m = max_weight_matching(&w);
+        assert_eq!(m.assignment, vec![1, 0]);
+        assert_eq!(m.total_weight, 18.0);
+    }
+
+    #[test]
+    fn identity_is_best_when_diagonal_dominates() {
+        let w = Matrix::from_rows(&[
+            &[10.0, 1.0, 1.0],
+            &[1.0, 10.0, 1.0],
+            &[1.0, 1.0, 10.0],
+        ]);
+        let m = max_weight_matching(&w);
+        assert_eq!(m.assignment, vec![0, 1, 2]);
+        assert_eq!(m.total_weight, 30.0);
+    }
+
+    #[test]
+    fn handles_zero_weights() {
+        // All-zero similarity (no node overlap at all): any permutation is
+        // optimal; result must still be a valid permutation.
+        let w = Matrix::zeros(4, 4);
+        let m = max_weight_matching(&w);
+        assert_is_permutation(&m.assignment);
+        assert_eq!(m.total_weight, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        let cases = [
+            Matrix::from_rows(&[&[3.0, 7.0, 2.0], &[4.0, 1.0, 8.0], &[6.0, 5.0, 9.0]]),
+            Matrix::from_rows(&[
+                &[1.0, 2.0, 3.0, 4.0],
+                &[4.0, 3.0, 2.0, 1.0],
+                &[2.0, 4.0, 1.0, 3.0],
+                &[3.0, 1.0, 4.0, 2.0],
+            ]),
+        ];
+        for w in &cases {
+            let h = max_weight_matching(w);
+            let b = brute_force_max_matching(w);
+            assert!((h.total_weight - b.total_weight).abs() < 1e-9);
+            assert_is_permutation(&h.assignment);
+        }
+    }
+
+    #[test]
+    fn min_cost_is_max_weight_dual() {
+        let w = Matrix::from_rows(&[&[3.0, 7.0], &[4.0, 1.0]]);
+        let neg = w.scale(-1.0);
+        let assignment = min_cost_assignment(&neg);
+        let m = max_weight_matching(&w);
+        assert_eq!(assignment, m.assignment);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal() {
+        // Greedy takes (0,0)=10 then is forced into (1,1)=1 for 11 total;
+        // optimal is 9 + 9 = 18.
+        let w = Matrix::from_rows(&[&[10.0, 9.0], &[9.0, 1.0]]);
+        let g = greedy_matching(&w);
+        let h = max_weight_matching(&w);
+        assert_eq!(g.total_weight, 11.0);
+        assert_eq!(h.total_weight, 18.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = max_weight_matching(&Matrix::zeros(2, 3));
+    }
+}

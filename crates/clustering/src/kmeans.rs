@@ -1,0 +1,451 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! This is the per-time-step clustering primitive of the paper's dynamic
+//! clustering stage (Sec. V-B, first step). The paper clusters either scalar
+//! per-resource measurements (`d = 1`, the recommended mode) or joint
+//! multi-resource vectors; both are handled uniformly here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ClusteringError;
+
+/// Configuration for [`KMeans`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iters: usize,
+    /// Number of random restarts; the best (lowest-inertia) run wins.
+    pub n_init: usize,
+    /// Convergence tolerance on centroid movement (squared Euclidean).
+    pub tol: f64,
+    /// RNG seed for deterministic seeding.
+    pub seed: u64,
+    /// Use k-means++ seeding (`true`, default) or uniform random seeding.
+    pub plus_plus_init: bool,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 3,
+            max_iters: 100,
+            n_init: 3,
+            tol: 1e-9,
+            seed: 0,
+            plus_plus_init: true,
+        }
+    }
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index of each input point (`assignments[i] < k`).
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, `k` vectors of the input dimensionality.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+    /// Lloyd iterations used by the winning restart.
+    pub iterations: usize,
+}
+
+/// K-means clusterer (Lloyd's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use utilcast_clustering::kmeans::{KMeans, KMeansConfig};
+///
+/// let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![if i < 10 { 0.0 } else { 5.0 } + i as f64 * 0.01]).collect();
+/// let res = KMeans::new(KMeansConfig { k: 2, seed: 1, ..Default::default() }).fit(&pts)?;
+/// assert_eq!(res.centroids.len(), 2);
+/// # Ok::<(), utilcast_clustering::ClusteringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// Creates a clusterer with the given configuration.
+    pub fn new(config: KMeansConfig) -> Self {
+        KMeans { config }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// Clusters `points` into `k` groups.
+    ///
+    /// If `k` is at least the number of points, each point becomes its own
+    /// cluster (extra clusters duplicate existing points, matching the
+    /// paper's `K = N` mode in Fig. 7 where the intermediate error reduces to
+    /// pure staleness error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::EmptyInput`] for no points,
+    /// [`ClusteringError::ZeroClusters`] for `k == 0`, and
+    /// [`ClusteringError::DimensionMismatch`] for ragged input.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, ClusteringError> {
+        let cfg = &self.config;
+        if points.is_empty() {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if cfg.k == 0 {
+            return Err(ClusteringError::ZeroClusters);
+        }
+        let dim = points[0].len();
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dim {
+                return Err(ClusteringError::DimensionMismatch {
+                    expected: dim,
+                    index: i,
+                    found: p.len(),
+                });
+            }
+        }
+        let n = points.len();
+        if cfg.k >= n {
+            // Degenerate: every point is its own centroid.
+            let mut centroids: Vec<Vec<f64>> = points.to_vec();
+            while centroids.len() < cfg.k {
+                centroids.push(points[centroids.len() % n].clone());
+            }
+            return Ok(KMeansResult {
+                assignments: (0..n).collect(),
+                centroids,
+                inertia: 0.0,
+                iterations: 0,
+            });
+        }
+
+        let mut best: Option<KMeansResult> = None;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        for _ in 0..cfg.n_init.max(1) {
+            let run = self.fit_once(points, &mut rng);
+            match &best {
+                Some(b) if b.inertia <= run.inertia => {}
+                _ => best = Some(run),
+            }
+        }
+        Ok(best.expect("n_init >= 1 guarantees one run"))
+    }
+
+    fn fit_once(&self, points: &[Vec<f64>], rng: &mut StdRng) -> KMeansResult {
+        let cfg = &self.config;
+        let n = points.len();
+        let k = cfg.k;
+        let mut centroids = if cfg.plus_plus_init {
+            plus_plus_seed(points, k, rng)
+        } else {
+            random_seed(points, k, rng)
+        };
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest_centroid(p, &centroids).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; points[0].len()]; k];
+            let mut counts = vec![0usize; k];
+            for (i, p) in points.iter().enumerate() {
+                counts[assignments[i]] += 1;
+                for (s, v) in sums[assignments[i]].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            let mut movement: f64 = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from its
+                    // assigned centroid to keep exactly k non-empty clusters.
+                    let far = points
+                        .iter()
+                        .enumerate()
+                        .max_by(|(i, a), (j, b)| {
+                            let da = sq_dist(a, &centroids[assignments[*i]]);
+                            let db = sq_dist(b, &centroids[assignments[*j]]);
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .map(|(i, _)| i)
+                        .expect("points non-empty");
+                    movement += sq_dist(&centroids[c], &points[far]);
+                    centroids[c] = points[far].clone();
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += sq_dist(&centroids[c], &new);
+                centroids[c] = new;
+            }
+            if movement <= cfg.tol {
+                break;
+            }
+        }
+        // Final assignment pass and inertia.
+        let mut inertia = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (c, d) = nearest_centroid(p, &centroids);
+            assignments[i] = c;
+            inertia += d;
+        }
+        KMeansResult {
+            assignments,
+            centroids,
+            inertia,
+            iterations,
+        }
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Returns the index of and squared distance to the nearest centroid.
+///
+/// # Panics
+///
+/// Panics if `centroids` is empty.
+pub fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    assert!(!centroids.is_empty(), "nearest_centroid requires centroids");
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_dist(p, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn random_seed(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    // Sample k distinct indices by partial Fisher-Yates.
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..idx.len());
+        idx.swap(i, j);
+    }
+    idx[..k].iter().map(|&i| points[i].clone()).collect()
+}
+
+fn plus_plus_seed(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let n = points.len();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut dists: Vec<f64> = points
+        .iter()
+        .map(|p| sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().expect("just pushed"));
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![5.0 + i as f64 * 0.01, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let res = KMeans::new(KMeansConfig {
+            k: 2,
+            seed: 42,
+            ..Default::default()
+        })
+        .fit(&two_blobs())
+        .unwrap();
+        let first = res.assignments[0];
+        assert!(res.assignments[..10].iter().all(|&a| a == first));
+        assert!(res.assignments[10..].iter().all(|&a| a != first));
+        assert!(res.inertia < 0.1);
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean_centroid() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let res = KMeans::new(KMeansConfig {
+            k: 1,
+            seed: 0,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!(res.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn k_ge_n_assigns_each_point_its_own_cluster() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let res = KMeans::new(KMeansConfig {
+            k: 5,
+            seed: 0,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(res.assignments, vec![0, 1]);
+        assert_eq!(res.centroids.len(), 5);
+        assert_eq!(res.inertia, 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = KMeans::new(KMeansConfig::default()).fit(&[]).unwrap_err();
+        assert_eq!(err, ClusteringError::EmptyInput);
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let err = KMeans::new(KMeansConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .fit(&[vec![1.0]])
+        .unwrap_err();
+        assert_eq!(err, ClusteringError::ZeroClusters);
+    }
+
+    #[test]
+    fn rejects_ragged_points() {
+        let err = KMeans::new(KMeansConfig::default())
+            .fit(&[vec![1.0, 2.0], vec![1.0], vec![3.0, 4.0], vec![5.0, 6.0]])
+            .unwrap_err();
+        assert!(matches!(err, ClusteringError::DimensionMismatch { index: 1, .. }));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 123,
+            ..Default::default()
+        };
+        let a = KMeans::new(cfg.clone()).fit(&pts).unwrap();
+        let b = KMeans::new(cfg).fit(&pts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_points_dont_panic() {
+        let pts = vec![vec![1.0, 1.0]; 8];
+        let res = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 5,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(res.inertia, 0.0);
+        assert!(res.assignments.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn plus_plus_beats_or_matches_random_on_average() {
+        // With well-separated blobs and a single restart, k-means++ should
+        // find the optimal clustering at least as reliably as random init.
+        let pts = two_blobs();
+        let mut pp_inertia = 0.0;
+        let mut rand_inertia = 0.0;
+        for seed in 0..20 {
+            let pp = KMeans::new(KMeansConfig {
+                k: 2,
+                n_init: 1,
+                seed,
+                plus_plus_init: true,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap();
+            let rd = KMeans::new(KMeansConfig {
+                k: 2,
+                n_init: 1,
+                seed,
+                plus_plus_init: false,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap();
+            pp_inertia += pp.inertia;
+            rand_inertia += rd.inertia;
+        }
+        assert!(pp_inertia <= rand_inertia + 1e-9);
+    }
+
+    #[test]
+    fn nearest_centroid_finds_minimum() {
+        let centroids = vec![vec![0.0], vec![10.0], vec![4.0]];
+        let (c, d) = nearest_centroid(&[5.0], &centroids);
+        assert_eq!(c, 2);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_mode_matches_paper_usage() {
+        // The paper clusters scalar per-resource values; verify 1-D input
+        // produces sensible groups.
+        let pts: Vec<Vec<f64>> = [0.1, 0.12, 0.09, 0.55, 0.57, 0.9, 0.93]
+            .iter()
+            .map(|&v| vec![v])
+            .collect();
+        let res = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 2,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(res.assignments[0], res.assignments[1]);
+        assert_eq!(res.assignments[0], res.assignments[2]);
+        assert_eq!(res.assignments[3], res.assignments[4]);
+        assert_eq!(res.assignments[5], res.assignments[6]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cluster-quality diagnostics and `K` selection.
+//!
+//! The paper takes `K` as a given system parameter (it bounds the
+//! computational budget: one forecasting model per cluster) and shows in
+//! Fig. 7 that small `K` already sits near the error floor. This module
+//! provides the standard tools for *choosing* that `K` from data: the mean
+//! silhouette coefficient, within-cluster SSE (for elbow inspection), and
+//! an automated sweep that picks the `K` maximizing the silhouette.
+
+use crate::kmeans::{sq_dist, KMeans, KMeansConfig};
+use crate::ClusteringError;
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`
+/// (higher = tighter, better-separated clusters).
+///
+/// Points in singleton clusters contribute `0`, the standard convention.
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::EmptyInput`] for no points and
+/// [`ClusteringError::DimensionMismatch`] if `assignments` is a different
+/// length than `points`.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, ClusteringError> {
+    if points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if points.len() != assignments.len() {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: points.len(),
+            index: 0,
+            found: assignments.len(),
+        });
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    let n = points.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // silhouette 0 for singletons
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += sq_dist(&points[i], &points[j]).sqrt();
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-300);
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Within-cluster sum of squared distances (the k-means objective) for a
+/// given assignment and centroid set — the quantity inspected in an elbow
+/// plot.
+///
+/// # Panics
+///
+/// Panics if lengths are inconsistent.
+pub fn within_cluster_sse(
+    points: &[Vec<f64>],
+    assignments: &[usize],
+    centroids: &[Vec<f64>],
+) -> f64 {
+    assert_eq!(points.len(), assignments.len(), "length mismatch");
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum()
+}
+
+/// Result of a `K` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KSelection {
+    /// The selected `K` (maximizing silhouette).
+    pub best_k: usize,
+    /// `(k, silhouette, within-cluster SSE)` for every candidate.
+    pub scores: Vec<(usize, f64, f64)>,
+}
+
+/// Sweeps `K` over `candidates`, fitting k-means for each and scoring the
+/// silhouette; returns the best `K` plus the full score table.
+///
+/// # Errors
+///
+/// Propagates [`ClusteringError`] from k-means; `candidates` must be
+/// non-empty and every `k` must satisfy `2 <= k < points.len()` (silhouette
+/// is undefined at `k = 1` and degenerate at `k = n`).
+pub fn select_k(
+    points: &[Vec<f64>],
+    candidates: &[usize],
+    seed: u64,
+) -> Result<KSelection, ClusteringError> {
+    if candidates.is_empty() || points.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    let mut scores = Vec::with_capacity(candidates.len());
+    let mut best: Option<(usize, f64)> = None;
+    for &k in candidates {
+        if k < 2 || k >= points.len() {
+            return Err(ClusteringError::TooManyClusters {
+                k,
+                points: points.len(),
+            });
+        }
+        let fit = KMeans::new(KMeansConfig {
+            k,
+            seed,
+            ..Default::default()
+        })
+        .fit(points)?;
+        let sil = silhouette(points, &fit.assignments)?;
+        scores.push((k, sil, fit.inertia));
+        if best.map_or(true, |(_, s)| sil > s) {
+            best = Some((k, sil));
+        }
+    }
+    Ok(KSelection {
+        best_k: best.expect("candidates non-empty").0,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in [0.0, 5.0, 10.0] {
+            for i in 0..8 {
+                pts.push(vec![c + (i as f64) * 0.02]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let pts = three_blobs();
+        let assignments: Vec<usize> = (0..24).map(|i| i / 8).collect();
+        let s = silhouette(&pts, &assignments).unwrap();
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_low_for_bad_partition() {
+        let pts = three_blobs();
+        // Deliberately mix the blobs.
+        let assignments: Vec<usize> = (0..24).map(|i| i % 3).collect();
+        let s = silhouette(&pts, &assignments).unwrap();
+        assert!(s < 0.1, "silhouette {s}");
+    }
+
+    #[test]
+    fn silhouette_is_bounded() {
+        let pts = three_blobs();
+        let assignments: Vec<usize> = (0..24).map(|i| i / 12).collect();
+        let s = silhouette(&pts, &assignments).unwrap();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn singleton_clusters_contribute_zero() {
+        let pts = vec![vec![0.0], vec![0.1], vec![9.0]];
+        let assignments = vec![0, 0, 1];
+        let s = silhouette(&pts, &assignments).unwrap();
+        assert!(s > 0.0, "pair cluster should dominate: {s}");
+    }
+
+    #[test]
+    fn select_k_finds_three_blobs() {
+        let pts = three_blobs();
+        let sel = select_k(&pts, &[2, 3, 4, 5], 0).unwrap();
+        assert_eq!(sel.best_k, 3, "scores: {:?}", sel.scores);
+        assert_eq!(sel.scores.len(), 4);
+        // SSE must be non-increasing in k (more clusters, lower objective).
+        for w in sel.scores.windows(2) {
+            assert!(w[1].2 <= w[0].2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn select_k_validates_candidates() {
+        let pts = three_blobs();
+        assert!(matches!(
+            select_k(&pts, &[1], 0),
+            Err(ClusteringError::TooManyClusters { .. })
+        ));
+        assert!(matches!(
+            select_k(&pts, &[24], 0),
+            Err(ClusteringError::TooManyClusters { .. })
+        ));
+        assert!(matches!(select_k(&pts, &[], 0), Err(ClusteringError::EmptyInput)));
+    }
+
+    #[test]
+    fn within_cluster_sse_zero_for_exact_centroids() {
+        let pts = vec![vec![1.0], vec![3.0]];
+        let sse = within_cluster_sse(&pts, &[0, 1], &[vec![1.0], vec![3.0]]);
+        assert_eq!(sse, 0.0);
+        let sse = within_cluster_sse(&pts, &[0, 0], &[vec![2.0]]);
+        assert!((sse - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Cluster-evolution similarity measures.
+//!
+//! At each time step the paper computes, for each new k-means cluster
+//! `C'_{k,t}` and each historical cluster index `j`, the similarity
+//!
+//! ```text
+//! w_{k,j} = | C'_{k,t} ∩ ⋂_{m=1..min(M,t-1)} C_{j,t-m} |          (Eq. 10)
+//! ```
+//!
+//! i.e. the number of nodes that are in the new cluster `k` *and* were in
+//! cluster `j` in all of the last `M` steps. The Jaccard index (used by the
+//! community-tracking work the paper compares with in Fig. 11) is provided
+//! as the alternative measure.
+//!
+//! Cluster memberships are represented as assignment vectors
+//! (`assignment[node] = cluster index`), which makes the intersection counts
+//! a single pass over nodes.
+
+use utilcast_linalg::Matrix;
+
+/// Builds the paper's similarity matrix `w_{k,j}` (Eq. 10).
+///
+/// * `new_assignment` — the k-means result at time `t` (`node -> k`).
+/// * `history` — previous assignments, most recent first
+///   (`history[0]` is time `t-1`, `history[1]` is `t-2`, ...). Only the
+///   first `m` entries are used; pass fewer if `t - 1 < M`.
+/// * `k` — number of clusters.
+///
+/// Returns a `k x k` matrix whose `(row, col)` entry counts the nodes in new
+/// cluster `row` that stayed in historical cluster `col` throughout the
+/// look-back window. With an empty history, returns the zero matrix (any
+/// re-indexing is equally good, matching the paper's `t = 1` case where the
+/// k-means labels are kept).
+///
+/// # Panics
+///
+/// Panics if any assignment vector has a different length than
+/// `new_assignment` or contains an index `>= k`.
+pub fn intersection_similarity(
+    new_assignment: &[usize],
+    history: &[&[usize]],
+    m: usize,
+    k: usize,
+) -> Matrix {
+    let n = new_assignment.len();
+    let window = history.len().min(m);
+    let mut w = Matrix::zeros(k, k);
+    for h in &history[..window] {
+        assert_eq!(h.len(), n, "history assignment length mismatch");
+    }
+    'node: for i in 0..n {
+        let row = new_assignment[i];
+        assert!(row < k, "assignment {row} out of range (k = {k})");
+        if window == 0 {
+            continue;
+        }
+        // The node contributes iff it stayed in the same historical cluster
+        // for the whole window.
+        let col = history[0][i];
+        assert!(col < k, "history assignment {col} out of range (k = {k})");
+        for h in &history[1..window] {
+            if h[i] != col {
+                continue 'node;
+            }
+        }
+        w[(row, col)] += 1.0;
+    }
+    w
+}
+
+/// Builds a Jaccard-index similarity matrix between the new clusters and the
+/// clusters at time `t-1` (the measure of Greene et al. used as the Fig. 11
+/// baseline): `|A ∩ B| / |A ∪ B|`.
+///
+/// # Panics
+///
+/// Panics if the assignment vectors have different lengths or contain an
+/// index `>= k`.
+pub fn jaccard_similarity(new_assignment: &[usize], prev_assignment: &[usize], k: usize) -> Matrix {
+    let n = new_assignment.len();
+    assert_eq!(prev_assignment.len(), n, "assignment length mismatch");
+    let mut inter = Matrix::zeros(k, k);
+    let mut new_sizes = vec![0.0; k];
+    let mut prev_sizes = vec![0.0; k];
+    for i in 0..n {
+        let a = new_assignment[i];
+        let b = prev_assignment[i];
+        assert!(a < k && b < k, "assignment out of range (k = {k})");
+        inter[(a, b)] += 1.0;
+        new_sizes[a] += 1.0;
+        prev_sizes[b] += 1.0;
+    }
+    let mut w = Matrix::zeros(k, k);
+    for a in 0..k {
+        for b in 0..k {
+            let union = new_sizes[a] + prev_sizes[b] - inter[(a, b)];
+            w[(a, b)] = if union > 0.0 { inter[(a, b)] / union } else { 0.0 };
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_history_counts_overlap() {
+        // Nodes 0,1 in new cluster 0; node 2 in new cluster 1.
+        // Previously nodes 0,1 were in cluster 1; node 2 in cluster 0.
+        let new = [0, 0, 1];
+        let prev = [1, 1, 0];
+        let w = intersection_similarity(&new, &[&prev], 1, 2);
+        assert_eq!(w[(0, 1)], 2.0);
+        assert_eq!(w[(1, 0)], 1.0);
+        assert_eq!(w[(0, 0)], 0.0);
+        assert_eq!(w[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn multi_step_history_requires_persistence() {
+        // Node 1 flapped between clusters at t-1 and t-2, so with M = 2 it
+        // contributes nothing; node 0 was stable in cluster 0.
+        let new = [0, 0];
+        let h1 = [0, 1]; // t-1
+        let h2 = [0, 0]; // t-2
+        let w = intersection_similarity(&new, &[&h1, &h2], 2, 2);
+        assert_eq!(w[(0, 0)], 1.0);
+        assert_eq!(w[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn m_limits_lookback() {
+        // With M = 1 only t-1 matters, so the flapping node counts again.
+        let new = [0, 0];
+        let h1 = [0, 1];
+        let h2 = [0, 0];
+        let w = intersection_similarity(&new, &[&h1, &h2], 1, 2);
+        assert_eq!(w[(0, 0)], 1.0);
+        assert_eq!(w[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn empty_history_is_zero_matrix() {
+        let w = intersection_similarity(&[0, 1, 2], &[], 5, 3);
+        assert_eq!(w, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn row_sums_bounded_by_cluster_size() {
+        let new = [0, 0, 0, 1, 1, 2];
+        let prev = [0, 1, 2, 0, 1, 2];
+        let w = intersection_similarity(&new, &[&prev], 1, 3);
+        // New cluster 0 has 3 members, so row 0 sums to at most 3.
+        let row0: f64 = (0..3).map(|j| w[(0, j)]).sum();
+        assert!(row0 <= 3.0);
+        // With a single history step, every node contributes exactly once.
+        let total: f64 = (0..3).flat_map(|r| (0..3).map(move |c| (r, c))).map(|(r, c)| w[(r, c)]).sum();
+        assert_eq!(total, 6.0);
+    }
+
+    #[test]
+    fn jaccard_identical_partitions_have_unit_diagonal() {
+        let a = [0, 0, 1, 1, 2];
+        let w = jaccard_similarity(&a, &a, 3);
+        for j in 0..3 {
+            assert_eq!(w[(j, j)], 1.0);
+        }
+        assert_eq!(w[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // New cluster 0 = {0, 1}; prev cluster 0 = {0}; intersection 1,
+        // union 2 -> 0.5.
+        let new = [0, 0];
+        let prev = [0, 1];
+        let w = jaccard_similarity(&new, &prev, 2);
+        assert_eq!(w[(0, 0)], 0.5);
+        assert_eq!(w[(0, 1)], 0.5);
+    }
+
+    #[test]
+    fn jaccard_empty_clusters_are_zero() {
+        // Cluster 2 is empty on both sides.
+        let new = [0, 1];
+        let prev = [0, 1];
+        let w = jaccard_similarity(&new, &prev, 3);
+        assert_eq!(w[(2, 2)], 0.0);
+    }
+
+    #[test]
+    fn jaccard_values_are_bounded() {
+        let new = [0, 1, 2, 0, 1, 2, 0];
+        let prev = [2, 1, 0, 0, 0, 1, 1];
+        let w = jaccard_similarity(&new, &prev, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((0.0..=1.0).contains(&w[(r, c)]));
+            }
+        }
+    }
+}

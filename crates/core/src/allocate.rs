@@ -1,0 +1,246 @@
+//! Forecast-driven resource allocation.
+//!
+//! The paper motivates the whole mechanism with task placement: "assign new
+//! incoming tasks to machines that are predicted to have the most suitable
+//! amount of available resources" (Sec. I), leaving the integration to
+//! future work. This module provides that integration: placement policies
+//! that consume the pipeline's per-node forecasts and return machine
+//! choices for a batch of task requests, plus a scorer for comparing
+//! policies against an oracle.
+//!
+//! Policies are deliberately simple and deterministic — the value under
+//! test is the *forecast*, not the packing heuristic.
+
+use serde::{Deserialize, Serialize};
+
+/// A task request: how much (normalized) capacity it needs on its machine
+/// for the next `duration` steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// Required capacity in `[0, 1]` (same units as utilization).
+    pub demand: f64,
+    /// How many future steps the task occupies.
+    pub duration: usize,
+}
+
+/// A placement decision for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Task assigned to this machine index.
+    Machine(usize),
+    /// No machine had enough predicted headroom.
+    Rejected,
+}
+
+/// Greedy worst-fit placement on predicted utilization: each task goes to
+/// the machine with the most predicted headroom over the task's duration,
+/// accounting for demand already placed this round.
+///
+/// `forecast[h][node]` must cover at least the longest task duration
+/// (`forecast[0]` is one step ahead). A machine is eligible when its
+/// predicted utilization plus already-placed demand stays at or below
+/// `capacity` for the whole task duration.
+///
+/// Returns one [`Placement`] per request, in request order.
+///
+/// # Panics
+///
+/// Panics if `forecast` is empty, rows have unequal lengths, or a task's
+/// duration exceeds the forecast horizon.
+pub fn place_tasks(
+    forecast: &[Vec<f64>],
+    requests: &[TaskRequest],
+    capacity: f64,
+) -> Vec<Placement> {
+    assert!(!forecast.is_empty(), "forecast must cover at least one step");
+    let n = forecast[0].len();
+    for row in forecast {
+        assert_eq!(row.len(), n, "forecast rows must have equal node counts");
+    }
+    // Extra demand placed this round, per machine.
+    let mut placed = vec![0.0f64; n];
+    let mut out = Vec::with_capacity(requests.len());
+    for req in requests {
+        assert!(
+            req.duration >= 1 && req.duration <= forecast.len(),
+            "task duration {} outside forecast horizon {}",
+            req.duration,
+            forecast.len()
+        );
+        // Peak predicted utilization over the task's lifetime.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..n {
+            let peak = (0..req.duration)
+                .map(|h| forecast[h][i])
+                .fold(f64::NEG_INFINITY, f64::max)
+                + placed[i];
+            let headroom = capacity - peak - req.demand;
+            if headroom >= 0.0 {
+                match best {
+                    Some((_, h)) if h >= headroom => {}
+                    _ => best = Some((i, headroom)),
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                placed[i] += req.demand;
+                out.push(Placement::Machine(i));
+            }
+            None => out.push(Placement::Rejected),
+        }
+    }
+    out
+}
+
+/// Outcome of scoring a placement round against the true future.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementScore {
+    /// Tasks placed on machines that actually stayed within capacity.
+    pub satisfied: usize,
+    /// Tasks placed on machines that actually exceeded capacity at some
+    /// point during the task (an SLO violation).
+    pub violated: usize,
+    /// Tasks rejected by the policy.
+    pub rejected: usize,
+    /// Mean true peak utilization (incl. placed demand) over accepted
+    /// tasks' machines — lower is better packing headroom.
+    pub mean_true_peak: f64,
+}
+
+/// Scores placements against the true future utilization
+/// (`truth[h][node]`, same layout as the forecast).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the placements/requests.
+pub fn score_placements(
+    truth: &[Vec<f64>],
+    requests: &[TaskRequest],
+    placements: &[Placement],
+    capacity: f64,
+) -> PlacementScore {
+    assert_eq!(requests.len(), placements.len(), "one placement per request");
+    let n = truth.first().map_or(0, |r| r.len());
+    let mut placed = vec![0.0f64; n];
+    let mut satisfied = 0;
+    let mut violated = 0;
+    let mut rejected = 0;
+    let mut peak_sum = 0.0;
+    let mut accepted = 0;
+    for (req, pl) in requests.iter().zip(placements) {
+        match *pl {
+            Placement::Rejected => rejected += 1,
+            Placement::Machine(i) => {
+                placed[i] += req.demand;
+                let peak = (0..req.duration)
+                    .map(|h| truth[h][i])
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    + placed[i];
+                if peak <= capacity + 1e-12 {
+                    satisfied += 1;
+                } else {
+                    violated += 1;
+                }
+                peak_sum += peak;
+                accepted += 1;
+            }
+        }
+    }
+    PlacementScore {
+        satisfied,
+        violated,
+        rejected,
+        mean_true_peak: if accepted > 0 {
+            peak_sum / accepted as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(demand: f64, duration: usize) -> TaskRequest {
+        TaskRequest { demand, duration }
+    }
+
+    #[test]
+    fn places_on_most_headroom() {
+        // Machine 1 is predicted least loaded.
+        let forecast = vec![vec![0.7, 0.2, 0.5]];
+        let placements = place_tasks(&forecast, &[req(0.2, 1)], 1.0);
+        assert_eq!(placements, vec![Placement::Machine(1)]);
+    }
+
+    #[test]
+    fn accounts_for_demand_placed_this_round() {
+        let forecast = vec![vec![0.5, 0.4]];
+        // First task goes to machine 1 (0.4); its demand makes machine 0
+        // the better pick for the second task.
+        let placements = place_tasks(&forecast, &[req(0.3, 1), req(0.3, 1)], 1.0);
+        assert_eq!(
+            placements,
+            vec![Placement::Machine(1), Placement::Machine(0)]
+        );
+    }
+
+    #[test]
+    fn respects_task_duration_peaks() {
+        // Machine 0 looks free now but spikes at h = 2; machine 1 is
+        // steady. A 3-step task must pick machine 1.
+        let forecast = vec![
+            vec![0.1, 0.5],
+            vec![0.1, 0.5],
+            vec![0.95, 0.5],
+        ];
+        let placements = place_tasks(&forecast, &[req(0.2, 3)], 1.0);
+        assert_eq!(placements, vec![Placement::Machine(1)]);
+        // A 1-step task is fine on machine 0.
+        let placements = place_tasks(&forecast, &[req(0.2, 1)], 1.0);
+        assert_eq!(placements, vec![Placement::Machine(0)]);
+    }
+
+    #[test]
+    fn rejects_when_nothing_fits() {
+        let forecast = vec![vec![0.9, 0.95]];
+        let placements = place_tasks(&forecast, &[req(0.3, 1)], 1.0);
+        assert_eq!(placements, vec![Placement::Rejected]);
+    }
+
+    #[test]
+    fn scoring_distinguishes_violations() {
+        let requests = [req(0.3, 1), req(0.3, 1)];
+        let placements = [Placement::Machine(0), Placement::Rejected];
+        // Truth: machine 0 is actually at 0.9 -> 0.9 + 0.3 violates.
+        let truth = vec![vec![0.9, 0.1]];
+        let score = score_placements(&truth, &requests, &placements, 1.0);
+        assert_eq!(score.satisfied, 0);
+        assert_eq!(score.violated, 1);
+        assert_eq!(score.rejected, 1);
+        assert!((score.mean_true_peak - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_forecast_beats_bad_forecast_in_violations() {
+        // Truth: machine 0 will be busy, machine 1 free.
+        let truth = vec![vec![0.85, 0.1]];
+        let requests = [req(0.3, 1)];
+        // Good forecast matches the truth; bad forecast is inverted.
+        let good = place_tasks(&truth, &requests, 1.0);
+        let bad = place_tasks(&[vec![0.1, 0.85]], &requests, 1.0);
+        let score_good = score_placements(&truth, &requests, &good, 1.0);
+        let score_bad = score_placements(&truth, &requests, &bad, 1.0);
+        assert_eq!(score_good.violated, 0);
+        assert_eq!(score_bad.violated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "task duration")]
+    fn duration_beyond_horizon_panics() {
+        let forecast = vec![vec![0.1]];
+        let _ = place_tasks(&forecast, &[req(0.1, 2)], 1.0);
+    }
+}

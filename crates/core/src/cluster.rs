@@ -1,0 +1,325 @@
+//! Dynamic cluster construction over time (Sec. V-B).
+//!
+//! At every step the controller runs k-means on the currently stored
+//! measurements, then re-indexes the resulting clusters so they align with
+//! the clusters of the previous `M` steps: the similarity `w_{k,j}` counts
+//! nodes present in new cluster `k` and in cluster `j` throughout the
+//! look-back window (Eq. 10), and the re-indexing permutation maximizes the
+//! total similarity via maximum-weight bipartite matching (Eq. 11, solved
+//! with the Hungarian algorithm). The centroid of each *re-indexed* cluster
+//! then forms one coherent time series suitable for forecasting.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use utilcast_clustering::hungarian::max_weight_matching;
+use utilcast_clustering::kmeans::{KMeans, KMeansConfig};
+use utilcast_clustering::similarity::{intersection_similarity, jaccard_similarity};
+use utilcast_clustering::ClusteringError;
+
+/// Which cluster-evolution similarity to use when re-indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SimilarityMeasure {
+    /// The paper's set-intersection count over `M` history steps (Eq. 10).
+    #[default]
+    Intersection,
+    /// Jaccard index against the previous step only (the Fig. 11 baseline).
+    Jaccard,
+}
+
+/// Configuration for [`DynamicClusterer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicClustererConfig {
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// History look-back `M` for the similarity measure (the paper's
+    /// default is 1).
+    pub m: usize,
+    /// Similarity measure used for re-indexing.
+    pub similarity: SimilarityMeasure,
+    /// K-means restarts per step.
+    pub n_init: usize,
+    /// K-means iteration cap per restart.
+    pub max_iters: usize,
+    /// RNG seed for the k-means seeding (advanced per step).
+    pub seed: u64,
+}
+
+impl Default for DynamicClustererConfig {
+    fn default() -> Self {
+        DynamicClustererConfig {
+            k: 3,
+            m: 1,
+            similarity: SimilarityMeasure::Intersection,
+            n_init: 2,
+            max_iters: 50,
+            seed: 0,
+        }
+    }
+}
+
+/// The re-indexed clustering produced at one time step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterStep {
+    /// Final cluster index of each node (stable across steps).
+    pub assignments: Vec<usize>,
+    /// Centroid of each final cluster index.
+    pub centroids: Vec<Vec<f64>>,
+    /// K-means inertia (sum of squared distances) of the step.
+    pub inertia: f64,
+}
+
+/// Online dynamic clusterer that keeps cluster indices stable over time.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_core::cluster::{DynamicClusterer, DynamicClustererConfig};
+///
+/// let mut dc = DynamicClusterer::new(DynamicClustererConfig { k: 2, ..Default::default() });
+/// // Two stable groups of scalar measurements.
+/// let low_high = |a: f64, b: f64| vec![vec![a], vec![a + 0.01], vec![b], vec![b + 0.01]];
+/// let s1 = dc.step(&low_high(0.1, 0.9))?;
+/// let s2 = dc.step(&low_high(0.12, 0.88))?;
+/// // Node 0 keeps the same (re-indexed) cluster label across steps.
+/// assert_eq!(s1.assignments[0], s2.assignments[0]);
+/// # Ok::<(), utilcast_clustering::ClusteringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicClusterer {
+    config: DynamicClustererConfig,
+    /// Recent final assignments, most recent first; bounded by `m`.
+    history: VecDeque<Vec<usize>>,
+    /// Time step counter.
+    t: usize,
+}
+
+impl DynamicClusterer {
+    /// Creates a clusterer with empty history.
+    pub fn new(config: DynamicClustererConfig) -> Self {
+        DynamicClusterer {
+            config,
+            history: VecDeque::new(),
+            t: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DynamicClustererConfig {
+        &self.config
+    }
+
+    /// Number of steps processed.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// Processes one time step of stored measurements (`points[i]` is the
+    /// feature vector of node `i` — a scalar slice in the paper's default
+    /// per-resource mode, or a longer vector in joint/windowed modes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusteringError`] from k-means (empty input, ragged
+    /// dimensions, `k == 0`).
+    pub fn step(&mut self, points: &[Vec<f64>]) -> Result<ClusterStep, ClusteringError> {
+        let k = self.config.k;
+        let result = KMeans::new(KMeansConfig {
+            k,
+            max_iters: self.config.max_iters,
+            n_init: self.config.n_init,
+            seed: self.config.seed.wrapping_add(self.t as u64),
+            ..Default::default()
+        })
+        .fit(points)?;
+        self.t += 1;
+
+        // Effective number of cluster labels: k-means may return fewer
+        // centroids only in the k >= n degenerate case (it pads); the label
+        // space is always `max(k, n)`-bounded but we keep exactly k slots
+        // when k <= n, else n points map identically.
+        let label_space = result.centroids.len().max(k);
+
+        let (assignments, centroids) = if self.history.is_empty() {
+            (result.assignments, result.centroids)
+        } else {
+            // Build similarity and find the re-indexing permutation.
+            let hist_refs: Vec<&[usize]> = self.history.iter().map(|v| v.as_slice()).collect();
+            let w = match self.config.similarity {
+                SimilarityMeasure::Intersection => intersection_similarity(
+                    &result.assignments,
+                    &hist_refs,
+                    self.config.m,
+                    label_space,
+                ),
+                SimilarityMeasure::Jaccard => {
+                    jaccard_similarity(&result.assignments, hist_refs[0], label_space)
+                }
+            };
+            let matching = max_weight_matching(&w);
+            // matching.assignment[kmeans_label] = final label.
+            let assignments: Vec<usize> = result
+                .assignments
+                .iter()
+                .map(|&a| matching.assignment[a])
+                .collect();
+            let mut centroids = vec![Vec::new(); result.centroids.len()];
+            for (km_label, centroid) in result.centroids.into_iter().enumerate() {
+                let final_label = matching.assignment[km_label];
+                if final_label < centroids.len() {
+                    centroids[final_label] = centroid;
+                }
+            }
+            (assignments, centroids)
+        };
+
+        self.history.push_front(assignments.clone());
+        let window = self.config.m.max(1);
+        while self.history.len() > window {
+            self.history.pop_back();
+        }
+        Ok(ClusterStep {
+            assignments,
+            centroids,
+            inertia: result.inertia,
+        })
+    }
+
+    /// Clears the assignment history (e.g. when the node population
+    /// changes).
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_groups(a: f64, b: f64) -> Vec<Vec<f64>> {
+        vec![
+            vec![a],
+            vec![a + 0.01],
+            vec![a - 0.01],
+            vec![b],
+            vec![b + 0.01],
+            vec![b - 0.01],
+        ]
+    }
+
+    #[test]
+    fn labels_stay_stable_across_steps() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            ..Default::default()
+        });
+        let s1 = dc.step(&two_groups(0.2, 0.8)).unwrap();
+        // Run many steps with slowly drifting values; labels must not flip.
+        let mut prev = s1.assignments.clone();
+        for i in 1..30 {
+            let drift = i as f64 * 0.002;
+            let s = dc.step(&two_groups(0.2 + drift, 0.8 - drift)).unwrap();
+            assert_eq!(s.assignments, prev, "labels flipped at step {i}");
+            prev = s.assignments;
+        }
+    }
+
+    #[test]
+    fn centroids_follow_their_cluster() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            ..Default::default()
+        });
+        let s1 = dc.step(&two_groups(0.2, 0.8)).unwrap();
+        let low_label = s1.assignments[0];
+        let s2 = dc.step(&two_groups(0.3, 0.7)).unwrap();
+        // The low group's centroid (label preserved) moved to ~0.3.
+        assert!((s2.centroids[low_label][0] - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn node_migration_updates_assignment_but_not_labels() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            ..Default::default()
+        });
+        let s1 = dc.step(&two_groups(0.2, 0.8)).unwrap();
+        let low_label = s1.assignments[0];
+        let high_label = s1.assignments[3];
+        // Node 2 jumps from the low group to the high group.
+        let points = vec![
+            vec![0.2],
+            vec![0.21],
+            vec![0.79], // migrated
+            vec![0.8],
+            vec![0.81],
+            vec![0.79],
+        ];
+        let s2 = dc.step(&points).unwrap();
+        assert_eq!(s2.assignments[0], low_label);
+        assert_eq!(s2.assignments[2], high_label, "migrated node joins high cluster");
+        assert_eq!(s2.assignments[3], high_label);
+    }
+
+    #[test]
+    fn jaccard_mode_also_keeps_labels() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            similarity: SimilarityMeasure::Jaccard,
+            ..Default::default()
+        });
+        let s1 = dc.step(&two_groups(0.1, 0.9)).unwrap();
+        let s2 = dc.step(&two_groups(0.12, 0.88)).unwrap();
+        assert_eq!(s1.assignments, s2.assignments);
+    }
+
+    #[test]
+    fn m_greater_than_one_uses_deeper_history() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            m: 3,
+            ..Default::default()
+        });
+        for _ in 0..5 {
+            dc.step(&two_groups(0.2, 0.8)).unwrap();
+        }
+        // History is bounded by m.
+        assert_eq!(dc.history.len(), 3);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig::default());
+        dc.step(&two_groups(0.1, 0.9)).unwrap();
+        assert_eq!(dc.steps(), 1);
+        dc.reset();
+        assert_eq!(dc.steps(), 0);
+        assert!(dc.history.is_empty());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig::default());
+        assert!(dc.step(&[]).is_err());
+    }
+
+    #[test]
+    fn multidimensional_points_work() {
+        // Joint-vector mode (Table I): 2-D points.
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            ..Default::default()
+        });
+        let points = vec![
+            vec![0.1, 0.2],
+            vec![0.12, 0.22],
+            vec![0.9, 0.8],
+            vec![0.88, 0.82],
+        ];
+        let s = dc.step(&points).unwrap();
+        assert_eq!(s.assignments[0], s.assignments[1]);
+        assert_ne!(s.assignments[0], s.assignments[2]);
+        assert_eq!(s.centroids[s.assignments[0]].len(), 2);
+    }
+}

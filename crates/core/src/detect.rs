@@ -1,0 +1,307 @@
+//! Forecast-residual anomaly detection.
+//!
+//! The paper motivates its mechanism partly by anomaly detection (Sec. I)
+//! but leaves the application to future work; this module provides the
+//! natural construction on top of the pipeline: a node is *anomalous* when
+//! its fresh measurement deviates from the one-step-ahead forecast made at
+//! the previous step by more than a threshold. Thresholds can be fixed or
+//! self-calibrating from the running residual statistics (a z-score rule),
+//! and consecutive flags are merged into anomaly *events* with onset and
+//! duration — the unit one would page an operator on.
+//!
+//! # Example
+//!
+//! ```
+//! use utilcast_core::detect::{Detector, DetectorConfig, Threshold};
+//!
+//! let mut det = Detector::new(DetectorConfig {
+//!     threshold: Threshold::Fixed(0.3),
+//!     min_consecutive: 1,
+//! }, 2);
+//! // Node 1 jumps far away from its forecast.
+//! let events = det.observe(&[0.5, 0.9], &[0.5, 0.5]);
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].node, 1);
+//! ```
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// How the deviation threshold is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Threshold {
+    /// Flag when `|x − forecast| > value`.
+    Fixed(f64),
+    /// Flag when the deviation exceeds `z` running standard deviations of
+    /// the node's recent residuals (self-calibrating). The second field is
+    /// the minimum absolute deviation, guarding against near-zero variance.
+    ZScore {
+        /// Number of standard deviations.
+        z: f64,
+        /// Absolute floor below which deviations are never flagged.
+        floor: f64,
+    },
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Threshold rule.
+    pub threshold: Threshold,
+    /// A node must exceed the threshold for this many consecutive steps
+    /// before an event is opened (debouncing); `1` fires immediately.
+    pub min_consecutive: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            threshold: Threshold::ZScore { z: 4.0, floor: 0.05 },
+            min_consecutive: 1,
+        }
+    }
+}
+
+/// An opened anomaly event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyEvent {
+    /// Node the event belongs to.
+    pub node: usize,
+    /// Time step (detector-local, counted from 0) at which the event
+    /// opened.
+    pub onset: usize,
+    /// Deviation magnitude at onset.
+    pub deviation: f64,
+}
+
+/// Per-node residual statistics (running window).
+#[derive(Debug, Clone, Default)]
+struct NodeState {
+    residuals: VecDeque<f64>,
+    consecutive: usize,
+    in_event: bool,
+}
+
+const RESIDUAL_WINDOW: usize = 128;
+
+/// Online forecast-residual anomaly detector for `N` nodes.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    config: DetectorConfig,
+    nodes: Vec<NodeState>,
+    t: usize,
+    events_opened: usize,
+}
+
+impl Detector {
+    /// Creates a detector for `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_consecutive == 0`.
+    pub fn new(config: DetectorConfig, num_nodes: usize) -> Self {
+        assert!(config.min_consecutive >= 1, "min_consecutive must be >= 1");
+        Detector {
+            config,
+            nodes: vec![NodeState::default(); num_nodes],
+            t: 0,
+            events_opened: 0,
+        }
+    }
+
+    /// Number of observation rounds processed.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// Total events opened so far.
+    pub fn events_opened(&self) -> usize {
+        self.events_opened
+    }
+
+    /// Feeds one round of fresh measurements and the forecasts that were
+    /// made for this step; returns the anomaly events that *open* at this
+    /// step. An event stays open (and is not re-reported) while the node
+    /// keeps exceeding the threshold; it closes at the first quiet step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the configured node count.
+    pub fn observe(&mut self, measurements: &[f64], forecasts: &[f64]) -> Vec<AnomalyEvent> {
+        assert_eq!(measurements.len(), self.nodes.len(), "measurement count");
+        assert_eq!(forecasts.len(), self.nodes.len(), "forecast count");
+        let mut events = Vec::new();
+        for (i, state) in self.nodes.iter_mut().enumerate() {
+            let deviation = measurements[i] - forecasts[i];
+            let exceeded = match self.config.threshold {
+                Threshold::Fixed(v) => deviation.abs() > v,
+                Threshold::ZScore { z, floor } => {
+                    let n = state.residuals.len();
+                    let flagged = if n >= 16 {
+                        let mean: f64 = state.residuals.iter().sum::<f64>() / n as f64;
+                        let var: f64 = state
+                            .residuals
+                            .iter()
+                            .map(|r| (r - mean) * (r - mean))
+                            .sum::<f64>()
+                            / n as f64;
+                        let sd = var.sqrt();
+                        deviation.abs() > (z * sd).max(floor)
+                    } else {
+                        false // still calibrating
+                    };
+                    flagged
+                }
+            };
+            if exceeded {
+                state.consecutive += 1;
+                if state.consecutive >= self.config.min_consecutive && !state.in_event {
+                    state.in_event = true;
+                    self.events_opened += 1;
+                    events.push(AnomalyEvent {
+                        node: i,
+                        onset: self.t + 1 - self.config.min_consecutive,
+                        deviation,
+                    });
+                }
+            } else {
+                state.consecutive = 0;
+                state.in_event = false;
+                // Only quiet residuals update the calibration window, so an
+                // ongoing anomaly does not inflate its own threshold.
+                state.residuals.push_back(deviation);
+                while state.residuals.len() > RESIDUAL_WINDOW {
+                    state.residuals.pop_front();
+                }
+            }
+        }
+        self.t += 1;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(threshold: f64, min_consecutive: usize, n: usize) -> Detector {
+        Detector::new(
+            DetectorConfig {
+                threshold: Threshold::Fixed(threshold),
+                min_consecutive,
+            },
+            n,
+        )
+    }
+
+    #[test]
+    fn fixed_threshold_fires_once_per_event() {
+        let mut det = fixed(0.2, 1, 1);
+        assert!(det.observe(&[0.5], &[0.5]).is_empty());
+        let e = det.observe(&[0.9], &[0.5]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].node, 0);
+        assert_eq!(e[0].onset, 1);
+        assert!((e[0].deviation - 0.4).abs() < 1e-12);
+        // Still anomalous: no duplicate event.
+        assert!(det.observe(&[0.9], &[0.5]).is_empty());
+        // Recovers, then fires again.
+        assert!(det.observe(&[0.5], &[0.5]).is_empty());
+        assert_eq!(det.observe(&[0.1], &[0.5]).len(), 1);
+        assert_eq!(det.events_opened(), 2);
+    }
+
+    #[test]
+    fn debouncing_requires_consecutive_exceedances() {
+        let mut det = fixed(0.2, 3, 1);
+        assert!(det.observe(&[0.9], &[0.5]).is_empty());
+        assert!(det.observe(&[0.9], &[0.5]).is_empty());
+        let e = det.observe(&[0.9], &[0.5]);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].onset, 0, "onset backdated to the first exceedance");
+        // A blip shorter than min_consecutive never fires.
+        let mut det = fixed(0.2, 3, 1);
+        det.observe(&[0.9], &[0.5]);
+        det.observe(&[0.5], &[0.5]);
+        det.observe(&[0.9], &[0.5]);
+        assert_eq!(det.events_opened(), 0);
+    }
+
+    #[test]
+    fn zscore_calibrates_from_quiet_residuals() {
+        let mut det = Detector::new(
+            DetectorConfig {
+                threshold: Threshold::ZScore { z: 4.0, floor: 0.01 },
+                min_consecutive: 1,
+            },
+            1,
+        );
+        // Calibration: small alternating residuals (sd = 0.01).
+        for t in 0..40 {
+            let noise = if t % 2 == 0 { 0.01 } else { -0.01 };
+            let events = det.observe(&[0.5 + noise], &[0.5]);
+            assert!(events.is_empty(), "no events during calm phase");
+        }
+        // A 10-sigma deviation fires.
+        let e = det.observe(&[0.7], &[0.5]);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn zscore_floor_suppresses_tiny_deviations() {
+        let mut det = Detector::new(
+            DetectorConfig {
+                threshold: Threshold::ZScore { z: 1.0, floor: 0.5 },
+                min_consecutive: 1,
+            },
+            1,
+        );
+        for _ in 0..40 {
+            det.observe(&[0.5], &[0.5]);
+        }
+        // 0.2 deviation is many sigmas (sd ~ 0) but below the floor.
+        assert!(det.observe(&[0.7], &[0.5]).is_empty());
+    }
+
+    #[test]
+    fn anomalous_steps_do_not_poison_calibration() {
+        let mut det = Detector::new(
+            DetectorConfig {
+                threshold: Threshold::ZScore { z: 3.0, floor: 0.02 },
+                min_consecutive: 1,
+            },
+            1,
+        );
+        for t in 0..32 {
+            let noise = 0.005 * if t % 2 == 0 { 1.0 } else { -1.0 };
+            det.observe(&[0.5 + noise], &[0.5]);
+        }
+        // Long anomaly...
+        for _ in 0..50 {
+            det.observe(&[0.9], &[0.5]);
+        }
+        // ...after recovery, sensitivity is unchanged: a fresh jump fires
+        // immediately (the 0.4-deviation residuals never entered the
+        // window).
+        det.observe(&[0.5], &[0.5]);
+        let e = det.observe(&[0.8], &[0.5]);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn multiple_nodes_tracked_independently() {
+        let mut det = fixed(0.2, 1, 3);
+        let e = det.observe(&[0.9, 0.5, 0.1], &[0.5, 0.5, 0.5]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].node, 0);
+        assert_eq!(e[1].node, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement count")]
+    fn wrong_node_count_panics() {
+        let mut det = fixed(0.1, 1, 2);
+        let _ = det.observe(&[0.5], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+
+use utilcast_clustering::ClusteringError;
+use utilcast_timeseries::TimeSeriesError;
+
+/// Error type for the core pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The number of supplied measurements differs from the configured node
+    /// count.
+    NodeCountMismatch {
+        /// Configured number of nodes.
+        expected: usize,
+        /// Number of measurements supplied.
+        got: usize,
+    },
+    /// The pipeline has not processed any time step yet.
+    NotStarted,
+    /// An error from the clustering stage.
+    Clustering(ClusteringError),
+    /// An error from the forecasting stage.
+    Forecasting(TimeSeriesError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::NodeCountMismatch { expected, got } => {
+                write!(f, "expected {expected} node measurements, got {got}")
+            }
+            CoreError::NotStarted => write!(f, "pipeline has not processed any time step"),
+            CoreError::Clustering(e) => write!(f, "clustering error: {e}"),
+            CoreError::Forecasting(e) => write!(f, "forecasting error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Clustering(e) => Some(e),
+            CoreError::Forecasting(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusteringError> for CoreError {
+    fn from(e: ClusteringError) -> Self {
+        CoreError::Clustering(e)
+    }
+}
+
+impl From<TimeSeriesError> for CoreError {
+    fn from(e: TimeSeriesError) -> Self {
+        CoreError::Forecasting(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::NodeCountMismatch { expected: 5, got: 3 };
+        assert_eq!(e.to_string(), "expected 5 node measurements, got 3");
+        let e: CoreError = ClusteringError::EmptyInput.into();
+        assert!(e.to_string().contains("clustering error"));
+        assert!(e.source().is_some());
+        let e: CoreError = TimeSeriesError::NotFitted.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::NotStarted.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,651 @@
+//! The complete online pipeline of Fig. 2, for one resource type.
+//!
+//! The paper's recommended configuration clusters the *scalar* values of
+//! each resource type independently (Sec. VI-C1 shows this beats joint
+//! vector clustering), so [`Pipeline`] processes one scalar measurement per
+//! node per step; run one pipeline per resource for multi-resource systems.
+//! Joint/windowed clustering variants are available by driving
+//! [`crate::cluster::DynamicClusterer`] directly.
+//!
+//! Per step the pipeline:
+//!
+//! 1. runs each node's transmitter to decide which fresh measurements reach
+//!    the controller (the rest stay stale),
+//! 2. re-clusters the stored values and re-indexes clusters against history,
+//! 3. feeds each cluster's centroid into that cluster's forecasting model
+//!    (training after `warmup` observations, retraining periodically), and
+//! 4. on demand, forecasts each node's future utilization as its predicted
+//!    cluster's centroid forecast plus a clipped per-node offset.
+
+use serde::{Deserialize, Serialize};
+use utilcast_timeseries::arima::{Arima, ArimaFitOptions, ArimaGrid, ArimaOrder, AutoArima};
+use utilcast_timeseries::baselines::{LongTermMean, SampleAndHold};
+use utilcast_timeseries::ets::{EtsConfig, HoltWinters};
+use utilcast_timeseries::lstm::{Lstm, LstmConfig};
+use utilcast_timeseries::Forecaster;
+
+use crate::cluster::SimilarityMeasure;
+use crate::stage::{ForecastStage, ForecastStageConfig};
+use crate::transmit::{AdaptiveTransmitter, TransmitConfig, UniformTransmitter};
+use crate::CoreError;
+
+/// Which forecasting model each cluster uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ModelSpec {
+    /// Repeat the latest centroid value (the paper's simplest model).
+    SampleAndHold,
+    /// Forecast the historical mean.
+    LongTermMean,
+    /// Fixed-order seasonal ARIMA.
+    Arima {
+        /// Model order.
+        order: ArimaOrder,
+        /// CSS optimizer options.
+        options: ArimaFitOptions,
+    },
+    /// AICc grid-searched ARIMA (the paper's ARIMA protocol).
+    AutoArima {
+        /// Candidate orders.
+        grid: ArimaGrid,
+        /// CSS optimizer options.
+        options: ArimaFitOptions,
+    },
+    /// Stacked LSTM (the paper's neural model).
+    Lstm(LstmConfig),
+    /// Holt–Winters exponential smoothing (lightweight extension; not in
+    /// the paper's evaluation but within its "ARIMA, LSTM, etc." family).
+    HoltWinters(EtsConfig),
+}
+
+impl ModelSpec {
+    /// Instantiates an unfitted forecaster.
+    pub fn build(&self) -> Box<dyn Forecaster> {
+        match self {
+            ModelSpec::SampleAndHold => Box::new(SampleAndHold::new()),
+            ModelSpec::LongTermMean => Box::new(LongTermMean::new()),
+            ModelSpec::Arima { order, options } => {
+                Box::new(Arima::with_options(*order, options.clone()))
+            }
+            ModelSpec::AutoArima { grid, options } => {
+                Box::new(AutoArima::new(grid.clone(), options.clone()))
+            }
+            ModelSpec::Lstm(config) => Box::new(Lstm::new(config.clone())),
+            ModelSpec::HoltWinters(config) => Box::new(HoltWinters::new(*config)),
+        }
+    }
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec::SampleAndHold
+    }
+}
+
+/// How measurements travel from nodes to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TransmissionMode {
+    /// The paper's Lyapunov policy (Sec. V-A).
+    #[default]
+    Adaptive,
+    /// Fixed-interval sampling at the same average budget (Fig. 4 baseline).
+    Uniform,
+    /// Every measurement is transmitted (`B = 1`; no staleness).
+    Always,
+}
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Number of local nodes `N`.
+    pub num_nodes: usize,
+    /// Number of clusters / forecasting models `K` (the paper's default 3).
+    pub k: usize,
+    /// Transmission-frequency budget `B` (the paper's default 0.3), applied
+    /// to every node unless [`PipelineConfig::per_node_budgets`] overrides
+    /// it.
+    pub budget: f64,
+    /// Optional heterogeneous per-node budgets `B_i` (the paper states the
+    /// constraint per node). When set, must contain one entry per node,
+    /// each within `(0, 1]`; overrides [`PipelineConfig::budget`].
+    pub per_node_budgets: Option<Vec<f64>>,
+    /// Lyapunov `V_0` (see [`crate::transmit::TransmitConfig`] for the
+    /// scaling discussion; paper: 1e-12, effective default here: 1.0).
+    pub v0: f64,
+    /// Lyapunov `γ` (paper: 0.65).
+    pub gamma: f64,
+    /// Similarity look-back `M` (paper default: 1).
+    pub m: usize,
+    /// Membership/offset look-back `M'` (paper default: 5).
+    pub m_prime: usize,
+    /// Similarity measure for cluster re-indexing.
+    pub similarity: SimilarityMeasure,
+    /// Transmission mode.
+    pub transmission: TransmissionMode,
+    /// Observations collected before the first model training
+    /// (paper: 1000).
+    pub warmup: usize,
+    /// Retraining interval in steps (paper: 288).
+    pub retrain_every: usize,
+    /// Per-cluster forecasting model.
+    pub model: ModelSpec,
+    /// RNG seed (k-means seeding).
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            num_nodes: 100,
+            k: 3,
+            budget: 0.3,
+            per_node_budgets: None,
+            v0: 1.0,
+            gamma: 0.65,
+            m: 1,
+            m_prime: 5,
+            similarity: SimilarityMeasure::Intersection,
+            transmission: TransmissionMode::Adaptive,
+            warmup: 1000,
+            retrain_every: 288,
+            model: ModelSpec::SampleAndHold,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-node transmitter variants.
+#[derive(Debug, Clone)]
+enum Transmitter {
+    Adaptive(AdaptiveTransmitter),
+    Uniform(UniformTransmitter),
+    Always,
+}
+
+impl Transmitter {
+    fn decide(&mut self, current: f64, stored: f64) -> bool {
+        match self {
+            Transmitter::Adaptive(tx) => tx.decide(&[current], &[stored]),
+            Transmitter::Uniform(tx) => tx.decide(),
+            Transmitter::Always => true,
+        }
+    }
+}
+
+/// Report of one pipeline step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Which nodes transmitted this step.
+    pub transmitted: Vec<bool>,
+    /// Final cluster assignment of each node.
+    pub assignments: Vec<usize>,
+    /// Centroid value of each cluster.
+    pub centroids: Vec<f64>,
+    /// Intermediate RMSE of the stored values against their centroids.
+    pub intermediate_rmse: f64,
+    /// Whether any cluster model (re)trained this step.
+    pub retrained: bool,
+}
+
+/// The full single-resource pipeline (see module docs).
+pub struct Pipeline {
+    config: PipelineConfig,
+    transmitters: Vec<Transmitter>,
+    stored: Vec<f64>,
+    started: bool,
+    stage: ForecastStage,
+    t: usize,
+    total_transmissions: u64,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("config", &self.config)
+            .field("steps", &self.t)
+            .field("started", &self.started)
+            .field("total_transmissions", &self.total_transmissions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `num_nodes == 0`,
+    /// `k == 0`, `k > num_nodes`, or the budget is outside `(0, 1]`.
+    pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
+        if config.num_nodes == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "num_nodes must be positive".into(),
+            });
+        }
+        if config.k == 0 || config.k > config.num_nodes {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "k must be within [1, num_nodes]; got k = {}, num_nodes = {}",
+                    config.k, config.num_nodes
+                ),
+            });
+        }
+        if !(config.budget > 0.0 && config.budget <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("budget must be within (0, 1], got {}", config.budget),
+            });
+        }
+        if let Some(budgets) = &config.per_node_budgets {
+            if budgets.len() != config.num_nodes {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "per_node_budgets has {} entries for {} nodes",
+                        budgets.len(),
+                        config.num_nodes
+                    ),
+                });
+            }
+            if let Some(bad) = budgets.iter().find(|b| !(**b > 0.0 && **b <= 1.0)) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("per-node budget {bad} outside (0, 1]"),
+                });
+            }
+        }
+        let budget_of = |i: usize| {
+            config
+                .per_node_budgets
+                .as_ref()
+                .map_or(config.budget, |b| b[i])
+        };
+        let transmitters = (0..config.num_nodes)
+            .map(|i| match config.transmission {
+                TransmissionMode::Adaptive => Transmitter::Adaptive(AdaptiveTransmitter::new(
+                    TransmitConfig {
+                        budget: budget_of(i),
+                        v0: config.v0,
+                        gamma: config.gamma,
+                    },
+                )),
+                TransmissionMode::Uniform => {
+                    Transmitter::Uniform(UniformTransmitter::new(budget_of(i)))
+                }
+                TransmissionMode::Always => Transmitter::Always,
+            })
+            .collect();
+        let stage = ForecastStage::new(ForecastStageConfig {
+            num_nodes: config.num_nodes,
+            k: config.k,
+            m: config.m,
+            m_prime: config.m_prime,
+            similarity: config.similarity,
+            warmup: config.warmup,
+            retrain_every: config.retrain_every,
+            model: config.model.clone(),
+            seed: config.seed,
+        })?;
+        Ok(Pipeline {
+            stored: vec![0.0; config.num_nodes],
+            started: false,
+            transmitters,
+            stage,
+            t: 0,
+            total_transmissions: 0,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Number of steps processed.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// The controller's current stored values `z_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first [`Pipeline::step`].
+    pub fn stored(&self) -> &[f64] {
+        assert!(self.started, "pipeline has not processed any step");
+        &self.stored
+    }
+
+    /// Realized average transmission frequency across all nodes so far.
+    pub fn transmission_frequency(&self) -> f64 {
+        if self.t == 0 {
+            0.0
+        } else {
+            self.total_transmissions as f64 / (self.t as f64 * self.config.num_nodes as f64)
+        }
+    }
+
+    /// Processes one time step of fresh measurements `x_t` (one scalar per
+    /// node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeCountMismatch`] for a wrong measurement
+    /// count, and propagates clustering/forecasting errors. Forecaster
+    /// training failures are non-fatal for baselines that cannot fail, but
+    /// any error from a model's `fit` is surfaced.
+    pub fn step(&mut self, x: &[f64]) -> Result<StepReport, CoreError> {
+        if x.len() != self.config.num_nodes {
+            return Err(CoreError::NodeCountMismatch {
+                expected: self.config.num_nodes,
+                got: x.len(),
+            });
+        }
+        // Stage 1: transmission decisions. On the very first step every
+        // node transmits (the controller has no prior values).
+        let mut transmitted = vec![false; x.len()];
+        if !self.started {
+            self.stored.copy_from_slice(x);
+            transmitted.iter_mut().for_each(|b| *b = true);
+            self.total_transmissions += x.len() as u64;
+            self.started = true;
+            // The transmitters still consume the step so their clocks align.
+            for (tx, (&cur, &st)) in self
+                .transmitters
+                .iter_mut()
+                .zip(x.iter().zip(self.stored.iter()))
+            {
+                let _ = tx.decide(cur, st);
+            }
+        } else {
+            for (i, tx) in self.transmitters.iter_mut().enumerate() {
+                if tx.decide(x[i], self.stored[i]) {
+                    self.stored[i] = x[i];
+                    transmitted[i] = true;
+                    self.total_transmissions += 1;
+                }
+            }
+        }
+        self.t += 1;
+
+        // Stages 2-3: dynamic clustering + per-cluster model updates, run
+        // by the shared controller stage.
+        let report = self.stage.step(&self.stored)?;
+        Ok(StepReport {
+            transmitted,
+            assignments: report.assignments,
+            centroids: report.centroids,
+            intermediate_rmse: report.intermediate_rmse,
+            retrained: report.retrained,
+        })
+    }
+
+    /// Forecasts every node's utilization for horizons `1..=horizon`.
+    /// Returns `out[h - 1][i]` = forecast of node `i` at `t + h`.
+    ///
+    /// During the warmup phase (before the models first train) the centroid
+    /// forecast falls back to sample-and-hold, mirroring the paper's
+    /// initial collection phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, CoreError> {
+        self.stage.forecast(horizon)
+    }
+
+    /// Convenience: the estimate of the *current* state (`h = 0`), which is
+    /// simply the stored values (the paper defines `x̂_{i,t} := z_{i,t}`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    pub fn nowcast(&self) -> Result<Vec<f64>, CoreError> {
+        if !self.started {
+            return Err(CoreError::NotStarted);
+        }
+        Ok(self.stored.clone())
+    }
+
+    /// The centroid history observed by cluster `j`'s model so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k`.
+    pub fn centroid_history(&self, j: usize) -> &[f64] {
+        self.stage.centroid_history(j)
+    }
+
+    /// Forecasts each cluster's centroid for horizons `1..=horizon`
+    /// (`out[cluster][h - 1]`), falling back to sample-and-hold during the
+    /// warmup phase. This is the raw model output before per-node offsets
+    /// are applied (plotted in the paper's Fig. 8).
+    pub fn forecast_centroids(&self, horizon: usize) -> Vec<Vec<f64>> {
+        self.stage.forecast_centroids(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_group_series(t: usize, i: usize, n: usize) -> f64 {
+        let base = if i < n / 2 { 0.25 } else { 0.75 };
+        base + 0.05 * ((t as f64) * 0.15 + i as f64).sin() * 0.2
+    }
+
+    fn quick_config(n: usize, k: usize) -> PipelineConfig {
+        PipelineConfig {
+            num_nodes: n,
+            k,
+            warmup: 10,
+            retrain_every: 20,
+            transmission: TransmissionMode::Always,
+            ..Default::default()
+        }
+    }
+
+    fn run(pipeline: &mut Pipeline, steps: usize, n: usize) {
+        for t in 0..steps {
+            let x: Vec<f64> = (0..n).map(|i| two_group_series(t, i, n)).collect();
+            pipeline.step(&x).unwrap();
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            Pipeline::new(PipelineConfig { num_nodes: 0, ..Default::default() }),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Pipeline::new(PipelineConfig { num_nodes: 2, k: 3, ..Default::default() }),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Pipeline::new(PipelineConfig { budget: 0.0, ..Default::default() }),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn node_count_mismatch_detected() {
+        let mut p = Pipeline::new(quick_config(4, 2)).unwrap();
+        assert!(matches!(
+            p.step(&[0.1, 0.2]),
+            Err(CoreError::NodeCountMismatch { expected: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn first_step_transmits_everything() {
+        let mut p = Pipeline::new(PipelineConfig {
+            transmission: TransmissionMode::Adaptive,
+            budget: 0.1,
+            ..quick_config(6, 2)
+        })
+        .unwrap();
+        let report = p.step(&[0.1, 0.2, 0.3, 0.7, 0.8, 0.9]).unwrap();
+        assert!(report.transmitted.iter().all(|&b| b));
+        assert_eq!(p.stored(), &[0.1, 0.2, 0.3, 0.7, 0.8, 0.9]);
+    }
+
+    #[test]
+    fn forecast_before_any_step_errors() {
+        let p = Pipeline::new(quick_config(4, 2)).unwrap();
+        assert!(matches!(p.forecast(1), Err(CoreError::NotStarted)));
+        assert!(matches!(p.nowcast(), Err(CoreError::NotStarted)));
+    }
+
+    #[test]
+    fn forecast_shape_and_fallback_during_warmup() {
+        let mut p = Pipeline::new(quick_config(6, 2)).unwrap();
+        run(&mut p, 3, 6); // fewer steps than warmup
+        let fc = p.forecast(4).unwrap();
+        assert_eq!(fc.len(), 4);
+        assert_eq!(fc[0].len(), 6);
+        // Sample-and-hold fallback: forecasts are close to current values.
+        let now = p.nowcast().unwrap();
+        for i in 0..6 {
+            assert!((fc[0][i] - now[i]).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn two_groups_forecast_reasonably() {
+        let n = 10;
+        let mut p = Pipeline::new(quick_config(n, 2)).unwrap();
+        run(&mut p, 60, n);
+        let fc = p.forecast(3).unwrap();
+        // Low-group nodes forecast near 0.25, high-group near 0.75.
+        for i in 0..n {
+            let expected = if i < n / 2 { 0.25 } else { 0.75 };
+            assert!(
+                (fc[2][i] - expected).abs() < 0.15,
+                "node {i}: forecast {} vs expected {expected}",
+                fc[2][i]
+            );
+        }
+    }
+
+    #[test]
+    fn models_retrain_on_schedule() {
+        let n = 6;
+        let mut p = Pipeline::new(quick_config(n, 2)).unwrap();
+        let mut retrain_steps = Vec::new();
+        for t in 0..55 {
+            let x: Vec<f64> = (0..n).map(|i| two_group_series(t, i, n)).collect();
+            let report = p.step(&x).unwrap();
+            if report.retrained {
+                retrain_steps.push(t + 1); // 1-based step count
+            }
+        }
+        // Warmup 10, then every 20: trainings at steps 10, 30, 50.
+        assert_eq!(retrain_steps, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn budget_is_respected_with_adaptive_transmission() {
+        let n = 20;
+        let budget = 0.3;
+        let mut p = Pipeline::new(PipelineConfig {
+            transmission: TransmissionMode::Adaptive,
+            budget,
+            warmup: 10_000, // never train; we only test transmission
+            ..quick_config(n, 3)
+        })
+        .unwrap();
+        // Noisy data so transmission is actually demanded.
+        for t in 0..800 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| {
+                    0.5 + 0.3 * ((t * (i + 3)) as f64 * 0.37).sin()
+                })
+                .collect();
+            p.step(&x).unwrap();
+        }
+        let freq = p.transmission_frequency();
+        // Allow the first-step burst plus queue slack.
+        assert!(freq <= budget + 0.05, "realized frequency {freq}");
+    }
+
+    #[test]
+    fn intermediate_rmse_reported_and_small_for_tight_groups() {
+        let n = 8;
+        let mut p = Pipeline::new(quick_config(n, 2)).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| if i < 4 { 0.2 } else { 0.8 }).collect();
+        let report = p.step(&x).unwrap();
+        assert!(report.intermediate_rmse < 1e-9, "tight groups -> ~0 error");
+        assert_eq!(report.centroids.len(), 2);
+    }
+
+    #[test]
+    fn centroid_history_accumulates() {
+        let n = 6;
+        let mut p = Pipeline::new(quick_config(n, 2)).unwrap();
+        run(&mut p, 12, n);
+        assert_eq!(p.centroid_history(0).len(), 12);
+        assert_eq!(p.centroid_history(1).len(), 12);
+    }
+
+    #[test]
+    fn per_node_budgets_are_validated_and_applied() {
+        // Wrong length rejected.
+        assert!(matches!(
+            Pipeline::new(PipelineConfig {
+                per_node_budgets: Some(vec![0.5; 3]),
+                ..quick_config(4, 2)
+            }),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        // Out-of-range entry rejected.
+        assert!(matches!(
+            Pipeline::new(PipelineConfig {
+                per_node_budgets: Some(vec![0.5, 0.5, 0.5, 1.5]),
+                ..quick_config(4, 2)
+            }),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        // Heterogeneous budgets: node 0 gets a tiny budget, node 3 a big
+        // one; under uniform mode the realized schedule is exact.
+        let n = 4;
+        let mut p = Pipeline::new(PipelineConfig {
+            transmission: TransmissionMode::Uniform,
+            per_node_budgets: Some(vec![0.1, 0.1, 0.5, 0.5]),
+            warmup: 10_000,
+            ..quick_config(n, 2)
+        })
+        .unwrap();
+        let mut sent = vec![0usize; n];
+        for t in 0..200 {
+            let x: Vec<f64> = (0..n).map(|i| two_group_series(t, i, n)).collect();
+            let report = p.step(&x).unwrap();
+            for (i, &b) in report.transmitted.iter().enumerate() {
+                if b {
+                    sent[i] += 1;
+                }
+            }
+        }
+        // First step transmits everything; afterwards the schedules differ
+        // by a factor of ~5.
+        assert!(sent[0] < sent[2] / 3, "sent {sent:?}");
+    }
+
+    #[test]
+    fn uniform_mode_matches_budget_exactly() {
+        let n = 4;
+        let mut p = Pipeline::new(PipelineConfig {
+            transmission: TransmissionMode::Uniform,
+            budget: 0.25,
+            warmup: 10_000,
+            ..quick_config(n, 2)
+        })
+        .unwrap();
+        for t in 0..400 {
+            let x: Vec<f64> = (0..n).map(|i| two_group_series(t, i, n)).collect();
+            p.step(&x).unwrap();
+        }
+        // First step transmits all; afterwards exactly every 4th step.
+        let freq = p.transmission_frequency();
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+}

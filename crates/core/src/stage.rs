@@ -1,0 +1,314 @@
+//! The controller-side forecast stage: dynamic clustering + per-cluster
+//! models + membership/offset bookkeeping for **one** scalar resource.
+//!
+//! This is the part of the pipeline that lives on the central node
+//! (everything in Fig. 2 right of the transmission arrows). It is factored
+//! out so the in-process [`crate::pipeline::Pipeline`], the multi-resource
+//! [`crate::multi::MultiPipeline`], and the distributed `utilcast-simnet`
+//! controller all run the *same* code.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use utilcast_timeseries::harness::{RetrainPolicy, RetrainingForecaster};
+use utilcast_timeseries::Forecaster;
+
+use crate::cluster::{ClusterStep, DynamicClusterer, DynamicClustererConfig, SimilarityMeasure};
+use crate::metrics::intermediate_rmse_step;
+use crate::offset::{forecast_membership, node_offset, OffsetSnapshot};
+use crate::pipeline::ModelSpec;
+use crate::CoreError;
+
+/// Configuration of one forecast stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastStageConfig {
+    /// Number of local nodes `N`.
+    pub num_nodes: usize,
+    /// Number of clusters / models `K`.
+    pub k: usize,
+    /// Similarity look-back `M`.
+    pub m: usize,
+    /// Membership/offset look-back `M'`.
+    pub m_prime: usize,
+    /// Similarity measure for re-indexing.
+    pub similarity: SimilarityMeasure,
+    /// Observations before the first model training.
+    pub warmup: usize,
+    /// Retraining interval in steps.
+    pub retrain_every: usize,
+    /// Per-cluster forecasting model.
+    pub model: ModelSpec,
+    /// K-means seed.
+    pub seed: u64,
+}
+
+impl Default for ForecastStageConfig {
+    fn default() -> Self {
+        ForecastStageConfig {
+            num_nodes: 100,
+            k: 3,
+            m: 1,
+            m_prime: 5,
+            similarity: SimilarityMeasure::Intersection,
+            warmup: 1000,
+            retrain_every: 288,
+            model: ModelSpec::SampleAndHold,
+            seed: 0,
+        }
+    }
+}
+
+/// One recorded step of controller state.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    values: Vec<Vec<f64>>,
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+}
+
+/// Report of one stage step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Final cluster assignment of each node.
+    pub assignments: Vec<usize>,
+    /// Scalar centroid of each cluster.
+    pub centroids: Vec<f64>,
+    /// Intermediate RMSE of the stage's input values vs their centroids.
+    pub intermediate_rmse: f64,
+    /// Whether any cluster model (re)trained this step.
+    pub retrained: bool,
+}
+
+/// The per-resource controller stage (see module docs).
+pub struct ForecastStage {
+    config: ForecastStageConfig,
+    clusterer: DynamicClusterer,
+    forecasters: Vec<RetrainingForecaster<Box<dyn Forecaster>>>,
+    history: VecDeque<Snapshot>,
+    t: usize,
+}
+
+impl std::fmt::Debug for ForecastStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ForecastStage")
+            .field("config", &self.config)
+            .field("steps", &self.t)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ForecastStage {
+    /// Creates a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `num_nodes == 0` or `k` is
+    /// outside `[1, num_nodes]`.
+    pub fn new(config: ForecastStageConfig) -> Result<Self, CoreError> {
+        if config.num_nodes == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "num_nodes must be positive".into(),
+            });
+        }
+        if config.k == 0 || config.k > config.num_nodes {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "k must be within [1, num_nodes]; got k = {}, num_nodes = {}",
+                    config.k, config.num_nodes
+                ),
+            });
+        }
+        let clusterer = DynamicClusterer::new(DynamicClustererConfig {
+            k: config.k,
+            m: config.m,
+            similarity: config.similarity,
+            seed: config.seed,
+            ..Default::default()
+        });
+        let policy = RetrainPolicy {
+            warmup: config.warmup,
+            retrain_every: config.retrain_every,
+            max_train_window: None,
+        };
+        let forecasters = (0..config.k)
+            .map(|_| RetrainingForecaster::new(config.model.build(), policy))
+            .collect();
+        Ok(ForecastStage {
+            config,
+            clusterer,
+            forecasters,
+            history: VecDeque::new(),
+            t: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ForecastStageConfig {
+        &self.config
+    }
+
+    /// Number of steps processed.
+    pub fn steps(&self) -> usize {
+        self.t
+    }
+
+    /// Processes one step of stored scalar values `z` (one per node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NodeCountMismatch`] for a wrong value count and
+    /// propagates clustering/forecasting errors.
+    pub fn step(&mut self, z: &[f64]) -> Result<StageReport, CoreError> {
+        if z.len() != self.config.num_nodes {
+            return Err(CoreError::NodeCountMismatch {
+                expected: self.config.num_nodes,
+                got: z.len(),
+            });
+        }
+        self.t += 1;
+        let points: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        let ClusterStep {
+            assignments,
+            centroids,
+            ..
+        } = self.clusterer.step(&points)?;
+        let intermediate_rmse = intermediate_rmse_step(&points, &assignments, &centroids);
+
+        let mut retrained = false;
+        for (j, forecaster) in self.forecasters.iter_mut().enumerate() {
+            let value = centroids
+                .get(j)
+                .and_then(|c| c.first())
+                .copied()
+                .unwrap_or(0.0);
+            retrained |= forecaster.observe(value)?;
+        }
+
+        self.history.push_front(Snapshot {
+            values: points,
+            centroids: centroids.clone(),
+            assignments: assignments.clone(),
+        });
+        while self.history.len() > self.config.m_prime + 1 {
+            self.history.pop_back();
+        }
+        Ok(StageReport {
+            assignments,
+            centroids: centroids
+                .iter()
+                .map(|c| c.first().copied().unwrap_or(0.0))
+                .collect(),
+            intermediate_rmse,
+            retrained,
+        })
+    }
+
+    /// Forecasts every node for horizons `1..=horizon`
+    /// (`out[h - 1][node]`), with sample-and-hold fallback during warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, CoreError> {
+        let newest = self.history.front().ok_or(CoreError::NotStarted)?;
+        let k = self.config.k;
+        let cluster_fc: Vec<Vec<f64>> = self
+            .forecasters
+            .iter()
+            .map(|f| f.forecast_or_hold(horizon))
+            .collect();
+        let window_assign: Vec<&[usize]> = self
+            .history
+            .iter()
+            .map(|s| s.assignments.as_slice())
+            .collect();
+        let window_snaps: Vec<OffsetSnapshot<'_>> = self
+            .history
+            .iter()
+            .map(|s| OffsetSnapshot {
+                values: &s.values,
+                centroids: &s.centroids,
+            })
+            .collect();
+        let n = newest.values.len();
+        let mut out = vec![vec![0.0; n]; horizon];
+        for i in 0..n {
+            let j_star = forecast_membership(&window_assign, i, k);
+            let offset = node_offset(&window_snaps, i, j_star)[0];
+            for (h, row) in out.iter_mut().enumerate() {
+                row[i] = cluster_fc[j_star][h] + offset;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Forecasts each cluster's centroid for horizons `1..=horizon`
+    /// (`out[cluster][h - 1]`), with sample-and-hold fallback during
+    /// warmup.
+    pub fn forecast_centroids(&self, horizon: usize) -> Vec<Vec<f64>> {
+        self.forecasters
+            .iter()
+            .map(|f| f.forecast_or_hold(horizon))
+            .collect()
+    }
+
+    /// The centroid history observed by cluster `j`'s model so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k`.
+    pub fn centroid_history(&self, j: usize) -> &[f64] {
+        assert!(j < self.config.k, "cluster {j} out of range");
+        self.forecasters[j].history()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize, k: usize) -> ForecastStageConfig {
+        ForecastStageConfig {
+            num_nodes: n,
+            k,
+            warmup: 5,
+            retrain_every: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ForecastStage::new(quick(0, 1)).is_err());
+        assert!(ForecastStage::new(quick(2, 3)).is_err());
+        assert!(ForecastStage::new(quick(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn step_and_forecast_shapes() {
+        let mut stage = ForecastStage::new(quick(6, 2)).unwrap();
+        assert!(stage.forecast(1).is_err(), "no step yet");
+        for _ in 0..8 {
+            let r = stage
+                .step(&[0.1, 0.12, 0.11, 0.9, 0.88, 0.91])
+                .unwrap();
+            assert_eq!(r.assignments.len(), 6);
+            assert_eq!(r.centroids.len(), 2);
+        }
+        let fc = stage.forecast(3).unwrap();
+        assert_eq!(fc.len(), 3);
+        assert_eq!(fc[0].len(), 6);
+        assert_eq!(stage.forecast_centroids(2).len(), 2);
+        assert_eq!(stage.centroid_history(0).len(), 8);
+        assert_eq!(stage.steps(), 8);
+    }
+
+    #[test]
+    fn node_count_mismatch() {
+        let mut stage = ForecastStage::new(quick(4, 2)).unwrap();
+        assert!(matches!(
+            stage.step(&[0.1, 0.2]),
+            Err(CoreError::NodeCountMismatch { expected: 4, got: 2 })
+        ));
+    }
+}

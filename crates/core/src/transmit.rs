@@ -1,0 +1,452 @@
+//! Adaptive measurement transmission (Sec. V-A).
+//!
+//! Each local node decides online whether to push its current measurement
+//! `x_{i,t}` to the controller, subject to a long-run transmission-frequency
+//! budget `B_i`. The rule is the drift-plus-penalty form of Lyapunov
+//! optimization: a virtual queue `Q_i(t)` accumulates constraint violation
+//! `β_{i,t} − B_i`, and the node picks the action minimizing
+//! `V_t · F_{i,t}(β) + Q_i(t) · (β − B_i)` where the penalty
+//! `F_{i,t}(β)` is the squared error of the stale copy held at the
+//! controller (zero when transmitting) and `V_t = V_0 (t+1)^γ` grows over
+//! time so long-run average error dominates once the queue is stable.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the adaptive transmission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmitConfig {
+    /// Maximum long-run transmission frequency `B` in `(0, 1]`.
+    pub budget: f64,
+    /// Initial penalty weight `V_0` (the paper uses `1e-12`).
+    pub v0: f64,
+    /// Penalty growth exponent `γ ∈ (0, 1)` (the paper uses `0.65`).
+    pub gamma: f64,
+}
+
+impl Default for TransmitConfig {
+    fn default() -> Self {
+        TransmitConfig {
+            budget: 0.3,
+            v0: 1.0,
+            gamma: 0.65,
+        }
+    }
+}
+
+impl TransmitConfig {
+    /// Creates a config with the default control parameters and the given
+    /// budget.
+    ///
+    /// The default `V_0 = 1` is calibrated for **unit-normalized**
+    /// measurements over horizons of 10³–10⁴ steps, where it makes the
+    /// error term `V_t · F` comparable to the queue term so the policy
+    /// genuinely prioritizes high-error moments. See
+    /// [`TransmitConfig::paper_params`] for the paper's literal values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not within `(0, 1]`.
+    pub fn with_budget(budget: f64) -> Self {
+        assert!(
+            budget > 0.0 && budget <= 1.0,
+            "budget must be within (0, 1], got {budget}"
+        );
+        TransmitConfig {
+            budget,
+            ..Default::default()
+        }
+    }
+
+    /// The control parameters reported in the paper (Sec. VI-A2):
+    /// `V_0 = 10⁻¹²`, `γ = 0.65`.
+    ///
+    /// With unit-normalized data and horizons up to ~10⁴ steps, such a tiny
+    /// `V_0` makes `V_t · F` negligible against the queue term, so the
+    /// decision degenerates to a near-periodic schedule at exactly the
+    /// budget frequency — frequency tracking (Fig. 3) reproduces perfectly,
+    /// but the error-adaptivity (Fig. 4) needs a `V_0` scaled to the data;
+    /// hence the larger default. Documented in EXPERIMENTS.md.
+    pub fn paper_params(budget: f64) -> Self {
+        assert!(
+            budget > 0.0 && budget <= 1.0,
+            "budget must be within (0, 1], got {budget}"
+        );
+        TransmitConfig {
+            budget,
+            v0: 1e-12,
+            gamma: 0.65,
+        }
+    }
+}
+
+/// Per-node adaptive transmitter implementing the Lyapunov rule.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+///
+/// let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(0.5));
+/// let mut stored = vec![0.0];
+/// let mut sent = 0usize;
+/// for t in 0..1000 {
+///     let x = vec![(t as f64 * 0.05).sin().abs()];
+///     if tx.decide(&x, &stored) {
+///         stored = x;
+///         sent += 1;
+///     }
+/// }
+/// // Long-run frequency respects the budget (with small slack for finite T).
+/// assert!((sent as f64 / 1000.0) < 0.6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveTransmitter {
+    config: TransmitConfig,
+    /// Virtual queue length `Q_i(t)`.
+    queue: f64,
+    /// Current time step (1-based, incremented per decision).
+    t: u64,
+    /// Total transmissions so far.
+    sent: u64,
+}
+
+impl AdaptiveTransmitter {
+    /// Creates a transmitter with `Q(1) = 0`.
+    pub fn new(config: TransmitConfig) -> Self {
+        AdaptiveTransmitter {
+            config,
+            queue: 0.0,
+            t: 0,
+            sent: 0,
+        }
+    }
+
+    /// Decides whether to transmit at this time step.
+    ///
+    /// `current` is the node's fresh measurement `x_{i,t}`; `stored` is the
+    /// copy the controller currently holds (`z_{i,t-}`, i.e. the last
+    /// transmitted value). Returns `true` when the node should transmit;
+    /// the caller is responsible for actually updating the stored copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` and `stored` have different lengths or are empty.
+    pub fn decide(&mut self, current: &[f64], stored: &[f64]) -> bool {
+        assert_eq!(
+            current.len(),
+            stored.len(),
+            "measurement dimensionality mismatch"
+        );
+        assert!(!current.is_empty(), "measurements must be non-empty");
+        self.t += 1;
+        let d = current.len() as f64;
+        // F(β=0): mean squared staleness error; F(β=1) = 0.
+        let err: f64 = current
+            .iter()
+            .zip(stored)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / d;
+        let vt = self.config.v0 * ((self.t + 1) as f64).powf(self.config.gamma);
+        // Objective(β=0) = Vt * err + Q * (0 - B)
+        // Objective(β=1) = 0        + Q * (1 - B)
+        // Transmit iff Obj(1) < Obj(0), which simplifies to Q < Vt * err.
+        // Ties break towards not transmitting (argmin prefers β = 0), so a
+        // node whose measurement is perfectly mirrored at the controller
+        // (err = 0) holds off while its queue is non-negative.
+        let beta = self.queue < vt * err;
+        // Paper Eq. (9): plain additive update, no clamping — the queue is
+        // *signed*. A node banks credit (Q < 0) during quiet periods and
+        // spends it in bursts when the data changes; the long-run frequency
+        // still converges to B because Q(t)/t -> 0.
+        self.queue += if beta { 1.0 } else { 0.0 } - self.config.budget;
+        if beta {
+            self.sent += 1;
+        }
+        beta
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> TransmitConfig {
+        self.config
+    }
+
+    /// Current virtual-queue length `Q(t)`.
+    pub fn queue(&self) -> f64 {
+        self.queue
+    }
+
+    /// Number of decisions made so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of transmissions so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Empirical transmission frequency so far (`0` before any decision).
+    pub fn frequency(&self) -> f64 {
+        if self.t == 0 {
+            0.0
+        } else {
+            self.sent as f64 / self.t as f64
+        }
+    }
+}
+
+/// Uniform-sampling baseline: transmits at a fixed interval so that the
+/// average frequency equals the budget (Sec. VI-B's comparison baseline).
+///
+/// With budget `B`, the node transmits at every step `t` where
+/// `floor(t·B) > floor((t-1)·B)` — the standard error-diffusion schedule
+/// that realizes any rational frequency exactly in the long run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformTransmitter {
+    budget: f64,
+    t: u64,
+    accum: f64,
+    sent: u64,
+}
+
+impl UniformTransmitter {
+    /// Creates the baseline with the given frequency budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is not within `(0, 1]`.
+    pub fn new(budget: f64) -> Self {
+        assert!(
+            budget > 0.0 && budget <= 1.0,
+            "budget must be within (0, 1], got {budget}"
+        );
+        UniformTransmitter {
+            budget,
+            t: 0,
+            accum: 0.0,
+            sent: 0,
+        }
+    }
+
+    /// Decides whether to transmit at this step (data-independent).
+    pub fn decide(&mut self) -> bool {
+        self.t += 1;
+        self.accum += self.budget;
+        if self.accum >= 1.0 {
+            self.accum -= 1.0;
+            self.sent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empirical transmission frequency so far.
+    pub fn frequency(&self) -> f64 {
+        if self.t == 0 {
+            0.0
+        } else {
+            self.sent as f64 / self.t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use utilcast_linalg::rng::standard_normal;
+
+    /// Drives a transmitter over a noisy series, returning the realized
+    /// frequency.
+    fn run_adaptive(budget: f64, steps: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(budget));
+        let mut stored = vec![0.0];
+        let mut x = 0.5;
+        for _ in 0..steps {
+            x = (x + 0.05 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            if tx.decide(&[x], &stored) {
+                stored = vec![x];
+            }
+        }
+        tx.frequency()
+    }
+
+    #[test]
+    fn frequency_tracks_budget() {
+        // Fig. 3's property: realized frequency matches the requested one.
+        for &b in &[0.05, 0.1, 0.3, 0.5] {
+            let f = run_adaptive(b, 5000, 7);
+            assert!(
+                (f - b).abs() < 0.05 * b.max(0.1) + 0.02,
+                "budget {b}: realized {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_one_always_transmits_under_changing_data() {
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(1.0));
+        let mut stored = vec![0.0];
+        let mut sent = 0;
+        for t in 0..100 {
+            let x = vec![t as f64];
+            if tx.decide(&x, &stored) {
+                stored = x;
+                sent += 1;
+            }
+        }
+        // With B = 1 the queue term never penalizes transmission.
+        assert!(sent >= 99, "sent {sent}");
+    }
+
+    #[test]
+    fn constant_data_stays_at_budget() {
+        // With the paper's signed queue, even perfectly constant data is
+        // transmitted at the budget rate in the long run (more transmissions
+        // never hurt RMSE, and banked credit is spent once Q < 0); the
+        // important property is that it never *exceeds* the budget.
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(0.3));
+        let stored = vec![0.5];
+        for _ in 0..1000 {
+            let _ = tx.decide(&[0.5], &stored);
+        }
+        let f = tx.frequency();
+        assert!(f <= 0.3 + 1e-9, "freq {f}");
+        assert!((f - 0.3).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn first_step_of_constant_data_holds_off() {
+        // At Q = 0 with zero error the argmin tie breaks to β = 0.
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(0.3));
+        assert!(!tx.decide(&[0.5], &[0.5]));
+    }
+
+    #[test]
+    fn transmits_on_large_change() {
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(0.3));
+        // Warm the queue with constant data.
+        let stored = vec![0.0];
+        for _ in 0..50 {
+            let _ = tx.decide(&[0.0], &stored);
+        }
+        // A large jump makes Vt * err dominate any queue backlog.
+        assert!(tx.decide(&[1.0], &stored));
+    }
+
+    #[test]
+    fn sent_count_identity() {
+        // Exact invariant of the signed queue: sent = B*T + Q(T+1), so the
+        // frequency deviates from B by exactly Q(T)/T.
+        let mut rng = StdRng::seed_from_u64(3);
+        let budget = 0.2;
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(budget));
+        let mut stored = vec![0.0];
+        for _ in 0..2000 {
+            let x = vec![standard_normal(&mut rng)];
+            if tx.decide(&x, &stored) {
+                stored = x;
+            }
+            let identity = budget * tx.steps() as f64 + tx.queue();
+            assert!(
+                (tx.sent() as f64 - identity).abs() < 1e-6,
+                "sent {} vs identity {identity}",
+                tx.sent()
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_converges_for_bounded_utilization_data() {
+        // On unit-range utilization-like data the queue stays small relative
+        // to T, so the finite-horizon frequency lands near the budget.
+        let mut rng = StdRng::seed_from_u64(5);
+        let budget = 0.3;
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::with_budget(budget));
+        let mut stored = vec![0.5];
+        let mut x = 0.5f64;
+        for _ in 0..5000 {
+            x = (x + 0.02 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            if tx.decide(&[x], &stored) {
+                stored = vec![x];
+            }
+        }
+        let f = tx.frequency();
+        assert!((f - budget).abs() < 0.05, "freq {f}");
+    }
+
+    #[test]
+    fn uniform_realizes_exact_rational_frequency() {
+        let mut tx = UniformTransmitter::new(0.25);
+        let mut pattern = Vec::new();
+        for _ in 0..8 {
+            pattern.push(tx.decide());
+        }
+        assert_eq!(pattern.iter().filter(|&&b| b).count(), 2);
+        assert!((tx.frequency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_handles_irrational_like_budgets() {
+        let mut tx = UniformTransmitter::new(0.3);
+        for _ in 0..10_000 {
+            tx.decide();
+        }
+        assert!((tx.frequency() - 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be within (0, 1]")]
+    fn rejects_zero_budget() {
+        let _ = UniformTransmitter::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn rejects_dimension_mismatch() {
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig::default());
+        let _ = tx.decide(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn adaptive_beats_uniform_on_bursty_data() {
+        // The core claim of Fig. 4: for the same budget, adaptive
+        // transmission yields lower staleness RMSE than uniform sampling on
+        // data whose volatility varies over time.
+        let mut rng = StdRng::seed_from_u64(11);
+        let steps = 4000;
+        // Bursty series: long quiet stretches + volatile bursts.
+        let mut series = Vec::with_capacity(steps);
+        let mut x: f64 = 0.5;
+        for t in 0..steps {
+            let vol = if (t / 200) % 4 == 0 { 0.08 } else { 0.003 };
+            x = (x + vol * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            series.push(x);
+        }
+        let budget = 0.2;
+        let mut ada = AdaptiveTransmitter::new(TransmitConfig::with_budget(budget));
+        let mut uni = UniformTransmitter::new(budget);
+        let (mut za, mut zu) = (series[0], series[0]);
+        let (mut sse_a, mut sse_u) = (0.0, 0.0);
+        for &v in &series {
+            if ada.decide(&[v], &[za]) {
+                za = v;
+            }
+            if uni.decide() {
+                zu = v;
+            }
+            sse_a += (v - za) * (v - za);
+            sse_u += (v - zu) * (v - zu);
+        }
+        assert!(
+            sse_a < sse_u,
+            "adaptive SSE {sse_a} should beat uniform SSE {sse_u}"
+        );
+        // And it must respect the budget.
+        assert!(ada.frequency() <= budget + 0.02, "freq {}", ada.frequency());
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the core mechanism.
+
+use proptest::prelude::*;
+use utilcast_core::allocate::{place_tasks, score_placements, Placement, TaskRequest};
+use utilcast_core::detect::{Detector, DetectorConfig, Threshold};
+use utilcast_core::metrics::{objective, rmse_step_scalar, TimeAveragedRmse};
+use utilcast_core::offset::{clip_alpha, forecast_membership};
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, UniformTransmitter};
+
+proptest! {
+    /// The signed-queue identity: transmissions = B*T + Q(T), always.
+    #[test]
+    fn transmit_count_identity(
+        budget in 0.05f64..1.0,
+        v0 in 0.0f64..5.0,
+        values in proptest::collection::vec(0.0f64..1.0, 10..200),
+    ) {
+        let mut tx = AdaptiveTransmitter::new(TransmitConfig { budget, v0, gamma: 0.65 });
+        let mut stored = values[0];
+        for &v in &values {
+            if tx.decide(&[v], &[stored]) {
+                stored = v;
+            }
+        }
+        let identity = budget * tx.steps() as f64 + tx.queue();
+        prop_assert!((tx.sent() as f64 - identity).abs() < 1e-6);
+    }
+
+    /// The uniform transmitter's realized frequency approaches the budget
+    /// within 1/T.
+    #[test]
+    fn uniform_frequency_error_bounded(
+        budget in 0.05f64..1.0,
+        steps in 10usize..2000,
+    ) {
+        let mut tx = UniformTransmitter::new(budget);
+        for _ in 0..steps {
+            tx.decide();
+        }
+        prop_assert!((tx.frequency() - budget).abs() <= 1.0 / steps as f64 + 1e-12);
+    }
+
+    /// clip_alpha always returns a value in (0, 1] for points and centroids
+    /// in general position, and the clipped point is never strictly closer
+    /// to another centroid than to its own.
+    #[test]
+    fn clip_alpha_keeps_point_in_cell(
+        z in -2.0f64..2.0,
+        c in proptest::collection::vec(-2.0f64..2.0, 2..6),
+        j_seed in 0usize..6,
+    ) {
+        let centroids: Vec<Vec<f64>> = c.iter().map(|&v| vec![v]).collect();
+        let j = j_seed % centroids.len();
+        let alpha = clip_alpha(&[z], j, &centroids);
+        prop_assert!((0.0..=1.0).contains(&alpha));
+        let p = centroids[j][0] + alpha * (z - centroids[j][0]);
+        let dj = (p - centroids[j][0]).abs();
+        for (l, cl) in centroids.iter().enumerate() {
+            if l != j {
+                prop_assert!(dj <= (p - cl[0]).abs() + 1e-9,
+                    "clipped point closer to centroid {l}");
+            }
+        }
+    }
+
+    /// Membership forecasting returns a label that actually appears in the
+    /// node's window.
+    #[test]
+    fn membership_label_appears_in_window(
+        window_data in proptest::collection::vec(
+            proptest::collection::vec(0usize..4, 5), 1..8),
+    ) {
+        let refs: Vec<&[usize]> = window_data.iter().map(|v| v.as_slice()).collect();
+        for i in 0..5 {
+            let j = forecast_membership(&refs, i, 4);
+            prop_assert!(refs.iter().any(|a| a[i] == j));
+        }
+    }
+
+    /// The time-averaged RMSE of a constant error sequence is that constant,
+    /// and merging accumulators equals accumulating everything in one.
+    #[test]
+    fn time_average_merge_equivalence(
+        errors in proptest::collection::vec(0.0f64..10.0, 2..40),
+        split in 1usize..39,
+    ) {
+        let split = split.min(errors.len() - 1);
+        let mut whole = TimeAveragedRmse::new();
+        let mut a = TimeAveragedRmse::new();
+        let mut b = TimeAveragedRmse::new();
+        for (i, &e) in errors.iter().enumerate() {
+            whole.add(e);
+            if i < split { a.add(e) } else { b.add(e) }
+        }
+        a.merge(&b);
+        prop_assert!((a.value() - whole.value()).abs() < 1e-12);
+        prop_assert_eq!(a.count(), whole.count());
+    }
+
+    /// RMSE is zero iff estimates equal truth, and is symmetric.
+    #[test]
+    fn rmse_basic_properties(
+        xs in proptest::collection::vec(0.0f64..1.0, 1..50),
+        ys in proptest::collection::vec(0.0f64..1.0, 1..50),
+    ) {
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        prop_assert_eq!(rmse_step_scalar(xs, xs), 0.0);
+        prop_assert!((rmse_step_scalar(xs, ys) - rmse_step_scalar(ys, xs)).abs() < 1e-12);
+        prop_assert!(rmse_step_scalar(xs, ys) >= 0.0);
+    }
+
+    /// The Eq. 5 objective is bounded by the max per-horizon RMSE and at
+    /// least the min.
+    #[test]
+    fn objective_between_min_and_max(
+        per_h in proptest::collection::vec(0.0f64..5.0, 1..20),
+    ) {
+        let obj = objective(&per_h);
+        let max = per_h.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = per_h.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(obj <= max + 1e-12);
+        prop_assert!(obj >= min - 1e-12);
+    }
+}
+
+proptest! {
+    /// Placements never overcommit: for every machine, the sum of demands
+    /// placed on it plus its peak forecast stays within capacity.
+    #[test]
+    fn placements_never_overcommit(
+        forecast_row in proptest::collection::vec(0.0f64..1.0, 3..10),
+        demands in proptest::collection::vec(0.05f64..0.4, 1..8),
+    ) {
+        let forecast = vec![forecast_row.clone()];
+        let requests: Vec<TaskRequest> = demands
+            .iter()
+            .map(|&d| TaskRequest { demand: d, duration: 1 })
+            .collect();
+        let capacity = 1.0;
+        let placements = place_tasks(&forecast, &requests, capacity);
+        let mut load = forecast_row;
+        for (req, pl) in requests.iter().zip(&placements) {
+            if let Placement::Machine(i) = pl {
+                load[*i] += req.demand;
+            }
+        }
+        for (i, l) in load.iter().enumerate() {
+            prop_assert!(*l <= capacity + 1e-9, "machine {i} overcommitted: {l}");
+        }
+        // Scoring against the forecast itself yields zero violations.
+        let score = score_placements(&forecast, &requests, &placements, capacity);
+        prop_assert_eq!(score.violated, 0);
+        prop_assert_eq!(
+            score.satisfied + score.rejected,
+            requests.len()
+        );
+    }
+
+    /// The detector opens at most one event per excursion and its
+    /// events_opened counter matches the events it returned.
+    #[test]
+    fn detector_event_accounting(
+        deviations in proptest::collection::vec(-1.0f64..1.0, 1..120),
+        threshold in 0.1f64..0.9,
+    ) {
+        let mut det = Detector::new(
+            DetectorConfig {
+                threshold: Threshold::Fixed(threshold),
+                min_consecutive: 1,
+            },
+            1,
+        );
+        let mut returned = 0usize;
+        let mut excursions = 0usize;
+        let mut prev_exceeded = false;
+        for &d in &deviations {
+            let events = det.observe(&[0.5 + d], &[0.5]);
+            returned += events.len();
+            let exceeded = d.abs() > threshold;
+            if exceeded && !prev_exceeded {
+                excursions += 1;
+            }
+            prev_exceeded = exceeded;
+        }
+        prop_assert_eq!(returned, det.events_opened());
+        prop_assert_eq!(returned, excursions, "one event per excursion");
+    }
+
+    /// Debouncing strictly reduces (or keeps) the number of events.
+    #[test]
+    fn debouncing_monotone(
+        deviations in proptest::collection::vec(-1.0f64..1.0, 1..80),
+    ) {
+        let run = |min_consecutive: usize| {
+            let mut det = Detector::new(
+                DetectorConfig {
+                    threshold: Threshold::Fixed(0.4),
+                    min_consecutive,
+                },
+                1,
+            );
+            for &d in &deviations {
+                let _ = det.observe(&[0.5 + d], &[0.5]);
+            }
+            det.events_opened()
+        };
+        prop_assert!(run(3) <= run(2));
+        prop_assert!(run(2) <= run(1));
+    }
+}

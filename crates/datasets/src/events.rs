@@ -1,0 +1,255 @@
+//! Scripted trace events: maintenance windows, flash crowds, and gradual
+//! drifts.
+//!
+//! The stochastic generator covers steady-state dynamics; real operations
+//! also contain *scheduled* and *exceptional* episodes. This module layers
+//! deterministic events over any [`Trace`], which is how the anomaly and
+//! fault-tolerance examples build ground truth with known onset times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Trace;
+
+/// A deterministic modification of a trace region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// Machines are drained and utilization drops to near zero.
+    Maintenance {
+        /// Affected node indices.
+        nodes: Vec<usize>,
+        /// First affected step.
+        start: usize,
+        /// Number of affected steps.
+        duration: usize,
+    },
+    /// A demand surge adds `magnitude` to every affected node.
+    FlashCrowd {
+        /// Affected node indices.
+        nodes: Vec<usize>,
+        /// First affected step.
+        start: usize,
+        /// Number of affected steps.
+        duration: usize,
+        /// Additional utilization in `[0, 1]`.
+        magnitude: f64,
+    },
+    /// A slow ramp (e.g. a memory leak): utilization increases linearly by
+    /// `total_increase` over the window.
+    Drift {
+        /// Affected node index.
+        node: usize,
+        /// First affected step.
+        start: usize,
+        /// Number of affected steps.
+        duration: usize,
+        /// Total added utilization by the end of the window.
+        total_increase: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The `(start, end)` step range the event touches (end exclusive).
+    pub fn span(&self) -> (usize, usize) {
+        match self {
+            TraceEvent::Maintenance { start, duration, .. }
+            | TraceEvent::FlashCrowd { start, duration, .. }
+            | TraceEvent::Drift { start, duration, .. } => (*start, start + duration),
+        }
+    }
+
+    /// The node indices the event touches.
+    pub fn nodes(&self) -> Vec<usize> {
+        match self {
+            TraceEvent::Maintenance { nodes, .. } | TraceEvent::FlashCrowd { nodes, .. } => {
+                nodes.clone()
+            }
+            TraceEvent::Drift { node, .. } => vec![*node],
+        }
+    }
+}
+
+/// Applies the events to every resource of the trace, clamping results to
+/// `[0, 1]`. Steps/nodes beyond the trace bounds are silently skipped so
+/// scripts are reusable across trace sizes.
+pub fn apply_events(trace: &mut Trace, events: &[TraceEvent]) {
+    let steps = trace.num_steps();
+    let n = trace.num_nodes();
+    for event in events {
+        let (start, end) = event.span();
+        for t in start..end.min(steps) {
+            match event {
+                TraceEvent::Maintenance { nodes, .. } => {
+                    for &i in nodes {
+                        if i < n {
+                            for v in trace.measurement_mut(i, t) {
+                                *v = (*v * 0.02).clamp(0.0, 1.0);
+                            }
+                        }
+                    }
+                }
+                TraceEvent::FlashCrowd {
+                    nodes, magnitude, ..
+                } => {
+                    for &i in nodes {
+                        if i < n {
+                            for v in trace.measurement_mut(i, t) {
+                                *v = (*v + magnitude).clamp(0.0, 1.0);
+                            }
+                        }
+                    }
+                }
+                TraceEvent::Drift {
+                    node,
+                    start,
+                    duration,
+                    total_increase,
+                } => {
+                    if *node < n {
+                        let progress = (t - start + 1) as f64 / (*duration).max(1) as f64;
+                        let add = total_increase * progress;
+                        for v in trace.measurement_mut(*node, t) {
+                            *v = (*v + add).clamp(0.0, 1.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A per-(step, node) boolean mask of which samples any event touched —
+/// ground truth for detection experiments.
+pub fn event_mask(trace: &Trace, events: &[TraceEvent]) -> Vec<Vec<bool>> {
+    let mut mask = vec![vec![false; trace.num_nodes()]; trace.num_steps()];
+    for event in events {
+        let (start, end) = event.span();
+        for t in start..end.min(trace.num_steps()) {
+            for i in event.nodes() {
+                if i < trace.num_nodes() {
+                    mask[t][i] = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::Resource;
+
+    fn base() -> Trace {
+        presets::alibaba_like().nodes(6).steps(50).seed(1).generate()
+    }
+
+    #[test]
+    fn maintenance_drops_utilization() {
+        let mut trace = base();
+        let before = trace.series(Resource::Cpu, 2).unwrap();
+        apply_events(
+            &mut trace,
+            &[TraceEvent::Maintenance {
+                nodes: vec![2],
+                start: 10,
+                duration: 5,
+            }],
+        );
+        let after = trace.series(Resource::Cpu, 2).unwrap();
+        for t in 10..15 {
+            assert!(after[t] < 0.05, "step {t}: {}", after[t]);
+        }
+        assert_eq!(after[9], before[9]);
+        assert_eq!(after[15], before[15]);
+        // Other nodes untouched.
+        assert_eq!(
+            trace.series(Resource::Cpu, 0).unwrap(),
+            base().series(Resource::Cpu, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_adds_magnitude_with_clamp() {
+        let mut trace = base();
+        let before = trace.series(Resource::Memory, 1).unwrap();
+        apply_events(
+            &mut trace,
+            &[TraceEvent::FlashCrowd {
+                nodes: vec![0, 1],
+                start: 5,
+                duration: 3,
+                magnitude: 0.3,
+            }],
+        );
+        let after = trace.series(Resource::Memory, 1).unwrap();
+        for t in 5..8 {
+            let expected = (before[t] + 0.3).min(1.0);
+            assert!((after[t] - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn drift_ramps_linearly() {
+        let mut trace = base();
+        let before = trace.series(Resource::Cpu, 3).unwrap();
+        apply_events(
+            &mut trace,
+            &[TraceEvent::Drift {
+                node: 3,
+                start: 20,
+                duration: 10,
+                total_increase: 0.5,
+            }],
+        );
+        let after = trace.series(Resource::Cpu, 3).unwrap();
+        // Midpoint adds half the increase; end adds all of it.
+        let mid = (before[24] + 0.25).min(1.0);
+        let end = (before[29] + 0.5).min(1.0);
+        assert!((after[24] - mid).abs() < 1e-9, "{} vs {mid}", after[24]);
+        assert!((after[29] - end).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_bounds_regions_are_skipped() {
+        let mut trace = base();
+        apply_events(
+            &mut trace,
+            &[TraceEvent::FlashCrowd {
+                nodes: vec![99],
+                start: 45,
+                duration: 20,
+                magnitude: 0.4,
+            }],
+        );
+        // No panic, nothing changed (node 99 does not exist).
+        assert_eq!(
+            trace.series(Resource::Cpu, 0).unwrap(),
+            base().series(Resource::Cpu, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn mask_matches_event_spans() {
+        let trace = base();
+        let events = [
+            TraceEvent::Maintenance {
+                nodes: vec![1],
+                start: 2,
+                duration: 2,
+            },
+            TraceEvent::Drift {
+                node: 4,
+                start: 48,
+                duration: 10, // clipped at trace end
+                total_increase: 0.2,
+            },
+        ];
+        let mask = event_mask(&trace, &events);
+        assert!(mask[2][1] && mask[3][1]);
+        assert!(!mask[4][1]);
+        assert!(mask[49][4]);
+        assert_eq!(mask.len(), 50);
+    }
+}

@@ -1,0 +1,188 @@
+//! Ready-made generator configurations mirroring the paper's datasets.
+//!
+//! Each preset keeps the qualitative character of the original trace while
+//! defaulting to a laptop-friendly scale; use
+//! [`ClusterTraceConfig::nodes`]/[`ClusterTraceConfig::steps`] to scale up
+//! to the paper's full dimensions (e.g. `alibaba_like().nodes(4000)
+//! .steps(11519)`).
+
+use crate::generator::ClusterTraceConfig;
+use crate::Resource;
+
+/// Alibaba 2018-like: many machines hosting co-located long-running services
+/// and batch jobs. Moderate group count, visible diurnal cycle (1-minute
+/// sampling in the original; one paper "step" aggregates to ~1 minute, so a
+/// day is long), relatively high machine noise, moderate churn.
+///
+/// Paper scale: 4000 machines, 11519 steps.
+pub fn alibaba_like() -> ClusterTraceConfig {
+    ClusterTraceConfig {
+        num_nodes: 200,
+        num_steps: 2000,
+        resources: vec![Resource::Cpu, Resource::Memory],
+        num_groups: 3,
+        diurnal_period: 1440,
+        diurnal_amplitude: 0.12,
+        group_ar: 0.97,
+        group_noise: 0.015,
+        regime_shift_prob: 0.0015,
+        churn_prob: 0.0015,
+        node_offset_std: 0.05,
+        node_noise: 0.05,
+        spike_prob: 0.03,
+        spike_shape: 3.0,
+        spike_duration: 2,
+        seed: 0xA11BABA,
+    }
+}
+
+/// Bitbrains `Rnd`-like: a few hundred VMs with heavy-tailed, bursty
+/// business workloads (5-minute sampling, one month). Fewer groups, heavier
+/// spikes, lower diurnal amplitude.
+///
+/// Paper scale: 500 machines, 8259 steps.
+pub fn bitbrains_like() -> ClusterTraceConfig {
+    ClusterTraceConfig {
+        num_nodes: 120,
+        num_steps: 2000,
+        resources: vec![Resource::Cpu, Resource::Memory],
+        num_groups: 3,
+        diurnal_period: 288,
+        diurnal_amplitude: 0.08,
+        group_ar: 0.9,
+        group_noise: 0.02,
+        regime_shift_prob: 0.003,
+        churn_prob: 0.002,
+        node_offset_std: 0.07,
+        node_noise: 0.045,
+        spike_prob: 0.05,
+        spike_shape: 1.8,
+        spike_duration: 3,
+        seed: 0xB17B12A1,
+    }
+}
+
+/// Google cluster-usage-v2-like: very many machines, strong scheduler-driven
+/// group structure with frequent reassignment (higher churn), 5-minute
+/// sampling over 29 days.
+///
+/// Paper scale: 12476 machines, 8350 steps.
+pub fn google_like() -> ClusterTraceConfig {
+    ClusterTraceConfig {
+        num_nodes: 300,
+        num_steps: 2000,
+        resources: vec![Resource::Cpu, Resource::Memory],
+        num_groups: 4,
+        diurnal_period: 288,
+        diurnal_amplitude: 0.1,
+        group_ar: 0.93,
+        group_noise: 0.02,
+        regime_shift_prob: 0.002,
+        churn_prob: 0.004,
+        node_offset_std: 0.04,
+        node_noise: 0.045,
+        spike_prob: 0.04,
+        spike_shape: 2.2,
+        spike_duration: 2,
+        seed: 0x600613,
+    }
+}
+
+/// Identifier for the three cluster presets, used by the experiment binaries
+/// to iterate "for each dataset" the way the paper's figures do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// [`alibaba_like`].
+    Alibaba,
+    /// [`bitbrains_like`].
+    Bitbrains,
+    /// [`google_like`].
+    Google,
+}
+
+impl Dataset {
+    /// All three datasets in the paper's presentation order.
+    pub const ALL: [Dataset; 3] = [Dataset::Alibaba, Dataset::Bitbrains, Dataset::Google];
+
+    /// The generator preset for this dataset.
+    pub fn config(self) -> ClusterTraceConfig {
+        match self {
+            Dataset::Alibaba => alibaba_like(),
+            Dataset::Bitbrains => bitbrains_like(),
+            Dataset::Google => google_like(),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Alibaba => "Alibaba",
+            Dataset::Bitbrains => "Bitbrains",
+            Dataset::Google => "Google",
+        }
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilcast_linalg::stats::pearson;
+
+    #[test]
+    fn presets_generate_and_stay_in_unit_range() {
+        for ds in Dataset::ALL {
+            let tr = ds.config().nodes(20).steps(300).generate();
+            assert_eq!(tr.num_nodes(), 20, "{ds}");
+            assert_eq!(tr.num_steps(), 300, "{ds}");
+            assert!(tr.is_unit_range(), "{ds}");
+        }
+    }
+
+    #[test]
+    fn presets_have_distinct_seeds_and_parameters() {
+        let a = alibaba_like();
+        let b = bitbrains_like();
+        let g = google_like();
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(b.seed, g.seed);
+        assert!(b.spike_shape < a.spike_shape, "bitbrains is heavier-tailed");
+        assert!(g.churn_prob > a.churn_prob, "google churns more");
+    }
+
+    #[test]
+    fn cluster_traces_have_weak_longterm_correlation() {
+        // The paper's Fig. 1 premise: most pairwise long-term correlations
+        // in cluster traces fall between -0.5 and 0.5.
+        let tr = google_like().nodes(30).steps(1500).generate();
+        let mut weak = 0;
+        let mut total = 0;
+        for i in 0..30 {
+            let a = tr.series(Resource::Cpu, i).unwrap();
+            for j in i + 1..30 {
+                let b = tr.series(Resource::Cpu, j).unwrap();
+                let r = pearson(&a, &b);
+                if r.abs() < 0.5 {
+                    weak += 1;
+                }
+                total += 1;
+            }
+        }
+        assert!(
+            weak as f64 / total as f64 > 0.5,
+            "only {weak}/{total} pairs weakly correlated"
+        );
+    }
+
+    #[test]
+    fn dataset_enum_roundtrip() {
+        assert_eq!(Dataset::Alibaba.name(), "Alibaba");
+        assert_eq!(Dataset::ALL.len(), 3);
+        assert_eq!(format!("{}", Dataset::Google), "Google");
+    }
+}

@@ -1,0 +1,429 @@
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use utilcast_linalg::Matrix;
+
+/// A resource (or sensor) type measured at each node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Resource {
+    /// CPU utilization in `[0, 1]`.
+    Cpu,
+    /// Memory utilization in `[0, 1]`.
+    Memory,
+    /// Disk I/O utilization in `[0, 1]`.
+    Disk,
+    /// Network utilization in `[0, 1]`.
+    Network,
+    /// Temperature (sensor datasets), normalized.
+    Temperature,
+    /// Humidity (sensor datasets), normalized.
+    Humidity,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resource::Cpu => "cpu",
+            Resource::Memory => "memory",
+            Resource::Disk => "disk",
+            Resource::Network => "network",
+            Resource::Temperature => "temperature",
+            Resource::Humidity => "humidity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error type for trace construction and access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Data length is inconsistent with the declared dimensions.
+    BadShape {
+        /// Expected flat length (`steps * nodes * resources`).
+        expected: usize,
+        /// Actual data length.
+        got: usize,
+    },
+    /// The requested resource is not part of the trace.
+    UnknownResource {
+        /// The missing resource.
+        resource: Resource,
+    },
+    /// Parsing a persisted trace failed.
+    Parse {
+        /// Line number (1-based) where parsing failed.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadShape { expected, got } => {
+                write!(f, "trace data length {got} does not match expected {expected}")
+            }
+            TraceError::UnknownResource { resource } => {
+                write!(f, "resource {resource} is not part of this trace")
+            }
+            TraceError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A complete multi-resource utilization trace: `num_steps` time steps of
+/// `num_nodes` machines, each reporting one value per resource.
+///
+/// Storage is time-major and node-contiguous: the `d`-dimensional
+/// measurement vector of node `i` at step `t` is one contiguous slice, which
+/// is the access pattern of the collection pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    resources: Vec<Resource>,
+    num_nodes: usize,
+    num_steps: usize,
+    /// Flat data: `data[(t * num_nodes + node) * d + r]`.
+    data: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from flat data laid out as
+    /// `data[(t * nodes + node) * resources + r]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadShape`] if the data length does not equal
+    /// `steps * nodes * resources.len()`.
+    pub fn from_flat(
+        resources: Vec<Resource>,
+        num_nodes: usize,
+        num_steps: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, TraceError> {
+        let expected = num_steps * num_nodes * resources.len();
+        if data.len() != expected {
+            return Err(TraceError::BadShape {
+                expected,
+                got: data.len(),
+            });
+        }
+        Ok(Trace {
+            resources,
+            num_nodes,
+            num_steps,
+            data,
+        })
+    }
+
+    /// Creates an all-zero trace with the given shape.
+    pub fn zeros(resources: Vec<Resource>, num_nodes: usize, num_steps: usize) -> Self {
+        let len = num_steps * num_nodes * resources.len();
+        Trace {
+            resources,
+            num_nodes,
+            num_steps,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// The resource types, in storage order.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Number of resource dimensions `d`.
+    pub fn dim(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Number of nodes `N`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of time steps `T`.
+    pub fn num_steps(&self) -> usize {
+        self.num_steps
+    }
+
+    /// The `d`-dimensional measurement of `node` at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `t` is out of range.
+    pub fn measurement(&self, node: usize, t: usize) -> &[f64] {
+        assert!(node < self.num_nodes, "node {node} out of range");
+        assert!(t < self.num_steps, "step {t} out of range");
+        let d = self.dim();
+        let base = (t * self.num_nodes + node) * d;
+        &self.data[base..base + d]
+    }
+
+    /// Mutable access to the measurement of `node` at step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `t` is out of range.
+    pub fn measurement_mut(&mut self, node: usize, t: usize) -> &mut [f64] {
+        assert!(node < self.num_nodes, "node {node} out of range");
+        assert!(t < self.num_steps, "step {t} out of range");
+        let d = self.dim();
+        let base = (t * self.num_nodes + node) * d;
+        &mut self.data[base..base + d]
+    }
+
+    /// Index of `resource` within the measurement vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownResource`] if the trace does not carry
+    /// the resource.
+    pub fn resource_index(&self, resource: Resource) -> Result<usize, TraceError> {
+        self.resources
+            .iter()
+            .position(|&r| r == resource)
+            .ok_or(TraceError::UnknownResource { resource })
+    }
+
+    /// The full time series of one resource at one node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownResource`] for a resource the trace does
+    /// not carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn series(&self, resource: Resource, node: usize) -> Result<Vec<f64>, TraceError> {
+        let r = self.resource_index(resource)?;
+        assert!(node < self.num_nodes, "node {node} out of range");
+        let d = self.dim();
+        Ok((0..self.num_steps)
+            .map(|t| self.data[(t * self.num_nodes + node) * d + r])
+            .collect())
+    }
+
+    /// All nodes' values of one resource at one time step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownResource`] for a missing resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn snapshot(&self, resource: Resource, t: usize) -> Result<Vec<f64>, TraceError> {
+        let r = self.resource_index(resource)?;
+        assert!(t < self.num_steps, "step {t} out of range");
+        let d = self.dim();
+        Ok((0..self.num_nodes)
+            .map(|i| self.data[(t * self.num_nodes + i) * d + r])
+            .collect())
+    }
+
+    /// A `nodes x steps` matrix of one resource — the layout used for
+    /// covariance estimation and offline clustering baselines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownResource`] for a missing resource.
+    pub fn node_matrix(&self, resource: Resource) -> Result<Matrix, TraceError> {
+        let r = self.resource_index(resource)?;
+        let d = self.dim();
+        let mut m = Matrix::zeros(self.num_nodes, self.num_steps);
+        for i in 0..self.num_nodes {
+            for t in 0..self.num_steps {
+                m[(i, t)] = self.data[(t * self.num_nodes + i) * d + r];
+            }
+        }
+        Ok(m)
+    }
+
+    /// Restricts the trace to the first `steps` time steps (no-op if the
+    /// trace is already shorter).
+    pub fn truncated(&self, steps: usize) -> Trace {
+        let steps = steps.min(self.num_steps);
+        let d = self.dim();
+        let len = steps * self.num_nodes * d;
+        Trace {
+            resources: self.resources.clone(),
+            num_nodes: self.num_nodes,
+            num_steps: steps,
+            data: self.data[..len].to_vec(),
+        }
+    }
+
+    /// Extracts the time slice `[start, end)` as a new trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end > num_steps()`.
+    pub fn slice(&self, start: usize, end: usize) -> Trace {
+        assert!(start < end, "start must be before end");
+        assert!(end <= self.num_steps, "end {end} beyond trace length {}", self.num_steps);
+        let d = self.dim();
+        let row = self.num_nodes * d;
+        Trace {
+            resources: self.resources.clone(),
+            num_nodes: self.num_nodes,
+            num_steps: end - start,
+            data: self.data[start * row..end * row].to_vec(),
+        }
+    }
+
+    /// Restricts the trace to the given node indices (in the given order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_nodes(&self, nodes: &[usize]) -> Trace {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(self.num_steps * nodes.len() * d);
+        for t in 0..self.num_steps {
+            for &i in nodes {
+                assert!(i < self.num_nodes, "node {i} out of range");
+                let base = (t * self.num_nodes + i) * d;
+                data.extend_from_slice(&self.data[base..base + d]);
+            }
+        }
+        Trace {
+            resources: self.resources.clone(),
+            num_nodes: nodes.len(),
+            num_steps: self.num_steps,
+            data,
+        }
+    }
+
+    /// Clamps every value into `[0, 1]` in place (utilization convention).
+    pub fn clamp_unit(&mut self) {
+        for v in &mut self.data {
+            *v = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Returns `true` if every value lies within `[0, 1]`.
+    pub fn is_unit_range(&self) -> bool {
+        self.data.iter().all(|v| (0.0..=1.0).contains(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> Trace {
+        // 2 steps, 2 nodes, 2 resources. Value encodes (t, node, r).
+        let mut tr = Trace::zeros(vec![Resource::Cpu, Resource::Memory], 2, 2);
+        for t in 0..2 {
+            for i in 0..2 {
+                for r in 0..2 {
+                    tr.measurement_mut(i, t)[r] = (t * 100 + i * 10 + r) as f64;
+                }
+            }
+        }
+        tr
+    }
+
+    #[test]
+    fn measurement_layout() {
+        let tr = small_trace();
+        assert_eq!(tr.measurement(1, 0), &[10.0, 11.0]);
+        assert_eq!(tr.measurement(0, 1), &[100.0, 101.0]);
+        assert_eq!(tr.dim(), 2);
+    }
+
+    #[test]
+    fn series_and_snapshot() {
+        let tr = small_trace();
+        assert_eq!(tr.series(Resource::Memory, 1).unwrap(), vec![11.0, 111.0]);
+        assert_eq!(tr.snapshot(Resource::Cpu, 1).unwrap(), vec![100.0, 110.0]);
+    }
+
+    #[test]
+    fn unknown_resource_errors() {
+        let tr = small_trace();
+        assert!(matches!(
+            tr.series(Resource::Disk, 0),
+            Err(TraceError::UnknownResource { .. })
+        ));
+    }
+
+    #[test]
+    fn node_matrix_shape_and_values() {
+        let tr = small_trace();
+        let m = tr.node_matrix(Resource::Cpu).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(1, 1)], 110.0);
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        let err = Trace::from_flat(vec![Resource::Cpu], 2, 2, vec![0.0; 3]).unwrap_err();
+        assert_eq!(err, TraceError::BadShape { expected: 4, got: 3 });
+        assert!(Trace::from_flat(vec![Resource::Cpu], 2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let tr = small_trace();
+        let t1 = tr.truncated(1);
+        assert_eq!(t1.num_steps(), 1);
+        assert_eq!(t1.measurement(1, 0), tr.measurement(1, 0));
+        // Truncating beyond the length is a no-op.
+        assert_eq!(tr.truncated(10).num_steps(), 2);
+    }
+
+    #[test]
+    fn slice_extracts_time_window() {
+        let tr = small_trace();
+        let s = tr.slice(1, 2);
+        assert_eq!(s.num_steps(), 1);
+        assert_eq!(s.measurement(0, 0), tr.measurement(0, 1));
+        assert_eq!(s.measurement(1, 0), tr.measurement(1, 1));
+        // Full-range slice is the identity.
+        assert_eq!(tr.slice(0, 2), tr);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond trace length")]
+    fn slice_out_of_range_panics() {
+        let _ = small_trace().slice(0, 3);
+    }
+
+    #[test]
+    fn select_nodes_reorders() {
+        let tr = small_trace();
+        let sel = tr.select_nodes(&[1, 0]);
+        assert_eq!(sel.num_nodes(), 2);
+        assert_eq!(sel.measurement(0, 0), tr.measurement(1, 0));
+        assert_eq!(sel.measurement(1, 1), tr.measurement(0, 1));
+        let single = tr.select_nodes(&[1]);
+        assert_eq!(single.num_nodes(), 1);
+        assert_eq!(single.series(Resource::Cpu, 0).unwrap(), vec![10.0, 110.0]);
+    }
+
+    #[test]
+    fn clamp_unit_and_range_check() {
+        let mut tr = small_trace();
+        assert!(!tr.is_unit_range());
+        tr.clamp_unit();
+        assert!(tr.is_unit_range());
+        assert_eq!(tr.measurement(1, 0), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn resource_display() {
+        assert_eq!(Resource::Cpu.to_string(), "cpu");
+        assert_eq!(Resource::Humidity.to_string(), "humidity");
+    }
+}

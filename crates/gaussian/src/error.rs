@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use utilcast_clustering::ClusteringError;
+use utilcast_linalg::LinalgError;
+
+/// Error type for the Gaussian monitor-selection baselines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GaussianError {
+    /// More monitors requested than nodes available.
+    TooManyMonitors {
+        /// Requested monitor count.
+        k: usize,
+        /// Available node count.
+        nodes: usize,
+    },
+    /// The training matrix is too small to estimate a covariance.
+    InsufficientTraining {
+        /// Number of training samples supplied.
+        samples: usize,
+    },
+    /// An underlying linear-algebra failure (singular covariance, etc.).
+    Linalg(LinalgError),
+    /// An underlying clustering failure (proposed-method selector).
+    Clustering(ClusteringError),
+}
+
+impl fmt::Display for GaussianError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaussianError::TooManyMonitors { k, nodes } => {
+                write!(f, "requested {k} monitors for {nodes} nodes")
+            }
+            GaussianError::InsufficientTraining { samples } => {
+                write!(f, "need at least 2 training samples, got {samples}")
+            }
+            GaussianError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            GaussianError::Clustering(e) => write!(f, "clustering error: {e}"),
+        }
+    }
+}
+
+impl Error for GaussianError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GaussianError::Linalg(e) => Some(e),
+            GaussianError::Clustering(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GaussianError {
+    fn from(e: LinalgError) -> Self {
+        GaussianError::Linalg(e)
+    }
+}
+
+impl From<ClusteringError> for GaussianError {
+    fn from(e: ClusteringError) -> Self {
+        GaussianError::Clustering(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = GaussianError::TooManyMonitors { k: 10, nodes: 5 };
+        assert!(e.to_string().contains("10 monitors for 5 nodes"));
+        let e: GaussianError = LinalgError::Empty.into();
+        assert!(e.source().is_some());
+        let e: GaussianError = ClusteringError::EmptyInput.into();
+        assert!(e.to_string().contains("clustering"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Test-phase estimators: how non-monitor values are inferred from the
+//! monitors' observations.
+
+use utilcast_clustering::kmeans::sq_dist;
+use utilcast_linalg::Matrix;
+
+use crate::model::GaussianModel;
+use crate::GaussianError;
+
+/// An estimator fitted on training data that, given the monitors' current
+/// observations, estimates every node's value.
+pub trait Estimator {
+    /// Fitted state produced from training data and the monitor set.
+    type Fitted: FittedEstimator;
+
+    /// Fits the estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures from model estimation.
+    fn fit(&self, train: &Matrix, monitors: &[usize]) -> Result<Self::Fitted, GaussianError>;
+}
+
+/// The per-step estimation interface produced by [`Estimator::fit`].
+pub trait FittedEstimator {
+    /// Estimates all nodes' values from the monitors' observations
+    /// (ordered as the monitor set passed at fit time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures.
+    fn estimate(&self, observed: &[f64]) -> Result<Vec<f64>, GaussianError>;
+}
+
+/// Conditional-Gaussian estimation (the baselines' inference rule).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaussianEstimator;
+
+/// Fitted Gaussian estimator.
+#[derive(Debug, Clone)]
+pub struct FittedGaussian {
+    model: GaussianModel,
+    monitors: Vec<usize>,
+}
+
+impl Estimator for GaussianEstimator {
+    type Fitted = FittedGaussian;
+
+    fn fit(&self, train: &Matrix, monitors: &[usize]) -> Result<FittedGaussian, GaussianError> {
+        Ok(FittedGaussian {
+            model: GaussianModel::fit(train)?,
+            monitors: monitors.to_vec(),
+        })
+    }
+}
+
+impl FittedEstimator for FittedGaussian {
+    fn estimate(&self, observed: &[f64]) -> Result<Vec<f64>, GaussianError> {
+        self.model.condition(&self.monitors, observed)
+    }
+}
+
+/// Cluster-representative estimation (the proposed method's inference rule,
+/// Sec. VI-E): every node takes the current measurement of the monitor of
+/// its cluster. The node→cluster assignment is derived from training-series
+/// distance to the monitors unless an explicit assignment is supplied.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterEqualEstimator {
+    /// Optional precomputed node→monitor-slot assignment (from the proposed
+    /// k-means selection); when `None`, nodes map to the monitor with the
+    /// closest training series (the minimum-distance baseline's rule).
+    pub assignment: Option<Vec<usize>>,
+}
+
+/// Fitted cluster-representative estimator.
+#[derive(Debug, Clone)]
+pub struct FittedClusterEqual {
+    /// node -> monitor-slot index.
+    assignment: Vec<usize>,
+}
+
+impl Estimator for ClusterEqualEstimator {
+    type Fitted = FittedClusterEqual;
+
+    fn fit(&self, train: &Matrix, monitors: &[usize]) -> Result<FittedClusterEqual, GaussianError> {
+        let assignment = match &self.assignment {
+            Some(a) => a.clone(),
+            None => {
+                // Assign each node to the monitor with the nearest training
+                // series.
+                let monitor_series: Vec<Vec<f64>> =
+                    monitors.iter().map(|&m| train.row(m).to_vec()).collect();
+                (0..train.nrows())
+                    .map(|i| {
+                        let row = train.row(i);
+                        let mut best = (0usize, f64::INFINITY);
+                        for (slot, series) in monitor_series.iter().enumerate() {
+                            let d = sq_dist(row, series);
+                            if d < best.1 {
+                                best = (slot, d);
+                            }
+                        }
+                        best.0
+                    })
+                    .collect()
+            }
+        };
+        Ok(FittedClusterEqual { assignment })
+    }
+}
+
+impl FittedEstimator for FittedClusterEqual {
+    fn estimate(&self, observed: &[f64]) -> Result<Vec<f64>, GaussianError> {
+        Ok(self
+            .assignment
+            .iter()
+            .map(|&slot| observed[slot])
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train() -> Matrix {
+        let t = 100;
+        let mut m = Matrix::zeros(4, t);
+        for s in 0..t {
+            let a = (s as f64 * 0.3).sin();
+            let b = (s as f64 * 0.8).cos();
+            m[(0, s)] = a;
+            m[(1, s)] = a + 0.02;
+            m[(2, s)] = b;
+            m[(3, s)] = b + 0.02;
+        }
+        m
+    }
+
+    #[test]
+    fn gaussian_estimator_recovers_correlated_nodes() {
+        let train = train();
+        let fitted = GaussianEstimator.fit(&train, &[0, 2]).unwrap();
+        let est = fitted.estimate(&[0.9, -0.4]).unwrap();
+        assert_eq!(est[0], 0.9);
+        assert_eq!(est[2], -0.4);
+        assert!((est[1] - 0.9).abs() < 0.15, "node 1 should track node 0");
+        assert!((est[3] + 0.4).abs() < 0.15, "node 3 should track node 2");
+    }
+
+    #[test]
+    fn cluster_equal_assigns_by_series_distance() {
+        let train = train();
+        let fitted = ClusterEqualEstimator::default().fit(&train, &[0, 2]).unwrap();
+        let est = fitted.estimate(&[0.5, -0.5]).unwrap();
+        // Nodes 0,1 follow monitor slot 0; nodes 2,3 follow slot 1.
+        assert_eq!(est, vec![0.5, 0.5, -0.5, -0.5]);
+    }
+
+    #[test]
+    fn cluster_equal_accepts_explicit_assignment() {
+        let train = train();
+        let est = ClusterEqualEstimator {
+            assignment: Some(vec![1, 1, 0, 0]),
+        }
+        .fit(&train, &[0, 2])
+        .unwrap()
+        .estimate(&[0.5, -0.5])
+        .unwrap();
+        assert_eq!(est, vec![-0.5, -0.5, 0.5, 0.5]);
+    }
+}

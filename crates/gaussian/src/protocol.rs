@@ -1,0 +1,203 @@
+//! The Sec. VI-E train/test comparison protocol.
+//!
+//! Training phase: the controller sees the full `nodes x time` training
+//! matrix and a selector picks `K` monitors. Testing phase: only the
+//! monitors report; an estimator infers the other nodes each step, and the
+//! protocol scores the RMSE over all nodes and test steps. (The paper notes
+//! this RMSE definition differs from the one used in the rest of its
+//! evaluation.)
+
+use utilcast_linalg::Matrix;
+
+use crate::estimate::{Estimator, FittedEstimator};
+use crate::selection::MonitorSelector;
+use crate::GaussianError;
+
+/// Result of one protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolReport {
+    /// Chosen monitor node indices.
+    pub monitors: Vec<usize>,
+    /// RMSE over all nodes and test steps.
+    pub rmse: f64,
+    /// Number of test steps evaluated.
+    pub test_steps: usize,
+}
+
+/// Splits a `nodes x time` matrix into `(train, test)` at column
+/// `train_steps`.
+///
+/// # Panics
+///
+/// Panics if `train_steps` is zero or not strictly inside the time range.
+pub fn split(data: &Matrix, train_steps: usize) -> (Matrix, Matrix) {
+    let (n, t) = data.shape();
+    assert!(
+        train_steps > 0 && train_steps < t,
+        "train_steps must be within (0, {t})"
+    );
+    let all: Vec<usize> = (0..n).collect();
+    let train_cols: Vec<usize> = (0..train_steps).collect();
+    let test_cols: Vec<usize> = (train_steps..t).collect();
+    (data.select(&all, &train_cols), data.select(&all, &test_cols))
+}
+
+/// Runs the protocol: select monitors on `train`, estimate all nodes on
+/// every column of `test`, return the overall RMSE.
+///
+/// # Errors
+///
+/// Propagates selection and estimation failures.
+pub fn run<S, E>(
+    train: &Matrix,
+    test: &Matrix,
+    selector: &S,
+    estimator: &E,
+) -> Result<ProtocolReport, GaussianError>
+where
+    S: MonitorSelector + ?Sized,
+    E: Estimator,
+{
+    let k_report = run_with_k(train, test, selector, estimator, None)?;
+    Ok(k_report)
+}
+
+/// Like [`run`] but with an explicit monitor count (defaults to
+/// `sqrt(N)` rounded up when `None`).
+///
+/// # Errors
+///
+/// Propagates selection and estimation failures.
+pub fn run_with_k<S, E>(
+    train: &Matrix,
+    test: &Matrix,
+    selector: &S,
+    estimator: &E,
+    k: Option<usize>,
+) -> Result<ProtocolReport, GaussianError>
+where
+    S: MonitorSelector + ?Sized,
+    E: Estimator,
+{
+    let n = train.nrows();
+    let k = k.unwrap_or_else(|| ((n as f64).sqrt().ceil() as usize).clamp(1, n));
+    let monitors = selector.select(train, k)?;
+    let fitted = estimator.fit(train, &monitors)?;
+    let mut sse = 0.0;
+    let steps = test.ncols();
+    for s in 0..steps {
+        let observed: Vec<f64> = monitors.iter().map(|&m| test[(m, s)]).collect();
+        let est = fitted.estimate(&observed)?;
+        for i in 0..n {
+            let e = est[i] - test[(i, s)];
+            sse += e * e;
+        }
+    }
+    let rmse = (sse / (n * steps) as f64).sqrt();
+    Ok(ProtocolReport {
+        monitors,
+        rmse,
+        test_steps: steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{ClusterEqualEstimator, GaussianEstimator};
+    use crate::selection::{BatchSelection, RandomMonitors, TopW, TopWUpdate};
+
+    /// Stationary correlated data where Gaussian inference is well-posed.
+    fn paired_data(n_pairs: usize, t: usize) -> Matrix {
+        let mut m = Matrix::zeros(2 * n_pairs, t);
+        for p in 0..n_pairs {
+            let freq = 0.13 + 0.17 * p as f64;
+            for s in 0..t {
+                let v = (s as f64 * freq).sin();
+                m[(2 * p, s)] = v;
+                m[(2 * p + 1, s)] = v + 0.01 * ((s + p) as f64 * 0.9).cos();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn split_partitions_columns() {
+        let data = paired_data(2, 10);
+        let (train, test) = split(&data, 7);
+        assert_eq!(train.shape(), (4, 7));
+        assert_eq!(test.shape(), (4, 3));
+        assert_eq!(train[(0, 6)], data[(0, 6)]);
+        assert_eq!(test[(0, 0)], data[(0, 7)]);
+    }
+
+    #[test]
+    fn gaussian_selectors_achieve_low_rmse_on_correlated_data() {
+        let data = paired_data(3, 500);
+        let (train, test) = split(&data, 300);
+        for selector in [
+            &TopWUpdate as &dyn MonitorSelector,
+            &BatchSelection,
+        ] {
+            let report = run_with_k(&train, &test, selector, &GaussianEstimator, Some(3)).unwrap();
+            assert!(
+                report.rmse < 0.15,
+                "{}: rmse {}",
+                selector.name(),
+                report.rmse
+            );
+            assert_eq!(report.monitors.len(), 3);
+        }
+    }
+
+    #[test]
+    fn informed_selection_beats_random_on_average() {
+        let data = paired_data(4, 600);
+        let (train, test) = split(&data, 400);
+        let informed = run_with_k(&train, &test, &TopWUpdate, &GaussianEstimator, Some(4))
+            .unwrap()
+            .rmse;
+        // Average several random draws for a fair comparison.
+        let mut random_sum = 0.0;
+        for seed in 0..5 {
+            random_sum += run_with_k(
+                &train,
+                &test,
+                &RandomMonitors { seed },
+                &GaussianEstimator,
+                Some(4),
+            )
+            .unwrap()
+            .rmse;
+        }
+        let random_avg = random_sum / 5.0;
+        assert!(
+            informed <= random_avg + 1e-9,
+            "informed {informed} vs random avg {random_avg}"
+        );
+    }
+
+    #[test]
+    fn cluster_equal_protocol_runs() {
+        let data = paired_data(3, 400);
+        let (train, test) = split(&data, 300);
+        let report = run_with_k(
+            &train,
+            &test,
+            &TopW,
+            &ClusterEqualEstimator::default(),
+            Some(3),
+        )
+        .unwrap();
+        assert!(report.rmse.is_finite());
+        assert_eq!(report.test_steps, 100);
+    }
+
+    #[test]
+    fn default_k_is_sqrt_n() {
+        let data = paired_data(5, 300); // 10 nodes
+        let (train, test) = split(&data, 200);
+        let report = run(&train, &test, &RandomMonitors::default(), &GaussianEstimator).unwrap();
+        assert_eq!(report.monitors.len(), 4); // ceil(sqrt(10)) = 4
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the Gaussian baseline crate.
+
+use proptest::prelude::*;
+use utilcast_gaussian::model::GaussianModel;
+use utilcast_gaussian::selection::{
+    BatchSelection, MonitorSelector, ProposedKMeans, RandomMonitors, TopW, TopWUpdate,
+};
+use utilcast_linalg::Matrix;
+
+/// Builds a `nodes x time` matrix from a flat sample, deterministic but
+/// varied.
+fn training_matrix(nodes: usize, time: usize, raw: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(nodes, time);
+    for i in 0..nodes {
+        for t in 0..time {
+            let base = raw[(i * 7 + t) % raw.len()];
+            // Mix a shared component so correlations are non-trivial.
+            let shared = raw[t % raw.len()];
+            m[(i, t)] = 0.5 * base + 0.5 * shared + 0.01 * (i as f64);
+        }
+    }
+    m
+}
+
+proptest! {
+    /// Every selector returns k distinct in-range monitors.
+    #[test]
+    fn selectors_return_k_distinct_monitors(
+        raw in proptest::collection::vec(-1.0f64..1.0, 32..64),
+        k in 1usize..5,
+    ) {
+        let train = training_matrix(6, 30, &raw);
+        let selectors: Vec<Box<dyn MonitorSelector>> = vec![
+            Box::new(TopW),
+            Box::new(TopWUpdate),
+            Box::new(BatchSelection),
+            Box::new(ProposedKMeans::default()),
+            Box::new(RandomMonitors::default()),
+        ];
+        for s in &selectors {
+            let monitors = s.select(&train, k).unwrap();
+            prop_assert_eq!(monitors.len(), k, "{}", s.name());
+            let mut sorted = monitors.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), k, "{} returned duplicates", s.name());
+            prop_assert!(monitors.iter().all(|&m| m < 6));
+        }
+    }
+
+    /// Conditioning is exact on monitors and returns finite estimates
+    /// everywhere.
+    #[test]
+    fn conditioning_is_exact_on_monitors(
+        raw in proptest::collection::vec(-1.0f64..1.0, 32..64),
+        observed in proptest::collection::vec(-2.0f64..2.0, 3),
+    ) {
+        let train = training_matrix(6, 40, &raw);
+        let model = GaussianModel::fit(&train).unwrap();
+        let monitors = [0usize, 2, 5];
+        let est = model.condition(&monitors, &observed).unwrap();
+        prop_assert_eq!(est.len(), 6);
+        for (slot, &m) in monitors.iter().enumerate() {
+            prop_assert!((est[m] - observed[slot]).abs() < 1e-9);
+        }
+        prop_assert!(est.iter().all(|v| v.is_finite()));
+    }
+
+    /// Conditional variances are non-negative and never exceed the
+    /// marginals (conditioning cannot add uncertainty).
+    #[test]
+    fn conditional_variance_shrinks(
+        raw in proptest::collection::vec(-1.0f64..1.0, 32..64),
+        k in 1usize..4,
+    ) {
+        let train = training_matrix(6, 40, &raw);
+        let model = GaussianModel::fit(&train).unwrap();
+        let monitors: Vec<usize> = (0..k).collect();
+        let cond = model.conditional_variance(&monitors).unwrap();
+        for i in 0..6 {
+            prop_assert!(cond[i] >= 0.0);
+            prop_assert!(
+                cond[i] <= model.cov()[(i, i)] + 1e-9,
+                "node {i}: conditional {} > marginal {}",
+                cond[i],
+                model.cov()[(i, i)]
+            );
+        }
+    }
+
+    /// Adding a monitor never increases any node's conditional variance
+    /// (information monotonicity).
+    #[test]
+    fn more_monitors_never_hurt(
+        raw in proptest::collection::vec(-1.0f64..1.0, 32..64),
+    ) {
+        let train = training_matrix(6, 40, &raw);
+        let model = GaussianModel::fit(&train).unwrap();
+        let small = model.conditional_variance(&[0]).unwrap();
+        let large = model.conditional_variance(&[0, 3]).unwrap();
+        for i in 0..6 {
+            prop_assert!(large[i] <= small[i] + 1e-6, "node {i}");
+        }
+    }
+}

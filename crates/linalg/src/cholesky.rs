@@ -1,0 +1,263 @@
+use crate::{LinalgError, Matrix};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// The factor is used by the Gaussian-baseline crate for conditional-Gaussian
+/// inference: solving against a covariance matrix and computing log
+/// determinants without explicitly inverting.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0,  0.0],
+///                             &[-5.0,  0.0, 11.0]]);
+/// let chol = a.cholesky()?;
+/// let l = chol.factor();
+/// let recon = l.mat_mul(&l.transpose())?;
+/// assert!(recon.max_abs_diff(&a) < 1e-10);
+/// # Ok::<(), utilcast_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes `a` as `L Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.nrows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factorizes `a + jitter * I`, retrying with exponentially growing
+    /// jitter until the factorization succeeds or `max_tries` is exhausted.
+    ///
+    /// Covariance matrices estimated from finite samples are frequently
+    /// rank-deficient; regularizing with a small ridge is the standard fix
+    /// and is what the Gaussian baselines in the paper's Sec. VI-E need.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final [`LinalgError`] if every attempt fails.
+    pub fn new_regularized(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<Self, LinalgError> {
+        match Cholesky::new(a) {
+            Ok(c) => return Ok(c),
+            Err(e) if max_tries == 0 => return Err(e),
+            Err(_) => {}
+        }
+        let n = a.nrows();
+        let mut jitter = initial_jitter;
+        let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_tries {
+            let ridged = a.add(&Matrix::identity(n).scale(jitter)).expect("same shape");
+            match Cholesky::new(&ridged) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last_err = e;
+                    jitter *= 10.0;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the factorization (forward then backward
+    /// substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "rhs length {} does not match dimension {n}", b.len());
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `B` has a different row
+    /// count than the factorized matrix.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.l.nrows();
+        if b.nrows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                left: (n, n),
+                right: b.shape(),
+                op: "solve_mat",
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for c in 0..b.ncols() {
+            let col = self.solve_vec(&b.col(c));
+            for r in 0..n {
+                out[(r, c)] = col[r];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `log det(A) = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.nrows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Consumes the factorization and returns the factor `L`.
+    pub fn into_factor(self) -> Matrix {
+        self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+    }
+
+    #[test]
+    fn factor_matches_known_result() {
+        let chol = Cholesky::new(&spd3()).unwrap();
+        let expected = Matrix::from_rows(&[
+            &[5.0, 0.0, 0.0],
+            &[3.0, 3.0, 0.0],
+            &[-1.0, 1.0, 3.0],
+        ]);
+        assert!(chol.factor().max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_round_trip() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let recon = l.mat_mul(&l.transpose()).unwrap();
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn solve_vec_agrees_with_general_solve() {
+        let a = spd3();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = Cholesky::new(&a).unwrap().solve_vec(&b);
+        let x2 = a.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_mat_solves_each_column() {
+        let a = spd3();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::identity(3);
+        let inv = chol.solve_mat(&b).unwrap();
+        let prod = a.mat_mul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn regularized_recovers_semidefinite() {
+        // Rank-1 matrix: not positive definite, but PD after a ridge.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let chol = Cholesky::new_regularized(&a, 1e-8, 20).unwrap();
+        assert!(chol.log_det().is_finite());
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(spd3) = 5^2 * 3^2 * 3^2 = 2025
+        let chol = Cholesky::new(&spd3()).unwrap();
+        assert!((chol.log_det() - 2025f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn into_factor_returns_lower_triangular() {
+        let l = Cholesky::new(&spd3()).unwrap().into_factor();
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The matrix is not positive definite (Cholesky failed).
+    NotPositiveDefinite {
+        /// Pivot index at which the factorization broke down.
+        pivot: usize,
+    },
+    /// The matrix is singular to working precision (solve/inverse failed).
+    Singular {
+        /// Pivot index at which elimination found a zero pivot.
+        pivot: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Actual shape `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Input was empty where a non-empty value is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            LinalgError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "mat_mul",
+        };
+        assert_eq!(e.to_string(), "shape mismatch in mat_mul: left is 2x3, right is 4x5");
+        assert!(LinalgError::NotPositiveDefinite { pivot: 3 }
+            .to_string()
+            .contains("pivot 3"));
+        assert!(LinalgError::Singular { pivot: 0 }.to_string().contains("singular"));
+        assert!(LinalgError::NotSquare { shape: (1, 2) }.to_string().contains("1x2"));
+        assert_eq!(LinalgError::Empty.to_string(), "input is empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,259 @@
+//! Derivative-free numerical optimization.
+//!
+//! The SARIMA fitter in `utilcast-timeseries` minimizes a conditional
+//! sum-of-squares objective whose gradient is awkward to derive for seasonal
+//! models; the classic Nelder–Mead simplex method is the standard
+//! derivative-free choice and is implemented here.
+
+/// Configuration for [`nelder_mead`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations before giving up.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Convergence tolerance on the simplex's coordinate spread.
+    pub x_tol: f64,
+    /// Initial simplex step added to each coordinate in turn.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Number of objective evaluations used.
+    pub evals: usize,
+    /// Whether a convergence tolerance was met (as opposed to running out of
+    /// evaluations).
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with the Nelder–Mead downhill simplex.
+///
+/// Uses the standard reflection/expansion/contraction/shrink coefficients
+/// (1, 2, 0.5, 0.5). Objective values of `NaN` are treated as `+inf`, so the
+/// caller can return `f64::NAN` for out-of-domain points (e.g. non-invertible
+/// MA coefficients) and the simplex will move away from them.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_linalg::optimize::{nelder_mead, NelderMeadOptions};
+///
+/// // Rosenbrock function, minimum at (1, 1).
+/// let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+/// let res = nelder_mead(rosen, &[-1.2, 1.0], &NelderMeadOptions { max_evals: 5000, ..Default::default() });
+/// assert!((res.x[0] - 1.0).abs() < 1e-3);
+/// assert!((res.x[1] - 1.0).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], opts: &NelderMeadOptions) -> OptimizeResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!x0.is_empty(), "nelder_mead requires at least one dimension");
+    let n = x0.len();
+    let mut evals = 0usize;
+    let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_nan() {
+            f64::INFINITY
+        } else {
+            v
+        }
+    };
+
+    // Build the initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let f0 = eval(&mut f, x0, &mut evals);
+    simplex.push((x0.to_vec(), f0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        let step = if xi[i] == 0.0 {
+            opts.initial_step
+        } else {
+            opts.initial_step * xi[i].abs().max(1.0)
+        };
+        xi[i] += step;
+        let fi = eval(&mut f, &xi, &mut evals);
+        simplex.push((xi, fi));
+    }
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+
+        // Convergence checks on objective spread and coordinate spread.
+        let f_best = simplex[0].1;
+        let f_worst = simplex[n].1;
+        let f_spread = (f_worst - f_best).abs();
+        let x_spread = simplex[1..]
+            .iter()
+            .flat_map(|(x, _)| {
+                x.iter()
+                    .zip(&simplex[0].0)
+                    .map(|(a, b)| (a - b).abs())
+            })
+            .fold(0.0, f64::max);
+        if f_spread < opts.f_tol && x_spread < opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all points except the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(u, v)| u + t * (v - u)).collect()
+        };
+
+        // Reflection.
+        let xr = blend(&centroid, &worst.0, -1.0);
+        let fr = eval(&mut f, &xr, &mut evals);
+        if fr < simplex[0].1 {
+            // Expansion.
+            let xe = blend(&centroid, &worst.0, -2.0);
+            let fe = eval(&mut f, &xe, &mut evals);
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+            continue;
+        }
+        if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+            continue;
+        }
+        // Contraction (outside if reflected point improved on the worst,
+        // inside otherwise).
+        let (xc, fc) = if fr < worst.1 {
+            let xc = blend(&centroid, &xr, 0.5);
+            let fc = eval(&mut f, &xc, &mut evals);
+            (xc, fc)
+        } else {
+            let xc = blend(&centroid, &worst.0, 0.5);
+            let fc = eval(&mut f, &xc, &mut evals);
+            (xc, fc)
+        };
+        if fc < worst.1.min(fr) {
+            simplex[n] = (xc, fc);
+            continue;
+        }
+        // Shrink towards the best vertex.
+        let best = simplex[0].0.clone();
+        for entry in simplex.iter_mut().skip(1) {
+            entry.0 = blend(&best, &entry.0, 0.5);
+            entry.1 = eval(&mut f, &entry.0, &mut evals);
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+    let (x, fx) = simplex.swap_remove(0);
+    OptimizeResult {
+        x,
+        f: fx,
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let res = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((res.x[0] - 3.0).abs() < 1e-4, "x0 = {}", res.x[0]);
+        assert!((res.x[1] + 2.0).abs() < 1e-4, "x1 = {}", res.x[1]);
+        assert!(res.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let res = nelder_mead(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &NelderMeadOptions {
+                max_evals: 10_000,
+                ..Default::default()
+            },
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3);
+        assert!((res.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let res = nelder_mead(|x| (x[0] - 7.0).powi(2), &[0.0], &NelderMeadOptions::default());
+        assert!((res.x[0] - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nan_regions_are_avoided() {
+        // Objective is NaN for x < 0; minimum of the valid region at x = 1.
+        let res = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[5.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((res.x[0] - 1.0).abs() < 1e-3);
+        assert!(res.f.is_finite());
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let budget = 57;
+        let res = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum(),
+            &[10.0, 10.0, 10.0],
+            &NelderMeadOptions {
+                max_evals: budget,
+                f_tol: 0.0,
+                x_tol: 0.0,
+                ..Default::default()
+            },
+        );
+        // The final iteration may overshoot by at most the simplex size.
+        assert!(res.evals <= budget + 4, "used {} evals", res.evals);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_start_panics() {
+        let _ = nelder_mead(|_| 0.0, &[], &NelderMeadOptions::default());
+    }
+}

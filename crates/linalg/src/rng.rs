@@ -1,0 +1,110 @@
+//! Random sampling helpers built on top of [`rand`].
+//!
+//! The workspace avoids a dependency on `rand_distr` by implementing the two
+//! distributions it actually needs: standard normal sampling via the
+//! Box–Muller transform (used by the synthetic trace generators and the LSTM
+//! weight initialization) and a heavy-tailed Pareto-like sampler for bursty
+//! VM workloads.
+
+use rand::Rng;
+
+/// Draws one sample from the standard normal distribution using the
+/// Box–Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = utilcast_linalg::rng::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one sample from `N(mean, std_dev²)`.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Fills a vector with `n` i.i.d. `N(mean, std_dev²)` samples.
+pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, mean: f64, std_dev: f64) -> Vec<f64> {
+    (0..n).map(|_| normal(rng, mean, std_dev)).collect()
+}
+
+/// Draws one sample from a Pareto distribution with scale `x_min > 0` and
+/// shape `alpha > 0` via inverse-transform sampling.
+///
+/// Used by the Bitbrains-like generator for heavy-tailed utilization spikes.
+///
+/// # Panics
+///
+/// Panics if `x_min <= 0` or `alpha <= 0`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0, "x_min must be positive");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>(); // in (0, 1]
+    x_min / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(stats::mean(&xs).abs() < 0.03, "mean {} too far from 0", stats::mean(&xs));
+        assert!(
+            (stats::variance(&xs) - 1.0).abs() < 0.05,
+            "variance {} too far from 1",
+            stats::variance(&xs)
+        );
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        assert!((stats::mean(&xs) - 5.0).abs() < 0.06);
+        assert!((stats::std_dev(&xs) - 2.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn normal_vec_length_and_determinism() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let va = normal_vec(&mut a, 16, 0.0, 1.0);
+        let vb = normal_vec(&mut b, 16, 0.0, 1.0);
+        assert_eq!(va.len(), 16);
+        assert_eq!(va, vb, "same seed must give same samples");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(pareto(&mut rng, 0.5, 2.0) >= 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "standard deviation must be non-negative")]
+    fn normal_rejects_negative_std() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = normal(&mut rng, 0.0, -1.0);
+    }
+}

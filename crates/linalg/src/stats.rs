@@ -1,0 +1,334 @@
+//! Descriptive statistics: moments, correlation, covariance matrices, and
+//! empirical distribution functions.
+//!
+//! The paper's motivational experiment (Fig. 1) plots the empirical CDF of
+//! pairwise Pearson correlations; [`pearson`] and [`Ecdf`] implement exactly
+//! those pieces. The Gaussian baselines (Sec. VI-E) need sample mean vectors
+//! and covariance matrices over node histories, provided by
+//! [`covariance_matrix`].
+
+use crate::Matrix;
+
+/// Arithmetic mean of a slice; `0.0` for empty input.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(utilcast_linalg::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divide by `n`); `0.0` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divide by `n - 1`); `0.0` for fewer than two samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample covariance between two equally long series (divide by `n - 1`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "covariance requires equal lengths");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient between two series.
+///
+/// This is the paper's definition of (spatial) correlation between two nodes:
+/// sample covariance divided by both standard deviations. Returns `0.0` when
+/// either series is constant (zero variance), which is the conventional
+/// choice for utilization traces where an idle machine reports a flat line.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    let cov = covariance(xs, ys);
+    let sx = sample_variance(xs).sqrt();
+    let sy = sample_variance(ys).sqrt();
+    if sx == 0.0 || sy == 0.0 {
+        return 0.0;
+    }
+    (cov / (sx * sy)).clamp(-1.0, 1.0)
+}
+
+/// Sample mean vector of `n` series given as rows of a matrix
+/// (`series x time`).
+pub fn mean_vector(rows: &Matrix) -> Vec<f64> {
+    (0..rows.nrows()).map(|r| mean(rows.row(r))).collect()
+}
+
+/// Sample covariance matrix of `n` series given as rows (`series x time`).
+///
+/// Entry `(i, j)` is the sample covariance between row `i` and row `j`.
+/// The result is symmetric positive semi-definite up to rounding.
+pub fn covariance_matrix(rows: &Matrix) -> Matrix {
+    let n = rows.nrows();
+    let t = rows.ncols();
+    let means = mean_vector(rows);
+    let mut out = Matrix::zeros(n, n);
+    if t < 2 {
+        return out;
+    }
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0;
+            let ri = rows.row(i);
+            let rj = rows.row(j);
+            for k in 0..t {
+                acc += (ri[k] - means[i]) * (rj[k] - means[j]);
+            }
+            let c = acc / (t - 1) as f64;
+            out[(i, j)] = c;
+            out[(j, i)] = c;
+        }
+    }
+    out
+}
+
+/// Root mean square error between two equally long series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
+    assert!(!a.is_empty(), "rmse requires non-empty input");
+    let mse = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64;
+    mse.sqrt()
+}
+
+/// Linear-interpolation quantile of a sample, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile requires non-empty input");
+    assert!((0.0..=1.0).contains(&q), "q must be within [0, 1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Empirical cumulative distribution function over a finite sample.
+///
+/// Used to reproduce the paper's Fig. 1: the ECDF of pairwise correlation
+/// values of each data type.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_linalg::stats::Ecdf;
+///
+/// let ecdf = Ecdf::new(vec![0.1, 0.5, 0.9]);
+/// assert_eq!(ecdf.eval(0.0), 0.0);
+/// assert!((ecdf.eval(0.5) - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(ecdf.eval(1.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample. NaN values are dropped.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        sample.retain(|v| !v.is_nan());
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN removed above"));
+        Ecdf { sorted: sample }
+    }
+
+    /// Evaluates `F(x) = P(X <= x)`; `0.0` for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point returns the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Returns the number of retained (non-NaN) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates the ECDF on an evenly spaced grid of `points` values across
+    /// `[lo, hi]`, returning `(x, F(x))` pairs — the series plotted in Fig. 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2` or `lo >= hi`.
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "curve requires at least 2 points");
+        assert!(lo < hi, "lo must be strictly less than hi");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(covariance(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfectly_correlated() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|v| -v).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 1.0, 2.0];
+        let ys = [1.0, 1.0, 2.0, 2.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_matrix_is_symmetric_and_matches_pairwise() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[4.0, 3.0, 2.0, 1.0],
+            &[1.0, 1.0, 2.0, 2.0],
+        ]);
+        let cov = covariance_matrix(&m);
+        assert_eq!(cov.shape(), (3, 3));
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-12);
+                assert!(
+                    (cov[(i, j)] - covariance(m.row(i), m.row(j))).abs() < 1e-12,
+                    "entry ({i},{j}) disagrees with pairwise covariance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_step_behaviour() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn ecdf_drops_nan() {
+        let e = Ecdf::new(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let e = Ecdf::new((0..100).map(|i| (i as f64) / 100.0).collect());
+        let curve = e.curve(-1.0, 1.0, 50);
+        assert_eq!(curve.len(), 50);
+        for pair in curve.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "ECDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn empty_ecdf() {
+        let e = Ecdf::new(vec![f64::NAN]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(0.0), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use utilcast_linalg::stats::{covariance_matrix, pearson, Ecdf};
+use utilcast_linalg::{Cholesky, Matrix};
+
+/// Strategy for a symmetric positive-definite matrix: A = B Bᵀ + n·I.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |data| {
+        let b = Matrix::from_vec(n, n, data);
+        let a = b.mat_mul(&b.transpose()).expect("square");
+        a.add(&Matrix::identity(n).scale(n as f64)).expect("same shape")
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_round_trips(a in (2usize..6).prop_flat_map(spd_matrix)) {
+        let chol = Cholesky::new(&a).expect("SPD by construction");
+        let l = chol.factor();
+        let recon = l.mat_mul(&l.transpose()).unwrap();
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn cholesky_solve_satisfies_system(
+        a in spd_matrix(4),
+        b in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let x = Cholesky::new(&a).unwrap().solve_vec(&b);
+        let ax = a.mat_vec(&x);
+        for (u, v) in ax.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn general_solve_satisfies_system(
+        data in proptest::collection::vec(-5.0f64..5.0, 9),
+        b in proptest::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        let a = Matrix::from_vec(3, 3, data);
+        // Skip near-singular draws.
+        if let Ok(x) = a.solve(&b) {
+            let ax = a.mat_vec(&x);
+            for (u, v) in ax.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-5 * (1.0 + v.abs()), "residual too large");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associativity(
+        a in proptest::collection::vec(-2.0f64..2.0, 4),
+        b in proptest::collection::vec(-2.0f64..2.0, 4),
+        c in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        let a = Matrix::from_vec(2, 2, a);
+        let b = Matrix::from_vec(2, 2, b);
+        let c = Matrix::from_vec(2, 2, c);
+        let left = a.mat_mul(&b).unwrap().mat_mul(&c).unwrap();
+        let right = a.mat_mul(&b.mat_mul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        xs in proptest::collection::vec(-100.0f64..100.0, 3..50),
+    ) {
+        let ys: Vec<f64> = xs.iter().rev().cloned().collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert!((r - pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_matrix_diagonal_nonnegative(
+        data in proptest::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let m = Matrix::from_vec(3, 4, data);
+        let cov = covariance_matrix(&m);
+        for i in 0..3 {
+            prop_assert!(cov[(i, i)] >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn ecdf_monotone_and_bounded(
+        sample in proptest::collection::vec(-50.0f64..50.0, 1..100),
+        probe in proptest::collection::vec(-60.0f64..60.0, 1..20),
+    ) {
+        let e = Ecdf::new(sample);
+        let mut probes = probe;
+        probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for p in probes {
+            let v = e.eval(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev, "ECDF not monotone");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The central controller: stale store + dynamic clustering + per-cluster
+//! forecasting, driven by incoming [`Report`]s.
+//!
+//! This is the "central node" half of the paper's system, factored out so
+//! both the single-threaded and multi-threaded drivers share it. It is
+//! deliberately deterministic: reports within a tick are applied in node
+//! order before the clustering step runs, so the outcome is independent of
+//! message arrival order — which is what lets the threaded driver produce
+//! bit-identical results to the reference driver.
+
+use utilcast_core::pipeline::ModelSpec;
+use utilcast_core::stage::{ForecastStage, ForecastStageConfig};
+
+use crate::transport::Report;
+use crate::SimError;
+
+/// Controller configuration (the central-node subset of the paper's
+/// parameters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Number of local nodes `N`.
+    pub num_nodes: usize,
+    /// Number of clusters / models `K`.
+    pub k: usize,
+    /// Similarity look-back `M`.
+    pub m: usize,
+    /// Membership/offset look-back `M'`.
+    pub m_prime: usize,
+    /// Warmup observations before first model training.
+    pub warmup: usize,
+    /// Retraining interval.
+    pub retrain_every: usize,
+    /// Per-cluster forecasting model.
+    pub model: ModelSpec,
+    /// K-means seed.
+    pub seed: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            num_nodes: 100,
+            k: 3,
+            m: 1,
+            m_prime: 5,
+            warmup: 1000,
+            retrain_every: 288,
+            model: ModelSpec::SampleAndHold,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-tick summary from the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickReport {
+    /// Reports applied this tick.
+    pub reports_applied: usize,
+    /// Intermediate RMSE of the stored values against their centroids.
+    pub intermediate_rmse: f64,
+    /// Whether any model (re)trained.
+    pub retrained: bool,
+}
+
+/// The central node (scalar, single-resource form), built on the shared
+/// [`ForecastStage`].
+pub struct Controller {
+    config: ControllerConfig,
+    stored: Vec<f64>,
+    stage: ForecastStage,
+    ticks: usize,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("config", &self.config)
+            .field("ticks", &self.ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Controller {
+    /// Creates a controller with a zeroed store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero nodes or `k` outside
+    /// `[1, num_nodes]`.
+    pub fn new(config: ControllerConfig) -> Result<Self, SimError> {
+        if config.num_nodes == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "num_nodes must be positive".into(),
+            });
+        }
+        if config.k == 0 || config.k > config.num_nodes {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "k must be within [1, num_nodes]; got k = {}, num_nodes = {}",
+                    config.k, config.num_nodes
+                ),
+            });
+        }
+        let stage = ForecastStage::new(ForecastStageConfig {
+            num_nodes: config.num_nodes,
+            k: config.k,
+            m: config.m,
+            m_prime: config.m_prime,
+            warmup: config.warmup,
+            retrain_every: config.retrain_every,
+            model: config.model.clone(),
+            seed: config.seed,
+            ..Default::default()
+        })
+        .map_err(SimError::Core)?;
+        Ok(Controller {
+            stored: vec![0.0; config.num_nodes],
+            stage,
+            ticks: 0,
+            config,
+        })
+    }
+
+    /// The stored (possibly stale) per-node values.
+    pub fn stored(&self) -> &[f64] {
+        &self.stored
+    }
+
+    /// Number of ticks processed.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Applies one tick's worth of reports (scalar payloads) and runs the
+    /// clustering + model-update stage.
+    ///
+    /// Reports are sorted by node id before application so the result does
+    /// not depend on arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering/forecasting errors.
+    pub fn tick(&mut self, mut reports: Vec<Report>) -> Result<TickReport, SimError> {
+        reports.sort_by_key(|r| r.node);
+        let applied = reports.len();
+        for r in reports {
+            if let Some(&v) = r.values.first() {
+                if r.node < self.stored.len() {
+                    self.stored[r.node] = v;
+                }
+            }
+        }
+        self.ticks += 1;
+
+        let report = self.stage.step(&self.stored).map_err(SimError::Core)?;
+        Ok(TickReport {
+            reports_applied: applied,
+            intermediate_rmse: report.intermediate_rmse,
+            retrained: report.retrained,
+        })
+    }
+
+    /// Forecasts all nodes for horizons `1..=horizon`
+    /// (`out[h - 1][node]`), falling back to sample-and-hold during warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Core`] with [`CoreError::NotStarted`] before the
+    /// first tick.
+    pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, SimError> {
+        self.stage.forecast(horizon).map_err(SimError::Core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(node: usize, t: usize, v: f64) -> Report {
+        Report {
+            node,
+            t,
+            values: vec![v],
+        }
+    }
+
+    fn quick_config(n: usize, k: usize) -> ControllerConfig {
+        ControllerConfig {
+            num_nodes: n,
+            k,
+            warmup: 5,
+            retrain_every: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Controller::new(quick_config(0, 1)).is_err());
+        assert!(Controller::new(quick_config(2, 3)).is_err());
+        assert!(Controller::new(quick_config(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn reports_update_store() {
+        let mut c = Controller::new(quick_config(4, 2)).unwrap();
+        c.tick(vec![report(1, 0, 0.5), report(3, 0, 0.9)]).unwrap();
+        assert_eq!(c.stored(), &[0.0, 0.5, 0.0, 0.9]);
+        // Nodes without reports keep stale values.
+        c.tick(vec![report(0, 1, 0.2)]).unwrap();
+        assert_eq!(c.stored(), &[0.2, 0.5, 0.0, 0.9]);
+    }
+
+    #[test]
+    fn tick_result_is_order_independent() {
+        let reports = vec![report(2, 0, 0.3), report(0, 0, 0.1), report(1, 0, 0.2)];
+        let mut a = Controller::new(quick_config(3, 2)).unwrap();
+        let mut b = Controller::new(quick_config(3, 2)).unwrap();
+        let ra = a.tick(reports.clone()).unwrap();
+        let mut reversed = reports;
+        reversed.reverse();
+        let rb = b.tick(reversed).unwrap();
+        assert_eq!(a.stored(), b.stored());
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn out_of_range_reports_are_ignored() {
+        let mut c = Controller::new(quick_config(2, 1)).unwrap();
+        let r = c.tick(vec![report(9, 0, 0.5)]).unwrap();
+        assert_eq!(r.reports_applied, 1);
+        assert_eq!(c.stored(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn forecast_requires_a_tick() {
+        let c = Controller::new(quick_config(4, 2)).unwrap();
+        assert!(c.forecast(1).is_err());
+    }
+
+    #[test]
+    fn forecast_tracks_groups() {
+        let mut c = Controller::new(quick_config(6, 2)).unwrap();
+        for t in 0..20 {
+            let reports = (0..6)
+                .map(|i| report(i, t, if i < 3 { 0.2 } else { 0.8 }))
+                .collect();
+            c.tick(reports).unwrap();
+        }
+        let fc = c.forecast(2).unwrap();
+        for i in 0..6 {
+            let expected = if i < 3 { 0.2 } else { 0.8 };
+            assert!(
+                (fc[1][i] - expected).abs() < 0.05,
+                "node {i}: {} vs {expected}",
+                fc[1][i]
+            );
+        }
+    }
+
+    #[test]
+    fn retrain_follows_policy() {
+        let mut c = Controller::new(quick_config(4, 2)).unwrap();
+        let mut trained_at = Vec::new();
+        for t in 0..30 {
+            let reports = (0..4).map(|i| report(i, t, 0.1 * i as f64)).collect();
+            if c.tick(reports).unwrap().retrained {
+                trained_at.push(t + 1);
+            }
+        }
+        assert_eq!(trained_at, vec![5, 15, 25]);
+    }
+}

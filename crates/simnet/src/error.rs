@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use utilcast_core::CoreError;
+use utilcast_datasets::TraceError;
+
+/// Error type for the simulation drivers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An error from the core algorithms.
+    Core(CoreError),
+    /// An error accessing the trace.
+    Trace(TraceError),
+    /// A worker thread disconnected unexpectedly.
+    WorkerFailed {
+        /// Shard index of the failed worker.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
+            SimError::WorkerFailed { shard } => write!(f, "worker thread {shard} failed"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::WorkerFailed { shard: 2 };
+        assert_eq!(e.to_string(), "worker thread 2 failed");
+        assert!(e.source().is_none());
+        let e: SimError = CoreError::NotStarted.into();
+        assert!(e.source().is_some());
+    }
+}

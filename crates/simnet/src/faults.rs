@@ -1,0 +1,293 @@
+//! Fault injection: node crashes, restarts, and message loss.
+//!
+//! Real monitoring systems lose reports — machines crash, agents hang,
+//! packets drop. The paper's controller design is naturally robust to this
+//! (a missing report just leaves the stored value stale), and this module
+//! lets the simulation quantify that robustness: a [`FaultPlan`] drives
+//! which nodes are down at each tick and which reports are dropped in
+//! flight, and [`run_with_faults`] executes a full simulation under the
+//! plan.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+use utilcast_datasets::{Resource, Trace};
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::sim::{SimConfig, SimReport};
+use crate::transport::Report;
+use crate::SimError;
+
+/// Stochastic fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Per-step probability that an up node crashes.
+    pub crash_prob: f64,
+    /// Per-step probability that a down node restarts.
+    pub restart_prob: f64,
+    /// Probability that any individual report is lost in flight.
+    pub loss_prob: f64,
+    /// RNG seed for fault sampling.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            crash_prob: 0.001,
+            restart_prob: 0.05,
+            loss_prob: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (control condition).
+    pub fn none() -> Self {
+        FaultPlan {
+            crash_prob: 0.0,
+            restart_prob: 1.0,
+            loss_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        for (name, v) in [
+            ("crash_prob", self.crash_prob),
+            ("restart_prob", self.restart_prob),
+            ("loss_prob", self.loss_prob),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!("{name} must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Results of a faulty run, extending [`SimReport`] with fault accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The base simulation metrics.
+    pub sim: SimReport,
+    /// Node-steps spent crashed.
+    pub down_node_steps: u64,
+    /// Reports dropped in flight.
+    pub lost_reports: u64,
+}
+
+/// Runs the simulation under a fault plan. Crashed nodes neither measure
+/// nor transmit (their transmitter clock keeps running — the budget is per
+/// wall-clock step); lost reports consume the sender's budget but never
+/// reach the controller, exactly as a UDP-style telemetry channel behaves.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for invalid probabilities and
+/// propagates controller errors.
+pub fn run_with_faults(
+    config: &SimConfig,
+    trace: &Trace,
+    resource: Resource,
+    plan: &FaultPlan,
+) -> Result<FaultReport, SimError> {
+    plan.validate()?;
+    if !(config.budget > 0.0 && config.budget <= 1.0) {
+        return Err(SimError::InvalidConfig {
+            reason: format!("budget must be within (0, 1], got {}", config.budget),
+        });
+    }
+    let n = trace.num_nodes();
+    let steps = trace.num_steps();
+    let mut controller = Controller::new(ControllerConfig {
+        num_nodes: n,
+        k: config.k,
+        m: config.m,
+        m_prime: config.m_prime,
+        warmup: config.warmup,
+        retrain_every: config.retrain_every,
+        model: config.model.clone(),
+        seed: config.seed,
+    })?;
+    let mut transmitters: Vec<AdaptiveTransmitter> = (0..n)
+        .map(|_| {
+            AdaptiveTransmitter::new(TransmitConfig {
+                budget: config.budget,
+                v0: config.v0,
+                gamma: config.gamma,
+            })
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut up = vec![true; n];
+    let mut staleness = TimeAveragedRmse::new();
+    let mut intermediate = TimeAveragedRmse::new();
+    let mut sent: u64 = 0;
+    let mut delivered_bytes: u64 = 0;
+    let mut delivered: u64 = 0;
+    let mut down_node_steps: u64 = 0;
+    let mut lost_reports: u64 = 0;
+
+    for t in 0..steps {
+        // Evolve fault state.
+        for flag in up.iter_mut() {
+            if *flag {
+                if rng.gen::<f64>() < plan.crash_prob {
+                    *flag = false;
+                }
+            } else if rng.gen::<f64>() < plan.restart_prob {
+                *flag = true;
+            }
+        }
+        down_node_steps += up.iter().filter(|&&u| !u).count() as u64;
+
+        let x = trace.snapshot(resource, t)?;
+        let mut reports = Vec::new();
+        let stored = controller.stored().to_vec();
+        for i in 0..n {
+            if !up[i] {
+                continue;
+            }
+            let send = if t == 0 {
+                let _ = transmitters[i].decide(&[x[i]], &[x[i]]);
+                true
+            } else {
+                transmitters[i].decide(&[x[i]], &[stored[i]])
+            };
+            if send {
+                sent += 1;
+                if rng.gen::<f64>() < plan.loss_prob {
+                    lost_reports += 1;
+                } else {
+                    let r = Report {
+                        node: i,
+                        t,
+                        values: vec![x[i]],
+                    };
+                    delivered_bytes += r.wire_bytes();
+                    delivered += 1;
+                    reports.push(r);
+                }
+            }
+        }
+        let tick = controller.tick(reports)?;
+        staleness.add(rmse_step_scalar(controller.stored(), &x));
+        intermediate.add(tick.intermediate_rmse);
+    }
+    Ok(FaultReport {
+        sim: SimReport {
+            steps,
+            messages: delivered,
+            bytes: delivered_bytes,
+            realized_frequency: sent as f64 / (steps as f64 * n as f64),
+            staleness_rmse: staleness.value(),
+            intermediate_rmse: intermediate.value(),
+        },
+        down_node_steps,
+        lost_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use utilcast_datasets::presets;
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            k: 3,
+            warmup: 50,
+            retrain_every: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_fault_plan_matches_reference_driver() {
+        let trace = presets::alibaba_like().nodes(15).steps(150).seed(3).generate();
+        let clean = run_with_faults(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        let reference = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        assert_eq!(clean.sim, reference);
+        assert_eq!(clean.down_node_steps, 0);
+        assert_eq!(clean.lost_reports, 0);
+    }
+
+    #[test]
+    fn faults_increase_staleness_but_do_not_crash() {
+        let trace = presets::google_like().nodes(20).steps(300).seed(5).generate();
+        let clean = run_with_faults(&quick_config(), &trace, Resource::Cpu, &FaultPlan::none())
+            .unwrap();
+        let faulty = run_with_faults(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            &FaultPlan {
+                crash_prob: 0.01,
+                restart_prob: 0.05,
+                loss_prob: 0.1,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert!(faulty.down_node_steps > 0);
+        assert!(faulty.lost_reports > 0);
+        assert!(
+            faulty.sim.staleness_rmse > clean.sim.staleness_rmse,
+            "faults must cost accuracy: {} vs {}",
+            faulty.sim.staleness_rmse,
+            clean.sim.staleness_rmse
+        );
+        // The mechanism degrades gracefully: error stays bounded.
+        assert!(faulty.sim.staleness_rmse < 0.5);
+    }
+
+    #[test]
+    fn lost_reports_consume_budget_but_not_bandwidth() {
+        let trace = presets::bitbrains_like().nodes(10).steps(200).seed(9).generate();
+        let lossy = run_with_faults(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            &FaultPlan {
+                crash_prob: 0.0,
+                restart_prob: 1.0,
+                loss_prob: 0.5,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        // Roughly half the sent reports are delivered.
+        let total_sent = (lossy.sim.realized_frequency * 200.0 * 10.0).round() as u64;
+        assert!(lossy.sim.messages < total_sent);
+        assert_eq!(lossy.lost_reports + lossy.sim.messages, total_sent);
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        let trace = presets::alibaba_like().nodes(4).steps(10).generate();
+        let plan = FaultPlan {
+            loss_prob: 1.5,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+}

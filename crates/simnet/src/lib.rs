@@ -1,0 +1,43 @@
+//! A time-slotted simulation of the paper's distributed system.
+//!
+//! While `utilcast-core` exposes the algorithms as a single in-process
+//! pipeline, this crate deploys them the way the paper's system actually
+//! runs (Fig. 2): `N` **local nodes** each own an adaptive transmitter and
+//! decide independently when to push their measurement; a **central
+//! controller** receives the messages, maintains the stale store, and runs
+//! dynamic clustering plus per-cluster forecasting. A [`transport`] layer
+//! counts every message and byte so experiments can report communication
+//! cost, and two drivers execute the same simulation:
+//!
+//! * [`sim::Simulation`] — deterministic single-threaded reference driver;
+//! * [`threaded::run_threaded`] — nodes sharded over worker threads with
+//!   crossbeam channels to the controller; produces *identical* results to
+//!   the reference driver for the same inputs (verified by tests), because
+//!   the controller applies messages in node order within each tick.
+//!
+//! # Example
+//!
+//! ```
+//! use utilcast_datasets::presets;
+//! use utilcast_datasets::Resource;
+//! use utilcast_simnet::sim::{SimConfig, Simulation};
+//!
+//! let trace = presets::alibaba_like().nodes(20).steps(120).seed(1).generate();
+//! let config = SimConfig { k: 2, warmup: 30, retrain_every: 20, ..Default::default() };
+//! let report = Simulation::new(config)?.run(&trace, Resource::Cpu)?;
+//! assert!(report.realized_frequency <= 0.4);
+//! assert_eq!(report.steps, 120);
+//! # Ok::<(), utilcast_simnet::SimError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+mod error;
+pub mod faults;
+pub mod sim;
+pub mod threaded;
+pub mod transport;
+
+pub use error::SimError;

@@ -1,0 +1,294 @@
+//! The single-threaded reference simulation driver.
+
+use serde::{Deserialize, Serialize};
+use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
+use utilcast_core::pipeline::ModelSpec;
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+use utilcast_datasets::{Resource, Trace};
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::transport::{Meter, Report};
+use crate::SimError;
+
+/// Full simulation configuration (node side + controller side).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Transmission budget `B`.
+    pub budget: f64,
+    /// Lyapunov `V_0`.
+    pub v0: f64,
+    /// Lyapunov `γ`.
+    pub gamma: f64,
+    /// Number of clusters `K`.
+    pub k: usize,
+    /// Similarity look-back `M`.
+    pub m: usize,
+    /// Membership/offset look-back `M'`.
+    pub m_prime: usize,
+    /// Warmup observations before first model training.
+    pub warmup: usize,
+    /// Retraining interval.
+    pub retrain_every: usize,
+    /// Per-cluster forecasting model.
+    pub model: ModelSpec,
+    /// K-means seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            budget: 0.3,
+            v0: 1.0,
+            gamma: 0.65,
+            k: 3,
+            m: 1,
+            m_prime: 5,
+            warmup: 1000,
+            retrain_every: 288,
+            model: ModelSpec::SampleAndHold,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Time steps simulated.
+    pub steps: usize,
+    /// Total reports delivered to the controller.
+    pub messages: u64,
+    /// Total modelled bytes on the wire.
+    pub bytes: u64,
+    /// Realized average transmission frequency.
+    pub realized_frequency: f64,
+    /// Time-averaged staleness RMSE (`h = 0`, Eq. 4 with x̂ = z).
+    pub staleness_rmse: f64,
+    /// Time-averaged intermediate RMSE (data vs closest centroid).
+    pub intermediate_rmse: f64,
+}
+
+/// The deterministic single-threaded driver.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    controller: Controller,
+    transmitters: Vec<AdaptiveTransmitter>,
+    meter: Meter,
+}
+
+impl Simulation {
+    /// Creates an (unsized) simulation; node count is taken from the trace
+    /// at [`Simulation::run`] time, so this constructor only validates the
+    /// scalar parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a budget outside `(0, 1]` or
+    /// `k == 0`.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        if !(config.budget > 0.0 && config.budget <= 1.0) {
+            return Err(SimError::InvalidConfig {
+                reason: format!("budget must be within (0, 1], got {}", config.budget),
+            });
+        }
+        if config.k == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "k must be positive".into(),
+            });
+        }
+        // The controller is created lazily in run() when N is known; store
+        // a placeholder sized for 1 node to keep the struct simple.
+        let controller = Controller::new(ControllerConfig {
+            num_nodes: 1,
+            k: 1,
+            ..Default::default()
+        })?;
+        Ok(Simulation {
+            config,
+            controller,
+            transmitters: Vec::new(),
+            meter: Meter::new(),
+        })
+    }
+
+    /// Runs the simulation over one resource of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace access and controller errors; returns
+    /// [`SimError::InvalidConfig`] if `k > N`.
+    pub fn run(mut self, trace: &Trace, resource: Resource) -> Result<SimReport, SimError> {
+        let n = trace.num_nodes();
+        let steps = trace.num_steps();
+        self.controller = Controller::new(ControllerConfig {
+            num_nodes: n,
+            k: self.config.k,
+            m: self.config.m,
+            m_prime: self.config.m_prime,
+            warmup: self.config.warmup,
+            retrain_every: self.config.retrain_every,
+            model: self.config.model.clone(),
+            seed: self.config.seed,
+        })?;
+        self.transmitters = (0..n)
+            .map(|_| {
+                AdaptiveTransmitter::new(TransmitConfig {
+                    budget: self.config.budget,
+                    v0: self.config.v0,
+                    gamma: self.config.gamma,
+                })
+            })
+            .collect();
+
+        let mut staleness = TimeAveragedRmse::new();
+        let mut intermediate = TimeAveragedRmse::new();
+        let mut sent: u64 = 0;
+        for t in 0..steps {
+            let x = trace.snapshot(resource, t)?;
+            let mut reports = Vec::new();
+            if t == 0 {
+                // Bootstrap: everyone reports so the controller has a value
+                // for every node.
+                for (i, &v) in x.iter().enumerate() {
+                    // Consume the transmitters' clocks too.
+                    let _ = self.transmitters[i].decide(&[v], &[v]);
+                    reports.push(Report {
+                        node: i,
+                        t,
+                        values: vec![v],
+                    });
+                }
+            } else {
+                let stored = self.controller.stored();
+                for (i, &v) in x.iter().enumerate() {
+                    if self.transmitters[i].decide(&[v], &[stored[i]]) {
+                        reports.push(Report {
+                            node: i,
+                            t,
+                            values: vec![v],
+                        });
+                    }
+                }
+            }
+            sent += reports.len() as u64;
+            for r in &reports {
+                self.meter.record(r);
+            }
+            let tick = self.controller.tick(reports)?;
+            staleness.add(rmse_step_scalar(self.controller.stored(), &x));
+            intermediate.add(tick.intermediate_rmse);
+        }
+        Ok(SimReport {
+            steps,
+            messages: self.meter.messages(),
+            bytes: self.meter.bytes(),
+            realized_frequency: sent as f64 / (steps as f64 * n as f64),
+            staleness_rmse: staleness.value(),
+            intermediate_rmse: intermediate.value(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utilcast_datasets::presets;
+
+    fn small_trace() -> Trace {
+        presets::bitbrains_like().nodes(15).steps(150).seed(4).generate()
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            k: 3,
+            warmup: 30,
+            retrain_every: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let trace = small_trace();
+        let report = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        assert_eq!(report.steps, 150);
+        assert!(report.messages >= 15, "at least the bootstrap tick");
+        assert_eq!(
+            report.bytes,
+            report.messages * (crate::transport::HEADER_BYTES + 8)
+        );
+        assert!(report.staleness_rmse >= 0.0 && report.staleness_rmse < 0.5);
+        assert!(report.intermediate_rmse > 0.0);
+    }
+
+    #[test]
+    fn frequency_respects_budget() {
+        let trace = small_trace();
+        let report = Simulation::new(SimConfig {
+            budget: 0.2,
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        // Bootstrap adds 1/steps; allow queue slack.
+        assert!(
+            report.realized_frequency <= 0.2 + 0.06,
+            "frequency {}",
+            report.realized_frequency
+        );
+    }
+
+    #[test]
+    fn higher_budget_lowers_staleness_error() {
+        let trace = small_trace();
+        let low = Simulation::new(SimConfig {
+            budget: 0.05,
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        let high = Simulation::new(SimConfig {
+            budget: 0.8,
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        assert!(
+            high.staleness_rmse < low.staleness_rmse,
+            "high budget {} should beat low budget {}",
+            high.staleness_rmse,
+            low.staleness_rmse
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Simulation::new(SimConfig {
+            budget: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Simulation::new(SimConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .is_err());
+        // k > N surfaces at run time.
+        let trace = presets::alibaba_like().nodes(2).steps(10).generate();
+        let err = Simulation::new(SimConfig {
+            k: 5,
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu);
+        assert!(err.is_err());
+    }
+}

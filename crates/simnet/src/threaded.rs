@@ -1,0 +1,213 @@
+//! Multi-threaded driver: node shards on worker threads, crossbeam
+//! channels to the controller.
+//!
+//! Nodes are partitioned into `shards` contiguous ranges; each worker
+//! thread owns its shard's transmitters and, for every tick, receives the
+//! controller's current stored values for its nodes, runs the transmission
+//! decisions, and sends the resulting [`Report`]s back over a channel. The
+//! controller waits for all shards each tick (the system is time-slotted),
+//! applies the reports in node order, and advances the clustering +
+//! forecasting stage.
+//!
+//! Because decisions only depend on per-node transmitter state and the
+//! shared stored values — and the controller sorts reports by node id —
+//! the run is **deterministic and identical to the single-threaded
+//! driver**, regardless of thread scheduling.
+
+use crossbeam::channel;
+use std::thread;
+use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+use utilcast_datasets::{Resource, Trace};
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::sim::{SimConfig, SimReport};
+use crate::transport::{Meter, Report};
+use crate::SimError;
+
+/// Per-tick instruction to a worker: the current stored values of the
+/// worker's node range. `None` tells the worker to shut down.
+type TickInput = Option<(usize, Vec<f64>, Vec<f64>)>; // (t, fresh x, stored z)
+
+/// Runs the simulation with node decisions distributed over `shards`
+/// worker threads. Produces the same [`SimReport`] as
+/// [`crate::sim::Simulation::run`] for the same inputs.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for invalid parameters or
+/// `shards == 0`, and [`SimError::WorkerFailed`] if a worker disconnects.
+pub fn run_threaded(
+    config: &SimConfig,
+    trace: &Trace,
+    resource: Resource,
+    shards: usize,
+) -> Result<SimReport, SimError> {
+    if shards == 0 {
+        return Err(SimError::InvalidConfig {
+            reason: "shards must be positive".into(),
+        });
+    }
+    if !(config.budget > 0.0 && config.budget <= 1.0) {
+        return Err(SimError::InvalidConfig {
+            reason: format!("budget must be within (0, 1], got {}", config.budget),
+        });
+    }
+    let n = trace.num_nodes();
+    let steps = trace.num_steps();
+    let shards = shards.min(n);
+    let mut controller = Controller::new(ControllerConfig {
+        num_nodes: n,
+        k: config.k,
+        m: config.m,
+        m_prime: config.m_prime,
+        warmup: config.warmup,
+        retrain_every: config.retrain_every,
+        model: config.model.clone(),
+        seed: config.seed,
+    })?;
+    let meter = Meter::new();
+
+    // Shard boundaries: contiguous, near-equal ranges.
+    let bounds: Vec<(usize, usize)> = (0..shards)
+        .map(|s| {
+            let lo = s * n / shards;
+            let hi = (s + 1) * n / shards;
+            (lo, hi)
+        })
+        .collect();
+
+    // Channels: one input channel per worker, one shared output channel.
+    let (out_tx, out_rx) = channel::unbounded::<(usize, Vec<Report>)>();
+    let mut in_txs = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for (shard, &(lo, hi)) in bounds.iter().enumerate() {
+        let (in_tx, in_rx) = channel::unbounded::<TickInput>();
+        in_txs.push(in_tx);
+        let out_tx = out_tx.clone();
+        let tx_config = TransmitConfig {
+            budget: config.budget,
+            v0: config.v0,
+            gamma: config.gamma,
+        };
+        let meter = meter.clone();
+        handles.push(thread::spawn(move || {
+            let mut transmitters: Vec<AdaptiveTransmitter> =
+                (lo..hi).map(|_| AdaptiveTransmitter::new(tx_config)).collect();
+            while let Ok(Some((t, xs, zs))) = in_rx.recv() {
+                let mut reports = Vec::new();
+                for (off, (&x, &z)) in xs.iter().zip(&zs).enumerate() {
+                    let node = lo + off;
+                    let send = if t == 0 {
+                        // Bootstrap tick: everyone reports (clock still
+                        // consumed to stay aligned with the reference
+                        // driver).
+                        let _ = transmitters[off].decide(&[x], &[x]);
+                        true
+                    } else {
+                        transmitters[off].decide(&[x], &[z])
+                    };
+                    if send {
+                        let r = Report {
+                            node,
+                            t,
+                            values: vec![x],
+                        };
+                        meter.record(&r);
+                        reports.push(r);
+                    }
+                }
+                if out_tx.send((shard, reports)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(out_tx);
+
+    let mut staleness = TimeAveragedRmse::new();
+    let mut intermediate = TimeAveragedRmse::new();
+    let mut sent: u64 = 0;
+    for t in 0..steps {
+        let x = trace.snapshot(resource, t)?;
+        let stored = controller.stored().to_vec();
+        for (shard, &(lo, hi)) in bounds.iter().enumerate() {
+            let payload = Some((t, x[lo..hi].to_vec(), stored[lo..hi].to_vec()));
+            if in_txs[shard].send(payload).is_err() {
+                return Err(SimError::WorkerFailed { shard });
+            }
+        }
+        let mut tick_reports = Vec::new();
+        for _ in 0..shards {
+            match out_rx.recv() {
+                Ok((_, mut reports)) => tick_reports.append(&mut reports),
+                Err(_) => return Err(SimError::WorkerFailed { shard: usize::MAX }),
+            }
+        }
+        sent += tick_reports.len() as u64;
+        let tick = controller.tick(tick_reports)?;
+        staleness.add(rmse_step_scalar(controller.stored(), &x));
+        intermediate.add(tick.intermediate_rmse);
+    }
+    // Shut the workers down.
+    for tx in &in_txs {
+        let _ = tx.send(None);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(SimReport {
+        steps,
+        messages: meter.messages(),
+        bytes: meter.bytes(),
+        realized_frequency: sent as f64 / (steps as f64 * n as f64),
+        staleness_rmse: staleness.value(),
+        intermediate_rmse: intermediate.value(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use utilcast_datasets::presets;
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            k: 3,
+            warmup: 30,
+            retrain_every: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn threaded_matches_reference_driver() {
+        let trace = presets::google_like().nodes(20).steps(120).seed(9).generate();
+        let reference = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        for shards in [1, 3, 7] {
+            let threaded = run_threaded(&quick_config(), &trace, Resource::Cpu, shards).unwrap();
+            assert_eq!(threaded, reference, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_is_clamped() {
+        let trace = presets::alibaba_like().nodes(4) .steps(40).seed(2).generate();
+        let report = run_threaded(&quick_config(), &trace, Resource::Memory, 16);
+        // k=3 <= 4 nodes, so this must succeed.
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let trace = presets::alibaba_like().nodes(4).steps(10).generate();
+        assert!(matches!(
+            run_threaded(&quick_config(), &trace, Resource::Cpu, 0),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Message types and bandwidth accounting.
+//!
+//! The point of the paper's adaptive transmission is to cut communication
+//! cost, so the simulation meters it: every measurement report is a
+//! [`Report`] whose wire size is modelled as a fixed header plus one `f64`
+//! per resource dimension, and a shared [`Meter`] (cheap `parking_lot`
+//! mutex, written by every node shard) accumulates totals.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Modelled header bytes per report (node id + timestamp + framing).
+pub const HEADER_BYTES: u64 = 16;
+
+/// A measurement report from a local node to the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Sending node index.
+    pub node: usize,
+    /// Time step of the measurement.
+    pub t: usize,
+    /// Measurement payload (one value per resource dimension).
+    pub values: Vec<f64>,
+}
+
+impl Report {
+    /// Modelled wire size in bytes.
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + 8 * self.values.len() as u64
+    }
+}
+
+/// Shared bandwidth meter.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    inner: Arc<Mutex<MeterState>>,
+}
+
+#[derive(Debug, Default)]
+struct MeterState {
+    messages: u64,
+    bytes: u64,
+}
+
+impl Meter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Records one report.
+    pub fn record(&self, report: &Report) {
+        let mut state = self.inner.lock();
+        state.messages += 1;
+        state.bytes += report.wire_bytes();
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.inner.lock().messages
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_counts_header_and_payload() {
+        let r = Report {
+            node: 3,
+            t: 7,
+            values: vec![0.1, 0.2],
+        };
+        assert_eq!(r.wire_bytes(), HEADER_BYTES + 16);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let m = Meter::new();
+        m.record(&Report {
+            node: 0,
+            t: 0,
+            values: vec![0.5],
+        });
+        m.record(&Report {
+            node: 1,
+            t: 0,
+            values: vec![0.5, 0.6, 0.7],
+        });
+        assert_eq!(m.messages(), 2);
+        assert_eq!(m.bytes(), 2 * HEADER_BYTES + 8 + 24);
+    }
+
+    #[test]
+    fn meter_clones_share_state() {
+        let m = Meter::new();
+        let m2 = m.clone();
+        m2.record(&Report {
+            node: 0,
+            t: 0,
+            values: vec![1.0],
+        });
+        assert_eq!(m.messages(), 1);
+    }
+
+    #[test]
+    fn meter_is_thread_safe() {
+        let m = Meter::new();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for t in 0..100 {
+                        m.record(&Report {
+                            node: i,
+                            t,
+                            values: vec![0.0],
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.messages(), 400);
+    }
+}

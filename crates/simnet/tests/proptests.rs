@@ -1,0 +1,87 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use utilcast_core::pipeline::ModelSpec;
+use utilcast_datasets::presets;
+use utilcast_datasets::Resource;
+use utilcast_simnet::sim::{SimConfig, Simulation};
+use utilcast_simnet::threaded::run_threaded;
+use utilcast_simnet::transport::{Meter, Report, HEADER_BYTES};
+
+proptest! {
+    /// Wire size is affine in the payload length.
+    #[test]
+    fn wire_bytes_affine(node in 0usize..1000, t in 0usize..10_000, d in 0usize..16) {
+        let r = Report { node, t, values: vec![0.5; d] };
+        prop_assert_eq!(r.wire_bytes(), HEADER_BYTES + 8 * d as u64);
+    }
+
+    /// The meter equals the sum of the individual reports it recorded.
+    #[test]
+    fn meter_totals_match(sizes in proptest::collection::vec(0usize..8, 1..50)) {
+        let m = Meter::new();
+        let mut bytes = 0u64;
+        for (t, &d) in sizes.iter().enumerate() {
+            let r = Report { node: 0, t, values: vec![0.1; d] };
+            bytes += r.wire_bytes();
+            m.record(&r);
+        }
+        prop_assert_eq!(m.messages(), sizes.len() as u64);
+        prop_assert_eq!(m.bytes(), bytes);
+    }
+
+    /// The threaded driver is bit-identical to the reference driver for any
+    /// shard count, budget, and K (the scheduling-independence property).
+    /// Kept small: the property is structural, not statistical.
+    #[test]
+    fn threaded_always_matches_reference(
+        shards in 1usize..6,
+        k in 1usize..4,
+        budget_pct in 1u32..10,
+        seed in 0u64..20,
+    ) {
+        let budget = budget_pct as f64 / 10.0;
+        let trace = presets::alibaba_like().nodes(8).steps(60).seed(seed).generate();
+        let config = SimConfig {
+            budget,
+            k,
+            warmup: 20,
+            retrain_every: 25,
+            model: ModelSpec::SampleAndHold,
+            ..Default::default()
+        };
+        let reference = Simulation::new(config.clone())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        let threaded = run_threaded(&config, &trace, Resource::Cpu, shards).unwrap();
+        prop_assert_eq!(reference, threaded);
+    }
+
+    /// Realized frequency never exceeds budget by more than the queue
+    /// slack, for any budget and trace seed.
+    #[test]
+    fn frequency_bounded_by_budget_plus_slack(
+        budget_pct in 1u32..10,
+        seed in 0u64..20,
+    ) {
+        let budget = budget_pct as f64 / 10.0;
+        let trace = presets::google_like().nodes(10).steps(200).seed(seed).generate();
+        let report = Simulation::new(SimConfig {
+            budget,
+            k: 3,
+            warmup: 10_000,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        // sent = B*T + Q(T) per node; Q is bounded by Vt * max err over the
+        // horizon, which stays small on unit-range data at T = 200.
+        prop_assert!(
+            report.realized_frequency <= budget + 0.15,
+            "budget {budget}: frequency {}",
+            report.realized_frequency
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! Autocorrelation and partial autocorrelation functions.
+//!
+//! The paper's Sec. VI-A3 describes making "initial observations of the
+//! stationarity, auto correlation, and partial auto correlation functions"
+//! before the ARIMA grid search; these diagnostics are implemented here.
+//! The PACF uses the Durbin–Levinson recursion.
+
+use utilcast_linalg::stats::mean;
+
+/// Sample autocorrelation function for lags `0..=max_lag`.
+///
+/// Uses the biased estimator (divide by `n`), the standard choice that
+/// guarantees a positive semi-definite autocovariance sequence.
+///
+/// Returns `acf[0] == 1.0` for any non-constant series; a constant series
+/// returns all zeros beyond lag 0 (with `acf[0] = 1.0` by convention).
+///
+/// # Panics
+///
+/// Panics if `series.len() <= max_lag` or the series is empty.
+///
+/// # Example
+///
+/// ```
+/// let series: Vec<f64> = (0..100).map(|t| if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// let acf = utilcast_timeseries::acf::acf(&series, 2);
+/// assert!((acf[1] + 1.0).abs() < 0.05); // alternating series: lag-1 ACF near -1
+/// assert!((acf[2] - 1.0).abs() < 0.05);
+/// ```
+pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    assert!(!series.is_empty(), "acf requires non-empty series");
+    assert!(
+        series.len() > max_lag,
+        "series length {} must exceed max_lag {max_lag}",
+        series.len()
+    );
+    let n = series.len();
+    let m = mean(series);
+    let c0: f64 = series.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    for lag in 1..=max_lag {
+        if c0 == 0.0 {
+            out.push(0.0);
+            continue;
+        }
+        let ck: f64 = series[lag..]
+            .iter()
+            .zip(series)
+            .map(|(a, b)| (a - m) * (b - m))
+            .sum::<f64>()
+            / n as f64;
+        out.push(ck / c0);
+    }
+    out
+}
+
+/// Sample partial autocorrelation function for lags `0..=max_lag` via the
+/// Durbin–Levinson recursion. `pacf[0]` is `1.0` by convention.
+///
+/// # Panics
+///
+/// Panics if `series.len() <= max_lag` or the series is empty.
+pub fn pacf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let rho = acf(series, max_lag);
+    let mut out = Vec::with_capacity(max_lag + 1);
+    out.push(1.0);
+    if max_lag == 0 {
+        return out;
+    }
+    // Durbin–Levinson: phi[k][j] coefficients of the order-k AR fit.
+    let mut phi_prev = vec![0.0; max_lag + 1];
+    phi_prev[1] = rho[1];
+    out.push(rho[1]);
+    for k in 2..=max_lag {
+        let num = rho[k]
+            - (1..k)
+                .map(|j| phi_prev[j] * rho[k - j])
+                .sum::<f64>();
+        let den = 1.0
+            - (1..k)
+                .map(|j| phi_prev[j] * rho[j])
+                .sum::<f64>();
+        let phi_kk = if den.abs() < 1e-12 { 0.0 } else { num / den };
+        let mut phi_new = phi_prev.clone();
+        phi_new[k] = phi_kk;
+        for j in 1..k {
+            phi_new[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+        }
+        out.push(phi_kk);
+        phi_prev = phi_new;
+    }
+    out
+}
+
+/// A simple stationarity diagnostic: the lag-1 autocorrelation of the series
+/// compared against that of its first difference. Returns `true` when the
+/// raw series looks like it needs differencing (lag-1 ACF very close to 1,
+/// i.e. a unit root is plausible).
+///
+/// This is a lightweight screen, not a formal ADF test; the ARIMA grid
+/// search explores `d` anyway, so the screen only guides the initial guess.
+///
+/// # Panics
+///
+/// Panics if the series has fewer than 3 points.
+pub fn suggests_differencing(series: &[f64]) -> bool {
+    assert!(series.len() >= 3, "need at least 3 points");
+    let a = acf(series, 1);
+    a[1] > 0.95
+}
+
+/// Ljung–Box portmanteau statistic for residual whiteness:
+/// `Q = n(n+2) Σ_{k=1..m} ρ_k² / (n−k)`.
+///
+/// Under the null hypothesis that the series is white noise, `Q` follows a
+/// χ² distribution with `m` (minus the number of fitted parameters) degrees
+/// of freedom. [`ljung_box_passes`] compares against the χ² 95th percentile
+/// so ARIMA residuals can be checked without a stats library.
+///
+/// # Panics
+///
+/// Panics if `series.len() <= max_lag` or the series is empty.
+pub fn ljung_box(series: &[f64], max_lag: usize) -> f64 {
+    let rho = acf(series, max_lag);
+    let n = series.len() as f64;
+    n * (n + 2.0)
+        * (1..=max_lag)
+            .map(|k| rho[k] * rho[k] / (n - k as f64))
+            .sum::<f64>()
+}
+
+/// Approximate 95th percentile of the χ² distribution with `df` degrees of
+/// freedom (Wilson–Hilferty approximation) — adequate for the pass/fail
+/// diagnostic here.
+fn chi2_95(df: usize) -> f64 {
+    let k = df as f64;
+    let z = 1.6449; // standard normal 95th percentile
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// `true` when the Ljung–Box test does **not** reject whiteness at the 5%
+/// level, with `fitted_params` subtracted from the degrees of freedom (the
+/// convention for ARMA residual checks).
+///
+/// # Panics
+///
+/// Panics if `max_lag <= fitted_params` or the series is too short.
+pub fn ljung_box_passes(series: &[f64], max_lag: usize, fitted_params: usize) -> bool {
+    assert!(
+        max_lag > fitted_params,
+        "max_lag {max_lag} must exceed fitted parameter count {fitted_params}"
+    );
+    ljung_box(series, max_lag) <= chi2_95(max_lag - fitted_params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use utilcast_linalg::rng::standard_normal;
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x = phi * x + standard_normal(&mut rng);
+            xs.push(x);
+        }
+        xs
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let xs = ar1(200, 0.5, 1);
+        let a = acf(&xs, 5);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn acf_of_ar1_decays_geometrically() {
+        let xs = ar1(20_000, 0.7, 2);
+        let a = acf(&xs, 3);
+        assert!((a[1] - 0.7).abs() < 0.05, "lag-1 acf {}", a[1]);
+        assert!((a[2] - 0.49).abs() < 0.06, "lag-2 acf {}", a[2]);
+    }
+
+    #[test]
+    fn acf_of_white_noise_is_near_zero() {
+        let xs = ar1(20_000, 0.0, 3);
+        let a = acf(&xs, 5);
+        for lag in 1..=5 {
+            assert!(a[lag].abs() < 0.03, "lag {lag} acf {}", a[lag]);
+        }
+    }
+
+    #[test]
+    fn acf_constant_series_is_zero_beyond_lag_zero() {
+        let xs = vec![2.0; 50];
+        let a = acf(&xs, 3);
+        assert_eq!(a, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag_one() {
+        let xs = ar1(20_000, 0.6, 4);
+        let p = pacf(&xs, 4);
+        assert!((p[1] - 0.6).abs() < 0.05, "lag-1 pacf {}", p[1]);
+        for lag in 2..=4 {
+            assert!(p[lag].abs() < 0.05, "lag {lag} pacf {} should be ~0", p[lag]);
+        }
+    }
+
+    #[test]
+    fn pacf_of_ar2_cuts_off_after_lag_two() {
+        // AR(2): x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + e_t
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30_000;
+        let mut xs = vec![0.0f64; n];
+        for t in 2..n {
+            xs[t] = 0.5 * xs[t - 1] + 0.3 * xs[t - 2] + standard_normal(&mut rng);
+        }
+        let p = pacf(&xs, 4);
+        assert!(p[2] > 0.2, "lag-2 pacf {} should be substantial", p[2]);
+        assert!(p[3].abs() < 0.05, "lag-3 pacf {}", p[3]);
+        assert!(p[4].abs() < 0.05, "lag-4 pacf {}", p[4]);
+    }
+
+    #[test]
+    fn ljung_box_accepts_white_noise() {
+        let noise = ar1(3000, 0.0, 21);
+        assert!(
+            ljung_box_passes(&noise, 12, 0),
+            "Q = {}",
+            ljung_box(&noise, 12)
+        );
+    }
+
+    #[test]
+    fn ljung_box_rejects_autocorrelated_series() {
+        let correlated = ar1(3000, 0.6, 22);
+        assert!(
+            !ljung_box_passes(&correlated, 12, 0),
+            "Q = {}",
+            ljung_box(&correlated, 12)
+        );
+    }
+
+    #[test]
+    fn ljung_box_validates_arima_residuals_end_to_end() {
+        // Fit AR(1) to AR(1) data: the one-step innovations must be white.
+        use crate::arima::{Arima, ArimaOrder};
+        use crate::Forecaster;
+        let series = ar1(2000, 0.7, 23);
+        let mut model = Arima::new(ArimaOrder::new(1, 0, 0));
+        model.fit(&series).unwrap();
+        // Reconstruct residuals as one-step forecast errors.
+        let mut residuals = Vec::new();
+        for t in 1500..1999 {
+            let fc = model.forecast(&series[..t], 1).unwrap()[0];
+            residuals.push(series[t] - fc);
+        }
+        assert!(
+            ljung_box_passes(&residuals, 10, 1),
+            "residual Q = {}",
+            ljung_box(&residuals, 10)
+        );
+    }
+
+    #[test]
+    fn chi2_quantile_sane() {
+        // Known values: chi2_95(10) ~ 18.31, chi2_95(1) ~ 3.84.
+        assert!((chi2_95(10) - 18.31).abs() < 0.3);
+        assert!((chi2_95(1) - 3.84).abs() < 0.4);
+    }
+
+    #[test]
+    fn random_walk_suggests_differencing_but_noise_does_not() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut walk = Vec::with_capacity(5000);
+        let mut x = 0.0;
+        for _ in 0..5000 {
+            x += standard_normal(&mut rng);
+            walk.push(x);
+        }
+        assert!(suggests_differencing(&walk));
+        let noise = ar1(5000, 0.2, 7);
+        assert!(!suggests_differencing(&noise));
+    }
+}

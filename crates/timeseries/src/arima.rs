@@ -1,0 +1,951 @@
+//! Seasonal ARIMA fitted by conditional sum of squares (CSS).
+//!
+//! Implements the model family the paper grid-searches in Sec. VI-A3:
+//! ARIMA(p,d,q)(P,D,Q)ₛ with orders `p ∈ [0,5]`, `d ∈ [0,2]`, `q ∈ [0,5]`,
+//! `P ∈ [0,2]`, `D ∈ [0,1]`, `Q ∈ [0,2]`, selected by the corrected Akaike
+//! information criterion (AICc).
+//!
+//! The estimator minimizes the conditional sum of squares of the one-step
+//! innovations with Nelder–Mead — the standard approximation to maximum
+//! likelihood for ARMA models. Seasonal and non-seasonal polynomials are
+//! expanded into a single combined AR/MA recursion, so forecasting is one
+//! linear recurrence regardless of the seasonal structure.
+
+use serde::{Deserialize, Serialize};
+use utilcast_linalg::optimize::{nelder_mead, NelderMeadOptions};
+use utilcast_linalg::stats::mean;
+
+use crate::diff::{difference, integrate, loss};
+use crate::{Forecaster, TimeSeriesError};
+
+/// The orders of a seasonal ARIMA model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArimaOrder {
+    /// Non-seasonal autoregressive order.
+    pub p: usize,
+    /// Non-seasonal differencing order.
+    pub d: usize,
+    /// Non-seasonal moving-average order.
+    pub q: usize,
+    /// Seasonal autoregressive order.
+    pub sp: usize,
+    /// Seasonal differencing order.
+    pub sd: usize,
+    /// Seasonal moving-average order.
+    pub sq: usize,
+    /// Seasonal period (ignored when all seasonal orders are zero).
+    pub s: usize,
+}
+
+impl ArimaOrder {
+    /// Creates a non-seasonal ARIMA(p,d,q) order.
+    pub fn new(p: usize, d: usize, q: usize) -> Self {
+        ArimaOrder {
+            p,
+            d,
+            q,
+            sp: 0,
+            sd: 0,
+            sq: 0,
+            s: 0,
+        }
+    }
+
+    /// Creates a full seasonal order ARIMA(p,d,q)(P,D,Q)ₛ.
+    pub fn seasonal(p: usize, d: usize, q: usize, sp: usize, sd: usize, sq: usize, s: usize) -> Self {
+        ArimaOrder {
+            p,
+            d,
+            q,
+            sp,
+            sd,
+            sq,
+            s,
+        }
+    }
+
+    /// Number of coefficients estimated by the optimizer (AR + MA + seasonal
+    /// AR + seasonal MA + mean).
+    pub fn num_coefficients(&self) -> usize {
+        self.p + self.q + self.sp + self.sq + 1
+    }
+
+    /// Maximum AR-side lag of the combined recursion.
+    fn ar_span(&self) -> usize {
+        self.p + self.sp * self.s
+    }
+
+    /// Maximum MA-side lag of the combined recursion.
+    pub fn ma_span(&self) -> usize {
+        self.q + self.sq * self.s
+    }
+
+    /// Maximum AR-side lag of the combined recursion (public counterpart of
+    /// the internal span used to size the innovation recursion).
+    pub fn combined_ar_span(&self) -> usize {
+        self.ar_span()
+    }
+
+    /// Minimum series length required to fit this order: differencing loss
+    /// plus the AR span plus a few innovations to score.
+    pub fn min_series_len(&self) -> usize {
+        loss(self.d, self.sd, self.s) + self.ar_span() + self.num_coefficients().max(4) + 2
+    }
+}
+
+impl Default for ArimaOrder {
+    fn default() -> Self {
+        ArimaOrder::new(1, 0, 0)
+    }
+}
+
+/// Fitted SARIMA coefficients (after polynomial expansion the model is a
+/// plain ARMA recursion on the differenced, mean-centered series).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedArima {
+    /// Non-seasonal AR coefficients φ.
+    pub phi: Vec<f64>,
+    /// Non-seasonal MA coefficients θ.
+    pub theta: Vec<f64>,
+    /// Seasonal AR coefficients Φ.
+    pub sphi: Vec<f64>,
+    /// Seasonal MA coefficients Θ.
+    pub stheta: Vec<f64>,
+    /// Mean of the differenced series.
+    pub mu: f64,
+    /// Innovation variance estimate (CSS / effective n).
+    pub sigma2: f64,
+    /// Conditional sum of squares at the optimum.
+    pub css: f64,
+    /// Corrected Akaike information criterion.
+    pub aicc: f64,
+}
+
+/// Configuration for the CSS optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArimaFitOptions {
+    /// Maximum objective evaluations for Nelder–Mead.
+    pub max_evals: usize,
+    /// Coefficient magnitude above which the objective is treated as
+    /// out-of-domain (keeps the simplex inside a sane region).
+    pub coef_bound: f64,
+}
+
+impl Default for ArimaFitOptions {
+    fn default() -> Self {
+        ArimaFitOptions {
+            max_evals: 600,
+            coef_bound: 5.0,
+        }
+    }
+}
+
+/// A seasonal ARIMA forecaster.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_timeseries::arima::{Arima, ArimaOrder};
+/// use utilcast_timeseries::Forecaster;
+///
+/// // AR(1)-ish series.
+/// let mut series = vec![0.0f64];
+/// for t in 1..200 {
+///     series.push(0.8 * series[t - 1] + ((t * 37 % 17) as f64 - 8.0) * 0.01);
+/// }
+/// let mut model = Arima::new(ArimaOrder::new(1, 0, 0));
+/// model.fit(&series)?;
+/// let fc = model.forecast(&series, 3)?;
+/// assert_eq!(fc.len(), 3);
+/// # Ok::<(), utilcast_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arima {
+    order: ArimaOrder,
+    options: ArimaFitOptions,
+    fitted: Option<FittedArima>,
+}
+
+impl Arima {
+    /// Creates an unfitted model of the given order with default fit
+    /// options.
+    pub fn new(order: ArimaOrder) -> Self {
+        Arima {
+            order,
+            options: ArimaFitOptions::default(),
+            fitted: None,
+        }
+    }
+
+    /// Creates an unfitted model with explicit fit options.
+    pub fn with_options(order: ArimaOrder, options: ArimaFitOptions) -> Self {
+        Arima {
+            order,
+            options,
+            fitted: None,
+        }
+    }
+
+    /// The model order.
+    pub fn order(&self) -> ArimaOrder {
+        self.order
+    }
+
+    /// The fitted coefficients, if the model has been fitted.
+    pub fn fitted(&self) -> Option<&FittedArima> {
+        self.fitted.as_ref()
+    }
+
+    /// AICc of the fitted model, if fitted.
+    pub fn aicc(&self) -> Option<f64> {
+        self.fitted.as_ref().map(|f| f.aicc)
+    }
+
+    /// Unpacks a flat parameter vector into (φ, θ, Φ, Θ, μ).
+    fn unpack(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+        let o = self.order;
+        let mut i = 0;
+        let phi = x[i..i + o.p].to_vec();
+        i += o.p;
+        let theta = x[i..i + o.q].to_vec();
+        i += o.q;
+        let sphi = x[i..i + o.sp].to_vec();
+        i += o.sp;
+        let stheta = x[i..i + o.sq].to_vec();
+        i += o.sq;
+        let mu = x[i];
+        (phi, theta, sphi, stheta, mu)
+    }
+}
+
+/// Expands `poly(B) * seasonal_poly(B^s)` where both polynomials have the
+/// form `1 - c_1 B - c_2 B² - ...`; returns the combined lag coefficients
+/// `a` such that the product is `1 - Σ a_i B^i` (index 0 unused).
+fn expand(coef: &[f64], scoef: &[f64], s: usize) -> Vec<f64> {
+    // Represent polynomials with full coefficient vectors (constant term 1).
+    let deg = coef.len() + scoef.len() * s;
+    let mut a = vec![0.0; deg + 1];
+    a[0] = 1.0;
+    for (i, &c) in coef.iter().enumerate() {
+        a[i + 1] = -c;
+    }
+    let mut b = vec![0.0; scoef.len() * s + 1];
+    b[0] = 1.0;
+    for (j, &c) in scoef.iter().enumerate() {
+        b[(j + 1) * s] = -c;
+    }
+    let mut prod = vec![0.0; deg + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0.0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            if i + j <= deg {
+                prod[i + j] += ai * bj;
+            }
+        }
+    }
+    // prod = 1 - Σ a_i B^i  =>  combined a_i = -prod[i].
+    prod.iter().skip(1).map(|&v| -v).collect()
+}
+
+/// Expands the MA side `θ(B)Θ(B^s)` where both polynomials use the
+/// `1 + Σ c_i B^i` convention; returns combined coefficients `b` such that
+/// the product is `1 + Σ b_i B^i`.
+fn expand_ma(theta: &[f64], stheta: &[f64], s: usize) -> Vec<f64> {
+    let neg_t: Vec<f64> = theta.iter().map(|v| -v).collect();
+    let neg_st: Vec<f64> = stheta.iter().map(|v| -v).collect();
+    expand(&neg_t, &neg_st, s).iter().map(|v| -v).collect()
+}
+
+/// Checks that the linear recursion `x_t = Σ coefs_i x_{t-1-i}` is stable
+/// by bounding its impulse response over `horizon` steps.
+///
+/// Used to reject non-stationary AR fits (explosive multi-step forecasts)
+/// and non-invertible MA fits (the innovation recursion `e_t = ... − Σ b_j
+/// e_{t-1-j}` diverges when extended beyond the training window) — CSS is
+/// happy to pick either because they can fit one-step residuals in-sample.
+fn recursion_is_stable(coefs: &[f64], horizon: usize) -> bool {
+    if coefs.is_empty() {
+        return true;
+    }
+    let span = coefs.len();
+    let mut state = vec![0.0; span];
+    state[span - 1] = 1.0; // unit impulse
+    for _ in 0..horizon {
+        let next: f64 = coefs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| a * state[state.len() - 1 - i])
+            .sum();
+        if !next.is_finite() || next.abs() > 50.0 {
+            return false;
+        }
+        state.push(next);
+        state.remove(0);
+    }
+    true
+}
+
+/// Computes the CSS innovations of a combined ARMA recursion over the
+/// mean-centered differenced series. Returns `None` if the recursion
+/// explodes (non-finite or absurdly large residuals).
+fn innovations(wc: &[f64], ar: &[f64], ma: &[f64]) -> Option<Vec<f64>> {
+    let n = wc.len();
+    let start = ar.len();
+    let mut e = vec![0.0; n];
+    for t in start..n {
+        let mut pred = 0.0;
+        for (i, &a) in ar.iter().enumerate() {
+            pred += a * wc[t - 1 - i];
+        }
+        for (j, &b) in ma.iter().enumerate() {
+            if t >= j + 1 {
+                pred += b * e[t - 1 - j];
+            }
+        }
+        let resid = wc[t] - pred;
+        if !resid.is_finite() || resid.abs() > 1e8 {
+            return None;
+        }
+        e[t] = resid;
+    }
+    Some(e)
+}
+
+impl Forecaster for Arima {
+    fn fit(&mut self, history: &[f64]) -> Result<(), TimeSeriesError> {
+        let o = self.order;
+        if history.len() < o.min_series_len() {
+            return Err(TimeSeriesError::TooShort {
+                needed: o.min_series_len(),
+                got: history.len(),
+            });
+        }
+        let (w, _state) = difference(history, o.d, o.sd, o.s)?;
+        let w_mean = mean(&w);
+        let n_params = o.num_coefficients();
+        let bound = self.options.coef_bound;
+
+        let objective = |x: &[f64]| -> f64 {
+            if x.iter().any(|v| !v.is_finite() || v.abs() > bound) {
+                return f64::NAN;
+            }
+            let (phi, theta, sphi, stheta, mu) = self.unpack(x);
+            let ar = expand(&phi, &sphi, o.s.max(1));
+            let ma = expand_ma(&theta, &stheta, o.s.max(1));
+            // Reject non-stationary AR and non-invertible MA parameter
+            // regions; the e-recursion coefficients are the negated
+            // combined MA coefficients.
+            let neg_ma: Vec<f64> = ma.iter().map(|v| -v).collect();
+            if !recursion_is_stable(&ar, 500) || !recursion_is_stable(&neg_ma, 500) {
+                return f64::NAN;
+            }
+            let wc: Vec<f64> = w.iter().map(|v| v - mu).collect();
+            match innovations(&wc, &ar, &ma) {
+                Some(e) => e[ar.len()..].iter().map(|v| v * v).sum(),
+                None => f64::NAN,
+            }
+        };
+
+        let mut x0 = vec![0.0; n_params];
+        x0[n_params - 1] = w_mean;
+        let result = nelder_mead(
+            objective,
+            &x0,
+            &NelderMeadOptions {
+                max_evals: self.options.max_evals,
+                initial_step: 0.1,
+                ..Default::default()
+            },
+        );
+        if !result.f.is_finite() {
+            return Err(TimeSeriesError::FitDiverged);
+        }
+        let (phi, theta, sphi, stheta, mu) = self.unpack(&result.x);
+        let ar_span = o.ar_span();
+        let n_eff = (w.len() - ar_span).max(1);
+        let css = result.f;
+        let sigma2 = (css / n_eff as f64).max(1e-300);
+        // k counts all estimated parameters including the innovation
+        // variance, matching the AICc convention the paper cites.
+        let k = (n_params + 1) as f64;
+        let n = n_eff as f64;
+        let correction = if n - k - 1.0 > 0.0 {
+            2.0 * k * (k + 1.0) / (n - k - 1.0)
+        } else {
+            f64::INFINITY
+        };
+        let aicc = n * sigma2.ln() + 2.0 * k + correction;
+        self.fitted = Some(FittedArima {
+            phi,
+            theta,
+            sphi,
+            stheta,
+            mu,
+            sigma2,
+            css,
+            aicc,
+        });
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
+        let fitted = self.fitted.as_ref().ok_or(TimeSeriesError::NotFitted)?;
+        let o = self.order;
+        let min_len = loss(o.d, o.sd, o.s) + o.ar_span() + 1;
+        if history.len() < min_len {
+            return Err(TimeSeriesError::TooShort {
+                needed: min_len,
+                got: history.len(),
+            });
+        }
+        if horizon == 0 {
+            return Ok(Vec::new());
+        }
+        let (w, state) = difference(history, o.d, o.sd, o.s)?;
+        let ar = expand(&fitted.phi, &fitted.sphi, o.s.max(1));
+        let ma = expand_ma(&fitted.theta, &fitted.stheta, o.s.max(1));
+        let mut wc: Vec<f64> = w.iter().map(|v| v - fitted.mu).collect();
+        let mut e = innovations(&wc, &ar, &ma).ok_or(TimeSeriesError::FitDiverged)?;
+        let n = wc.len();
+        let mut out = Vec::with_capacity(horizon);
+        for h in 0..horizon {
+            let t = n + h;
+            let mut pred = 0.0;
+            for (i, &a) in ar.iter().enumerate() {
+                if t >= i + 1 {
+                    pred += a * wc[t - 1 - i];
+                }
+            }
+            for (j, &b) in ma.iter().enumerate() {
+                if t >= j + 1 && t - 1 - j < n {
+                    pred += b * e[t - 1 - j];
+                }
+            }
+            wc.push(pred);
+            e.push(0.0);
+            out.push(pred + fitted.mu);
+        }
+        Ok(integrate(&out, &state))
+    }
+
+    fn name(&self) -> &'static str {
+        "arima"
+    }
+}
+
+/// A point forecast with a symmetric prediction interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalForecast {
+    /// Point forecast.
+    pub point: f64,
+    /// Lower interval bound.
+    pub lower: f64,
+    /// Upper interval bound.
+    pub upper: f64,
+}
+
+impl Arima {
+    /// Forecasts with prediction intervals: `point ± z · σ_h`, where the
+    /// `h`-step standard error `σ_h` comes from the model's ψ-weights
+    /// (the MA(∞) representation including the differencing operators) and
+    /// the CSS innovation variance. `z = 1.96` gives the usual 95% band
+    /// under Gaussian innovations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Arima::forecast`] (via the `Forecaster` trait).
+    pub fn forecast_with_interval(
+        &self,
+        history: &[f64],
+        horizon: usize,
+        z: f64,
+    ) -> Result<Vec<IntervalForecast>, TimeSeriesError> {
+        let fitted = self.fitted.as_ref().ok_or(TimeSeriesError::NotFitted)?;
+        let points = self.forecast(history, horizon)?;
+        let o = self.order;
+        // Full (nonstationary) AR operator: φ(B) Φ(B^s) (1-B)^d (1-B^s)^D,
+        // in the `1 - Σ a_i B^i` convention.
+        let mut full_ar = expand(&fitted.phi, &fitted.sphi, o.s.max(1));
+        for _ in 0..o.d {
+            full_ar = multiply_lag_ops(&full_ar, &[1.0]); // (1 - B)
+        }
+        for _ in 0..o.sd {
+            let mut seasonal = vec![0.0; o.s];
+            seasonal[o.s - 1] = 1.0; // (1 - B^s)
+            full_ar = multiply_lag_ops(&full_ar, &seasonal);
+        }
+        let ma = expand_ma(&fitted.theta, &fitted.stheta, o.s.max(1));
+        // ψ recursion: ψ_0 = 1, ψ_j = b_j + Σ a_i ψ_{j-i}.
+        let mut psi = vec![0.0; horizon];
+        let mut var_acc = Vec::with_capacity(horizon);
+        let mut cum = 0.0;
+        for j in 0..horizon {
+            let mut v = if j == 0 {
+                1.0
+            } else {
+                ma.get(j - 1).copied().unwrap_or(0.0)
+            };
+            if j > 0 {
+                for (i, &a) in full_ar.iter().enumerate() {
+                    if j >= i + 1 {
+                        let prev = if j - i - 1 == 0 {
+                            1.0
+                        } else {
+                            psi[j - i - 1]
+                        };
+                        v += a * prev;
+                    }
+                }
+            }
+            psi[j] = v;
+            cum += v * v;
+            var_acc.push(cum);
+        }
+        let sigma = fitted.sigma2.sqrt();
+        Ok(points
+            .into_iter()
+            .zip(var_acc)
+            .map(|(point, cum)| {
+                let half = z * sigma * cum.sqrt();
+                IntervalForecast {
+                    point,
+                    lower: point - half,
+                    upper: point + half,
+                }
+            })
+            .collect())
+    }
+}
+
+/// Multiplies two lag operators in the `1 - Σ c_i B^i` convention, given by
+/// their coefficient vectors `c` (index 0 = lag 1). Returns the product's
+/// coefficients in the same convention.
+fn multiply_lag_ops(a: &[f64], b: &[f64]) -> Vec<f64> {
+    // Full polynomials with constant term 1 and negated lag coefficients.
+    let pa: Vec<f64> = std::iter::once(1.0).chain(a.iter().map(|v| -v)).collect();
+    let pb: Vec<f64> = std::iter::once(1.0).chain(b.iter().map(|v| -v)).collect();
+    let mut prod = vec![0.0; pa.len() + pb.len() - 1];
+    for (i, &x) in pa.iter().enumerate() {
+        for (j, &y) in pb.iter().enumerate() {
+            prod[i + j] += x * y;
+        }
+    }
+    prod.iter().skip(1).map(|v| -v).collect()
+}
+
+/// The grid of candidate orders for automatic model selection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArimaGrid {
+    /// Candidate values for each order component.
+    pub p: Vec<usize>,
+    /// Candidate non-seasonal differencing orders.
+    pub d: Vec<usize>,
+    /// Candidate MA orders.
+    pub q: Vec<usize>,
+    /// Candidate seasonal AR orders.
+    pub sp: Vec<usize>,
+    /// Candidate seasonal differencing orders.
+    pub sd: Vec<usize>,
+    /// Candidate seasonal MA orders.
+    pub sq: Vec<usize>,
+    /// Seasonal period.
+    pub s: usize,
+}
+
+impl ArimaGrid {
+    /// The paper's full grid (Sec. VI-A3): `p ∈ [0,5]`, `d ∈ [0,2]`,
+    /// `q ∈ [0,5]`, `P ∈ [0,2]`, `D ∈ [0,1]`, `Q ∈ [0,2]` with seasonal
+    /// period `s`. 1944 candidate orders — expensive; prefer
+    /// [`ArimaGrid::quick`] during development.
+    pub fn paper(s: usize) -> Self {
+        ArimaGrid {
+            p: (0..=5).collect(),
+            d: (0..=2).collect(),
+            q: (0..=5).collect(),
+            sp: (0..=2).collect(),
+            sd: (0..=1).collect(),
+            sq: (0..=2).collect(),
+            s,
+        }
+    }
+
+    /// A small non-seasonal grid (`p, q ∈ [0,2]`, `d ∈ [0,1]`) that captures
+    /// most of the benefit at a fraction of the cost. Used as the default by
+    /// the pipeline and experiment binaries.
+    pub fn quick() -> Self {
+        ArimaGrid {
+            p: (0..=2).collect(),
+            d: (0..=1).collect(),
+            q: (0..=2).collect(),
+            sp: vec![0],
+            sd: vec![0],
+            sq: vec![0],
+            s: 0,
+        }
+    }
+
+    /// Enumerates all orders in the grid.
+    pub fn orders(&self) -> Vec<ArimaOrder> {
+        let mut out = Vec::new();
+        for &p in &self.p {
+            for &d in &self.d {
+                for &q in &self.q {
+                    for &sp in &self.sp {
+                        for &sd in &self.sd {
+                            for &sq in &self.sq {
+                                out.push(ArimaOrder::seasonal(p, d, q, sp, sd, sq, self.s));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fits every order in the grid and returns the model with the lowest AICc
+/// (the paper's selection rule).
+///
+/// Orders whose fit fails (series too short for the order, divergence) are
+/// skipped; at least one order must succeed.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::FitDiverged`] if *no* candidate order could be
+/// fitted.
+pub fn auto_arima(
+    series: &[f64],
+    grid: &ArimaGrid,
+    options: &ArimaFitOptions,
+) -> Result<Arima, TimeSeriesError> {
+    let mut best: Option<Arima> = None;
+    for order in grid.orders() {
+        let mut model = Arima::with_options(order, options.clone());
+        if model.fit(series).is_err() {
+            continue;
+        }
+        let aicc = model.aicc().expect("fitted above");
+        if !aicc.is_finite() {
+            continue;
+        }
+        match &best {
+            Some(b) if b.aicc().expect("fitted") <= aicc => {}
+            _ => best = Some(model),
+        }
+    }
+    best.ok_or(TimeSeriesError::FitDiverged)
+}
+
+/// A [`Forecaster`] that re-runs the AICc grid search on every (re)fit —
+/// the paper's protocol, where each retraining period reselects the best
+/// order for the latest centroid history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoArima {
+    grid: ArimaGrid,
+    options: ArimaFitOptions,
+    inner: Option<Arima>,
+}
+
+impl AutoArima {
+    /// Creates an auto-selecting ARIMA forecaster.
+    pub fn new(grid: ArimaGrid, options: ArimaFitOptions) -> Self {
+        AutoArima {
+            grid,
+            options,
+            inner: None,
+        }
+    }
+
+    /// Creates an auto-ARIMA over the quick grid with default options.
+    pub fn quick() -> Self {
+        AutoArima::new(ArimaGrid::quick(), ArimaFitOptions::default())
+    }
+
+    /// The currently selected model, if fitted.
+    pub fn selected(&self) -> Option<&Arima> {
+        self.inner.as_ref()
+    }
+}
+
+impl Forecaster for AutoArima {
+    fn fit(&mut self, history: &[f64]) -> Result<(), TimeSeriesError> {
+        self.inner = Some(auto_arima(history, &self.grid, &self.options)?);
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
+        self.inner
+            .as_ref()
+            .ok_or(TimeSeriesError::NotFitted)?
+            .forecast(history, horizon)
+    }
+
+    fn name(&self) -> &'static str {
+        "auto-arima"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use utilcast_linalg::rng::standard_normal;
+
+    fn ar1_series(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x = phi * x + 0.1 * standard_normal(&mut rng);
+            xs.push(x);
+        }
+        xs
+    }
+
+    #[test]
+    fn expand_nonseasonal_is_identity() {
+        let a = expand(&[0.5, -0.2], &[], 1);
+        assert_eq!(a, vec![0.5, -0.2]);
+    }
+
+    #[test]
+    fn expand_combines_seasonal_terms() {
+        // (1 - 0.5 B)(1 - 0.3 B^4) = 1 - 0.5B - 0.3B^4 + 0.15B^5
+        let a = expand(&[0.5], &[0.3], 4);
+        assert_eq!(a.len(), 5);
+        assert!((a[0] - 0.5).abs() < 1e-12);
+        assert!((a[1]).abs() < 1e-12);
+        assert!((a[3] - 0.3).abs() < 1e-12);
+        assert!((a[4] + 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ar1_coefficient_recovered() {
+        let series = ar1_series(2000, 0.7, 11);
+        let mut model = Arima::new(ArimaOrder::new(1, 0, 0));
+        model.fit(&series).unwrap();
+        let phi = model.fitted().unwrap().phi[0];
+        assert!((phi - 0.7).abs() < 0.07, "recovered phi = {phi}");
+    }
+
+    #[test]
+    fn ma1_coefficient_recovered() {
+        // MA(1): x_t = e_t + 0.6 e_{t-1}
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 3000;
+        let es: Vec<f64> = (0..n + 1).map(|_| standard_normal(&mut rng)).collect();
+        let series: Vec<f64> = (1..=n).map(|t| es[t] + 0.6 * es[t - 1]).collect();
+        let mut model = Arima::new(ArimaOrder::new(0, 0, 1));
+        model.fit(&series).unwrap();
+        let theta = model.fitted().unwrap().theta[0];
+        assert!((theta - 0.6).abs() < 0.08, "recovered theta = {theta}");
+    }
+
+    #[test]
+    fn random_walk_with_drift_forecast() {
+        // x_t = x_{t-1} + 0.5: ARIMA(0,1,0) should forecast constant drift.
+        let series: Vec<f64> = (0..100).map(|t| t as f64 * 0.5).collect();
+        let mut model = Arima::new(ArimaOrder::new(0, 1, 0));
+        model.fit(&series).unwrap();
+        let fc = model.forecast(&series, 3).unwrap();
+        let last = series.last().unwrap();
+        assert!((fc[0] - (last + 0.5)).abs() < 1e-6, "fc[0] = {}", fc[0]);
+        assert!((fc[2] - (last + 1.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ar1_forecast_decays_towards_mean() {
+        let series = ar1_series(2000, 0.8, 17);
+        let mut model = Arima::new(ArimaOrder::new(1, 0, 0));
+        model.fit(&series).unwrap();
+        let fc = model.forecast(&series, 50).unwrap();
+        let mu = model.fitted().unwrap().mu;
+        // Long-horizon forecast approaches the series mean.
+        assert!((fc[49] - mu).abs() < 0.05, "fc[49] = {} vs mu = {mu}", fc[49]);
+    }
+
+    #[test]
+    fn seasonal_model_tracks_periodic_series() {
+        // Strong period-6 pattern plus noise; SARIMA with D=1, s=6 should
+        // forecast the next period much better than the long-term mean.
+        let mut rng = StdRng::seed_from_u64(23);
+        let pattern = [0.0, 0.5, 1.0, 0.8, 0.3, 0.1];
+        let series: Vec<f64> = (0..600)
+            .map(|t| pattern[t % 6] + 0.02 * standard_normal(&mut rng))
+            .collect();
+        let mut model = Arima::new(ArimaOrder::seasonal(0, 0, 0, 0, 1, 0, 6));
+        model.fit(&series).unwrap();
+        let fc = model.forecast(&series, 6).unwrap();
+        for (h, f) in fc.iter().enumerate() {
+            let truth = pattern[(600 + h) % 6];
+            assert!((f - truth).abs() < 0.15, "h={h}: {f} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn forecast_before_fit_errors() {
+        let model = Arima::new(ArimaOrder::new(1, 0, 0));
+        assert_eq!(
+            model.forecast(&[1.0; 50], 1),
+            Err(TimeSeriesError::NotFitted)
+        );
+    }
+
+    #[test]
+    fn short_series_errors() {
+        let mut model = Arima::new(ArimaOrder::new(2, 1, 2));
+        let err = model.fit(&[1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::TooShort { .. }));
+    }
+
+    #[test]
+    fn auto_arima_prefers_ar_for_ar_data() {
+        let series = ar1_series(600, 0.8, 29);
+        let grid = ArimaGrid {
+            p: vec![0, 1],
+            d: vec![0],
+            q: vec![0],
+            sp: vec![0],
+            sd: vec![0],
+            sq: vec![0],
+            s: 0,
+        };
+        let best = auto_arima(&series, &grid, &ArimaFitOptions::default()).unwrap();
+        assert_eq!(best.order().p, 1, "AICc should prefer AR(1) over white noise");
+    }
+
+    #[test]
+    fn grid_order_counts() {
+        assert_eq!(ArimaGrid::paper(288).orders().len(), 6 * 3 * 6 * 3 * 2 * 3);
+        assert_eq!(ArimaGrid::quick().orders().len(), 3 * 2 * 3);
+    }
+
+    #[test]
+    fn forecast_zero_horizon_is_empty() {
+        let series = ar1_series(200, 0.5, 31);
+        let mut model = Arima::new(ArimaOrder::new(1, 0, 0));
+        model.fit(&series).unwrap();
+        assert!(model.forecast(&series, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let series = ar1_series(300, 0.6, 37);
+        let mut a = Arima::new(ArimaOrder::new(1, 0, 1));
+        let mut b = Arima::new(ArimaOrder::new(1, 0, 1));
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_eq!(a.fitted(), b.fitted());
+    }
+
+    #[test]
+    fn auto_arima_forecaster_adapter_refits() {
+        let series = ar1_series(500, 0.8, 41);
+        let mut model = AutoArima::quick();
+        assert_eq!(
+            model.forecast(&series, 1),
+            Err(TimeSeriesError::NotFitted),
+            "unfitted adapter must refuse to forecast"
+        );
+        model.fit(&series).unwrap();
+        assert!(model.selected().is_some());
+        let fc = model.forecast(&series, 3).unwrap();
+        assert_eq!(fc.len(), 3);
+        assert_eq!(model.name(), "auto-arima");
+    }
+
+    #[test]
+    fn fitted_models_reject_unstable_regions() {
+        // A near-random-walk series: CSS may be tempted by phi > 1; the
+        // stability check must keep the fitted AR inside the stationary
+        // region so multi-step forecasts stay bounded.
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut series = vec![0.5f64];
+        for _ in 1..600 {
+            let prev = *series.last().unwrap();
+            series.push((prev + 0.03 * standard_normal(&mut rng)).clamp(0.0, 1.0));
+        }
+        for order in [ArimaOrder::new(2, 0, 2), ArimaOrder::new(1, 1, 2)] {
+            let mut model = Arima::new(order);
+            model.fit(&series).unwrap();
+            let fc = model.forecast(&series, 100).unwrap();
+            for (h, v) in fc.iter().enumerate() {
+                assert!(
+                    v.abs() < 5.0,
+                    "{order:?}: forecast at h={h} is {v}, model left the data range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_width_grows_like_ar1_theory() {
+        let series = ar1_series(3000, 0.7, 47);
+        let mut model = Arima::new(ArimaOrder::new(1, 0, 0));
+        model.fit(&series).unwrap();
+        let f = model.fitted().unwrap().clone();
+        let fc = model.forecast_with_interval(&series, 10, 1.96).unwrap();
+        assert_eq!(fc.len(), 10);
+        // Theoretical h-step std error of AR(1): sigma * sqrt(sum phi^{2j}).
+        let phi = f.phi[0];
+        let sigma = f.sigma2.sqrt();
+        for (h, iv) in fc.iter().enumerate() {
+            let var: f64 = (0..=h).map(|j| phi.powi(2 * j as i32)).sum();
+            let expected_half = 1.96 * sigma * var.sqrt();
+            let measured_half = (iv.upper - iv.lower) / 2.0;
+            assert!(
+                (measured_half - expected_half).abs() < 1e-9,
+                "h={h}: {measured_half} vs {expected_half}"
+            );
+            assert!((iv.point - (iv.lower + iv.upper) / 2.0).abs() < 1e-9);
+        }
+        // Interval widths are non-decreasing in h.
+        for w in fc.windows(2) {
+            assert!(w[1].upper - w[1].lower >= w[0].upper - w[0].lower - 1e-12);
+        }
+    }
+
+    #[test]
+    fn interval_width_random_walk_grows_sqrt_h() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut series = vec![0.0f64];
+        for _ in 1..2000 {
+            series.push(series.last().unwrap() + 0.1 * standard_normal(&mut rng));
+        }
+        let mut model = Arima::new(ArimaOrder::new(0, 1, 0));
+        model.fit(&series).unwrap();
+        let fc = model.forecast_with_interval(&series, 16, 1.0).unwrap();
+        let w1 = fc[0].upper - fc[0].lower;
+        let w16 = fc[15].upper - fc[15].lower;
+        // Random walk: sigma_h = sigma * sqrt(h), so w16 / w1 = 4.
+        assert!(
+            (w16 / w1 - 4.0).abs() < 0.01,
+            "width ratio {} should be ~4",
+            w16 / w1
+        );
+    }
+
+    #[test]
+    fn interval_requires_fit() {
+        let model = Arima::new(ArimaOrder::new(1, 0, 0));
+        assert!(matches!(
+            model.forecast_with_interval(&[0.0; 50], 1, 1.96),
+            Err(TimeSeriesError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn recursion_stability_check() {
+        assert!(recursion_is_stable(&[], 100));
+        assert!(recursion_is_stable(&[0.9], 500));
+        assert!(!recursion_is_stable(&[1.1], 500));
+        // Complex explosive pair (roots ~1.04 e^{±iθ}).
+        assert!(!recursion_is_stable(&[1.6, -1.08], 500));
+        // Stable oscillation.
+        assert!(recursion_is_stable(&[1.2, -0.5], 500));
+    }
+}

@@ -1,0 +1,208 @@
+//! Regular and seasonal differencing with exact inversion.
+//!
+//! ARIMA's "I" component: the series is differenced `d` times at lag 1 and
+//! `D` times at the seasonal lag `s` before ARMA fitting, and forecasts of
+//! the differenced series must be integrated back to the original scale.
+//! [`DiffState`] remembers the tail values of every intermediate stage so
+//! that the inversion is exact.
+
+use crate::TimeSeriesError;
+
+/// One differencing operation at a fixed lag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DiffOp {
+    lag: usize,
+}
+
+/// The state needed to invert a differencing transform: for every applied
+/// operation, the tail of the series *before* that operation was applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffState {
+    /// Per-op `(lag, tail)` pairs in application order; `tail` holds the
+    /// last `lag` values of the pre-op series.
+    tails: Vec<(usize, Vec<f64>)>,
+}
+
+/// Applies `d` regular (lag-1) differences followed by `big_d` seasonal
+/// (lag-`s`) differences, returning the differenced series and the state
+/// required for inversion.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::TooShort`] if the series has fewer than
+/// `d + big_d * s + 1` points, and [`TimeSeriesError::InvalidConfig`] if
+/// `big_d > 0` with `s < 2`.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_timeseries::diff::{difference, integrate};
+///
+/// let series: Vec<f64> = (0..20).map(|t| t as f64 * 2.0).collect();
+/// let (w, state) = difference(&series, 1, 0, 0)?;
+/// // A linear series differences to a constant.
+/// assert!(w.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+/// // Forecasting the constant and integrating continues the line.
+/// let fc = integrate(&[2.0, 2.0], &state);
+/// assert_eq!(fc, vec![40.0, 42.0]);
+/// # Ok::<(), utilcast_timeseries::TimeSeriesError>(())
+/// ```
+pub fn difference(
+    series: &[f64],
+    d: usize,
+    big_d: usize,
+    s: usize,
+) -> Result<(Vec<f64>, DiffState), TimeSeriesError> {
+    if big_d > 0 && s < 2 {
+        return Err(TimeSeriesError::InvalidConfig {
+            reason: format!("seasonal differencing requires period >= 2, got {s}"),
+        });
+    }
+    let needed = d + big_d * s + 1;
+    if series.len() < needed {
+        return Err(TimeSeriesError::TooShort {
+            needed,
+            got: series.len(),
+        });
+    }
+    let mut ops: Vec<DiffOp> = Vec::with_capacity(d + big_d);
+    // Seasonal first, then regular — the conventional order; the operators
+    // commute so only inversion consistency matters.
+    for _ in 0..big_d {
+        ops.push(DiffOp { lag: s });
+    }
+    for _ in 0..d {
+        ops.push(DiffOp { lag: 1 });
+    }
+    let mut current = series.to_vec();
+    let mut tails = Vec::with_capacity(ops.len());
+    for op in &ops {
+        let tail = current[current.len() - op.lag..].to_vec();
+        tails.push((op.lag, tail));
+        current = current
+            .windows(op.lag + 1)
+            .map(|w| w[op.lag] - w[0])
+            .collect();
+    }
+    Ok((current, DiffState { tails }))
+}
+
+/// Integrates forecasts of the differenced series back to the original
+/// scale, inverting the operations recorded in `state`.
+pub fn integrate(forecasts: &[f64], state: &DiffState) -> Vec<f64> {
+    let mut current = forecasts.to_vec();
+    // Undo operations in reverse order.
+    for (lag, tail) in state.tails.iter().rev() {
+        // Extended sequence: the last `lag` pre-op values, then the
+        // reconstructed future values.
+        let mut extended = tail.clone();
+        for w in &current {
+            // x_{T+h} = w_{T+h} + x_{T+h-lag}; x_{T+h-lag} is `lag`
+            // positions back in `extended`.
+            let base = extended[extended.len() - lag];
+            extended.push(w + base);
+        }
+        current = extended[tail.len()..].to_vec();
+    }
+    current
+}
+
+/// Number of observations consumed by differencing: the differenced series
+/// is shorter than the input by this amount.
+pub fn loss(d: usize, big_d: usize, s: usize) -> usize {
+    d + big_d * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_op_differencing_is_identity() {
+        let series = vec![1.0, 4.0, 9.0];
+        let (w, state) = difference(&series, 0, 0, 0).unwrap();
+        assert_eq!(w, series);
+        assert_eq!(integrate(&[2.0, 3.0], &state), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn first_difference_of_linear_is_constant() {
+        let series: Vec<f64> = (0..10).map(|t| 3.0 * t as f64 + 1.0).collect();
+        let (w, _) = difference(&series, 1, 0, 0).unwrap();
+        assert_eq!(w.len(), 9);
+        assert!(w.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn second_difference_of_quadratic_is_constant() {
+        let series: Vec<f64> = (0..12).map(|t| (t * t) as f64).collect();
+        let (w, _) = difference(&series, 2, 0, 0).unwrap();
+        assert!(w.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn seasonal_difference_removes_period() {
+        // Period-4 sawtooth: seasonal difference is zero.
+        let series: Vec<f64> = (0..20).map(|t| (t % 4) as f64).collect();
+        let (w, _) = difference(&series, 0, 1, 4).unwrap();
+        assert_eq!(w.len(), 16);
+        assert!(w.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn integrate_inverts_regular_difference() {
+        let series = vec![5.0, 7.0, 4.0, 9.0, 12.0, 10.0];
+        let (w, state) = difference(&series, 1, 0, 0).unwrap();
+        // "Forecast" the actual future differences of a longer series and
+        // check we reconstruct it.
+        let _ = w;
+        let future = [1.0, -2.0, 3.0];
+        let fc = integrate(&future, &state);
+        assert_eq!(fc, vec![11.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn integrate_inverts_combined_difference_exactly() {
+        // Verify round-trip: difference a known series, then integrate its
+        // own future differences and compare against ground truth.
+        let full: Vec<f64> = (0..40)
+            .map(|t| 0.5 * t as f64 + ((t % 6) as f64) * 2.0 + (t as f64 * 0.7).sin())
+            .collect();
+        let (train, test) = full.split_at(30);
+        let (_, state) = difference(train, 1, 1, 6).unwrap();
+        // Compute the true differenced values of the full series, then take
+        // the segment corresponding to the test region.
+        let (w_full, _) = difference(&full, 1, 1, 6).unwrap();
+        let w_future = &w_full[w_full.len() - test.len()..];
+        let recon = integrate(w_future, &state);
+        for (r, t) in recon.iter().zip(test) {
+            assert!((r - t).abs() < 1e-9, "reconstruction mismatch: {r} vs {t}");
+        }
+    }
+
+    #[test]
+    fn too_short_series_errors() {
+        let err = difference(&[1.0, 2.0], 2, 0, 0).unwrap_err();
+        assert_eq!(err, TimeSeriesError::TooShort { needed: 3, got: 2 });
+    }
+
+    #[test]
+    fn seasonal_without_period_errors() {
+        let series: Vec<f64> = (0..30).map(|t| t as f64).collect();
+        assert!(matches!(
+            difference(&series, 0, 1, 0),
+            Err(TimeSeriesError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            difference(&series, 0, 1, 1),
+            Err(TimeSeriesError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_counts_consumed_points() {
+        assert_eq!(loss(1, 1, 12), 13);
+        assert_eq!(loss(2, 0, 0), 2);
+        assert_eq!(loss(0, 0, 5), 0);
+    }
+}

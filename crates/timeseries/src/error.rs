@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for time-series operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimeSeriesError {
+    /// The series is too short for the requested operation.
+    TooShort {
+        /// Minimum length required.
+        needed: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// `forecast` was called before `fit`.
+    NotFitted,
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The optimizer failed to produce finite parameters.
+    FitDiverged,
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::TooShort { needed, got } => {
+                write!(f, "series too short: need at least {needed} points, got {got}")
+            }
+            TimeSeriesError::NotFitted => write!(f, "model has not been fitted"),
+            TimeSeriesError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            TimeSeriesError::FitDiverged => write!(f, "model fitting diverged"),
+        }
+    }
+}
+
+impl Error for TimeSeriesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TimeSeriesError::TooShort { needed: 10, got: 3 }.to_string(),
+            "series too short: need at least 10 points, got 3"
+        );
+        assert_eq!(TimeSeriesError::NotFitted.to_string(), "model has not been fitted");
+        assert!(TimeSeriesError::InvalidConfig {
+            reason: "window must be positive".into()
+        }
+        .to_string()
+        .contains("window"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimeSeriesError>();
+    }
+}

@@ -1,0 +1,276 @@
+//! Online training protocol: initial collection phase + periodic retraining.
+//!
+//! The paper trains each per-cluster model after an initial data-collection
+//! phase (the first 1000 steps in Sec. VI-A3) and then retrains every 288
+//! steps (one day at 5-minute sampling), while the transient state follows
+//! every new measurement. [`RetrainingForecaster`] packages that protocol
+//! around any [`Forecaster`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Forecaster, TimeSeriesError};
+
+/// When to (re)train the wrapped model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrainPolicy {
+    /// Number of observations collected before the first training.
+    pub warmup: usize,
+    /// Retrain every this many observations after warmup.
+    pub retrain_every: usize,
+    /// Cap on the history length used for training (`None` = use all); the
+    /// paper notes models may be retrained on "all (or a subset of)" the
+    /// historical centroids.
+    pub max_train_window: Option<usize>,
+}
+
+impl RetrainPolicy {
+    /// The paper's protocol: warmup 1000 steps, retrain every 288.
+    pub fn paper() -> Self {
+        RetrainPolicy {
+            warmup: 1000,
+            retrain_every: 288,
+            max_train_window: None,
+        }
+    }
+}
+
+impl Default for RetrainPolicy {
+    fn default() -> Self {
+        RetrainPolicy::paper()
+    }
+}
+
+/// Wraps a [`Forecaster`] with the warmup/retrain lifecycle and an owned
+/// observation history.
+#[derive(Debug, Clone)]
+pub struct RetrainingForecaster<F> {
+    model: F,
+    policy: RetrainPolicy,
+    history: Vec<f64>,
+    trained: bool,
+    since_train: usize,
+    retrain_count: usize,
+}
+
+impl<F: Forecaster> RetrainingForecaster<F> {
+    /// Creates the wrapper around an unfitted model.
+    pub fn new(model: F, policy: RetrainPolicy) -> Self {
+        RetrainingForecaster {
+            model,
+            policy,
+            history: Vec::new(),
+            trained: false,
+            since_train: 0,
+            retrain_count: 0,
+        }
+    }
+
+    /// Ingests one observation; trains or retrains the model when the
+    /// policy says so. Returns `true` if a (re)training happened this step.
+    ///
+    /// A model that reports [`TimeSeriesError::TooShort`] is not yet
+    /// trainable on the collected history (e.g. a seasonal model whose
+    /// period exceeds the warmup); the harness treats that as "still
+    /// warming up" and retries on every subsequent observation until the
+    /// history suffices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates other training errors from the wrapped model; the
+    /// observation is still recorded, and training will be retried at the
+    /// next trigger.
+    pub fn observe(&mut self, value: f64) -> Result<bool, TimeSeriesError> {
+        self.history.push(value);
+        let should_train = if !self.trained {
+            self.history.len() >= self.policy.warmup
+        } else {
+            self.since_train += 1;
+            self.since_train >= self.policy.retrain_every
+        };
+        if !should_train {
+            return Ok(false);
+        }
+        let window = match self.policy.max_train_window {
+            Some(w) if self.history.len() > w => &self.history[self.history.len() - w..],
+            _ => &self.history[..],
+        };
+        match self.model.fit(window) {
+            Ok(()) => {}
+            Err(TimeSeriesError::TooShort { .. }) => {
+                // Not enough history yet: stay in the warmup state (or keep
+                // the previous fit) and retry as more data arrives.
+                if self.trained {
+                    self.since_train = 0;
+                }
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        }
+        self.trained = true;
+        self.since_train = 0;
+        self.retrain_count += 1;
+        Ok(true)
+    }
+
+    /// Forecasts `horizon` steps ahead from the full observed history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::NotFitted`] during the warmup phase.
+    pub fn forecast(&self, horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
+        if !self.trained {
+            return Err(TimeSeriesError::NotFitted);
+        }
+        self.model.forecast(&self.history, horizon)
+    }
+
+    /// Forecasts, falling back to repeating the latest observation while the
+    /// model is still warming up (the paper's "no forecasting model
+    /// available" phase behaves like sample-and-hold).
+    pub fn forecast_or_hold(&self, horizon: usize) -> Vec<f64> {
+        match self.forecast(horizon) {
+            Ok(fc) => fc,
+            Err(_) => {
+                let last = self.history.last().copied().unwrap_or(0.0);
+                vec![last; horizon]
+            }
+        }
+    }
+
+    /// `true` once the model has been trained at least once.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Number of completed (re)trainings.
+    pub fn retrain_count(&self) -> usize {
+        self.retrain_count
+    }
+
+    /// The observation history collected so far.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &F {
+        &self.model
+    }
+
+    /// Consumes the wrapper, returning the inner model.
+    pub fn into_model(self) -> F {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{LongTermMean, SampleAndHold};
+
+    fn policy(warmup: usize, every: usize) -> RetrainPolicy {
+        RetrainPolicy {
+            warmup,
+            retrain_every: every,
+            max_train_window: None,
+        }
+    }
+
+    #[test]
+    fn warmup_blocks_forecasting() {
+        let mut rf = RetrainingForecaster::new(SampleAndHold::new(), policy(3, 10));
+        rf.observe(1.0).unwrap();
+        assert_eq!(rf.forecast(1), Err(TimeSeriesError::NotFitted));
+        assert!(!rf.is_trained());
+        rf.observe(2.0).unwrap();
+        let trained = rf.observe(3.0).unwrap();
+        assert!(trained);
+        assert_eq!(rf.forecast(2).unwrap(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn forecast_or_hold_during_warmup() {
+        let mut rf = RetrainingForecaster::new(SampleAndHold::new(), policy(100, 10));
+        rf.observe(7.5).unwrap();
+        assert_eq!(rf.forecast_or_hold(2), vec![7.5, 7.5]);
+    }
+
+    #[test]
+    fn retrains_on_schedule() {
+        let mut rf = RetrainingForecaster::new(LongTermMean::new(), policy(2, 3));
+        for v in [1.0, 1.0] {
+            rf.observe(v).unwrap();
+        }
+        assert_eq!(rf.retrain_count(), 1);
+        // Mean is 1.0 now.
+        assert_eq!(rf.forecast(1).unwrap(), vec![1.0]);
+        // Next retraining after 3 more observations.
+        rf.observe(4.0).unwrap();
+        rf.observe(4.0).unwrap();
+        assert_eq!(rf.retrain_count(), 1);
+        // Stale model still predicts the old mean.
+        assert_eq!(rf.forecast(1).unwrap(), vec![1.0]);
+        rf.observe(4.0).unwrap();
+        assert_eq!(rf.retrain_count(), 2);
+        // Retrained on [1, 1, 4, 4, 4]: mean 2.8.
+        let fc = rf.forecast(1).unwrap();
+        assert!((fc[0] - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_window_caps_history_used() {
+        let mut rf = RetrainingForecaster::new(
+            LongTermMean::new(),
+            RetrainPolicy {
+                warmup: 5,
+                retrain_every: 1000,
+                max_train_window: Some(2),
+            },
+        );
+        for v in [0.0, 0.0, 0.0, 6.0, 8.0] {
+            rf.observe(v).unwrap();
+        }
+        // Only the last 2 observations are used: mean 7.
+        assert_eq!(rf.forecast(1).unwrap(), vec![7.0]);
+    }
+
+    #[test]
+    fn transient_state_follows_history_between_retrains() {
+        // Sample-and-hold forecasts from the *latest* history even without
+        // retraining — the "transient state" behaviour.
+        let mut rf = RetrainingForecaster::new(SampleAndHold::new(), policy(1, 1000));
+        rf.observe(1.0).unwrap();
+        rf.observe(9.0).unwrap();
+        assert_eq!(rf.forecast(1).unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn too_short_model_keeps_warming_up() {
+        use crate::ets::{EtsConfig, HoltWinters};
+        // Seasonal model needs period + 2 = 12 points but warmup is 5:
+        // training is deferred (not an error) until the history suffices.
+        let model = HoltWinters::new(EtsConfig {
+            period: 10,
+            ..Default::default()
+        });
+        let mut rf = RetrainingForecaster::new(model, policy(5, 1));
+        let mut first_trained_at = None;
+        for t in 1..=20 {
+            let trained = rf.observe(0.5).unwrap();
+            if trained && first_trained_at.is_none() {
+                first_trained_at = Some(t);
+            }
+        }
+        assert_eq!(first_trained_at, Some(12), "trains at the first feasible step");
+        assert!(rf.is_trained());
+    }
+
+    #[test]
+    fn history_accessor() {
+        let mut rf = RetrainingForecaster::new(SampleAndHold::new(), policy(1, 1));
+        rf.observe(1.0).unwrap();
+        rf.observe(2.0).unwrap();
+        assert_eq!(rf.history(), &[1.0, 2.0]);
+        assert_eq!(rf.model().name(), "sample-and-hold");
+    }
+}

@@ -1,0 +1,712 @@
+//! A from-scratch stacked-LSTM forecaster.
+//!
+//! Mirrors the architecture the paper describes (Sec. VI-A3): two stacked
+//! LSTM layers followed by a dense layer with ReLU activation, trained to
+//! predict the next value of the (min-max normalized) centroid series from
+//! a sliding input window. Training uses full backpropagation through time
+//! and the Adam optimizer with gradient clipping; no external ML framework
+//! is involved.
+//!
+//! The model is intentionally small — the paper's point is that only `K`
+//! such models are needed for the whole datacenter, so each one trains in
+//! seconds on a laptop core (Table II).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use utilcast_linalg::rng::normal;
+
+use crate::{Forecaster, TimeSeriesError};
+
+/// Hyperparameters for [`Lstm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmConfig {
+    /// Input window length (number of past steps fed to the network).
+    pub window: usize,
+    /// Hidden units per LSTM layer.
+    pub hidden: usize,
+    /// Number of stacked LSTM layers (the paper uses 2).
+    pub layers: usize,
+    /// Training epochs over the window set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Per-parameter gradient clip (absolute value).
+    pub grad_clip: f64,
+    /// RNG seed for weight initialization and sample shuffling.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig {
+            window: 12,
+            hidden: 16,
+            layers: 2,
+            epochs: 40,
+            learning_rate: 0.01,
+            grad_clip: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One LSTM layer's parameters: gate order is (input, forget, candidate,
+/// output), packed as four consecutive blocks of `hidden` rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LstmLayer {
+    input: usize,
+    hidden: usize,
+    /// Input weights, `4*hidden x input`, row-major.
+    wx: Vec<f64>,
+    /// Recurrent weights, `4*hidden x hidden`, row-major.
+    wh: Vec<f64>,
+    /// Gate biases, `4*hidden`.
+    b: Vec<f64>,
+}
+
+/// Cached activations of one layer over one sequence, for BPTT.
+#[derive(Debug, Clone, Default)]
+struct LayerCache {
+    /// Inputs x_t per step.
+    xs: Vec<Vec<f64>>,
+    /// Gate activations per step: i, f, g, o (each `hidden` long).
+    gates: Vec<[Vec<f64>; 4]>,
+    /// Cell states per step.
+    cs: Vec<Vec<f64>>,
+    /// Hidden states per step.
+    hs: Vec<Vec<f64>>,
+}
+
+impl LstmLayer {
+    fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        // Xavier-style initialization scaled by fan-in.
+        let scale_x = (1.0 / input as f64).sqrt();
+        let scale_h = (1.0 / hidden as f64).sqrt();
+        let wx = (0..4 * hidden * input)
+            .map(|_| normal(rng, 0.0, scale_x))
+            .collect();
+        let wh = (0..4 * hidden * hidden)
+            .map(|_| normal(rng, 0.0, scale_h))
+            .collect();
+        // Forget-gate bias starts at 1.0 (standard trick to ease gradient
+        // flow early in training); other gates at 0.
+        let mut b = vec![0.0; 4 * hidden];
+        for v in b.iter_mut().skip(hidden).take(hidden) {
+            *v = 1.0;
+        }
+        LstmLayer {
+            input,
+            hidden,
+            wx,
+            wh,
+            b,
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len()
+    }
+
+    /// Runs the layer over a sequence, returning the hidden states and a
+    /// cache for BPTT.
+    fn forward(&self, sequence: &[Vec<f64>]) -> LayerCache {
+        let h = self.hidden;
+        let mut cache = LayerCache::default();
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        for x in sequence {
+            debug_assert_eq!(x.len(), self.input);
+            // z = Wx x + Wh h_prev + b, packed (i, f, g, o).
+            let mut z = self.b.clone();
+            for (row, zv) in z.iter_mut().enumerate() {
+                let wx_row = &self.wx[row * self.input..(row + 1) * self.input];
+                for (w, xv) in wx_row.iter().zip(x) {
+                    *zv += w * xv;
+                }
+                let wh_row = &self.wh[row * h..(row + 1) * h];
+                for (w, hv) in wh_row.iter().zip(&h_prev) {
+                    *zv += w * hv;
+                }
+            }
+            let mut gi = vec![0.0; h];
+            let mut gf = vec![0.0; h];
+            let mut gg = vec![0.0; h];
+            let mut go = vec![0.0; h];
+            for j in 0..h {
+                gi[j] = sigmoid(z[j]);
+                gf[j] = sigmoid(z[h + j]);
+                gg[j] = z[2 * h + j].tanh();
+                go[j] = sigmoid(z[3 * h + j]);
+            }
+            let mut c = vec![0.0; h];
+            let mut hidden_state = vec![0.0; h];
+            for j in 0..h {
+                c[j] = gf[j] * c_prev[j] + gi[j] * gg[j];
+                hidden_state[j] = go[j] * c[j].tanh();
+            }
+            cache.xs.push(x.clone());
+            cache.gates.push([gi, gf, gg, go]);
+            cache.cs.push(c.clone());
+            cache.hs.push(hidden_state.clone());
+            c_prev = c;
+            h_prev = hidden_state;
+        }
+        cache
+    }
+
+    /// BPTT through the cached sequence. `dh_per_step[t]` is the external
+    /// gradient flowing into `h_t` (from the head or the layer above).
+    /// Returns `(grads, dx_per_step)` where `grads` matches the parameter
+    /// layout `(wx, wh, b)` flattened.
+    fn backward(&self, cache: &LayerCache, dh_per_step: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+        let h = self.hidden;
+        let steps = cache.xs.len();
+        let mut d_wx = vec![0.0; self.wx.len()];
+        let mut d_wh = vec![0.0; self.wh.len()];
+        let mut d_b = vec![0.0; self.b.len()];
+        let mut dxs = vec![vec![0.0; self.input]; steps];
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..steps).rev() {
+            let [gi, gf, gg, go] = &cache.gates[t];
+            let c = &cache.cs[t];
+            let c_prev: &[f64] = if t == 0 { &[] } else { &cache.cs[t - 1] };
+            let h_prev: &[f64] = if t == 0 { &[] } else { &cache.hs[t - 1] };
+            let mut dh: Vec<f64> = dh_per_step[t].clone();
+            for (a, b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let mut dz = vec![0.0; 4 * h];
+            let mut dc_prev = vec![0.0; h];
+            for j in 0..h {
+                let tanh_c = c[j].tanh();
+                let dc = dc_next[j] + dh[j] * go[j] * (1.0 - tanh_c * tanh_c);
+                let d_o = dh[j] * tanh_c;
+                let cp = if t == 0 { 0.0 } else { c_prev[j] };
+                let d_i = dc * gg[j];
+                let d_f = dc * cp;
+                let d_g = dc * gi[j];
+                dz[j] = d_i * gi[j] * (1.0 - gi[j]);
+                dz[h + j] = d_f * gf[j] * (1.0 - gf[j]);
+                dz[2 * h + j] = d_g * (1.0 - gg[j] * gg[j]);
+                dz[3 * h + j] = d_o * go[j] * (1.0 - go[j]);
+                dc_prev[j] = dc * gf[j];
+            }
+            // Accumulate parameter gradients and propagate to x and h_prev.
+            let mut dh_prev = vec![0.0; h];
+            for (row, &dzv) in dz.iter().enumerate() {
+                if dzv == 0.0 {
+                    continue;
+                }
+                let x = &cache.xs[t];
+                for (k, xv) in x.iter().enumerate() {
+                    d_wx[row * self.input + k] += dzv * xv;
+                }
+                if t > 0 {
+                    for (k, hv) in h_prev.iter().enumerate() {
+                        d_wh[row * h + k] += dzv * hv;
+                    }
+                }
+                d_b[row] += dzv;
+                let wx_row = &self.wx[row * self.input..(row + 1) * self.input];
+                for (k, w) in wx_row.iter().enumerate() {
+                    dxs[t][k] += dzv * w;
+                }
+                let wh_row = &self.wh[row * h..(row + 1) * h];
+                for (k, w) in wh_row.iter().enumerate() {
+                    dh_prev[k] += dzv * w;
+                }
+            }
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+        let mut grads = d_wx;
+        grads.extend(d_wh);
+        grads.extend(d_b);
+        (grads, dxs)
+    }
+
+    fn params_mut(&mut self) -> impl Iterator<Item = &mut f64> {
+        self.wx
+            .iter_mut()
+            .chain(self.wh.iter_mut())
+            .chain(self.b.iter_mut())
+    }
+}
+
+/// Adam optimizer state for one flat parameter vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: usize,
+    lr: f64,
+}
+
+impl Adam {
+    fn new(n: usize, lr: f64) -> Self {
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            lr,
+        }
+    }
+
+    /// Applies one Adam update; returns the per-parameter deltas.
+    fn step(&mut self, grads: &[f64], clip: f64) -> Vec<f64> {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        grads
+            .iter()
+            .enumerate()
+            .map(|(i, &g0)| {
+                let g = g0.clamp(-clip, clip);
+                self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+                self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+                let mh = self.m[i] / bc1;
+                let vh = self.v[i] / bc2;
+                -self.lr * mh / (vh.sqrt() + EPS)
+            })
+            .collect()
+    }
+}
+
+/// Fitted network state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LstmState {
+    layers: Vec<LstmLayer>,
+    /// Dense head weights (`hidden` long) and bias.
+    head_w: Vec<f64>,
+    head_b: f64,
+    /// Min-max normalization learned from the training history.
+    lo: f64,
+    hi: f64,
+    /// Final training MSE (normalized scale), for diagnostics.
+    train_mse: f64,
+}
+
+/// Stacked-LSTM forecaster (2 LSTM layers + ReLU dense head by default).
+///
+/// # Example
+///
+/// ```no_run
+/// use utilcast_timeseries::lstm::{Lstm, LstmConfig};
+/// use utilcast_timeseries::Forecaster;
+///
+/// let series: Vec<f64> = (0..300).map(|t| 0.5 + 0.3 * (t as f64 * 0.2).sin()).collect();
+/// let mut model = Lstm::new(LstmConfig { epochs: 30, ..Default::default() });
+/// model.fit(&series)?;
+/// let fc = model.forecast(&series, 5)?;
+/// assert_eq!(fc.len(), 5);
+/// # Ok::<(), utilcast_timeseries::TimeSeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    config: LstmConfig,
+    state: Option<LstmState>,
+}
+
+impl Lstm {
+    /// Creates an unfitted model with the given hyperparameters.
+    pub fn new(config: LstmConfig) -> Self {
+        Lstm {
+            config,
+            state: None,
+        }
+    }
+
+    /// The hyperparameters.
+    pub fn config(&self) -> &LstmConfig {
+        &self.config
+    }
+
+    /// Final training MSE on the normalized scale, if fitted.
+    pub fn train_mse(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.train_mse)
+    }
+
+    fn validate(&self) -> Result<(), TimeSeriesError> {
+        let c = &self.config;
+        if c.window == 0 || c.hidden == 0 || c.layers == 0 || c.epochs == 0 {
+            return Err(TimeSeriesError::InvalidConfig {
+                reason: "window, hidden, layers, and epochs must all be positive".into(),
+            });
+        }
+        if !(c.learning_rate > 0.0) {
+            return Err(TimeSeriesError::InvalidConfig {
+                reason: "learning rate must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Full forward pass: window of normalized values -> scalar prediction.
+    /// Returns `(prediction, caches, head_input)`.
+    fn forward(state: &LstmState, window: &[f64]) -> (f64, Vec<LayerCache>, Vec<f64>) {
+        let mut seq: Vec<Vec<f64>> = window.iter().map(|&v| vec![v]).collect();
+        let mut caches = Vec::with_capacity(state.layers.len());
+        for layer in &state.layers {
+            let cache = layer.forward(&seq);
+            seq = cache.hs.clone();
+            caches.push(cache);
+        }
+        let last_h = seq.last().expect("window is non-empty").clone();
+        let pre: f64 = state
+            .head_w
+            .iter()
+            .zip(&last_h)
+            .map(|(w, h)| w * h)
+            .sum::<f64>()
+            + state.head_b;
+        // ReLU head (utilizations are non-negative on the normalized scale).
+        let y = pre.max(0.0);
+        (y, caches, last_h)
+    }
+}
+
+impl Forecaster for Lstm {
+    fn fit(&mut self, history: &[f64]) -> Result<(), TimeSeriesError> {
+        self.validate()?;
+        let c = self.config.clone();
+        let needed = c.window + 2;
+        if history.len() < needed {
+            return Err(TimeSeriesError::TooShort {
+                needed,
+                got: history.len(),
+            });
+        }
+        // Min-max normalization to [0, 1].
+        let lo = history.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let norm: Vec<f64> = history.iter().map(|v| (v - lo) / span).collect();
+
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut layers = Vec::with_capacity(c.layers);
+        let mut input = 1;
+        for _ in 0..c.layers {
+            layers.push(LstmLayer::new(input, c.hidden, &mut rng));
+            input = c.hidden;
+        }
+        let head_w: Vec<f64> = (0..c.hidden)
+            .map(|_| normal(&mut rng, 0.0, (1.0 / c.hidden as f64).sqrt()))
+            .collect();
+        let mut state = LstmState {
+            layers,
+            head_w,
+            head_b: 0.0,
+            lo,
+            hi,
+            train_mse: f64::INFINITY,
+        };
+
+        // Training windows.
+        let mut samples: Vec<(usize, f64)> = (c.window..norm.len())
+            .map(|t| (t - c.window, norm[t]))
+            .collect();
+        let layer_param_counts: Vec<usize> = state.layers.iter().map(|l| l.num_params()).collect();
+        let mut layer_opts: Vec<Adam> = layer_param_counts
+            .iter()
+            .map(|&n| Adam::new(n, c.learning_rate))
+            .collect();
+        let mut head_opt = Adam::new(c.hidden + 1, c.learning_rate);
+
+        let mut last_epoch_mse = f64::INFINITY;
+        for _epoch in 0..c.epochs {
+            // Shuffle each epoch: utilization windows are strongly
+            // autocorrelated, and chronological per-sample updates would
+            // bias the network towards the end of the series.
+            for i in (1..samples.len()).rev() {
+                use rand::Rng;
+                let j = rng.gen_range(0..=i);
+                samples.swap(i, j);
+            }
+            let mut sse = 0.0;
+            for &(start, target) in &samples {
+                let window = &norm[start..start + c.window];
+                let (y, caches, last_h) = Lstm::forward(&state, window);
+                let err = y - target;
+                sse += err * err;
+                // dLoss/dy for squared error (factor 2 folded into lr).
+                let mut dy = err;
+                // ReLU gate.
+                let pre = state
+                    .head_w
+                    .iter()
+                    .zip(&last_h)
+                    .map(|(w, h)| w * h)
+                    .sum::<f64>()
+                    + state.head_b;
+                if pre <= 0.0 {
+                    // Leaky gradient through the ReLU during training so the
+                    // single output unit cannot die permanently.
+                    dy *= 0.01;
+                }
+                // Head gradients.
+                let mut head_grads: Vec<f64> = last_h.iter().map(|h| dy * h).collect();
+                head_grads.push(dy);
+                // Gradient into the top layer's last hidden state.
+                let steps = c.window;
+                let mut dh_top = vec![vec![0.0; c.hidden]; steps];
+                for (j, w) in state.head_w.iter().enumerate() {
+                    dh_top[steps - 1][j] = dy * w;
+                }
+                // Backward through the stack.
+                let mut dh_per_step = dh_top;
+                let mut layer_grads: Vec<Vec<f64>> = Vec::with_capacity(state.layers.len());
+                for (layer, cache) in state.layers.iter().zip(&caches).rev() {
+                    let (grads, dxs) = layer.backward(cache, &dh_per_step);
+                    layer_grads.push(grads);
+                    dh_per_step = dxs;
+                }
+                layer_grads.reverse();
+                // Apply Adam updates.
+                for ((layer, grads), opt) in state
+                    .layers
+                    .iter_mut()
+                    .zip(&layer_grads)
+                    .zip(layer_opts.iter_mut())
+                {
+                    let deltas = opt.step(grads, c.grad_clip);
+                    for (p, d) in layer.params_mut().zip(&deltas) {
+                        *p += d;
+                    }
+                }
+                let head_deltas = head_opt.step(&head_grads, c.grad_clip);
+                for (w, d) in state.head_w.iter_mut().zip(&head_deltas) {
+                    *w += d;
+                }
+                state.head_b += head_deltas[c.hidden];
+            }
+            last_epoch_mse = sse / samples.len() as f64;
+        }
+        if !last_epoch_mse.is_finite() {
+            return Err(TimeSeriesError::FitDiverged);
+        }
+        state.train_mse = last_epoch_mse;
+        self.state = Some(state);
+        Ok(())
+    }
+
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
+        let state = self.state.as_ref().ok_or(TimeSeriesError::NotFitted)?;
+        let w = self.config.window;
+        if history.len() < w {
+            return Err(TimeSeriesError::TooShort {
+                needed: w,
+                got: history.len(),
+            });
+        }
+        let span = if state.hi > state.lo {
+            state.hi - state.lo
+        } else {
+            1.0
+        };
+        let mut window: Vec<f64> = history[history.len() - w..]
+            .iter()
+            .map(|v| ((v - state.lo) / span).clamp(-0.5, 1.5))
+            .collect();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let (y, _, _) = Lstm::forward(state, &window);
+            out.push(state.lo + y * span);
+            window.remove(0);
+            // Clamp the recursive feedback to the (slightly padded)
+            // normalized training range so multi-step recursion cannot
+            // drift off the manifold the network was trained on.
+            window.push(y.clamp(0.0, 1.25));
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "lstm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LstmConfig {
+        LstmConfig {
+            window: 8,
+            hidden: 8,
+            layers: 2,
+            epochs: 30,
+            learning_rate: 0.02,
+            grad_clip: 1.0,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn learns_constant_series() {
+        let series = vec![0.7; 60];
+        let mut m = Lstm::new(tiny_config());
+        m.fit(&series).unwrap();
+        let fc = m.forecast(&series, 3).unwrap();
+        for f in fc {
+            assert!((f - 0.7).abs() < 0.1, "forecast {f} should be near 0.7");
+        }
+    }
+
+    #[test]
+    fn learns_sine_wave_one_step() {
+        let series: Vec<f64> = (0..240)
+            .map(|t| 0.5 + 0.4 * (t as f64 * 2.0 * std::f64::consts::PI / 24.0).sin())
+            .collect();
+        let mut m = Lstm::new(LstmConfig {
+            epochs: 80,
+            window: 12,
+            hidden: 12,
+            ..tiny_config()
+        });
+        m.fit(&series).unwrap();
+        // One-step forecast from the training tail should be close to the
+        // continuation of the sine.
+        let fc = m.forecast(&series, 1).unwrap();
+        let truth = 0.5 + 0.4 * (240.0 * 2.0 * std::f64::consts::PI / 24.0).sin();
+        assert!(
+            (fc[0] - truth).abs() < 0.12,
+            "one-step forecast {} vs truth {truth}",
+            fc[0]
+        );
+        // Training should have reduced the MSE well below the series
+        // variance (~0.08).
+        assert!(m.train_mse().unwrap() < 0.02, "train mse {}", m.train_mse().unwrap());
+    }
+
+    #[test]
+    fn beats_mean_on_trending_series() {
+        let series: Vec<f64> = (0..150).map(|t| 0.2 + t as f64 * 0.003).collect();
+        let mut m = Lstm::new(LstmConfig {
+            epochs: 60,
+            ..tiny_config()
+        });
+        m.fit(&series).unwrap();
+        let fc = m.forecast(&series, 1).unwrap()[0];
+        let truth = 0.2 + 150.0 * 0.003;
+        let mean = utilcast_linalg::stats::mean(&series);
+        assert!(
+            (fc - truth).abs() < (mean - truth).abs(),
+            "lstm {fc} should beat mean {mean} against truth {truth}"
+        );
+    }
+
+    #[test]
+    fn forecast_before_fit_errors() {
+        let m = Lstm::new(tiny_config());
+        assert_eq!(m.forecast(&[0.0; 20], 1), Err(TimeSeriesError::NotFitted));
+    }
+
+    #[test]
+    fn short_history_errors() {
+        let mut m = Lstm::new(tiny_config());
+        assert!(matches!(
+            m.fit(&[1.0, 2.0, 3.0]),
+            Err(TimeSeriesError::TooShort { .. })
+        ));
+        // Forecast with too-short history also errors.
+        let series = vec![0.5; 40];
+        m.fit(&series).unwrap();
+        assert!(matches!(
+            m.forecast(&[1.0, 2.0], 1),
+            Err(TimeSeriesError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut m = Lstm::new(LstmConfig {
+            window: 0,
+            ..tiny_config()
+        });
+        assert!(matches!(
+            m.fit(&[0.0; 50]),
+            Err(TimeSeriesError::InvalidConfig { .. })
+        ));
+        let mut m = Lstm::new(LstmConfig {
+            learning_rate: 0.0,
+            ..tiny_config()
+        });
+        assert!(matches!(
+            m.fit(&[0.0; 50]),
+            Err(TimeSeriesError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let series: Vec<f64> = (0..80).map(|t| (t as f64 * 0.3).sin()).collect();
+        let mut a = Lstm::new(tiny_config());
+        let mut b = Lstm::new(tiny_config());
+        a.fit(&series).unwrap();
+        b.fit(&series).unwrap();
+        assert_eq!(
+            a.forecast(&series, 4).unwrap(),
+            b.forecast(&series, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn multi_step_forecast_has_requested_length() {
+        let series: Vec<f64> = (0..60).map(|t| (t % 5) as f64 * 0.1).collect();
+        let mut m = Lstm::new(LstmConfig {
+            epochs: 10,
+            ..tiny_config()
+        });
+        m.fit(&series).unwrap();
+        assert_eq!(m.forecast(&series, 7).unwrap().len(), 7);
+        assert!(m.forecast(&series, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gradient_check_single_layer() {
+        // Numerical gradient check of the LSTM layer backward pass: perturb
+        // one weight and compare finite difference against analytic grad.
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = LstmLayer::new(1, 4, &mut rng);
+        let seq: Vec<Vec<f64>> = vec![vec![0.3], vec![-0.1], vec![0.5]];
+        // Loss = sum of final hidden state.
+        let loss = |l: &LstmLayer| -> f64 { l.forward(&seq).hs.last().unwrap().iter().sum() };
+        let cache = layer.forward(&seq);
+        let mut dh = vec![vec![0.0; 4]; 3];
+        dh[2] = vec![1.0; 4];
+        let (grads, _) = layer.backward(&cache, &dh);
+        // Check a few wx entries and a bias entry.
+        let eps = 1e-6;
+        for &idx in &[0usize, 3, 7] {
+            let mut lp = layer.clone();
+            lp.wx[idx] += eps;
+            let mut lm = layer.clone();
+            lm.wx[idx] -= eps;
+            let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+            let analytic = grads[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "wx[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        let b_offset = layer.wx.len() + layer.wh.len();
+        let mut lp = layer.clone();
+        lp.b[2] += eps;
+        let mut lm = layer.clone();
+        lm.b[2] -= eps;
+        let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
+        assert!(
+            (numeric - grads[b_offset + 2]).abs() < 1e-5,
+            "bias grad mismatch"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the time-series substrate.
+
+use proptest::prelude::*;
+use utilcast_timeseries::acf::acf;
+use utilcast_timeseries::baselines::{LongTermMean, SampleAndHold};
+use utilcast_timeseries::diff::{difference, integrate};
+use utilcast_timeseries::harness::{RetrainPolicy, RetrainingForecaster};
+use utilcast_timeseries::Forecaster;
+
+proptest! {
+    /// Differencing then integrating the true future differences must
+    /// reconstruct the original series exactly (up to float tolerance).
+    #[test]
+    fn difference_integrate_round_trip(
+        series in proptest::collection::vec(-100.0f64..100.0, 30..80),
+        d in 0usize..3,
+        big_d in 0usize..2,
+        s in 2usize..8,
+    ) {
+        let split = series.len() - 10;
+        let (train, test) = series.split_at(split);
+        prop_assume!(train.len() > d + big_d * s + 1);
+        let (_, state) = difference(train, d, big_d, s).unwrap();
+        let (w_full, _) = difference(&series, d, big_d, s).unwrap();
+        let w_future = &w_full[w_full.len() - test.len()..];
+        let recon = integrate(w_future, &state);
+        for (r, t) in recon.iter().zip(test) {
+            prop_assert!((r - t).abs() < 1e-6, "reconstruction {r} vs truth {t}");
+        }
+    }
+
+    /// ACF values are always within [-1, 1] and acf[0] == 1.
+    #[test]
+    fn acf_bounded(series in proptest::collection::vec(-10.0f64..10.0, 10..100)) {
+        let max_lag = 5.min(series.len() - 1);
+        let a = acf(&series, max_lag);
+        prop_assert_eq!(a[0], 1.0);
+        for v in &a {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(v));
+        }
+    }
+
+    /// Sample-and-hold forecasts are constant and equal to the last value.
+    #[test]
+    fn sample_and_hold_invariant(
+        series in proptest::collection::vec(-10.0f64..10.0, 1..50),
+        horizon in 1usize..20,
+    ) {
+        let mut m = SampleAndHold::new();
+        m.fit(&series).unwrap();
+        let fc = m.forecast(&series, horizon).unwrap();
+        prop_assert_eq!(fc.len(), horizon);
+        for v in fc {
+            prop_assert_eq!(v, *series.last().unwrap());
+        }
+    }
+
+    /// The long-term-mean forecast lies within the range of the data.
+    #[test]
+    fn mean_forecast_within_range(
+        series in proptest::collection::vec(0.0f64..1.0, 2..60),
+    ) {
+        let mut m = LongTermMean::new();
+        m.fit(&series).unwrap();
+        let fc = m.forecast(&series, 3).unwrap()[0];
+        let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(fc >= lo - 1e-12 && fc <= hi + 1e-12);
+    }
+
+    /// The retraining harness trains exactly when the policy dictates:
+    /// first at `warmup` observations, then every `retrain_every`.
+    #[test]
+    fn retrain_schedule(
+        warmup in 1usize..20,
+        every in 1usize..20,
+        total in 1usize..100,
+    ) {
+        let mut rf = RetrainingForecaster::new(
+            SampleAndHold::new(),
+            RetrainPolicy { warmup, retrain_every: every, max_train_window: None },
+        );
+        let mut expected = 0usize;
+        for t in 1..=total {
+            let trained = rf.observe(0.5).unwrap();
+            let should = if expected == 0 {
+                t >= warmup
+            } else {
+                // After the first training at step `warmup`, retrains happen
+                // every `every` further observations.
+                (t - warmup) % every == 0 && t > warmup
+            };
+            if trained {
+                expected += 1;
+            }
+            prop_assert_eq!(trained, should, "step {}", t);
+        }
+        prop_assert_eq!(rf.retrain_count(), expected);
+    }
+}

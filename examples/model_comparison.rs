@@ -1,0 +1,89 @@
+//! Compare the three per-cluster forecasting models the paper evaluates —
+//! ARIMA (AICc grid search), LSTM, and sample-and-hold — on the same
+//! synthetic datacenter, the way Sec. VI-D1 does, plus the
+//! standard-deviation upper bound.
+//!
+//! Run with: `cargo run --release --example model_comparison`
+//! (LSTM + ARIMA training make this the slowest example; ~a minute.)
+
+use std::time::Instant;
+
+use utilcast::core::metrics::TimeAveragedRmse;
+use utilcast::core::pipeline::{ModelSpec, Pipeline, PipelineConfig};
+use utilcast::datasets::{presets, Resource};
+use utilcast::linalg::stats::std_dev;
+use utilcast::timeseries::arima::{ArimaFitOptions, ArimaGrid};
+use utilcast::timeseries::lstm::LstmConfig;
+
+fn evaluate(model: ModelSpec, name: &str, horizon: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let n = 40;
+    let steps = 700;
+    let warm = 200;
+    let trace = presets::alibaba_like().nodes(n).steps(steps).seed(11).generate();
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        num_nodes: n,
+        k: 3,
+        budget: 0.3,
+        warmup: warm,
+        retrain_every: 200,
+        model,
+        ..Default::default()
+    })?;
+    let start = Instant::now();
+    let mut acc = TimeAveragedRmse::new();
+    for t in 0..steps {
+        let x = trace.snapshot(Resource::Cpu, t)?;
+        pipeline.step(&x)?;
+        if t >= warm && t + horizon < steps {
+            let fc = pipeline.forecast(horizon)?;
+            let truth = trace.snapshot(Resource::Cpu, t + horizon)?;
+            acc.add(utilcast::core::metrics::rmse_step_scalar(
+                &fc[horizon - 1],
+                &truth,
+            ));
+        }
+    }
+    println!(
+        "  {name:<16} RMSE(h={horizon}) = {:.4}   ({:.1?} total)",
+        acc.value(),
+        start.elapsed()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let horizon = 5;
+    println!("forecasting model comparison, h = {horizon}, K = 3, B = 0.3:");
+    evaluate(ModelSpec::SampleAndHold, "sample-and-hold", horizon)?;
+    evaluate(
+        ModelSpec::AutoArima {
+            grid: ArimaGrid::quick(),
+            options: ArimaFitOptions {
+                max_evals: 300,
+                ..Default::default()
+            },
+        },
+        "auto-ARIMA",
+        horizon,
+    )?;
+    evaluate(
+        ModelSpec::Lstm(LstmConfig {
+            epochs: 40,
+            hidden: 12,
+            window: 12,
+            ..Default::default()
+        }),
+        "LSTM",
+        horizon,
+    )?;
+
+    // The paper's upper bound: forecasting from long-term statistics only
+    // has RMSE equal to the data's standard deviation.
+    let trace = presets::alibaba_like().nodes(40).steps(700).seed(11).generate();
+    let mut all = Vec::new();
+    for i in 0..40 {
+        all.extend(trace.series(Resource::Cpu, i)?);
+    }
+    println!("  {:<16} RMSE bound    = {:.4}", "std-deviation", std_dev(&all));
+    Ok(())
+}

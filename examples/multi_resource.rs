@@ -1,0 +1,62 @@
+//! Multi-resource monitoring: one transmission decision per node covers the
+//! whole CPU+memory vector (the paper's Sec. V-A formulation), while
+//! clustering and forecasting run per resource (Sec. VI-C1).
+//!
+//! Run with: `cargo run --release --example multi_resource`
+
+use utilcast::core::metrics::rmse_step_scalar;
+use utilcast::core::multi::{MultiPipeline, MultiPipelineConfig};
+use utilcast::datasets::{presets, Resource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 60;
+    let steps = 700;
+    let horizon = 5;
+    let trace = presets::bitbrains_like().nodes(n).steps(steps).seed(29).generate();
+
+    let mut mp = MultiPipeline::new(MultiPipelineConfig {
+        num_nodes: n,
+        num_resources: trace.dim(),
+        k: 3,
+        budget: 0.3,
+        warmup: 150,
+        retrain_every: 150,
+        ..Default::default()
+    })?;
+
+    let resources = [Resource::Cpu, Resource::Memory];
+    let mut rmse = vec![0.0f64; trace.dim()];
+    let mut count = 0u32;
+    for t in 0..steps {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| trace.measurement(i, t).to_vec()).collect();
+        mp.step(&x)?;
+        if t >= 150 && t + horizon < steps {
+            let fc = mp.forecast(horizon)?;
+            for (r, &resource) in resources.iter().enumerate() {
+                let truth = trace.snapshot(resource, t + horizon)?;
+                rmse[r] += rmse_step_scalar(&fc[r][horizon - 1], &truth).powi(2);
+            }
+            count += 1;
+        }
+    }
+
+    println!("{n} machines x {steps} steps, one 0.3-budget decision covers both resources");
+    println!(
+        "realized transmission frequency: {:.3} (vs 0.6 if each resource paid separately)",
+        mp.transmission_frequency()
+    );
+    for (r, resource) in resources.iter().enumerate() {
+        println!(
+            "  {resource:<8} {horizon}-step forecast RMSE: {:.4}",
+            (rmse[r] / count as f64).sqrt()
+        );
+    }
+    // Per-resource stages are independently inspectable.
+    for (r, resource) in resources.iter().enumerate() {
+        println!(
+            "  {resource:<8} centroid history length: {}",
+            mp.stage(r).centroid_history(0).len()
+        );
+    }
+    Ok(())
+}

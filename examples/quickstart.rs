@@ -1,0 +1,65 @@
+//! Quickstart: monitor a synthetic datacenter with a transmission budget
+//! and forecast every machine's CPU utilization.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use utilcast::core::metrics::rmse_step_scalar;
+use utilcast::core::pipeline::{Pipeline, PipelineConfig};
+use utilcast::datasets::{presets, Resource};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic datacenter trace: 50 machines, ~2 days of 5-minute
+    //    samples, with evolving workload groups (stands in for the Google
+    //    cluster trace; see DESIGN.md for the substitution rationale).
+    let trace = presets::google_like().nodes(50).steps(600).seed(7).generate();
+    println!(
+        "trace: {} machines x {} steps, resources {:?}",
+        trace.num_nodes(),
+        trace.num_steps(),
+        trace.resources()
+    );
+
+    // 2. The full pipeline: adaptive transmission at a 30% budget, K = 3
+    //    dynamic clusters, one sample-and-hold model per cluster.
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        num_nodes: trace.num_nodes(),
+        k: 3,
+        budget: 0.3,
+        warmup: 100,
+        retrain_every: 100,
+        ..Default::default()
+    })?;
+
+    // 3. Drive it over the trace, evaluating 5-step-ahead forecasts on the
+    //    fly (the future truth is only used for scoring).
+    let horizon = 5;
+    let mut rmse_sum = 0.0;
+    let mut rmse_count = 0u32;
+    for t in 0..trace.num_steps() {
+        let x = trace.snapshot(Resource::Cpu, t)?;
+        pipeline.step(&x)?;
+        if t + horizon < trace.num_steps() && t >= 100 {
+            let forecast = pipeline.forecast(horizon)?;
+            let truth = trace.snapshot(Resource::Cpu, t + horizon)?;
+            rmse_sum += rmse_step_scalar(&forecast[horizon - 1], &truth).powi(2);
+            rmse_count += 1;
+        }
+    }
+
+    // 4. Report.
+    println!(
+        "realized transmission frequency: {:.3} (budget 0.3)",
+        pipeline.transmission_frequency()
+    );
+    println!(
+        "time-averaged RMSE of {horizon}-step-ahead forecasts: {:.4}",
+        (rmse_sum / rmse_count as f64).sqrt()
+    );
+    let forecast = pipeline.forecast(horizon)?;
+    println!("\nnext {horizon} steps, first 5 machines (forecast CPU):");
+    for h in 0..horizon {
+        let row: Vec<String> = forecast[h][..5].iter().map(|v| format!("{v:.3}")).collect();
+        println!("  t+{}: {}", h + 1, row.join("  "));
+    }
+    Ok(())
+}

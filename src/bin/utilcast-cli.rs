@@ -1,0 +1,201 @@
+//! Command-line front end: run the collection + forecasting pipeline over a
+//! CSV trace (or a built-in synthetic preset) and print per-node forecasts.
+//!
+//! ```text
+//! utilcast-cli [OPTIONS]
+//!
+//! Options:
+//!   --input <FILE>      long-form CSV trace (t,node,<resources...>);
+//!                       omit to use a synthetic preset
+//!   --preset <NAME>     alibaba | bitbrains | google   [default: google]
+//!   --nodes <N>         synthetic preset size          [default: 50]
+//!   --steps <T>         synthetic preset length        [default: 600]
+//!   --resource <NAME>   cpu | memory | ...             [default: cpu]
+//!   --k <K>             number of clusters/models      [default: 3]
+//!   --budget <B>        transmission budget in (0,1]   [default: 0.3]
+//!   --horizon <H>       forecast steps ahead           [default: 5]
+//!   --warmup <W>        steps before first training    [default: steps/4]
+//!   --model <NAME>      hold | arima | lstm | ets      [default: hold]
+//!   --json              print machine-readable JSON instead of a table
+//!   --help              this message
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::process::ExitCode;
+
+use utilcast::core::pipeline::{ModelSpec, Pipeline, PipelineConfig};
+use utilcast::datasets::{csv, presets, Resource, Trace};
+use utilcast::timeseries::arima::{ArimaFitOptions, ArimaGrid};
+use utilcast::timeseries::ets::EtsConfig;
+use utilcast::timeseries::lstm::LstmConfig;
+
+const HELP: &str = "utilcast-cli: online collection + forecasting over a utilization trace
+
+USAGE:
+  utilcast-cli [--input FILE] [--preset NAME] [--nodes N] [--steps T]
+               [--resource NAME] [--k K] [--budget B] [--horizon H]
+               [--warmup W] [--model hold|arima|lstm|ets] [--json]";
+
+fn parse_args() -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument '{arg}'"))?
+            .to_string();
+        match key.as_str() {
+            "json" | "help" => {
+                out.insert(key, "true".into());
+            }
+            "input" | "preset" | "nodes" | "steps" | "resource" | "k" | "budget" | "horizon"
+            | "warmup" | "model" => {
+                let value = args.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                out.insert(key, value);
+            }
+            _ => return Err(format!("unknown option '--{key}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn resource_from(name: &str) -> Result<Resource, String> {
+    match name {
+        "cpu" => Ok(Resource::Cpu),
+        "memory" => Ok(Resource::Memory),
+        "disk" => Ok(Resource::Disk),
+        "network" => Ok(Resource::Network),
+        "temperature" => Ok(Resource::Temperature),
+        "humidity" => Ok(Resource::Humidity),
+        other => Err(format!("unknown resource '{other}'")),
+    }
+}
+
+fn load_trace(args: &HashMap<String, String>) -> Result<Trace, String> {
+    if let Some(path) = args.get("input") {
+        let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        return csv::read_csv(file).map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    let nodes: usize = args
+        .get("nodes")
+        .map_or(Ok(50), |v| v.parse().map_err(|_| format!("bad --nodes '{v}'")))?;
+    let steps: usize = args
+        .get("steps")
+        .map_or(Ok(600), |v| v.parse().map_err(|_| format!("bad --steps '{v}'")))?;
+    let preset = args.get("preset").map(String::as_str).unwrap_or("google");
+    let config = match preset {
+        "alibaba" => presets::alibaba_like(),
+        "bitbrains" => presets::bitbrains_like(),
+        "google" => presets::google_like(),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    Ok(config.nodes(nodes).steps(steps).generate())
+}
+
+fn model_from(name: &str) -> Result<ModelSpec, String> {
+    match name {
+        "hold" => Ok(ModelSpec::SampleAndHold),
+        "arima" => Ok(ModelSpec::AutoArima {
+            grid: ArimaGrid::quick(),
+            options: ArimaFitOptions::default(),
+        }),
+        "lstm" => Ok(ModelSpec::Lstm(LstmConfig::default())),
+        "ets" => Ok(ModelSpec::HoltWinters(EtsConfig::default())),
+        other => Err(format!("unknown model '{other}'")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.contains_key("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let trace = load_trace(&args)?;
+    let resource = resource_from(args.get("resource").map(String::as_str).unwrap_or("cpu"))?;
+    let k: usize = args
+        .get("k")
+        .map_or(Ok(3), |v| v.parse().map_err(|_| format!("bad --k '{v}'")))?;
+    let budget: f64 = args
+        .get("budget")
+        .map_or(Ok(0.3), |v| v.parse().map_err(|_| format!("bad --budget '{v}'")))?;
+    let horizon: usize = args
+        .get("horizon")
+        .map_or(Ok(5), |v| v.parse().map_err(|_| format!("bad --horizon '{v}'")))?;
+    let warmup: usize = args.get("warmup").map_or(Ok(trace.num_steps() / 4), |v| {
+        v.parse().map_err(|_| format!("bad --warmup '{v}'"))
+    })?;
+    let model = model_from(args.get("model").map(String::as_str).unwrap_or("hold"))?;
+
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        num_nodes: trace.num_nodes(),
+        k,
+        budget,
+        warmup,
+        retrain_every: warmup.max(1),
+        model,
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+
+    for t in 0..trace.num_steps() {
+        let x = trace
+            .snapshot(resource, t)
+            .map_err(|e| format!("trace error at step {t}: {e}"))?;
+        pipeline.step(&x).map_err(|e| format!("step {t}: {e}"))?;
+    }
+    let forecast = pipeline.forecast(horizon).map_err(|e| e.to_string())?;
+
+    if args.contains_key("json") {
+        // Minimal hand-rolled JSON keeps the CLI dependency-free here.
+        let rows: Vec<String> = (0..trace.num_nodes())
+            .map(|i| {
+                let values: Vec<String> = (0..horizon)
+                    .map(|h| format!("{:.6}", forecast[h][i]))
+                    .collect();
+                format!("    {{\"node\": {i}, \"forecast\": [{}]}}", values.join(", "))
+            })
+            .collect();
+        println!(
+            "{{\n  \"resource\": \"{resource}\",\n  \"horizon\": {horizon},\n  \"realized_frequency\": {:.6},\n  \"nodes\": [\n{}\n  ]\n}}",
+            pipeline.transmission_frequency(),
+            rows.join(",\n")
+        );
+    } else {
+        println!(
+            "{} nodes x {} steps, resource {resource}, K = {k}, budget {budget}",
+            trace.num_nodes(),
+            trace.num_steps()
+        );
+        println!(
+            "realized transmission frequency: {:.3}",
+            pipeline.transmission_frequency()
+        );
+        println!("\nforecast (first 10 nodes):");
+        print!("  node");
+        for h in 1..=horizon {
+            print!("   t+{h:<4}");
+        }
+        println!();
+        for i in 0..trace.num_nodes().min(10) {
+            print!("  {i:>4}");
+            for h in 0..horizon {
+                print!("  {:.4}", forecast[h][i]);
+            }
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # utilcast
+//!
+//! Online collection and forecasting of resource utilization in large-scale
+//! distributed systems — a Rust reproduction of Tuor, Wang, Leung & Ko
+//! (ICDCS 2019, arXiv:1905.09219).
+//!
+//! The system monitors `N` machines with a communication budget: each node
+//! decides online when to push its latest measurement (Lyapunov
+//! drift-plus-penalty, [`core::transmit`]); the controller compresses the
+//! stored values into `K` evolving clusters ([`core::cluster`]); and one
+//! forecasting model per cluster ([`timeseries`]) predicts every node's
+//! future utilization as its cluster-centroid forecast plus a clipped
+//! per-node offset ([`core::offset`]).
+//!
+//! This facade crate re-exports the workspace so downstream users depend on
+//! a single name:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the paper's mechanism: transmission, dynamic clustering, offsets, metrics, [`core::pipeline::Pipeline`]; extensions: [`core::multi`], [`core::detect`], [`core::allocate`] |
+//! | [`timeseries`] | SARIMA (CSS + AICc grid search, prediction intervals), LSTM, Holt–Winters, baselines, retraining harness |
+//! | [`clustering`] | k-means, Hungarian matching, similarity measures, baseline clusterers |
+//! | [`datasets`] | synthetic Alibaba/Bitbrains/Google/sensor-lab trace generators, CSV I/O |
+//! | [`gaussian`] | Sec. VI-E monitor-selection baselines (Top-W, Top-W-Update, Batch) |
+//! | [`simnet`] | distributed deployment: node shards, channel transport, bandwidth metering, fault injection |
+//! | [`linalg`] | dense matrices, Cholesky, Nelder–Mead, statistics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use utilcast::core::pipeline::{Pipeline, PipelineConfig};
+//! use utilcast::datasets::{presets, Resource};
+//!
+//! // A synthetic datacenter: 30 machines, 200 five-minute steps.
+//! let trace = presets::google_like().nodes(30).steps(200).seed(1).generate();
+//!
+//! let mut pipeline = Pipeline::new(PipelineConfig {
+//!     num_nodes: 30,
+//!     k: 3,          // three clusters -> three forecasting models
+//!     budget: 0.3,   // each node transmits at most 30% of steps
+//!     warmup: 50,
+//!     retrain_every: 50,
+//!     ..Default::default()
+//! })?;
+//!
+//! for t in 0..trace.num_steps() {
+//!     pipeline.step(&trace.snapshot(Resource::Cpu, t)?)?;
+//! }
+//! // Forecast every machine's CPU five steps ahead.
+//! let forecast = pipeline.forecast(5)?;
+//! assert_eq!(forecast[4].len(), 30);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use utilcast_clustering as clustering;
+pub use utilcast_core as core;
+pub use utilcast_datasets as datasets;
+pub use utilcast_gaussian as gaussian;
+pub use utilcast_linalg as linalg;
+pub use utilcast_simnet as simnet;
+pub use utilcast_timeseries as timeseries;

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full pipeline on synthetic traces.
+
+use utilcast::core::metrics::{rmse_step_scalar, TimeAveragedRmse};
+use utilcast::core::pipeline::{ModelSpec, Pipeline, PipelineConfig, TransmissionMode};
+use utilcast::datasets::{presets, Resource};
+use utilcast::datasets::presets::Dataset;
+
+fn run_pipeline(
+    mut pipeline: Pipeline,
+    trace: &utilcast::datasets::Trace,
+    resource: Resource,
+    horizon: usize,
+    warm: usize,
+) -> (Pipeline, f64) {
+    let steps = trace.num_steps();
+    let mut acc = TimeAveragedRmse::new();
+    for t in 0..steps {
+        let x = trace.snapshot(resource, t).unwrap();
+        pipeline.step(&x).unwrap();
+        if t >= warm && t + horizon < steps {
+            let fc = pipeline.forecast(horizon).unwrap();
+            let truth = trace.snapshot(resource, t + horizon).unwrap();
+            acc.add(rmse_step_scalar(&fc[horizon - 1], &truth));
+        }
+    }
+    (pipeline, acc.value())
+}
+
+#[test]
+fn pipeline_runs_on_all_three_dataset_presets() {
+    for ds in Dataset::ALL {
+        let trace = ds.config().nodes(25).steps(300).generate();
+        let pipeline = Pipeline::new(PipelineConfig {
+            num_nodes: 25,
+            k: 3,
+            warmup: 60,
+            retrain_every: 60,
+            ..Default::default()
+        })
+        .unwrap();
+        let (pipeline, rmse) = run_pipeline(pipeline, &trace, Resource::Cpu, 5, 60);
+        assert!(rmse.is_finite() && rmse < 0.4, "{ds}: rmse {rmse}");
+        assert!(
+            pipeline.transmission_frequency() < 0.42,
+            "{ds}: frequency {}",
+            pipeline.transmission_frequency()
+        );
+    }
+}
+
+#[test]
+fn forecast_beats_long_term_std_bound() {
+    // The paper's headline sanity check: the pipeline's forecast RMSE at
+    // moderate h must undercut the standard deviation of the data (the
+    // error of any long-term-statistics-only forecaster).
+    let trace = presets::google_like().nodes(30).steps(500).seed(3).generate();
+    let pipeline = Pipeline::new(PipelineConfig {
+        num_nodes: 30,
+        k: 3,
+        warmup: 100,
+        retrain_every: 100,
+        ..Default::default()
+    })
+    .unwrap();
+    let (_, rmse) = run_pipeline(pipeline, &trace, Resource::Cpu, 5, 100);
+    let mut all = Vec::new();
+    for i in 0..30 {
+        all.extend(trace.series(Resource::Cpu, i).unwrap());
+    }
+    let bound = utilcast::linalg::stats::std_dev(&all);
+    assert!(
+        rmse < bound,
+        "forecast rmse {rmse} should undercut std-dev bound {bound}"
+    );
+}
+
+#[test]
+fn adaptive_transmission_not_worse_than_uniform_for_same_budget() {
+    // Fig. 4's qualitative claim at the pipeline level, h = 0 (staleness).
+    let trace = presets::bitbrains_like().nodes(30).steps(600).seed(8).generate();
+    let mut staleness = Vec::new();
+    for mode in [TransmissionMode::Adaptive, TransmissionMode::Uniform] {
+        let mut pipeline = Pipeline::new(PipelineConfig {
+            num_nodes: 30,
+            k: 3,
+            budget: 0.2,
+            transmission: mode,
+            warmup: 10_000,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut acc = TimeAveragedRmse::new();
+        for t in 0..trace.num_steps() {
+            let x = trace.snapshot(Resource::Cpu, t).unwrap();
+            pipeline.step(&x).unwrap();
+            acc.add(rmse_step_scalar(pipeline.stored(), &x));
+        }
+        staleness.push(acc.value());
+    }
+    assert!(
+        staleness[0] <= staleness[1] * 1.02,
+        "adaptive {} should not lose to uniform {}",
+        staleness[0],
+        staleness[1]
+    );
+}
+
+#[test]
+fn higher_k_does_not_hurt_intermediate_rmse() {
+    // Fig. 7's monotone trend: more clusters, lower (or equal) clustering
+    // error at fixed budget.
+    let trace = presets::alibaba_like().nodes(40).steps(300).seed(5).generate();
+    let mut errors = Vec::new();
+    for k in [1usize, 3, 10] {
+        let mut pipeline = Pipeline::new(PipelineConfig {
+            num_nodes: 40,
+            k,
+            budget: 0.3,
+            warmup: 10_000,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut acc = TimeAveragedRmse::new();
+        for t in 0..trace.num_steps() {
+            let x = trace.snapshot(Resource::Cpu, t).unwrap();
+            let report = pipeline.step(&x).unwrap();
+            acc.add(report.intermediate_rmse);
+        }
+        errors.push(acc.value());
+    }
+    assert!(errors[1] < errors[0], "K=3 ({}) must beat K=1 ({})", errors[1], errors[0]);
+    assert!(
+        errors[2] <= errors[1] * 1.05,
+        "K=10 ({}) should not be much worse than K=3 ({})",
+        errors[2],
+        errors[1]
+    );
+}
+
+#[test]
+fn arima_model_pipeline_end_to_end() {
+    // A compact end-to-end run with a real model (fixed-order ARIMA) to
+    // make sure training inside the pipeline works.
+    let trace = presets::google_like().nodes(15).steps(260).seed(6).generate();
+    let pipeline = Pipeline::new(PipelineConfig {
+        num_nodes: 15,
+        k: 2,
+        warmup: 120,
+        retrain_every: 120,
+        model: ModelSpec::Arima {
+            order: utilcast::timeseries::arima::ArimaOrder::new(1, 0, 0),
+            options: Default::default(),
+        },
+        ..Default::default()
+    })
+    .unwrap();
+    let (_, rmse) = run_pipeline(pipeline, &trace, Resource::Memory, 3, 130);
+    assert!(rmse.is_finite() && rmse < 0.4, "rmse {rmse}");
+}
+
+#[test]
+fn multi_resource_runs_one_pipeline_per_resource() {
+    // The paper's recommended deployment: independent scalar pipelines.
+    let trace = presets::alibaba_like().nodes(20).steps(200).seed(2).generate();
+    let mut rmses = Vec::new();
+    for resource in [Resource::Cpu, Resource::Memory] {
+        let pipeline = Pipeline::new(PipelineConfig {
+            num_nodes: 20,
+            k: 3,
+            warmup: 50,
+            retrain_every: 50,
+            ..Default::default()
+        })
+        .unwrap();
+        let (_, rmse) = run_pipeline(pipeline, &trace, resource, 1, 50);
+        rmses.push(rmse);
+    }
+    assert!(rmses.iter().all(|r| r.is_finite() && *r < 0.4), "{rmses:?}");
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration tests: simnet deployment, the Gaussian
+//! comparison protocol, and CSV round-trips through the pipeline.
+
+use utilcast::datasets::{csv, presets, Resource};
+use utilcast::gaussian::estimate::{ClusterEqualEstimator, GaussianEstimator};
+use utilcast::gaussian::protocol::{run_with_k, split};
+use utilcast::gaussian::selection::{BatchSelection, ProposedKMeans, RandomMonitors, TopW, TopWUpdate};
+use utilcast::simnet::sim::{SimConfig, Simulation};
+use utilcast::simnet::threaded::run_threaded;
+
+#[test]
+fn threaded_simulation_equals_reference_on_preset_trace() {
+    let trace = presets::bitbrains_like().nodes(24).steps(200).seed(12).generate();
+    let config = SimConfig {
+        k: 3,
+        warmup: 50,
+        retrain_every: 60,
+        ..Default::default()
+    };
+    let reference = Simulation::new(config.clone())
+        .unwrap()
+        .run(&trace, Resource::Memory)
+        .unwrap();
+    let threaded = run_threaded(&config, &trace, Resource::Memory, 5).unwrap();
+    assert_eq!(reference, threaded);
+}
+
+#[test]
+fn simulation_bandwidth_scales_with_budget() {
+    let trace = presets::google_like().nodes(20).steps(300).seed(14).generate();
+    let run = |budget: f64| {
+        Simulation::new(SimConfig {
+            budget,
+            k: 3,
+            warmup: 10_000,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap()
+    };
+    let low = run(0.1);
+    let high = run(0.5);
+    assert!(
+        high.bytes > 3 * low.bytes,
+        "budget 0.5 ({} B) should use far more bandwidth than 0.1 ({} B)",
+        high.bytes,
+        low.bytes
+    );
+    assert!(high.staleness_rmse < low.staleness_rmse);
+}
+
+#[test]
+fn gaussian_protocol_full_comparison_runs() {
+    // A miniature Fig. 12: all five selectors on the same trace; the
+    // proposed method must be competitive on weakly-correlated cluster
+    // data. The protocol's static train/test split only makes sense when
+    // group structure persists across the split, so use a low-churn trace
+    // (the paper's 500-step windows are similarly short relative to how
+    // fast its real traces churn).
+    // Low churn (training clusters persist) but pronounced regime shifts
+    // (a fixed Gaussian mean/covariance goes stale) — the nonstationarity
+    // regime of the paper's real traces; see EXPERIMENTS.md on Fig. 12.
+    let trace = presets::alibaba_like()
+        .nodes(30)
+        .steps(400)
+        .churn(0.0003)
+        .regime_shifts(0.004)
+        .seed(17)
+        .generate();
+    let data = trace.node_matrix(Resource::Cpu).unwrap();
+    let (train, test) = split(&data, 250);
+    let k = 6;
+
+    let proposed = {
+        let selector = ProposedKMeans::default();
+        let (monitors, assignment) = selector.select_with_assignment(&train, k).unwrap();
+        let estimator = ClusterEqualEstimator {
+            assignment: Some(assignment),
+        };
+        let report = run_with_k(&train, &test, &selector, &estimator, Some(k)).unwrap();
+        assert_eq!(report.monitors, monitors);
+        report.rmse
+    };
+    let top_w = run_with_k(&train, &test, &TopW, &GaussianEstimator, Some(k))
+        .unwrap()
+        .rmse;
+    let top_w_update = run_with_k(&train, &test, &TopWUpdate, &GaussianEstimator, Some(k))
+        .unwrap()
+        .rmse;
+    let batch = run_with_k(&train, &test, &BatchSelection, &GaussianEstimator, Some(k))
+        .unwrap()
+        .rmse;
+    // Random selection is noisy; average several draws as the paper's
+    // minimum-distance baseline effectively does over time steps.
+    let random = (0..5)
+        .map(|seed| {
+            run_with_k(
+                &train,
+                &test,
+                &RandomMonitors { seed },
+                &ClusterEqualEstimator::default(),
+                Some(k),
+            )
+            .unwrap()
+            .rmse
+        })
+        .sum::<f64>()
+        / 5.0;
+
+    for (name, rmse) in [
+        ("proposed", proposed),
+        ("top-w", top_w),
+        ("top-w-update", top_w_update),
+        ("batch", batch),
+        ("random", random),
+    ] {
+        assert!(rmse.is_finite() && rmse < 1.0, "{name}: rmse {rmse}");
+    }
+    // The paper's qualitative Fig. 12 result on this kind of data: the
+    // proposed selector beats the (averaged) random baseline and at least
+    // one of the Gaussian methods.
+    assert!(
+        proposed <= random * 1.02,
+        "proposed {proposed} vs random avg {random}"
+    );
+    assert!(
+        proposed <= top_w.max(top_w_update).max(batch),
+        "proposed {proposed} should beat the worst Gaussian method"
+    );
+}
+
+#[test]
+fn csv_round_trip_feeds_pipeline() {
+    use utilcast::core::pipeline::{Pipeline, PipelineConfig};
+    let trace = presets::alibaba_like().nodes(10).steps(60).seed(19).generate();
+    let mut buf = Vec::new();
+    csv::write_csv(&trace, &mut buf).unwrap();
+    let loaded = csv::read_csv(buf.as_slice()).unwrap();
+    let mut pipeline = Pipeline::new(PipelineConfig {
+        num_nodes: 10,
+        k: 2,
+        warmup: 20,
+        retrain_every: 20,
+        ..Default::default()
+    })
+    .unwrap();
+    for t in 0..loaded.num_steps() {
+        pipeline
+            .step(&loaded.snapshot(Resource::Cpu, t).unwrap())
+            .unwrap();
+    }
+    assert_eq!(pipeline.steps(), 60);
+    assert!(pipeline.forecast(2).is_ok());
+}
+
+#[test]
+fn sensor_trace_reproduces_fig1_contrast() {
+    // Fig. 1's premise end-to-end: sensor pairs correlate strongly, cluster
+    // pairs weakly, visible through the public ECDF API.
+    use utilcast::datasets::sensor::SensorFieldConfig;
+    use utilcast::linalg::stats::{pearson, Ecdf};
+
+    let sensors = SensorFieldConfig::default().nodes(15).steps(600).generate();
+    let cluster = presets::google_like().nodes(15).steps(600).seed(23).generate();
+    let pairwise = |series: Vec<Vec<f64>>| {
+        let mut out = Vec::new();
+        for i in 0..series.len() {
+            for j in i + 1..series.len() {
+                out.push(pearson(&series[i], &series[j]));
+            }
+        }
+        out
+    };
+    let sensor_corr = pairwise(
+        (0..15)
+            .map(|i| sensors.series(Resource::Temperature, i).unwrap())
+            .collect(),
+    );
+    let cluster_corr = pairwise(
+        (0..15)
+            .map(|i| cluster.series(Resource::Cpu, i).unwrap())
+            .collect(),
+    );
+    let sensor_ecdf = Ecdf::new(sensor_corr);
+    let cluster_ecdf = Ecdf::new(cluster_corr);
+    // Fraction of pairs with correlation <= 0.5: small for sensors, large
+    // for cluster machines.
+    assert!(sensor_ecdf.eval(0.5) < 0.3, "sensor F(0.5) = {}", sensor_ecdf.eval(0.5));
+    assert!(cluster_ecdf.eval(0.5) > 0.6, "cluster F(0.5) = {}", cluster_ecdf.eval(0.5));
+}
