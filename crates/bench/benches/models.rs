@@ -95,5 +95,11 @@ fn bench_forecast(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_arima_fit, bench_auto_arima, bench_lstm, bench_forecast);
+criterion_group!(
+    benches,
+    bench_arima_fit,
+    bench_auto_arima,
+    bench_lstm,
+    bench_forecast
+);
 criterion_main!(benches);

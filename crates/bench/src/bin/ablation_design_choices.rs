@@ -10,8 +10,7 @@
 use serde::Serialize;
 use utilcast_bench::collect::{collect, Collected, Policy};
 use utilcast_bench::eval::{
-    intermediate_rmse, sample_hold_forecast_rmse_opts, Proposed, ScalarClusterer,
-    ScalarClusterStep,
+    intermediate_rmse, sample_hold_forecast_rmse_opts, Proposed, ScalarClusterStep, ScalarClusterer,
 };
 use utilcast_bench::{report, Scale};
 use utilcast_clustering::hungarian::greedy_matching;

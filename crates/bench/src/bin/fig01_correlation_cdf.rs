@@ -49,8 +49,14 @@ fn main() {
         .generate();
 
     let datasets = [
-        ("Temperature", pairwise_correlations(&sensors, Resource::Temperature)),
-        ("Humidity", pairwise_correlations(&sensors, Resource::Humidity)),
+        (
+            "Temperature",
+            pairwise_correlations(&sensors, Resource::Temperature),
+        ),
+        (
+            "Humidity",
+            pairwise_correlations(&sensors, Resource::Humidity),
+        ),
         ("CPU", pairwise_correlations(&cluster, Resource::Cpu)),
         ("Memory", pairwise_correlations(&cluster, Resource::Memory)),
     ];

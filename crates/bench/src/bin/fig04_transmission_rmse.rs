@@ -61,7 +61,9 @@ fn main() {
         }
     }
     report::table(
-        &["dataset", "resource", "B", "adaptive", "uniform", "ada<=uni"],
+        &[
+            "dataset", "resource", "B", "adaptive", "uniform", "ada<=uni",
+        ],
         &rows,
     );
     report::write_json("fig04_transmission_rmse", &json);

@@ -49,6 +49,9 @@ fn main() {
             }
         }
     }
-    report::table(&["dataset", "resource", "window", "intermediate RMSE"], &rows);
+    report::table(
+        &["dataset", "resource", "window", "intermediate RMSE"],
+        &rows,
+    );
     report::write_json("fig05_temporal_window", &json);
 }

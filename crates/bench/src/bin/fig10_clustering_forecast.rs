@@ -26,7 +26,10 @@ fn main() {
     let scale = Scale::from_env(50, 1200);
     let warm = scale.steps / 6;
     let horizons = [1usize, 5, 10, 25, 50];
-    report::banner("fig10", "forecast RMSE vs horizon per clustering method (S&H)");
+    report::banner(
+        "fig10",
+        "forecast RMSE vs horizon per clustering method (S&H)",
+    );
 
     let mut rows = Vec::new();
     let mut json = Vec::new();

@@ -93,10 +93,9 @@ fn main() {
             let top_w = run_with_k(&train, &test, &TopW, &GaussianEstimator, Some(k))
                 .expect("top-w protocol")
                 .rmse;
-            let top_w_update =
-                run_with_k(&train, &test, &TopWUpdate, &GaussianEstimator, Some(k))
-                    .expect("top-w-update protocol")
-                    .rmse;
+            let top_w_update = run_with_k(&train, &test, &TopWUpdate, &GaussianEstimator, Some(k))
+                .expect("top-w-update protocol")
+                .rmse;
             let batch = run_with_k(&train, &test, &BatchSelection, &GaussianEstimator, Some(k))
                 .expect("batch protocol")
                 .rmse;

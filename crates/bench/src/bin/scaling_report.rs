@@ -29,7 +29,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &n in &[100usize, 400, 1000, 4000] {
-        let trace = presets::google_like().nodes(n).steps(reps + 8).seed(1).generate();
+        let trace = presets::google_like()
+            .nodes(n)
+            .steps(reps + 8)
+            .seed(1)
+            .generate();
         let mut pipeline = Pipeline::new(PipelineConfig {
             num_nodes: n,
             k: 3,

@@ -23,7 +23,10 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env(50, 1200);
-    report::banner("tab1", "intermediate RMSE: scalar vs full-vector clustering");
+    report::banner(
+        "tab1",
+        "intermediate RMSE: scalar vs full-vector clustering",
+    );
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -40,7 +43,11 @@ fn main() {
                 format!("{} {}", resource, ds.name()),
                 report::f(scalar),
                 report::f(joint[r]),
-                if scalar <= joint[r] { "ok".into() } else { "!".into() },
+                if scalar <= joint[r] {
+                    "ok".into()
+                } else {
+                    "!".into()
+                },
             ]);
             json.push(Row {
                 dataset: ds.name().to_string(),
@@ -50,6 +57,9 @@ fn main() {
             });
         }
     }
-    report::table(&["resource & dataset", "scalar", "full", "scalar<=full"], &rows);
+    report::table(
+        &["resource & dataset", "scalar", "full", "scalar<=full"],
+        &rows,
+    );
     report::write_json("tab1_scalar_vs_vector", &json);
 }

@@ -44,7 +44,12 @@ fn centroid_series(ds: Dataset, scale: Scale) -> Vec<f64> {
 
 /// Total time spent (re)training `model` on the series under the paper's
 /// schedule.
-fn training_time(series: &[f64], mut model: impl Forecaster, warmup: usize, every: usize) -> Duration {
+fn training_time(
+    series: &[f64],
+    mut model: impl Forecaster,
+    warmup: usize,
+    every: usize,
+) -> Duration {
     let mut total = Duration::ZERO;
     let mut next_train = warmup;
     while next_train <= series.len() {
@@ -62,7 +67,10 @@ fn main() {
     let scale = Scale::from_env(40, 2000);
     let warmup = (scale.steps / 2).min(1000).max(100);
     let every = 288;
-    report::banner("tab2", "aggregate model-training time per dataset (one centroid)");
+    report::banner(
+        "tab2",
+        "aggregate model-training time per dataset (one centroid)",
+    );
 
     let mut rows = Vec::new();
     let mut json = Vec::new();

@@ -11,7 +11,9 @@ use serde::Serialize;
 use utilcast_bench::{report, Scale};
 use utilcast_datasets::presets::Dataset;
 use utilcast_datasets::Resource;
-use utilcast_gaussian::estimate::{ClusterEqualEstimator, Estimator, FittedEstimator, GaussianEstimator};
+use utilcast_gaussian::estimate::{
+    ClusterEqualEstimator, Estimator, FittedEstimator, GaussianEstimator,
+};
 use utilcast_gaussian::protocol::split;
 use utilcast_gaussian::selection::{
     BatchSelection, MonitorSelector, ProposedKMeans, RandomMonitors, TopW, TopWUpdate,
@@ -57,7 +59,10 @@ fn time_cluster_equal(
 fn main() {
     let scale = Scale::from_env(100, 1000);
     let k = 25;
-    report::banner("tab4", "computation time per approach (selection + test pass)");
+    report::banner(
+        "tab4",
+        "computation time per approach (selection + test pass)",
+    );
 
     let mut rows = Vec::new();
     let mut json = Vec::new();

@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn always_policy_is_exact() {
-        let trace = presets::alibaba_like().nodes(5).steps(30).seed(1).generate();
+        let trace = presets::alibaba_like()
+            .nodes(5)
+            .steps(30)
+            .seed(1)
+            .generate();
         let c = collect(&trace, Resource::Cpu, 1.0, Policy::Always);
         assert_eq!(c.z, c.x);
         assert_eq!(c.realized_frequency, 1.0);
@@ -163,9 +167,17 @@ mod tests {
 
     #[test]
     fn adaptive_respects_budget_and_is_stale() {
-        let trace = presets::google_like().nodes(10).steps(300).seed(2).generate();
+        let trace = presets::google_like()
+            .nodes(10)
+            .steps(300)
+            .seed(2)
+            .generate();
         let c = collect(&trace, Resource::Cpu, 0.2, Policy::Adaptive);
-        assert!(c.realized_frequency <= 0.2 + 0.05, "freq {}", c.realized_frequency);
+        assert!(
+            c.realized_frequency <= 0.2 + 0.05,
+            "freq {}",
+            c.realized_frequency
+        );
         // Some values must be stale.
         assert_ne!(c.z, c.x);
         // Stored values always come from the true series' past.
@@ -182,14 +194,26 @@ mod tests {
 
     #[test]
     fn uniform_frequency_matches_budget() {
-        let trace = presets::bitbrains_like().nodes(8).steps(400).seed(3).generate();
+        let trace = presets::bitbrains_like()
+            .nodes(8)
+            .steps(400)
+            .seed(3)
+            .generate();
         let c = collect(&trace, Resource::Memory, 0.25, Policy::Uniform);
-        assert!((c.realized_frequency - 0.25).abs() < 0.02, "freq {}", c.realized_frequency);
+        assert!(
+            (c.realized_frequency - 0.25).abs() < 0.02,
+            "freq {}",
+            c.realized_frequency
+        );
     }
 
     #[test]
     fn joint_collection_shares_schedule() {
-        let trace = presets::alibaba_like().nodes(6).steps(200).seed(4).generate();
+        let trace = presets::alibaba_like()
+            .nodes(6)
+            .steps(200)
+            .seed(4)
+            .generate();
         let cols = collect_joint(&trace, 0.3);
         assert_eq!(cols.len(), 2);
         assert_eq!(cols[0].realized_frequency, cols[1].realized_frequency);

@@ -317,11 +317,7 @@ pub fn sample_hold_forecast_rmse_opts(
                 continue;
             }
             let truth = &collected.x[t + h];
-            let sse: f64 = pred
-                .iter()
-                .zip(truth)
-                .map(|(p, x)| (p - x) * (p - x))
-                .sum();
+            let sse: f64 = pred.iter().zip(truth).map(|(p, x)| (p - x) * (p - x)).sum();
             accs[hi].add((sse / n as f64).sqrt());
         }
     }
@@ -378,7 +374,9 @@ pub fn pipeline_forecast_rmse(
         if t < warm || t + 1 >= steps {
             continue;
         }
-        let fc = pipeline.forecast(max_h.min(steps - 1 - t)).expect("forecast");
+        let fc = pipeline
+            .forecast(max_h.min(steps - 1 - t))
+            .expect("forecast");
         for (hi, &h) in horizons.iter().enumerate() {
             if t + h >= steps {
                 continue;
@@ -406,7 +404,11 @@ mod tests {
     use utilcast_datasets::{presets, Resource};
 
     fn collected() -> Collected {
-        let trace = presets::alibaba_like().nodes(20).steps(200).seed(6).generate();
+        let trace = presets::alibaba_like()
+            .nodes(20)
+            .steps(200)
+            .seed(6)
+            .generate();
         collect(&trace, Resource::Cpu, 0.3, Policy::Adaptive)
     }
 
@@ -434,7 +436,11 @@ mod tests {
 
     #[test]
     fn joint_returns_one_rmse_per_resource() {
-        let trace = presets::alibaba_like().nodes(15).steps(120).seed(7).generate();
+        let trace = presets::alibaba_like()
+            .nodes(15)
+            .steps(120)
+            .seed(7)
+            .generate();
         let cols = crate::collect::collect_joint(&trace, 0.3);
         let rmses = intermediate_rmse_joint(&cols, 3, 1, 0);
         assert_eq!(rmses.len(), 2);
@@ -446,7 +452,12 @@ mod tests {
         let c = collected();
         let mut proposed = Proposed::new(3, 1, SimilarityMeasure::Intersection, 0);
         let rmses = sample_hold_forecast_rmse(&c, &mut proposed, &[1, 25], 5, 20);
-        assert!(rmses[0] < rmses[1], "h=1 ({}) should beat h=25 ({})", rmses[0], rmses[1]);
+        assert!(
+            rmses[0] < rmses[1],
+            "h=1 ({}) should beat h=25 ({})",
+            rmses[0],
+            rmses[1]
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(ClusteringError::EmptyInput.to_string(), "no points supplied");
+        assert_eq!(
+            ClusteringError::EmptyInput.to_string(),
+            "no points supplied"
+        );
         assert!(ClusteringError::TooManyClusters { k: 5, points: 2 }
             .to_string()
             .contains("5 clusters for 2 points"));

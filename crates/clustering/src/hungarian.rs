@@ -156,7 +156,7 @@ pub fn brute_force_max_matching(weights: &Matrix) -> Matching {
     let mut best: Option<Matching> = None;
     permute(&mut cols, 0, &mut |perm| {
         let w: f64 = perm.iter().enumerate().map(|(r, &c)| weights[(r, c)]).sum();
-        if best.as_ref().map_or(true, |b| w > b.total_weight) {
+        if best.as_ref().is_none_or(|b| w > b.total_weight) {
             best = Some(Matching {
                 assignment: perm.to_vec(),
                 total_weight: w,
@@ -189,9 +189,7 @@ pub fn greedy_matching(weights: &Matrix) -> Matching {
     assert!(weights.is_square(), "weight matrix must be square");
     let n = weights.nrows();
     assert!(n > 0, "weight matrix must be non-empty");
-    let mut pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|r| (0..n).map(move |c| (r, c)))
-        .collect();
+    let mut pairs: Vec<(usize, usize)> = (0..n).flat_map(|r| (0..n).map(move |c| (r, c))).collect();
     pairs.sort_by(|a, b| {
         weights[(b.0, b.1)]
             .partial_cmp(&weights[(a.0, a.1)])
@@ -245,11 +243,7 @@ mod tests {
 
     #[test]
     fn identity_is_best_when_diagonal_dominates() {
-        let w = Matrix::from_rows(&[
-            &[10.0, 1.0, 1.0],
-            &[1.0, 10.0, 1.0],
-            &[1.0, 1.0, 10.0],
-        ]);
+        let w = Matrix::from_rows(&[&[10.0, 1.0, 1.0], &[1.0, 10.0, 1.0], &[1.0, 1.0, 10.0]]);
         let m = max_weight_matching(&w);
         assert_eq!(m.assignment, vec![0, 1, 2]);
         assert_eq!(m.total_weight, 30.0);

@@ -245,10 +245,7 @@ fn plus_plus_seed(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     let n = points.len();
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)].clone());
-    let mut dists: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
@@ -358,7 +355,10 @@ mod tests {
         let err = KMeans::new(KMeansConfig::default())
             .fit(&[vec![1.0, 2.0], vec![1.0], vec![3.0, 4.0], vec![5.0, 6.0]])
             .unwrap_err();
-        assert!(matches!(err, ClusteringError::DimensionMismatch { index: 1, .. }));
+        assert!(matches!(
+            err,
+            ClusteringError::DimensionMismatch { index: 1, .. }
+        ));
     }
 
     #[test]

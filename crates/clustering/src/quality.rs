@@ -125,7 +125,7 @@ pub fn select_k(
         .fit(points)?;
         let sil = silhouette(points, &fit.assignments)?;
         scores.push((k, sil, fit.inertia));
-        if best.map_or(true, |(_, s)| sil > s) {
+        if best.is_none_or(|(_, s)| sil > s) {
             best = Some((k, sil));
         }
     }
@@ -205,7 +205,10 @@ mod tests {
             select_k(&pts, &[24], 0),
             Err(ClusteringError::TooManyClusters { .. })
         ));
-        assert!(matches!(select_k(&pts, &[], 0), Err(ClusteringError::EmptyInput)));
+        assert!(matches!(
+            select_k(&pts, &[], 0),
+            Err(ClusteringError::EmptyInput)
+        ));
     }
 
     #[test]

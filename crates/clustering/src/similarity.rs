@@ -94,7 +94,11 @@ pub fn jaccard_similarity(new_assignment: &[usize], prev_assignment: &[usize], k
     for a in 0..k {
         for b in 0..k {
             let union = new_sizes[a] + prev_sizes[b] - inter[(a, b)];
-            w[(a, b)] = if union > 0.0 { inter[(a, b)] / union } else { 0.0 };
+            w[(a, b)] = if union > 0.0 {
+                inter[(a, b)] / union
+            } else {
+                0.0
+            };
         }
     }
     w
@@ -155,7 +159,10 @@ mod tests {
         let row0: f64 = (0..3).map(|j| w[(0, j)]).sum();
         assert!(row0 <= 3.0);
         // With a single history step, every node contributes exactly once.
-        let total: f64 = (0..3).flat_map(|r| (0..3).map(move |c| (r, c))).map(|(r, c)| w[(r, c)]).sum();
+        let total: f64 = (0..3)
+            .flat_map(|r| (0..3).map(move |c| (r, c)))
+            .map(|(r, c)| w[(r, c)])
+            .sum();
         assert_eq!(total, 6.0);
     }
 

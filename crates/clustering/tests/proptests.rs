@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use utilcast_clustering::hungarian::{brute_force_max_matching, max_weight_matching};
-use utilcast_clustering::quality::{silhouette, within_cluster_sse};
 use utilcast_clustering::kmeans::{nearest_centroid, sq_dist, KMeans, KMeansConfig};
+use utilcast_clustering::quality::{silhouette, within_cluster_sse};
 use utilcast_clustering::similarity::{intersection_similarity, jaccard_similarity};
 use utilcast_linalg::Matrix;
 

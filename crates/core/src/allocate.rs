@@ -52,7 +52,10 @@ pub fn place_tasks(
     requests: &[TaskRequest],
     capacity: f64,
 ) -> Vec<Placement> {
-    assert!(!forecast.is_empty(), "forecast must cover at least one step");
+    assert!(
+        !forecast.is_empty(),
+        "forecast must cover at least one step"
+    );
     let n = forecast[0].len();
     for row in forecast {
         assert_eq!(row.len(), n, "forecast rows must have equal node counts");
@@ -120,7 +123,11 @@ pub fn score_placements(
     placements: &[Placement],
     capacity: f64,
 ) -> PlacementScore {
-    assert_eq!(requests.len(), placements.len(), "one placement per request");
+    assert_eq!(
+        requests.len(),
+        placements.len(),
+        "one placement per request"
+    );
     let n = truth.first().map_or(0, |r| r.len());
     let mut placed = vec![0.0f64; n];
     let mut satisfied = 0;
@@ -191,11 +198,7 @@ mod tests {
     fn respects_task_duration_peaks() {
         // Machine 0 looks free now but spikes at h = 2; machine 1 is
         // steady. A 3-step task must pick machine 1.
-        let forecast = vec![
-            vec![0.1, 0.5],
-            vec![0.1, 0.5],
-            vec![0.95, 0.5],
-        ];
+        let forecast = vec![vec![0.1, 0.5], vec![0.1, 0.5], vec![0.95, 0.5]];
         let placements = place_tasks(&forecast, &[req(0.2, 3)], 1.0);
         assert_eq!(placements, vec![Placement::Machine(1)]);
         // A 1-step task is fine on machine 0.

@@ -191,6 +191,39 @@ impl DynamicClusterer {
         self.history.clear();
         self.t = 0;
     }
+
+    /// Captures the full clusterer state for checkpointing.
+    pub fn snapshot(&self) -> ClustererSnapshot {
+        ClustererSnapshot {
+            config: self.config.clone(),
+            history: self.history.iter().cloned().collect(),
+            t: self.t,
+        }
+    }
+
+    /// Rebuilds a clusterer from a snapshot; the restored instance produces
+    /// bit-identical steps to the original from the snapshot point on
+    /// (k-means seeding is a pure function of `seed` and `t`).
+    pub fn restore(snapshot: ClustererSnapshot) -> Self {
+        DynamicClusterer {
+            config: snapshot.config,
+            history: snapshot.history.into(),
+            t: snapshot.t,
+        }
+    }
+}
+
+/// Serializable state of a [`DynamicClusterer`] (see
+/// [`DynamicClusterer::snapshot`]). `history` is ordered most recent first,
+/// matching the clusterer's internal deque.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClustererSnapshot {
+    /// The clusterer configuration.
+    pub config: DynamicClustererConfig,
+    /// Recent final assignments, most recent first; bounded by `m`.
+    pub history: Vec<Vec<usize>>,
+    /// Time step counter.
+    pub t: usize,
 }
 
 #[cfg(test)]
@@ -258,7 +291,10 @@ mod tests {
         ];
         let s2 = dc.step(&points).unwrap();
         assert_eq!(s2.assignments[0], low_label);
-        assert_eq!(s2.assignments[2], high_label, "migrated node joins high cluster");
+        assert_eq!(
+            s2.assignments[2], high_label,
+            "migrated node joins high cluster"
+        );
         assert_eq!(s2.assignments[3], high_label);
     }
 
@@ -296,6 +332,27 @@ mod tests {
         dc.reset();
         assert_eq!(dc.steps(), 0);
         assert!(dc.history.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            m: 3,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            dc.step(&two_groups(0.2 + 0.01 * i as f64, 0.8)).unwrap();
+        }
+        let mut restored = DynamicClusterer::restore(dc.snapshot());
+        for i in 5..12 {
+            let a = dc.step(&two_groups(0.2 + 0.01 * i as f64, 0.8)).unwrap();
+            let b = restored
+                .step(&two_groups(0.2 + 0.01 * i as f64, 0.8))
+                .unwrap();
+            assert_eq!(a, b, "diverged at step {i}");
+        }
+        assert_eq!(dc.steps(), restored.steps());
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub struct DetectorConfig {
 impl Default for DetectorConfig {
     fn default() -> Self {
         DetectorConfig {
-            threshold: Threshold::ZScore { z: 4.0, floor: 0.05 },
+            threshold: Threshold::ZScore {
+                z: 4.0,
+                floor: 0.05,
+            },
             min_consecutive: 1,
         }
     }
@@ -232,7 +235,10 @@ mod tests {
     fn zscore_calibrates_from_quiet_residuals() {
         let mut det = Detector::new(
             DetectorConfig {
-                threshold: Threshold::ZScore { z: 4.0, floor: 0.01 },
+                threshold: Threshold::ZScore {
+                    z: 4.0,
+                    floor: 0.01,
+                },
                 min_consecutive: 1,
             },
             1,
@@ -268,7 +274,10 @@ mod tests {
     fn anomalous_steps_do_not_poison_calibration() {
         let mut det = Detector::new(
             DetectorConfig {
-                threshold: Threshold::ZScore { z: 3.0, floor: 0.02 },
+                threshold: Threshold::ZScore {
+                    z: 3.0,
+                    floor: 0.02,
+                },
                 min_consecutive: 1,
             },
             1,

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CoreError::NodeCountMismatch { expected: 5, got: 3 };
+        let e = CoreError::NodeCountMismatch {
+            expected: 5,
+            got: 3,
+        };
         assert_eq!(e.to_string(), "expected 5 node measurements, got 3");
         let e: CoreError = ClusteringError::EmptyInput.into();
         assert!(e.to_string().contains("clustering error"));

@@ -53,8 +53,8 @@ pub mod allocate;
 pub mod cluster;
 pub mod detect;
 mod error;
-pub mod multi;
 pub mod metrics;
+pub mod multi;
 pub mod offset;
 pub mod pipeline;
 pub mod stage;

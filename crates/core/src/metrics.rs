@@ -11,7 +11,10 @@ use serde::{Deserialize, Serialize};
 /// vectors of inconsistent dimension.
 pub fn rmse_step(estimates: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
     assert_eq!(estimates.len(), truth.len(), "node count mismatch");
-    assert!(!estimates.is_empty(), "rmse_step requires at least one node");
+    assert!(
+        !estimates.is_empty(),
+        "rmse_step requires at least one node"
+    );
     let n = estimates.len() as f64;
     let sum: f64 = estimates
         .iter()
@@ -31,7 +34,10 @@ pub fn rmse_step(estimates: &[Vec<f64>], truth: &[Vec<f64>]) -> f64 {
 /// Panics if the slices have different lengths or are empty.
 pub fn rmse_step_scalar(estimates: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(estimates.len(), truth.len(), "node count mismatch");
-    assert!(!estimates.is_empty(), "rmse_step requires at least one node");
+    assert!(
+        !estimates.is_empty(),
+        "rmse_step requires at least one node"
+    );
     let n = estimates.len() as f64;
     let sum: f64 = estimates
         .iter()
@@ -129,7 +135,10 @@ impl TimeAveragedRmse {
 ///
 /// Panics if `per_horizon` is empty.
 pub fn objective(per_horizon: &[f64]) -> f64 {
-    assert!(!per_horizon.is_empty(), "objective requires at least one horizon");
+    assert!(
+        !per_horizon.is_empty(),
+        "objective requires at least one horizon"
+    );
     let sum_sq: f64 = per_horizon.iter().map(|v| v * v).sum();
     (sum_sq / per_horizon.len() as f64).sqrt()
 }
@@ -152,9 +161,7 @@ mod tests {
         let truth = [0.2, 0.4, 0.5];
         let v_est: Vec<Vec<f64>> = est.iter().map(|&v| vec![v]).collect();
         let v_truth: Vec<Vec<f64>> = truth.iter().map(|&v| vec![v]).collect();
-        assert!(
-            (rmse_step_scalar(&est, &truth) - rmse_step(&v_est, &v_truth)).abs() < 1e-12
-        );
+        assert!((rmse_step_scalar(&est, &truth) - rmse_step(&v_est, &v_truth)).abs() < 1e-12);
     }
 
     #[test]

@@ -222,10 +222,7 @@ impl MultiPipeline {
         }
         if let Some(bad) = x.iter().find(|m| m.len() != d) {
             return Err(CoreError::InvalidConfig {
-                reason: format!(
-                    "measurement has {} resources, expected {d}",
-                    bad.len()
-                ),
+                reason: format!("measurement has {} resources, expected {d}", bad.len()),
             });
         }
         let mut transmitted = vec![false; n];

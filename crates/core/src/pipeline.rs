@@ -30,10 +30,11 @@ use crate::transmit::{AdaptiveTransmitter, TransmitConfig, UniformTransmitter};
 use crate::CoreError;
 
 /// Which forecasting model each cluster uses.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 #[non_exhaustive]
 pub enum ModelSpec {
     /// Repeat the latest centroid value (the paper's simplest model).
+    #[default]
     SampleAndHold,
     /// Forecast the historical mean.
     LongTermMean,
@@ -59,26 +60,94 @@ pub enum ModelSpec {
 }
 
 impl ModelSpec {
-    /// Instantiates an unfitted forecaster.
+    /// Instantiates an unfitted forecaster as a trait object.
     pub fn build(&self) -> Box<dyn Forecaster> {
+        match self.build_model() {
+            ClusterModel::SampleAndHold(m) => Box::new(m),
+            ClusterModel::LongTermMean(m) => Box::new(m),
+            ClusterModel::Arima(m) => Box::new(m),
+            ClusterModel::AutoArima(m) => Box::new(m),
+            ClusterModel::Lstm(m) => Box::new(m),
+            ClusterModel::HoltWinters(m) => Box::new(m),
+        }
+    }
+
+    /// Instantiates an unfitted forecaster as a concrete, serializable
+    /// [`ClusterModel`] (what [`crate::stage::ForecastStage`] holds so its
+    /// state can be checkpointed).
+    pub fn build_model(&self) -> ClusterModel {
         match self {
-            ModelSpec::SampleAndHold => Box::new(SampleAndHold::new()),
-            ModelSpec::LongTermMean => Box::new(LongTermMean::new()),
+            ModelSpec::SampleAndHold => ClusterModel::SampleAndHold(SampleAndHold::new()),
+            ModelSpec::LongTermMean => ClusterModel::LongTermMean(LongTermMean::new()),
             ModelSpec::Arima { order, options } => {
-                Box::new(Arima::with_options(*order, options.clone()))
+                ClusterModel::Arima(Arima::with_options(*order, options.clone()))
             }
             ModelSpec::AutoArima { grid, options } => {
-                Box::new(AutoArima::new(grid.clone(), options.clone()))
+                ClusterModel::AutoArima(AutoArima::new(grid.clone(), options.clone()))
             }
-            ModelSpec::Lstm(config) => Box::new(Lstm::new(config.clone())),
-            ModelSpec::HoltWinters(config) => Box::new(HoltWinters::new(*config)),
+            ModelSpec::Lstm(config) => ClusterModel::Lstm(Lstm::new(config.clone())),
+            ModelSpec::HoltWinters(config) => ClusterModel::HoltWinters(HoltWinters::new(*config)),
         }
     }
 }
 
-impl Default for ModelSpec {
-    fn default() -> Self {
-        ModelSpec::SampleAndHold
+/// A concrete per-cluster forecasting model: the closed sum of every model
+/// [`ModelSpec`] can build. Unlike `Box<dyn Forecaster>`, the whole fitted
+/// state is serializable, which is what makes controller checkpoints
+/// possible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ClusterModel {
+    /// Repeat the latest centroid value.
+    SampleAndHold(SampleAndHold),
+    /// Forecast the historical mean.
+    LongTermMean(LongTermMean),
+    /// Fixed-order seasonal ARIMA.
+    Arima(Arima),
+    /// AICc grid-searched ARIMA.
+    AutoArima(AutoArima),
+    /// Stacked LSTM.
+    Lstm(Lstm),
+    /// Holt–Winters exponential smoothing.
+    HoltWinters(HoltWinters),
+}
+
+impl Forecaster for ClusterModel {
+    fn fit(&mut self, history: &[f64]) -> Result<(), utilcast_timeseries::TimeSeriesError> {
+        match self {
+            ClusterModel::SampleAndHold(m) => m.fit(history),
+            ClusterModel::LongTermMean(m) => m.fit(history),
+            ClusterModel::Arima(m) => m.fit(history),
+            ClusterModel::AutoArima(m) => m.fit(history),
+            ClusterModel::Lstm(m) => m.fit(history),
+            ClusterModel::HoltWinters(m) => m.fit(history),
+        }
+    }
+
+    fn forecast(
+        &self,
+        history: &[f64],
+        horizon: usize,
+    ) -> Result<Vec<f64>, utilcast_timeseries::TimeSeriesError> {
+        match self {
+            ClusterModel::SampleAndHold(m) => m.forecast(history, horizon),
+            ClusterModel::LongTermMean(m) => m.forecast(history, horizon),
+            ClusterModel::Arima(m) => m.forecast(history, horizon),
+            ClusterModel::AutoArima(m) => m.forecast(history, horizon),
+            ClusterModel::Lstm(m) => m.forecast(history, horizon),
+            ClusterModel::HoltWinters(m) => m.forecast(history, horizon),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ClusterModel::SampleAndHold(m) => m.name(),
+            ClusterModel::LongTermMean(m) => m.name(),
+            ClusterModel::Arima(m) => m.name(),
+            ClusterModel::AutoArima(m) => m.name(),
+            ClusterModel::Lstm(m) => m.name(),
+            ClusterModel::HoltWinters(m) => m.name(),
+        }
     }
 }
 
@@ -260,13 +329,13 @@ impl Pipeline {
         };
         let transmitters = (0..config.num_nodes)
             .map(|i| match config.transmission {
-                TransmissionMode::Adaptive => Transmitter::Adaptive(AdaptiveTransmitter::new(
-                    TransmitConfig {
+                TransmissionMode::Adaptive => {
+                    Transmitter::Adaptive(AdaptiveTransmitter::new(TransmitConfig {
                         budget: budget_of(i),
                         v0: config.v0,
                         gamma: config.gamma,
-                    },
-                )),
+                    }))
+                }
                 TransmissionMode::Uniform => {
                     Transmitter::Uniform(UniformTransmitter::new(budget_of(i)))
                 }
@@ -454,15 +523,25 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(matches!(
-            Pipeline::new(PipelineConfig { num_nodes: 0, ..Default::default() }),
+            Pipeline::new(PipelineConfig {
+                num_nodes: 0,
+                ..Default::default()
+            }),
             Err(CoreError::InvalidConfig { .. })
         ));
         assert!(matches!(
-            Pipeline::new(PipelineConfig { num_nodes: 2, k: 3, ..Default::default() }),
+            Pipeline::new(PipelineConfig {
+                num_nodes: 2,
+                k: 3,
+                ..Default::default()
+            }),
             Err(CoreError::InvalidConfig { .. })
         ));
         assert!(matches!(
-            Pipeline::new(PipelineConfig { budget: 0.0, ..Default::default() }),
+            Pipeline::new(PipelineConfig {
+                budget: 0.0,
+                ..Default::default()
+            }),
             Err(CoreError::InvalidConfig { .. })
         ));
     }
@@ -472,7 +551,10 @@ mod tests {
         let mut p = Pipeline::new(quick_config(4, 2)).unwrap();
         assert!(matches!(
             p.step(&[0.1, 0.2]),
-            Err(CoreError::NodeCountMismatch { expected: 4, got: 2 })
+            Err(CoreError::NodeCountMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 
@@ -557,9 +639,7 @@ mod tests {
         // Noisy data so transmission is actually demanded.
         for t in 0..800 {
             let x: Vec<f64> = (0..n)
-                .map(|i| {
-                    0.5 + 0.3 * ((t * (i + 3)) as f64 * 0.37).sin()
-                })
+                .map(|i| 0.5 + 0.3 * ((t * (i + 3)) as f64 * 0.37).sin())
                 .collect();
             p.step(&x).unwrap();
         }

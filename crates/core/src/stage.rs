@@ -10,13 +10,16 @@
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
-use utilcast_timeseries::harness::{RetrainPolicy, RetrainingForecaster};
+use utilcast_timeseries::baselines::SampleAndHold;
+use utilcast_timeseries::harness::{RetrainPolicy, RetrainState, RetrainingForecaster};
 use utilcast_timeseries::Forecaster;
 
-use crate::cluster::{ClusterStep, DynamicClusterer, DynamicClustererConfig, SimilarityMeasure};
+use crate::cluster::{
+    ClusterStep, ClustererSnapshot, DynamicClusterer, DynamicClustererConfig, SimilarityMeasure,
+};
 use crate::metrics::intermediate_rmse_step;
 use crate::offset::{forecast_membership, node_offset, OffsetSnapshot};
-use crate::pipeline::ModelSpec;
+use crate::pipeline::{ClusterModel, ModelSpec};
 use crate::CoreError;
 
 /// Configuration of one forecast stage.
@@ -59,11 +62,33 @@ impl Default for ForecastStageConfig {
 }
 
 /// One recorded step of controller state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Snapshot {
     values: Vec<Vec<f64>>,
     centroids: Vec<Vec<f64>>,
     assignments: Vec<usize>,
+}
+
+/// One forecaster's checkpoint: the fitted model plus its harness state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ForecasterSnapshot {
+    model: ClusterModel,
+    state: RetrainState,
+}
+
+/// Serializable checkpoint of a whole [`ForecastStage`]: configuration,
+/// cluster/membership history, per-cluster centroid histories and fitted
+/// models, retrain counters, and degraded-mode bookkeeping. Produced by
+/// [`ForecastStage::snapshot`], consumed by [`ForecastStage::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    config: ForecastStageConfig,
+    clusterer: ClustererSnapshot,
+    forecasters: Vec<ForecasterSnapshot>,
+    history: Vec<Snapshot>,
+    t: usize,
+    degraded: Vec<bool>,
+    model_fallbacks: u64,
 }
 
 /// Report of one stage step.
@@ -83,9 +108,15 @@ pub struct StageReport {
 pub struct ForecastStage {
     config: ForecastStageConfig,
     clusterer: DynamicClusterer,
-    forecasters: Vec<RetrainingForecaster<Box<dyn Forecaster>>>,
+    forecasters: Vec<RetrainingForecaster<ClusterModel>>,
     history: VecDeque<Snapshot>,
     t: usize,
+    /// Clusters currently running on the sample-and-hold stand-in after a
+    /// primary-model failure.
+    degraded: Vec<bool>,
+    /// Total fallback activations (initial degradations plus failed
+    /// recovery attempts).
+    model_fallbacks: u64,
 }
 
 impl std::fmt::Debug for ForecastStage {
@@ -131,15 +162,69 @@ impl ForecastStage {
             max_train_window: None,
         };
         let forecasters = (0..config.k)
-            .map(|_| RetrainingForecaster::new(config.model.build(), policy))
+            .map(|_| RetrainingForecaster::new(config.model.build_model(), policy))
             .collect();
         Ok(ForecastStage {
+            degraded: vec![false; config.k],
+            model_fallbacks: 0,
             config,
             clusterer,
             forecasters,
             history: VecDeque::new(),
             t: 0,
         })
+    }
+
+    /// Captures the complete stage state for checkpointing.
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            config: self.config.clone(),
+            clusterer: self.clusterer.snapshot(),
+            forecasters: self
+                .forecasters
+                .iter()
+                .map(|f| ForecasterSnapshot {
+                    model: f.model().clone(),
+                    state: f.state(),
+                })
+                .collect(),
+            history: self.history.iter().cloned().collect(),
+            t: self.t,
+            degraded: self.degraded.clone(),
+            model_fallbacks: self.model_fallbacks,
+        }
+    }
+
+    /// Rebuilds a stage from a checkpoint. The restored stage replays
+    /// bit-identically to the original from the snapshot point on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the embedded configuration
+    /// is invalid or the snapshot's per-cluster vectors do not match `k`.
+    pub fn restore(snapshot: StageSnapshot) -> Result<Self, CoreError> {
+        let mut stage = ForecastStage::new(snapshot.config)?;
+        let k = stage.config.k;
+        if snapshot.forecasters.len() != k || snapshot.degraded.len() != k {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "snapshot has {} forecasters / {} degraded flags for k = {k}",
+                    snapshot.forecasters.len(),
+                    snapshot.degraded.len()
+                ),
+            });
+        }
+        stage.clusterer = DynamicClusterer::restore(snapshot.clusterer);
+        stage.forecasters = snapshot
+            .forecasters
+            .into_iter()
+            .map(|fs| RetrainingForecaster::from_state(fs.model, fs.state))
+            .collect();
+        stage.history = snapshot.history.into();
+        stage.t = snapshot.t;
+        stage.degraded = snapshot.degraded;
+        stage.model_fallbacks = snapshot.model_fallbacks;
+        Ok(stage)
     }
 
     /// The configuration.
@@ -152,12 +237,68 @@ impl ForecastStage {
         self.t
     }
 
+    /// `true` iff the freshly (re)trained model for cluster `j` produces a
+    /// finite one-step forecast.
+    fn forecast_is_finite(&self, j: usize) -> bool {
+        match self.forecasters[j].forecast(1) {
+            Ok(fc) => fc.iter().all(|v| v.is_finite()),
+            // NotFitted/TooShort are handled by forecast_or_hold at use
+            // time; only a produced non-finite value triggers degradation.
+            Err(_) => true,
+        }
+    }
+
+    /// Degrades cluster `j` to a sample-and-hold stand-in fitted on the
+    /// cluster's centroid history, counting the fallback.
+    fn degrade(&mut self, j: usize) {
+        self.model_fallbacks += 1;
+        self.degraded[j] = true;
+        let mut hold = ClusterModel::SampleAndHold(SampleAndHold::new());
+        // Sample-and-hold fits on any non-empty history, and observe()
+        // always records before fitting, so this cannot fail here.
+        let _ = hold.fit(self.forecasters[j].history());
+        self.forecasters[j].install_model(hold);
+    }
+
+    /// Attempts to swap the primary model back in for a degraded cluster.
+    /// Returns `true` on success.
+    fn try_recover(&mut self, j: usize) -> bool {
+        let mut primary = self.config.model.build_model();
+        let history = self.forecasters[j].history();
+        let recovered = primary.fit(history).is_ok()
+            && primary
+                .forecast(history, 1)
+                .map(|fc| fc.iter().all(|v| v.is_finite()))
+                .unwrap_or(false);
+        if recovered {
+            self.forecasters[j].install_model(primary);
+            self.degraded[j] = false;
+        }
+        recovered
+    }
+
+    /// Total fallback activations so far: initial degradations to
+    /// sample-and-hold plus failed recovery attempts at later retrains.
+    pub fn model_fallbacks(&self) -> u64 {
+        self.model_fallbacks
+    }
+
+    /// Which clusters are currently degraded to the sample-and-hold
+    /// stand-in.
+    pub fn degraded(&self) -> &[bool] {
+        &self.degraded
+    }
+
     /// Processes one step of stored scalar values `z` (one per node).
+    ///
+    /// Model-fit failures do **not** propagate: the affected cluster falls
+    /// back to sample-and-hold (see [`ForecastStage::model_fallbacks`]) and
+    /// the primary model is retried at the next scheduled retrain.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::NodeCountMismatch`] for a wrong value count and
-    /// propagates clustering/forecasting errors.
+    /// propagates clustering errors.
     pub fn step(&mut self, z: &[f64]) -> Result<StageReport, CoreError> {
         if z.len() != self.config.num_nodes {
             return Err(CoreError::NodeCountMismatch {
@@ -175,13 +316,35 @@ impl ForecastStage {
         let intermediate_rmse = intermediate_rmse_step(&points, &assignments, &centroids);
 
         let mut retrained = false;
-        for (j, forecaster) in self.forecasters.iter_mut().enumerate() {
+        for j in 0..self.forecasters.len() {
             let value = centroids
                 .get(j)
                 .and_then(|c| c.first())
                 .copied()
                 .unwrap_or(0.0);
-            retrained |= forecaster.observe(value)?;
+            match self.forecasters[j].observe(value) {
+                Ok(did_train) => {
+                    if did_train && self.degraded[j] {
+                        // Scheduled retrain while degraded: retry the
+                        // primary model on the accumulated history.
+                        if !self.try_recover(j) {
+                            self.model_fallbacks += 1;
+                        }
+                    } else if did_train && !self.forecast_is_finite(j) {
+                        // A fit can "succeed" yet still emit NaN/∞; treat
+                        // that the same as a fit failure.
+                        self.degrade(j);
+                    }
+                    retrained |= did_train;
+                }
+                Err(_) => {
+                    // Hard fit failure: degrade this cluster to
+                    // sample-and-hold instead of failing the whole stage;
+                    // the primary model is retried at the next retrain.
+                    self.degrade(j);
+                    retrained = true;
+                }
+            }
         }
 
         self.history.push_front(Snapshot {
@@ -289,9 +452,7 @@ mod tests {
         let mut stage = ForecastStage::new(quick(6, 2)).unwrap();
         assert!(stage.forecast(1).is_err(), "no step yet");
         for _ in 0..8 {
-            let r = stage
-                .step(&[0.1, 0.12, 0.11, 0.9, 0.88, 0.91])
-                .unwrap();
+            let r = stage.step(&[0.1, 0.12, 0.11, 0.9, 0.88, 0.91]).unwrap();
             assert_eq!(r.assignments.len(), 6);
             assert_eq!(r.centroids.len(), 2);
         }
@@ -308,7 +469,105 @@ mod tests {
         let mut stage = ForecastStage::new(quick(4, 2)).unwrap();
         assert!(matches!(
             stage.step(&[0.1, 0.2]),
-            Err(CoreError::NodeCountMismatch { expected: 4, got: 2 })
+            Err(CoreError::NodeCountMismatch {
+                expected: 4,
+                got: 2
+            })
+        ));
+    }
+
+    /// A model spec that can never fit: an AutoArima grid with no candidate
+    /// orders always returns `FitDiverged`.
+    fn unfittable_model() -> ModelSpec {
+        use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
+        ModelSpec::AutoArima {
+            grid: ArimaGrid {
+                p: vec![],
+                d: vec![],
+                q: vec![],
+                sp: vec![],
+                sd: vec![],
+                sq: vec![],
+                s: 0,
+            },
+            options: ArimaFitOptions::default(),
+        }
+    }
+
+    #[test]
+    fn fit_failure_degrades_to_sample_and_hold() {
+        let mut stage = ForecastStage::new(ForecastStageConfig {
+            model: unfittable_model(),
+            ..quick(4, 2)
+        })
+        .unwrap();
+        // warmup 5, retrain 10: the first fit attempt (step 5) fails for
+        // both clusters; the stage must keep running instead of erroring.
+        for i in 0..30 {
+            let z = [0.1, 0.12, 0.9, 0.88 + 0.001 * i as f64];
+            stage.step(&z).unwrap();
+        }
+        assert_eq!(stage.degraded(), &[true, true]);
+        // 2 initial degradations + 2 clusters * 2 failed recoveries
+        // (retrains at steps 15 and 25).
+        assert_eq!(stage.model_fallbacks(), 6);
+        // Degraded clusters forecast via the fitted sample-and-hold
+        // stand-in: finite, near the latest values.
+        let fc = stage.forecast(2).unwrap();
+        for row in &fc {
+            assert!(row.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let drive = |stage: &mut ForecastStage, from: usize, to: usize| {
+            let mut reports = Vec::new();
+            for i in from..to {
+                let wobble = 0.01 * (i % 7) as f64;
+                let z = [0.1 + wobble, 0.13, 0.85, 0.9 - wobble, 0.2, 0.8];
+                reports.push(stage.step(&z).unwrap());
+            }
+            reports
+        };
+        let mut original = ForecastStage::new(quick(6, 2)).unwrap();
+        drive(&mut original, 0, 12);
+        let snapshot = original.snapshot();
+        let mut restored = ForecastStage::restore(snapshot.clone()).unwrap();
+        assert_eq!(restored.steps(), original.steps());
+        let a = drive(&mut original, 12, 30);
+        let b = drive(&mut restored, 12, 30);
+        assert_eq!(a, b, "replay diverged after restore");
+        assert_eq!(original.forecast(3).unwrap(), restored.forecast(3).unwrap());
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn snapshot_survives_json_round_trip() {
+        let mut stage = ForecastStage::new(quick(4, 2)).unwrap();
+        for _ in 0..8 {
+            stage.step(&[0.2, 0.21, 0.7, 0.72]).unwrap();
+        }
+        let snapshot = stage.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: StageSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, back);
+        let mut a = ForecastStage::restore(snapshot).unwrap();
+        let mut b = ForecastStage::restore(back).unwrap();
+        assert_eq!(
+            a.step(&[0.2, 0.2, 0.7, 0.7]).unwrap(),
+            b.step(&[0.2, 0.2, 0.7, 0.7]).unwrap()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshot() {
+        let stage = ForecastStage::new(quick(4, 2)).unwrap();
+        let mut snapshot = stage.snapshot();
+        snapshot.forecasters.pop();
+        assert!(matches!(
+            ForecastStage::restore(snapshot),
+            Err(CoreError::InvalidConfig { .. })
         ));
     }
 }

@@ -147,7 +147,11 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_trace() {
-        let tr = ClusterTraceConfig::default().nodes(4).steps(6).seed(3).generate();
+        let tr = ClusterTraceConfig::default()
+            .nodes(4)
+            .steps(6)
+            .seed(3)
+            .generate();
         let mut buf = Vec::new();
         write_csv(&tr, &mut buf).unwrap();
         let back = read_csv(buf.as_slice()).unwrap();

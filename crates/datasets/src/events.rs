@@ -52,9 +52,15 @@ impl TraceEvent {
     /// The `(start, end)` step range the event touches (end exclusive).
     pub fn span(&self) -> (usize, usize) {
         match self {
-            TraceEvent::Maintenance { start, duration, .. }
-            | TraceEvent::FlashCrowd { start, duration, .. }
-            | TraceEvent::Drift { start, duration, .. } => (*start, start + duration),
+            TraceEvent::Maintenance {
+                start, duration, ..
+            }
+            | TraceEvent::FlashCrowd {
+                start, duration, ..
+            }
+            | TraceEvent::Drift {
+                start, duration, ..
+            } => (*start, start + duration),
         }
     }
 
@@ -124,10 +130,10 @@ pub fn event_mask(trace: &Trace, events: &[TraceEvent]) -> Vec<Vec<bool>> {
     let mut mask = vec![vec![false; trace.num_nodes()]; trace.num_steps()];
     for event in events {
         let (start, end) = event.span();
-        for t in start..end.min(trace.num_steps()) {
+        for row in mask.iter_mut().take(end.min(trace.num_steps())).skip(start) {
             for i in event.nodes() {
                 if i < trace.num_nodes() {
-                    mask[t][i] = true;
+                    row[i] = true;
                 }
             }
         }
@@ -142,7 +148,11 @@ mod tests {
     use crate::Resource;
 
     fn base() -> Trace {
-        presets::alibaba_like().nodes(6).steps(50).seed(1).generate()
+        presets::alibaba_like()
+            .nodes(6)
+            .steps(50)
+            .seed(1)
+            .generate()
     }
 
     #[test]

@@ -151,7 +151,11 @@ impl ClusterTraceConfig {
         // Node state: group membership, persistent offset, remaining burst.
         let mut membership: Vec<usize> = (0..n).map(|i| i % g).collect();
         let offsets: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..d).map(|_| normal(&mut rng, 0.0, self.node_offset_std)).collect())
+            .map(|_| {
+                (0..d)
+                    .map(|_| normal(&mut rng, 0.0, self.node_offset_std))
+                    .collect()
+            })
             .collect();
         let mut burst_left = vec![0usize; n];
         let mut burst_height = vec![0.0f64; n];
@@ -165,8 +169,7 @@ impl ClusterTraceConfig {
                     if rng.gen::<f64>() < self.regime_shift_prob {
                         base[r][k] = rng.gen_range(0.15..0.75);
                     }
-                    ar[r][k] = self.group_ar * ar[r][k]
-                        + normal(&mut rng, 0.0, self.group_noise);
+                    ar[r][k] = self.group_ar * ar[r][k] + normal(&mut rng, 0.0, self.group_noise);
                 }
             }
             // Node churn and bursts.
@@ -191,7 +194,11 @@ impl ClusterTraceConfig {
             let day = t as f64 / self.diurnal_period as f64 * tau;
             for i in 0..n {
                 let k = membership[i];
-                let burst = if burst_left[i] > 0 { burst_height[i] } else { 0.0 };
+                let burst = if burst_left[i] > 0 {
+                    burst_height[i]
+                } else {
+                    0.0
+                };
                 for r in 0..d {
                     let diurnal = self.diurnal_amplitude * (day + phase[r][k]).sin();
                     let v = base[r][k]
@@ -258,7 +265,10 @@ mod tests {
         let same = pearson(&s0, &s_same);
         let diff = pearson(&s0, &s_diff);
         assert!(same > 0.8, "same-group correlation {same}");
-        assert!(diff < same, "cross-group correlation {diff} should be lower");
+        assert!(
+            diff < same,
+            "cross-group correlation {diff} should be lower"
+        );
     }
 
     #[test]

@@ -91,29 +91,35 @@ impl SensorFieldConfig {
         assert!(self.diurnal_period > 0, "diurnal_period must be positive");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = self.num_nodes;
-        let gains: Vec<f64> = (0..n).map(|_| 1.0 + normal(&mut rng, 0.0, self.gain_std)).collect();
-        let offsets: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.0, self.offset_std)).collect();
+        let gains: Vec<f64> = (0..n)
+            .map(|_| 1.0 + normal(&mut rng, 0.0, self.gain_std))
+            .collect();
+        let offsets: Vec<f64> = (0..n)
+            .map(|_| normal(&mut rng, 0.0, self.offset_std))
+            .collect();
         let noise_scale: Vec<f64> = (0..n)
             .map(|_| self.node_noise * rng.gen_range(0.5..1.5))
             .collect();
 
         let mut field = 0.0f64;
-        let mut trace = Trace::zeros(vec![Resource::Temperature, Resource::Humidity], n, self.num_steps);
+        let mut trace = Trace::zeros(
+            vec![Resource::Temperature, Resource::Humidity],
+            n,
+            self.num_steps,
+        );
         let tau = std::f64::consts::TAU;
         for t in 0..self.num_steps {
             field = self.field_ar * field + normal(&mut rng, 0.0, self.field_noise);
-            let diurnal = self.diurnal_amplitude
-                * (t as f64 / self.diurnal_period as f64 * tau).sin();
+            let diurnal =
+                self.diurnal_amplitude * (t as f64 / self.diurnal_period as f64 * tau).sin();
             let temp_field = 0.5 + diurnal + field;
             let hum_field = 0.5 - 0.8 * (diurnal + field);
             for i in 0..n {
                 let m = trace.measurement_mut(i, t);
-                m[0] = (gains[i] * temp_field + offsets[i]
-                    + normal(&mut rng, 0.0, noise_scale[i]))
-                .clamp(0.0, 1.0);
-                m[1] = (gains[i] * hum_field - offsets[i]
-                    + normal(&mut rng, 0.0, noise_scale[i]))
-                .clamp(0.0, 1.0);
+                m[0] = (gains[i] * temp_field + offsets[i] + normal(&mut rng, 0.0, noise_scale[i]))
+                    .clamp(0.0, 1.0);
+                m[1] = (gains[i] * hum_field - offsets[i] + normal(&mut rng, 0.0, noise_scale[i]))
+                    .clamp(0.0, 1.0);
             }
         }
         trace
@@ -137,7 +143,10 @@ mod tests {
     #[test]
     fn sensors_are_strongly_correlated() {
         // The defining property versus cluster traces: most pairs > 0.5.
-        let tr = SensorFieldConfig::default().nodes(20).steps(1500).generate();
+        let tr = SensorFieldConfig::default()
+            .nodes(20)
+            .steps(1500)
+            .generate();
         let mut strong = 0;
         let mut total = 0;
         for i in 0..20 {
@@ -169,7 +178,11 @@ mod tests {
         let a = SensorFieldConfig::default().nodes(5).steps(50).generate();
         let b = SensorFieldConfig::default().nodes(5).steps(50).generate();
         assert_eq!(a, b);
-        let c = SensorFieldConfig::default().nodes(5).steps(50).seed(1).generate();
+        let c = SensorFieldConfig::default()
+            .nodes(5)
+            .steps(50)
+            .seed(1)
+            .generate();
         assert_ne!(a, c);
     }
 }

@@ -156,7 +156,11 @@ mod tests {
             "weak fraction {}",
             s.weak_correlation_fraction
         );
-        assert!(s.correlation_quartiles.1 > 0.5, "median corr {:?}", s.correlation_quartiles);
+        assert!(
+            s.correlation_quartiles.1 > 0.5,
+            "median corr {:?}",
+            s.correlation_quartiles
+        );
     }
 
     #[test]

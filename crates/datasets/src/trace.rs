@@ -65,7 +65,10 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::BadShape { expected, got } => {
-                write!(f, "trace data length {got} does not match expected {expected}")
+                write!(
+                    f,
+                    "trace data length {got} does not match expected {expected}"
+                )
             }
             TraceError::UnknownResource { resource } => {
                 write!(f, "resource {resource} is not part of this trace")
@@ -269,7 +272,11 @@ impl Trace {
     /// Panics if `start >= end` or `end > num_steps()`.
     pub fn slice(&self, start: usize, end: usize) -> Trace {
         assert!(start < end, "start must be before end");
-        assert!(end <= self.num_steps, "end {end} beyond trace length {}", self.num_steps);
+        assert!(
+            end <= self.num_steps,
+            "end {end} beyond trace length {}",
+            self.num_steps
+        );
         let d = self.dim();
         let row = self.num_nodes * d;
         Trace {
@@ -369,7 +376,13 @@ mod tests {
     #[test]
     fn from_flat_validates_shape() {
         let err = Trace::from_flat(vec![Resource::Cpu], 2, 2, vec![0.0; 3]).unwrap_err();
-        assert_eq!(err, TraceError::BadShape { expected: 4, got: 3 });
+        assert_eq!(
+            err,
+            TraceError::BadShape {
+                expected: 4,
+                got: 3
+            }
+        );
         assert!(Trace::from_flat(vec![Resource::Cpu], 2, 2, vec![0.0; 4]).is_ok());
     }
 

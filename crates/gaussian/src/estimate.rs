@@ -111,11 +111,7 @@ impl Estimator for ClusterEqualEstimator {
 
 impl FittedEstimator for FittedClusterEqual {
     fn estimate(&self, observed: &[f64]) -> Result<Vec<f64>, GaussianError> {
-        Ok(self
-            .assignment
-            .iter()
-            .map(|&slot| observed[slot])
-            .collect())
+        Ok(self.assignment.iter().map(|&slot| observed[slot]).collect())
     }
 }
 
@@ -151,7 +147,9 @@ mod tests {
     #[test]
     fn cluster_equal_assigns_by_series_distance() {
         let train = train();
-        let fitted = ClusterEqualEstimator::default().fit(&train, &[0, 2]).unwrap();
+        let fitted = ClusterEqualEstimator::default()
+            .fit(&train, &[0, 2])
+            .unwrap();
         let est = fitted.estimate(&[0.5, -0.5]).unwrap();
         // Nodes 0,1 follow monitor slot 0; nodes 2,3 follow slot 1.
         assert_eq!(est, vec![0.5, 0.5, -0.5, -0.5]);

@@ -47,8 +47,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod estimate;
 mod error;
+pub mod estimate;
 pub mod model;
 pub mod protocol;
 pub mod selection;

@@ -102,13 +102,13 @@ impl GaussianModel {
             .collect();
         let chol = Cholesky::new_regularized(&cov_mm, 1e-9, 12)?;
         let weights = chol.solve_vec(&innov); // Σ_mm⁻¹ (x_m − μ_m)
-        for u in 0..n {
+        for (u, slot) in out.iter_mut().enumerate().take(n) {
             let cross: f64 = monitors
                 .iter()
                 .zip(&weights)
                 .map(|(&m, w)| self.cov[(u, m)] * w)
                 .sum();
-            out[u] += cross;
+            *slot += cross;
         }
         // Monitors are observed exactly.
         for (&m, &x) in monitors.iter().zip(observed) {
@@ -203,7 +203,11 @@ mod tests {
         // with it, node 2's should stay near its mean.
         let est = model.condition(&[0], &[1.0]).unwrap();
         assert_eq!(est[0], 1.0);
-        assert!(est[1] > 0.5, "correlated node should follow, got {}", est[1]);
+        assert!(
+            est[1] > 0.5,
+            "correlated node should follow, got {}",
+            est[1]
+        );
         assert!(
             (est[2] - model.mean()[2]).abs() < 0.2,
             "independent node should stay near its mean"
@@ -282,6 +286,10 @@ mod tests {
         }
         let model = GaussianModel::fit(&m).unwrap();
         let est = model.condition(&[0], &[0.8]).unwrap();
-        assert!((est[1] - 0.8).abs() < 0.05, "duplicate row should track, got {}", est[1]);
+        assert!(
+            (est[1] - 0.8).abs() < 0.05,
+            "duplicate row should track, got {}",
+            est[1]
+        );
     }
 }

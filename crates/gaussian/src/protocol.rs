@@ -39,7 +39,10 @@ pub fn split(data: &Matrix, train_steps: usize) -> (Matrix, Matrix) {
     let all: Vec<usize> = (0..n).collect();
     let train_cols: Vec<usize> = (0..train_steps).collect();
     let test_cols: Vec<usize> = (train_steps..t).collect();
-    (data.select(&all, &train_cols), data.select(&all, &test_cols))
+    (
+        data.select(&all, &train_cols),
+        data.select(&all, &test_cols),
+    )
 }
 
 /// Runs the protocol: select monitors on `train`, estimate all nodes on
@@ -135,10 +138,7 @@ mod tests {
     fn gaussian_selectors_achieve_low_rmse_on_correlated_data() {
         let data = paired_data(3, 500);
         let (train, test) = split(&data, 300);
-        for selector in [
-            &TopWUpdate as &dyn MonitorSelector,
-            &BatchSelection,
-        ] {
+        for selector in [&TopWUpdate as &dyn MonitorSelector, &BatchSelection] {
             let report = run_with_k(&train, &test, selector, &GaussianEstimator, Some(3)).unwrap();
             assert!(
                 report.rmse < 0.15,
@@ -197,7 +197,13 @@ mod tests {
     fn default_k_is_sqrt_n() {
         let data = paired_data(5, 300); // 10 nodes
         let (train, test) = split(&data, 200);
-        let report = run(&train, &test, &RandomMonitors::default(), &GaussianEstimator).unwrap();
+        let report = run(
+            &train,
+            &test,
+            &RandomMonitors::default(),
+            &GaussianEstimator,
+        )
+        .unwrap();
         assert_eq!(report.monitors.len(), 4); // ceil(sqrt(10)) = 4
     }
 }

@@ -43,7 +43,10 @@ fn coverage_score(cov: &Matrix, i: usize) -> f64 {
     if var <= 1e-15 {
         return 0.0;
     }
-    (0..cov.ncols()).map(|j| cov[(i, j)] * cov[(i, j)]).sum::<f64>() / var
+    (0..cov.ncols())
+        .map(|j| cov[(i, j)] * cov[(i, j)])
+        .sum::<f64>()
+        / var
 }
 
 /// **Top-W**: score every node once against the full covariance and take
@@ -153,16 +156,10 @@ impl MonitorSelector for BatchSelection {
 /// **Proposed** (paper Sec. VI-E): k-means over the whole training series
 /// of each node; the monitor of each cluster is the node whose series is
 /// closest to the cluster centroid.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ProposedKMeans {
     /// RNG seed for k-means.
     pub seed: u64,
-}
-
-impl Default for ProposedKMeans {
-    fn default() -> Self {
-        ProposedKMeans { seed: 0 }
-    }
 }
 
 impl ProposedKMeans {
@@ -220,16 +217,10 @@ impl MonitorSelector for ProposedKMeans {
 }
 
 /// **Random** monitors — the minimum-distance baseline's selection step.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RandomMonitors {
     /// RNG seed.
     pub seed: u64,
-}
-
-impl Default for RandomMonitors {
-    fn default() -> Self {
-        RandomMonitors { seed: 0 }
-    }
 }
 
 impl MonitorSelector for RandomMonitors {
@@ -301,7 +292,11 @@ mod tests {
         let mut unique = pairs.clone();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 3, "monitors {monitors:?} do not cover all pairs");
+        assert_eq!(
+            unique.len(),
+            3,
+            "monitors {monitors:?} do not cover all pairs"
+        );
     }
 
     #[test]
@@ -312,7 +307,11 @@ mod tests {
         let mut pairs: Vec<usize> = monitors.iter().map(|&m| m / 2).collect();
         pairs.sort_unstable();
         pairs.dedup();
-        assert_eq!(pairs.len(), 3, "monitors {monitors:?} do not cover all pairs");
+        assert_eq!(
+            pairs.len(),
+            3,
+            "monitors {monitors:?} do not cover all pairs"
+        );
     }
 
     #[test]

@@ -82,7 +82,9 @@ impl Cholesky {
         let mut jitter = initial_jitter;
         let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0 };
         for _ in 0..max_tries {
-            let ridged = a.add(&Matrix::identity(n).scale(jitter)).expect("same shape");
+            let ridged = a
+                .add(&Matrix::identity(n).scale(jitter))
+                .expect("same shape");
             match Cholesky::new(&ridged) {
                 Ok(c) => return Ok(c),
                 Err(e) => {
@@ -107,13 +109,18 @@ impl Cholesky {
     /// Panics if `b.len()` differs from the matrix dimension.
     pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.nrows();
-        assert_eq!(b.len(), n, "rhs length {} does not match dimension {n}", b.len());
+        assert_eq!(
+            b.len(),
+            n,
+            "rhs length {} does not match dimension {n}",
+            b.len()
+        );
         // Forward substitution: L y = b.
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[(i, k)] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[(i, k)] * yk;
             }
             y[i] = sum / self.l[(i, i)];
         }
@@ -121,8 +128,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * xk;
             }
             x[i] = sum / self.l[(i, i)];
         }
@@ -173,21 +180,13 @@ mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
-        Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
     }
 
     #[test]
     fn factor_matches_known_result() {
         let chol = Cholesky::new(&spd3()).unwrap();
-        let expected = Matrix::from_rows(&[
-            &[5.0, 0.0, 0.0],
-            &[3.0, 3.0, 0.0],
-            &[-1.0, 1.0, 3.0],
-        ]);
+        let expected = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[3.0, 3.0, 0.0], &[-1.0, 1.0, 3.0]]);
         assert!(chol.factor().max_abs_diff(&expected) < 1e-12);
     }
 
@@ -233,7 +232,10 @@ mod tests {
     #[test]
     fn rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
     }
 
     #[test]

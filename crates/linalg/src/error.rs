@@ -48,7 +48,11 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular to working precision (pivot {pivot})")
             }
             LinalgError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::Empty => write!(f, "input is empty"),
         }
@@ -68,12 +72,19 @@ mod tests {
             right: (4, 5),
             op: "mat_mul",
         };
-        assert_eq!(e.to_string(), "shape mismatch in mat_mul: left is 2x3, right is 4x5");
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in mat_mul: left is 2x3, right is 4x5"
+        );
         assert!(LinalgError::NotPositiveDefinite { pivot: 3 }
             .to_string()
             .contains("pivot 3"));
-        assert!(LinalgError::Singular { pivot: 0 }.to_string().contains("singular"));
-        assert!(LinalgError::NotSquare { shape: (1, 2) }.to_string().contains("1x2"));
+        assert!(LinalgError::Singular { pivot: 0 }
+            .to_string()
+            .contains("singular"));
+        assert!(LinalgError::NotSquare { shape: (1, 2) }
+            .to_string()
+            .contains("1x2"));
         assert_eq!(LinalgError::Empty.to_string(), "input is empty");
     }
 

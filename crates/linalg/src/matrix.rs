@@ -162,7 +162,11 @@ impl Matrix {
     ///
     /// Panics if `c >= ncols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -333,7 +337,9 @@ impl Matrix {
     /// [`LinalgError::Singular`] if a pivot underflows working precision.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows;
         if b.len() != n {
@@ -396,7 +402,9 @@ impl Matrix {
     /// Same conditions as [`Matrix::solve`].
     pub fn inverse(&self) -> Result<Matrix, LinalgError> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows;
         let mut out = Matrix::zeros(n, n);
@@ -535,7 +543,10 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let err = a.mat_mul(&b).unwrap_err();
-        assert!(matches!(err, LinalgError::ShapeMismatch { op: "mat_mul", .. }));
+        assert!(matches!(
+            err,
+            LinalgError::ShapeMismatch { op: "mat_mul", .. }
+        ));
     }
 
     #[test]
@@ -574,7 +585,10 @@ mod tests {
     #[test]
     fn solve_detects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

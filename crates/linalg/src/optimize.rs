@@ -69,7 +69,10 @@ pub fn nelder_mead<F>(mut f: F, x0: &[f64], opts: &NelderMeadOptions) -> Optimiz
 where
     F: FnMut(&[f64]) -> f64,
 {
-    assert!(!x0.is_empty(), "nelder_mead requires at least one dimension");
+    assert!(
+        !x0.is_empty(),
+        "nelder_mead requires at least one dimension"
+    );
     let n = x0.len();
     let mut evals = 0usize;
     let eval = |f: &mut F, x: &[f64], evals: &mut usize| -> f64 {
@@ -108,11 +111,7 @@ where
         let f_spread = (f_worst - f_best).abs();
         let x_spread = simplex[1..]
             .iter()
-            .flat_map(|(x, _)| {
-                x.iter()
-                    .zip(&simplex[0].0)
-                    .map(|(a, b)| (a - b).abs())
-            })
+            .flat_map(|(x, _)| x.iter().zip(&simplex[0].0).map(|(a, b)| (a - b).abs()))
             .fold(0.0, f64::max);
         if f_spread < opts.f_tol && x_spread < opts.x_tol {
             converged = true;
@@ -211,7 +210,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_works() {
-        let res = nelder_mead(|x| (x[0] - 7.0).powi(2), &[0.0], &NelderMeadOptions::default());
+        let res = nelder_mead(
+            |x| (x[0] - 7.0).powi(2),
+            &[0.0],
+            &NelderMeadOptions::default(),
+        );
         assert!((res.x[0] - 7.0).abs() < 1e-4);
     }
 

@@ -67,7 +67,11 @@ mod tests {
     fn standard_normal_moments() {
         let mut rng = StdRng::seed_from_u64(42);
         let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
-        assert!(stats::mean(&xs).abs() < 0.03, "mean {} too far from 0", stats::mean(&xs));
+        assert!(
+            stats::mean(&xs).abs() < 0.03,
+            "mean {} too far from 0",
+            stats::mean(&xs)
+        );
         assert!(
             (stats::variance(&xs) - 1.0).abs() < 0.05,
             "variance {} too far from 1",

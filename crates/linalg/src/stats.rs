@@ -128,12 +128,7 @@ pub fn covariance_matrix(rows: &Matrix) -> Matrix {
 pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
     assert!(!a.is_empty(), "rmse requires non-empty input");
-    let mse = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        / a.len() as f64;
+    let mse = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64;
     mse.sqrt()
 }
 

@@ -9,7 +9,8 @@ fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-3.0f64..3.0, n * n).prop_map(move |data| {
         let b = Matrix::from_vec(n, n, data);
         let a = b.mat_mul(&b.transpose()).expect("square");
-        a.add(&Matrix::identity(n).scale(n as f64)).expect("same shape")
+        a.add(&Matrix::identity(n).scale(n as f64))
+            .expect("same shape")
     })
 }
 

@@ -8,15 +8,16 @@
 //! message arrival order — which is what lets the threaded driver produce
 //! bit-identical results to the reference driver.
 
+use serde::{Deserialize, Serialize};
 use utilcast_core::pipeline::ModelSpec;
-use utilcast_core::stage::{ForecastStage, ForecastStageConfig};
+use utilcast_core::stage::{ForecastStage, ForecastStageConfig, StageSnapshot};
 
 use crate::transport::Report;
 use crate::SimError;
 
 /// Controller configuration (the central-node subset of the paper's
 /// parameters).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ControllerConfig {
     /// Number of local nodes `N`.
     pub num_nodes: usize,
@@ -34,6 +35,10 @@ pub struct ControllerConfig {
     pub model: ModelSpec,
     /// K-means seed.
     pub seed: u64,
+    /// Accepted payload value range (inclusive); reports outside it are
+    /// quarantined. Utilization traces are unit-scaled, so the default is
+    /// `(0.0, 1.0)`.
+    pub value_bounds: (f64, f64),
 }
 
 impl Default for ControllerConfig {
@@ -47,6 +52,7 @@ impl Default for ControllerConfig {
             retrain_every: 288,
             model: ModelSpec::SampleAndHold,
             seed: 0,
+            value_bounds: (0.0, 1.0),
         }
     }
 }
@@ -54,12 +60,35 @@ impl Default for ControllerConfig {
 /// Per-tick summary from the controller.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TickReport {
-    /// Reports applied this tick.
+    /// Reports accepted and applied this tick.
     pub reports_applied: usize,
+    /// Reports rejected by ingress validation this tick.
+    pub quarantined: usize,
     /// Intermediate RMSE of the stored values against their centroids.
     pub intermediate_rmse: f64,
     /// Whether any model (re)trained.
     pub retrained: bool,
+}
+
+/// Serializable checkpoint of the full controller state: the stale store,
+/// the forecast stage (cluster/membership history, centroid histories and
+/// fitted models, retrain counters), and the ingress-validation
+/// bookkeeping. Produced by [`Controller::snapshot`], consumed by
+/// [`Controller::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// The controller configuration.
+    pub config: ControllerConfig,
+    /// The stored (possibly stale) per-node values.
+    pub stored: Vec<f64>,
+    /// Ticks processed.
+    pub ticks: usize,
+    /// Reports quarantined so far.
+    pub quarantined: u64,
+    /// Newest accepted report timestamp per node.
+    pub last_seen: Vec<Option<usize>>,
+    /// The forecast-stage checkpoint.
+    pub stage: StageSnapshot,
 }
 
 /// The central node (scalar, single-resource form), built on the shared
@@ -69,6 +98,11 @@ pub struct Controller {
     stored: Vec<f64>,
     stage: ForecastStage,
     ticks: usize,
+    /// Reports rejected at ingress so far.
+    quarantined: u64,
+    /// Newest accepted report timestamp per node, for duplicate and
+    /// out-of-order rejection.
+    last_seen: Vec<Option<usize>>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -117,6 +151,8 @@ impl Controller {
             stored: vec![0.0; config.num_nodes],
             stage,
             ticks: 0,
+            quarantined: 0,
+            last_seen: vec![None; config.num_nodes],
             config,
         })
     }
@@ -131,33 +167,120 @@ impl Controller {
         self.ticks
     }
 
+    /// Total reports rejected by ingress validation so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Total forecaster fallback activations so far (see
+    /// [`ForecastStage::model_fallbacks`]).
+    pub fn model_fallbacks(&self) -> u64 {
+        self.stage.model_fallbacks()
+    }
+
+    /// Ingress validation: `Ok` with the payload value for an acceptable
+    /// report, `Err` with the rejection reason otherwise.
+    fn admit(&self, r: &Report) -> Result<f64, &'static str> {
+        if r.node >= self.stored.len() {
+            return Err("unknown node id");
+        }
+        if r.values.len() != 1 {
+            return Err("wrong payload dimensionality");
+        }
+        let v = r.values[0];
+        if !v.is_finite() {
+            return Err("non-finite value");
+        }
+        let (lo, hi) = self.config.value_bounds;
+        if v < lo || v > hi {
+            return Err("value out of range");
+        }
+        if let Some(latest) = self.last_seen[r.node] {
+            if r.t <= latest {
+                return Err("duplicate or out-of-order report");
+            }
+        }
+        Ok(v)
+    }
+
     /// Applies one tick's worth of reports (scalar payloads) and runs the
     /// clustering + model-update stage.
     ///
     /// Reports are sorted by node id before application so the result does
-    /// not depend on arrival order.
+    /// not depend on arrival order. Each report passes ingress validation
+    /// first; reports with an unknown node id, a non-scalar payload, a
+    /// non-finite or out-of-range value, or a timestamp not newer than the
+    /// node's last accepted report are **quarantined**: counted in
+    /// [`TickReport::quarantined`] (and [`Controller::quarantined`]) and
+    /// otherwise ignored, so corrupted telemetry cannot poison the store.
     ///
     /// # Errors
     ///
-    /// Propagates clustering/forecasting errors.
+    /// Propagates clustering errors.
     pub fn tick(&mut self, mut reports: Vec<Report>) -> Result<TickReport, SimError> {
-        reports.sort_by_key(|r| r.node);
-        let applied = reports.len();
+        reports.sort_by_key(|r| (r.node, r.t));
+        let mut applied = 0usize;
+        let mut quarantined = 0usize;
         for r in reports {
-            if let Some(&v) = r.values.first() {
-                if r.node < self.stored.len() {
+            match self.admit(&r) {
+                Ok(v) => {
                     self.stored[r.node] = v;
+                    self.last_seen[r.node] = Some(r.t);
+                    applied += 1;
                 }
+                Err(_) => quarantined += 1,
             }
         }
+        self.quarantined += quarantined as u64;
         self.ticks += 1;
 
         let report = self.stage.step(&self.stored).map_err(SimError::Core)?;
         Ok(TickReport {
             reports_applied: applied,
+            quarantined,
             intermediate_rmse: report.intermediate_rmse,
             retrained: report.retrained,
         })
+    }
+
+    /// Captures the complete controller state for checkpointing. The
+    /// snapshot is serde-serializable, so it can also be persisted.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            config: self.config.clone(),
+            stored: self.stored.clone(),
+            ticks: self.ticks,
+            quarantined: self.quarantined,
+            last_seen: self.last_seen.clone(),
+            stage: self.stage.snapshot(),
+        }
+    }
+
+    /// Rebuilds a controller from a checkpoint. The restored controller
+    /// replays bit-identically to the original from the snapshot point on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the embedded configuration
+    /// is invalid or the snapshot's per-node vectors do not match it.
+    pub fn restore(snapshot: ControllerSnapshot) -> Result<Self, SimError> {
+        let mut controller = Controller::new(snapshot.config)?;
+        let n = controller.config.num_nodes;
+        if snapshot.stored.len() != n || snapshot.last_seen.len() != n {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "snapshot has {} stored values / {} last-seen entries for {n} nodes",
+                    snapshot.stored.len(),
+                    snapshot.last_seen.len()
+                ),
+            });
+        }
+        controller.stage = ForecastStage::restore(snapshot.stage).map_err(SimError::Core)?;
+        controller.stored = snapshot.stored;
+        controller.ticks = snapshot.ticks;
+        controller.quarantined = snapshot.quarantined;
+        controller.last_seen = snapshot.last_seen;
+        Ok(controller)
     }
 
     /// Forecasts all nodes for horizons `1..=horizon`
@@ -225,11 +348,120 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_reports_are_ignored() {
+    fn unknown_node_reports_are_quarantined() {
         let mut c = Controller::new(quick_config(2, 1)).unwrap();
         let r = c.tick(vec![report(9, 0, 0.5)]).unwrap();
-        assert_eq!(r.reports_applied, 1);
+        assert_eq!(r.reports_applied, 0);
+        assert_eq!(r.quarantined, 1);
+        assert_eq!(c.quarantined(), 1);
         assert_eq!(c.stored(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_quarantined() {
+        let mut c = Controller::new(quick_config(3, 1)).unwrap();
+        let bad = vec![
+            report(0, 0, f64::NAN), // non-finite
+            report(1, 0, 7.5),      // out of the unit range
+            Report {
+                node: 2,
+                t: 0,
+                values: vec![],
+            }, // no payload
+            Report {
+                node: 2,
+                t: 0,
+                values: vec![0.1, 0.2],
+            }, // wrong dims
+        ];
+        let r = c.tick(bad).unwrap();
+        assert_eq!(r.reports_applied, 0);
+        assert_eq!(r.quarantined, 4);
+        assert_eq!(c.stored(), &[0.0, 0.0, 0.0]);
+        // A clean report for the same nodes is still accepted afterwards.
+        let r = c.tick(vec![report(1, 1, 0.4)]).unwrap();
+        assert_eq!(r.reports_applied, 1);
+        assert_eq!(r.quarantined, 0);
+        assert_eq!(c.quarantined(), 4);
+    }
+
+    #[test]
+    fn duplicate_and_stale_reports_are_quarantined() {
+        let mut c = Controller::new(quick_config(2, 1)).unwrap();
+        // Two reports for node 0 with the same timestamp: one survives.
+        let r = c.tick(vec![report(0, 0, 0.3), report(0, 0, 0.3)]).unwrap();
+        assert_eq!((r.reports_applied, r.quarantined), (1, 1));
+        // A replayed older timestamp is rejected, a newer one accepted.
+        let r = c.tick(vec![report(0, 0, 0.9)]).unwrap();
+        assert_eq!((r.reports_applied, r.quarantined), (0, 1));
+        assert_eq!(c.stored()[0], 0.3);
+        let r = c.tick(vec![report(0, 5, 0.6)]).unwrap();
+        assert_eq!((r.reports_applied, r.quarantined), (1, 0));
+        assert_eq!(c.stored()[0], 0.6);
+    }
+
+    #[test]
+    fn custom_value_bounds_are_honoured() {
+        let mut c = Controller::new(ControllerConfig {
+            value_bounds: (-10.0, 10.0),
+            ..quick_config(2, 1)
+        })
+        .unwrap();
+        let r = c
+            .tick(vec![report(0, 0, 7.5), report(1, 0, -11.0)])
+            .unwrap();
+        assert_eq!((r.reports_applied, r.quarantined), (1, 1));
+        assert_eq!(c.stored(), &[7.5, 0.0]);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let drive = |c: &mut Controller, from: usize, to: usize| {
+            let mut out = Vec::new();
+            for t in from..to {
+                let reports = (0..4)
+                    .map(|i| report(i, t, 0.1 * i as f64 + 0.01 * (t % 5) as f64))
+                    .collect();
+                out.push(c.tick(reports).unwrap());
+            }
+            out
+        };
+        let mut original = Controller::new(quick_config(4, 2)).unwrap();
+        drive(&mut original, 0, 12);
+        let snapshot = original.snapshot();
+        let mut restored = Controller::restore(snapshot.clone()).unwrap();
+        assert_eq!(restored.ticks(), original.ticks());
+        assert_eq!(restored.stored(), original.stored());
+        let a = drive(&mut original, 12, 30);
+        let b = drive(&mut restored, 12, 30);
+        assert_eq!(a, b, "replay diverged after restore");
+        assert_eq!(original.forecast(3).unwrap(), restored.forecast(3).unwrap());
+        assert_eq!(original.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn snapshot_survives_json_round_trip() {
+        let mut c = Controller::new(quick_config(3, 2)).unwrap();
+        for t in 0..8 {
+            let reports = (0..3).map(|i| report(i, t, 0.2 + 0.1 * i as f64)).collect();
+            c.tick(reports).unwrap();
+        }
+        let snapshot = c.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: ControllerSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, back);
+        assert!(Controller::restore(back).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshot() {
+        let c = Controller::new(quick_config(3, 2)).unwrap();
+        let mut snapshot = c.snapshot();
+        snapshot.stored.push(0.0);
+        assert!(matches!(
+            Controller::restore(snapshot),
+            Err(SimError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum SimError {
     WorkerFailed {
         /// Shard index of the failed worker.
         shard: usize,
+        /// The worker's panic payload (or a disconnect description).
+        reason: String,
     },
 }
 
@@ -30,7 +32,9 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             SimError::Core(e) => write!(f, "core error: {e}"),
             SimError::Trace(e) => write!(f, "trace error: {e}"),
-            SimError::WorkerFailed { shard } => write!(f, "worker thread {shard} failed"),
+            SimError::WorkerFailed { shard, reason } => {
+                write!(f, "worker thread {shard} failed: {reason}")
+            }
         }
     }
 }
@@ -63,8 +67,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SimError::WorkerFailed { shard: 2 };
-        assert_eq!(e.to_string(), "worker thread 2 failed");
+        let e = SimError::WorkerFailed {
+            shard: 2,
+            reason: "panicked at tick 7".into(),
+        };
+        assert_eq!(e.to_string(), "worker thread 2 failed: panicked at tick 7");
         assert!(e.source().is_none());
         let e: SimError = CoreError::NotStarted.into();
         assert!(e.source().is_some());

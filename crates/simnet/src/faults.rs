@@ -1,12 +1,16 @@
-//! Fault injection: node crashes, restarts, and message loss.
+//! Fault injection: node crashes, restarts, message loss, network
+//! partitions, report corruption, and controller crashes.
 //!
 //! Real monitoring systems lose reports — machines crash, agents hang,
-//! packets drop. The paper's controller design is naturally robust to this
-//! (a missing report just leaves the stored value stale), and this module
-//! lets the simulation quantify that robustness: a [`FaultPlan`] drives
-//! which nodes are down at each tick and which reports are dropped in
-//! flight, and [`run_with_faults`] executes a full simulation under the
-//! plan.
+//! packets drop, switches partition racks away, and bit flips corrupt
+//! payloads. The paper's controller design is naturally robust to most of
+//! this (a missing report just leaves the stored value stale; a corrupt
+//! report is quarantined at ingress), and this module lets the simulation
+//! quantify that robustness: a [`FaultPlan`] drives which nodes are down
+//! at each tick, which reports are dropped, delayed behind a partition, or
+//! corrupted in flight, and when the controller itself crashes and must
+//! resume from its latest checkpoint. [`run_with_faults`] executes a full
+//! simulation under the plan.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,13 +19,35 @@ use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
 use utilcast_datasets::{Resource, Trace};
 
-use crate::controller::{Controller, ControllerConfig};
+use crate::controller::{Controller, ControllerConfig, ControllerSnapshot};
 use crate::sim::{SimConfig, SimReport};
 use crate::transport::Report;
 use crate::SimError;
 
-/// Stochastic fault model.
+/// A timed network partition: nodes in `nodes.start..nodes.end` cannot
+/// reach the controller during ticks `steps.start..steps.end` (both ranges
+/// end-exclusive). Partitioned reports consume the sender's budget but are
+/// never delivered.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// First tick of the partition.
+    pub start: usize,
+    /// One past the last tick of the partition.
+    pub end: usize,
+    /// First node cut off.
+    pub node_start: usize,
+    /// One past the last node cut off.
+    pub node_end: usize,
+}
+
+impl PartitionWindow {
+    fn covers(&self, t: usize, node: usize) -> bool {
+        (self.start..self.end).contains(&t) && (self.node_start..self.node_end).contains(&node)
+    }
+}
+
+/// Stochastic fault model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Per-step probability that an up node crashes.
     pub crash_prob: f64,
@@ -29,6 +55,19 @@ pub struct FaultPlan {
     pub restart_prob: f64,
     /// Probability that any individual report is lost in flight.
     pub loss_prob: f64,
+    /// Per-step probability that the controller crashes, losing its live
+    /// state, and resumes from the latest checkpoint.
+    pub controller_crash_prob: f64,
+    /// Probability that a delivered report arrives corrupted (bad value,
+    /// wrong dimensionality, or bogus node id). Corrupted reports still
+    /// consume bandwidth; the controller's ingress validation quarantines
+    /// them.
+    pub corrupt_prob: f64,
+    /// Deterministic network partition windows.
+    pub partitions: Vec<PartitionWindow>,
+    /// Take a controller checkpoint every this many ticks (`0` = only the
+    /// initial, pre-run checkpoint).
+    pub checkpoint_every: usize,
     /// RNG seed for fault sampling.
     pub seed: u64,
 }
@@ -39,6 +78,10 @@ impl Default for FaultPlan {
             crash_prob: 0.001,
             restart_prob: 0.05,
             loss_prob: 0.01,
+            controller_crash_prob: 0.0,
+            corrupt_prob: 0.0,
+            partitions: Vec::new(),
+            checkpoint_every: 0,
             seed: 0,
         }
     }
@@ -51,6 +94,10 @@ impl FaultPlan {
             crash_prob: 0.0,
             restart_prob: 1.0,
             loss_prob: 0.0,
+            controller_crash_prob: 0.0,
+            corrupt_prob: 0.0,
+            partitions: Vec::new(),
+            checkpoint_every: 0,
             seed: 0,
         }
     }
@@ -60,10 +107,23 @@ impl FaultPlan {
             ("crash_prob", self.crash_prob),
             ("restart_prob", self.restart_prob),
             ("loss_prob", self.loss_prob),
+            ("controller_crash_prob", self.controller_crash_prob),
+            ("corrupt_prob", self.corrupt_prob),
         ] {
             if !(0.0..=1.0).contains(&v) {
                 return Err(SimError::InvalidConfig {
                     reason: format!("{name} must be within [0, 1], got {v}"),
+                });
+            }
+        }
+        for (i, w) in self.partitions.iter().enumerate() {
+            if w.start >= w.end || w.node_start >= w.node_end {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "partition {i} must have non-empty step and node ranges, \
+                         got steps {}..{} nodes {}..{}",
+                        w.start, w.end, w.node_start, w.node_end
+                    ),
                 });
             }
         }
@@ -80,17 +140,39 @@ pub struct FaultReport {
     pub down_node_steps: u64,
     /// Reports dropped in flight.
     pub lost_reports: u64,
+    /// Reports blocked by a partition window.
+    pub partitioned_reports: u64,
+    /// Reports delivered corrupted (the controller quarantines these).
+    pub corrupted_reports: u64,
+    /// Controller crash/recovery events.
+    pub controller_crashes: u64,
+    /// Controller checkpoints taken (including the initial one, when any
+    /// checkpointing is enabled).
+    pub checkpoints: u64,
+}
+
+/// Corrupts a report in flight; `variant` selects the corruption mode.
+fn corrupt(r: &mut Report, variant: usize, num_nodes: usize) {
+    match variant {
+        0 => r.values = vec![f64::NAN],
+        1 => r.values = vec![r.values.first().copied().unwrap_or(0.0) + 1.0e6],
+        2 => r.values = Vec::new(),
+        _ => r.node += num_nodes,
+    }
 }
 
 /// Runs the simulation under a fault plan. Crashed nodes neither measure
 /// nor transmit (their transmitter clock keeps running — the budget is per
-/// wall-clock step); lost reports consume the sender's budget but never
-/// reach the controller, exactly as a UDP-style telemetry channel behaves.
+/// wall-clock step); lost and partitioned reports consume the sender's
+/// budget but never reach the controller, exactly as a UDP-style telemetry
+/// channel behaves; corrupted reports arrive (and cost bandwidth) but are
+/// quarantined by the controller's ingress validation; a controller crash
+/// discards all live state and restores the latest checkpoint.
 ///
 /// # Errors
 ///
-/// Returns [`SimError::InvalidConfig`] for invalid probabilities and
-/// propagates controller errors.
+/// Returns [`SimError::InvalidConfig`] for invalid probabilities or empty
+/// partition windows, and propagates controller errors.
 pub fn run_with_faults(
     config: &SimConfig,
     trace: &Trace,
@@ -114,6 +196,7 @@ pub fn run_with_faults(
         retrain_every: config.retrain_every,
         model: config.model.clone(),
         seed: config.seed,
+        ..Default::default()
     })?;
     let mut transmitters: Vec<AdaptiveTransmitter> = (0..n)
         .map(|_| {
@@ -133,9 +216,29 @@ pub fn run_with_faults(
     let mut delivered: u64 = 0;
     let mut down_node_steps: u64 = 0;
     let mut lost_reports: u64 = 0;
+    let mut partitioned_reports: u64 = 0;
+    let mut corrupted_reports: u64 = 0;
+    let mut controller_crashes: u64 = 0;
+    let mut checkpoints: u64 = 0;
+
+    let checkpoints_wanted = plan.checkpoint_every > 0 || plan.controller_crash_prob > 0.0;
+    let mut last_checkpoint: Option<ControllerSnapshot> = if checkpoints_wanted {
+        checkpoints += 1;
+        Some(controller.snapshot())
+    } else {
+        None
+    };
 
     for t in 0..steps {
-        // Evolve fault state.
+        // Controller crash? (Draw gated on the probability so plans without
+        // controller faults keep the exact RNG stream of earlier versions.)
+        if plan.controller_crash_prob > 0.0 && rng.gen::<f64>() < plan.controller_crash_prob {
+            if let Some(cp) = &last_checkpoint {
+                controller = Controller::restore(cp.clone())?;
+                controller_crashes += 1;
+            }
+        }
+        // Evolve node fault state.
         for flag in up.iter_mut() {
             if *flag {
                 if rng.gen::<f64>() < plan.crash_prob {
@@ -162,14 +265,21 @@ pub fn run_with_faults(
             };
             if send {
                 sent += 1;
-                if rng.gen::<f64>() < plan.loss_prob {
+                if plan.partitions.iter().any(|w| w.covers(t, i)) {
+                    partitioned_reports += 1;
+                } else if rng.gen::<f64>() < plan.loss_prob {
                     lost_reports += 1;
                 } else {
-                    let r = Report {
+                    let mut r = Report {
                         node: i,
                         t,
                         values: vec![x[i]],
                     };
+                    if plan.corrupt_prob > 0.0 && rng.gen::<f64>() < plan.corrupt_prob {
+                        let variant = rng.gen_range(0..4usize);
+                        corrupt(&mut r, variant, n);
+                        corrupted_reports += 1;
+                    }
                     delivered_bytes += r.wire_bytes();
                     delivered += 1;
                     reports.push(r);
@@ -179,6 +289,10 @@ pub fn run_with_faults(
         let tick = controller.tick(reports)?;
         staleness.add(rmse_step_scalar(controller.stored(), &x));
         intermediate.add(tick.intermediate_rmse);
+        if plan.checkpoint_every > 0 && (t + 1) % plan.checkpoint_every == 0 {
+            last_checkpoint = Some(controller.snapshot());
+            checkpoints += 1;
+        }
     }
     Ok(FaultReport {
         sim: SimReport {
@@ -188,9 +302,15 @@ pub fn run_with_faults(
             realized_frequency: sent as f64 / (steps as f64 * n as f64),
             staleness_rmse: staleness.value(),
             intermediate_rmse: intermediate.value(),
+            quarantined: controller.quarantined(),
+            model_fallbacks: controller.model_fallbacks(),
         },
         down_node_steps,
         lost_reports,
+        partitioned_reports,
+        corrupted_reports,
+        controller_crashes,
+        checkpoints,
     })
 }
 
@@ -211,14 +331,13 @@ mod tests {
 
     #[test]
     fn no_fault_plan_matches_reference_driver() {
-        let trace = presets::alibaba_like().nodes(15).steps(150).seed(3).generate();
-        let clean = run_with_faults(
-            &quick_config(),
-            &trace,
-            Resource::Cpu,
-            &FaultPlan::none(),
-        )
-        .unwrap();
+        let trace = presets::alibaba_like()
+            .nodes(15)
+            .steps(150)
+            .seed(3)
+            .generate();
+        let clean =
+            run_with_faults(&quick_config(), &trace, Resource::Cpu, &FaultPlan::none()).unwrap();
         let reference = Simulation::new(quick_config())
             .unwrap()
             .run(&trace, Resource::Cpu)
@@ -226,13 +345,20 @@ mod tests {
         assert_eq!(clean.sim, reference);
         assert_eq!(clean.down_node_steps, 0);
         assert_eq!(clean.lost_reports, 0);
+        assert_eq!(clean.partitioned_reports, 0);
+        assert_eq!(clean.corrupted_reports, 0);
+        assert_eq!(clean.controller_crashes, 0);
     }
 
     #[test]
     fn faults_increase_staleness_but_do_not_crash() {
-        let trace = presets::google_like().nodes(20).steps(300).seed(5).generate();
-        let clean = run_with_faults(&quick_config(), &trace, Resource::Cpu, &FaultPlan::none())
-            .unwrap();
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(300)
+            .seed(5)
+            .generate();
+        let clean =
+            run_with_faults(&quick_config(), &trace, Resource::Cpu, &FaultPlan::none()).unwrap();
         let faulty = run_with_faults(
             &quick_config(),
             &trace,
@@ -242,6 +368,7 @@ mod tests {
                 restart_prob: 0.05,
                 loss_prob: 0.1,
                 seed: 7,
+                ..FaultPlan::none()
             },
         )
         .unwrap();
@@ -259,7 +386,11 @@ mod tests {
 
     #[test]
     fn lost_reports_consume_budget_but_not_bandwidth() {
-        let trace = presets::bitbrains_like().nodes(10).steps(200).seed(9).generate();
+        let trace = presets::bitbrains_like()
+            .nodes(10)
+            .steps(200)
+            .seed(9)
+            .generate();
         let lossy = run_with_faults(
             &quick_config(),
             &trace,
@@ -269,6 +400,7 @@ mod tests {
                 restart_prob: 1.0,
                 loss_prob: 0.5,
                 seed: 11,
+                ..FaultPlan::none()
             },
         )
         .unwrap();
@@ -279,15 +411,101 @@ mod tests {
     }
 
     #[test]
-    fn invalid_probabilities_rejected() {
-        let trace = presets::alibaba_like().nodes(4).steps(10).generate();
+    fn partition_blocks_reports_deterministically() {
+        let trace = presets::alibaba_like()
+            .nodes(10)
+            .steps(100)
+            .seed(2)
+            .generate();
         let plan = FaultPlan {
-            loss_prob: 1.5,
+            partitions: vec![PartitionWindow {
+                start: 20,
+                end: 40,
+                node_start: 0,
+                node_end: 5,
+            }],
             ..FaultPlan::none()
         };
-        assert!(matches!(
-            run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan),
-            Err(SimError::InvalidConfig { .. })
-        ));
+        let report = run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan).unwrap();
+        assert!(report.partitioned_reports > 0);
+        assert_eq!(report.lost_reports, 0);
+        // Blocked reports consumed budget but not bandwidth.
+        let total_sent = (report.sim.realized_frequency * 100.0 * 10.0).round() as u64;
+        assert_eq!(report.partitioned_reports + report.sim.messages, total_sent);
+    }
+
+    #[test]
+    fn corrupted_reports_are_quarantined_not_applied() {
+        let trace = presets::google_like()
+            .nodes(10)
+            .steps(200)
+            .seed(8)
+            .generate();
+        let plan = FaultPlan {
+            corrupt_prob: 0.2,
+            seed: 13,
+            ..FaultPlan::none()
+        };
+        let report = run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan).unwrap();
+        assert!(report.corrupted_reports > 0);
+        // Every corrupted report is caught at ingress (all four corruption
+        // modes produce invalid reports for in-range [0, 1] traces).
+        assert_eq!(report.sim.quarantined, report.corrupted_reports);
+        // Stored state never absorbed a corrupt value.
+        assert!(report.sim.staleness_rmse < 0.5);
+    }
+
+    #[test]
+    fn controller_crashes_recover_from_checkpoints() {
+        let trace = presets::google_like()
+            .nodes(12)
+            .steps(200)
+            .seed(4)
+            .generate();
+        let plan = FaultPlan {
+            controller_crash_prob: 0.02,
+            checkpoint_every: 25,
+            seed: 21,
+            ..FaultPlan::none()
+        };
+        let report = run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan).unwrap();
+        assert!(report.controller_crashes > 0);
+        assert!(report.checkpoints >= 1 + 200 / 25);
+        assert!(report.sim.staleness_rmse.is_finite());
+        // Recovery costs some freshness but the run stays bounded.
+        assert!(report.sim.staleness_rmse < 0.5);
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        let trace = presets::alibaba_like().nodes(4).steps(10).generate();
+        for plan in [
+            FaultPlan {
+                loss_prob: 1.5,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                controller_crash_prob: -0.1,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                corrupt_prob: 2.0,
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                partitions: vec![PartitionWindow {
+                    start: 10,
+                    end: 10,
+                    node_start: 0,
+                    node_end: 4,
+                }],
+                ..FaultPlan::none()
+            },
+        ] {
+            assert!(matches!(
+                run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan),
+                Err(SimError::InvalidConfig { .. })
+            ));
+        }
     }
 }

@@ -15,6 +15,14 @@
 //!   the reference driver for the same inputs (verified by tests), because
 //!   the controller applies messages in node order within each tick.
 //!
+//! The crate also carries a resilience layer: the controller validates and
+//! quarantines malformed reports at ingress, can snapshot/restore its full
+//! state for checkpoint recovery ([`controller::ControllerSnapshot`]), the
+//! threaded driver supervises its workers and respawns them after panics
+//! ([`threaded::run_threaded_supervised`]), and [`faults`] injects node
+//! crashes, message loss, partitions, corruption, and controller crashes
+//! to quantify how gracefully accuracy degrades.
+//!
 //! # Example
 //!
 //! ```

@@ -67,6 +67,11 @@ pub struct SimReport {
     pub staleness_rmse: f64,
     /// Time-averaged intermediate RMSE (data vs closest centroid).
     pub intermediate_rmse: f64,
+    /// Reports rejected by controller ingress validation.
+    pub quarantined: u64,
+    /// Forecaster fallback activations (fit failures degraded to
+    /// sample-and-hold plus failed recovery attempts).
+    pub model_fallbacks: u64,
 }
 
 /// The deterministic single-threaded driver.
@@ -131,6 +136,7 @@ impl Simulation {
             retrain_every: self.config.retrain_every,
             model: self.config.model.clone(),
             seed: self.config.seed,
+            ..Default::default()
         })?;
         self.transmitters = (0..n)
             .map(|_| {
@@ -187,6 +193,8 @@ impl Simulation {
             realized_frequency: sent as f64 / (steps as f64 * n as f64),
             staleness_rmse: staleness.value(),
             intermediate_rmse: intermediate.value(),
+            quarantined: self.controller.quarantined(),
+            model_fallbacks: self.controller.model_fallbacks(),
         })
     }
 }
@@ -197,7 +205,11 @@ mod tests {
     use utilcast_datasets::presets;
 
     fn small_trace() -> Trace {
-        presets::bitbrains_like().nodes(15).steps(150).seed(4).generate()
+        presets::bitbrains_like()
+            .nodes(15)
+            .steps(150)
+            .seed(4)
+            .generate()
     }
 
     fn quick_config() -> SimConfig {

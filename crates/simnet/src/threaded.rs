@@ -1,5 +1,6 @@
 //! Multi-threaded driver: node shards on worker threads, crossbeam
-//! channels to the controller.
+//! channels to the controller, and a supervisor that survives worker
+//! crashes.
 //!
 //! Nodes are partitioned into `shards` contiguous ranges; each worker
 //! thread owns its shard's transmitters and, for every tick, receives the
@@ -13,35 +14,208 @@
 //! shared stored values — and the controller sorts reports by node id —
 //! the run is **deterministic and identical to the single-threaded
 //! driver**, regardless of thread scheduling.
+//!
+//! The driver is *supervised*: when a worker thread panics, the supervisor
+//! reaps it, respawns the shard, rebuilds the transmitters' state by
+//! replaying the shard's input history (decisions are deterministic, so
+//! the rebuilt state is bit-identical), and re-runs the interrupted tick.
+//! Only when the respawn budget is exhausted does the run fail, with the
+//! worker's panic payload in [`SimError::WorkerFailed`]. The supervisor
+//! can also checkpoint the controller periodically and restore it from the
+//! latest checkpoint on an (injected) controller crash — see
+//! [`SupervisorOptions`].
 
-use crossbeam::channel;
-use std::thread;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::any::Any;
+use std::thread::{self, JoinHandle};
 use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
 use utilcast_datasets::{Resource, Trace};
 
-use crate::controller::{Controller, ControllerConfig};
+use crate::controller::{Controller, ControllerConfig, ControllerSnapshot};
 use crate::sim::{SimConfig, SimReport};
 use crate::transport::{Meter, Report};
 use crate::SimError;
 
-/// Per-tick instruction to a worker: the current stored values of the
-/// worker's node range. `None` tells the worker to shut down.
-type TickInput = Option<(usize, Vec<f64>, Vec<f64>)>; // (t, fresh x, stored z)
+/// Per-tick instruction to a worker.
+#[derive(Debug, Clone)]
+enum WorkerMsg {
+    /// Run tick `t`'s transmission decisions and report back.
+    Tick {
+        t: usize,
+        xs: Vec<f64>,
+        zs: Vec<f64>,
+    },
+    /// Re-run tick `t`'s decisions to rebuild transmitter state after a
+    /// respawn — no reports are emitted and nothing is metered (the
+    /// original worker already accounted for this tick).
+    Replay {
+        t: usize,
+        xs: Vec<f64>,
+        zs: Vec<f64>,
+    },
+    /// Shut the worker down.
+    Shutdown,
+}
+
+/// Supervision parameters for [`run_threaded_supervised`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorOptions {
+    /// Total worker respawns allowed across the run before giving up with
+    /// [`SimError::WorkerFailed`].
+    pub max_respawns: usize,
+    /// Take a controller checkpoint every this many ticks (`0` = only the
+    /// initial, pre-run checkpoint).
+    pub checkpoint_every: usize,
+    /// Fault injection for tests and chaos runs: the given `(shard, tick)`
+    /// worker panics when it first processes that tick. The respawned
+    /// worker does not re-panic.
+    pub worker_panic_at: Option<(usize, usize)>,
+    /// Fault injection: the controller crashes right before processing the
+    /// given tick, losing its live state, and is restored from the latest
+    /// checkpoint.
+    pub controller_crash_at: Option<usize>,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            max_respawns: 3,
+            checkpoint_every: 0,
+            worker_panic_at: None,
+            controller_crash_at: None,
+        }
+    }
+}
+
+/// One worker's communication endpoints.
+struct ShardLink {
+    in_tx: Sender<WorkerMsg>,
+    out_rx: Receiver<Vec<Report>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Runs one shard's transmission decisions for one tick; returns the
+/// per-node send decisions.
+fn decide_shard(
+    transmitters: &mut [AdaptiveTransmitter],
+    t: usize,
+    xs: &[f64],
+    zs: &[f64],
+) -> Vec<bool> {
+    xs.iter()
+        .zip(zs)
+        .zip(transmitters)
+        .map(|((&x, &z), tr)| {
+            if t == 0 {
+                // Bootstrap tick: everyone reports (clock still consumed to
+                // stay aligned with the reference driver).
+                let _ = tr.decide(&[x], &[x]);
+                true
+            } else {
+                tr.decide(&[x], &[z])
+            }
+        })
+        .collect()
+}
+
+/// The worker thread body for nodes `lo..hi`.
+fn worker_loop(
+    lo: usize,
+    hi: usize,
+    tx_config: TransmitConfig,
+    meter: Meter,
+    in_rx: Receiver<WorkerMsg>,
+    out_tx: Sender<Vec<Report>>,
+    panic_at: Option<usize>,
+) {
+    let mut transmitters: Vec<AdaptiveTransmitter> = (lo..hi)
+        .map(|_| AdaptiveTransmitter::new(tx_config))
+        .collect();
+    while let Ok(msg) = in_rx.recv() {
+        match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Replay { t, xs, zs } => {
+                decide_shard(&mut transmitters, t, &xs, &zs);
+            }
+            WorkerMsg::Tick { t, xs, zs } => {
+                if panic_at == Some(t) {
+                    panic!("injected fault: worker for nodes {lo}..{hi} at tick {t}");
+                }
+                let reports: Vec<Report> = decide_shard(&mut transmitters, t, &xs, &zs)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, send)| send)
+                    .map(|(off, _)| Report {
+                        node: lo + off,
+                        t,
+                        values: vec![xs[off]],
+                    })
+                    .collect();
+                // Meter only after every decision succeeded, so a panic
+                // mid-tick never leaves partial accounting behind.
+                for r in &reports {
+                    meter.record(r);
+                }
+                if out_tx.send(reports).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Renders a worker's panic payload for [`SimError::WorkerFailed`].
+fn panic_reason(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
 
 /// Runs the simulation with node decisions distributed over `shards`
 /// worker threads. Produces the same [`SimReport`] as
-/// [`crate::sim::Simulation::run`] for the same inputs.
+/// [`crate::sim::Simulation::run`] for the same inputs. Equivalent to
+/// [`run_threaded_supervised`] with default [`SupervisorOptions`].
 ///
 /// # Errors
 ///
 /// Returns [`SimError::InvalidConfig`] for invalid parameters or
-/// `shards == 0`, and [`SimError::WorkerFailed`] if a worker disconnects.
+/// `shards == 0`, and [`SimError::WorkerFailed`] if a worker dies more
+/// often than the respawn budget allows.
 pub fn run_threaded(
     config: &SimConfig,
     trace: &Trace,
     resource: Resource,
     shards: usize,
+) -> Result<SimReport, SimError> {
+    run_threaded_supervised(
+        config,
+        trace,
+        resource,
+        shards,
+        &SupervisorOptions::default(),
+    )
+}
+
+/// The supervised threaded driver: like [`run_threaded`], plus worker
+/// respawn with transmitter-state replay, periodic controller
+/// checkpointing, and fault injection (see [`SupervisorOptions`]).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for invalid parameters or
+/// `shards == 0`, and [`SimError::WorkerFailed`] (carrying the panic
+/// payload) once a worker has died more often than `max_respawns` allows.
+pub fn run_threaded_supervised(
+    config: &SimConfig,
+    trace: &Trace,
+    resource: Resource,
+    shards: usize,
+    options: &SupervisorOptions,
 ) -> Result<SimReport, SimError> {
     if shards == 0 {
         return Err(SimError::InvalidConfig {
@@ -65,96 +239,126 @@ pub fn run_threaded(
         retrain_every: config.retrain_every,
         model: config.model.clone(),
         seed: config.seed,
+        ..Default::default()
     })?;
     let meter = Meter::new();
+    let tx_config = TransmitConfig {
+        budget: config.budget,
+        v0: config.v0,
+        gamma: config.gamma,
+    };
 
     // Shard boundaries: contiguous, near-equal ranges.
     let bounds: Vec<(usize, usize)> = (0..shards)
-        .map(|s| {
-            let lo = s * n / shards;
-            let hi = (s + 1) * n / shards;
-            (lo, hi)
+        .map(|s| (s * n / shards, (s + 1) * n / shards))
+        .collect();
+
+    let spawn = |(lo, hi): (usize, usize), panic_at: Option<usize>| -> ShardLink {
+        let (in_tx, in_rx) = channel::unbounded::<WorkerMsg>();
+        let (out_tx, out_rx) = channel::unbounded::<Vec<Report>>();
+        let meter = meter.clone();
+        let handle =
+            thread::spawn(move || worker_loop(lo, hi, tx_config, meter, in_rx, out_tx, panic_at));
+        ShardLink {
+            in_tx,
+            out_rx,
+            handle: Some(handle),
+        }
+    };
+    let mut links: Vec<ShardLink> = bounds
+        .iter()
+        .enumerate()
+        .map(|(s, &b)| {
+            let panic_at = options
+                .worker_panic_at
+                .and_then(|(ps, pt)| if ps == s { Some(pt) } else { None });
+            spawn(b, panic_at)
         })
         .collect();
 
-    // Channels: one input channel per worker, one shared output channel.
-    let (out_tx, out_rx) = channel::unbounded::<(usize, Vec<Report>)>();
-    let mut in_txs = Vec::with_capacity(shards);
-    let mut handles = Vec::with_capacity(shards);
-    for (shard, &(lo, hi)) in bounds.iter().enumerate() {
-        let (in_tx, in_rx) = channel::unbounded::<TickInput>();
-        in_txs.push(in_tx);
-        let out_tx = out_tx.clone();
-        let tx_config = TransmitConfig {
-            budget: config.budget,
-            v0: config.v0,
-            gamma: config.gamma,
-        };
-        let meter = meter.clone();
-        handles.push(thread::spawn(move || {
-            let mut transmitters: Vec<AdaptiveTransmitter> =
-                (lo..hi).map(|_| AdaptiveTransmitter::new(tx_config)).collect();
-            while let Ok(Some((t, xs, zs))) = in_rx.recv() {
-                let mut reports = Vec::new();
-                for (off, (&x, &z)) in xs.iter().zip(&zs).enumerate() {
-                    let node = lo + off;
-                    let send = if t == 0 {
-                        // Bootstrap tick: everyone reports (clock still
-                        // consumed to stay aligned with the reference
-                        // driver).
-                        let _ = transmitters[off].decide(&[x], &[x]);
-                        true
-                    } else {
-                        transmitters[off].decide(&[x], &[z])
-                    };
-                    if send {
-                        let r = Report {
-                            node,
-                            t,
-                            values: vec![x],
-                        };
-                        meter.record(&r);
-                        reports.push(r);
-                    }
-                }
-                if out_tx.send((shard, reports)).is_err() {
-                    break;
-                }
-            }
-        }));
-    }
-    drop(out_tx);
+    // Per-shard input history, for rebuilding transmitter state on respawn.
+    let mut input_log: Vec<Vec<(Vec<f64>, Vec<f64>)>> = vec![Vec::new(); shards];
+    let mut respawns_left = options.max_respawns;
+    let checkpoints_wanted = options.checkpoint_every > 0 || options.controller_crash_at.is_some();
+    let mut last_checkpoint: Option<ControllerSnapshot> =
+        checkpoints_wanted.then(|| controller.snapshot());
 
     let mut staleness = TimeAveragedRmse::new();
     let mut intermediate = TimeAveragedRmse::new();
     let mut sent: u64 = 0;
     for t in 0..steps {
+        if options.controller_crash_at == Some(t) {
+            if let Some(cp) = &last_checkpoint {
+                // The controller's live state is gone; resume from the
+                // latest checkpoint. Stored values regress to the
+                // checkpoint, so accuracy dips until fresh reports land.
+                controller = Controller::restore(cp.clone())?;
+            }
+        }
         let x = trace.snapshot(resource, t)?;
         let stored = controller.stored().to_vec();
-        for (shard, &(lo, hi)) in bounds.iter().enumerate() {
-            let payload = Some((t, x[lo..hi].to_vec(), stored[lo..hi].to_vec()));
-            if in_txs[shard].send(payload).is_err() {
-                return Err(SimError::WorkerFailed { shard });
-            }
+        for (s, &(lo, hi)) in bounds.iter().enumerate() {
+            input_log[s].push((x[lo..hi].to_vec(), stored[lo..hi].to_vec()));
         }
         let mut tick_reports = Vec::new();
-        for _ in 0..shards {
-            match out_rx.recv() {
-                Ok((_, mut reports)) => tick_reports.append(&mut reports),
-                Err(_) => return Err(SimError::WorkerFailed { shard: usize::MAX }),
+        for (s, &b) in bounds.iter().enumerate() {
+            let (xs, zs) = input_log[s].last().cloned().expect("pushed above");
+            loop {
+                let delivered = links[s]
+                    .in_tx
+                    .send(WorkerMsg::Tick {
+                        t,
+                        xs: xs.clone(),
+                        zs: zs.clone(),
+                    })
+                    .is_ok();
+                if delivered {
+                    if let Ok(mut reports) = links[s].out_rx.recv() {
+                        sent += reports.len() as u64;
+                        tick_reports.append(&mut reports);
+                        break;
+                    }
+                }
+                // The worker died. Reap it for the panic payload, then
+                // respawn the shard, rebuild its transmitters by replaying
+                // the input history, and re-run the interrupted tick.
+                let reason = match links[s].handle.take() {
+                    Some(handle) => match handle.join() {
+                        Err(payload) => panic_reason(payload),
+                        Ok(()) => "worker exited unexpectedly".to_string(),
+                    },
+                    None => "worker already reaped".to_string(),
+                };
+                if respawns_left == 0 {
+                    return Err(SimError::WorkerFailed { shard: s, reason });
+                }
+                respawns_left -= 1;
+                links[s] = spawn(b, None);
+                let past = input_log[s].len() - 1;
+                for (rt, (rxs, rzs)) in input_log[s][..past].iter().enumerate() {
+                    let _ = links[s].in_tx.send(WorkerMsg::Replay {
+                        t: rt,
+                        xs: rxs.clone(),
+                        zs: rzs.clone(),
+                    });
+                }
             }
         }
-        sent += tick_reports.len() as u64;
         let tick = controller.tick(tick_reports)?;
         staleness.add(rmse_step_scalar(controller.stored(), &x));
         intermediate.add(tick.intermediate_rmse);
+        if options.checkpoint_every > 0 && (t + 1) % options.checkpoint_every == 0 {
+            last_checkpoint = Some(controller.snapshot());
+        }
     }
     // Shut the workers down.
-    for tx in &in_txs {
-        let _ = tx.send(None);
+    for link in &links {
+        let _ = link.in_tx.send(WorkerMsg::Shutdown);
     }
-    for h in handles {
-        let _ = h.join();
+    for link in &mut links {
+        if let Some(handle) = link.handle.take() {
+            let _ = handle.join();
+        }
     }
     Ok(SimReport {
         steps,
@@ -163,6 +367,8 @@ pub fn run_threaded(
         realized_frequency: sent as f64 / (steps as f64 * n as f64),
         staleness_rmse: staleness.value(),
         intermediate_rmse: intermediate.value(),
+        quarantined: controller.quarantined(),
+        model_fallbacks: controller.model_fallbacks(),
     })
 }
 
@@ -183,7 +389,11 @@ mod tests {
 
     #[test]
     fn threaded_matches_reference_driver() {
-        let trace = presets::google_like().nodes(20).steps(120).seed(9).generate();
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
         let reference = Simulation::new(quick_config())
             .unwrap()
             .run(&trace, Resource::Cpu)
@@ -196,7 +406,11 @@ mod tests {
 
     #[test]
     fn more_shards_than_nodes_is_clamped() {
-        let trace = presets::alibaba_like().nodes(4) .steps(40).seed(2).generate();
+        let trace = presets::alibaba_like()
+            .nodes(4)
+            .steps(40)
+            .seed(2)
+            .generate();
         let report = run_threaded(&quick_config(), &trace, Resource::Memory, 16);
         // k=3 <= 4 nodes, so this must succeed.
         assert!(report.is_ok());
@@ -209,5 +423,84 @@ mod tests {
             run_threaded(&quick_config(), &trace, Resource::Cpu, 0),
             Err(SimError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn worker_panic_recovery_is_bit_identical() {
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
+        let reference = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        // Shard 2 dies mid-run; the supervisor must rebuild its transmitter
+        // state so exactly the same reports flow afterwards.
+        let supervised = run_threaded_supervised(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            4,
+            &SupervisorOptions {
+                worker_panic_at: Some((2, 57)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(supervised, reference);
+    }
+
+    #[test]
+    fn exhausted_respawn_budget_surfaces_panic_payload() {
+        let trace = presets::alibaba_like()
+            .nodes(8)
+            .steps(30)
+            .seed(1)
+            .generate();
+        let err = run_threaded_supervised(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            2,
+            &SupervisorOptions {
+                max_respawns: 0,
+                worker_panic_at: Some((1, 5)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            SimError::WorkerFailed { shard, reason } => {
+                assert_eq!(shard, 1);
+                assert!(reason.contains("injected fault"), "reason: {reason}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_crash_recovers_from_checkpoint() {
+        let trace = presets::google_like()
+            .nodes(12)
+            .steps(100)
+            .seed(6)
+            .generate();
+        let report = run_threaded_supervised(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            3,
+            &SupervisorOptions {
+                checkpoint_every: 20,
+                controller_crash_at: Some(47),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.steps, 100);
+        assert!(report.staleness_rmse.is_finite());
+        assert!(report.messages > 0);
     }
 }

@@ -1,0 +1,173 @@
+//! Seeded chaos suite: the full pipeline must survive compound faults —
+//! node crashes, message loss, partitions, corrupted reports, controller
+//! crashes, and forecaster fit failures — with every resilience mechanism
+//! (ingress quarantine, model fallback, checkpoint recovery, worker
+//! respawn) demonstrably active, and accuracy degrading by a bounded
+//! factor rather than collapsing.
+
+use utilcast_core::pipeline::ModelSpec;
+use utilcast_datasets::{presets, Resource, Trace};
+use utilcast_simnet::faults::{run_with_faults, FaultPlan, PartitionWindow};
+use utilcast_simnet::sim::SimConfig;
+use utilcast_simnet::threaded::{run_threaded, run_threaded_supervised, SupervisorOptions};
+use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
+
+fn chaos_trace() -> Trace {
+    presets::google_like()
+        .nodes(20)
+        .steps(200)
+        .seed(17)
+        .generate()
+}
+
+fn chaos_config() -> SimConfig {
+    SimConfig {
+        k: 3,
+        warmup: 30,
+        retrain_every: 40,
+        ..Default::default()
+    }
+}
+
+/// A model spec that can never fit: an AutoArima grid with no candidate
+/// orders always returns `FitDiverged`, deterministically exercising the
+/// forecaster fallback chain.
+fn unfittable_model() -> ModelSpec {
+    ModelSpec::AutoArima {
+        grid: ArimaGrid {
+            p: vec![],
+            d: vec![],
+            q: vec![],
+            sp: vec![],
+            sd: vec![],
+            sq: vec![],
+            s: 0,
+        },
+        options: ArimaFitOptions::default(),
+    }
+}
+
+fn everything_plan() -> FaultPlan {
+    FaultPlan {
+        crash_prob: 0.005,
+        restart_prob: 0.1,
+        loss_prob: 0.05,
+        controller_crash_prob: 0.02,
+        corrupt_prob: 0.05,
+        partitions: vec![PartitionWindow {
+            start: 60,
+            end: 90,
+            node_start: 0,
+            node_end: 7,
+        }],
+        checkpoint_every: 25,
+        seed: 42,
+    }
+}
+
+#[test]
+fn compound_faults_leave_every_mechanism_active() {
+    let trace = chaos_trace();
+    let config = SimConfig {
+        model: unfittable_model(),
+        ..chaos_config()
+    };
+    let report = run_with_faults(&config, &trace, Resource::Cpu, &everything_plan()).unwrap();
+
+    // The run completed end to end.
+    assert_eq!(report.sim.steps, 200);
+    assert!(report.sim.staleness_rmse.is_finite());
+    assert!(report.sim.intermediate_rmse.is_finite());
+
+    // Every fault class actually fired under this seed...
+    assert!(report.down_node_steps > 0, "no node crashes fired");
+    assert!(report.lost_reports > 0, "no message loss fired");
+    assert!(
+        report.partitioned_reports > 0,
+        "partition never blocked a report"
+    );
+    assert!(report.corrupted_reports > 0, "no corruption fired");
+    assert!(report.controller_crashes > 0, "no controller crash fired");
+    assert!(report.checkpoints >= 1 + 200 / 25);
+
+    // ...and every resilience mechanism responded. (The quarantine counter
+    // is controller state, so a controller crash rewinds it to the last
+    // checkpoint — exact equality with `corrupted_reports` only holds in
+    // crash-free runs, covered by the faults module's own tests.)
+    assert!(
+        report.sim.quarantined > 0,
+        "ingress validation must quarantine corrupted reports"
+    );
+    assert!(
+        report.sim.model_fallbacks > 0,
+        "fit failures must activate the sample-and-hold fallback"
+    );
+}
+
+#[test]
+fn fault_rmse_stays_within_bounded_factor_of_control() {
+    let trace = chaos_trace();
+    let config = chaos_config();
+    let clean = run_with_faults(&config, &trace, Resource::Cpu, &FaultPlan::none()).unwrap();
+    let faulty = run_with_faults(&config, &trace, Resource::Cpu, &everything_plan()).unwrap();
+    assert!(
+        faulty.sim.staleness_rmse >= clean.sim.staleness_rmse,
+        "faults cannot improve freshness"
+    );
+    // Graceful degradation: the compound-fault run stays within a small
+    // constant factor of the no-fault control instead of diverging.
+    assert!(
+        faulty.sim.staleness_rmse <= 5.0 * clean.sim.staleness_rmse,
+        "fault RMSE {} vs control {}",
+        faulty.sim.staleness_rmse,
+        clean.sim.staleness_rmse
+    );
+}
+
+#[test]
+fn crash_at_checkpoint_boundary_replays_bit_identically() {
+    // A controller crash exactly at a checkpoint boundary restores a
+    // snapshot that equals the live state, so the remainder of the run must
+    // replay bit-identically against an undisturbed reference.
+    let trace = chaos_trace();
+    let config = chaos_config();
+    let reference = run_threaded(&config, &trace, Resource::Cpu, 4).unwrap();
+    let recovered = run_threaded_supervised(
+        &config,
+        &trace,
+        Resource::Cpu,
+        4,
+        &SupervisorOptions {
+            checkpoint_every: 20,
+            controller_crash_at: Some(40),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(recovered, reference);
+}
+
+#[test]
+fn worker_and_controller_faults_compose() {
+    // A worker panic and a mid-interval controller crash in the same run:
+    // the supervisor respawns the shard and the controller resumes from its
+    // checkpoint, and the run still completes with sane metrics.
+    let trace = chaos_trace();
+    let config = chaos_config();
+    let report = run_threaded_supervised(
+        &config,
+        &trace,
+        Resource::Cpu,
+        4,
+        &SupervisorOptions {
+            checkpoint_every: 30,
+            controller_crash_at: Some(77),
+            worker_panic_at: Some((1, 110)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report.steps, 200);
+    assert!(report.messages > 0);
+    assert!(report.staleness_rmse.is_finite() && report.staleness_rmse < 0.5);
+}

@@ -4,11 +4,72 @@ use proptest::prelude::*;
 use utilcast_core::pipeline::ModelSpec;
 use utilcast_datasets::presets;
 use utilcast_datasets::Resource;
+use utilcast_simnet::controller::{Controller, ControllerConfig};
 use utilcast_simnet::sim::{SimConfig, Simulation};
 use utilcast_simnet::threaded::run_threaded;
 use utilcast_simnet::transport::{Meter, Report, HEADER_BYTES};
 
+const PROP_NODES: usize = 5;
+
+/// An arbitrary per-tick report batch: node ids deliberately range past the
+/// controller's node count and values past its bounds, so sequences mix
+/// valid, quarantinable, duplicate, and out-of-order reports.
+fn arb_tick_reports() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..PROP_NODES + 2, -0.5f64..1.5), 0..8)
+}
+
+fn prop_controller() -> Controller {
+    Controller::new(ControllerConfig {
+        num_nodes: PROP_NODES,
+        k: 2,
+        warmup: 4,
+        retrain_every: 5,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
 proptest! {
+    /// Snapshot → restore → replay equals the uninterrupted run, for any
+    /// report sequence (including invalid and out-of-order reports) and any
+    /// split point: checkpoint recovery is lossless.
+    #[test]
+    fn snapshot_restore_replay_matches_uninterrupted_run(
+        ticks in proptest::collection::vec(arb_tick_reports(), 2..20),
+        split_pct in 0u32..100,
+    ) {
+        let split = (ticks.len() * split_pct as usize / 100).min(ticks.len() - 1);
+        let to_reports = |t: usize, batch: &[(usize, f64)]| -> Vec<Report> {
+            batch
+                .iter()
+                .map(|&(node, v)| Report { node, t, values: vec![v] })
+                .collect()
+        };
+
+        let mut uninterrupted = prop_controller();
+        let mut resumed = prop_controller();
+        for (t, batch) in ticks[..split].iter().enumerate() {
+            let a = uninterrupted.tick(to_reports(t, batch)).unwrap();
+            let b = resumed.tick(to_reports(t, batch)).unwrap();
+            prop_assert_eq!(a, b);
+        }
+
+        // Crash: lose `resumed` entirely, recover it from a snapshot that
+        // survived a JSON round trip (as an on-disk checkpoint would).
+        let checkpoint = resumed.snapshot();
+        let json = serde_json::to_string(&checkpoint).unwrap();
+        let mut resumed = Controller::restore(serde_json::from_str(&json).unwrap()).unwrap();
+
+        for (t, batch) in ticks.iter().enumerate().skip(split) {
+            let a = uninterrupted.tick(to_reports(t, batch)).unwrap();
+            let b = resumed.tick(to_reports(t, batch)).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(uninterrupted.stored(), resumed.stored());
+        prop_assert_eq!(uninterrupted.quarantined(), resumed.quarantined());
+        prop_assert_eq!(uninterrupted.snapshot(), resumed.snapshot());
+    }
+
     /// Wire size is affine in the payload length.
     #[test]
     fn wire_bytes_affine(node in 0usize..1000, t in 0usize..10_000, d in 0usize..16) {

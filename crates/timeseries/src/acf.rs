@@ -73,14 +73,8 @@ pub fn pacf(series: &[f64], max_lag: usize) -> Vec<f64> {
     phi_prev[1] = rho[1];
     out.push(rho[1]);
     for k in 2..=max_lag {
-        let num = rho[k]
-            - (1..k)
-                .map(|j| phi_prev[j] * rho[k - j])
-                .sum::<f64>();
-        let den = 1.0
-            - (1..k)
-                .map(|j| phi_prev[j] * rho[j])
-                .sum::<f64>();
+        let num = rho[k] - (1..k).map(|j| phi_prev[j] * rho[k - j]).sum::<f64>();
+        let den = 1.0 - (1..k).map(|j| phi_prev[j] * rho[j]).sum::<f64>();
         let phi_kk = if den.abs() < 1e-12 { 0.0 } else { num / den };
         let mut phi_new = phi_prev.clone();
         phi_new[k] = phi_kk;
@@ -211,7 +205,11 @@ mod tests {
         let p = pacf(&xs, 4);
         assert!((p[1] - 0.6).abs() < 0.05, "lag-1 pacf {}", p[1]);
         for lag in 2..=4 {
-            assert!(p[lag].abs() < 0.05, "lag {lag} pacf {} should be ~0", p[lag]);
+            assert!(
+                p[lag].abs() < 0.05,
+                "lag {lag} pacf {} should be ~0",
+                p[lag]
+            );
         }
     }
 

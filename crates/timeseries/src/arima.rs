@@ -52,7 +52,15 @@ impl ArimaOrder {
     }
 
     /// Creates a full seasonal order ARIMA(p,d,q)(P,D,Q)ₛ.
-    pub fn seasonal(p: usize, d: usize, q: usize, sp: usize, sd: usize, sq: usize, s: usize) -> Self {
+    pub fn seasonal(
+        p: usize,
+        d: usize,
+        q: usize,
+        sp: usize,
+        sd: usize,
+        sq: usize,
+        s: usize,
+    ) -> Self {
         ArimaOrder {
             p,
             d,
@@ -300,7 +308,7 @@ fn innovations(wc: &[f64], ar: &[f64], ma: &[f64]) -> Option<Vec<f64>> {
             pred += a * wc[t - 1 - i];
         }
         for (j, &b) in ma.iter().enumerate() {
-            if t >= j + 1 {
+            if t > j {
                 pred += b * e[t - 1 - j];
             }
         }
@@ -414,12 +422,12 @@ impl Forecaster for Arima {
             let t = n + h;
             let mut pred = 0.0;
             for (i, &a) in ar.iter().enumerate() {
-                if t >= i + 1 {
+                if t > i {
                     pred += a * wc[t - 1 - i];
                 }
             }
             for (j, &b) in ma.iter().enumerate() {
-                if t >= j + 1 && t - 1 - j < n {
+                if t > j && t - 1 - j < n {
                     pred += b * e[t - 1 - j];
                 }
             }
@@ -489,12 +497,8 @@ impl Arima {
             };
             if j > 0 {
                 for (i, &a) in full_ar.iter().enumerate() {
-                    if j >= i + 1 {
-                        let prev = if j - i - 1 == 0 {
-                            1.0
-                        } else {
-                            psi[j - i - 1]
-                        };
+                    if j > i {
+                        let prev = if j - i - 1 == 0 { 1.0 } else { psi[j - i - 1] };
                         v += a * prev;
                     }
                 }
@@ -765,7 +769,11 @@ mod tests {
         let fc = model.forecast(&series, 50).unwrap();
         let mu = model.fitted().unwrap().mu;
         // Long-horizon forecast approaches the series mean.
-        assert!((fc[49] - mu).abs() < 0.05, "fc[49] = {} vs mu = {mu}", fc[49]);
+        assert!(
+            (fc[49] - mu).abs() < 0.05,
+            "fc[49] = {} vs mu = {mu}",
+            fc[49]
+        );
     }
 
     #[test]
@@ -815,7 +823,11 @@ mod tests {
             s: 0,
         };
         let best = auto_arima(&series, &grid, &ArimaFitOptions::default()).unwrap();
-        assert_eq!(best.order().p, 1, "AICc should prefer AR(1) over white noise");
+        assert_eq!(
+            best.order().p,
+            1,
+            "AICc should prefer AR(1) over white noise"
+        );
     }
 
     #[test]

@@ -128,7 +128,9 @@ impl Forecaster for Drift {
 
     fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
         let slope = self.slope.ok_or(TimeSeriesError::NotFitted)?;
-        let last = *history.last().ok_or(TimeSeriesError::TooShort { needed: 1, got: 0 })?;
+        let last = *history
+            .last()
+            .ok_or(TimeSeriesError::TooShort { needed: 1, got: 0 })?;
         Ok((1..=horizon).map(|h| last + slope * h as f64).collect())
     }
 
@@ -176,7 +178,10 @@ mod tests {
     fn drift_extrapolates_slope() {
         let mut m = Drift::new();
         m.fit(&[0.0, 1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(m.forecast(&[0.0, 1.0, 2.0, 3.0], 2).unwrap(), vec![4.0, 5.0]);
+        assert_eq!(
+            m.forecast(&[0.0, 1.0, 2.0, 3.0], 2).unwrap(),
+            vec![4.0, 5.0]
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl fmt::Display for TimeSeriesError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TimeSeriesError::TooShort { needed, got } => {
-                write!(f, "series too short: need at least {needed} points, got {got}")
+                write!(
+                    f,
+                    "series too short: need at least {needed} points, got {got}"
+                )
             }
             TimeSeriesError::NotFitted => write!(f, "model has not been fitted"),
             TimeSeriesError::InvalidConfig { reason } => {
@@ -50,7 +53,10 @@ mod tests {
             TimeSeriesError::TooShort { needed: 10, got: 3 }.to_string(),
             "series too short: need at least 10 points, got 3"
         );
-        assert_eq!(TimeSeriesError::NotFitted.to_string(), "model has not been fitted");
+        assert_eq!(
+            TimeSeriesError::NotFitted.to_string(),
+            "model has not been fitted"
+        );
         assert!(TimeSeriesError::InvalidConfig {
             reason: "window must be positive".into()
         }

@@ -40,6 +40,23 @@ impl Default for RetrainPolicy {
     }
 }
 
+/// The model-independent state of a [`RetrainingForecaster`], detachable
+/// for checkpointing: pair it with a serializable model snapshot to persist
+/// a forecaster, and rebuild with [`RetrainingForecaster::from_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainState {
+    /// The retraining policy.
+    pub policy: RetrainPolicy,
+    /// Observation history collected so far.
+    pub history: Vec<f64>,
+    /// Whether the model has been fitted at least once.
+    pub trained: bool,
+    /// Observations since the last successful fit.
+    pub since_train: usize,
+    /// Number of completed (re)trainings.
+    pub retrain_count: usize,
+}
+
 /// Wraps a [`Forecaster`] with the warmup/retrain lifecycle and an owned
 /// observation history.
 #[derive(Debug, Clone)]
@@ -145,6 +162,53 @@ impl<F: Forecaster> RetrainingForecaster<F> {
     /// Number of completed (re)trainings.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count
+    }
+
+    /// Observations ingested since the last successful fit.
+    pub fn since_train(&self) -> usize {
+        self.since_train
+    }
+
+    /// The retraining policy.
+    pub fn policy(&self) -> RetrainPolicy {
+        self.policy
+    }
+
+    /// Extracts the model-independent state for checkpointing. Pair it
+    /// with a snapshot of [`RetrainingForecaster::model`] to persist the
+    /// forecaster.
+    pub fn state(&self) -> RetrainState {
+        RetrainState {
+            policy: self.policy,
+            history: self.history.clone(),
+            trained: self.trained,
+            since_train: self.since_train,
+            retrain_count: self.retrain_count,
+        }
+    }
+
+    /// Rebuilds a forecaster from a checkpointed state and the matching
+    /// (already fitted, if `state.trained`) model.
+    pub fn from_state(model: F, state: RetrainState) -> Self {
+        RetrainingForecaster {
+            model,
+            policy: state.policy,
+            history: state.history,
+            trained: state.trained,
+            since_train: state.since_train,
+            retrain_count: state.retrain_count,
+        }
+    }
+
+    /// Installs an already-fitted replacement model, keeping the history
+    /// and resetting the retrain clock (the next retrain happens a full
+    /// `retrain_every` observations from now). Used by degraded-mode
+    /// fallback chains: when the primary model's fit fails, a stand-in
+    /// fitted on the same history takes its place.
+    pub fn install_model(&mut self, model: F) {
+        self.model = model;
+        self.trained = true;
+        self.since_train = 0;
     }
 
     /// The observation history collected so far.
@@ -261,8 +325,49 @@ mod tests {
                 first_trained_at = Some(t);
             }
         }
-        assert_eq!(first_trained_at, Some(12), "trains at the first feasible step");
+        assert_eq!(
+            first_trained_at,
+            Some(12),
+            "trains at the first feasible step"
+        );
         assert!(rf.is_trained());
+    }
+
+    #[test]
+    fn state_round_trip_preserves_behaviour() {
+        let mut rf = RetrainingForecaster::new(LongTermMean::new(), policy(2, 3));
+        for v in [1.0, 3.0, 2.0, 4.0] {
+            rf.observe(v).unwrap();
+        }
+        let state = rf.state();
+        assert_eq!(state.since_train, 2);
+        assert_eq!(state.retrain_count, 1);
+        let mut restored = RetrainingForecaster::from_state(rf.model().clone(), state);
+        // Both copies must evolve identically from here on.
+        for v in [5.0, 6.0, 7.0] {
+            assert_eq!(rf.observe(v).unwrap(), restored.observe(v).unwrap());
+        }
+        assert_eq!(rf.forecast(2).unwrap(), restored.forecast(2).unwrap());
+        assert_eq!(rf.retrain_count(), restored.retrain_count());
+    }
+
+    #[test]
+    fn install_model_resets_retrain_clock() {
+        let mut rf = RetrainingForecaster::new(SampleAndHold::new(), policy(1, 3));
+        rf.observe(2.0).unwrap();
+        rf.observe(4.0).unwrap();
+        assert_eq!(rf.since_train(), 1);
+        let mut stand_in = SampleAndHold::new();
+        stand_in.fit(rf.history()).unwrap();
+        rf.install_model(stand_in);
+        assert!(rf.is_trained());
+        assert_eq!(rf.since_train(), 0);
+        // The stand-in forecasts from the shared history.
+        assert_eq!(rf.forecast(1).unwrap(), vec![4.0]);
+        // Next retrain happens a full interval later.
+        rf.observe(6.0).unwrap();
+        rf.observe(6.0).unwrap();
+        assert_eq!(rf.since_train(), 2);
     }
 
     #[test]

@@ -342,7 +342,7 @@ impl Lstm {
                 reason: "window, hidden, layers, and epochs must all be positive".into(),
             });
         }
-        if !(c.learning_rate > 0.0) {
+        if c.learning_rate.is_nan() || c.learning_rate <= 0.0 {
             return Err(TimeSeriesError::InvalidConfig {
                 reason: "learning rate must be positive".into(),
             });
@@ -584,7 +584,11 @@ mod tests {
         );
         // Training should have reduced the MSE well below the series
         // variance (~0.08).
-        assert!(m.train_mse().unwrap() < 0.02, "train mse {}", m.train_mse().unwrap());
+        assert!(
+            m.train_mse().unwrap() < 0.02,
+            "train mse {}",
+            m.train_mse().unwrap()
+        );
     }
 
     #[test]

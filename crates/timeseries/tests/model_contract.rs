@@ -58,7 +58,9 @@ fn unfitted_models_refuse_to_forecast() {
 fn fitted_models_produce_requested_horizon() {
     let hist = series(400);
     for mut model in all_models() {
-        model.fit(&hist).unwrap_or_else(|e| panic!("{} fit: {e}", model.name()));
+        model
+            .fit(&hist)
+            .unwrap_or_else(|e| panic!("{} fit: {e}", model.name()));
         for horizon in [1usize, 7, 50] {
             let fc = model
                 .forecast(&hist, horizon)
@@ -71,7 +73,11 @@ fn fitted_models_produce_requested_horizon() {
             );
         }
         // Zero horizon is always the empty vector.
-        assert!(model.forecast(&hist, 0).unwrap().is_empty(), "{}", model.name());
+        assert!(
+            model.forecast(&hist, 0).unwrap().is_empty(),
+            "{}",
+            model.name()
+        );
     }
 }
 

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 40;
     let steps = 800;
     let warm = 120;
-    let mut trace = presets::alibaba_like().nodes(n).steps(steps).seed(33).generate();
+    let mut trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(steps)
+        .seed(33)
+        .generate();
 
     // Inject anomalies at non-overlapping (node, window) slots.
     let mut rng = StdRng::seed_from_u64(99);
@@ -40,10 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if (start..start + ANOMALY_LEN).any(|t| anomalous[t][node]) {
             continue;
         }
-        for t in start..start + ANOMALY_LEN {
+        for (t, row) in anomalous
+            .iter_mut()
+            .enumerate()
+            .take(start + ANOMALY_LEN)
+            .skip(start)
+        {
             let m = trace.measurement_mut(node, t);
             m[cpu_idx] = (m[cpu_idx] + ANOMALY_MAGNITUDE).min(1.0);
-            anomalous[t][node] = true;
+            row[node] = true;
         }
         onsets.push((node, start));
     }

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 60;
     let horizon = 6; // half an hour ahead at 5-minute sampling
     let picks = 5; // machines chosen per scheduling epoch
-    let trace = presets::alibaba_like().nodes(n).steps(900).seed(21).generate();
+    let trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(900)
+        .seed(21)
+        .generate();
 
     let mut pipeline = Pipeline::new(PipelineConfig {
         num_nodes: n,
@@ -51,9 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let chosen_fc = least_loaded(&forecast[horizon - 1], picks);
             let chosen_now = least_loaded(&x, picks);
             let chosen_oracle = least_loaded(&truth, picks);
-            let avg = |chosen: &[usize]| {
-                chosen.iter().map(|&i| truth[i]).sum::<f64>() / picks as f64
-            };
+            let avg =
+                |chosen: &[usize]| chosen.iter().map(|&i| truth[i]).sum::<f64>() / picks as f64;
             forecast_load += avg(&chosen_fc);
             nowcast_load += avg(&chosen_now);
             oracle_load += avg(&chosen_oracle);

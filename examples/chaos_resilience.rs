@@ -1,0 +1,113 @@
+//! Chaos mode: the full fault cocktail — node crashes, message loss, a
+//! network partition, corrupted reports, and controller crashes with
+//! checkpoint recovery — at increasing intensity, against a model that
+//! sometimes cannot fit (exercising the sample-and-hold fallback chain).
+//!
+//! Run with: `cargo run --release --example chaos_resilience`
+
+use utilcast::core::pipeline::ModelSpec;
+use utilcast::datasets::{presets, Resource};
+use utilcast::simnet::faults::{run_with_faults, FaultPlan, PartitionWindow};
+use utilcast::simnet::sim::SimConfig;
+use utilcast::timeseries::arima::{ArimaFitOptions, ArimaGrid};
+
+/// Scales the full fault cocktail by `intensity` (0 = no faults).
+fn plan(intensity: f64) -> FaultPlan {
+    let mut plan = FaultPlan {
+        crash_prob: (0.002 * intensity).min(1.0),
+        restart_prob: 0.1,
+        loss_prob: (0.02 * intensity).min(1.0),
+        controller_crash_prob: (0.005 * intensity).min(1.0),
+        corrupt_prob: (0.02 * intensity).min(1.0),
+        checkpoint_every: 50,
+        seed: 9,
+        ..FaultPlan::none()
+    };
+    if intensity > 0.0 {
+        // A 60-tick partition cutting off a quarter of the fleet.
+        plan.partitions = vec![PartitionWindow {
+            start: 300,
+            end: 360,
+            node_start: 0,
+            node_end: 15,
+        }];
+    }
+    plan
+}
+
+/// An ARIMA grid that rarely fits short, flat centroid histories — real
+/// deployments hit this when a cluster's series is near-constant — so the
+/// forecaster fallback chain gets exercised.
+fn fragile_model() -> ModelSpec {
+    ModelSpec::AutoArima {
+        grid: ArimaGrid {
+            p: vec![],
+            d: vec![],
+            q: vec![],
+            sp: vec![],
+            sd: vec![],
+            sq: vec![],
+            s: 0,
+        },
+        options: ArimaFitOptions::default(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = presets::google_like()
+        .nodes(60)
+        .steps(600)
+        .seed(5)
+        .generate();
+    let config = SimConfig {
+        budget: 0.3,
+        k: 3,
+        warmup: 100,
+        retrain_every: 100,
+        model: fragile_model(),
+        ..Default::default()
+    };
+
+    println!("60 nodes x 600 steps, budget 0.3, unfittable AutoArima grid");
+    println!("(every run survives; resilience counters show what fired)\n");
+    println!(
+        "{:>9} {:>10} {:>8} {:>11} {:>8} {:>9} {:>10} {:>9}",
+        "intensity",
+        "staleness",
+        "lost",
+        "partitioned",
+        "corrupt",
+        "ctrl-rst",
+        "quarantine",
+        "fallback"
+    );
+    let mut control = None;
+    for intensity in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let report = run_with_faults(&config, &trace, Resource::Cpu, &plan(intensity))?;
+        if intensity == 0.0 {
+            control = Some(report.sim.staleness_rmse);
+        }
+        println!(
+            "{:>9.1} {:>10.4} {:>8} {:>11} {:>8} {:>9} {:>10} {:>9}",
+            intensity,
+            report.sim.staleness_rmse,
+            report.lost_reports,
+            report.partitioned_reports,
+            report.corrupted_reports,
+            report.controller_crashes,
+            report.sim.quarantined,
+            report.sim.model_fallbacks
+        );
+        if intensity == 4.0 {
+            let control = control.expect("intensity 0 ran first");
+            println!(
+                "\n4x intensity costs {:.1}% staleness RMSE vs the no-fault control;",
+                100.0 * (report.sim.staleness_rmse / control - 1.0)
+            );
+        }
+    }
+    println!("corrupt reports are quarantined at ingress (never stored), fit");
+    println!("failures degrade to sample-and-hold, and controller crashes");
+    println!("resume from the latest checkpoint instead of losing the run.");
+    Ok(())
+}

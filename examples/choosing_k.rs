@@ -15,7 +15,11 @@ use utilcast::datasets::{presets, Resource};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 60;
-    let trace = presets::alibaba_like().nodes(n).steps(600).seed(13).generate();
+    let trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(600)
+        .seed(13)
+        .generate();
 
     // 1. Silhouette-based K selection on a sample of snapshots.
     let mut votes = std::collections::BTreeMap::new();
@@ -60,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = pipeline.step(&trace.snapshot(Resource::Cpu, t)?)?;
             acc.add(report.intermediate_rmse);
         }
-        let marker = if k == chosen { "  <- silhouette pick" } else { "" };
+        let marker = if k == chosen {
+            "  <- silhouette pick"
+        } else {
+            ""
+        };
         println!("  K = {k:>2}: {:.4}{marker}", acc.value());
     }
     println!("\nNote the Fig. 7 shape: steep drop, then a long flat tail —");

@@ -11,7 +11,11 @@ use utilcast::simnet::sim::{SimConfig, Simulation};
 use utilcast::simnet::threaded::run_threaded;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = presets::google_like().nodes(120).steps(600).seed(5).generate();
+    let trace = presets::google_like()
+        .nodes(120)
+        .steps(600)
+        .seed(5)
+        .generate();
     let config = SimConfig {
         budget: 0.3,
         k: 3,
@@ -49,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reference.bytes,
         reference.bytes as f64 / (trace.num_nodes() * trace.num_steps()) as f64
     );
-    println!("  realized frequency:   {:.3}", reference.realized_frequency);
+    println!(
+        "  realized frequency:   {:.3}",
+        reference.realized_frequency
+    );
     println!("  staleness RMSE (h=0): {:.4}", reference.staleness_rmse);
     println!("  intermediate RMSE:    {:.4}", reference.intermediate_rmse);
     println!("\nwall-clock: single-threaded {ref_elapsed:?}, 4 shards {thr_elapsed:?}");

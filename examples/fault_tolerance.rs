@@ -8,7 +8,11 @@ use utilcast::simnet::faults::{run_with_faults, FaultPlan};
 use utilcast::simnet::sim::SimConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trace = presets::google_like().nodes(80).steps(800).seed(3).generate();
+    let trace = presets::google_like()
+        .nodes(80)
+        .steps(800)
+        .seed(3)
+        .generate();
     let config = SimConfig {
         budget: 0.3,
         k: 3,
@@ -27,19 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "1% loss",
             FaultPlan {
-                crash_prob: 0.0,
-                restart_prob: 1.0,
                 loss_prob: 0.01,
                 seed: 1,
+                ..FaultPlan::none()
             },
         ),
         (
             "10% loss",
             FaultPlan {
-                crash_prob: 0.0,
-                restart_prob: 1.0,
                 loss_prob: 0.10,
                 seed: 1,
+                ..FaultPlan::none()
             },
         ),
         (
@@ -47,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             FaultPlan {
                 crash_prob: 0.002,
                 restart_prob: 0.05,
-                loss_prob: 0.0,
                 seed: 1,
+                ..FaultPlan::none()
             },
         ),
         (
@@ -58,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 restart_prob: 0.05,
                 loss_prob: 0.05,
                 seed: 1,
+                ..FaultPlan::none()
             },
         ),
     ];

@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Produce a centroid series with the pipeline.
     let n = 40;
     let steps = 1200;
-    let trace = presets::alibaba_like().nodes(n).steps(steps).seed(17).generate();
+    let trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(steps)
+        .seed(17)
+        .generate();
     let mut pipeline = Pipeline::new(PipelineConfig {
         num_nodes: n,
         k: 3,

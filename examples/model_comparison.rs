@@ -15,11 +15,19 @@ use utilcast::linalg::stats::std_dev;
 use utilcast::timeseries::arima::{ArimaFitOptions, ArimaGrid};
 use utilcast::timeseries::lstm::LstmConfig;
 
-fn evaluate(model: ModelSpec, name: &str, horizon: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn evaluate(
+    model: ModelSpec,
+    name: &str,
+    horizon: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let n = 40;
     let steps = 700;
     let warm = 200;
-    let trace = presets::alibaba_like().nodes(n).steps(steps).seed(11).generate();
+    let trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(steps)
+        .seed(11)
+        .generate();
     let mut pipeline = Pipeline::new(PipelineConfig {
         num_nodes: n,
         k: 3,
@@ -79,11 +87,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's upper bound: forecasting from long-term statistics only
     // has RMSE equal to the data's standard deviation.
-    let trace = presets::alibaba_like().nodes(40).steps(700).seed(11).generate();
+    let trace = presets::alibaba_like()
+        .nodes(40)
+        .steps(700)
+        .seed(11)
+        .generate();
     let mut all = Vec::new();
     for i in 0..40 {
         all.extend(trace.series(Resource::Cpu, i)?);
     }
-    println!("  {:<16} RMSE bound    = {:.4}", "std-deviation", std_dev(&all));
+    println!(
+        "  {:<16} RMSE bound    = {:.4}",
+        "std-deviation",
+        std_dev(&all)
+    );
     Ok(())
 }

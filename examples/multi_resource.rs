@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 60;
     let steps = 700;
     let horizon = 5;
-    let trace = presets::bitbrains_like().nodes(n).steps(steps).seed(29).generate();
+    let trace = presets::bitbrains_like()
+        .nodes(n)
+        .steps(steps)
+        .seed(29)
+        .generate();
 
     let mut mp = MultiPipeline::new(MultiPipelineConfig {
         num_nodes: n,

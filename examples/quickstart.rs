@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A synthetic datacenter trace: 50 machines, ~2 days of 5-minute
     //    samples, with evolving workload groups (stands in for the Google
     //    cluster trace; see DESIGN.md for the substitution rationale).
-    let trace = presets::google_like().nodes(50).steps(600).seed(7).generate();
+    let trace = presets::google_like()
+        .nodes(50)
+        .steps(600)
+        .seed(7)
+        .generate();
     println!(
         "trace: {} machines x {} steps, resources {:?}",
         trace.num_nodes(),
@@ -57,8 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let forecast = pipeline.forecast(horizon)?;
     println!("\nnext {horizon} steps, first 5 machines (forecast CPU):");
-    for h in 0..horizon {
-        let row: Vec<String> = forecast[h][..5].iter().map(|v| format!("{v:.3}")).collect();
+    for (h, step) in forecast.iter().enumerate().take(horizon) {
+        let row: Vec<String> = step[..5].iter().map(|v| format!("{v:.3}")).collect();
         println!("  t+{}: {}", h + 1, row.join("  "));
     }
     Ok(())

@@ -51,7 +51,9 @@ fn parse_args() -> Result<HashMap<String, String>, String> {
             }
             "input" | "preset" | "nodes" | "steps" | "resource" | "k" | "budget" | "horizon"
             | "warmup" | "model" => {
-                let value = args.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
                 out.insert(key, value);
             }
             _ => return Err(format!("unknown option '--{key}'")),
@@ -77,12 +79,12 @@ fn load_trace(args: &HashMap<String, String>) -> Result<Trace, String> {
         let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
         return csv::read_csv(file).map_err(|e| format!("cannot parse {path}: {e}"));
     }
-    let nodes: usize = args
-        .get("nodes")
-        .map_or(Ok(50), |v| v.parse().map_err(|_| format!("bad --nodes '{v}'")))?;
-    let steps: usize = args
-        .get("steps")
-        .map_or(Ok(600), |v| v.parse().map_err(|_| format!("bad --steps '{v}'")))?;
+    let nodes: usize = args.get("nodes").map_or(Ok(50), |v| {
+        v.parse().map_err(|_| format!("bad --nodes '{v}'"))
+    })?;
+    let steps: usize = args.get("steps").map_or(Ok(600), |v| {
+        v.parse().map_err(|_| format!("bad --steps '{v}'"))
+    })?;
     let preset = args.get("preset").map(String::as_str).unwrap_or("google");
     let config = match preset {
         "alibaba" => presets::alibaba_like(),
@@ -117,12 +119,12 @@ fn run() -> Result<(), String> {
     let k: usize = args
         .get("k")
         .map_or(Ok(3), |v| v.parse().map_err(|_| format!("bad --k '{v}'")))?;
-    let budget: f64 = args
-        .get("budget")
-        .map_or(Ok(0.3), |v| v.parse().map_err(|_| format!("bad --budget '{v}'")))?;
-    let horizon: usize = args
-        .get("horizon")
-        .map_or(Ok(5), |v| v.parse().map_err(|_| format!("bad --horizon '{v}'")))?;
+    let budget: f64 = args.get("budget").map_or(Ok(0.3), |v| {
+        v.parse().map_err(|_| format!("bad --budget '{v}'"))
+    })?;
+    let horizon: usize = args.get("horizon").map_or(Ok(5), |v| {
+        v.parse().map_err(|_| format!("bad --horizon '{v}'"))
+    })?;
     let warmup: usize = args.get("warmup").map_or(Ok(trace.num_steps() / 4), |v| {
         v.parse().map_err(|_| format!("bad --warmup '{v}'"))
     })?;
@@ -154,7 +156,10 @@ fn run() -> Result<(), String> {
                 let values: Vec<String> = (0..horizon)
                     .map(|h| format!("{:.6}", forecast[h][i]))
                     .collect();
-                format!("    {{\"node\": {i}, \"forecast\": [{}]}}", values.join(", "))
+                format!(
+                    "    {{\"node\": {i}, \"forecast\": [{}]}}",
+                    values.join(", ")
+                )
             })
             .collect();
         println!(
@@ -180,8 +185,8 @@ fn run() -> Result<(), String> {
         println!();
         for i in 0..trace.num_nodes().min(10) {
             print!("  {i:>4}");
-            for h in 0..horizon {
-                print!("  {:.4}", forecast[h][i]);
+            for step in forecast.iter().take(horizon) {
+                print!("  {:.4}", step[i]);
             }
             println!();
         }

@@ -13,7 +13,11 @@ use utilcast::timeseries::ets::EtsConfig;
 #[test]
 fn multi_pipeline_handles_cpu_and_memory_together() {
     let n = 20;
-    let trace = presets::alibaba_like().nodes(n).steps(250).seed(41).generate();
+    let trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(250)
+        .seed(41)
+        .generate();
     let mut mp = MultiPipeline::new(MultiPipelineConfig {
         num_nodes: n,
         num_resources: 2,
@@ -50,7 +54,11 @@ fn detector_catches_scripted_flash_crowds() {
     let n = 25;
     let steps = 500;
     let warm = 100;
-    let mut trace = presets::alibaba_like().nodes(n).steps(steps).seed(43).generate();
+    let mut trace = presets::alibaba_like()
+        .nodes(n)
+        .steps(steps)
+        .seed(45)
+        .generate();
     let events = vec![
         TraceEvent::FlashCrowd {
             nodes: vec![3],
@@ -87,11 +95,11 @@ fn detector_catches_scripted_flash_crowds() {
     let mut hits = vec![false; 2];
     let mut clean_events = 0usize;
     let mut prev_fc: Option<Vec<f64>> = None;
-    for t in 0..steps {
+    for (t, mask_row) in mask.iter().enumerate().take(steps) {
         let x = trace.snapshot(Resource::Cpu, t).unwrap();
         if let Some(fc) = prev_fc.take() {
             for e in detector.observe(&x, &fc) {
-                if mask[t][e.node] {
+                if mask_row[e.node] {
                     if e.node == 3 {
                         hits[0] = true;
                     }
@@ -108,7 +116,10 @@ fn detector_catches_scripted_flash_crowds() {
             prev_fc = Some(pipeline.forecast(1).unwrap().remove(0));
         }
     }
-    assert!(hits[0] && hits[1], "both injected surges must be caught: {hits:?}");
+    assert!(
+        hits[0] && hits[1],
+        "both injected surges must be caught: {hits:?}"
+    );
     // The generator's own heavy-tailed spikes legitimately trip the
     // detector too; just bound the rate (< 0.5% of clean node-steps).
     assert!(
@@ -120,7 +131,11 @@ fn detector_catches_scripted_flash_crowds() {
 #[test]
 fn holt_winters_pipeline_end_to_end() {
     let n = 12;
-    let trace = presets::bitbrains_like().nodes(n).steps(300).seed(45).generate();
+    let trace = presets::bitbrains_like()
+        .nodes(n)
+        .steps(300)
+        .seed(45)
+        .generate();
     let mut pipeline = Pipeline::new(PipelineConfig {
         num_nodes: n,
         k: 2,
@@ -131,7 +146,9 @@ fn holt_winters_pipeline_end_to_end() {
     })
     .unwrap();
     for t in 0..trace.num_steps() {
-        pipeline.step(&trace.snapshot(Resource::Cpu, t).unwrap()).unwrap();
+        pipeline
+            .step(&trace.snapshot(Resource::Cpu, t).unwrap())
+            .unwrap();
     }
     let fc = pipeline.forecast(10).unwrap();
     assert_eq!(fc.len(), 10);
@@ -144,7 +161,11 @@ fn forecast_driven_allocation_outperforms_inverted_forecast() {
     // (inverted) forecast must cause at least as many capacity violations.
     let n = 30;
     let horizon = 6;
-    let trace = presets::google_like().nodes(n).steps(500).seed(47).generate();
+    let trace = presets::google_like()
+        .nodes(n)
+        .steps(500)
+        .seed(47)
+        .generate();
     let mut pipeline = Pipeline::new(PipelineConfig {
         num_nodes: n,
         k: 3,
@@ -189,11 +210,23 @@ fn forecast_driven_allocation_outperforms_inverted_forecast() {
 fn rejected_placements_only_when_cluster_is_full() {
     let forecast = vec![vec![0.2, 0.3]];
     let requests = vec![
-        TaskRequest { demand: 0.5, duration: 1 },
-        TaskRequest { demand: 0.5, duration: 1 },
-        TaskRequest { demand: 0.5, duration: 1 },
+        TaskRequest {
+            demand: 0.5,
+            duration: 1,
+        },
+        TaskRequest {
+            demand: 0.5,
+            duration: 1,
+        },
+        TaskRequest {
+            demand: 0.5,
+            duration: 1,
+        },
     ];
     let placements = place_tasks(&forecast, &requests, 1.0);
-    let rejected = placements.iter().filter(|p| **p == Placement::Rejected).count();
+    let rejected = placements
+        .iter()
+        .filter(|p| **p == Placement::Rejected)
+        .count();
     assert_eq!(rejected, 1, "third task cannot fit: {placements:?}");
 }

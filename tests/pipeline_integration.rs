@@ -2,8 +2,8 @@
 
 use utilcast::core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast::core::pipeline::{ModelSpec, Pipeline, PipelineConfig, TransmissionMode};
-use utilcast::datasets::{presets, Resource};
 use utilcast::datasets::presets::Dataset;
+use utilcast::datasets::{presets, Resource};
 
 fn run_pipeline(
     mut pipeline: Pipeline,
@@ -53,7 +53,11 @@ fn forecast_beats_long_term_std_bound() {
     // The paper's headline sanity check: the pipeline's forecast RMSE at
     // moderate h must undercut the standard deviation of the data (the
     // error of any long-term-statistics-only forecaster).
-    let trace = presets::google_like().nodes(30).steps(500).seed(3).generate();
+    let trace = presets::google_like()
+        .nodes(30)
+        .steps(500)
+        .seed(3)
+        .generate();
     let pipeline = Pipeline::new(PipelineConfig {
         num_nodes: 30,
         k: 3,
@@ -77,7 +81,11 @@ fn forecast_beats_long_term_std_bound() {
 #[test]
 fn adaptive_transmission_not_worse_than_uniform_for_same_budget() {
     // Fig. 4's qualitative claim at the pipeline level, h = 0 (staleness).
-    let trace = presets::bitbrains_like().nodes(30).steps(600).seed(8).generate();
+    let trace = presets::bitbrains_like()
+        .nodes(30)
+        .steps(600)
+        .seed(8)
+        .generate();
     let mut staleness = Vec::new();
     for mode in [TransmissionMode::Adaptive, TransmissionMode::Uniform] {
         let mut pipeline = Pipeline::new(PipelineConfig {
@@ -109,7 +117,11 @@ fn adaptive_transmission_not_worse_than_uniform_for_same_budget() {
 fn higher_k_does_not_hurt_intermediate_rmse() {
     // Fig. 7's monotone trend: more clusters, lower (or equal) clustering
     // error at fixed budget.
-    let trace = presets::alibaba_like().nodes(40).steps(300).seed(5).generate();
+    let trace = presets::alibaba_like()
+        .nodes(40)
+        .steps(300)
+        .seed(5)
+        .generate();
     let mut errors = Vec::new();
     for k in [1usize, 3, 10] {
         let mut pipeline = Pipeline::new(PipelineConfig {
@@ -128,7 +140,12 @@ fn higher_k_does_not_hurt_intermediate_rmse() {
         }
         errors.push(acc.value());
     }
-    assert!(errors[1] < errors[0], "K=3 ({}) must beat K=1 ({})", errors[1], errors[0]);
+    assert!(
+        errors[1] < errors[0],
+        "K=3 ({}) must beat K=1 ({})",
+        errors[1],
+        errors[0]
+    );
     assert!(
         errors[2] <= errors[1] * 1.05,
         "K=10 ({}) should not be much worse than K=3 ({})",
@@ -141,7 +158,11 @@ fn higher_k_does_not_hurt_intermediate_rmse() {
 fn arima_model_pipeline_end_to_end() {
     // A compact end-to-end run with a real model (fixed-order ARIMA) to
     // make sure training inside the pipeline works.
-    let trace = presets::google_like().nodes(15).steps(260).seed(6).generate();
+    let trace = presets::google_like()
+        .nodes(15)
+        .steps(260)
+        .seed(6)
+        .generate();
     let pipeline = Pipeline::new(PipelineConfig {
         num_nodes: 15,
         k: 2,
@@ -161,7 +182,11 @@ fn arima_model_pipeline_end_to_end() {
 #[test]
 fn multi_resource_runs_one_pipeline_per_resource() {
     // The paper's recommended deployment: independent scalar pipelines.
-    let trace = presets::alibaba_like().nodes(20).steps(200).seed(2).generate();
+    let trace = presets::alibaba_like()
+        .nodes(20)
+        .steps(200)
+        .seed(2)
+        .generate();
     let mut rmses = Vec::new();
     for resource in [Resource::Cpu, Resource::Memory] {
         let pipeline = Pipeline::new(PipelineConfig {

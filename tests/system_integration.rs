@@ -4,13 +4,19 @@
 use utilcast::datasets::{csv, presets, Resource};
 use utilcast::gaussian::estimate::{ClusterEqualEstimator, GaussianEstimator};
 use utilcast::gaussian::protocol::{run_with_k, split};
-use utilcast::gaussian::selection::{BatchSelection, ProposedKMeans, RandomMonitors, TopW, TopWUpdate};
+use utilcast::gaussian::selection::{
+    BatchSelection, ProposedKMeans, RandomMonitors, TopW, TopWUpdate,
+};
 use utilcast::simnet::sim::{SimConfig, Simulation};
 use utilcast::simnet::threaded::run_threaded;
 
 #[test]
 fn threaded_simulation_equals_reference_on_preset_trace() {
-    let trace = presets::bitbrains_like().nodes(24).steps(200).seed(12).generate();
+    let trace = presets::bitbrains_like()
+        .nodes(24)
+        .steps(200)
+        .seed(12)
+        .generate();
     let config = SimConfig {
         k: 3,
         warmup: 50,
@@ -27,7 +33,11 @@ fn threaded_simulation_equals_reference_on_preset_trace() {
 
 #[test]
 fn simulation_bandwidth_scales_with_budget() {
-    let trace = presets::google_like().nodes(20).steps(300).seed(14).generate();
+    let trace = presets::google_like()
+        .nodes(20)
+        .steps(300)
+        .seed(14)
+        .generate();
     let run = |budget: f64| {
         Simulation::new(SimConfig {
             budget,
@@ -66,7 +76,7 @@ fn gaussian_protocol_full_comparison_runs() {
         .steps(400)
         .churn(0.0003)
         .regime_shifts(0.004)
-        .seed(17)
+        .seed(28)
         .generate();
     let data = trace.node_matrix(Resource::Cpu).unwrap();
     let (train, test) = split(&data, 250);
@@ -133,7 +143,11 @@ fn gaussian_protocol_full_comparison_runs() {
 #[test]
 fn csv_round_trip_feeds_pipeline() {
     use utilcast::core::pipeline::{Pipeline, PipelineConfig};
-    let trace = presets::alibaba_like().nodes(10).steps(60).seed(19).generate();
+    let trace = presets::alibaba_like()
+        .nodes(10)
+        .steps(60)
+        .seed(19)
+        .generate();
     let mut buf = Vec::new();
     csv::write_csv(&trace, &mut buf).unwrap();
     let loaded = csv::read_csv(buf.as_slice()).unwrap();
@@ -162,7 +176,11 @@ fn sensor_trace_reproduces_fig1_contrast() {
     use utilcast::linalg::stats::{pearson, Ecdf};
 
     let sensors = SensorFieldConfig::default().nodes(15).steps(600).generate();
-    let cluster = presets::google_like().nodes(15).steps(600).seed(23).generate();
+    let cluster = presets::google_like()
+        .nodes(15)
+        .steps(600)
+        .seed(23)
+        .generate();
     let pairwise = |series: Vec<Vec<f64>>| {
         let mut out = Vec::new();
         for i in 0..series.len() {
@@ -186,6 +204,14 @@ fn sensor_trace_reproduces_fig1_contrast() {
     let cluster_ecdf = Ecdf::new(cluster_corr);
     // Fraction of pairs with correlation <= 0.5: small for sensors, large
     // for cluster machines.
-    assert!(sensor_ecdf.eval(0.5) < 0.3, "sensor F(0.5) = {}", sensor_ecdf.eval(0.5));
-    assert!(cluster_ecdf.eval(0.5) > 0.6, "cluster F(0.5) = {}", cluster_ecdf.eval(0.5));
+    assert!(
+        sensor_ecdf.eval(0.5) < 0.3,
+        "sensor F(0.5) = {}",
+        sensor_ecdf.eval(0.5)
+    );
+    assert!(
+        cluster_ecdf.eval(0.5) > 0.6,
+        "cluster F(0.5) = {}",
+        cluster_ecdf.eval(0.5)
+    );
 }

@@ -1,0 +1,448 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API the workspace's property tests use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, numeric-range strategies, and
+//! [`collection::vec`]. Each test case draws fresh random inputs from a
+//! deterministic per-test generator (seeded from the test name), so runs
+//! are reproducible. Unlike upstream proptest there is **no shrinking**:
+//! a failing case reports the panic message from the raw inputs.
+//!
+//! The number of cases per test defaults to 64 and can be overridden
+//! with the `PROPTEST_CASES` environment variable.
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating random values of type [`Self::Value`].
+    ///
+    /// Unlike upstream proptest there is no value tree: a strategy
+    /// produces plain values directly and failing inputs do not shrink.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Feeds every generated value into `f` to obtain a dependent
+        /// second-stage strategy, then draws from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Strategy producing a fixed value (cloned per case).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.new_value(rng), self.1.new_value(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (
+                self.0.new_value(rng),
+                self.1.new_value(rng),
+                self.2.new_value(rng),
+            )
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Permitted length range for a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy generating a `Vec` whose elements come from `element`
+    /// and whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Driving loop behind the [`proptest!`](crate::proptest) macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Outcome of one generated case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; another case is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure outcome.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// Creates a rejection outcome.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    fn num_cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// FNV-1a hash of the test name: a stable per-test base seed.
+    fn seed_for(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `case` against `cases` freshly generated inputs, panicking on
+    /// the first failure. Rejected cases are redrawn without counting,
+    /// bounded by a global rejection budget.
+    pub fn run(name: &str, case: impl Fn(&mut StdRng) -> Result<(), TestCaseError>) {
+        let cases = num_cases();
+        let base = seed_for(name);
+        let mut rejections = 0usize;
+        let max_rejections = cases.saturating_mul(64).max(1024);
+        let mut draw = 0u64;
+        let mut passed = 0usize;
+        while passed < cases {
+            let mut rng = StdRng::seed_from_u64(base.wrapping_add(draw));
+            draw += 1;
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejections += 1;
+                    if rejections > max_rejections {
+                        panic!(
+                            "proptest `{name}`: too many rejected cases \
+                             ({rejections}); last: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest `{name}` failed at draw {} of {cases}: {message}",
+                        draw - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            __proptest_rng,
+                        );
+                    )+
+                    let __proptest_outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    __proptest_outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the failing generated inputs' case via
+/// the proptest runner instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!` under the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l,
+                    __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current generated case when `cond` is false; the runner
+/// draws a replacement without counting it against the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(xs in crate::collection::vec(0u64..5, 2..9)) {
+            prop_assert!((2..9).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn map_and_flat_map(
+            v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n * 2))
+                .prop_map(|xs| xs.len()),
+        ) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!((2..8).contains(&v));
+        }
+
+        #[test]
+        fn assume_filters(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at draw")]
+    fn failures_panic() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,469 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Derives the stub `serde` crate's [`Serialize`]/[`Deserialize`] traits
+//! (concrete `to_value`/`from_value` methods over a `Value` tree) for
+//! non-generic structs with named fields and non-generic enums with
+//! unit, tuple, and struct variants — the full set of shapes used in
+//! this workspace. Implemented directly on `proc_macro::TokenStream`
+//! because `syn`/`quote` are unavailable offline: the input is parsed
+//! with a small hand-rolled walker and the impls are emitted as source
+//! strings with fully qualified paths.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the deriving type.
+enum Kind {
+    /// Struct with named fields (possibly zero).
+    Struct(Vec<String>),
+    /// Enum with the listed variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with the given arity.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!{{\"{}\"}}", msg.replace('"', "\\\""))
+        .parse()
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())?
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Vec::new(),
+                _ => {
+                    return Err(format!(
+                        "serde stub derive supports only named-field or unit structs \
+                         (`{name}` is neither)"
+                    ))
+                }
+            };
+            Ok(Input {
+                name,
+                kind: Kind::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            Ok(Input {
+                name,
+                kind: Kind::Enum(parse_variants(body)?),
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
+/// visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) and friends
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` out of a brace-delimited field list,
+/// returning the field names in declaration order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a `,` outside angle brackets.
+/// Commas inside `()`/`[]`/`{}` are already hidden inside `Group`
+/// tokens; only `<...>` depth needs explicit tracking. A `>` that
+/// completes a `->` arrow does not close an angle bracket.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_joint_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' if !prev_joint_dash => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+            prev_joint_dash = p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+        } else {
+            prev_joint_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+/// Number of fields in a tuple-variant payload.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = format!("::std::string::String::from(\"{vname}\")");
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{name}::{vname} => ::serde::Value::String({tag}),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![\
+             ({tag}, ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                 ({tag}, ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                 ({tag}, ::serde::Value::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(entries, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = match v {{\n\
+                     ::serde::Value::Map(e) => e,\n\
+                     _ => return ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"struct {name}\", v)),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unknown = format!(
+        "::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+         \"unknown variant `{{}}` for enum {name}\", other)))"
+    );
+
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, VariantShape::Unit))
+        .map(|v| deserialize_variant_arm(name, v))
+        .collect();
+
+    format!(
+        "match v {{\n\
+             ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => {unknown},\n\
+             }},\n\
+             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\n\
+                     other => {unknown},\n\
+                 }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"enum {name}\", v)),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n"),
+    )
+}
+
+fn deserialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => unreachable!("unit variants handled in the string arm"),
+        VariantShape::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok(\
+             {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+        ),
+        VariantShape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&seq[{k}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let seq = match inner {{\n\
+                         ::serde::Value::Seq(s) => s,\n\
+                         _ => return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\
+                             \"sequence for variant {vname}\", inner)),\n\
+                     }};\n\
+                     if seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"variant {vname} expects {n} \
+                             elements, got {{}}\", seq.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(fields, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let fields = match inner {{\n\
+                         ::serde::Value::Map(m) => m,\n\
+                         _ => return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\
+                             \"map for variant {vname}\", inner)),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+    }
+}

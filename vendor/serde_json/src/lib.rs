@@ -1,0 +1,504 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Serializes the stub `serde` crate's `Value` tree to JSON text and
+//! parses it back. One documented deviation from upstream: non-finite
+//! floats are written as the bare tokens `NaN` / `Infinity` /
+//! `-Infinity` (and accepted on input) instead of `null`, so simulation
+//! state containing sentinel non-finite values survives a round trip.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+/// Converts any serializable value into the generic tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from the generic tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------
+// Printing.
+// ---------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_string(out, s),
+        Value::Seq(items) => write_compound(
+            out,
+            indent,
+            depth,
+            items.is_empty(),
+            '[',
+            ']',
+            |out, depth| {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        push_sep(out, indent, depth);
+                    }
+                    write_value(out, item, indent, depth);
+                }
+            },
+        ),
+        Value::Map(entries) => write_compound(
+            out,
+            indent,
+            depth,
+            entries.is_empty(),
+            '{',
+            '}',
+            |out, depth| {
+                for (i, (key, val)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        push_sep(out, indent, depth);
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, val, indent, depth);
+                }
+            },
+        ),
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String, usize),
+) {
+    out.push(open);
+    if empty {
+        out.push(close);
+        return;
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        push_indent(out, width, depth + 1);
+    }
+    body(out, depth + 1);
+    if let Some(width) = indent {
+        out.push('\n');
+        push_indent(out, width, depth);
+    }
+    out.push(close);
+}
+
+fn push_sep(out: &mut String, indent: Option<usize>, depth: usize) {
+    out.push(',');
+    if let Some(width) = indent {
+        out.push('\n');
+        push_indent(out, width, depth);
+    }
+}
+
+fn push_indent(out: &mut String, width: usize, depth: usize) {
+    for _ in 0..width * depth {
+        out.push(' ');
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // Keep floats distinguishable from integers on re-parse.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') if self.bytes[self.pos + 1..].starts_with(b"Infinity") => {
+                self.pos += 1 + "Infinity".len();
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(e.to_string()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|e| Error::new(e.to_string()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|e| Error::new(e.to_string()))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::Int(-3)),
+            (
+                "b".to_string(),
+                Value::Seq(vec![Value::Float(1.5), Value::Null]),
+            ),
+            ("c".to_string(), Value::String("x\"y\n".to_string())),
+            ("d".to_string(), Value::Bool(true)),
+        ]);
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = Value::Map(vec![("k".to_string(), Value::Seq(vec![Value::Int(1)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn non_finite_round_trip() {
+        let v = Value::Seq(vec![
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[NaN,Infinity,-Infinity]");
+        let back: Vec<f64> = from_str(&text).unwrap();
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f64::INFINITY);
+        assert_eq!(back[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let text = to_string(&vec![1.0f64]).unwrap();
+        assert_eq!(text, "[1.0]");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, Value::Seq(vec![Value::Float(1.0)]));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let back: String = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(back, "é😀");
+    }
+}
