@@ -106,7 +106,8 @@ impl ScalarClusterer for GreedyReindex {
         let (assignments, centroids) = match &self.history {
             None => (result.assignments, result.centroids),
             Some(prev) => {
-                let w = intersection_similarity(&result.assignments, &[prev], 1, self.k);
+                let w = intersection_similarity(&result.assignments, &[prev], 1, self.k)
+                    .expect("well-formed assignments");
                 let matching = greedy_matching(&w);
                 let assignments: Vec<usize> = result
                     .assignments

@@ -25,6 +25,28 @@ pub enum ClusteringError {
         /// Number of points supplied.
         points: usize,
     },
+    /// A warm-start initializer does not match the configuration or data.
+    InvalidInit {
+        /// What was wrong with the initializer.
+        reason: String,
+    },
+    /// An assignment vector contains a cluster label outside `[0, k)`.
+    MalformedAssignment {
+        /// Index of the offending node.
+        index: usize,
+        /// The out-of-range label.
+        label: usize,
+        /// The number of clusters the label must be below.
+        k: usize,
+    },
+    /// Two assignment vectors that must describe the same node population
+    /// have different lengths.
+    AssignmentLengthMismatch {
+        /// Length of the reference assignment vector.
+        expected: usize,
+        /// Length of the offending assignment vector.
+        found: usize,
+    },
 }
 
 impl fmt::Display for ClusteringError {
@@ -42,6 +64,21 @@ impl fmt::Display for ClusteringError {
             ),
             ClusteringError::TooManyClusters { k, points } => {
                 write!(f, "requested {k} clusters for {points} points")
+            }
+            ClusteringError::InvalidInit { reason } => {
+                write!(f, "invalid warm-start initializer: {reason}")
+            }
+            ClusteringError::MalformedAssignment { index, label, k } => {
+                write!(
+                    f,
+                    "assignment {label} at node {index} out of range (k = {k})"
+                )
+            }
+            ClusteringError::AssignmentLengthMismatch { expected, found } => {
+                write!(
+                    f,
+                    "assignment vector has {found} entries but expected {expected}"
+                )
             }
         }
     }

@@ -1,15 +1,63 @@
-//! Lloyd's k-means with k-means++ seeding.
+//! Lloyd's k-means with k-means++ seeding, deterministic parallelism, and
+//! warm starts.
 //!
 //! This is the per-time-step clustering primitive of the paper's dynamic
 //! clustering stage (Sec. V-B, first step). The paper clusters either scalar
 //! per-resource measurements (`d = 1`, the recommended mode) or joint
 //! multi-resource vectors; both are handled uniformly here.
+//!
+//! Because the controller re-runs clustering every time step, this module is
+//! the hot path of the whole system and is engineered accordingly:
+//!
+//! * **Deterministic parallelism** — [`KMeansConfig::threads`] distributes
+//!   the `n_init` restarts (each with a seed derived from the base seed and
+//!   its restart index) and the Lloyd assignment step (a pure per-point
+//!   function) over scoped threads. Results are **bit-identical at any
+//!   thread count**, including the sequential `threads = 1` path.
+//! * **Warm starts** — [`KMeans::fit_from`] runs a single Lloyd descent from
+//!   caller-supplied centroids (e.g. the previous time step's result), which
+//!   converges in a handful of iterations on slowly drifting data.
+//! * **Two kernels** — [`Kernel::CachedNorms`] (default) flattens points and
+//!   centroids into contiguous buffers allocated once per fit, ranks
+//!   centroids by `‖c‖² − 2·x·c` (the `‖x‖²` term is constant per point),
+//!   and derives the final inertia from the same identity with per-point
+//!   norms cached up front. [`Kernel::Exact`] is the original
+//!   implementation — exact squared-distance scans over the nested
+//!   `Vec<Vec<f64>>` representation with per-iteration buffer allocation —
+//!   kept selectable as the benchmark baseline and for differential
+//!   testing.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::parallel::{chunk_len, resolve_threads};
 use crate::ClusteringError;
+
+/// Minimum number of points before the assignment step fans out to
+/// threads; below this the spawn overhead dominates the scan itself.
+const MIN_PARALLEL_POINTS: usize = 256;
+
+/// Which Lloyd-iteration kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Reference kernel: exact squared-distance scans over the nested
+    /// point representation, allocating its accumulators on every
+    /// iteration. This is the original (pre-optimization) compute path,
+    /// kept selectable so benchmarks can compare against it and tests can
+    /// cross-check the optimized kernel. Always runs its descent
+    /// sequentially (restart-level parallelism still applies).
+    Exact,
+    /// Optimized kernel (default): points and centroids live in flat
+    /// contiguous buffers allocated once per fit, the assignment step
+    /// ranks centroids through cached squared norms, and the final
+    /// inertia reuses the cached per-point norms. Bit-identical at any
+    /// thread count; inertia may differ from [`Kernel::Exact`] in the
+    /// last few ulps because it is accumulated through the norm identity
+    /// (clamped at zero per point) rather than explicit differences.
+    #[default]
+    CachedNorms,
+}
 
 /// Configuration for [`KMeans`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -22,10 +70,18 @@ pub struct KMeansConfig {
     pub n_init: usize,
     /// Convergence tolerance on centroid movement (squared Euclidean).
     pub tol: f64,
-    /// RNG seed for deterministic seeding.
+    /// RNG seed for deterministic seeding. Each restart `r` derives its own
+    /// seed from `(seed, r)`, so restarts are independent of execution
+    /// order.
     pub seed: u64,
     /// Use k-means++ seeding (`true`, default) or uniform random seeding.
     pub plus_plus_init: bool,
+    /// Worker threads for the restarts and the Lloyd assignment step:
+    /// `0` = one per available CPU, `1` = fully sequential (default).
+    /// The result is bit-identical at every thread count.
+    pub threads: usize,
+    /// Lloyd-iteration kernel (see [`Kernel`]).
+    pub kernel: Kernel,
 }
 
 impl Default for KMeansConfig {
@@ -37,6 +93,8 @@ impl Default for KMeansConfig {
             tol: 1e-9,
             seed: 0,
             plus_plus_init: true,
+            threads: 1,
+            kernel: Kernel::CachedNorms,
         }
     }
 }
@@ -71,6 +129,261 @@ pub struct KMeans {
     config: KMeansConfig,
 }
 
+/// Derives the seed of restart `restart` from the base seed with a
+/// SplitMix64-style mix, so every restart is an independent deterministic
+/// stream regardless of which thread runs it.
+fn restart_seed(seed: u64, restart: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(restart.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Copies `points` into one contiguous `n * dim` buffer (row-major).
+fn flatten(points: &[Vec<f64>], n: usize, dim: usize) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(n * dim);
+    for p in points {
+        flat.extend_from_slice(p);
+    }
+    flat
+}
+
+/// Splits a flat `k * dim` centroid buffer back into `k` vectors.
+fn unflatten(flat: &[f64], k: usize, dim: usize) -> Vec<Vec<f64>> {
+    if dim == 0 {
+        return vec![Vec::new(); k];
+    }
+    flat.chunks_exact(dim).map(|c| c.to_vec()).collect()
+}
+
+/// Reusable per-fit buffers for the [`Kernel::CachedNorms`] path: one
+/// allocation per fit, reused by every Lloyd iteration.
+struct Scratch {
+    assignments: Vec<usize>,
+    /// The previous iteration's assignments, for the partition-fixed-point
+    /// convergence check.
+    prev_assignments: Vec<usize>,
+    /// `‖c‖² − 2·x·c` of each point's winning centroid, filled by the
+    /// assignment step and combined with `point_norms` into the inertia.
+    scores: Vec<f64>,
+    /// `‖x‖²` of every point, computed once per fit.
+    point_norms: Vec<f64>,
+    /// Flattened `k x dim` per-cluster coordinate sums.
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    centroid_norms: Vec<f64>,
+    /// Search structure of the scalar assignment fast path (unused unless
+    /// `dim == 1`).
+    scalar_index: ScalarIndex,
+}
+
+impl Scratch {
+    fn new(n: usize, k: usize, dim: usize) -> Self {
+        Scratch {
+            assignments: vec![0usize; n],
+            prev_assignments: vec![usize::MAX; n],
+            scores: vec![0.0; n],
+            point_norms: vec![0.0; n],
+            sums: vec![0.0; k * dim],
+            counts: vec![0usize; k],
+            centroid_norms: vec![0.0; k],
+            scalar_index: ScalarIndex::default(),
+        }
+    }
+}
+
+/// Index of and cached-norm score of the centroid minimizing `‖x − c‖²`,
+/// ranked as `‖c‖² − 2·x·c` (the `‖x‖²` term is constant per point). Strict
+/// `<` keeps the lowest index on ties, matching a naive sequential scan.
+/// The `dim == 1` arm is the scalar fast path for the paper's per-resource
+/// mode; it computes exactly the same expression as the general arm.
+fn nearest_by_norms(p: &[f64], centroids: &[f64], norms: &[f64]) -> (usize, f64) {
+    let dim = p.len();
+    let mut best = 0usize;
+    let mut best_score = f64::INFINITY;
+    if dim == 1 {
+        let x = p[0];
+        for (c, (&cv, &norm)) in centroids.iter().zip(norms).enumerate() {
+            let score = norm - 2.0 * (x * cv);
+            if score < best_score {
+                best = c;
+                best_score = score;
+            }
+        }
+    } else {
+        for (c, (centroid, &norm)) in centroids.chunks_exact(dim).zip(norms).enumerate() {
+            let mut dot = 0.0;
+            for (x, y) in p.iter().zip(centroid) {
+                dot += x * y;
+            }
+            let score = norm - 2.0 * dot;
+            if score < best_score {
+                best = c;
+                best_score = score;
+            }
+        }
+    }
+    (best, best_score)
+}
+
+/// Search structure of the scalar assignment fast path: the distinct
+/// centroid values in ascending order (each carrying the lowest original
+/// index among its duplicates) and the midpoints between consecutive
+/// values. The nearest centroid of a point `x` is then found by *counting*
+/// the midpoints below `x` — a short branchless loop instead of the
+/// `O(k)` score scan with its data-dependent best-so-far branch.
+#[derive(Default)]
+struct ScalarIndex {
+    /// Scratch for sorting `(value, original index)` pairs.
+    pairs: Vec<(f64, usize)>,
+    /// Lowest original index of each distinct value, ascending by value.
+    idx: Vec<usize>,
+    /// `midpoint(vals[j], vals[j + 1])` for consecutive distinct values.
+    thresholds: Vec<f64>,
+}
+
+impl ScalarIndex {
+    /// Rebuilds the index for the given centroid values.
+    fn build(&mut self, centroids: &[f64]) {
+        self.pairs.clear();
+        self.pairs.extend(centroids.iter().copied().zip(0..));
+        self.pairs
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.idx.clear();
+        self.thresholds.clear();
+        let mut prev = f64::NAN;
+        for &(v, i) in &self.pairs {
+            if v == prev {
+                // Duplicate value: same distance to every point, and the
+                // run's first entry already carries the lowest original
+                // index (ties sort by index), so later duplicates can
+                // never win.
+                continue;
+            }
+            if !self.idx.is_empty() {
+                self.thresholds.push(0.5 * (prev + v));
+            }
+            self.idx.push(i);
+            prev = v;
+        }
+    }
+
+    /// Original index of the centroid nearest to `x`. A point exactly on a
+    /// midpoint resolves to the lower value (the `>` comparison does not
+    /// count it), which is a fixed deterministic choice independent of
+    /// thread count.
+    #[inline]
+    fn nearest(&self, x: f64) -> usize {
+        let mut c = 0usize;
+        for &t in &self.thresholds {
+            c += (x > t) as usize;
+        }
+        self.idx[c]
+    }
+}
+
+/// [`assign_step`] specialized to one-dimensional points (the paper's
+/// per-resource scalar mode): ranks each point against the sorted distinct
+/// centroid values via [`ScalarIndex`]. The winning score is the same
+/// `‖c‖² − 2·x·c` expression the generic path produces, so inertia and
+/// empty-cluster reseeding are unaffected by which path ran. Falls back to
+/// the generic scan when a centroid is non-finite (the sorted order would
+/// be meaningless). Pure per point, so the fan-out is identical at any
+/// worker count.
+fn assign_step_scalar(
+    flat: &[f64],
+    centroids: &[f64],
+    norms: &[f64],
+    index: &mut ScalarIndex,
+    assignments: &mut [usize],
+    scores: &mut [f64],
+    workers: usize,
+) {
+    if !centroids.iter().all(|v| v.is_finite()) {
+        assign_step(flat, 1, centroids, norms, assignments, scores, workers);
+        return;
+    }
+    index.build(centroids);
+    let index = &*index;
+    let assign_run = |pts: &[f64], asg: &mut [usize], scs: &mut [f64]| {
+        for ((&x, a), s) in pts.iter().zip(asg.iter_mut()).zip(scs.iter_mut()) {
+            let best = index.nearest(x);
+            *a = best;
+            *s = norms[best] - 2.0 * (x * centroids[best]);
+        }
+    };
+    let n = assignments.len();
+    if workers <= 1 || n < MIN_PARALLEL_POINTS {
+        assign_run(flat, assignments, scores);
+        return;
+    }
+    let chunk = chunk_len(n, workers);
+    std::thread::scope(|scope| {
+        for ((pts, asg), scs) in flat
+            .chunks(chunk)
+            .zip(assignments.chunks_mut(chunk))
+            .zip(scores.chunks_mut(chunk))
+        {
+            let assign_run = &assign_run;
+            scope.spawn(move || assign_run(pts, asg, scs));
+        }
+    });
+}
+
+/// Runs the assignment step over the flat point buffer, fanned out over
+/// scoped threads when `workers > 1` and the input is large enough. Every
+/// entry is a pure function of its point, so the result is identical at any
+/// worker count.
+#[allow(clippy::too_many_arguments)]
+fn assign_step(
+    flat: &[f64],
+    dim: usize,
+    centroids: &[f64],
+    norms: &[f64],
+    assignments: &mut [usize],
+    scores: &mut [f64],
+    workers: usize,
+) {
+    let n = assignments.len();
+    if workers <= 1 || n < MIN_PARALLEL_POINTS {
+        for ((p, a), s) in flat
+            .chunks_exact(dim)
+            .zip(assignments.iter_mut())
+            .zip(scores.iter_mut())
+        {
+            (*a, *s) = nearest_by_norms(p, centroids, norms);
+        }
+        return;
+    }
+    let chunk = chunk_len(n, workers);
+    std::thread::scope(|scope| {
+        for ((pts, asg), scs) in flat
+            .chunks(chunk * dim)
+            .zip(assignments.chunks_mut(chunk))
+            .zip(scores.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for ((p, a), s) in pts
+                    .chunks_exact(dim)
+                    .zip(asg.iter_mut())
+                    .zip(scs.iter_mut())
+                {
+                    (*a, *s) = nearest_by_norms(p, centroids, norms);
+                }
+            });
+        }
+    });
+}
+
+/// Recomputes `‖c‖²` for every centroid in the flat buffer into `norms`.
+fn refresh_norms(centroids: &[f64], dim: usize, norms: &mut [f64]) {
+    for (norm, c) in norms.iter_mut().zip(centroids.chunks_exact(dim)) {
+        *norm = c.iter().map(|v| v * v).sum();
+    }
+}
+
 impl KMeans {
     /// Creates a clusterer with the given configuration.
     pub fn new(config: KMeansConfig) -> Self {
@@ -82,24 +395,12 @@ impl KMeans {
         &self.config
     }
 
-    /// Clusters `points` into `k` groups.
-    ///
-    /// If `k` is at least the number of points, each point becomes its own
-    /// cluster (extra clusters duplicate existing points, matching the
-    /// paper's `K = N` mode in Fig. 7 where the intermediate error reduces to
-    /// pure staleness error).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ClusteringError::EmptyInput`] for no points,
-    /// [`ClusteringError::ZeroClusters`] for `k == 0`, and
-    /// [`ClusteringError::DimensionMismatch`] for ragged input.
-    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, ClusteringError> {
-        let cfg = &self.config;
+    /// Validates the input and returns its dimensionality.
+    fn validate(&self, points: &[Vec<f64>]) -> Result<usize, ClusteringError> {
         if points.is_empty() {
             return Err(ClusteringError::EmptyInput);
         }
-        if cfg.k == 0 {
+        if self.config.k == 0 {
             return Err(ClusteringError::ZeroClusters);
         }
         let dim = points[0].len();
@@ -112,25 +413,85 @@ impl KMeans {
                 });
             }
         }
-        let n = points.len();
-        if cfg.k >= n {
-            // Degenerate: every point is its own centroid.
-            let mut centroids: Vec<Vec<f64>> = points.to_vec();
-            while centroids.len() < cfg.k {
-                centroids.push(points[centroids.len() % n].clone());
-            }
-            return Ok(KMeansResult {
-                assignments: (0..n).collect(),
-                centroids,
-                inertia: 0.0,
-                iterations: 0,
-            });
-        }
+        Ok(dim)
+    }
 
+    /// The kernel to actually run: zero-dimensional points carry no
+    /// distance information, so they take the nested reference path (the
+    /// flat kernel's chunked iteration needs `dim >= 1`).
+    fn effective_kernel(&self, dim: usize) -> Kernel {
+        if dim == 0 {
+            Kernel::Exact
+        } else {
+            self.config.kernel
+        }
+    }
+
+    /// The `k >= n` degenerate result: every point is its own centroid
+    /// (extra clusters duplicate existing points, matching the paper's
+    /// `K = N` mode in Fig. 7 where the intermediate error reduces to pure
+    /// staleness error). Builds the centroid list in a single pass instead
+    /// of cloning the whole point set and then topping it up.
+    fn degenerate(&self, points: &[Vec<f64>]) -> KMeansResult {
+        let n = points.len();
+        KMeansResult {
+            assignments: (0..n).collect(),
+            centroids: (0..self.config.k).map(|c| points[c % n].clone()).collect(),
+            inertia: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Clusters `points` into `k` groups.
+    ///
+    /// If `k` is at least the number of points, each point becomes its own
+    /// cluster (see [`KMeans::fit_from`] for the warm-start variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::EmptyInput`] for no points,
+    /// [`ClusteringError::ZeroClusters`] for `k == 0`, and
+    /// [`ClusteringError::DimensionMismatch`] for ragged input.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, ClusteringError> {
+        let cfg = &self.config;
+        let dim = self.validate(points)?;
+        if cfg.k >= points.len() {
+            return Ok(self.degenerate(points));
+        }
+        let n = points.len();
+        let flat = flatten(points, n, dim);
+        let n_init = cfg.n_init.max(1);
+        let workers = resolve_threads(cfg.threads);
+        let runs: Vec<KMeansResult> = if workers > 1 && n_init > 1 {
+            // Parallel restarts: each restart derives its own seed and runs
+            // a fully sequential Lloyd descent, so the per-restart results
+            // do not depend on which thread computed them.
+            let mut slots: Vec<Option<KMeansResult>> = (0..n_init).map(|_| None).collect();
+            let chunk = chunk_len(n_init, workers);
+            std::thread::scope(|scope| {
+                for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let flat = &flat;
+                    scope.spawn(move || {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot =
+                                Some(self.fit_once(points, flat, dim, (w * chunk + off) as u64, 1));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every restart slot filled"))
+                .collect()
+        } else {
+            (0..n_init)
+                .map(|r| self.fit_once(points, &flat, dim, r as u64, workers))
+                .collect()
+        };
+        // Reduce in restart order: earliest restart wins ties, so the
+        // winner is independent of execution order.
         let mut best: Option<KMeansResult> = None;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        for _ in 0..cfg.n_init.max(1) {
-            let run = self.fit_once(points, &mut rng);
+        for run in runs {
             match &best {
                 Some(b) if b.inertia <= run.inertia => {}
                 _ => best = Some(run),
@@ -139,15 +500,246 @@ impl KMeans {
         Ok(best.expect("n_init >= 1 guarantees one run"))
     }
 
-    fn fit_once(&self, points: &[Vec<f64>], rng: &mut StdRng) -> KMeansResult {
+    /// Clusters `points` starting Lloyd's descent from the given centroids
+    /// (warm start) instead of random seeding. On slowly drifting data —
+    /// the paper's temporal-continuity setting — a warm start from the
+    /// previous step's centroids is near-converged and replaces `n_init`
+    /// cold restarts with a single short descent.
+    ///
+    /// The degenerate `k >= n` case behaves exactly like [`KMeans::fit`]
+    /// (the initializer is irrelevant there).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same input errors as [`KMeans::fit`], plus
+    /// [`ClusteringError::InvalidInit`] when `init` does not contain
+    /// exactly `k` centroids of the points' dimensionality.
+    pub fn fit_from(
+        &self,
+        points: &[Vec<f64>],
+        init: &[Vec<f64>],
+    ) -> Result<KMeansResult, ClusteringError> {
+        let cfg = &self.config;
+        let dim = self.validate(points)?;
+        if cfg.k >= points.len() {
+            return Ok(self.degenerate(points));
+        }
+        if init.len() != cfg.k {
+            return Err(ClusteringError::InvalidInit {
+                reason: format!("{} centroids supplied for k = {}", init.len(), cfg.k),
+            });
+        }
+        if let Some(bad) = init.iter().find(|c| c.len() != dim) {
+            return Err(ClusteringError::InvalidInit {
+                reason: format!(
+                    "centroid has dimension {} but points have dimension {dim}",
+                    bad.len()
+                ),
+            });
+        }
+        match self.effective_kernel(dim) {
+            Kernel::Exact => Ok(self.lloyd_exact(points, init.to_vec())),
+            Kernel::CachedNorms => {
+                let n = points.len();
+                let flat = flatten(points, n, dim);
+                let init_flat = flatten(init, cfg.k, dim);
+                Ok(self.lloyd_flat(&flat, n, dim, init_flat, resolve_threads(cfg.threads)))
+            }
+        }
+    }
+
+    /// One restart: seed centroids from the restart's derived RNG stream,
+    /// then run Lloyd's descent through the configured kernel.
+    fn fit_once(
+        &self,
+        points: &[Vec<f64>],
+        flat: &[f64],
+        dim: usize,
+        restart: u64,
+        workers: usize,
+    ) -> KMeansResult {
+        let mut rng = StdRng::seed_from_u64(restart_seed(self.config.seed, restart));
+        let n = points.len();
+        let init = if self.config.plus_plus_init {
+            plus_plus_seed(flat, n, dim, self.config.k, &mut rng)
+        } else {
+            random_seed(flat, n, dim, self.config.k, &mut rng)
+        };
+        match self.effective_kernel(dim) {
+            Kernel::Exact => self.lloyd_exact(points, unflatten(&init, self.config.k, dim)),
+            Kernel::CachedNorms => self.lloyd_flat(flat, n, dim, init, workers),
+        }
+    }
+
+    /// Optimized Lloyd descent over the flat buffers. All floating-point
+    /// reductions (centroid sums, movement, inertia) run sequentially in
+    /// point/cluster order on the calling thread; only the pure per-point
+    /// assignment scan fans out, so the result is bit-identical at any
+    /// `workers` count.
+    fn lloyd_flat(
+        &self,
+        flat: &[f64],
+        n: usize,
+        dim: usize,
+        mut centroids: Vec<f64>,
+        workers: usize,
+    ) -> KMeansResult {
+        let cfg = &self.config;
+        let k = cfg.k;
+        let mut scratch = Scratch::new(n, k, dim);
+        for (pn, p) in scratch.point_norms.iter_mut().zip(flat.chunks_exact(dim)) {
+            *pn = p.iter().map(|v| v * v).sum();
+        }
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            // Assignment step (parallel, pure per point).
+            refresh_norms(&centroids, dim, &mut scratch.centroid_norms);
+            if dim == 1 {
+                assign_step_scalar(
+                    flat,
+                    &centroids,
+                    &scratch.centroid_norms,
+                    &mut scratch.scalar_index,
+                    &mut scratch.assignments,
+                    &mut scratch.scores,
+                    workers,
+                );
+            } else {
+                assign_step(
+                    flat,
+                    dim,
+                    &centroids,
+                    &scratch.centroid_norms,
+                    &mut scratch.assignments,
+                    &mut scratch.scores,
+                    workers,
+                );
+            }
+            // Partition fixed point: if the assignment reproduced the
+            // previous iteration's partition, the update step recomputes
+            // exactly the same means (same sums in the same order), so the
+            // centroids would not move and the final re-assignment pass
+            // would reproduce the scan we just did. Stop here and reuse
+            // the assignments and scores — bit-identical to running the
+            // no-op update plus the final pass, one full scan cheaper.
+            if iter > 0 && scratch.assignments == scratch.prev_assignments {
+                converged = true;
+                break;
+            }
+            scratch
+                .prev_assignments
+                .copy_from_slice(&scratch.assignments);
+            // Update step (sequential, fixed accumulation order). The
+            // scalar arm performs the same additions in the same order as
+            // the generic one, without the per-point slice bookkeeping.
+            scratch.sums.fill(0.0);
+            scratch.counts.fill(0);
+            if dim == 1 {
+                for (&x, &a) in flat.iter().zip(&scratch.assignments) {
+                    scratch.counts[a] += 1;
+                    scratch.sums[a] += x;
+                }
+            } else {
+                for (p, &a) in flat.chunks_exact(dim).zip(&scratch.assignments) {
+                    scratch.counts[a] += 1;
+                    for (s, v) in scratch.sums[a * dim..(a + 1) * dim].iter_mut().zip(p) {
+                        *s += v;
+                    }
+                }
+            }
+            let mut movement: f64 = 0.0;
+            for c in 0..k {
+                if scratch.counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from its
+                    // assigned centroid to keep exactly k non-empty
+                    // clusters.
+                    let far = (0..n)
+                        .max_by(|&i, &j| {
+                            let ai = scratch.assignments[i];
+                            let aj = scratch.assignments[j];
+                            let da = sq_dist(
+                                &flat[i * dim..(i + 1) * dim],
+                                &centroids[ai * dim..(ai + 1) * dim],
+                            );
+                            let db = sq_dist(
+                                &flat[j * dim..(j + 1) * dim],
+                                &centroids[aj * dim..(aj + 1) * dim],
+                            );
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("points non-empty");
+                    let far_pt = &flat[far * dim..(far + 1) * dim];
+                    movement += sq_dist(&centroids[c * dim..(c + 1) * dim], far_pt);
+                    centroids[c * dim..(c + 1) * dim].copy_from_slice(far_pt);
+                    continue;
+                }
+                let count = scratch.counts[c] as f64;
+                let mut delta = 0.0;
+                for (coord, s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&scratch.sums[c * dim..(c + 1) * dim])
+                {
+                    let new = s / count;
+                    delta += (*coord - new) * (*coord - new);
+                    *coord = new;
+                }
+                movement += delta;
+            }
+            if movement <= cfg.tol {
+                break;
+            }
+        }
+        // Final assignment pass (skipped when the loop already ended on a
+        // fixed-point assignment scan against the final centroids); the
+        // inertia combines the cached per-point norms with the winning
+        // scores (`‖x‖² + ‖c‖² − 2·x·c`), clamped at zero per point,
+        // accumulated sequentially in point order.
+        if !converged {
+            refresh_norms(&centroids, dim, &mut scratch.centroid_norms);
+            if dim == 1 {
+                assign_step_scalar(
+                    flat,
+                    &centroids,
+                    &scratch.centroid_norms,
+                    &mut scratch.scalar_index,
+                    &mut scratch.assignments,
+                    &mut scratch.scores,
+                    workers,
+                );
+            } else {
+                assign_step(
+                    flat,
+                    dim,
+                    &centroids,
+                    &scratch.centroid_norms,
+                    &mut scratch.assignments,
+                    &mut scratch.scores,
+                    workers,
+                );
+            }
+        }
+        let mut inertia = 0.0;
+        for (&pn, &s) in scratch.point_norms.iter().zip(&scratch.scores) {
+            inertia += (pn + s).max(0.0);
+        }
+        KMeansResult {
+            assignments: scratch.assignments,
+            centroids: unflatten(&centroids, k, dim),
+            inertia,
+            iterations,
+        }
+    }
+
+    /// Reference Lloyd descent ([`Kernel::Exact`]): the original
+    /// implementation, byte-for-byte — exact distance scans over the
+    /// nested representation, fresh accumulators every iteration, always
+    /// sequential.
+    fn lloyd_exact(&self, points: &[Vec<f64>], mut centroids: Vec<Vec<f64>>) -> KMeansResult {
         let cfg = &self.config;
         let n = points.len();
         let k = cfg.k;
-        let mut centroids = if cfg.plus_plus_init {
-            plus_plus_seed(points, k, rng)
-        } else {
-            random_seed(points, k, rng)
-        };
         let mut assignments = vec![0usize; n];
         let mut iterations = 0;
         for iter in 0..cfg.max_iters {
@@ -169,7 +761,8 @@ impl KMeans {
             for c in 0..k {
                 if counts[c] == 0 {
                     // Empty cluster: re-seed at the point farthest from its
-                    // assigned centroid to keep exactly k non-empty clusters.
+                    // assigned centroid to keep exactly k non-empty
+                    // clusters.
                     let far = points
                         .iter()
                         .enumerate()
@@ -192,7 +785,7 @@ impl KMeans {
                 break;
             }
         }
-        // Final assignment pass and inertia.
+        // Final assignment pass and exact inertia.
         let mut inertia = 0.0;
         for (i, p) in points.iter().enumerate() {
             let (c, d) = nearest_centroid(p, &centroids);
@@ -231,22 +824,31 @@ pub fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     best
 }
 
-fn random_seed(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
-    // Sample k distinct indices by partial Fisher-Yates.
-    let mut idx: Vec<usize> = (0..points.len()).collect();
+/// Uniform random seeding over the flat point buffer: `k` distinct indices
+/// by partial Fisher-Yates, returned as a flat `k * dim` centroid buffer.
+fn random_seed(flat: &[f64], n: usize, dim: usize, k: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..k {
         let j = rng.gen_range(i..idx.len());
         idx.swap(i, j);
     }
-    idx[..k].iter().map(|&i| points[i].clone()).collect()
+    let mut out = Vec::with_capacity(k * dim);
+    for &i in &idx[..k] {
+        out.extend_from_slice(&flat[i * dim..(i + 1) * dim]);
+    }
+    out
 }
 
-fn plus_plus_seed(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
-    let n = points.len();
-    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..n)].clone());
-    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
-    while centroids.len() < k {
+/// K-means++ seeding over the flat point buffer, returned as a flat
+/// `k * dim` centroid buffer. Draws the same RNG sequence as the nested
+/// reference implementation.
+fn plus_plus_seed(flat: &[f64], n: usize, dim: usize, k: usize, rng: &mut StdRng) -> Vec<f64> {
+    let pt = |i: usize| &flat[i * dim..(i + 1) * dim];
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(pt(first));
+    let mut dists: Vec<f64> = (0..n).map(|i| sq_dist(pt(i), pt(first))).collect();
+    for _ in 1..k {
         let total: f64 = dists.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with existing centroids; pick uniformly.
@@ -263,11 +865,11 @@ fn plus_plus_seed(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             }
             chosen
         };
-        centroids.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, centroids.last().expect("just pushed"));
-            if d < dists[i] {
-                dists[i] = d;
+        centroids.extend_from_slice(pt(next));
+        for (i, d) in dists.iter_mut().enumerate() {
+            let nd = sq_dist(pt(i), pt(next));
+            if nd < *d {
+                *d = nd;
             }
         }
     }
@@ -287,6 +889,17 @@ mod tests {
             pts.push(vec![5.0 + i as f64 * 0.01, 5.0]);
         }
         pts
+    }
+
+    fn blob_field(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let cx = (i % 5) as f64 * 2.0;
+                let cy = (i % 3) as f64 * 3.0;
+                vec![cx + rng.gen::<f64>() * 0.2, cy + rng.gen::<f64>() * 0.2]
+            })
+            .collect()
     }
 
     #[test]
@@ -375,6 +988,208 @@ mod tests {
     }
 
     #[test]
+    fn bit_identical_across_thread_counts() {
+        let pts = blob_field(600, 11);
+        let base = KMeans::new(KMeansConfig {
+            k: 8,
+            n_init: 4,
+            seed: 77,
+            threads: 1,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        for threads in [0, 2, 3, 8] {
+            let res = KMeans::new(KMeansConfig {
+                k: 8,
+                n_init: 4,
+                seed: 77,
+                threads,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap();
+            assert_eq!(res, base, "threads = {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn exact_kernel_agrees_with_optimized_kernel() {
+        // Differential test: the reference kernel and the optimized kernel
+        // must land on the same clustering (FP tie-breaks could in theory
+        // differ, but not on well-separated deterministic data).
+        let pts = blob_field(400, 13);
+        let mk = |kernel: Kernel| {
+            KMeans::new(KMeansConfig {
+                k: 6,
+                n_init: 3,
+                seed: 17,
+                kernel,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap()
+        };
+        let exact = mk(Kernel::Exact);
+        let fast = mk(Kernel::CachedNorms);
+        assert_eq!(exact.assignments, fast.assignments);
+        assert!(
+            (exact.inertia - fast.inertia).abs() <= 1e-9 * (1.0 + exact.inertia),
+            "inertia diverged: {} vs {}",
+            exact.inertia,
+            fast.inertia
+        );
+        for (a, b) in exact.centroids.iter().zip(&fast.centroids) {
+            assert!(sq_dist(a, b) < 1e-18);
+        }
+    }
+
+    #[test]
+    fn scalar_fast_path_agrees_with_exact_kernel() {
+        // The dim == 1 binary-search assignment must land on the same
+        // clustering as the reference kernel's naive score scan.
+        let pts: Vec<Vec<f64>> = (0..500)
+            .map(|i| {
+                let band = (i % 7) as f64 / 7.0;
+                vec![band + 0.03 * (((i * 37) % 100) as f64 / 100.0 - 0.5)]
+            })
+            .collect();
+        let mk = |kernel: Kernel| {
+            KMeans::new(KMeansConfig {
+                k: 7,
+                n_init: 4,
+                seed: 23,
+                kernel,
+                ..Default::default()
+            })
+            .fit(&pts)
+            .unwrap()
+        };
+        let exact = mk(Kernel::Exact);
+        let fast = mk(Kernel::CachedNorms);
+        assert_eq!(exact.assignments, fast.assignments);
+        assert!(
+            (exact.inertia - fast.inertia).abs() <= 1e-9 * (1.0 + exact.inertia),
+            "inertia diverged: {} vs {}",
+            exact.inertia,
+            fast.inertia
+        );
+        for (a, b) in exact.centroids.iter().zip(&fast.centroids) {
+            assert!(sq_dist(a, b) < 1e-18);
+        }
+    }
+
+    #[test]
+    fn scalar_nearest_resolves_ties_to_lowest_index() {
+        // Duplicate centroid values: the run's lowest original index wins,
+        // at both ends of the sorted order and in the middle.
+        let centroids = [0.8, 0.2, 0.8, 0.2, 0.5];
+        let mut norms = vec![0.0; centroids.len()];
+        refresh_norms(&centroids, 1, &mut norms);
+        let mut index = ScalarIndex::default();
+        let mut assignments = vec![0usize; 3];
+        let mut scores = vec![0.0; 3];
+        assign_step_scalar(
+            &[0.1, 0.9, 0.5],
+            &centroids,
+            &norms,
+            &mut index,
+            &mut assignments,
+            &mut scores,
+            1,
+        );
+        // 0.1 -> duplicate 0.2s, index 1; 0.9 -> duplicate 0.8s, index 0;
+        // 0.5 -> unique 0.5, index 4.
+        assert_eq!(assignments, vec![1, 0, 4]);
+    }
+
+    #[test]
+    fn zero_dimensional_points_dont_panic() {
+        let pts = vec![Vec::new(); 5];
+        let res = KMeans::new(KMeansConfig {
+            k: 2,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(&pts)
+        .unwrap();
+        assert_eq!(res.assignments.len(), 5);
+        assert_eq!(res.inertia, 0.0);
+    }
+
+    #[test]
+    fn warm_start_from_solution_converges_immediately() {
+        let pts = two_blobs();
+        let km = KMeans::new(KMeansConfig {
+            k: 2,
+            seed: 3,
+            ..Default::default()
+        });
+        let cold = km.fit(&pts).unwrap();
+        let warm = km.fit_from(&pts, &cold.centroids).unwrap();
+        assert_eq!(warm.assignments, cold.assignments);
+        assert!(warm.iterations <= 2, "iterations = {}", warm.iterations);
+        assert!((warm.inertia - cold.inertia).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_is_thread_count_invariant() {
+        let pts = blob_field(600, 4);
+        let km1 = KMeans::new(KMeansConfig {
+            k: 6,
+            seed: 5,
+            threads: 1,
+            ..Default::default()
+        });
+        let init = km1.fit(&pts).unwrap().centroids;
+        let base = km1.fit_from(&pts, &init).unwrap();
+        for threads in [2, 8] {
+            let km = KMeans::new(KMeansConfig {
+                k: 6,
+                seed: 5,
+                threads,
+                ..Default::default()
+            });
+            assert_eq!(km.fit_from(&pts, &init).unwrap(), base);
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_malformed_init() {
+        let pts = two_blobs();
+        let km = KMeans::new(KMeansConfig {
+            k: 2,
+            ..Default::default()
+        });
+        assert!(matches!(
+            km.fit_from(&pts, &[vec![0.0, 0.0]]).unwrap_err(),
+            ClusteringError::InvalidInit { .. }
+        ));
+        assert!(matches!(
+            km.fit_from(&pts, &[vec![0.0], vec![1.0]]).unwrap_err(),
+            ClusteringError::InvalidInit { .. }
+        ));
+    }
+
+    #[test]
+    fn warm_start_degenerate_matches_cold() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::new(KMeansConfig {
+            k: 5,
+            ..Default::default()
+        });
+        let cold = km.fit(&pts).unwrap();
+        // The initializer is irrelevant in the k >= n mode.
+        let warm = km
+            .fit_from(
+                &pts,
+                &[vec![0.0], vec![0.0], vec![0.0], vec![0.0], vec![0.0]],
+            )
+            .unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
     fn identical_points_dont_panic() {
         let pts = vec![vec![1.0, 1.0]; 8];
         let res = KMeans::new(KMeansConfig {
@@ -426,6 +1241,23 @@ mod tests {
         let (c, d) = nearest_centroid(&[5.0], &centroids);
         assert_eq!(c, 2);
         assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_norm_kernel_matches_exact_nearest() {
+        let pts = blob_field(300, 9);
+        let km = KMeans::new(KMeansConfig {
+            k: 7,
+            seed: 21,
+            ..Default::default()
+        });
+        let res = km.fit(&pts).unwrap();
+        // Every reported assignment is at least as close as any exact-scan
+        // alternative (ties may legitimately differ between kernels).
+        for (p, &a) in pts.iter().zip(&res.assignments) {
+            let (_, exact_d) = nearest_centroid(p, &res.centroids);
+            assert!(sq_dist(p, &res.centroids[a]) <= exact_d + 1e-9);
+        }
     }
 
     #[test]

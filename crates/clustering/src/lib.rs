@@ -35,6 +35,7 @@ pub mod baselines;
 mod error;
 pub mod hungarian;
 pub mod kmeans;
+pub mod parallel;
 pub mod quality;
 pub mod similarity;
 

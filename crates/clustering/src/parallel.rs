@@ -1,0 +1,64 @@
+//! Thread-count resolution for the deterministic parallel hot path.
+//!
+//! Every parallel algorithm in this workspace takes a `threads` knob with
+//! the same convention: `0` means one worker per available CPU, `1` means
+//! run inline on the caller's thread, and any other value is used as-is.
+//! The algorithms are written so their results are **bit-identical at any
+//! thread count** — parallelism only changes wall-clock time, never output.
+
+/// Resolves a `threads` knob to an actual worker count (always `>= 1`).
+///
+/// `0` maps to [`std::thread::available_parallelism`] (or 1 if that fails);
+/// any other value is returned unchanged.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_clustering::parallel::resolve_threads;
+///
+/// assert_eq!(resolve_threads(1), 1);
+/// assert_eq!(resolve_threads(4), 4);
+/// assert!(resolve_threads(0) >= 1);
+/// ```
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Splits `n` items over `workers` threads: the contiguous chunk length
+/// such that every item is covered and no chunk is empty (for `n > 0`).
+pub fn chunk_len(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_counts_pass_through() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn zero_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_all_items() {
+        for n in 1..40 {
+            for w in 1..9 {
+                let c = chunk_len(n, w);
+                assert!(c * w >= n, "n={n} w={w} chunk={c}");
+                assert!(c >= 1);
+            }
+        }
+    }
+}

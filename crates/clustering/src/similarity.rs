@@ -15,8 +15,26 @@
 //! Cluster memberships are represented as assignment vectors
 //! (`assignment[node] = cluster index`), which makes the intersection counts
 //! a single pass over nodes.
+//!
+//! Malformed assignments (length mismatches, labels `>= k`) are reported as
+//! [`ClusteringError`] values rather than panics, so a corrupted snapshot or
+//! a buggy caller degrades into an error the pipeline can surface instead of
+//! aborting the controller.
 
 use utilcast_linalg::Matrix;
+
+use crate::ClusteringError;
+
+/// Checks that every label in `assignment` is below `k`, reporting the
+/// first offender.
+fn check_labels(assignment: &[usize], k: usize) -> Result<(), ClusteringError> {
+    for (index, &label) in assignment.iter().enumerate() {
+        if label >= k {
+            return Err(ClusteringError::MalformedAssignment { index, label, k });
+        }
+    }
+    Ok(())
+}
 
 /// Builds the paper's similarity matrix `w_{k,j}` (Eq. 10).
 ///
@@ -32,32 +50,39 @@ use utilcast_linalg::Matrix;
 /// re-indexing is equally good, matching the paper's `t = 1` case where the
 /// k-means labels are kept).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any assignment vector has a different length than
-/// `new_assignment` or contains an index `>= k`.
+/// Returns [`ClusteringError::AssignmentLengthMismatch`] if any assignment
+/// vector in the look-back window has a different length than
+/// `new_assignment`, and [`ClusteringError::MalformedAssignment`] if any
+/// vector contains a label `>= k`.
 pub fn intersection_similarity(
     new_assignment: &[usize],
     history: &[&[usize]],
     m: usize,
     k: usize,
-) -> Matrix {
+) -> Result<Matrix, ClusteringError> {
     let n = new_assignment.len();
     let window = history.len().min(m);
     let mut w = Matrix::zeros(k, k);
     for h in &history[..window] {
-        assert_eq!(h.len(), n, "history assignment length mismatch");
+        if h.len() != n {
+            return Err(ClusteringError::AssignmentLengthMismatch {
+                expected: n,
+                found: h.len(),
+            });
+        }
+        check_labels(h, k)?;
     }
+    check_labels(new_assignment, k)?;
     'node: for i in 0..n {
         let row = new_assignment[i];
-        assert!(row < k, "assignment {row} out of range (k = {k})");
         if window == 0 {
             continue;
         }
         // The node contributes iff it stayed in the same historical cluster
         // for the whole window.
         let col = history[0][i];
-        assert!(col < k, "history assignment {col} out of range (k = {k})");
         for h in &history[1..window] {
             if h[i] != col {
                 continue 'node;
@@ -65,27 +90,38 @@ pub fn intersection_similarity(
         }
         w[(row, col)] += 1.0;
     }
-    w
+    Ok(w)
 }
 
 /// Builds a Jaccard-index similarity matrix between the new clusters and the
 /// clusters at time `t-1` (the measure of Greene et al. used as the Fig. 11
 /// baseline): `|A ∩ B| / |A ∪ B|`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the assignment vectors have different lengths or contain an
-/// index `>= k`.
-pub fn jaccard_similarity(new_assignment: &[usize], prev_assignment: &[usize], k: usize) -> Matrix {
+/// Returns [`ClusteringError::AssignmentLengthMismatch`] if the vectors have
+/// different lengths and [`ClusteringError::MalformedAssignment`] if either
+/// contains a label `>= k`.
+pub fn jaccard_similarity(
+    new_assignment: &[usize],
+    prev_assignment: &[usize],
+    k: usize,
+) -> Result<Matrix, ClusteringError> {
     let n = new_assignment.len();
-    assert_eq!(prev_assignment.len(), n, "assignment length mismatch");
+    if prev_assignment.len() != n {
+        return Err(ClusteringError::AssignmentLengthMismatch {
+            expected: n,
+            found: prev_assignment.len(),
+        });
+    }
+    check_labels(new_assignment, k)?;
+    check_labels(prev_assignment, k)?;
     let mut inter = Matrix::zeros(k, k);
     let mut new_sizes = vec![0.0; k];
     let mut prev_sizes = vec![0.0; k];
     for i in 0..n {
         let a = new_assignment[i];
         let b = prev_assignment[i];
-        assert!(a < k && b < k, "assignment out of range (k = {k})");
         inter[(a, b)] += 1.0;
         new_sizes[a] += 1.0;
         prev_sizes[b] += 1.0;
@@ -101,7 +137,7 @@ pub fn jaccard_similarity(new_assignment: &[usize], prev_assignment: &[usize], k
             };
         }
     }
-    w
+    Ok(w)
 }
 
 #[cfg(test)]
@@ -114,7 +150,7 @@ mod tests {
         // Previously nodes 0,1 were in cluster 1; node 2 in cluster 0.
         let new = [0, 0, 1];
         let prev = [1, 1, 0];
-        let w = intersection_similarity(&new, &[&prev], 1, 2);
+        let w = intersection_similarity(&new, &[&prev], 1, 2).unwrap();
         assert_eq!(w[(0, 1)], 2.0);
         assert_eq!(w[(1, 0)], 1.0);
         assert_eq!(w[(0, 0)], 0.0);
@@ -128,7 +164,7 @@ mod tests {
         let new = [0, 0];
         let h1 = [0, 1]; // t-1
         let h2 = [0, 0]; // t-2
-        let w = intersection_similarity(&new, &[&h1, &h2], 2, 2);
+        let w = intersection_similarity(&new, &[&h1, &h2], 2, 2).unwrap();
         assert_eq!(w[(0, 0)], 1.0);
         assert_eq!(w[(0, 1)], 0.0);
     }
@@ -139,14 +175,14 @@ mod tests {
         let new = [0, 0];
         let h1 = [0, 1];
         let h2 = [0, 0];
-        let w = intersection_similarity(&new, &[&h1, &h2], 1, 2);
+        let w = intersection_similarity(&new, &[&h1, &h2], 1, 2).unwrap();
         assert_eq!(w[(0, 0)], 1.0);
         assert_eq!(w[(0, 1)], 1.0);
     }
 
     #[test]
     fn empty_history_is_zero_matrix() {
-        let w = intersection_similarity(&[0, 1, 2], &[], 5, 3);
+        let w = intersection_similarity(&[0, 1, 2], &[], 5, 3).unwrap();
         assert_eq!(w, Matrix::zeros(3, 3));
     }
 
@@ -154,7 +190,7 @@ mod tests {
     fn row_sums_bounded_by_cluster_size() {
         let new = [0, 0, 0, 1, 1, 2];
         let prev = [0, 1, 2, 0, 1, 2];
-        let w = intersection_similarity(&new, &[&prev], 1, 3);
+        let w = intersection_similarity(&new, &[&prev], 1, 3).unwrap();
         // New cluster 0 has 3 members, so row 0 sums to at most 3.
         let row0: f64 = (0..3).map(|j| w[(0, j)]).sum();
         assert!(row0 <= 3.0);
@@ -167,9 +203,51 @@ mod tests {
     }
 
     #[test]
+    fn intersection_rejects_out_of_range_label() {
+        let err = intersection_similarity(&[0, 3], &[&[0, 0]], 1, 2).unwrap_err();
+        assert_eq!(
+            err,
+            ClusteringError::MalformedAssignment {
+                index: 1,
+                label: 3,
+                k: 2
+            }
+        );
+    }
+
+    #[test]
+    fn intersection_rejects_malformed_history() {
+        let err = intersection_similarity(&[0, 1], &[&[0, 1, 0]], 1, 2).unwrap_err();
+        assert_eq!(
+            err,
+            ClusteringError::AssignmentLengthMismatch {
+                expected: 2,
+                found: 3
+            }
+        );
+        let err = intersection_similarity(&[0, 1], &[&[0, 5]], 1, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusteringError::MalformedAssignment { label: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn history_beyond_window_is_not_validated_but_not_used() {
+        // Only the first m entries participate; a malformed entry outside
+        // the window is ignored entirely.
+        let new = [0, 1];
+        let h1 = [0, 1];
+        let bad = [9, 9, 9];
+        let w = intersection_similarity(&new, &[&h1, &bad], 1, 2).unwrap();
+        assert_eq!(w[(0, 0)], 1.0);
+        assert_eq!(w[(1, 1)], 1.0);
+    }
+
+    #[test]
     fn jaccard_identical_partitions_have_unit_diagonal() {
         let a = [0, 0, 1, 1, 2];
-        let w = jaccard_similarity(&a, &a, 3);
+        let w = jaccard_similarity(&a, &a, 3).unwrap();
         for j in 0..3 {
             assert_eq!(w[(j, j)], 1.0);
         }
@@ -182,7 +260,7 @@ mod tests {
         // union 2 -> 0.5.
         let new = [0, 0];
         let prev = [0, 1];
-        let w = jaccard_similarity(&new, &prev, 2);
+        let w = jaccard_similarity(&new, &prev, 2).unwrap();
         assert_eq!(w[(0, 0)], 0.5);
         assert_eq!(w[(0, 1)], 0.5);
     }
@@ -192,7 +270,7 @@ mod tests {
         // Cluster 2 is empty on both sides.
         let new = [0, 1];
         let prev = [0, 1];
-        let w = jaccard_similarity(&new, &prev, 3);
+        let w = jaccard_similarity(&new, &prev, 3).unwrap();
         assert_eq!(w[(2, 2)], 0.0);
     }
 
@@ -200,11 +278,26 @@ mod tests {
     fn jaccard_values_are_bounded() {
         let new = [0, 1, 2, 0, 1, 2, 0];
         let prev = [2, 1, 0, 0, 0, 1, 1];
-        let w = jaccard_similarity(&new, &prev, 3);
+        let w = jaccard_similarity(&new, &prev, 3).unwrap();
         for r in 0..3 {
             for c in 0..3 {
                 assert!((0.0..=1.0).contains(&w[(r, c)]));
             }
         }
+    }
+
+    #[test]
+    fn jaccard_rejects_malformed_input() {
+        assert_eq!(
+            jaccard_similarity(&[0, 1], &[0], 2).unwrap_err(),
+            ClusteringError::AssignmentLengthMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
+        assert!(matches!(
+            jaccard_similarity(&[0, 7], &[0, 1], 2).unwrap_err(),
+            ClusteringError::MalformedAssignment { label: 7, .. }
+        ));
     }
 }

@@ -57,6 +57,24 @@ proptest! {
         }
     }
 
+    /// Parallel execution must be bit-identical to the sequential path for
+    /// any thread count.
+    #[test]
+    fn kmeans_thread_count_invariant(
+        seed in 0u64..30,
+        threads in 2usize..9,
+        raw in proptest::collection::vec(0.0f64..1.0, 12..40),
+    ) {
+        let points: Vec<Vec<f64>> = raw.iter().map(|&v| vec![v]).collect();
+        let sequential = KMeans::new(KMeansConfig { k: 3, seed, threads: 1, ..Default::default() })
+            .fit(&points)
+            .unwrap();
+        let parallel = KMeans::new(KMeansConfig { k: 3, seed, threads, ..Default::default() })
+            .fit(&points)
+            .unwrap();
+        prop_assert_eq!(sequential, parallel);
+    }
+
     /// Inertia must equal the sum of squared distances to assigned centroids.
     #[test]
     fn kmeans_inertia_consistent(
@@ -85,7 +103,7 @@ proptest! {
         let n = assignments.len().min(prev.len());
         let new = &assignments[..n];
         let old = &prev[..n];
-        let w = intersection_similarity(new, &[old], 1, 4);
+        let w = intersection_similarity(new, &[old], 1, 4).unwrap();
         let total: f64 = (0..4).flat_map(|r| (0..4).map(move |c| (r, c)))
             .map(|(r, c)| w[(r, c)]).sum();
         prop_assert_eq!(total, n as f64);
@@ -99,8 +117,8 @@ proptest! {
         h1 in proptest::collection::vec(0usize..3, 20),
         h2 in proptest::collection::vec(0usize..3, 20),
     ) {
-        let short = intersection_similarity(&new, &[&h1], 1, 3);
-        let long = intersection_similarity(&new, &[&h1, &h2], 2, 3);
+        let short = intersection_similarity(&new, &[&h1], 1, 3).unwrap();
+        let long = intersection_similarity(&new, &[&h1, &h2], 2, 3).unwrap();
         for r in 0..3 {
             for c in 0..3 {
                 prop_assert!(long[(r, c)] <= short[(r, c)] + 1e-12);
@@ -116,13 +134,13 @@ proptest! {
         prev_seed in proptest::collection::vec(0usize..3, 1..40),
     ) {
         let n = new.len().min(prev_seed.len());
-        let w = jaccard_similarity(&new[..n], &prev_seed[..n], 3);
+        let w = jaccard_similarity(&new[..n], &prev_seed[..n], 3).unwrap();
         for r in 0..3 {
             for c in 0..3 {
                 prop_assert!((0.0..=1.0).contains(&w[(r, c)]));
             }
         }
-        let diag = jaccard_similarity(&new[..n], &new[..n], 3);
+        let diag = jaccard_similarity(&new[..n], &new[..n], 3).unwrap();
         for r in 0..3 {
             let size = new[..n].iter().filter(|&&a| a == r).count();
             if size > 0 {

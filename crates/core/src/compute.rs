@@ -1,0 +1,91 @@
+//! Compute options for the controller hot path.
+//!
+//! The controller re-runs clustering and per-cluster model retraining every
+//! time step (Sec. V-B/V-C); the paper's Table II shows this compute —
+//! not message handling — dominates controller wall-clock as `N` and `K`
+//! grow. [`ComputeOptions`] bundles the knobs that accelerate it:
+//!
+//! * `threads` — deterministic parallelism for k-means restarts, the Lloyd
+//!   assignment step, and per-cluster retraining. Results are
+//!   **bit-identical at any thread count**; threads change wall-clock time
+//!   only.
+//! * `warm_start` / `cold_reseed_every` — reuse the previous step's matched
+//!   centroids as the k-means initializer. The paper's temporal-continuity
+//!   premise (clusters persist across steps; that is what makes re-indexing
+//!   meaningful at all) makes the previous centroids near-converged, so a
+//!   single short Lloyd descent replaces `n_init` cold restarts. A periodic
+//!   cold re-seed bounds how long a poor local optimum can persist.
+//! * `kernel` — the Lloyd-iteration kernel: the optimized flat
+//!   cached-norm kernel (default) or the original nested exact-distance
+//!   reference kernel (see [`Kernel`]).
+
+use serde::{Deserialize, Serialize};
+
+pub use utilcast_clustering::kmeans::Kernel;
+
+/// Knobs for the controller's per-step compute (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeOptions {
+    /// Worker threads for clustering and retraining: `0` = one per
+    /// available CPU, `1` = fully sequential (default). Results are
+    /// bit-identical at every setting.
+    pub threads: usize,
+    /// Initialize each step's k-means from the previous step's matched
+    /// centroids instead of re-seeding from scratch (default `true`).
+    pub warm_start: bool,
+    /// Force a cold k-means++ re-seed every this many steps (`0` = never
+    /// after the first step). Only meaningful with `warm_start`; the
+    /// default of 288 re-seeds once per day at the paper's 5-minute
+    /// cadence.
+    pub cold_reseed_every: usize,
+    /// Lloyd-iteration kernel for the per-step k-means (default: the
+    /// optimized flat cached-norm kernel).
+    pub kernel: Kernel,
+}
+
+impl Default for ComputeOptions {
+    fn default() -> Self {
+        ComputeOptions {
+            threads: 1,
+            warm_start: true,
+            cold_reseed_every: 288,
+            kernel: Kernel::CachedNorms,
+        }
+    }
+}
+
+impl ComputeOptions {
+    /// The compute path of the original implementation — fully sequential,
+    /// cold k-means++ restarts every step, exact-distance reference kernel
+    /// with per-iteration allocation — used as the benchmark baseline.
+    pub fn baseline() -> Self {
+        ComputeOptions {
+            threads: 1,
+            warm_start: false,
+            cold_reseed_every: 0,
+            kernel: Kernel::Exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_warm() {
+        let c = ComputeOptions::default();
+        assert_eq!(c.threads, 1);
+        assert!(c.warm_start);
+        assert_eq!(c.cold_reseed_every, 288);
+        assert_eq!(c.kernel, Kernel::CachedNorms);
+    }
+
+    #[test]
+    fn baseline_matches_original_path() {
+        let c = ComputeOptions::baseline();
+        assert_eq!(c.threads, 1);
+        assert!(!c.warm_start);
+        assert_eq!(c.kernel, Kernel::Exact);
+    }
+}

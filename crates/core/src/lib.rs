@@ -51,6 +51,7 @@
 
 pub mod allocate;
 pub mod cluster;
+pub mod compute;
 pub mod detect;
 mod error;
 pub mod metrics;

@@ -36,6 +36,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::SimilarityMeasure;
+use crate::compute::ComputeOptions;
 use crate::pipeline::ModelSpec;
 use crate::stage::{ForecastStage, ForecastStageConfig, StageReport};
 use crate::transmit::{AdaptiveTransmitter, TransmitConfig};
@@ -70,6 +71,9 @@ pub struct MultiPipelineConfig {
     pub model: ModelSpec,
     /// Base k-means seed (each resource stage gets `seed + resource`).
     pub seed: u64,
+    /// Threading and warm-start knobs shared by every resource stage (see
+    /// [`ComputeOptions`]).
+    pub compute: ComputeOptions,
 }
 
 impl Default for MultiPipelineConfig {
@@ -88,6 +92,7 @@ impl Default for MultiPipelineConfig {
             retrain_every: 288,
             model: ModelSpec::SampleAndHold,
             seed: 0,
+            compute: ComputeOptions::default(),
         }
     }
 }
@@ -105,8 +110,13 @@ pub struct MultiStepReport {
 pub struct MultiPipeline {
     config: MultiPipelineConfig,
     transmitters: Vec<AdaptiveTransmitter>,
-    /// `stored[node][resource]`.
-    stored: Vec<Vec<f64>>,
+    /// Row-major stored values: `stored[node * d + resource]`. Flat so the
+    /// per-resource gather in [`MultiPipeline::step`] reads contiguous
+    /// memory instead of chasing one heap pointer per node.
+    stored: Vec<f64>,
+    /// Scratch buffer for the per-resource gather (avoids a per-resource
+    /// allocation each step).
+    zbuf: Vec<f64>,
     started: bool,
     stages: Vec<ForecastStage>,
     t: usize,
@@ -152,6 +162,7 @@ impl MultiPipeline {
                     retrain_every: config.retrain_every,
                     model: config.model.clone(),
                     seed: config.seed.wrapping_add(r as u64),
+                    compute: config.compute,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -165,7 +176,8 @@ impl MultiPipeline {
             })
             .collect();
         Ok(MultiPipeline {
-            stored: vec![vec![0.0; config.num_resources]; config.num_nodes],
+            stored: vec![0.0; config.num_nodes * config.num_resources],
+            zbuf: vec![0.0; config.num_nodes],
             started: false,
             transmitters,
             stages,
@@ -201,7 +213,8 @@ impl MultiPipeline {
     /// Panics if `node` is out of range or no step has been processed.
     pub fn stored(&self, node: usize) -> &[f64] {
         assert!(self.started, "pipeline has not processed any step");
-        &self.stored[node]
+        let d = self.config.num_resources;
+        &self.stored[node * d..(node + 1) * d]
     }
 
     /// Processes one step: `x[node]` is the node's `d`-dimensional fresh
@@ -226,18 +239,23 @@ impl MultiPipeline {
             });
         }
         let mut transmitted = vec![false; n];
+        // Every transmitter is stepped exactly once per tick, so their
+        // clocks agree and the penalty weight V_t — which depends only on
+        // the clock and the shared (V_0, γ) — is computed once for the
+        // whole fleet instead of once per node.
+        let vt = self.transmitters[0].next_vt();
         if !self.started {
             for (i, m) in x.iter().enumerate() {
-                self.stored[i].copy_from_slice(m);
-                let _ = self.transmitters[i].decide(m, m);
+                self.stored[i * d..(i + 1) * d].copy_from_slice(m);
+                let _ = self.transmitters[i].decide_with_vt(m, m, vt);
                 transmitted[i] = true;
             }
             self.total_transmissions += n as u64;
             self.started = true;
         } else {
             for (i, m) in x.iter().enumerate() {
-                if self.transmitters[i].decide(m, &self.stored[i]) {
-                    self.stored[i].copy_from_slice(m);
+                if self.transmitters[i].decide_with_vt(m, &self.stored[i * d..(i + 1) * d], vt) {
+                    self.stored[i * d..(i + 1) * d].copy_from_slice(m);
                     transmitted[i] = true;
                     self.total_transmissions += 1;
                 }
@@ -246,10 +264,17 @@ impl MultiPipeline {
         self.t += 1;
 
         let mut stages = Vec::with_capacity(d);
+        let mut z = std::mem::take(&mut self.zbuf);
+        // An early `?` return leaves the scratch buffer empty; restore its
+        // length before the gather rather than assuming it.
+        z.resize(n, 0.0);
         for (r, stage) in self.stages.iter_mut().enumerate() {
-            let z: Vec<f64> = self.stored.iter().map(|m| m[r]).collect();
+            for (zi, row) in z.iter_mut().zip(self.stored.chunks_exact(d)) {
+                *zi = row[r];
+            }
             stages.push(stage.step(&z)?);
         }
+        self.zbuf = z;
         Ok(MultiStepReport {
             transmitted,
             stages,

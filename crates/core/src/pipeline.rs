@@ -25,6 +25,7 @@ use utilcast_timeseries::lstm::{Lstm, LstmConfig};
 use utilcast_timeseries::Forecaster;
 
 use crate::cluster::SimilarityMeasure;
+use crate::compute::ComputeOptions;
 use crate::stage::{ForecastStage, ForecastStageConfig};
 use crate::transmit::{AdaptiveTransmitter, TransmitConfig, UniformTransmitter};
 use crate::CoreError;
@@ -201,6 +202,9 @@ pub struct PipelineConfig {
     pub model: ModelSpec,
     /// RNG seed (k-means seeding).
     pub seed: u64,
+    /// Threading and warm-start knobs for the controller-side compute (see
+    /// [`ComputeOptions`]).
+    pub compute: ComputeOptions,
 }
 
 impl Default for PipelineConfig {
@@ -220,6 +224,7 @@ impl Default for PipelineConfig {
             retrain_every: 288,
             model: ModelSpec::SampleAndHold,
             seed: 0,
+            compute: ComputeOptions::default(),
         }
     }
 }
@@ -233,9 +238,20 @@ enum Transmitter {
 }
 
 impl Transmitter {
-    fn decide(&mut self, current: f64, stored: f64) -> bool {
+    /// The shared penalty weight `V_t` for the upcoming decision, if this
+    /// variant uses one. All of a pipeline's transmitters share the same
+    /// clock and `(V_0, γ)`, so the value from any adaptive node applies to
+    /// the whole fleet.
+    fn next_vt(&self) -> Option<f64> {
         match self {
-            Transmitter::Adaptive(tx) => tx.decide(&[current], &[stored]),
+            Transmitter::Adaptive(tx) => Some(tx.next_vt()),
+            _ => None,
+        }
+    }
+
+    fn decide(&mut self, current: f64, stored: f64, vt: f64) -> bool {
+        match self {
+            Transmitter::Adaptive(tx) => tx.decide_with_vt(&[current], &[stored], vt),
             Transmitter::Uniform(tx) => tx.decide(),
             Transmitter::Always => true,
         }
@@ -352,6 +368,7 @@ impl Pipeline {
             retrain_every: config.retrain_every,
             model: config.model.clone(),
             seed: config.seed,
+            compute: config.compute,
         })?;
         Ok(Pipeline {
             stored: vec![0.0; config.num_nodes],
@@ -412,6 +429,9 @@ impl Pipeline {
         // Stage 1: transmission decisions. On the very first step every
         // node transmits (the controller has no prior values).
         let mut transmitted = vec![false; x.len()];
+        // Lockstep clocks: the fleet's penalty weight V_t is computed once
+        // per step instead of once per node (see Transmitter::next_vt).
+        let vt = self.transmitters[0].next_vt().unwrap_or(0.0);
         if !self.started {
             self.stored.copy_from_slice(x);
             transmitted.iter_mut().for_each(|b| *b = true);
@@ -423,11 +443,11 @@ impl Pipeline {
                 .iter_mut()
                 .zip(x.iter().zip(self.stored.iter()))
             {
-                let _ = tx.decide(cur, st);
+                let _ = tx.decide(cur, st, vt);
             }
         } else {
             for (i, tx) in self.transmitters.iter_mut().enumerate() {
-                if tx.decide(x[i], self.stored[i]) {
+                if tx.decide(x[i], self.stored[i], vt) {
                     self.stored[i] = x[i];
                     transmitted[i] = true;
                     self.total_transmissions += 1;

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+use utilcast_clustering::parallel::{chunk_len, resolve_threads};
 use utilcast_timeseries::baselines::SampleAndHold;
 use utilcast_timeseries::harness::{RetrainPolicy, RetrainState, RetrainingForecaster};
 use utilcast_timeseries::Forecaster;
@@ -17,7 +18,7 @@ use utilcast_timeseries::Forecaster;
 use crate::cluster::{
     ClusterStep, ClustererSnapshot, DynamicClusterer, DynamicClustererConfig, SimilarityMeasure,
 };
-use crate::metrics::intermediate_rmse_step;
+use crate::compute::ComputeOptions;
 use crate::offset::{forecast_membership, node_offset, OffsetSnapshot};
 use crate::pipeline::{ClusterModel, ModelSpec};
 use crate::CoreError;
@@ -43,6 +44,9 @@ pub struct ForecastStageConfig {
     pub model: ModelSpec,
     /// K-means seed.
     pub seed: u64,
+    /// Threading and warm-start knobs for the per-step clustering and the
+    /// per-cluster retraining (see [`ComputeOptions`]).
+    pub compute: ComputeOptions,
 }
 
 impl Default for ForecastStageConfig {
@@ -57,6 +61,7 @@ impl Default for ForecastStageConfig {
             retrain_every: 288,
             model: ModelSpec::SampleAndHold,
             seed: 0,
+            compute: ComputeOptions::default(),
         }
     }
 }
@@ -102,6 +107,74 @@ pub struct StageReport {
     pub intermediate_rmse: f64,
     /// Whether any cluster model (re)trained this step.
     pub retrained: bool,
+}
+
+/// What happened when one cluster's forecaster observed its centroid.
+#[derive(Debug, Clone, Copy)]
+enum ObserveOutcome {
+    /// `observe` succeeded; `did_train` reports a (re)train and `finite`
+    /// whether the freshly trained model produces a finite one-step
+    /// forecast (`true` when no training happened).
+    Observed { did_train: bool, finite: bool },
+    /// `observe` reported a fit failure.
+    Failed,
+}
+
+/// Observes `values[j]` on forecaster `j`. Each call touches only its own
+/// forecaster, so this is a pure per-cluster function safe to run on any
+/// thread.
+fn observe_one(f: &mut RetrainingForecaster<ClusterModel>, value: f64) -> ObserveOutcome {
+    match f.observe(value) {
+        Ok(did_train) => {
+            let finite = !did_train
+                || match f.forecast(1) {
+                    Ok(fc) => fc.iter().all(|v| v.is_finite()),
+                    // NotFitted/TooShort are handled by forecast_or_hold
+                    // at use time; only a produced non-finite value
+                    // triggers degradation.
+                    Err(_) => true,
+                };
+            ObserveOutcome::Observed { did_train, finite }
+        }
+        Err(_) => ObserveOutcome::Failed,
+    }
+}
+
+/// Runs [`observe_one`] for every cluster, fanning out over scoped threads
+/// when `workers > 1`. Outcomes are returned in cluster order regardless of
+/// which thread produced them.
+fn observe_all(
+    forecasters: &mut [RetrainingForecaster<ClusterModel>],
+    values: &[f64],
+    workers: usize,
+) -> Vec<ObserveOutcome> {
+    let k = forecasters.len();
+    if workers <= 1 || k <= 1 {
+        return forecasters
+            .iter_mut()
+            .zip(values)
+            .map(|(f, &v)| observe_one(f, v))
+            .collect();
+    }
+    let chunk = chunk_len(k, workers);
+    let mut outcomes: Vec<Option<ObserveOutcome>> = (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for ((fs, vs), outs) in forecasters
+            .chunks_mut(chunk)
+            .zip(values.chunks(chunk))
+            .zip(outcomes.chunks_mut(chunk))
+        {
+            scope.spawn(move || {
+                for ((f, &v), out) in fs.iter_mut().zip(vs).zip(outs.iter_mut()) {
+                    *out = Some(observe_one(f, v));
+                }
+            });
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every cluster slot filled"))
+        .collect()
 }
 
 /// The per-resource controller stage (see module docs).
@@ -154,6 +227,7 @@ impl ForecastStage {
             m: config.m,
             similarity: config.similarity,
             seed: config.seed,
+            compute: config.compute,
             ..Default::default()
         });
         let policy = RetrainPolicy {
@@ -237,17 +311,6 @@ impl ForecastStage {
         self.t
     }
 
-    /// `true` iff the freshly (re)trained model for cluster `j` produces a
-    /// finite one-step forecast.
-    fn forecast_is_finite(&self, j: usize) -> bool {
-        match self.forecasters[j].forecast(1) {
-            Ok(fc) => fc.iter().all(|v| v.is_finite()),
-            // NotFitted/TooShort are handled by forecast_or_hold at use
-            // time; only a produced non-finite value triggers degradation.
-            Err(_) => true,
-        }
-    }
-
     /// Degrades cluster `j` to a sample-and-hold stand-in fitted on the
     /// cluster's centroid history, counting the fallback.
     fn degrade(&mut self, j: usize) {
@@ -307,37 +370,82 @@ impl ForecastStage {
             });
         }
         self.t += 1;
-        let points: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+        // Build the per-node point set, recycling the buffer of the history
+        // snapshot that is about to fall out of the look-back window so the
+        // steady state allocates nothing per step.
+        let mut points: Vec<Vec<f64>> = if self.history.len() > self.config.m_prime {
+            self.history
+                .pop_back()
+                .map(|s| s.values)
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        if points.len() == z.len() && points.iter().all(|p| p.len() == 1) {
+            for (p, &v) in points.iter_mut().zip(z) {
+                p[0] = v;
+            }
+        } else {
+            points = z.iter().map(|&v| vec![v]).collect();
+        }
         let ClusterStep {
             assignments,
             centroids,
             ..
         } = self.clusterer.step(&points)?;
-        let intermediate_rmse = intermediate_rmse_step(&points, &assignments, &centroids);
+        let values: Vec<f64> = (0..self.forecasters.len())
+            .map(|j| {
+                centroids
+                    .get(j)
+                    .and_then(|c| c.first())
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        // Intermediate RMSE over the stage's scalar data, computed from the
+        // scalar centroids just extracted — same summation order as
+        // `metrics::intermediate_rmse_step` on 1-dimensional points, without
+        // re-walking the nested point vectors.
+        let intermediate_rmse = {
+            let sum: f64 = z
+                .iter()
+                .zip(&assignments)
+                .map(|(&v, &a)| {
+                    let c = values.get(a).copied().unwrap_or(0.0);
+                    (v - c) * (v - c)
+                })
+                .sum();
+            (sum / z.len() as f64).sqrt()
+        };
 
+        // Feed each cluster's centroid to its forecaster. The K observe/
+        // retrain calls touch disjoint forecasters, so they fan out over
+        // scoped threads; the degrade/recover bookkeeping below runs
+        // sequentially in cluster order, keeping the outcome bit-identical
+        // at any thread count.
+        let outcomes = observe_all(
+            &mut self.forecasters,
+            &values,
+            resolve_threads(self.config.compute.threads),
+        );
         let mut retrained = false;
-        for j in 0..self.forecasters.len() {
-            let value = centroids
-                .get(j)
-                .and_then(|c| c.first())
-                .copied()
-                .unwrap_or(0.0);
-            match self.forecasters[j].observe(value) {
-                Ok(did_train) => {
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                ObserveOutcome::Observed { did_train, finite } => {
                     if did_train && self.degraded[j] {
                         // Scheduled retrain while degraded: retry the
                         // primary model on the accumulated history.
                         if !self.try_recover(j) {
                             self.model_fallbacks += 1;
                         }
-                    } else if did_train && !self.forecast_is_finite(j) {
+                    } else if did_train && !finite {
                         // A fit can "succeed" yet still emit NaN/∞; treat
                         // that the same as a fit failure.
                         self.degrade(j);
                     }
                     retrained |= did_train;
                 }
-                Err(_) => {
+                ObserveOutcome::Failed => {
                     // Hard fit failure: degrade this cluster to
                     // sample-and-hold instead of failing the whole stage;
                     // the primary model is retried at the next retrain.
@@ -517,6 +625,67 @@ mod tests {
         for row in &fc {
             assert!(row.iter().all(|v| v.is_finite()));
         }
+    }
+
+    #[test]
+    fn concurrent_retraining_is_bit_identical_to_sequential() {
+        let run = |threads: usize| {
+            let mut stage = ForecastStage::new(ForecastStageConfig {
+                compute: ComputeOptions {
+                    threads,
+                    ..Default::default()
+                },
+                ..quick(6, 3)
+            })
+            .unwrap();
+            let mut reports = Vec::new();
+            for i in 0..40 {
+                let wobble = 0.01 * (i % 5) as f64;
+                let z = [0.1 + wobble, 0.13, 0.5, 0.52 - wobble, 0.9, 0.88];
+                reports.push(stage.step(&z).unwrap());
+            }
+            (reports, stage.snapshot())
+        };
+        let (seq_reports, seq_snap) = run(1);
+        for threads in [2, 8] {
+            let (reports, snap) = run(threads);
+            assert_eq!(
+                reports, seq_reports,
+                "reports diverged at {threads} threads"
+            );
+            // Snapshots differ only in the configured thread count.
+            assert_eq!(snap.t, seq_snap.t);
+            assert_eq!(snap.history, seq_snap.history);
+            assert_eq!(snap.forecasters, seq_snap.forecasters);
+            assert_eq!(snap.degraded, seq_snap.degraded);
+            assert_eq!(snap.model_fallbacks, seq_snap.model_fallbacks);
+        }
+    }
+
+    #[test]
+    fn concurrent_retraining_preserves_fallback_semantics() {
+        // The degrade/recover bookkeeping must count identically whether
+        // the observe calls ran inline or on the pool.
+        let run = |threads: usize| {
+            let mut stage = ForecastStage::new(ForecastStageConfig {
+                model: unfittable_model(),
+                compute: ComputeOptions {
+                    threads,
+                    ..Default::default()
+                },
+                ..quick(4, 2)
+            })
+            .unwrap();
+            for i in 0..30 {
+                let z = [0.1, 0.12, 0.9, 0.88 + 0.001 * i as f64];
+                stage.step(&z).unwrap();
+            }
+            (stage.degraded().to_vec(), stage.model_fallbacks())
+        };
+        assert_eq!(run(1), run(4));
+        let (degraded, fallbacks) = run(4);
+        assert_eq!(degraded, vec![true, true]);
+        assert_eq!(fallbacks, 6);
     }
 
     #[test]

@@ -132,6 +132,35 @@ impl AdaptiveTransmitter {
     ///
     /// Panics if `current` and `stored` have different lengths or are empty.
     pub fn decide(&mut self, current: &[f64], stored: &[f64]) -> bool {
+        let vt = self.next_vt();
+        self.decide_with_vt(current, stored, vt)
+    }
+
+    /// The penalty weight `V_t` that the next [`AdaptiveTransmitter::decide`]
+    /// call will use.
+    ///
+    /// `V_t` depends only on the step counter and the `(V_0, γ)` control
+    /// parameters, not on the budget or queue, so a driver stepping a fleet
+    /// of transmitters with identical clocks (e.g. a simulated datacenter
+    /// tick) can compute it once and hand it to every node via
+    /// [`AdaptiveTransmitter::decide_with_vt`], avoiding one `powf` per node
+    /// per step.
+    pub fn next_vt(&self) -> f64 {
+        self.config.v0 * ((self.t + 2) as f64).powf(self.config.gamma)
+    }
+
+    /// [`AdaptiveTransmitter::decide`] with the penalty weight `V_t`
+    /// supplied by the caller.
+    ///
+    /// `vt` must equal [`AdaptiveTransmitter::next_vt`] for this node's
+    /// clock and control parameters; passing anything else changes the
+    /// policy. Exists so fleet drivers can share one `V_t` computation
+    /// across nodes stepped in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` and `stored` have different lengths or are empty.
+    pub fn decide_with_vt(&mut self, current: &[f64], stored: &[f64], vt: f64) -> bool {
         assert_eq!(
             current.len(),
             stored.len(),
@@ -147,7 +176,6 @@ impl AdaptiveTransmitter {
             .map(|(a, b)| (a - b) * (a - b))
             .sum::<f64>()
             / d;
-        let vt = self.config.v0 * ((self.t + 1) as f64).powf(self.config.gamma);
         // Objective(β=0) = Vt * err + Q * (0 - B)
         // Objective(β=1) = 0        + Q * (1 - B)
         // Transmit iff Obj(1) < Obj(0), which simplifies to Q < Vt * err.
@@ -377,6 +405,29 @@ mod tests {
         }
         let f = tx.frequency();
         assert!((f - budget).abs() < 0.05, "freq {f}");
+    }
+
+    #[test]
+    fn decide_with_hoisted_vt_is_bit_identical() {
+        // A fleet driver computing next_vt() once per tick must reproduce
+        // the per-node decide() path exactly: decisions, queues, and
+        // counters all match bit for bit.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut a = AdaptiveTransmitter::new(TransmitConfig::with_budget(0.25));
+        let mut b = a.clone();
+        let (mut za, mut zb) = (vec![0.5], vec![0.5]);
+        for _ in 0..500 {
+            let x = vec![(0.5 + 0.1 * standard_normal(&mut rng)).clamp(0.0, 1.0)];
+            let da = a.decide(&x, &za);
+            let vt = b.next_vt();
+            let db = b.decide_with_vt(&x, &zb, vt);
+            assert_eq!(da, db);
+            if da {
+                za.clone_from(&x);
+                zb = x;
+            }
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

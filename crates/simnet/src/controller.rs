@@ -9,6 +9,7 @@
 //! bit-identical results to the reference driver.
 
 use serde::{Deserialize, Serialize};
+use utilcast_core::compute::ComputeOptions;
 use utilcast_core::pipeline::ModelSpec;
 use utilcast_core::stage::{ForecastStage, ForecastStageConfig, StageSnapshot};
 
@@ -39,6 +40,9 @@ pub struct ControllerConfig {
     /// quarantined. Utilization traces are unit-scaled, so the default is
     /// `(0.0, 1.0)`.
     pub value_bounds: (f64, f64),
+    /// Threading and warm-start knobs for the per-tick clustering and
+    /// retraining (see [`ComputeOptions`]).
+    pub compute: ComputeOptions,
 }
 
 impl Default for ControllerConfig {
@@ -53,6 +57,7 @@ impl Default for ControllerConfig {
             model: ModelSpec::SampleAndHold,
             seed: 0,
             value_bounds: (0.0, 1.0),
+            compute: ComputeOptions::default(),
         }
     }
 }
@@ -144,6 +149,7 @@ impl Controller {
             retrain_every: config.retrain_every,
             model: config.model.clone(),
             seed: config.seed,
+            compute: config.compute,
             ..Default::default()
         })
         .map_err(SimError::Core)?;

@@ -1,6 +1,7 @@
 //! The single-threaded reference simulation driver.
 
 use serde::{Deserialize, Serialize};
+use utilcast_core::compute::ComputeOptions;
 use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::pipeline::ModelSpec;
 use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
@@ -33,6 +34,9 @@ pub struct SimConfig {
     pub model: ModelSpec,
     /// K-means seed.
     pub seed: u64,
+    /// Threading and warm-start knobs for the controller compute (see
+    /// [`ComputeOptions`]).
+    pub compute: ComputeOptions,
 }
 
 impl Default for SimConfig {
@@ -48,6 +52,7 @@ impl Default for SimConfig {
             retrain_every: 288,
             model: ModelSpec::SampleAndHold,
             seed: 0,
+            compute: ComputeOptions::default(),
         }
     }
 }
@@ -136,6 +141,7 @@ impl Simulation {
             retrain_every: self.config.retrain_every,
             model: self.config.model.clone(),
             seed: self.config.seed,
+            compute: self.config.compute,
             ..Default::default()
         })?;
         self.transmitters = (0..n)

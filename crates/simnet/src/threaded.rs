@@ -239,6 +239,7 @@ pub fn run_threaded_supervised(
         retrain_every: config.retrain_every,
         model: config.model.clone(),
         seed: config.seed,
+        compute: config.compute,
         ..Default::default()
     })?;
     let meter = Meter::new();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Quick-mode benchmark run: criterion micro-benchmarks for the per-step
+# primitives (k-means, Hungarian matching, pipeline tick) plus the
+# controller scaling report, which records the baseline-vs-optimized
+# N=1000/K=10/d=2 tick benchmark in BENCH_controller.json at the repo root.
+#
+# Usage: scripts/bench.sh [--full]
+#   default    quick mode (few timing reps; minutes, not hours)
+#   --full     more timing reps for stabler numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPS=32
+if [[ "${1:-}" == "--full" ]]; then
+  REPS=256
+fi
+
+echo "==> cargo bench --bench micro (kmeans, hungarian, pipeline tick)"
+cargo bench -p utilcast-bench --bench micro
+
+echo "==> scaling_report (writes BENCH_controller.json, ${REPS} reps)"
+UTILCAST_STEPS="$REPS" cargo run --release -p utilcast-bench --bin scaling_report
+
+echo "Benchmarks complete. Speedup summary:"
+grep -E '"(baseline|optimized)_tick_micros"|"speedup"' BENCH_controller.json

@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --all-targets -- -D warnings -D clippy::perf"
+cargo clippy --all-targets -- -D warnings -D clippy::perf
 
 echo "==> cargo build --release"
 cargo build --release
