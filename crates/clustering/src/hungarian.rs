@@ -153,17 +153,22 @@ pub fn brute_force_max_matching(weights: &Matrix) -> Matching {
     let n = weights.nrows();
     assert!(n > 0 && n <= 8, "brute force limited to 1..=8 rows");
     let mut cols: Vec<usize> = (0..n).collect();
-    let mut best: Option<Matching> = None;
+    // Seed with the identity permutation (the first one `permute` visits),
+    // so the fold below is infallible.
+    let mut best = Matching {
+        assignment: cols.clone(),
+        total_weight: (0..n).map(|r| weights[(r, r)]).sum(),
+    };
     permute(&mut cols, 0, &mut |perm| {
         let w: f64 = perm.iter().enumerate().map(|(r, &c)| weights[(r, c)]).sum();
-        if best.as_ref().is_none_or(|b| w > b.total_weight) {
-            best = Some(Matching {
+        if w > best.total_weight {
+            best = Matching {
                 assignment: perm.to_vec(),
                 total_weight: w,
-            });
+            };
         }
     });
-    best.expect("at least one permutation")
+    best
 }
 
 fn permute<F: FnMut(&[usize])>(items: &mut [usize], start: usize, visit: &mut F) {
@@ -190,11 +195,7 @@ pub fn greedy_matching(weights: &Matrix) -> Matching {
     let n = weights.nrows();
     assert!(n > 0, "weight matrix must be non-empty");
     let mut pairs: Vec<(usize, usize)> = (0..n).flat_map(|r| (0..n).map(move |c| (r, c))).collect();
-    pairs.sort_by(|a, b| {
-        weights[(b.0, b.1)]
-            .partial_cmp(&weights[(a.0, a.1)])
-            .expect("finite weights")
-    });
+    pairs.sort_by(|a, b| weights[(b.0, b.1)].total_cmp(&weights[(a.0, a.1)]));
     let mut row_used = vec![false; n];
     let mut col_used = vec![false; n];
     let mut assignment = vec![0usize; n];

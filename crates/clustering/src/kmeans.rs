@@ -479,10 +479,7 @@ impl KMeans {
                     });
                 }
             });
-            slots
-                .into_iter()
-                .map(|s| s.expect("every restart slot filled"))
-                .collect()
+            slots.into_iter().flatten().collect()
         } else {
             (0..n_init)
                 .map(|r| self.fit_once(points, &flat, dim, r as u64, workers))
@@ -497,7 +494,14 @@ impl KMeans {
                 _ => best = Some(run),
             }
         }
-        Ok(best.expect("n_init >= 1 guarantees one run"))
+        // Every restart fills its slot, so `best` is always present; the
+        // sequential fallback keeps this branch panic-free regardless.
+        let best = match best {
+            Some(b) => b,
+            None => self.fit_once(points, &flat, dim, 0, workers),
+        };
+        debug_assert_partition(&best, n, self.config.k);
+        Ok(best)
     }
 
     /// Clusters `points` starting Lloyd's descent from the given centroids
@@ -537,15 +541,17 @@ impl KMeans {
                 ),
             });
         }
-        match self.effective_kernel(dim) {
-            Kernel::Exact => Ok(self.lloyd_exact(points, init.to_vec())),
+        let result = match self.effective_kernel(dim) {
+            Kernel::Exact => self.lloyd_exact(points, init.to_vec()),
             Kernel::CachedNorms => {
                 let n = points.len();
                 let flat = flatten(points, n, dim);
                 let init_flat = flatten(init, cfg.k, dim);
-                Ok(self.lloyd_flat(&flat, n, dim, init_flat, resolve_threads(cfg.threads)))
+                self.lloyd_flat(&flat, n, dim, init_flat, resolve_threads(cfg.threads))
             }
-        }
+        };
+        debug_assert_partition(&result, points.len(), cfg.k);
+        Ok(result)
     }
 
     /// One restart: seed centroids from the restart's derived RNG stream,
@@ -654,22 +660,23 @@ impl KMeans {
                 if scratch.counts[c] == 0 {
                     // Empty cluster: re-seed at the point farthest from its
                     // assigned centroid to keep exactly k non-empty
-                    // clusters.
-                    let far = (0..n)
-                        .max_by(|&i, &j| {
-                            let ai = scratch.assignments[i];
-                            let aj = scratch.assignments[j];
-                            let da = sq_dist(
-                                &flat[i * dim..(i + 1) * dim],
-                                &centroids[ai * dim..(ai + 1) * dim],
-                            );
-                            let db = sq_dist(
-                                &flat[j * dim..(j + 1) * dim],
-                                &centroids[aj * dim..(aj + 1) * dim],
-                            );
-                            da.partial_cmp(&db).expect("finite distances")
-                        })
-                        .expect("points non-empty");
+                    // clusters. `total_cmp` keeps the argmax well-defined
+                    // (and deterministic) even if a distance went NaN.
+                    let Some(far) = (0..n).max_by(|&i, &j| {
+                        let ai = scratch.assignments[i];
+                        let aj = scratch.assignments[j];
+                        let da = sq_dist(
+                            &flat[i * dim..(i + 1) * dim],
+                            &centroids[ai * dim..(ai + 1) * dim],
+                        );
+                        let db = sq_dist(
+                            &flat[j * dim..(j + 1) * dim],
+                            &centroids[aj * dim..(aj + 1) * dim],
+                        );
+                        da.total_cmp(&db)
+                    }) else {
+                        continue; // n == 0 cannot reach here (validated)
+                    };
                     let far_pt = &flat[far * dim..(far + 1) * dim];
                     movement += sq_dist(&centroids[c * dim..(c + 1) * dim], far_pt);
                     centroids[c * dim..(c + 1) * dim].copy_from_slice(far_pt);
@@ -762,17 +769,20 @@ impl KMeans {
                 if counts[c] == 0 {
                     // Empty cluster: re-seed at the point farthest from its
                     // assigned centroid to keep exactly k non-empty
-                    // clusters.
-                    let far = points
+                    // clusters. `total_cmp` keeps the argmax well-defined
+                    // (and deterministic) even if a distance went NaN.
+                    let Some(far) = points
                         .iter()
                         .enumerate()
                         .max_by(|(i, a), (j, b)| {
                             let da = sq_dist(a, &centroids[assignments[*i]]);
                             let db = sq_dist(b, &centroids[assignments[*j]]);
-                            da.partial_cmp(&db).expect("finite distances")
+                            da.total_cmp(&db)
                         })
                         .map(|(i, _)| i)
-                        .expect("points non-empty");
+                    else {
+                        continue; // points are validated non-empty
+                    };
                     movement += sq_dist(&centroids[c], &points[far]);
                     centroids[c] = points[far].clone();
                     continue;
@@ -799,6 +809,50 @@ impl KMeans {
             iterations,
         }
     }
+}
+
+/// Debug-build invariant from the paper's Sec. V-B: a k-means result is
+/// an *exact partition* of the `n` input points — one in-range label per
+/// point, with the per-cluster counts summing back to `n` — and every
+/// centroid coordinate is finite. Exercised automatically by the simnet
+/// determinism suite, which drives this path at several thread counts.
+fn debug_assert_partition(result: &KMeansResult, n: usize, k: usize) {
+    if !cfg!(debug_assertions) {
+        return; // hot path: the checks below must cost nothing in release
+    }
+    debug_assert_eq!(
+        result.assignments.len(),
+        n,
+        "every point must receive exactly one cluster label"
+    );
+    debug_assert!(
+        result.centroids.len() >= k.min(n),
+        "centroid count {} below expected {}",
+        result.centroids.len(),
+        k.min(n)
+    );
+    let mut counts = vec![0usize; result.centroids.len()];
+    for (i, &label) in result.assignments.iter().enumerate() {
+        debug_assert!(
+            label < result.centroids.len(),
+            "point {i} assigned to out-of-range cluster {label}"
+        );
+        if label < counts.len() {
+            counts[label] += 1;
+        }
+    }
+    debug_assert_eq!(
+        counts.iter().sum::<usize>(),
+        n,
+        "cluster sizes must sum to the point count (exact partition)"
+    );
+    debug_assert!(
+        result
+            .centroids
+            .iter()
+            .all(|c| c.iter().all(|v| v.is_finite())),
+        "k-means centroids must stay finite"
+    );
 }
 
 /// Squared Euclidean distance between two equal-length vectors.

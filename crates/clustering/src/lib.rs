@@ -30,6 +30,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod baselines;
 mod error;

@@ -129,10 +129,12 @@ pub fn select_k(
             best = Some((k, sil));
         }
     }
-    Ok(KSelection {
-        best_k: best.expect("candidates non-empty").0,
-        scores,
-    })
+    // `candidates` was checked non-empty, so the first iteration always
+    // seeds `best`; the error arm keeps this branch statically panic-free.
+    match best {
+        Some((best_k, _)) => Ok(KSelection { best_k, scores }),
+        None => Err(ClusteringError::EmptyInput),
+    }
 }
 
 #[cfg(test)]

@@ -203,6 +203,17 @@ impl DynamicClusterer {
             (assignments, centroids)
         };
 
+        // Runtime invariant (paper Sec. V-B): the re-indexed centroids feed
+        // the per-cluster forecasters, so a non-finite coordinate here
+        // would poison every later forecast for that persistent label. The
+        // simnet determinism suite drives this across thread counts.
+        debug_assert!(
+            centroids
+                .iter()
+                .flat_map(|c| c.iter())
+                .all(|v| v.is_finite()),
+            "matched centroids must stay finite after re-indexing"
+        );
         self.history.push_front(assignments.clone());
         let window = self.config.m.max(1);
         while self.history.len() > window {

@@ -48,6 +48,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod allocate;
 pub mod cluster;

@@ -34,14 +34,18 @@ pub fn forecast_membership(window: &[&[usize]], i: usize, k: usize) -> usize {
             first_seen[label] = age;
         }
     }
-    (0..k)
-        .max_by(|&a, &b| {
-            counts[a]
-                .cmp(&counts[b])
-                // Lower age = more recent = preferred on ties.
-                .then(first_seen[b].cmp(&first_seen[a]))
-        })
-        .expect("k >= 1")
+    // Infallible argmax (the label-range assertions above guarantee
+    // k >= 1 once the window is non-empty): highest count wins, ties go
+    // to the lower age (more recently seen).
+    let mut best = 0usize;
+    for cand in 1..k {
+        if counts[cand] > counts[best]
+            || (counts[cand] == counts[best] && first_seen[cand] < first_seen[best])
+        {
+            best = cand;
+        }
+    }
+    best
 }
 
 /// Computes the largest `α ∈ (0, 1]` such that `c_j + α (z − c_j)` remains

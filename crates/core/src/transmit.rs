@@ -188,6 +188,25 @@ impl AdaptiveTransmitter {
         // spends it in bursts when the data changes; the long-run frequency
         // still converges to B because Q(t)/t -> 0.
         self.queue += if beta { 1.0 } else { 0.0 } - self.config.budget;
+        // Runtime invariant (paper Sec. V-A, adapted): the clamped queue of
+        // the paper satisfies Q(t) >= 0; this repo's signed Eq. (9) variant
+        // banks credit instead, so its invariant is the exact band
+        // -B*t <= Q(t) <= (1-B)*t (every step adds beta - B, beta in {0,1}).
+        // A queue outside the band (or non-finite) means the Lyapunov
+        // update was corrupted, which would silently destroy the long-run
+        // budget guarantee.
+        debug_assert!(
+            self.queue.is_finite(),
+            "virtual queue went non-finite at step {}",
+            self.t
+        );
+        debug_assert!(
+            self.queue >= -(self.config.budget * self.t as f64) - 1e-6
+                && self.queue <= (1.0 - self.config.budget) * self.t as f64 + 1e-6,
+            "virtual queue {} outside [-B*t, (1-B)*t] at step {}",
+            self.queue,
+            self.t
+        );
         if beta {
             self.sent += 1;
         }

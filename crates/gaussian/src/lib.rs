@@ -46,6 +46,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod error;
 pub mod estimate;

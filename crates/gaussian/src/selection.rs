@@ -63,7 +63,7 @@ impl MonitorSelector for TopW {
         let mut scored: Vec<(usize, f64)> = (0..train.nrows())
             .map(|i| (i, coverage_score(cov, i)))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         Ok(scored.into_iter().take(k).map(|(i, _)| i).collect())
     }
 
@@ -91,11 +91,9 @@ impl MonitorSelector for TopWUpdate {
             let best = (0..n)
                 .filter(|i| !monitors.contains(i))
                 .max_by(|&a, &b| {
-                    coverage_score(&residual, a)
-                        .partial_cmp(&coverage_score(&residual, b))
-                        .expect("finite scores")
+                    coverage_score(&residual, a).total_cmp(&coverage_score(&residual, b))
                 })
-                .expect("k <= n guarantees a candidate");
+                .ok_or(GaussianError::TooManyMonitors { k, nodes: n })?;
             monitors.push(best);
         }
         Ok(monitors)
@@ -124,11 +122,9 @@ impl MonitorSelector for BatchSelection {
             let best = (0..n)
                 .filter(|i| !monitors.contains(i))
                 .max_by(|&a, &b| {
-                    coverage_score(&residual, a)
-                        .partial_cmp(&coverage_score(&residual, b))
-                        .expect("finite scores")
+                    coverage_score(&residual, a).total_cmp(&coverage_score(&residual, b))
                 })
-                .expect("k <= n guarantees a candidate");
+                .ok_or(GaussianError::TooManyMonitors { k, nodes: n })?;
             monitors.push(best);
             // Rank-1 Schur update: R <- R − r_b r_bᵀ / R(b,b).
             let var = residual[(best, best)];
@@ -196,9 +192,12 @@ impl ProposedKMeans {
         // an arbitrary unused node so we always return k monitors.
         for slot in 0..monitors.len() {
             if monitors[slot] == usize::MAX {
-                let unused = (0..train.nrows())
-                    .find(|i| !monitors.contains(i))
-                    .expect("k <= n guarantees an unused node");
+                let unused = (0..train.nrows()).find(|i| !monitors.contains(i)).ok_or(
+                    GaussianError::TooManyMonitors {
+                        k,
+                        nodes: train.nrows(),
+                    },
+                )?;
                 monitors[slot] = unused;
             }
         }

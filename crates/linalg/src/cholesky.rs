@@ -82,9 +82,11 @@ impl Cholesky {
         let mut jitter = initial_jitter;
         let mut last_err = LinalgError::NotPositiveDefinite { pivot: 0 };
         for _ in 0..max_tries {
-            let ridged = a
-                .add(&Matrix::identity(n).scale(jitter))
-                .expect("same shape");
+            // `?` instead of expect: `a` is square whenever `Cholesky::new`
+            // got far enough to report NotPositiveDefinite, but a
+            // NotSquare first attempt lands here too and must propagate
+            // as an error, not a panic.
+            let ridged = a.add(&Matrix::identity(n).scale(jitter))?;
             match Cholesky::new(&ridged) {
                 Ok(c) => return Ok(c),
                 Err(e) => {

@@ -22,6 +22,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 mod cholesky;
 mod error;

@@ -208,6 +208,8 @@ impl Matrix {
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
+                // lint:allow(float-eq): exact zero skip in the sparse
+                // inner product; near-zero values must still multiply
                 if a == 0.0 {
                     continue;
                 }
@@ -374,6 +376,8 @@ impl Matrix {
             let pivot = a[col * n + col];
             for r in col + 1..n {
                 let factor = a[r * n + col] / pivot;
+                // lint:allow(float-eq): exact zero skip of a no-op
+                // elimination row; an epsilon here would change the result
                 if factor == 0.0 {
                     continue;
                 }

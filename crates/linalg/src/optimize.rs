@@ -91,6 +91,8 @@ where
     simplex.push((x0.to_vec(), f0));
     for i in 0..n {
         let mut xi = x0.to_vec();
+        // lint:allow(float-eq): exact zero test picks the absolute-step
+        // branch; a relative step off an exactly zero coordinate is zero
         let step = if xi[i] == 0.0 {
             opts.initial_step
         } else {
@@ -103,7 +105,7 @@ where
 
     let mut converged = false;
     while evals < opts.max_evals {
-        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         // Convergence checks on objective spread and coordinate spread.
         let f_best = simplex[0].1;
@@ -168,7 +170,7 @@ where
         }
     }
 
-    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN mapped to inf"));
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     let (x, fx) = simplex.swap_remove(0);
     OptimizeResult {
         x,

@@ -80,6 +80,8 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     let cov = covariance(xs, ys);
     let sx = sample_variance(xs).sqrt();
     let sy = sample_variance(ys).sqrt();
+    // lint:allow(float-eq): exact zero guard before division; any nonzero
+    // variance, however tiny, yields a well-defined correlation
     if sx == 0.0 || sy == 0.0 {
         return 0.0;
     }
@@ -134,6 +136,9 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 
 /// Linear-interpolation quantile of a sample, `q` in `[0, 1]`.
 ///
+/// NaN values are ordered after `+inf` (IEEE total order), so they can
+/// only influence the top quantiles instead of poisoning the sort.
+///
 /// # Panics
 ///
 /// Panics if `xs` is empty or `q` is outside `[0, 1]`.
@@ -141,7 +146,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile requires non-empty input");
     assert!((0.0..=1.0).contains(&q), "q must be within [0, 1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -177,7 +182,7 @@ impl Ecdf {
     /// Builds the ECDF from a sample. NaN values are dropped.
     pub fn new(mut sample: Vec<f64>) -> Self {
         sample.retain(|v| !v.is_nan());
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN removed above"));
+        sample.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted: sample }
     }
 

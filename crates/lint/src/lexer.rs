@@ -1,0 +1,627 @@
+//! A minimal, lossy Rust lexer.
+//!
+//! The linter has no access to a crates registry, so it cannot lean on
+//! `syn` or rustc internals. Instead this module tokenizes Rust source
+//! just accurately enough for the rule engine: it must *never* report a
+//! match inside a comment, a string/char literal, or a doc example, and
+//! it must keep enough structure (line numbers, float-vs-int literals,
+//! multi-char operators, attribute brackets) for the rules in
+//! [`crate::rules`] to pattern-match reliably.
+//!
+//! It is deliberately lossy everywhere else: whitespace is dropped,
+//! literal values are kept as raw text, and no syntax tree is built.
+
+/// The coarse classification the rule engine needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, `r#type`).
+    Ident,
+    /// Integer literal (including hex/octal/binary and suffixed forms).
+    Int,
+    /// Float literal (`1.0`, `1.`, `2e5`, `1f64`, ...).
+    Float,
+    /// String literal of any flavor (plain, raw, byte, raw byte).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Operator or delimiter; multi-char operators (`==`, `::`, `..=`)
+    /// are a single token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Raw source text of the token (for `Str` the quotes are included).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is a `Punct` with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// True when the token is an `Ident` with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+}
+
+/// A comment (line or block) with the 1-based line it starts on.
+///
+/// Comments carry the suppression markers (`lint:allow(...)`), so they
+/// are collected instead of discarded.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+}
+
+/// The output of [`lex`]: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const OPS3: &[&str] = &["..=", "<<=", ">>=", "..."];
+const OPS2: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`, separating comments from code tokens.
+///
+/// The lexer is resilient: malformed input (unterminated strings or
+/// comments) consumes to end of input instead of failing, so a single
+/// odd file cannot abort a repository scan.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let len = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| -> char {
+        if i < len {
+            chars[i]
+        } else {
+            '\0'
+        }
+    };
+
+    while i < len {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && at(i + 1) == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < len && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, with nesting (Rust block comments nest).
+        if c == '/' && at(i + 1) == '*' {
+            let start_line = line;
+            let start = i + 2;
+            let mut j = start;
+            let mut depth = 1usize;
+            while j < len && depth > 0 {
+                if chars[j] == '/' && at(j + 1) == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && at(j + 1) == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if chars[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..end].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // String-ish prefixes: r"", r#""#, b"", br#""#, b'', and raw
+        // identifiers r#ident. Decide by lookahead before falling back to
+        // a plain identifier.
+        if c == 'r' || c == 'b' {
+            let (raw, byte, after_prefix) = match (c, at(i + 1)) {
+                ('r', _) => (true, false, i + 1),
+                ('b', 'r') => (true, true, i + 2),
+                ('b', _) => (false, true, i + 1),
+                _ => unreachable!(),
+            };
+            let _ = byte;
+            if raw {
+                // Count hashes after the r.
+                let mut hashes = 0usize;
+                while at(after_prefix + hashes) == '#' {
+                    hashes += 1;
+                }
+                if at(after_prefix + hashes) == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let start_line = line;
+                    let mut j = after_prefix + hashes + 1;
+                    loop {
+                        if j >= len {
+                            break;
+                        }
+                        if chars[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if chars[j] == '"' && (0..hashes).all(|h| at(j + 1 + h) == '#') {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: chars[i..j.min(len)].iter().collect(),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && is_ident_start(at(after_prefix + 1)) {
+                    // Raw identifier r#ident.
+                    let mut j = after_prefix + 1;
+                    while j < len && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: chars[after_prefix + 1..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+                // Fall through: plain identifier starting with r/b.
+            } else if at(after_prefix) == '"' {
+                // Byte string b"...": same scanning as a plain string.
+                let (tok, j, nl) = lex_plain_string(&chars, i, after_prefix, line);
+                line += nl;
+                out.tokens.push(tok);
+                i = j;
+                continue;
+            } else if c == 'b' && at(after_prefix) == '\'' {
+                // Byte char b'x'.
+                let (j, nl) = skip_char_literal(&chars, after_prefix);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i..j.min(len)].iter().collect(),
+                    line,
+                });
+                line += nl;
+                i = j;
+                continue;
+            }
+            // Not a literal: lex as identifier below.
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < len && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (tok, j) = lex_number(&chars, i, line);
+            out.tokens.push(tok);
+            i = j;
+            continue;
+        }
+        if c == '"' {
+            let (tok, j, nl) = lex_plain_string(&chars, i, i, line);
+            line += nl;
+            out.tokens.push(tok);
+            i = j;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal. `'a'` is a char, `'a` (no closing
+            // quote) is a lifetime, `'\...'` is always a char.
+            let n1 = at(i + 1);
+            if n1 == '\\' || (at(i + 2) == '\'' && n1 != '\'') {
+                let (j, nl) = skip_char_literal(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: chars[i..j.min(len)].iter().collect(),
+                    line,
+                });
+                line += nl;
+                i = j;
+                continue;
+            }
+            if is_ident_start(n1) {
+                let mut j = i + 2;
+                while j < len && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Anything else (e.g. a stray quote): single punct.
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Operators, longest match first.
+        let rest: String = chars[i..(i + 3).min(len)].iter().collect();
+        let mut matched = None;
+        for op in OPS3 {
+            if rest.starts_with(op) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if matched.is_none() {
+            for op in OPS2 {
+                if rest.starts_with(op) {
+                    matched = Some(*op);
+                    break;
+                }
+            }
+        }
+        if let Some(op) = matched {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.to_string(),
+                line,
+            });
+            i += op.len();
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Lexes a plain (escaped) string literal starting at `quote` (the index
+/// of the opening `"`); `start` is where the token text begins (it may
+/// include a `b` prefix). Returns the token, the index one past the
+/// closing quote, and how many newlines were crossed.
+fn lex_plain_string(chars: &[char], start: usize, quote: usize, line: u32) -> (Token, usize, u32) {
+    let len = chars.len();
+    let mut j = quote + 1;
+    let mut newlines = 0u32;
+    while j < len {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let tok = Token {
+        kind: TokenKind::Str,
+        text: chars[start..j.min(len)].iter().collect(),
+        line,
+    };
+    (tok, j, newlines)
+}
+
+/// Skips a char literal starting at the opening `'`; returns the index
+/// one past the closing `'` and newlines crossed (0 for valid literals).
+fn skip_char_literal(chars: &[char], start: usize) -> (usize, u32) {
+    let len = chars.len();
+    let mut j = start + 1;
+    let mut newlines = 0u32;
+    while j < len {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => {
+                j += 1;
+                break;
+            }
+            '\n' => {
+                // Malformed literal; stop at the line break so the rest of
+                // the file still lexes.
+                newlines += 1;
+                j += 1;
+                break;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Lexes a numeric literal starting at `start`, classifying it as
+/// [`TokenKind::Float`] or [`TokenKind::Int`] following Rust's rules
+/// closely enough for the NaN-safety checks: a literal is a float when it
+/// has a fractional part, a decimal exponent, or an `f32`/`f64` suffix.
+fn lex_number(chars: &[char], start: usize, line: u32) -> (Token, usize) {
+    let len = chars.len();
+    let at = |i: usize| -> char {
+        if i < len {
+            chars[i]
+        } else {
+            '\0'
+        }
+    };
+    let mut j = start;
+    let mut is_float = false;
+
+    if chars[start] == '0' && matches!(at(start + 1), 'x' | 'o' | 'b') {
+        // Radix literal: digits, underscores, and the suffix run together.
+        j = start + 2;
+        while j < len && (is_ident_continue(chars[j])) {
+            j += 1;
+        }
+        let tok = Token {
+            kind: TokenKind::Int,
+            text: chars[start..j].iter().collect(),
+            line,
+        };
+        return (tok, j);
+    }
+
+    while j < len && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: `1.5`, or trailing `1.` — but not `1..2` (range)
+    // and not `x.0.1`-style field access (`.` followed by an identifier).
+    if at(j) == '.' {
+        let next = at(j + 1);
+        if next.is_ascii_digit() {
+            is_float = true;
+            j += 1;
+            while j < len && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        } else if next != '.' && !is_ident_start(next) {
+            is_float = true;
+            j += 1;
+        }
+    }
+    // Decimal exponent.
+    if matches!(at(j), 'e' | 'E') {
+        let mut k = j + 1;
+        if matches!(at(k), '+' | '-') {
+            k += 1;
+        }
+        if at(k).is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < len && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix (`u32`, `f64`, ...).
+    let suffix_start = j;
+    while j < len && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        is_float = true;
+    }
+    let tok = Token {
+        kind: if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        },
+        text: chars[start..j].iter().collect(),
+        line,
+    };
+    (tok, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_separated_from_tokens() {
+        let out = lex("let x = 1; // trailing unwrap() mention\n/* block\npanic! */ let y;");
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("unwrap"));
+        assert!(out.comments[1].text.contains("panic"));
+        assert!(!out.tokens.iter().any(|t| t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let out = lex("/// calls .unwrap() on the result\nfn f() {}\n//! also .expect(\"x\")\n");
+        assert_eq!(out.comments.len(), 2);
+        assert!(!out.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!out.tokens.iter().any(|t| t.is_ident("expect")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = "let s = \"call .unwrap() or panic!\"; let r = r#\"expect(\"x\")\"#;";
+        let out = lex(src);
+        assert!(!out.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!out.tokens.iter().any(|t| t.is_ident("expect")));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let out = lex("let s = r##\"has \"# inside and .unwrap()\"## ;");
+        let strs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(!out.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn raw_idents_and_prefixed_idents() {
+        let out = lex("let r#type = rate + bail;");
+        assert!(out.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(out.tokens.iter().any(|t| t.is_ident("rate")));
+        assert!(out.tokens.iter().any(|t| t.is_ident("bail")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let out = lex(r"let c = '\n'; let q = '\''; let u = '\u{1F600}';");
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = kinds("1 1.0 1. 2e5 1_000 0xFF 3f64 7u32 1e-3");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "1.", "2e5", "3f64", "1e-3"]);
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["1", "1_000", "0xFF", "7u32"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..10 {} for j in 0..=3 {}");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "..="));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = kinds("a == b != c :: d -> e => f");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "::", "->", "=>"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "let a = 1;\nlet s = \"multi\nline\";\n/* block\ncomment */\nlet b = 2;\n";
+        let out = lex(src);
+        let b = out
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("b token");
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(out.tokens.iter().any(|t| t.is_ident("x")));
+        assert_eq!(out.comments.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! CLI entry point: `cargo run -p utilcast-lint [-- [--root DIR] [FILES..]]`.
+//!
+//! With no arguments, scans the repository's library crates and the
+//! vendor inventory, printing `file:line: [rule] message` per violation
+//! and exiting nonzero when any survive. With file arguments, lints just
+//! those files (handy when iterating on a fix). `--rules` prints the
+//! rule catalogue.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use utilcast_lint::{find_repo_root, lint_repo, lint_source, rules::count_by_rule, Rule};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rules" => {
+                for rule in Rule::ALL {
+                    println!("{:<13} {}", rule.id(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("utilcast-lint: --root requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: utilcast-lint [--root DIR] [--rules] [FILES..]");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    if !files.is_empty() {
+        let mut violations = 0usize;
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("utilcast-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let outcome = lint_source(&path.to_string_lossy(), &src);
+            for diag in &outcome.diagnostics {
+                println!("{diag}");
+            }
+            violations += outcome.diagnostics.len();
+        }
+        return summarize(violations, files.len(), 0);
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("utilcast-lint: cannot resolve working directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match root.or_else(|| find_repo_root(&cwd)) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "utilcast-lint: no workspace root found above {}",
+                cwd.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match lint_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("utilcast-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if !report.diagnostics.is_empty() {
+        let counts = count_by_rule(&report.diagnostics);
+        let breakdown: Vec<String> = counts
+            .iter()
+            .map(|(rule, n)| format!("{n} {rule}"))
+            .collect();
+        eprintln!("breakdown: {}", breakdown.join(", "));
+    }
+    summarize(report.diagnostics.len(), report.files, report.suppressed)
+}
+
+fn summarize(violations: usize, files: usize, suppressed: usize) -> ExitCode {
+    if violations == 0 {
+        println!(
+            "utilcast-lint: clean ({files} file(s) scanned, {suppressed} suppression(s) honored)"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("utilcast-lint: {violations} violation(s) across {files} file(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,853 @@
+//! The rule engine: repo-invariant checks over the token stream.
+//!
+//! Four rule families guard the invariants the controller pipeline
+//! depends on (see `DESIGN.md` §9):
+//!
+//! * **panic-freedom** (`panic`) — no `unwrap`/`expect` calls and no
+//!   `panic!`/`todo!`/`unimplemented!`/`unreachable!` macros in non-test
+//!   library code. A poisoned edge case must surface as a typed error,
+//!   not tear down the always-on controller loop.
+//! * **NaN-safety** (`nan-cmp`, `float-eq`) — no
+//!   `partial_cmp(..).unwrap()/expect()` comparators (one NaN in an
+//!   argmin/sort panics or corrupts ordering; use `f64::total_cmp`) and
+//!   no `==`/`!=` against float literals or `f64::NAN`-style constants
+//!   (use `total_cmp` or an epsilon helper).
+//! * **determinism** (`determinism`) — no `HashMap`/`HashSet`,
+//!   `Instant::now`/`SystemTime::now`, `thread_rng`, or `from_entropy`
+//!   in library crates: iteration order and wall-clock reads would break
+//!   the bit-identical thread-count determinism established in PR 2.
+//! * **hygiene** (`hygiene`) — crate roots keep `#![forbid(unsafe_code)]`
+//!   and every vendored dependency is documented (checked at repo level
+//!   in [`crate::lint_repo`]).
+//!
+//! Violations are suppressed only by an inline marker on (or directly
+//! above) the offending line:
+//!
+//! ```text
+//! // lint:allow(panic): injected fault; the supervisor must observe a real panic
+//! ```
+//!
+//! A marker with an unknown rule, a missing justification, or no
+//! violation to suppress is itself reported (`suppression`), so every
+//! exception stays auditable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// A rule family identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Panic-freedom: no `unwrap`/`expect`/panicking macros.
+    Panic,
+    /// NaN-safety: no `partial_cmp(..).unwrap()/expect()`.
+    NanCmp,
+    /// NaN-safety: no raw `==`/`!=` against float literals/constants.
+    FloatEq,
+    /// Determinism: no hash collections, wall-clock, or entropy sources.
+    Determinism,
+    /// Hygiene: `#![forbid(unsafe_code)]`, vendored deps documented.
+    Hygiene,
+    /// Meta: malformed or unused `lint:allow` markers.
+    Suppression,
+}
+
+impl Rule {
+    /// All rules, in reporting order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::Panic,
+        Rule::NanCmp,
+        Rule::FloatEq,
+        Rule::Determinism,
+        Rule::Hygiene,
+        Rule::Suppression,
+    ];
+
+    /// The identifier used in diagnostics and `lint:allow(...)` markers.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::NanCmp => "nan-cmp",
+            Rule::FloatEq => "float-eq",
+            Rule::Determinism => "determinism",
+            Rule::Hygiene => "hygiene",
+            Rule::Suppression => "suppression",
+        }
+    }
+
+    /// One-line description for `--rules` output and the docs.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Panic => {
+                "no unwrap/expect or panic!/todo!/unimplemented!/unreachable! in library code"
+            }
+            Rule::NanCmp => "no partial_cmp(..).unwrap()/expect(); use f64::total_cmp",
+            Rule::FloatEq => "no ==/!= against float literals or NAN/INFINITY constants",
+            Rule::Determinism => {
+                "no HashMap/HashSet, Instant::now/SystemTime::now, thread_rng, or from_entropy"
+            }
+            Rule::Hygiene => "crate roots forbid unsafe_code; vendored deps stay documented",
+            Rule::Suppression => "lint:allow markers must be well-formed and actually used",
+        }
+    }
+
+    /// Parses a marker identifier.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Path of the offending file (as given to the engine).
+    pub file: String,
+    /// 1-based line of the offending token or marker.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations that survived suppression.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of violations silenced by a valid `lint:allow` marker.
+    pub suppressed: usize,
+}
+
+/// A parsed `lint:allow` marker bound to a source line.
+struct Allow {
+    rule: Rule,
+    /// The code line the marker suppresses.
+    bound_line: u32,
+    /// The line the marker itself appears on (for unused reports).
+    marker_line: u32,
+    used: bool,
+}
+
+/// Runs the token-level rules (`panic`, `nan-cmp`, `float-eq`,
+/// `determinism`) over one lexed library-crate file and applies the
+/// suppression protocol.
+pub fn lint_file(file: &str, lexed: &Lexed) -> FileOutcome {
+    let mut outcome = FileOutcome::default();
+    let (mut allows, marker_diags) = collect_allows(file, lexed);
+    let kept = strip_test_regions(&lexed.tokens);
+
+    let mut raw = Vec::new();
+    scan_panic_and_nan(file, &lexed.tokens, &kept, &mut raw);
+    scan_float_eq(file, &lexed.tokens, &kept, &mut raw);
+    scan_determinism(file, &lexed.tokens, &kept, &mut raw);
+
+    for diag in raw {
+        // A marker covers every violation of its rule on the bound line
+        // (e.g. `sx == 0.0 || sy == 0.0` is one guard, one justification).
+        let allow = allows
+            .iter_mut()
+            .find(|a| a.rule == diag.rule && a.bound_line == diag.line);
+        match allow {
+            Some(a) => {
+                a.used = true;
+                outcome.suppressed += 1;
+            }
+            None => outcome.diagnostics.push(diag),
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            outcome.diagnostics.push(Diagnostic {
+                file: file.to_string(),
+                line: a.marker_line,
+                rule: Rule::Suppression,
+                message: format!(
+                    "unused suppression: no `{}` violation on the line it covers",
+                    a.rule
+                ),
+            });
+        }
+    }
+    outcome.diagnostics.extend(marker_diags);
+    outcome.diagnostics.sort_by_key(|d| (d.line, d.rule));
+    outcome
+}
+
+/// Checks the crate-root hygiene rule: the file must carry
+/// `#![forbid(unsafe_code)]` somewhere in its (non-comment) tokens.
+pub fn check_crate_root(file: &str, lexed: &Lexed) -> Option<Diagnostic> {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("forbid") && toks.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            let close = matching_paren(toks, i + 1);
+            if toks[i + 2..close].iter().any(|t| t.is_ident("unsafe_code")) {
+                return None;
+            }
+        }
+    }
+    Some(Diagnostic {
+        file: file.to_string(),
+        line: 1,
+        rule: Rule::Hygiene,
+        message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+    })
+}
+
+/// Parses every `lint:allow(<rule>): <justification>` marker in the
+/// file's comments and binds each to the code line it suppresses: the
+/// marker's own line when that line holds code, otherwise the next line
+/// that does (so a comment-only marker line covers the statement below).
+fn collect_allows(file: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut code_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for comment in &lexed.comments {
+        let Some(pos) = comment.text.find("lint:allow") else {
+            continue;
+        };
+        let rest = &comment.text[pos + "lint:allow".len()..];
+        let parsed = parse_marker_body(rest);
+        match parsed {
+            Ok((rules, _justification)) => {
+                let bound = if code_lines.binary_search(&comment.line).is_ok() {
+                    Some(comment.line)
+                } else {
+                    // First code line strictly after the marker line.
+                    let idx = code_lines.partition_point(|&l| l <= comment.line);
+                    code_lines.get(idx).copied()
+                };
+                match bound {
+                    Some(bound_line) => {
+                        for rule in rules {
+                            allows.push(Allow {
+                                rule,
+                                bound_line,
+                                marker_line: comment.line,
+                                used: false,
+                            });
+                        }
+                    }
+                    None => diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: comment.line,
+                        rule: Rule::Suppression,
+                        message: "suppression marker has no code line to cover".to_string(),
+                    }),
+                }
+            }
+            Err(reason) => diags.push(Diagnostic {
+                file: file.to_string(),
+                line: comment.line,
+                rule: Rule::Suppression,
+                message: format!("malformed suppression marker: {reason}"),
+            }),
+        }
+    }
+    (allows, diags)
+}
+
+/// Parses the part of a marker after `lint:allow`: expects
+/// `(<rule>[, <rule>...]): <non-empty justification>`.
+fn parse_marker_body(rest: &str) -> Result<(Vec<Rule>, String), String> {
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return Err("expected `(` after lint:allow".to_string());
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("missing `)` in rule list".to_string());
+    };
+    let mut rules = Vec::new();
+    for id in inner[..close].split(',') {
+        let id = id.trim();
+        match Rule::from_id(id) {
+            Some(Rule::Suppression) | None => {
+                return Err(format!("unknown rule `{id}`"));
+            }
+            Some(rule) => rules.push(rule),
+        }
+    }
+    if rules.is_empty() {
+        return Err("empty rule list".to_string());
+    }
+    let after = &inner[close + 1..];
+    let Some(justification) = after.trim_start().strip_prefix(':') else {
+        return Err("expected `: <justification>` after rule list".to_string());
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err("empty justification".to_string());
+    }
+    Ok((rules, justification.to_string()))
+}
+
+/// Returns indices of tokens that are *not* inside test-only items
+/// (`#[cfg(test)]` / `#[test]` / `#[bench]` annotated mods, fns, or
+/// statements). A `#![cfg(test)]` inner attribute marks the whole file
+/// as test code.
+fn strip_test_regions(tokens: &[Token]) -> Vec<usize> {
+    let mut kept = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Inner attribute `#![...]`.
+        if tokens[i].is_punct("#")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct("["))
+        {
+            let close = matching_bracket(tokens, i + 2);
+            if attr_is_test(&tokens[i + 3..close]) {
+                return kept; // whole file is test-only from here on
+            }
+            for idx in i..=close.min(tokens.len().saturating_sub(1)) {
+                kept.push(idx);
+            }
+            i = close + 1;
+            continue;
+        }
+        // Outer attribute `#[...]`.
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let close = matching_bracket(tokens, i + 1);
+            if attr_is_test(&tokens[i + 2..close]) {
+                i = skip_attributed_item(tokens, close + 1);
+                continue;
+            }
+            for idx in i..=close.min(tokens.len().saturating_sub(1)) {
+                kept.push(idx);
+            }
+            i = close + 1;
+            continue;
+        }
+        kept.push(i);
+        i += 1;
+    }
+    kept
+}
+
+/// After a test attribute's closing `]` at `start`, skips any further
+/// attributes and then one item: everything up to and including the
+/// matching `}` of its first brace block, or a `;` at item depth.
+fn skip_attributed_item(tokens: &[Token], start: usize) -> usize {
+    let mut j = start;
+    // Skip stacked attributes (`#[cfg(test)] #[allow(...)] mod t { .. }`).
+    while j < tokens.len()
+        && tokens[j].is_punct("#")
+        && tokens.get(j + 1).is_some_and(|t| t.is_punct("["))
+    {
+        j = matching_bracket(tokens, j + 1) + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(";") && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether an attribute's tokens mark the following item as test-only.
+fn attr_is_test(attr: &[Token]) -> bool {
+    let Some(first) = attr.first() else {
+        return false;
+    };
+    if first.kind != TokenKind::Ident {
+        return false;
+    }
+    // Resolve the attribute path's last segment (`tokio::test` -> `test`).
+    let mut name = first.text.as_str();
+    let mut i = 1;
+    while attr.get(i).is_some_and(|t| t.is_punct("::"))
+        && attr.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+    {
+        name = attr[i + 1].text.as_str();
+        i += 2;
+    }
+    match name {
+        "test" | "bench" => true,
+        "cfg" => {
+            // `cfg(not(test))` marks *non*-test code: stay conservative and
+            // keep linting anything that mentions `not`.
+            if attr.iter().any(|t| t.is_ident("not")) {
+                return false;
+            }
+            attr.iter()
+                .any(|t| t.is_ident("test") || t.is_ident("bench") || t.is_ident("doctest"))
+        }
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open` (depth-aware).
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return idx;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the `)` matching the `(` at `open` (depth-aware).
+fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return idx;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Panic-freedom and NaN-comparator rules share one pass so that a
+/// `partial_cmp(..).expect(..)` chain reports a single `nan-cmp`
+/// diagnostic instead of doubling up with a `panic` one.
+fn scan_panic_and_nan(file: &str, tokens: &[Token], kept: &[usize], out: &mut Vec<Diagnostic>) {
+    let mut consumed = vec![false; tokens.len()];
+    // Pass 1: `.partial_cmp( ... ).unwrap()` / `.expect(`.
+    for (pos, &idx) in kept.iter().enumerate() {
+        let t = &tokens[idx];
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        let prev_is_dot = pos > 0 && tokens[kept[pos - 1]].is_punct(".");
+        if !prev_is_dot {
+            continue;
+        }
+        let Some(&open) = kept.get(pos + 1) else {
+            continue;
+        };
+        if !tokens[open].is_punct("(") {
+            continue;
+        }
+        let close = matching_paren(tokens, open);
+        // Find `close` in kept-index space and look at the two following
+        // kept tokens.
+        let close_pos = match kept[pos + 1..].iter().position(|&k| k == close) {
+            Some(off) => pos + 1 + off,
+            None => continue,
+        };
+        let dot = kept.get(close_pos + 1).map(|&k| &tokens[k]);
+        let method = kept.get(close_pos + 2).map(|&k| &tokens[k]);
+        if let (Some(d), Some(m)) = (dot, method) {
+            if d.is_punct(".") && (m.is_ident("unwrap") || m.is_ident("expect")) {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: m.line,
+                    rule: Rule::NanCmp,
+                    message: "partial_cmp(..).unwrap()/expect() panics on NaN; \
+                              use f64::total_cmp or map NaN to a sort key"
+                        .to_string(),
+                });
+                consumed[kept[close_pos + 2]] = true;
+            }
+        }
+    }
+    // Pass 2: plain panic sites.
+    for (pos, &idx) in kept.iter().enumerate() {
+        if consumed[idx] {
+            continue;
+        }
+        let t = &tokens[idx];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = pos.checked_sub(1).map(|p| &tokens[kept[p]]);
+        let next = kept.get(pos + 1).map(|&k| &tokens[k]);
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let is_call = prev.is_some_and(|p| p.is_punct(".") || p.is_punct("::"))
+                    && next.is_some_and(|n| n.is_punct("("));
+                if is_call {
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::Panic,
+                        message: format!(
+                            "`{}()` can panic; return a typed error or restructure infallibly",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable" => {
+                if next.is_some_and(|n| n.is_punct("!")) {
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::Panic,
+                        message: format!(
+                            "`{}!` in library code; return a typed error instead",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Raw float equality: `==`/`!=` with a float literal or a
+/// `f64::NAN`/`INFINITY`/`NEG_INFINITY` constant on either side.
+///
+/// This is a token-level approximation: comparisons between two float
+/// *variables* are invisible to it (no type inference), and a tuple
+/// access chain like `x.0.1` lexes as a float literal. Both edges are
+/// documented in DESIGN.md §9; the second has a `lint:allow` escape.
+fn scan_float_eq(file: &str, tokens: &[Token], kept: &[usize], out: &mut Vec<Diagnostic>) {
+    let is_float_const = |pos: usize, side_before: bool| -> bool {
+        // Matches `f64 :: NAN`-style paths ending (or starting) at `pos`.
+        let konst =
+            |t: &Token| t.is_ident("NAN") || t.is_ident("INFINITY") || t.is_ident("NEG_INFINITY");
+        let base = |t: &Token| t.is_ident("f64") || t.is_ident("f32");
+        if side_before {
+            // ... f64 :: NAN ==
+            pos >= 2
+                && konst(&tokens[kept[pos]])
+                && tokens[kept[pos - 1]].is_punct("::")
+                && base(&tokens[kept[pos - 2]])
+        } else {
+            // == f64 :: NAN ...
+            pos + 2 < kept.len()
+                && base(&tokens[kept[pos]])
+                && tokens[kept[pos + 1]].is_punct("::")
+                && konst(&tokens[kept[pos + 2]])
+        }
+    };
+    for (pos, &idx) in kept.iter().enumerate() {
+        let t = &tokens[idx];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let prev_float = pos
+            .checked_sub(1)
+            .is_some_and(|p| tokens[kept[p]].kind == TokenKind::Float || is_float_const(p, true));
+        let next_float = kept
+            .get(pos + 1)
+            .is_some_and(|_| tokens[kept[pos + 1]].kind == TokenKind::Float)
+            || is_float_const(pos + 1, false);
+        if prev_float || next_float {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::FloatEq,
+                message: format!(
+                    "raw `{}` against a float; use f64::total_cmp, an epsilon \
+                     helper, or justify the exact compare with lint:allow",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Determinism rule: flags identifiers whose presence in library code
+/// can make controller output depend on hasher seeds, wall-clock time,
+/// or OS entropy.
+fn scan_determinism(file: &str, tokens: &[Token], kept: &[usize], out: &mut Vec<Diagnostic>) {
+    for (pos, &idx) in kept.iter().enumerate() {
+        let t = &tokens[idx];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let message = match t.text.as_str() {
+            "HashMap" | "HashSet" => Some(format!(
+                "`{}` iteration order is nondeterministic; use BTreeMap/BTreeSet \
+                 or an index-keyed Vec",
+                t.text
+            )),
+            "Instant" | "SystemTime" => {
+                let is_now = kept.get(pos + 1).is_some_and(|&k| tokens[k].is_punct("::"))
+                    && kept
+                        .get(pos + 2)
+                        .is_some_and(|&k| tokens[k].is_ident("now"));
+                is_now.then(|| {
+                    format!(
+                        "`{}::now()` reads the wall clock; thread tick indices or \
+                         caller-supplied timestamps through instead",
+                        t.text
+                    )
+                })
+            }
+            "thread_rng" => Some(
+                "`thread_rng()` is OS-seeded; use a seeded StdRng passed in by the caller"
+                    .to_string(),
+            ),
+            "from_entropy" => Some(
+                "`from_entropy()` is OS-seeded; use SeedableRng::seed_from_u64 with a \
+                 caller-supplied seed"
+                    .to_string(),
+            ),
+            _ => None,
+        };
+        if let Some(message) = message {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::Determinism,
+                message,
+            });
+        }
+    }
+}
+
+/// Groups diagnostics per file for summary printing.
+pub fn count_by_rule(diags: &[Diagnostic]) -> BTreeMap<Rule, usize> {
+    let mut map = BTreeMap::new();
+    for d in diags {
+        *map.entry(d.rule).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_file("test.rs", &lex(src)).diagnostics
+    }
+
+    fn rules_fired(src: &str) -> Vec<Rule> {
+        lint(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_calls_fire() {
+        assert_eq!(rules_fired("fn f() { x.unwrap(); }"), vec![Rule::Panic]);
+        assert_eq!(
+            rules_fired("fn f() { x.expect(\"boom\"); }"),
+            vec![Rule::Panic]
+        );
+        assert_eq!(
+            rules_fired("fn f() { Option::unwrap(x); }"),
+            vec![Rule::Panic]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_family_is_fine() {
+        assert!(
+            lint("fn f() { x.unwrap_or(0).unwrap_or_else(|| 1).unwrap_or_default(); }").is_empty()
+        );
+        assert!(lint("fn f() { fn unwrap() {} unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn panicking_macros_fire() {
+        for m in [
+            "panic!(\"x\")",
+            "todo!()",
+            "unimplemented!()",
+            "unreachable!()",
+        ] {
+            let src = format!("fn f() {{ {m}; }}");
+            assert_eq!(rules_fired(&src), vec![Rule::Panic], "{m}");
+        }
+        // `assert!` is a documented-contract check, not a panic-freedom
+        // violation.
+        assert!(lint("fn f() { assert!(x > 0); assert_eq!(a, b); }").is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_chain_is_nan_cmp_not_panic() {
+        let fired = rules_fired("fn f() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }");
+        assert_eq!(fired, vec![Rule::NanCmp]);
+        let fired = rules_fired("fn f() { let o = a.partial_cmp(&b).expect(\"finite\"); }");
+        assert_eq!(fired, vec![Rule::NanCmp]);
+        // Handling the Option is the sanctioned pattern.
+        assert!(lint("fn f() { if let Some(o) = a.partial_cmp(&b) { use_it(o); } }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals_and_constants() {
+        assert_eq!(
+            rules_fired("fn f() { if x == 0.0 {} }"),
+            vec![Rule::FloatEq]
+        );
+        assert_eq!(
+            rules_fired("fn f() { if 1.5 != y {} }"),
+            vec![Rule::FloatEq]
+        );
+        assert_eq!(
+            rules_fired("fn f() { if x == f64::NAN {} }"),
+            vec![Rule::FloatEq]
+        );
+        assert_eq!(
+            rules_fired("fn f() { if f64::NEG_INFINITY == x {} }"),
+            vec![Rule::FloatEq]
+        );
+        assert!(lint("fn f() { if x == 0 {} if n != 10u32 {} }").is_empty());
+        assert!(lint("fn f() { if a.total_cmp(&b).is_eq() {} }").is_empty());
+    }
+
+    #[test]
+    fn determinism_sources_fire() {
+        assert_eq!(
+            rules_fired("use std::collections::HashMap;"),
+            vec![Rule::Determinism]
+        );
+        assert_eq!(
+            rules_fired("fn f() { let t = Instant::now(); }"),
+            vec![Rule::Determinism]
+        );
+        assert_eq!(
+            rules_fired("fn f() { let t = std::time::SystemTime::now(); }"),
+            vec![Rule::Determinism]
+        );
+        assert_eq!(
+            rules_fired("fn f() { let mut r = rand::thread_rng(); }"),
+            vec![Rule::Determinism]
+        );
+        // Non-clock uses of the same type names stay legal.
+        assert!(lint("fn f(deadline: Instant) -> Instant { deadline }").is_empty());
+        assert!(lint("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_docs_do_not_fire() {
+        assert!(lint("// x.unwrap() and panic! and HashMap\nfn f() {}").is_empty());
+        assert!(lint("/// Panics: calls .expect(\"x\") internally.\nfn f() {}").is_empty());
+        assert!(lint("fn f() { let s = \"call unwrap() or panic!()\"; }").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); panic!(); }\n}";
+        assert!(lint(src).is_empty());
+        // ... but code *after* the module is still linted.
+        let src2 = format!("{src}\nfn tail() {{ y.unwrap(); }}");
+        assert_eq!(rules_fired(&src2), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn test_fns_and_stacked_attrs_are_skipped() {
+        let src = "#[test]\nfn t() { x.unwrap(); }";
+        assert!(lint(src).is_empty());
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { x.unwrap(); }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn real() { x.unwrap(); }";
+        assert_eq!(rules_fired(src), vec![Rule::Panic]);
+    }
+
+    #[test]
+    fn inner_cfg_test_skips_whole_file() {
+        let src = "#![cfg(test)]\nfn t() { x.unwrap(); panic!(); }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn should_panic_attribute_does_not_fire() {
+        let src = "#[cfg(test)]\nmod t { #[test] #[should_panic(expected = \"boom\")] fn f() {} }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_same_line_and_line_above() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(panic): startup-only path\n";
+        assert!(lint(src).is_empty());
+        let src = "// lint:allow(panic): startup-only path\nfn f() { x.unwrap(); }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn suppression_reports_used_count() {
+        let src = "// lint:allow(panic): justified\nfn f() { x.unwrap(); }";
+        let outcome = lint_file("test.rs", &lex(src));
+        assert!(outcome.diagnostics.is_empty());
+        assert_eq!(outcome.suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_is_rule_specific() {
+        let src = "// lint:allow(float-eq): wrong rule\nfn f() { x.unwrap(); }";
+        let fired = rules_fired(src);
+        // The panic fires AND the suppression is reported unused.
+        assert!(fired.contains(&Rule::Panic));
+        assert!(fired.contains(&Rule::Suppression));
+    }
+
+    #[test]
+    fn malformed_suppressions_are_reported() {
+        for bad in [
+            "// lint:allow(panic)\nfn f() {}",            // no justification
+            "// lint:allow(panic):   \nfn f() {}",        // empty justification
+            "// lint:allow(made-up): because\nfn f() {}", // unknown rule
+            "// lint:allow panic: because\nfn f() {}",    // missing parens
+        ] {
+            let fired = rules_fired(bad);
+            assert!(fired.contains(&Rule::Suppression), "{bad}");
+        }
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src = "fn f() { if x == 0.0 { y.unwrap(); } } \
+                   // lint:allow(float-eq, panic): both justified here";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_hygiene() {
+        assert!(
+            check_crate_root("lib.rs", &lex("#![forbid(unsafe_code)]\npub fn f() {}")).is_none()
+        );
+        let diag = check_crate_root("lib.rs", &lex("pub fn f() {}"));
+        assert_eq!(diag.map(|d| d.rule), Some(Rule::Hygiene));
+        // A commented-out attribute does not count.
+        let diag = check_crate_root("lib.rs", &lex("// #![forbid(unsafe_code)]\npub fn f() {}"));
+        assert!(diag.is_some());
+    }
+
+    #[test]
+    fn diagnostics_point_at_the_right_line() {
+        let src = "fn a() {}\nfn b() {\n    x.unwrap();\n}";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a hash map behind an audited suppression — clean.
+
+// lint:allow(determinism): values are drained into a sorted Vec before use
+use std::collections::HashMap;
+
+pub fn scratch() -> usize {
+    // lint:allow(determinism): iteration order never observed; only len() is read
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}

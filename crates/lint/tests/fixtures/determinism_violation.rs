@@ -1,0 +1,28 @@
+//! Fixture: determinism true positives.
+
+use std::collections::HashMap; // line 3: determinism
+use std::time::Instant;
+
+pub fn count(keys: &[String]) -> HashMap<String, usize> {
+    // the signature above and the `new` below each fire: determinism
+    let mut m = HashMap::new();
+    for k in keys {
+        *m.entry(k.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn elapsed_ms(start: Instant) -> u128 {
+    let now = Instant::now(); // line 16: determinism
+    now.duration_since(start).as_millis()
+}
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // line 21: determinism
+    rng.gen()
+}
+
+/// Ordered containers and passed-in clocks must not fire.
+pub fn ok(deadline: Instant) -> (std::collections::BTreeMap<u32, u32>, Instant) {
+    (std::collections::BTreeMap::new(), deadline)
+}

@@ -1,0 +1,23 @@
+//! Fixture: raw float equality true positives.
+
+pub fn is_origin(x: f64) -> bool {
+    x == 0.0 // line 4: float-eq
+}
+
+pub fn not_half(y: f64) -> bool {
+    0.5 != y // line 8: float-eq
+}
+
+pub fn is_nan_wrong(z: f64) -> bool {
+    z == f64::NAN // line 12: float-eq (always false; use z.is_nan())
+}
+
+/// Integer equality must not fire.
+pub fn int_ok(n: usize) -> bool {
+    n == 0
+}
+
+/// Epsilon comparison must not fire.
+pub fn eps_ok(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-12
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `#![forbid(unsafe_code)]` — the
+//! commented-out attribute below must not satisfy the check.
+
+// #![forbid(unsafe_code)]
+
+pub fn noop() {}

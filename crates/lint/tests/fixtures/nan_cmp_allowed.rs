@@ -1,0 +1,6 @@
+//! Fixture: a NaN-unsafe comparator with an audited suppression — clean.
+
+pub fn sort_scores(scores: &mut Vec<f64>) {
+    // lint:allow(nan-cmp): inputs are validated finite two frames up
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

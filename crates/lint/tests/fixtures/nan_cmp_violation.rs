@@ -1,0 +1,23 @@
+//! Fixture: NaN-unsafe comparator true positives.
+
+pub fn sort_scores(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 4: nan-cmp
+}
+
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    (0..xs.len()).max_by(|&i, &j| {
+        xs[i]
+            .partial_cmp(&xs[j])
+            .expect("finite values") // line 11: nan-cmp
+    })
+}
+
+/// Using the Option is fine — must not fire.
+pub fn safe(a: f64, b: f64) -> bool {
+    matches!(a.partial_cmp(&b), Some(std::cmp::Ordering::Less))
+}
+
+/// The sanctioned replacement — must not fire.
+pub fn sanctioned(scores: &mut Vec<f64>) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,19 @@
+//! Fixture: the same panic sites, every one suppressed with a justified
+//! allow marker — must lint clean.
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, f64>, key: u32) -> f64 {
+    // lint:allow(panic): key presence is established by the caller's insert
+    let hit = map.get(&key).unwrap();
+    *hit
+}
+
+pub fn resolve(opt: Option<usize>) -> usize {
+    opt.expect("must be present") // lint:allow(panic): invariant documented at the call site
+}
+
+pub fn absurd(flag: bool) {
+    if flag {
+        // lint:allow(panic): unreachable by construction; flag is const false upstream
+        panic!("library code must not panic");
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: panic-freedom true positives.
+//! Doc mentions of .unwrap() or panic! must NOT fire; the code below must.
+
+/// Calls `.unwrap()` internally — this doc line is not a violation.
+pub fn lookup(map: &std::collections::BTreeMap<u32, f64>, key: u32) -> f64 {
+    let hit = map.get(&key).unwrap(); // line 6: panic
+    *hit
+}
+
+pub fn resolve(opt: Option<usize>) -> usize {
+    opt.expect("must be present") // line 11: panic
+}
+
+pub fn not_done() {
+    todo!() // line 15: panic
+}
+
+pub fn absurd(flag: bool) {
+    if flag {
+        panic!("library code must not panic"); // line 20: panic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        assert!(true);
+    }
+}

@@ -140,6 +140,8 @@ fn worker_loop(
             }
             WorkerMsg::Tick { t, xs, zs } => {
                 if panic_at == Some(t) {
+                    // lint:allow(panic): injected fault for the chaos suite;
+                    // the supervisor must observe a real worker panic
                     panic!("injected fault: worker for nodes {lo}..{hi} at tick {t}");
                 }
                 let reports: Vec<Report> = decide_shard(&mut transmitters, t, &xs, &zs)
@@ -303,7 +305,10 @@ pub fn run_threaded_supervised(
         }
         let mut tick_reports = Vec::new();
         for (s, &b) in bounds.iter().enumerate() {
-            let (xs, zs) = input_log[s].last().cloned().expect("pushed above");
+            // Same values the loop above logged for this shard, rebuilt
+            // from the sources instead of read back out of the log.
+            let (lo, hi) = b;
+            let (xs, zs) = (x[lo..hi].to_vec(), stored[lo..hi].to_vec());
             loop {
                 let delivered = links[s]
                     .in_tx

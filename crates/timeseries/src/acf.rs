@@ -40,6 +40,8 @@ pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(max_lag + 1);
     out.push(1.0);
     for lag in 1..=max_lag {
+        // lint:allow(float-eq): exact zero guard before dividing by the
+        // lag-0 autocovariance of a constant series
         if c0 == 0.0 {
             out.push(0.0);
             continue;

@@ -244,6 +244,8 @@ fn expand(coef: &[f64], scoef: &[f64], s: usize) -> Vec<f64> {
     }
     let mut prod = vec![0.0; deg + 1];
     for (i, &ai) in a.iter().enumerate() {
+        // lint:allow(float-eq): exact zero skip in the sparse polynomial
+        // product; small coefficients must still contribute
         if ai == 0.0 {
             continue;
         }
@@ -625,22 +627,26 @@ pub fn auto_arima(
     grid: &ArimaGrid,
     options: &ArimaFitOptions,
 ) -> Result<Arima, TimeSeriesError> {
-    let mut best: Option<Arima> = None;
+    // Track the winning AICc alongside the model so the reduction never
+    // re-reads (and never has to re-unwrap) the fitted criterion.
+    let mut best: Option<(Arima, f64)> = None;
     for order in grid.orders() {
         let mut model = Arima::with_options(order, options.clone());
         if model.fit(series).is_err() {
             continue;
         }
-        let aicc = model.aicc().expect("fitted above");
+        let Some(aicc) = model.aicc() else {
+            continue;
+        };
         if !aicc.is_finite() {
             continue;
         }
-        match &best {
-            Some(b) if b.aicc().expect("fitted") <= aicc => {}
-            _ => best = Some(model),
+        if best.as_ref().is_none_or(|(_, b)| *b > aicc) {
+            best = Some((model, aicc));
         }
     }
-    best.ok_or(TimeSeriesError::FitDiverged)
+    best.map(|(model, _)| model)
+        .ok_or(TimeSeriesError::FitDiverged)
 }
 
 /// A [`Forecaster`] that re-runs the AICc grid search on every (re)fit —

@@ -200,6 +200,8 @@ impl LstmLayer {
             // Accumulate parameter gradients and propagate to x and h_prev.
             let mut dh_prev = vec![0.0; h];
             for (row, &dzv) in dz.iter().enumerate() {
+                // lint:allow(float-eq): exact zero skip of a no-op
+                // gradient row; tiny gradients must still accumulate
                 if dzv == 0.0 {
                     continue;
                 }
@@ -360,7 +362,12 @@ impl Lstm {
             seq = cache.hs.clone();
             caches.push(cache);
         }
-        let last_h = seq.last().expect("window is non-empty").clone();
+        // `validate` rejects window == 0 before any forward pass; an empty
+        // sequence maps to the zero hidden state rather than a panic.
+        let last_h = match seq.last() {
+            Some(h) => h.clone(),
+            None => vec![0.0; state.head_w.len()],
+        };
         let pre: f64 = state
             .head_w
             .iter()

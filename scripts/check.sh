@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo run -q -p utilcast-lint"
+cargo run -q -p utilcast-lint
+
 echo "==> cargo clippy --all-targets -- -D warnings -D clippy::perf"
 cargo clippy --all-targets -- -D warnings -D clippy::perf
 
