@@ -41,6 +41,13 @@ pub struct ComputeOptions {
     /// Lloyd-iteration kernel for the per-step k-means (default: the
     /// optimized flat cached-norm kernel).
     pub kernel: Kernel,
+    /// Phase-offset each cluster's retraining schedule by
+    /// `j · retrain_every / K` steps so at most ~one model refits per tick
+    /// instead of all `K` spiking on the same tick (default `false`).
+    /// Purely step-counter driven, so results stay bit-identical at any
+    /// thread count; it changes *when* each model retrains, so reports
+    /// differ from the unstaggered schedule by construction.
+    pub retrain_stagger: bool,
 }
 
 impl Default for ComputeOptions {
@@ -50,6 +57,7 @@ impl Default for ComputeOptions {
             warm_start: true,
             cold_reseed_every: 288,
             kernel: Kernel::CachedNorms,
+            retrain_stagger: false,
         }
     }
 }
@@ -57,13 +65,15 @@ impl Default for ComputeOptions {
 impl ComputeOptions {
     /// The compute path of the original implementation — fully sequential,
     /// cold k-means++ restarts every step, exact-distance reference kernel
-    /// with per-iteration allocation — used as the benchmark baseline.
+    /// with per-iteration allocation, synchronized retrains — used as the
+    /// benchmark baseline.
     pub fn baseline() -> Self {
         ComputeOptions {
             threads: 1,
             warm_start: false,
             cold_reseed_every: 0,
             kernel: Kernel::Exact,
+            retrain_stagger: false,
         }
     }
 }
@@ -79,6 +89,7 @@ mod tests {
         assert!(c.warm_start);
         assert_eq!(c.cold_reseed_every, 288);
         assert_eq!(c.kernel, Kernel::CachedNorms);
+        assert!(!c.retrain_stagger);
     }
 
     #[test]
@@ -87,5 +98,6 @@ mod tests {
         assert_eq!(c.threads, 1);
         assert!(!c.warm_start);
         assert_eq!(c.kernel, Kernel::Exact);
+        assert!(!c.retrain_stagger);
     }
 }

@@ -96,6 +96,10 @@ impl ModelSpec {
 /// [`ModelSpec`] can build. Unlike `Box<dyn Forecaster>`, the whole fitted
 /// state is serializable, which is what makes controller checkpoints
 /// possible.
+// One instance exists per cluster (K ~ 10), so the size spread between
+// variants (AutoArima carries its warm-start table) costs nothing in
+// practice, while boxing would cost an indirection on every forecast call.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum ClusterModel {

@@ -94,6 +94,7 @@ pub struct StageSnapshot {
     t: usize,
     degraded: Vec<bool>,
     model_fallbacks: u64,
+    fallback_fit_failures: u64,
 }
 
 /// Report of one stage step.
@@ -107,6 +108,9 @@ pub struct StageReport {
     pub intermediate_rmse: f64,
     /// Whether any cluster model (re)trained this step.
     pub retrained: bool,
+    /// Sample-and-hold stand-in fits that failed while degrading clusters
+    /// this step (see [`ForecastStage::fallback_fit_failures`]).
+    pub fallback_fit_failures: u64,
 }
 
 /// What happened when one cluster's forecaster observed its centroid.
@@ -193,6 +197,10 @@ pub struct ForecastStage {
     /// Total fallback activations (initial degradations plus failed
     /// recovery attempts).
     model_fallbacks: u64,
+    /// Times the sample-and-hold stand-in itself failed to fit while
+    /// degrading a cluster — the cluster then keeps its broken primary and
+    /// forecasts hold the last observation.
+    fallback_fit_failures: u64,
 }
 
 impl std::fmt::Debug for ForecastStage {
@@ -233,17 +241,31 @@ impl ForecastStage {
             compute: config.compute,
             ..Default::default()
         });
-        let policy = RetrainPolicy {
-            warmup: config.warmup,
-            retrain_every: config.retrain_every,
-            max_train_window: None,
-        };
         let forecasters = (0..config.k)
-            .map(|_| RetrainingForecaster::new(config.model.build_model(), policy))
+            .map(|j| {
+                // With staggered retraining, cluster j's first training is
+                // delayed by j/K of the retrain interval; the retrain clock
+                // starts from the first training, so the phase offset
+                // persists and at most ~one model refits per tick. The
+                // schedule depends only on the step counter, never on
+                // thread timing.
+                let offset = if config.compute.retrain_stagger {
+                    (j * config.retrain_every) / config.k
+                } else {
+                    0
+                };
+                let policy = RetrainPolicy {
+                    warmup: config.warmup + offset,
+                    retrain_every: config.retrain_every,
+                    max_train_window: None,
+                };
+                RetrainingForecaster::new(config.model.build_model(), policy)
+            })
             .collect();
         Ok(ForecastStage {
             degraded: vec![false; config.k],
             model_fallbacks: 0,
+            fallback_fit_failures: 0,
             config,
             clusterer,
             forecasters,
@@ -269,6 +291,7 @@ impl ForecastStage {
             t: self.t,
             degraded: self.degraded.clone(),
             model_fallbacks: self.model_fallbacks,
+            fallback_fit_failures: self.fallback_fit_failures,
         }
     }
 
@@ -301,6 +324,7 @@ impl ForecastStage {
         stage.t = snapshot.t;
         stage.degraded = snapshot.degraded;
         stage.model_fallbacks = snapshot.model_fallbacks;
+        stage.fallback_fit_failures = snapshot.fallback_fit_failures;
         Ok(stage)
     }
 
@@ -315,15 +339,26 @@ impl ForecastStage {
     }
 
     /// Degrades cluster `j` to a sample-and-hold stand-in fitted on the
-    /// cluster's centroid history, counting the fallback.
-    fn degrade(&mut self, j: usize) {
+    /// cluster's centroid history, counting the fallback. Returns whether
+    /// the stand-in itself fitted; a failed stand-in fit is counted in
+    /// [`ForecastStage::fallback_fit_failures`] and leaves the previous
+    /// model installed (forecasts then hold the last observation via
+    /// `forecast_or_hold`).
+    fn degrade(&mut self, j: usize) -> bool {
         self.model_fallbacks += 1;
         self.degraded[j] = true;
         let mut hold = ClusterModel::SampleAndHold(SampleAndHold::new());
         // Sample-and-hold fits on any non-empty history, and observe()
-        // always records before fitting, so this cannot fail here.
-        let _ = hold.fit(self.forecasters[j].history());
-        self.forecasters[j].install_model(hold);
+        // always records before fitting, so failure is unexpected — but it
+        // must be surfaced, not discarded: a cluster silently running an
+        // unfitted stand-in would be invisible to operators.
+        let fit_ok = hold.fit(self.forecasters[j].history()).is_ok();
+        if fit_ok {
+            self.forecasters[j].install_model(hold);
+        } else {
+            self.fallback_fit_failures += 1;
+        }
+        fit_ok
     }
 
     /// Attempts to swap the primary model back in for a degraded cluster.
@@ -347,6 +382,13 @@ impl ForecastStage {
     /// sample-and-hold plus failed recovery attempts at later retrains.
     pub fn model_fallbacks(&self) -> u64 {
         self.model_fallbacks
+    }
+
+    /// Times the sample-and-hold stand-in itself failed to fit while
+    /// degrading a cluster. Nonzero values mean some cluster kept a broken
+    /// primary model and is holding its last observation.
+    pub fn fallback_fit_failures(&self) -> u64 {
+        self.fallback_fit_failures
     }
 
     /// Which clusters are currently degraded to the sample-and-hold
@@ -431,6 +473,7 @@ impl ForecastStage {
             &values,
             resolve_threads(self.config.compute.threads),
         );
+        let fit_failures_before = self.fallback_fit_failures;
         let mut retrained = false;
         for (j, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
@@ -474,6 +517,7 @@ impl ForecastStage {
                 .collect(),
             intermediate_rmse,
             retrained,
+            fallback_fit_failures: self.fallback_fit_failures - fit_failures_before,
         })
     }
 
@@ -622,6 +666,9 @@ mod tests {
         // 2 initial degradations + 2 clusters * 2 failed recoveries
         // (retrains at steps 15 and 25).
         assert_eq!(stage.model_fallbacks(), 6);
+        // The sample-and-hold stand-in always fits on the non-empty
+        // centroid history, so no stand-in fit failure is counted.
+        assert_eq!(stage.fallback_fit_failures(), 0);
         // Degraded clusters forecast via the fitted sample-and-hold
         // stand-in: finite, near the latest values.
         let fc = stage.forecast(2).unwrap();
@@ -689,6 +736,100 @@ mod tests {
         let (degraded, fallbacks) = run(4);
         assert_eq!(degraded, vec![true, true]);
         assert_eq!(fallbacks, 6);
+    }
+
+    #[test]
+    fn staggered_schedule_phase_offsets_first_trainings() {
+        // warmup 5, retrain 10, k = 3 with stagger: per-cluster offsets are
+        // 0, 3, 6 steps, so trainings land on disjoint ticks — 5, 8, 11,
+        // then every 10 from each — instead of all three spiking together.
+        let mut stage = ForecastStage::new(ForecastStageConfig {
+            compute: ComputeOptions {
+                retrain_stagger: true,
+                ..Default::default()
+            },
+            ..quick(6, 3)
+        })
+        .unwrap();
+        let mut retrain_steps = Vec::new();
+        for i in 1..=40 {
+            let wobble = 0.01 * (i % 5) as f64;
+            let z = [0.1 + wobble, 0.13, 0.5, 0.52 - wobble, 0.9, 0.88];
+            if stage.step(&z).unwrap().retrained {
+                retrain_steps.push(i);
+            }
+        }
+        assert_eq!(
+            retrain_steps,
+            vec![5, 8, 11, 15, 18, 21, 25, 28, 31, 35, 38],
+            "staggered trainings must land on phase-offset ticks"
+        );
+        // Unstaggered reference: all clusters train together at 5, 15, ….
+        let mut plain = ForecastStage::new(quick(6, 3)).unwrap();
+        let mut plain_steps = Vec::new();
+        for i in 1..=40 {
+            let wobble = 0.01 * (i % 5) as f64;
+            let z = [0.1 + wobble, 0.13, 0.5, 0.52 - wobble, 0.9, 0.88];
+            if plain.step(&z).unwrap().retrained {
+                plain_steps.push(i);
+            }
+        }
+        assert_eq!(plain_steps, vec![5, 15, 25, 35]);
+    }
+
+    #[test]
+    fn staggered_retraining_is_bit_identical_across_threads() {
+        let run = |threads: usize| {
+            let mut stage = ForecastStage::new(ForecastStageConfig {
+                compute: ComputeOptions {
+                    threads,
+                    retrain_stagger: true,
+                    ..Default::default()
+                },
+                ..quick(6, 3)
+            })
+            .unwrap();
+            let mut reports = Vec::new();
+            for i in 0..40 {
+                let wobble = 0.01 * (i % 5) as f64;
+                let z = [0.1 + wobble, 0.13, 0.5, 0.52 - wobble, 0.9, 0.88];
+                reports.push(stage.step(&z).unwrap());
+            }
+            (reports, stage.snapshot())
+        };
+        let (seq_reports, seq_snap) = run(1);
+        for threads in [2, 8] {
+            let (reports, snap) = run(threads);
+            assert_eq!(
+                reports, seq_reports,
+                "staggered reports diverged at {threads} threads"
+            );
+            assert_eq!(snap.forecasters, seq_snap.forecasters);
+        }
+    }
+
+    #[test]
+    fn staggered_policy_survives_snapshot_restore() {
+        let mut stage = ForecastStage::new(ForecastStageConfig {
+            compute: ComputeOptions {
+                retrain_stagger: true,
+                ..Default::default()
+            },
+            ..quick(6, 3)
+        })
+        .unwrap();
+        for i in 0..9 {
+            let z = [0.1, 0.13, 0.5, 0.52, 0.9, 0.88 + 0.001 * i as f64];
+            stage.step(&z).unwrap();
+        }
+        let mut restored = ForecastStage::restore(stage.snapshot()).unwrap();
+        // Cluster 2's first training is due at step 11 (offset 6); both
+        // copies must hit it on the same tick with identical reports.
+        for i in 9..20 {
+            let z = [0.1, 0.13, 0.5, 0.52, 0.9, 0.88 + 0.001 * i as f64];
+            assert_eq!(stage.step(&z).unwrap(), restored.step(&z).unwrap());
+        }
+        assert_eq!(stage.snapshot(), restored.snapshot());
     }
 
     #[test]

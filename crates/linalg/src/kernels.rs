@@ -1,0 +1,362 @@
+//! Contiguous flat-buffer compute kernels for the forecast-training hot path.
+//!
+//! These are the primitives the stacked-LSTM trainer (and [`Matrix::mat_mul`])
+//! run on: blocked GEMM/GEMV over row-major `&[f64]` buffers, their transposed
+//! and rank-1 companions for backpropagation, and a fused LSTM gate update.
+//!
+//! # Determinism contract
+//!
+//! Every kernel here accumulates into each output element in **exactly the
+//! same order** as the naive scalar loop it replaces: per output, terms are
+//! added one at a time in ascending reduction index, starting from the
+//! output's prior value. Blocking only changes which outputs are *in flight*
+//! together (register reuse of the streamed operand), never the op sequence
+//! seen by any single accumulator. No FMA/`mul_add` is used. Consequently the
+//! fused LSTM path built on these kernels is bit-identical to the scalar
+//! reference path, and `Matrix::mat_mul` keeps its historical results.
+//!
+//! [`Matrix::mat_mul`]: crate::Matrix
+
+/// Row block size: four output rows share one streamed pass over `x`/`b`.
+const ROW_BLOCK: usize = 4;
+
+/// Logistic sigmoid, the LSTM gate nonlinearity.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// `y += A x` for row-major `A` (`rows x cols`): `y[r] += Σ_c A[r,c]·x[c]`.
+///
+/// Accumulates into each `y[r]` in ascending `c` order starting from the
+/// incoming value, so callers can pre-load `y` with a bias vector and get the
+/// same bits as the scalar `z[r] += w·x` loop.
+#[inline]
+pub fn gemv_acc(y: &mut [f64], a: &[f64], rows: usize, cols: usize, x: &[f64]) {
+    debug_assert_eq!(y.len(), rows);
+    debug_assert_eq!(a.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    let mut r = 0;
+    while r + ROW_BLOCK <= rows {
+        let a0 = &a[r * cols..(r + 1) * cols];
+        let a1 = &a[(r + 1) * cols..(r + 2) * cols];
+        let a2 = &a[(r + 2) * cols..(r + 3) * cols];
+        let a3 = &a[(r + 3) * cols..(r + 4) * cols];
+        let (mut s0, mut s1, mut s2, mut s3) = (y[r], y[r + 1], y[r + 2], y[r + 3]);
+        for (c, &xv) in x.iter().enumerate() {
+            s0 += a0[c] * xv;
+            s1 += a1[c] * xv;
+            s2 += a2[c] * xv;
+            s3 += a3[c] * xv;
+        }
+        y[r] = s0;
+        y[r + 1] = s1;
+        y[r + 2] = s2;
+        y[r + 3] = s3;
+        r += ROW_BLOCK;
+    }
+    for rr in r..rows {
+        let row = &a[rr * cols..(rr + 1) * cols];
+        let mut s = y[rr];
+        for (&av, &xv) in row.iter().zip(x) {
+            s += av * xv;
+        }
+        y[rr] = s;
+    }
+}
+
+/// `y += Aᵀ x` for row-major `A` (`rows x cols`): `y[c] += Σ_r x[r]·A[r,c]`.
+///
+/// Terms are added in ascending `r` order per output, matching the scalar
+/// backprop loop that walks gradient rows outermost (`dx[c] += dz[r]·W[r,c]`).
+#[inline]
+pub fn gemv_t_acc(y: &mut [f64], a: &[f64], rows: usize, cols: usize, x: &[f64]) {
+    debug_assert_eq!(y.len(), cols);
+    debug_assert_eq!(a.len(), rows * cols);
+    debug_assert_eq!(x.len(), rows);
+    let mut r = 0;
+    while r + ROW_BLOCK <= rows {
+        let a0 = &a[r * cols..(r + 1) * cols];
+        let a1 = &a[(r + 1) * cols..(r + 2) * cols];
+        let a2 = &a[(r + 2) * cols..(r + 3) * cols];
+        let a3 = &a[(r + 3) * cols..(r + 4) * cols];
+        let (x0, x1, x2, x3) = (x[r], x[r + 1], x[r + 2], x[r + 3]);
+        for (c, yv) in y.iter_mut().enumerate() {
+            let mut s = *yv;
+            s += x0 * a0[c];
+            s += x1 * a1[c];
+            s += x2 * a2[c];
+            s += x3 * a3[c];
+            *yv = s;
+        }
+        r += ROW_BLOCK;
+    }
+    for rr in r..rows {
+        let row = &a[rr * cols..(rr + 1) * cols];
+        let xv = x[rr];
+        for (yv, &av) in y.iter_mut().zip(row) {
+            *yv += xv * av;
+        }
+    }
+}
+
+/// Rank-1 update `A += x yᵀ` for row-major `A` (`x.len() x y.len()`):
+/// `A[r,c] += x[r]·y[c]`. Used to accumulate weight gradients `dW += dz xᵀ`.
+#[inline]
+pub fn rank1_acc(a: &mut [f64], x: &[f64], y: &[f64]) {
+    let cols = y.len();
+    debug_assert_eq!(a.len(), x.len() * cols);
+    for (row, &xv) in a.chunks_exact_mut(cols).zip(x) {
+        for (av, &yv) in row.iter_mut().zip(y) {
+            *av += xv * yv;
+        }
+    }
+}
+
+/// `C += A B` for row-major buffers: `A` is `m x k`, `B` is `k x n`, `C` is
+/// `m x n`. Blocked over output rows; each `C[r,j]` accumulates in ascending
+/// `k` order, so results match the classic `ikj` scalar loop bit for bit.
+///
+/// Exact-zero entries of `A` are skipped — a no-op on every finite
+/// accumulation (an accumulator fed only by `+=` can never be `-0.0`, so
+/// adding `±0.0` cannot change its bits) that pays off on the sparse-ish
+/// matrices the Gaussian baselines produce.
+#[inline]
+pub fn gemm_acc(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k_dim: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert_eq!(a.len(), m * k_dim);
+    debug_assert_eq!(b.len(), k_dim * n);
+    if m == 0 || k_dim == 0 || n == 0 {
+        return;
+    }
+    for (c_rows, a_rows) in c.chunks_mut(ROW_BLOCK * n).zip(a.chunks(ROW_BLOCK * k_dim)) {
+        let rows_here = c_rows.len() / n;
+        for k in 0..k_dim {
+            let b_row = &b[k * n..(k + 1) * n];
+            for r in 0..rows_here {
+                let av = a_rows[r * k_dim + k];
+                // lint:allow(float-eq): exact zero skip in the sparse
+                // inner product; near-zero values must still multiply
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c_rows[r * n..(r + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Fused LSTM gate activation and state update for one time step.
+///
+/// `z` holds the four pre-activation blocks `(i, f, g, o)`, each `hidden`
+/// long. Writes the activated gates into `gates` (same `(i, f, g, o)` block
+/// layout), the new cell state into `c_out`, its tanh into `tanh_c_out`
+/// (backward reuses it instead of recomputing — same input, same function,
+/// identical bits), and the new hidden state into `h_out`. Per unit `j`
+/// this computes, in order:
+///
+/// ```text
+/// i = σ(z[j])   f = σ(z[h+j])   g = tanh(z[2h+j])   o = σ(z[3h+j])
+/// c = f·c_prev[j] + i·g         h = o·tanh(c)
+/// ```
+///
+/// exactly the scalar reference sequence, fused into one pass.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_gate_fuse(
+    z: &[f64],
+    c_prev: &[f64],
+    hidden: usize,
+    gates: &mut [f64],
+    c_out: &mut [f64],
+    tanh_c_out: &mut [f64],
+    h_out: &mut [f64],
+) {
+    debug_assert_eq!(z.len(), 4 * hidden);
+    debug_assert_eq!(c_prev.len(), hidden);
+    debug_assert_eq!(gates.len(), 4 * hidden);
+    debug_assert_eq!(c_out.len(), hidden);
+    debug_assert_eq!(tanh_c_out.len(), hidden);
+    debug_assert_eq!(h_out.len(), hidden);
+    for j in 0..hidden {
+        let gi = sigmoid(z[j]);
+        let gf = sigmoid(z[hidden + j]);
+        let gg = z[2 * hidden + j].tanh();
+        let go = sigmoid(z[3 * hidden + j]);
+        let c = gf * c_prev[j] + gi * gg;
+        let tanh_c = c.tanh();
+        gates[j] = gi;
+        gates[hidden + j] = gf;
+        gates[2 * hidden + j] = gg;
+        gates[3 * hidden + j] = go;
+        c_out[j] = c;
+        tanh_c_out[j] = tanh_c;
+        h_out[j] = go * tanh_c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| normal(rng, 0.0, 1.0)).collect()
+    }
+
+    /// Scalar references: the exact loops the kernels must reproduce.
+    fn gemv_ref(y: &mut [f64], a: &[f64], cols: usize, x: &[f64]) {
+        for (r, yv) in y.iter_mut().enumerate() {
+            for (c, &xv) in x.iter().enumerate() {
+                *yv += a[r * cols + c] * xv;
+            }
+        }
+    }
+
+    fn gemv_t_ref(y: &mut [f64], a: &[f64], rows: usize, cols: usize, x: &[f64]) {
+        for r in 0..rows {
+            for (c, yv) in y.iter_mut().enumerate() {
+                *yv += x[r] * a[r * cols + c];
+            }
+        }
+    }
+
+    fn gemm_ref(c: &mut [f64], a: &[f64], b: &[f64], m: usize, k_dim: usize, n: usize) {
+        for r in 0..m {
+            for k in 0..k_dim {
+                let av = a[r * k_dim + k];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    c[r * n + j] += av * b[k * n + j];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_bitwise_matches_scalar_all_row_remainders() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for rows in 1..10usize {
+            for cols in 1..8usize {
+                let a = random_vec(&mut rng, rows * cols);
+                let x = random_vec(&mut rng, cols);
+                let y0 = random_vec(&mut rng, rows);
+                let mut y_kernel = y0.clone();
+                let mut y_ref = y0.clone();
+                gemv_acc(&mut y_kernel, &a, rows, cols, &x);
+                gemv_ref(&mut y_ref, &a, cols, &x);
+                assert_eq!(y_kernel, y_ref, "rows={rows} cols={cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_t_bitwise_matches_scalar_all_row_remainders() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for rows in 1..10usize {
+            for cols in 1..8usize {
+                let a = random_vec(&mut rng, rows * cols);
+                let x = random_vec(&mut rng, rows);
+                let y0 = random_vec(&mut rng, cols);
+                let mut y_kernel = y0.clone();
+                let mut y_ref = y0.clone();
+                gemv_t_acc(&mut y_kernel, &a, rows, cols, &x);
+                gemv_t_ref(&mut y_ref, &a, rows, cols, &x);
+                assert_eq!(y_kernel, y_ref, "rows={rows} cols={cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bitwise_matches_scalar_with_zeros() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k_dim, n) in &[(1, 1, 1), (3, 4, 5), (4, 4, 4), (7, 3, 6), (9, 5, 2)] {
+            let mut a = random_vec(&mut rng, m * k_dim);
+            // Sprinkle exact zeros to exercise the skip path.
+            for (i, v) in a.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = 0.0;
+                }
+            }
+            let b = random_vec(&mut rng, k_dim * n);
+            let mut c_kernel = vec![0.0; m * n];
+            let mut c_ref = vec![0.0; m * n];
+            gemm_acc(&mut c_kernel, &a, &b, m, k_dim, n);
+            gemm_ref(&mut c_ref, &a, &b, m, k_dim, n);
+            assert_eq!(c_kernel, c_ref, "m={m} k={k_dim} n={n}");
+        }
+    }
+
+    #[test]
+    fn rank1_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = random_vec(&mut rng, 5);
+        let y = random_vec(&mut rng, 3);
+        let a0 = random_vec(&mut rng, 15);
+        let mut a_kernel = a0.clone();
+        let mut a_ref = a0;
+        rank1_acc(&mut a_kernel, &x, &y);
+        for r in 0..5 {
+            for c in 0..3 {
+                a_ref[r * 3 + c] += x[r] * y[c];
+            }
+        }
+        assert_eq!(a_kernel, a_ref);
+    }
+
+    #[test]
+    fn gate_fuse_matches_split_loops() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let h = 5;
+        let z = random_vec(&mut rng, 4 * h);
+        let c_prev = random_vec(&mut rng, h);
+        let mut gates = vec![0.0; 4 * h];
+        let mut c_out = vec![0.0; h];
+        let mut tanh_c_out = vec![0.0; h];
+        let mut h_out = vec![0.0; h];
+        lstm_gate_fuse(
+            &z,
+            &c_prev,
+            h,
+            &mut gates,
+            &mut c_out,
+            &mut tanh_c_out,
+            &mut h_out,
+        );
+        // Reference: the original two-loop scalar sequence.
+        for j in 0..h {
+            let gi = sigmoid(z[j]);
+            let gf = sigmoid(z[h + j]);
+            let gg = z[2 * h + j].tanh();
+            let go = sigmoid(z[3 * h + j]);
+            assert_eq!(gates[j], gi);
+            assert_eq!(gates[h + j], gf);
+            assert_eq!(gates[2 * h + j], gg);
+            assert_eq!(gates[3 * h + j], go);
+            let c = gf * c_prev[j] + gi * gg;
+            assert_eq!(c_out[j], c);
+            assert_eq!(tanh_c_out[j], c.tanh());
+            assert_eq!(h_out[j], go * c.tanh());
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut y: Vec<f64> = vec![1.5];
+        gemv_acc(&mut y, &[], 1, 0, &[]);
+        assert_eq!(y, vec![1.5]);
+        let mut y2: Vec<f64> = Vec::new();
+        gemv_t_acc(&mut y2, &[], 0, 0, &[]);
+        assert!(y2.is_empty());
+        let mut c: Vec<f64> = Vec::new();
+        gemm_acc(&mut c, &[], &[], 0, 0, 0);
+        assert!(c.is_empty());
+    }
+}

@@ -26,6 +26,7 @@
 
 mod cholesky;
 mod error;
+pub mod kernels;
 mod matrix;
 pub mod optimize;
 pub mod rng;

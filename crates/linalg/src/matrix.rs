@@ -205,21 +205,16 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                // lint:allow(float-eq): exact zero skip in the sparse
-                // inner product; near-zero values must still multiply
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = out.row_mut(r);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        // Blocked flat-buffer kernel; accumulation order per output element
+        // (ascending k) matches the historical ikj loop bit for bit.
+        crate::kernels::gemm_acc(
+            &mut out.data,
+            &self.data,
+            &rhs.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         Ok(out)
     }
 

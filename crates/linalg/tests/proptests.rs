@@ -113,3 +113,80 @@ proptest! {
         }
     }
 }
+
+/// Naive scalar references for the flat-buffer kernels: each output element
+/// accumulates in ascending reduction index, the order the kernels promise.
+mod kernel_refs {
+    pub fn gemv(y: &mut [f64], a: &[f64], cols: usize, x: &[f64]) {
+        for (r, yv) in y.iter_mut().enumerate() {
+            for (c, &xv) in x.iter().enumerate() {
+                *yv += a[r * cols + c] * xv;
+            }
+        }
+    }
+
+    pub fn gemv_t(y: &mut [f64], a: &[f64], rows: usize, cols: usize, x: &[f64]) {
+        for r in 0..rows {
+            for (c, yv) in y.iter_mut().enumerate() {
+                *yv += x[r] * a[r * cols + c];
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn blocked_gemv_bitwise_matches_scalar(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in proptest::collection::vec(-4.0f64..4.0, 12 * 12 + 2 * 12),
+    ) {
+        let a = &seed[..rows * cols];
+        let x = &seed[rows * cols..rows * cols + cols];
+        let y0 = &seed[seed.len() - rows..];
+        let mut y_kernel = y0.to_vec();
+        let mut y_ref = y0.to_vec();
+        utilcast_linalg::kernels::gemv_acc(&mut y_kernel, a, rows, cols, x);
+        kernel_refs::gemv(&mut y_ref, a, cols, x);
+        prop_assert_eq!(y_kernel, y_ref);
+    }
+
+    #[test]
+    fn blocked_gemv_t_bitwise_matches_scalar(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in proptest::collection::vec(-4.0f64..4.0, 12 * 12 + 2 * 12),
+    ) {
+        let a = &seed[..rows * cols];
+        let x = &seed[rows * cols..rows * cols + rows];
+        let y0 = &seed[seed.len() - cols..];
+        let mut y_kernel = y0.to_vec();
+        let mut y_ref = y0.to_vec();
+        utilcast_linalg::kernels::gemv_t_acc(&mut y_kernel, a, rows, cols, x);
+        kernel_refs::gemv_t(&mut y_ref, a, rows, cols, x);
+        prop_assert_eq!(y_kernel, y_ref);
+    }
+
+    #[test]
+    fn blocked_gemm_matches_mat_mul_reference(
+        m in 1usize..8,
+        k in 1usize..8,
+        n in 1usize..8,
+        seed in proptest::collection::vec(-4.0f64..4.0, 2 * 8 * 8),
+    ) {
+        let a = Matrix::from_vec(m, k, seed[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, seed[8 * 8..8 * 8 + k * n].to_vec());
+        // mat_mul now routes through gemm_acc; cross-check against the
+        // transparent triple loop.
+        let fast = a.mat_mul(&b).unwrap();
+        let mut slow = vec![0.0; m * n];
+        for r in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    slow[r * n + j] += a.as_slice()[r * k + kk] * b.as_slice()[kk * n + j];
+                }
+            }
+        }
+        prop_assert_eq!(fast.as_slice(), &slow[..]);
+    }
+}

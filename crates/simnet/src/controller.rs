@@ -73,6 +73,9 @@ pub struct TickReport {
     pub intermediate_rmse: f64,
     /// Whether any model (re)trained.
     pub retrained: bool,
+    /// Degrade-path sample-and-hold fits that failed this tick (see
+    /// [`ForecastStage::fallback_fit_failures`]).
+    pub fallback_fit_failures: u64,
 }
 
 /// Serializable checkpoint of the full controller state: the stale store,
@@ -184,6 +187,12 @@ impl Controller {
         self.stage.model_fallbacks()
     }
 
+    /// Total degrade-path sample-and-hold fit failures so far (see
+    /// [`ForecastStage::fallback_fit_failures`]).
+    pub fn fallback_fit_failures(&self) -> u64 {
+        self.stage.fallback_fit_failures()
+    }
+
     /// Ingress validation: `Ok` with the payload value for an acceptable
     /// report, `Err` with the rejection reason otherwise.
     fn admit(&self, r: &Report) -> Result<f64, &'static str> {
@@ -246,6 +255,7 @@ impl Controller {
             quarantined,
             intermediate_rmse: report.intermediate_rmse,
             retrained: report.retrained,
+            fallback_fit_failures: report.fallback_fit_failures,
         })
     }
 

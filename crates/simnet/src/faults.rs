@@ -304,6 +304,7 @@ pub fn run_with_faults(
             intermediate_rmse: intermediate.value(),
             quarantined: controller.quarantined(),
             model_fallbacks: controller.model_fallbacks(),
+            fallback_fit_failures: controller.fallback_fit_failures(),
         },
         down_node_steps,
         lost_reports,

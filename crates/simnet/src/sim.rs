@@ -77,6 +77,10 @@ pub struct SimReport {
     /// Forecaster fallback activations (fit failures degraded to
     /// sample-and-hold plus failed recovery attempts).
     pub model_fallbacks: u64,
+    /// Degrade-path sample-and-hold fits that themselves failed; nonzero
+    /// means some cluster kept a broken primary model and held its last
+    /// observation.
+    pub fallback_fit_failures: u64,
 }
 
 /// The deterministic single-threaded driver.
@@ -201,6 +205,7 @@ impl Simulation {
             intermediate_rmse: intermediate.value(),
             quarantined: self.controller.quarantined(),
             model_fallbacks: self.controller.model_fallbacks(),
+            fallback_fit_failures: self.controller.fallback_fit_failures(),
         })
     }
 }

@@ -375,6 +375,7 @@ pub fn run_threaded_supervised(
         intermediate_rmse: intermediate.value(),
         quarantined: controller.quarantined(),
         model_fallbacks: controller.model_fallbacks(),
+        fallback_fit_failures: controller.fallback_fit_failures(),
     })
 }
 

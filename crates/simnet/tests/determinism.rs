@@ -74,6 +74,41 @@ fn warm_start_with_cold_reseed_bit_identical_at_any_thread_count() {
     }
 }
 
+/// Staggered retraining (phase-offset per cluster) is driven purely by the
+/// step counter, so the full simulation report stays bit-identical at any
+/// thread count with the stagger enabled.
+#[test]
+fn staggered_retraining_bit_identical_at_any_thread_count() {
+    let compute = |threads: usize| ComputeOptions {
+        threads,
+        retrain_stagger: true,
+        ..Default::default()
+    };
+    let sequential = run_with(compute(1));
+    for threads in [2, 8] {
+        assert_eq!(
+            run_with(compute(threads)),
+            sequential,
+            "threads = {threads} diverged"
+        );
+    }
+}
+
+/// The stagger genuinely changes the retrain schedule (otherwise the test
+/// above would be vacuous), while leaving the ingest metrics untouched.
+#[test]
+fn staggered_retraining_is_a_distinct_schedule() {
+    let staggered = run_with(ComputeOptions {
+        retrain_stagger: true,
+        ..Default::default()
+    });
+    let synchronized = run_with(ComputeOptions::default());
+    assert_eq!(staggered.steps, synchronized.steps);
+    assert_eq!(staggered.messages, synchronized.messages);
+    assert_eq!(staggered.quarantined, synchronized.quarantined);
+    assert!(staggered.intermediate_rmse.is_finite());
+}
+
 /// The warm-start trajectory genuinely engages: it must match the
 /// cold-every-step trajectory on cold-reseed steps only by construction,
 /// not produce the identical clustering path. (If the two paths were
@@ -114,6 +149,7 @@ fn concurrent_controller() -> Controller {
             threads: 8,
             warm_start: true,
             cold_reseed_every: 7,
+            retrain_stagger: true,
             ..Default::default()
         },
         ..Default::default()

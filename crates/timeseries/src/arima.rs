@@ -19,7 +19,10 @@ use crate::diff::{difference, integrate, loss};
 use crate::{Forecaster, TimeSeriesError};
 
 /// The orders of a seasonal ARIMA model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Orders are totally ordered (lexicographic over the fields) so they can
+/// key the sorted warm-start table kept across retrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ArimaOrder {
     /// Non-seasonal autoregressive order.
     pub p: usize,
@@ -137,6 +140,19 @@ pub struct ArimaFitOptions {
     /// Coefficient magnitude above which the objective is treated as
     /// out-of-domain (keeps the simplex inside a sane region).
     pub coef_bound: f64,
+    /// Maximum objective evaluations when the optimizer is warm-started
+    /// from a previous retrain's solution (`0` = use `max_evals`). Warm
+    /// starts begin near the optimum, so a much smaller budget suffices;
+    /// divergence falls back to a full cold start.
+    pub warm_max_evals: usize,
+    /// Grid-search pruning margin: an order is skipped without running the
+    /// optimizer when the CSS of its warm hint (which sits near the
+    /// order's optimum) exceeds `margin ×` the CSS the order would need to
+    /// beat the incumbent AICc — the partial CSS sum aborts as soon as it
+    /// crosses the cap. Only orders with a warm hint are screened; `0.0`
+    /// disables pruning and makes the grid search bit-identical to fitting
+    /// every order in full.
+    pub prune_margin: f64,
 }
 
 impl Default for ArimaFitOptions {
@@ -144,6 +160,21 @@ impl Default for ArimaFitOptions {
         ArimaFitOptions {
             max_evals: 600,
             coef_bound: 5.0,
+            warm_max_evals: 80,
+            prune_margin: 8.0,
+        }
+    }
+}
+
+impl ArimaFitOptions {
+    /// The seed-exact configuration: full evaluation budget for warm fits
+    /// and no grid pruning. `auto_arima` under these options reproduces the
+    /// original exhaustive search bit for bit.
+    pub fn baseline() -> Self {
+        ArimaFitOptions {
+            warm_max_evals: 0,
+            prune_margin: 0.0,
+            ..ArimaFitOptions::default()
         }
     }
 }
@@ -211,19 +242,142 @@ impl Arima {
 
     /// Unpacks a flat parameter vector into (φ, θ, Φ, Θ, μ).
     fn unpack(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
-        let o = self.order;
-        let mut i = 0;
-        let phi = x[i..i + o.p].to_vec();
-        i += o.p;
-        let theta = x[i..i + o.q].to_vec();
-        i += o.q;
-        let sphi = x[i..i + o.sp].to_vec();
-        i += o.sp;
-        let stheta = x[i..i + o.sq].to_vec();
-        i += o.sq;
-        let mu = x[i];
-        (phi, theta, sphi, stheta, mu)
+        unpack_order(self.order, x)
     }
+
+    /// Fits on an already-differenced series (the grid search differences
+    /// once per `(d, D)` pair and shares the result across orders).
+    ///
+    /// `warm_x0` seeds the optimizer from a previous retrain's solution
+    /// with a reduced evaluation budget and a tighter initial simplex; if
+    /// the warm attempt diverges (or the hint is malformed) the fit falls
+    /// back to the cold start, which is bit-identical to a fit that never
+    /// saw the hint.
+    ///
+    /// `css_cap` prunes at the *order* level: a valid warm hint sits near
+    /// the order's optimum, so when even the hint's CSS cannot come under
+    /// the cap the whole order is hopeless and the fit returns
+    /// [`TimeSeriesError::FitDiverged`] without running the optimizer at
+    /// all. The optimizer itself always evaluates the objective uncapped —
+    /// capping mid-search poisons the simplex with non-finite values and
+    /// stalls Nelder–Mead's convergence test. `f64::INFINITY` disables the
+    /// screen.
+    fn fit_differenced(
+        &mut self,
+        w: &[f64],
+        w_mean: f64,
+        warm_x0: Option<&[f64]>,
+        css_cap: f64,
+    ) -> Result<(), TimeSeriesError> {
+        let o = self.order;
+        let n_params = o.num_coefficients();
+        let bound = self.options.coef_bound;
+
+        let css_eval = |x: &[f64], cap: f64| -> f64 {
+            if x.iter().any(|v| !v.is_finite() || v.abs() > bound) {
+                return f64::NAN;
+            }
+            let (phi, theta, sphi, stheta, mu) = unpack_order(o, x);
+            let ar = expand(&phi, &sphi, o.s.max(1));
+            let ma = expand_ma(&theta, &stheta, o.s.max(1));
+            // Reject non-stationary AR and non-invertible MA parameter
+            // regions; the e-recursion coefficients are the negated
+            // combined MA coefficients.
+            let neg_ma: Vec<f64> = ma.iter().map(|v| -v).collect();
+            if !recursion_is_stable(&ar, 500) || !recursion_is_stable(&neg_ma, 500) {
+                return f64::NAN;
+            }
+            let wc: Vec<f64> = w.iter().map(|v| v - mu).collect();
+            match innovations_capped(&wc, &ar, &ma, cap) {
+                Some((_, css)) => css,
+                None => f64::NAN,
+            }
+        };
+        let mut objective = |x: &[f64]| css_eval(x, f64::INFINITY);
+
+        let result = 'fit: {
+            if let Some(hint) = warm_x0 {
+                if hint.len() == n_params && hint.iter().all(|v| v.is_finite() && v.abs() <= bound)
+                {
+                    if css_cap.is_finite() && !css_eval(hint, css_cap).is_finite() {
+                        return Err(TimeSeriesError::FitDiverged);
+                    }
+                    let warm_evals = if self.options.warm_max_evals == 0 {
+                        self.options.max_evals
+                    } else {
+                        self.options.warm_max_evals
+                    };
+                    let warm = nelder_mead(
+                        &mut objective,
+                        hint,
+                        &NelderMeadOptions {
+                            max_evals: warm_evals,
+                            initial_step: 0.05,
+                            ..Default::default()
+                        },
+                    );
+                    if warm.f.is_finite() {
+                        break 'fit warm;
+                    }
+                }
+            }
+            let mut x0 = vec![0.0; n_params];
+            x0[n_params - 1] = w_mean;
+            nelder_mead(
+                &mut objective,
+                &x0,
+                &NelderMeadOptions {
+                    max_evals: self.options.max_evals,
+                    initial_step: 0.1,
+                    ..Default::default()
+                },
+            )
+        };
+        if !result.f.is_finite() {
+            return Err(TimeSeriesError::FitDiverged);
+        }
+        let (phi, theta, sphi, stheta, mu) = self.unpack(&result.x);
+        let ar_span = o.ar_span();
+        let n_eff = (w.len() - ar_span).max(1);
+        let css = result.f;
+        let sigma2 = (css / n_eff as f64).max(1e-300);
+        // k counts all estimated parameters including the innovation
+        // variance, matching the AICc convention the paper cites.
+        let k = (n_params + 1) as f64;
+        let n = n_eff as f64;
+        let correction = if n - k - 1.0 > 0.0 {
+            2.0 * k * (k + 1.0) / (n - k - 1.0)
+        } else {
+            f64::INFINITY
+        };
+        let aicc = n * sigma2.ln() + 2.0 * k + correction;
+        self.fitted = Some(FittedArima {
+            phi,
+            theta,
+            sphi,
+            stheta,
+            mu,
+            sigma2,
+            css,
+            aicc,
+        });
+        Ok(())
+    }
+}
+
+/// Unpacks a flat parameter vector into (φ, θ, Φ, Θ, μ) for `order`.
+fn unpack_order(o: ArimaOrder, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
+    let mut i = 0;
+    let phi = x[i..i + o.p].to_vec();
+    i += o.p;
+    let theta = x[i..i + o.q].to_vec();
+    i += o.q;
+    let sphi = x[i..i + o.sp].to_vec();
+    i += o.sp;
+    let stheta = x[i..i + o.sq].to_vec();
+    i += o.sq;
+    let mu = x[i];
+    (phi, theta, sphi, stheta, mu)
 }
 
 /// Expands `poly(B) * seasonal_poly(B^s)` where both polynomials have the
@@ -298,12 +452,20 @@ fn recursion_is_stable(coefs: &[f64], horizon: usize) -> bool {
 }
 
 /// Computes the CSS innovations of a combined ARMA recursion over the
-/// mean-centered differenced series. Returns `None` if the recursion
-/// explodes (non-finite or absurdly large residuals).
-fn innovations(wc: &[f64], ar: &[f64], ma: &[f64]) -> Option<Vec<f64>> {
+/// mean-centered differenced series, accumulating the conditional sum of
+/// squares as it goes. Returns `None` if the recursion explodes (non-finite
+/// or absurdly large residuals) or the partial CSS exceeds `cap` — the
+/// partial sum is a monotone lower bound on the final CSS, so any candidate
+/// that crosses the cap can be abandoned without finishing the recursion.
+///
+/// With `cap = f64::INFINITY` the returned CSS is the plain sequential sum
+/// `Σ e_t²` over `t ≥ ar.len()`, bit-identical to summing the full
+/// innovation vector after the fact.
+fn innovations_capped(wc: &[f64], ar: &[f64], ma: &[f64], cap: f64) -> Option<(Vec<f64>, f64)> {
     let n = wc.len();
     let start = ar.len();
     let mut e = vec![0.0; n];
+    let mut css = 0.0;
     for t in start..n {
         let mut pred = 0.0;
         for (i, &a) in ar.iter().enumerate() {
@@ -319,8 +481,17 @@ fn innovations(wc: &[f64], ar: &[f64], ma: &[f64]) -> Option<Vec<f64>> {
             return None;
         }
         e[t] = resid;
+        css += resid * resid;
+        if css > cap {
+            return None;
+        }
     }
-    Some(e)
+    Some((e, css))
+}
+
+/// Computes the CSS innovations without a pruning cap (forecast path).
+fn innovations(wc: &[f64], ar: &[f64], ma: &[f64]) -> Option<Vec<f64>> {
+    innovations_capped(wc, ar, ma, f64::INFINITY).map(|(e, _)| e)
 }
 
 impl Forecaster for Arima {
@@ -334,70 +505,10 @@ impl Forecaster for Arima {
         }
         let (w, _state) = difference(history, o.d, o.sd, o.s)?;
         let w_mean = mean(&w);
-        let n_params = o.num_coefficients();
-        let bound = self.options.coef_bound;
-
-        let objective = |x: &[f64]| -> f64 {
-            if x.iter().any(|v| !v.is_finite() || v.abs() > bound) {
-                return f64::NAN;
-            }
-            let (phi, theta, sphi, stheta, mu) = self.unpack(x);
-            let ar = expand(&phi, &sphi, o.s.max(1));
-            let ma = expand_ma(&theta, &stheta, o.s.max(1));
-            // Reject non-stationary AR and non-invertible MA parameter
-            // regions; the e-recursion coefficients are the negated
-            // combined MA coefficients.
-            let neg_ma: Vec<f64> = ma.iter().map(|v| -v).collect();
-            if !recursion_is_stable(&ar, 500) || !recursion_is_stable(&neg_ma, 500) {
-                return f64::NAN;
-            }
-            let wc: Vec<f64> = w.iter().map(|v| v - mu).collect();
-            match innovations(&wc, &ar, &ma) {
-                Some(e) => e[ar.len()..].iter().map(|v| v * v).sum(),
-                None => f64::NAN,
-            }
-        };
-
-        let mut x0 = vec![0.0; n_params];
-        x0[n_params - 1] = w_mean;
-        let result = nelder_mead(
-            objective,
-            &x0,
-            &NelderMeadOptions {
-                max_evals: self.options.max_evals,
-                initial_step: 0.1,
-                ..Default::default()
-            },
-        );
-        if !result.f.is_finite() {
-            return Err(TimeSeriesError::FitDiverged);
-        }
-        let (phi, theta, sphi, stheta, mu) = self.unpack(&result.x);
-        let ar_span = o.ar_span();
-        let n_eff = (w.len() - ar_span).max(1);
-        let css = result.f;
-        let sigma2 = (css / n_eff as f64).max(1e-300);
-        // k counts all estimated parameters including the innovation
-        // variance, matching the AICc convention the paper cites.
-        let k = (n_params + 1) as f64;
-        let n = n_eff as f64;
-        let correction = if n - k - 1.0 > 0.0 {
-            2.0 * k * (k + 1.0) / (n - k - 1.0)
-        } else {
-            f64::INFINITY
-        };
-        let aicc = n * sigma2.ln() + 2.0 * k + correction;
-        self.fitted = Some(FittedArima {
-            phi,
-            theta,
-            sphi,
-            stheta,
-            mu,
-            sigma2,
-            css,
-            aicc,
-        });
-        Ok(())
+        // Standalone fits are always cold and unpruned: the CSS objective,
+        // optimizer trajectory, and AICc are bit-identical to the original
+        // exhaustive path.
+        self.fit_differenced(&w, w_mean, None, f64::INFINITY)
     }
 
     fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
@@ -612,11 +723,90 @@ impl ArimaGrid {
     }
 }
 
+/// An optimizer solution retained for one grid order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WarmEntry {
+    order: ArimaOrder,
+    x: Vec<f64>,
+}
+
+/// Fitted optimizer solutions carried across retrains, keyed by order.
+///
+/// `auto_arima_warm` seeds each order's Nelder–Mead search from the
+/// solution the same order reached on the previous retrain. Centroid
+/// histories drift slowly between retrains, so the previous optimum is an
+/// excellent starting simplex and converges in a fraction of the cold
+/// budget; a diverging warm attempt falls back to the cold start.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArimaWarmStart {
+    /// Entries kept sorted by order for binary-search lookup.
+    entries: Vec<WarmEntry>,
+}
+
+impl ArimaWarmStart {
+    /// The retained solution for `order`, if any.
+    pub fn get(&self, order: ArimaOrder) -> Option<&[f64]> {
+        self.entries
+            .binary_search_by(|e| e.order.cmp(&order))
+            .ok()
+            .map(|i| self.entries[i].x.as_slice())
+    }
+
+    /// Stores (or replaces) the solution for `order`.
+    pub fn put(&mut self, order: ArimaOrder, x: Vec<f64>) {
+        match self.entries.binary_search_by(|e| e.order.cmp(&order)) {
+            Ok(i) => self.entries[i].x = x,
+            Err(i) => self.entries.insert(i, WarmEntry { order, x }),
+        }
+    }
+
+    /// Number of retained solutions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every retained solution (forcing the next search cold).
+    pub fn clear(&mut self) {
+        self.entries.clear()
+    }
+}
+
+/// Lag-1 autocorrelation of `w` about the mean `m`; `0.0` for degenerate
+/// (constant or near-empty) series.
+fn lag1_autocorr(w: &[f64], m: f64) -> f64 {
+    if w.len() < 2 {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    let mut num = 0.0;
+    for t in 0..w.len() {
+        let c = w[t] - m;
+        denom += c * c;
+        if t > 0 {
+            num += c * (w[t - 1] - m);
+        }
+    }
+    if denom > 0.0 {
+        num / denom
+    } else {
+        0.0
+    }
+}
+
 /// Fits every order in the grid and returns the model with the lowest AICc
 /// (the paper's selection rule).
 ///
 /// Orders whose fit fails (series too short for the order, divergence) are
-/// skipped; at least one order must succeed.
+/// skipped; at least one order must succeed. With
+/// `options.prune_margin > 0.0` an order whose warm hint's partial CSS
+/// proves it cannot beat the incumbent AICc (by the margin) is skipped
+/// without running the optimizer; [`ArimaFitOptions::baseline`] disables
+/// pruning and reproduces the exhaustive search bit for bit.
 ///
 /// # Errors
 ///
@@ -627,25 +817,139 @@ pub fn auto_arima(
     grid: &ArimaGrid,
     options: &ArimaFitOptions,
 ) -> Result<Arima, TimeSeriesError> {
-    // Track the winning AICc alongside the model so the reduction never
-    // re-reads (and never has to re-unwrap) the fitted criterion.
-    let mut best: Option<(Arima, f64)> = None;
-    for order in grid.orders() {
-        let mut model = Arima::with_options(order, options.clone());
-        if model.fit(series).is_err() {
+    let mut warm = ArimaWarmStart::default();
+    auto_arima_warm(series, grid, options, &mut warm)
+}
+
+/// Differenced-series cache entry: the differenced values, their mean, and
+/// their lag-1 autocorrelation; `None` when differencing failed.
+type DiffEntry = Option<(Vec<f64>, f64, f64)>;
+
+/// [`auto_arima`] with a warm-start table carried across retrains: shares
+/// differencing/ACF work across the grid, seeds each order's optimizer from
+/// its previous solution, and prunes hopeless candidates on partial-CSS
+/// bounds against the incumbent AICc.
+///
+/// The selected model is independent of the internal visit order: ties on
+/// AICc are broken by the original grid position, matching the exhaustive
+/// first-wins scan.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::FitDiverged`] if *no* candidate order could be
+/// fitted.
+pub fn auto_arima_warm(
+    series: &[f64],
+    grid: &ArimaGrid,
+    options: &ArimaFitOptions,
+    warm: &mut ArimaWarmStart,
+) -> Result<Arima, TimeSeriesError> {
+    let orders = grid.orders();
+    // Difference once per (d, D) pair; every order sharing the pair reuses
+    // the differenced series, its mean, and its lag-1 autocorrelation.
+    let mut diffs: Vec<((usize, usize), DiffEntry)> = Vec::new();
+    for &order in &orders {
+        let key = (order.d, order.sd);
+        if diffs.iter().any(|(k, _)| *k == key) {
             continue;
         }
-        let Some(aicc) = model.aicc() else {
+        let entry = difference(series, order.d, order.sd, order.s)
+            .ok()
+            .map(|(w, _)| {
+                let m = mean(&w);
+                let r1 = lag1_autocorr(&w, m);
+                (w, m, r1)
+            });
+        diffs.push((key, entry));
+    }
+    // Visit differencing pairs in order of residual structure (|r1|
+    // ascending): the pair that leaves the least autocorrelation tends to
+    // host the eventual AICc winner, which tightens the pruning cap early.
+    // Within a pair, fewer-coefficient orders fit first (cheapest, and
+    // low orders usually win AICc on near-white residuals). Ranks rather
+    // than raw floats keep the sort total and deterministic.
+    let mut ranked: Vec<((usize, usize), f64)> = diffs
+        .iter()
+        .map(|(k, e)| (*k, e.as_ref().map_or(f64::INFINITY, |(_, _, r1)| r1.abs())))
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let rank_of = |key: (usize, usize)| {
+        ranked
+            .iter()
+            .position(|(k, _)| *k == key)
+            .unwrap_or(usize::MAX)
+    };
+    let mut visit: Vec<(usize, ArimaOrder)> = orders.iter().copied().enumerate().collect();
+    visit.sort_by_key(|&(idx, o)| (rank_of((o.d, o.sd)), o.num_coefficients(), idx));
+
+    // (model, aicc, original grid index) of the incumbent.
+    let mut best: Option<(Arima, f64, usize)> = None;
+    for &(idx, order) in &visit {
+        if series.len() < order.min_series_len() {
+            continue;
+        }
+        let Some(entry) = diffs
+            .iter()
+            .find(|(k, _)| *k == (order.d, order.sd))
+            .and_then(|(_, e)| e.as_ref())
+        else {
             continue;
         };
-        if !aicc.is_finite() {
+        let (w, w_mean, _) = entry;
+        let n_eff = (w.len() - order.combined_ar_span()).max(1) as f64;
+        let k = (order.num_coefficients() + 1) as f64;
+        // Orders whose AICc small-sample correction is infinite can never
+        // win the criterion; the exhaustive path fits them and then drops
+        // them, so skipping the fit outright preserves behavior.
+        if n_eff - k - 1.0 <= 0.0 {
             continue;
         }
-        if best.as_ref().is_none_or(|(_, b)| *b > aicc) {
-            best = Some((model, aicc));
+        // The CSS a candidate must stay under (times the safety margin) to
+        // beat the incumbent AICc; an order whose warm hint cannot come
+        // under the cap is skipped without running the optimizer.
+        let css_cap = match (&best, options.prune_margin > 0.0) {
+            (Some((_, best_aicc, _)), true) => {
+                let corr = 2.0 * k * (k + 1.0) / (n_eff - k - 1.0);
+                n_eff * ((best_aicc - 2.0 * k - corr) / n_eff).exp() * options.prune_margin
+            }
+            _ => f64::INFINITY,
+        };
+        let mut model = Arima::with_options(order, options.clone());
+        if model
+            .fit_differenced(w, *w_mean, warm.get(order), css_cap)
+            .is_err()
+        {
+            continue;
+        }
+        let (aicc, x) = match model.fitted() {
+            Some(f) if f.aicc.is_finite() => {
+                let x: Vec<f64> = f
+                    .phi
+                    .iter()
+                    .chain(f.theta.iter())
+                    .chain(f.sphi.iter())
+                    .chain(f.stheta.iter())
+                    .copied()
+                    .chain(std::iter::once(f.mu))
+                    .collect();
+                (f.aicc, x)
+            }
+            _ => continue,
+        };
+        warm.put(order, x);
+        let replace = match &best {
+            None => true,
+            Some((_, b, bi)) => match aicc.total_cmp(b) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => idx < *bi,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if replace {
+            best = Some((model, aicc, idx));
         }
     }
-    best.map(|(model, _)| model)
+    best.map(|(model, _, _)| model)
         .ok_or(TimeSeriesError::FitDiverged)
 }
 
@@ -657,6 +961,7 @@ pub struct AutoArima {
     grid: ArimaGrid,
     options: ArimaFitOptions,
     inner: Option<Arima>,
+    warm: ArimaWarmStart,
 }
 
 impl AutoArima {
@@ -666,6 +971,7 @@ impl AutoArima {
             grid,
             options,
             inner: None,
+            warm: ArimaWarmStart::default(),
         }
     }
 
@@ -678,11 +984,21 @@ impl AutoArima {
     pub fn selected(&self) -> Option<&Arima> {
         self.inner.as_ref()
     }
+
+    /// The warm-start table accumulated across refits.
+    pub fn warm(&self) -> &ArimaWarmStart {
+        &self.warm
+    }
 }
 
 impl Forecaster for AutoArima {
     fn fit(&mut self, history: &[f64]) -> Result<(), TimeSeriesError> {
-        self.inner = Some(auto_arima(history, &self.grid, &self.options)?);
+        self.inner = Some(auto_arima_warm(
+            history,
+            &self.grid,
+            &self.options,
+            &mut self.warm,
+        )?);
         Ok(())
     }
 
@@ -954,6 +1270,72 @@ mod tests {
             model.forecast_with_interval(&[0.0; 50], 1, 1.96),
             Err(TimeSeriesError::NotFitted)
         ));
+    }
+
+    #[test]
+    fn baseline_options_reproduce_exhaustive_search() {
+        // With pruning disabled and no warm hints, auto_arima must be
+        // bitwise identical to fitting every order in grid order and
+        // keeping the first-best AICc.
+        let series = ar1_series(400, 0.7, 59);
+        let grid = ArimaGrid::quick();
+        let options = ArimaFitOptions::baseline();
+        let fast = auto_arima(&series, &grid, &options).unwrap();
+        let mut best: Option<(Arima, f64)> = None;
+        for order in grid.orders() {
+            let mut model = Arima::with_options(order, options.clone());
+            if model.fit(&series).is_err() {
+                continue;
+            }
+            let Some(aicc) = model.aicc() else { continue };
+            if !aicc.is_finite() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, b)| *b > aicc) {
+                best = Some((model, aicc));
+            }
+        }
+        let (reference, _) = best.unwrap();
+        assert_eq!(fast.order(), reference.order());
+        assert_eq!(fast.fitted(), reference.fitted());
+    }
+
+    #[test]
+    fn pruned_grid_matches_exhaustive_selection() {
+        // Default options prune on partial-CSS bounds; the margin is wide
+        // enough that the selected order (and its fit) still matches the
+        // exhaustive search on well-behaved data.
+        let series = ar1_series(400, 0.7, 61);
+        let grid = ArimaGrid::quick();
+        let pruned = auto_arima(&series, &grid, &ArimaFitOptions::default()).unwrap();
+        let exhaustive = auto_arima(&series, &grid, &ArimaFitOptions::baseline()).unwrap();
+        assert_eq!(pruned.order(), exhaustive.order());
+        let (pa, ea) = (
+            pruned.fitted().unwrap().aicc,
+            exhaustive.fitted().unwrap().aicc,
+        );
+        assert!(
+            (pa - ea).abs() < 1e-6,
+            "pruned aicc {pa} vs exhaustive {ea}"
+        );
+    }
+
+    #[test]
+    fn warm_table_get_put_replace() {
+        let mut warm = ArimaWarmStart::default();
+        assert!(warm.is_empty());
+        let o1 = ArimaOrder::new(1, 0, 0);
+        let o2 = ArimaOrder::new(2, 1, 1);
+        warm.put(o2, vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        warm.put(o1, vec![0.7, 0.0]);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.get(o1), Some(&[0.7, 0.0][..]));
+        warm.put(o1, vec![0.8, 0.1]);
+        assert_eq!(warm.len(), 2, "put on an existing order replaces");
+        assert_eq!(warm.get(o1), Some(&[0.8, 0.1][..]));
+        assert_eq!(warm.get(ArimaOrder::new(0, 0, 0)), None);
+        warm.clear();
+        assert!(warm.is_empty());
     }
 
     #[test]

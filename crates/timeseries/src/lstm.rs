@@ -10,13 +10,38 @@
 //! The model is intentionally small — the paper's point is that only `K`
 //! such models are needed for the whole datacenter, so each one trains in
 //! seconds on a laptop core (Table II).
+//!
+//! Two compute paths implement the same math (see [`LstmKernel`]): the
+//! original allocating scalar loops (`Exact`, kept as the differential
+//! reference) and a fused flat-buffer path (`FusedFlat`, the default) built
+//! on the blocked kernels in `utilcast_linalg::kernels` with one recycled
+//! workspace per fit instead of per-step `Vec<Vec<f64>>` caches. The two
+//! paths are bit-identical by construction — every accumulator sees the same
+//! IEEE op sequence — and a proptest suite enforces it.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use utilcast_linalg::kernels::{gemv_acc, gemv_t_acc, lstm_gate_fuse, rank1_acc};
 use utilcast_linalg::rng::normal;
 
 use crate::{Forecaster, TimeSeriesError};
+
+/// Which compute path the trainer runs.
+///
+/// Both produce bit-identical weights, training MSE, and forecasts; the
+/// fused path is the production default, the exact path is the transparent
+/// scalar reference kept for differential tests and benchmarking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LstmKernel {
+    /// The original nested-`Vec` scalar loops with per-step cache
+    /// allocation.
+    Exact,
+    /// Blocked flat-buffer GEMV/rank-1 kernels with fused gate activation
+    /// and a recycled forward/backward workspace.
+    #[default]
+    FusedFlat,
+}
 
 /// Hyperparameters for [`Lstm`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,6 +60,8 @@ pub struct LstmConfig {
     pub grad_clip: f64,
     /// RNG seed for weight initialization and sample shuffling.
     pub seed: u64,
+    /// Compute path; both produce bit-identical results.
+    pub kernel: LstmKernel,
 }
 
 impl Default for LstmConfig {
@@ -47,6 +74,7 @@ impl Default for LstmConfig {
             learning_rate: 0.01,
             grad_clip: 1.0,
             seed: 0,
+            kernel: LstmKernel::FusedFlat,
         }
     }
 }
@@ -56,20 +84,21 @@ fn sigmoid(x: f64) -> f64 {
 }
 
 /// One LSTM layer's parameters: gate order is (input, forget, candidate,
-/// output), packed as four consecutive blocks of `hidden` rows.
+/// output), packed as four consecutive blocks of `hidden` rows. All
+/// parameters live in one flat buffer laid out `[wx | wh | b]` — the same
+/// layout the gradient vector uses, so the optimizer update is a single
+/// aligned pass.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct LstmLayer {
     input: usize,
     hidden: usize,
-    /// Input weights, `4*hidden x input`, row-major.
-    wx: Vec<f64>,
-    /// Recurrent weights, `4*hidden x hidden`, row-major.
-    wh: Vec<f64>,
-    /// Gate biases, `4*hidden`.
-    b: Vec<f64>,
+    /// `[wx | wh | b]`: input weights (`4*hidden x input`, row-major),
+    /// recurrent weights (`4*hidden x hidden`, row-major), gate biases
+    /// (`4*hidden`).
+    params: Vec<f64>,
 }
 
-/// Cached activations of one layer over one sequence, for BPTT.
+/// Cached activations of one layer over one sequence, for BPTT (exact path).
 #[derive(Debug, Clone, Default)]
 struct LayerCache {
     /// Inputs x_t per step.
@@ -84,36 +113,58 @@ struct LayerCache {
 
 impl LstmLayer {
     fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
-        // Xavier-style initialization scaled by fan-in.
+        // Xavier-style initialization scaled by fan-in. Draw order (wx,
+        // then wh, then biases) is part of the determinism contract.
         let scale_x = (1.0 / input as f64).sqrt();
         let scale_h = (1.0 / hidden as f64).sqrt();
-        let wx = (0..4 * hidden * input)
-            .map(|_| normal(rng, 0.0, scale_x))
-            .collect();
-        let wh = (0..4 * hidden * hidden)
-            .map(|_| normal(rng, 0.0, scale_h))
-            .collect();
+        let mut params = Vec::with_capacity(4 * hidden * (input + hidden + 1));
+        params.extend((0..4 * hidden * input).map(|_| normal(rng, 0.0, scale_x)));
+        params.extend((0..4 * hidden * hidden).map(|_| normal(rng, 0.0, scale_h)));
         // Forget-gate bias starts at 1.0 (standard trick to ease gradient
         // flow early in training); other gates at 0.
-        let mut b = vec![0.0; 4 * hidden];
-        for v in b.iter_mut().skip(hidden).take(hidden) {
+        let b_start = params.len();
+        params.resize(b_start + 4 * hidden, 0.0);
+        for v in params[b_start + hidden..b_start + 2 * hidden].iter_mut() {
             *v = 1.0;
         }
         LstmLayer {
             input,
             hidden,
-            wx,
-            wh,
-            b,
+            params,
         }
     }
 
     fn num_params(&self) -> usize {
-        self.wx.len() + self.wh.len() + self.b.len()
+        self.params.len()
+    }
+
+    /// Offset of the recurrent-weight block in `params`.
+    fn wh_offset(&self) -> usize {
+        4 * self.hidden * self.input
+    }
+
+    /// Offset of the bias block in `params`.
+    fn b_offset(&self) -> usize {
+        self.wh_offset() + 4 * self.hidden * self.hidden
+    }
+
+    /// Input weights, `4*hidden x input`, row-major.
+    fn wx(&self) -> &[f64] {
+        &self.params[..self.wh_offset()]
+    }
+
+    /// Recurrent weights, `4*hidden x hidden`, row-major.
+    fn wh(&self) -> &[f64] {
+        &self.params[self.wh_offset()..self.b_offset()]
+    }
+
+    /// Gate biases, `4*hidden`.
+    fn b(&self) -> &[f64] {
+        &self.params[self.b_offset()..]
     }
 
     /// Runs the layer over a sequence, returning the hidden states and a
-    /// cache for BPTT.
+    /// cache for BPTT (exact scalar path).
     fn forward(&self, sequence: &[Vec<f64>]) -> LayerCache {
         let h = self.hidden;
         let mut cache = LayerCache::default();
@@ -122,13 +173,13 @@ impl LstmLayer {
         for x in sequence {
             debug_assert_eq!(x.len(), self.input);
             // z = Wx x + Wh h_prev + b, packed (i, f, g, o).
-            let mut z = self.b.clone();
+            let mut z = self.b().to_vec();
             for (row, zv) in z.iter_mut().enumerate() {
-                let wx_row = &self.wx[row * self.input..(row + 1) * self.input];
+                let wx_row = &self.wx()[row * self.input..(row + 1) * self.input];
                 for (w, xv) in wx_row.iter().zip(x) {
                     *zv += w * xv;
                 }
-                let wh_row = &self.wh[row * h..(row + 1) * h];
+                let wh_row = &self.wh()[row * h..(row + 1) * h];
                 for (w, hv) in wh_row.iter().zip(&h_prev) {
                     *zv += w * hv;
                 }
@@ -159,16 +210,16 @@ impl LstmLayer {
         cache
     }
 
-    /// BPTT through the cached sequence. `dh_per_step[t]` is the external
-    /// gradient flowing into `h_t` (from the head or the layer above).
-    /// Returns `(grads, dx_per_step)` where `grads` matches the parameter
-    /// layout `(wx, wh, b)` flattened.
+    /// BPTT through the cached sequence (exact scalar path). `dh_per_step[t]`
+    /// is the external gradient flowing into `h_t` (from the head or the
+    /// layer above). Returns `(grads, dx_per_step)` where `grads` matches the
+    /// parameter layout `[wx | wh | b]` flattened.
     fn backward(&self, cache: &LayerCache, dh_per_step: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
         let h = self.hidden;
         let steps = cache.xs.len();
-        let mut d_wx = vec![0.0; self.wx.len()];
-        let mut d_wh = vec![0.0; self.wh.len()];
-        let mut d_b = vec![0.0; self.b.len()];
+        let mut d_wx = vec![0.0; 4 * h * self.input];
+        let mut d_wh = vec![0.0; 4 * h * h];
+        let mut d_b = vec![0.0; 4 * h];
         let mut dxs = vec![vec![0.0; self.input]; steps];
         let mut dh_next = vec![0.0; h];
         let mut dc_next = vec![0.0; h];
@@ -215,11 +266,11 @@ impl LstmLayer {
                     }
                 }
                 d_b[row] += dzv;
-                let wx_row = &self.wx[row * self.input..(row + 1) * self.input];
+                let wx_row = &self.wx()[row * self.input..(row + 1) * self.input];
                 for (k, w) in wx_row.iter().enumerate() {
                     dxs[t][k] += dzv * w;
                 }
-                let wh_row = &self.wh[row * h..(row + 1) * h];
+                let wh_row = &self.wh()[row * h..(row + 1) * h];
                 for (k, w) in wh_row.iter().enumerate() {
                     dh_prev[k] += dzv * w;
                 }
@@ -232,12 +283,208 @@ impl LstmLayer {
         grads.extend(d_b);
         (grads, dxs)
     }
+}
 
-    fn params_mut(&mut self) -> impl Iterator<Item = &mut f64> {
-        self.wx
-            .iter_mut()
-            .chain(self.wh.iter_mut())
-            .chain(self.b.iter_mut())
+/// Recycled per-layer buffers for the fused flat path: forward activations
+/// over the whole window plus the gradient accumulator, laid out flat.
+#[derive(Debug, Clone, Default)]
+struct LayerWs {
+    /// Gate activations, `steps x 4*hidden` (blocks i, f, g, o per step).
+    gates: Vec<f64>,
+    /// Cell states, `steps x hidden`.
+    cs: Vec<f64>,
+    /// `tanh` of each cell state, `steps x hidden` — written by the
+    /// forward gate fusion and reused by backward, which saves one
+    /// transcendental per unit-step without changing a single bit (same
+    /// input, same function).
+    tanh_cs: Vec<f64>,
+    /// Hidden states, `steps x hidden`.
+    hs: Vec<f64>,
+    /// Incoming hidden-state gradient per step, `steps x hidden`. For the
+    /// top layer this is the head gradient; for lower layers it is the
+    /// `dx` of the layer above, written during backward.
+    dh: Vec<f64>,
+    /// Flat gradient accumulator matching the `[wx | wh | b]` layout.
+    grads: Vec<f64>,
+}
+
+/// One recycled workspace per fit/forecast: all per-step state the exact
+/// path allocates fresh, hoisted into flat buffers.
+#[derive(Debug, Clone)]
+struct Workspace {
+    layers: Vec<LayerWs>,
+    /// Pre-activations for one step, `4*hidden`.
+    z: Vec<f64>,
+    /// Pre-activation gradients for one step, `4*hidden`.
+    dz: Vec<f64>,
+    /// Hidden-state gradient carried across steps (`dh_next`).
+    dh_carry: Vec<f64>,
+    /// Cell-state gradient carried across steps (`dc_next`).
+    dc_carry: Vec<f64>,
+    /// Next step's cell-state gradient being assembled (`dc_prev`).
+    dc_scratch: Vec<f64>,
+    /// All-zero hidden-state stand-in for `t == 0`.
+    zeros: Vec<f64>,
+    /// Head gradient buffer, `hidden + 1`.
+    head_grads: Vec<f64>,
+}
+
+impl Workspace {
+    fn new(layers: &[LstmLayer], steps: usize) -> Self {
+        let h = layers.last().map_or(0, |l| l.hidden);
+        Workspace {
+            layers: layers
+                .iter()
+                .map(|l| LayerWs {
+                    gates: vec![0.0; steps * 4 * l.hidden],
+                    cs: vec![0.0; steps * l.hidden],
+                    tanh_cs: vec![0.0; steps * l.hidden],
+                    hs: vec![0.0; steps * l.hidden],
+                    dh: vec![0.0; steps * l.hidden],
+                    grads: vec![0.0; l.num_params()],
+                })
+                .collect(),
+            z: vec![0.0; 4 * h],
+            dz: vec![0.0; 4 * h],
+            dh_carry: vec![0.0; h],
+            dc_carry: vec![0.0; h],
+            dc_scratch: vec![0.0; h],
+            zeros: vec![0.0; h],
+            head_grads: vec![0.0; h + 1],
+        }
+    }
+}
+
+/// Fused forward pass of one layer over `steps` inputs (`xs` is the flat
+/// `steps x input` input sequence). Writes gates/cell/hidden states into the
+/// layer workspace. Bit-identical to [`LstmLayer::forward`]: each `z[row]`
+/// starts at the bias and accumulates the `wx` terms then the `wh` terms in
+/// ascending column order, and the gate fusion replays the scalar sequence.
+/// At `t == 0` the recurrent contribution is skipped outright — the exact
+/// path adds `w * 0.0` terms there, which cannot change any accumulator bit
+/// (an accumulator built from `+=` of finite terms is never `-0.0`).
+fn forward_layer_fused(
+    layer: &LstmLayer,
+    xs: &[f64],
+    steps: usize,
+    z: &mut [f64],
+    zeros: &[f64],
+    lw: &mut LayerWs,
+) {
+    let h = layer.hidden;
+    let input = layer.input;
+    for t in 0..steps {
+        let z_t = &mut z[..4 * h];
+        z_t.copy_from_slice(layer.b());
+        gemv_acc(
+            z_t,
+            layer.wx(),
+            4 * h,
+            input,
+            &xs[t * input..(t + 1) * input],
+        );
+        let (h_done, h_cur) = lw.hs.split_at_mut(t * h);
+        let (c_done, c_cur) = lw.cs.split_at_mut(t * h);
+        let tanh_c_cur = &mut lw.tanh_cs[t * h..(t + 1) * h];
+        // At t == 0 the recurrent term is `W_h · 0` and `c_prev` is the zero
+        // state: skipping the gemv and fusing against the shared zero buffer
+        // reproduces the exact path's arithmetic term for term.
+        let c_prev: &[f64] = if t > 0 {
+            gemv_acc(z_t, layer.wh(), 4 * h, h, &h_done[(t - 1) * h..]);
+            &c_done[(t - 1) * h..]
+        } else {
+            &zeros[..h]
+        };
+        lstm_gate_fuse(
+            z_t,
+            c_prev,
+            h,
+            &mut lw.gates[t * 4 * h..(t + 1) * 4 * h],
+            &mut c_cur[..h],
+            tanh_c_cur,
+            &mut h_cur[..h],
+        );
+    }
+}
+
+/// Fused BPTT of one layer. Consumes the forward workspace plus the incoming
+/// per-step hidden gradient (`lw.dh`), accumulates parameter gradients into
+/// `lw.grads` (caller pre-zeroes), and, when `dx_out` is given, writes the
+/// per-step input gradients (pre-zeroed by the caller) for the layer below.
+/// Bit-identical to [`LstmLayer::backward`]: the scalar path skips rows with
+/// an exactly-zero `dz`, which only ever adds `±0.0` terms — a bitwise no-op
+/// on accumulators that `+=` finite values — so the kernels run unconditionally.
+#[allow(clippy::too_many_arguments)]
+fn backward_layer_fused(
+    layer: &LstmLayer,
+    xs: &[f64],
+    steps: usize,
+    lw_gates: &[f64],
+    lw_cs: &[f64],
+    lw_tanh_cs: &[f64],
+    lw_hs: &[f64],
+    lw_dh: &[f64],
+    grads: &mut [f64],
+    mut dx_out: Option<&mut [f64]>,
+    dz: &mut [f64],
+    dh_carry: &mut [f64],
+    dc_carry: &mut [f64],
+    dc_scratch: &mut [f64],
+) {
+    let h = layer.hidden;
+    let input = layer.input;
+    let wh_off = layer.wh_offset();
+    let b_off = layer.b_offset();
+    for v in dh_carry.iter_mut() {
+        *v = 0.0;
+    }
+    for v in dc_carry.iter_mut() {
+        *v = 0.0;
+    }
+    for t in (0..steps).rev() {
+        let gates_t = &lw_gates[t * 4 * h..(t + 1) * 4 * h];
+        let tanh_c_t = &lw_tanh_cs[t * h..(t + 1) * h];
+        for j in 0..h {
+            let gi = gates_t[j];
+            let gf = gates_t[h + j];
+            let gg = gates_t[2 * h + j];
+            let go = gates_t[3 * h + j];
+            let tanh_c = tanh_c_t[j];
+            let dh = lw_dh[t * h + j] + dh_carry[j];
+            let dc = dc_carry[j] + dh * go * (1.0 - tanh_c * tanh_c);
+            let d_o = dh * tanh_c;
+            let cp = if t == 0 { 0.0 } else { lw_cs[(t - 1) * h + j] };
+            let d_i = dc * gg;
+            let d_f = dc * cp;
+            let d_g = dc * gi;
+            dz[j] = d_i * gi * (1.0 - gi);
+            dz[h + j] = d_f * gf * (1.0 - gf);
+            dz[2 * h + j] = d_g * (1.0 - gg * gg);
+            dz[3 * h + j] = d_o * go * (1.0 - go);
+            dc_scratch[j] = dc * gf;
+        }
+        let dz_t = &dz[..4 * h];
+        rank1_acc(&mut grads[..wh_off], dz_t, &xs[t * input..(t + 1) * input]);
+        if t > 0 {
+            rank1_acc(&mut grads[wh_off..b_off], dz_t, &lw_hs[(t - 1) * h..t * h]);
+        }
+        for (g, &d) in grads[b_off..].iter_mut().zip(dz_t) {
+            *g += d;
+        }
+        if let Some(dx) = dx_out.as_deref_mut() {
+            gemv_t_acc(
+                &mut dx[t * input..(t + 1) * input],
+                layer.wx(),
+                4 * h,
+                input,
+                dz_t,
+            );
+        }
+        for v in dh_carry.iter_mut() {
+            *v = 0.0;
+        }
+        gemv_t_acc(dh_carry, layer.wh(), 4 * h, h, dz_t);
+        dc_carry.copy_from_slice(dc_scratch);
     }
 }
 
@@ -260,26 +507,31 @@ impl Adam {
         }
     }
 
-    /// Applies one Adam update; returns the per-parameter deltas.
-    fn step(&mut self, grads: &[f64], clip: f64) -> Vec<f64> {
+    /// Applies one Adam update, handing each parameter's delta to `out`.
+    /// This is the allocation-free core shared by both compute paths.
+    fn apply(&mut self, grads: &[f64], clip: f64, mut out: impl FnMut(usize, f64)) {
         const B1: f64 = 0.9;
         const B2: f64 = 0.999;
         const EPS: f64 = 1e-8;
         self.t += 1;
         let bc1 = 1.0 - B1.powi(self.t as i32);
         let bc2 = 1.0 - B2.powi(self.t as i32);
-        grads
-            .iter()
-            .enumerate()
-            .map(|(i, &g0)| {
-                let g = g0.clamp(-clip, clip);
-                self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
-                self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
-                let mh = self.m[i] / bc1;
-                let vh = self.v[i] / bc2;
-                -self.lr * mh / (vh.sqrt() + EPS)
-            })
-            .collect()
+        for (i, &g0) in grads.iter().enumerate() {
+            let g = g0.clamp(-clip, clip);
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+            let mh = self.m[i] / bc1;
+            let vh = self.v[i] / bc2;
+            out(i, -self.lr * mh / (vh.sqrt() + EPS));
+        }
+    }
+
+    /// Applies one Adam update; returns the per-parameter deltas (exact
+    /// path).
+    fn step(&mut self, grads: &[f64], clip: f64) -> Vec<f64> {
+        let mut deltas = vec![0.0; grads.len()];
+        self.apply(grads, clip, |i, d| deltas[i] = d);
+        deltas
     }
 }
 
@@ -352,8 +604,8 @@ impl Lstm {
         Ok(())
     }
 
-    /// Full forward pass: window of normalized values -> scalar prediction.
-    /// Returns `(prediction, caches, head_input)`.
+    /// Full forward pass (exact path): window of normalized values -> scalar
+    /// prediction. Returns `(prediction, caches, head_input)`.
     fn forward(state: &LstmState, window: &[f64]) -> (f64, Vec<LayerCache>, Vec<f64>) {
         let mut seq: Vec<Vec<f64>> = window.iter().map(|&v| vec![v]).collect();
         let mut caches = Vec::with_capacity(state.layers.len());
@@ -379,6 +631,200 @@ impl Lstm {
         let y = pre.max(0.0);
         (y, caches, last_h)
     }
+
+    /// Full forward pass (fused path) into the recycled workspace. Returns
+    /// the pre-activation of the head (`y = pre.max(0.0)`); the top layer's
+    /// last hidden state stays readable in the workspace.
+    fn forward_fused(state: &LstmState, ws: &mut Workspace, window: &[f64]) -> f64 {
+        let steps = window.len();
+        for (idx, layer) in state.layers.iter().enumerate() {
+            let (below, cur) = ws.layers.split_at_mut(idx);
+            let lw = &mut cur[0];
+            if idx == 0 {
+                forward_layer_fused(layer, window, steps, &mut ws.z, &ws.zeros, lw);
+            } else {
+                forward_layer_fused(layer, &below[idx - 1].hs, steps, &mut ws.z, &ws.zeros, lw);
+            }
+        }
+        let h = state.head_w.len();
+        let pre: f64 = match ws.layers.last() {
+            Some(top) if steps > 0 => {
+                let last_h = &top.hs[(steps - 1) * h..steps * h];
+                state
+                    .head_w
+                    .iter()
+                    .zip(last_h)
+                    .map(|(w, hv)| w * hv)
+                    .sum::<f64>()
+                    + state.head_b
+            }
+            _ => state.head_b,
+        };
+        pre
+    }
+}
+
+/// One fused training step: forward, head + BPTT gradients, Adam updates.
+/// Returns the squared error contribution of the sample.
+fn fused_train_sample(
+    state: &mut LstmState,
+    ws: &mut Workspace,
+    window: &[f64],
+    target: f64,
+    layer_opts: &mut [Adam],
+    head_opt: &mut Adam,
+    grad_clip: f64,
+) -> f64 {
+    let steps = window.len();
+    let h = state.head_w.len();
+    let pre = Lstm::forward_fused(state, ws, window);
+    let y = pre.max(0.0);
+    let err = y - target;
+    // dLoss/dy for squared error (factor 2 folded into lr); leaky gradient
+    // through the ReLU during training so the output unit cannot die.
+    let mut dy = err;
+    if pre <= 0.0 {
+        dy *= 0.01;
+    }
+    // Head gradients, then the gradient into the top layer's last hidden
+    // state. `validate` guarantees at least one layer, but stay panic-free.
+    if let Some(top) = ws.layers.last() {
+        let last_h = &top.hs[(steps - 1) * h..steps * h];
+        for (g, &hv) in ws.head_grads[..h].iter_mut().zip(last_h) {
+            *g = dy * hv;
+        }
+    }
+    ws.head_grads[h] = dy;
+    if let Some(top) = ws.layers.last_mut() {
+        for v in top.dh.iter_mut() {
+            *v = 0.0;
+        }
+        for (j, &w) in state.head_w.iter().enumerate() {
+            top.dh[(steps - 1) * h + j] = dy * w;
+        }
+    }
+    // Backward through the stack, top to bottom. Layer `idx` writes its
+    // input gradient into layer `idx - 1`'s `dh` buffer; the bottom layer's
+    // input gradient is not needed and is skipped.
+    for idx in (0..state.layers.len()).rev() {
+        let layer = &state.layers[idx];
+        let (below, cur) = ws.layers.split_at_mut(idx);
+        let lw = &mut cur[0];
+        for g in lw.grads.iter_mut() {
+            *g = 0.0;
+        }
+        let (xs, dx_out): (&[f64], Option<&mut [f64]>) = match below.last_mut() {
+            Some(prev) => {
+                for v in prev.dh.iter_mut() {
+                    *v = 0.0;
+                }
+                (&prev.hs, Some(&mut prev.dh))
+            }
+            None => (window, None),
+        };
+        backward_layer_fused(
+            layer,
+            xs,
+            steps,
+            &lw.gates,
+            &lw.cs,
+            &lw.tanh_cs,
+            &lw.hs,
+            &lw.dh,
+            &mut lw.grads,
+            dx_out,
+            &mut ws.dz,
+            &mut ws.dh_carry,
+            &mut ws.dc_carry,
+            &mut ws.dc_scratch,
+        );
+    }
+    // Apply Adam updates in place — no delta vectors allocated.
+    for ((layer, lw), opt) in state
+        .layers
+        .iter_mut()
+        .zip(&ws.layers)
+        .zip(layer_opts.iter_mut())
+    {
+        let params = &mut layer.params;
+        opt.apply(&lw.grads, grad_clip, |i, d| params[i] += d);
+    }
+    let head_w = &mut state.head_w;
+    let head_b = &mut state.head_b;
+    head_opt.apply(&ws.head_grads, grad_clip, |i, d| {
+        if i < h {
+            head_w[i] += d;
+        } else {
+            *head_b += d;
+        }
+    });
+    err * err
+}
+
+/// One exact training step — the original allocating scalar path, kept as
+/// the differential reference. Returns the squared error of the sample.
+fn exact_train_sample(
+    state: &mut LstmState,
+    window: &[f64],
+    target: f64,
+    layer_opts: &mut [Adam],
+    head_opt: &mut Adam,
+    hidden: usize,
+    grad_clip: f64,
+) -> f64 {
+    let (y, caches, last_h) = Lstm::forward(state, window);
+    let err = y - target;
+    // dLoss/dy for squared error (factor 2 folded into lr).
+    let mut dy = err;
+    // ReLU gate.
+    let pre = state
+        .head_w
+        .iter()
+        .zip(&last_h)
+        .map(|(w, h)| w * h)
+        .sum::<f64>()
+        + state.head_b;
+    if pre <= 0.0 {
+        // Leaky gradient through the ReLU during training so the
+        // single output unit cannot die permanently.
+        dy *= 0.01;
+    }
+    // Head gradients.
+    let mut head_grads: Vec<f64> = last_h.iter().map(|h| dy * h).collect();
+    head_grads.push(dy);
+    // Gradient into the top layer's last hidden state.
+    let steps = window.len();
+    let mut dh_top = vec![vec![0.0; hidden]; steps];
+    for (j, w) in state.head_w.iter().enumerate() {
+        dh_top[steps - 1][j] = dy * w;
+    }
+    // Backward through the stack.
+    let mut dh_per_step = dh_top;
+    let mut layer_grads: Vec<Vec<f64>> = Vec::with_capacity(state.layers.len());
+    for (layer, cache) in state.layers.iter().zip(&caches).rev() {
+        let (grads, dxs) = layer.backward(cache, &dh_per_step);
+        layer_grads.push(grads);
+        dh_per_step = dxs;
+    }
+    layer_grads.reverse();
+    // Apply Adam updates.
+    for ((layer, grads), opt) in state
+        .layers
+        .iter_mut()
+        .zip(&layer_grads)
+        .zip(layer_opts.iter_mut())
+    {
+        let deltas = opt.step(grads, grad_clip);
+        for (p, d) in layer.params.iter_mut().zip(&deltas) {
+            *p += d;
+        }
+    }
+    let head_deltas = head_opt.step(&head_grads, grad_clip);
+    for (w, d) in state.head_w.iter_mut().zip(&head_deltas) {
+        *w += d;
+    }
+    state.head_b += head_deltas[hidden];
+    err * err
 }
 
 impl Forecaster for Lstm {
@@ -427,6 +873,10 @@ impl Forecaster for Lstm {
             .map(|&n| Adam::new(n, c.learning_rate))
             .collect();
         let mut head_opt = Adam::new(c.hidden + 1, c.learning_rate);
+        let mut ws = match c.kernel {
+            LstmKernel::FusedFlat => Some(Workspace::new(&state.layers, c.window)),
+            LstmKernel::Exact => None,
+        };
 
         let mut last_epoch_mse = f64::INFINITY;
         for _epoch in 0..c.epochs {
@@ -441,59 +891,26 @@ impl Forecaster for Lstm {
             let mut sse = 0.0;
             for &(start, target) in &samples {
                 let window = &norm[start..start + c.window];
-                let (y, caches, last_h) = Lstm::forward(&state, window);
-                let err = y - target;
-                sse += err * err;
-                // dLoss/dy for squared error (factor 2 folded into lr).
-                let mut dy = err;
-                // ReLU gate.
-                let pre = state
-                    .head_w
-                    .iter()
-                    .zip(&last_h)
-                    .map(|(w, h)| w * h)
-                    .sum::<f64>()
-                    + state.head_b;
-                if pre <= 0.0 {
-                    // Leaky gradient through the ReLU during training so the
-                    // single output unit cannot die permanently.
-                    dy *= 0.01;
-                }
-                // Head gradients.
-                let mut head_grads: Vec<f64> = last_h.iter().map(|h| dy * h).collect();
-                head_grads.push(dy);
-                // Gradient into the top layer's last hidden state.
-                let steps = c.window;
-                let mut dh_top = vec![vec![0.0; c.hidden]; steps];
-                for (j, w) in state.head_w.iter().enumerate() {
-                    dh_top[steps - 1][j] = dy * w;
-                }
-                // Backward through the stack.
-                let mut dh_per_step = dh_top;
-                let mut layer_grads: Vec<Vec<f64>> = Vec::with_capacity(state.layers.len());
-                for (layer, cache) in state.layers.iter().zip(&caches).rev() {
-                    let (grads, dxs) = layer.backward(cache, &dh_per_step);
-                    layer_grads.push(grads);
-                    dh_per_step = dxs;
-                }
-                layer_grads.reverse();
-                // Apply Adam updates.
-                for ((layer, grads), opt) in state
-                    .layers
-                    .iter_mut()
-                    .zip(&layer_grads)
-                    .zip(layer_opts.iter_mut())
-                {
-                    let deltas = opt.step(grads, c.grad_clip);
-                    for (p, d) in layer.params_mut().zip(&deltas) {
-                        *p += d;
-                    }
-                }
-                let head_deltas = head_opt.step(&head_grads, c.grad_clip);
-                for (w, d) in state.head_w.iter_mut().zip(&head_deltas) {
-                    *w += d;
-                }
-                state.head_b += head_deltas[c.hidden];
+                sse += match ws.as_mut() {
+                    Some(ws) => fused_train_sample(
+                        &mut state,
+                        ws,
+                        window,
+                        target,
+                        &mut layer_opts,
+                        &mut head_opt,
+                        c.grad_clip,
+                    ),
+                    None => exact_train_sample(
+                        &mut state,
+                        window,
+                        target,
+                        &mut layer_opts,
+                        &mut head_opt,
+                        c.hidden,
+                        c.grad_clip,
+                    ),
+                };
             }
             last_epoch_mse = sse / samples.len() as f64;
         }
@@ -523,9 +940,16 @@ impl Forecaster for Lstm {
             .iter()
             .map(|v| ((v - state.lo) / span).clamp(-0.5, 1.5))
             .collect();
+        let mut ws = match self.config.kernel {
+            LstmKernel::FusedFlat => Some(Workspace::new(&state.layers, w)),
+            LstmKernel::Exact => None,
+        };
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
-            let (y, _, _) = Lstm::forward(state, &window);
+            let y = match ws.as_mut() {
+                Some(ws) => Lstm::forward_fused(state, ws, &window).max(0.0),
+                None => Lstm::forward(state, &window).0,
+            };
             out.push(state.lo + y * span);
             window.remove(0);
             // Clamp the recursive feedback to the (slightly padded)
@@ -554,6 +978,7 @@ mod tests {
             learning_rate: 0.02,
             grad_clip: 1.0,
             seed: 3,
+            kernel: LstmKernel::FusedFlat,
         }
     }
 
@@ -683,6 +1108,29 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_bit_identical_to_exact() {
+        // The headline determinism contract: same seed, same series ->
+        // identical weights, MSE, and forecasts, bit for bit, across the
+        // two compute paths. (The proptest suite widens this over shapes.)
+        let series: Vec<f64> = (0..120)
+            .map(|t| 0.4 + 0.3 * (t as f64 * 0.21).sin() + 0.01 * (t % 7) as f64)
+            .collect();
+        let mut exact = Lstm::new(LstmConfig {
+            kernel: LstmKernel::Exact,
+            ..tiny_config()
+        });
+        let mut fused = Lstm::new(tiny_config());
+        exact.fit(&series).unwrap();
+        fused.fit(&series).unwrap();
+        assert_eq!(exact.train_mse().unwrap(), fused.train_mse().unwrap());
+        assert_eq!(exact.state, fused.state, "fitted state must match bitwise");
+        assert_eq!(
+            exact.forecast(&series, 8).unwrap(),
+            fused.forecast(&series, 8).unwrap()
+        );
+    }
+
+    #[test]
     fn gradient_check_single_layer() {
         // Numerical gradient check of the LSTM layer backward pass: perturb
         // one weight and compare finite difference against analytic grad.
@@ -699,9 +1147,9 @@ mod tests {
         let eps = 1e-6;
         for &idx in &[0usize, 3, 7] {
             let mut lp = layer.clone();
-            lp.wx[idx] += eps;
+            lp.params[idx] += eps;
             let mut lm = layer.clone();
-            lm.wx[idx] -= eps;
+            lm.params[idx] -= eps;
             let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
             let analytic = grads[idx];
             assert!(
@@ -709,15 +1157,78 @@ mod tests {
                 "wx[{idx}]: numeric {numeric} vs analytic {analytic}"
             );
         }
-        let b_offset = layer.wx.len() + layer.wh.len();
+        let b_offset = layer.b_offset();
         let mut lp = layer.clone();
-        lp.b[2] += eps;
+        lp.params[b_offset + 2] += eps;
         let mut lm = layer.clone();
-        lm.b[2] -= eps;
+        lm.params[b_offset + 2] -= eps;
         let numeric = (loss(&lp) - loss(&lm)) / (2.0 * eps);
         assert!(
             (numeric - grads[b_offset + 2]).abs() < 1e-5,
             "bias grad mismatch"
         );
+    }
+
+    #[test]
+    fn gradient_check_fused_backward() {
+        // Same finite-difference check against the fused flat-buffer
+        // backward pass: run forward + backward through the workspace and
+        // compare analytic gradients to numeric ones from the fused forward.
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = LstmLayer::new(2, 4, &mut rng);
+        let xs = vec![0.3, -0.2, -0.1, 0.4, 0.5, 0.05];
+        let steps = 3;
+        let fused_loss = |l: &LstmLayer| -> f64 {
+            let mut ws = Workspace::new(std::slice::from_ref(l), steps);
+            let mut z = vec![0.0; 4 * l.hidden];
+            let zeros = vec![0.0; l.hidden];
+            forward_layer_fused(l, &xs, steps, &mut z, &zeros, &mut ws.layers[0]);
+            ws.layers[0].hs[(steps - 1) * l.hidden..].iter().sum()
+        };
+        let mut ws = Workspace::new(std::slice::from_ref(&layer), steps);
+        {
+            let mut z = vec![0.0; 4 * layer.hidden];
+            let zeros = vec![0.0; layer.hidden];
+            forward_layer_fused(&layer, &xs, steps, &mut z, &zeros, &mut ws.layers[0]);
+        }
+        // dLoss/dh = 1 on the last step only.
+        let mut dh = vec![0.0; steps * layer.hidden];
+        for v in dh[(steps - 1) * layer.hidden..].iter_mut() {
+            *v = 1.0;
+        }
+        let mut grads = vec![0.0; layer.num_params()];
+        let lw = ws.layers[0].clone();
+        backward_layer_fused(
+            &layer,
+            &xs,
+            steps,
+            &lw.gates,
+            &lw.cs,
+            &lw.tanh_cs,
+            &lw.hs,
+            &dh,
+            &mut grads,
+            None,
+            &mut ws.dz,
+            &mut ws.dh_carry,
+            &mut ws.dc_carry,
+            &mut ws.dc_scratch,
+        );
+        let eps = 1e-6;
+        // Probe entries across all three parameter blocks.
+        let wh_probe = layer.wh_offset() + 5;
+        let b_probe = layer.b_offset() + 3;
+        for &idx in &[0usize, 5, wh_probe, b_probe] {
+            let mut lp = layer.clone();
+            lp.params[idx] += eps;
+            let mut lm = layer.clone();
+            lm.params[idx] -= eps;
+            let numeric = (fused_loss(&lp) - fused_loss(&lm)) / (2.0 * eps);
+            assert!(
+                (numeric - grads[idx]).abs() < 1e-5,
+                "param[{idx}]: numeric {numeric} vs analytic {}",
+                grads[idx]
+            );
+        }
     }
 }

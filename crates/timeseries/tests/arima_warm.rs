@@ -1,0 +1,184 @@
+//! Warm-start ARIMA regression tests (ISSUE 4 satellite): a warm-started
+//! retrain must match a cold-start retrain within tolerance on AR(1),
+//! MA(1), and drift series, and a poisoned warm hint must fall back to the
+//! cold path exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use utilcast_linalg::rng::standard_normal;
+use utilcast_timeseries::arima::{
+    auto_arima_warm, ArimaFitOptions, ArimaGrid, ArimaOrder, ArimaWarmStart,
+};
+use utilcast_timeseries::Forecaster;
+
+fn ar1_series(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut x = 0.0;
+    for _ in 0..n {
+        x = phi * x + 0.1 * standard_normal(&mut rng);
+        xs.push(x);
+    }
+    xs
+}
+
+fn ma1_series(n: usize, theta: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let es: Vec<f64> = (0..n + 1)
+        .map(|_| 0.1 * standard_normal(&mut rng))
+        .collect();
+    (1..=n).map(|t| es[t] + theta * es[t - 1]).collect()
+}
+
+fn drift_series(n: usize, slope: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|t| t as f64 * slope + 0.05 * standard_normal(&mut rng))
+        .collect()
+}
+
+/// Simulates one retrain cycle: fit on the first `n - extend` points to
+/// populate the warm table, then refit on the full series both warm and
+/// cold, and compare the selections.
+fn assert_warm_matches_cold(series: &[f64], extend: usize, tag: &str) {
+    let grid = ArimaGrid::quick();
+    let options = ArimaFitOptions::default();
+    let initial = &series[..series.len() - extend];
+
+    let mut warm = ArimaWarmStart::default();
+    auto_arima_warm(initial, &grid, &options, &mut warm).expect("initial fit");
+    assert!(!warm.is_empty(), "{tag}: initial fit must seed the table");
+
+    let warm_model = auto_arima_warm(series, &grid, &options, &mut warm).expect("warm refit");
+    let cold_model = auto_arima_warm(series, &grid, &options, &mut ArimaWarmStart::default())
+        .expect("cold refit");
+
+    assert_eq!(
+        warm_model.order(),
+        cold_model.order(),
+        "{tag}: warm and cold retrains must select the same order"
+    );
+    let wa = warm_model.fitted().expect("fitted").aicc;
+    let ca = cold_model.fitted().expect("fitted").aicc;
+    assert!(
+        (wa - ca).abs() < 0.5,
+        "{tag}: warm aicc {wa} vs cold aicc {ca}"
+    );
+    let wf = warm_model.forecast(series, 6).expect("warm forecast");
+    let cf = cold_model.forecast(series, 6).expect("cold forecast");
+    for (h, (w, c)) in wf.iter().zip(cf.iter()).enumerate() {
+        assert!(
+            (w - c).abs() < 0.02,
+            "{tag}: h={h} warm forecast {w} vs cold {c}"
+        );
+    }
+}
+
+#[test]
+fn warm_retrain_matches_cold_on_ar1() {
+    assert_warm_matches_cold(&ar1_series(320, 0.7, 101), 20, "ar1");
+}
+
+#[test]
+fn warm_retrain_matches_cold_on_ma1() {
+    assert_warm_matches_cold(&ma1_series(320, 0.6, 103), 20, "ma1");
+}
+
+#[test]
+fn warm_retrain_matches_cold_on_drift() {
+    assert_warm_matches_cold(&drift_series(320, 0.05, 107), 20, "drift");
+}
+
+#[test]
+fn poisoned_warm_hint_falls_back_to_cold_exactly() {
+    // A malformed warm hint (non-finite coefficients) must be rejected
+    // before the optimizer runs, so the result is bitwise identical to a
+    // cold search.
+    let series = ar1_series(300, 0.7, 109);
+    let grid = ArimaGrid::quick();
+    let options = ArimaFitOptions::default();
+
+    let mut poisoned = ArimaWarmStart::default();
+    for order in grid.orders() {
+        poisoned.put(order, vec![f64::NAN; order.num_coefficients()]);
+    }
+    let from_poisoned =
+        auto_arima_warm(&series, &grid, &options, &mut poisoned).expect("poisoned fit");
+    let cold = auto_arima_warm(&series, &grid, &options, &mut ArimaWarmStart::default())
+        .expect("cold fit");
+    assert_eq!(from_poisoned.order(), cold.order());
+    assert_eq!(
+        from_poisoned.fitted(),
+        cold.fitted(),
+        "fallback must be exact"
+    );
+}
+
+#[test]
+fn out_of_bound_warm_hint_falls_back_to_cold_exactly() {
+    // Coefficients outside the optimizer's domain bound are equally
+    // rejected up front.
+    let series = ar1_series(300, 0.6, 113);
+    let grid = ArimaGrid::quick();
+    let options = ArimaFitOptions::default();
+
+    let mut poisoned = ArimaWarmStart::default();
+    for order in grid.orders() {
+        poisoned.put(
+            order,
+            vec![options.coef_bound * 10.0; order.num_coefficients()],
+        );
+    }
+    let from_poisoned =
+        auto_arima_warm(&series, &grid, &options, &mut poisoned).expect("poisoned fit");
+    let cold = auto_arima_warm(&series, &grid, &options, &mut ArimaWarmStart::default())
+        .expect("cold fit");
+    assert_eq!(
+        from_poisoned.fitted(),
+        cold.fitted(),
+        "fallback must be exact"
+    );
+}
+
+#[test]
+fn warm_hint_of_wrong_arity_is_ignored() {
+    let series = ar1_series(300, 0.5, 127);
+    let grid = ArimaGrid::quick();
+    let options = ArimaFitOptions::default();
+
+    let mut poisoned = ArimaWarmStart::default();
+    for order in grid.orders() {
+        // One coefficient too many: must be skipped, not sliced.
+        poisoned.put(order, vec![0.1; order.num_coefficients() + 1]);
+    }
+    let from_poisoned =
+        auto_arima_warm(&series, &grid, &options, &mut poisoned).expect("poisoned fit");
+    let cold = auto_arima_warm(&series, &grid, &options, &mut ArimaWarmStart::default())
+        .expect("cold fit");
+    assert_eq!(from_poisoned.fitted(), cold.fitted());
+}
+
+#[test]
+fn warm_table_survives_and_updates_across_retrains() {
+    let series = ar1_series(400, 0.8, 131);
+    let grid = ArimaGrid::quick();
+    let options = ArimaFitOptions::default();
+    let mut warm = ArimaWarmStart::default();
+    auto_arima_warm(&series[..300], &grid, &options, &mut warm).expect("fit 1");
+    let after_first = warm.len();
+    auto_arima_warm(&series[..350], &grid, &options, &mut warm).expect("fit 2");
+    auto_arima_warm(&series, &grid, &options, &mut warm).expect("fit 3");
+    assert!(
+        warm.len() >= after_first,
+        "table never shrinks across retrains"
+    );
+    assert!(
+        warm.len() <= grid.orders().len(),
+        "at most one entry per grid order"
+    );
+    // The retained solution for the selected order is usable as a hint.
+    let best = auto_arima_warm(&series, &grid, &options, &mut warm).expect("fit 4");
+    let hint = warm.get(best.order()).expect("winner must be cached");
+    assert_eq!(hint.len(), best.order().num_coefficients());
+    assert!(hint.iter().all(|v| v.is_finite()));
+}

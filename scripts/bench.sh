@@ -2,7 +2,10 @@
 # Quick-mode benchmark run: criterion micro-benchmarks for the per-step
 # primitives (k-means, Hungarian matching, pipeline tick) plus the
 # controller scaling report, which records the baseline-vs-optimized
-# N=1000/K=10/d=2 tick benchmark in BENCH_controller.json at the repo root.
+# N=1000/K=10/d=2 tick benchmark in BENCH_controller.json at the repo
+# root, and the forecast-training hot-path report, which records the
+# per-cluster retrain speedup (fused LSTM kernels + warm-started ARIMA)
+# and the staggered-retraining tick profile in BENCH_forecast.json.
 #
 # Usage: scripts/bench.sh [--full]
 #   default    quick mode (few timing reps; minutes, not hours)
@@ -11,8 +14,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 REPS=32
+FC_RETRAINS=6
 if [[ "${1:-}" == "--full" ]]; then
   REPS=256
+  FC_RETRAINS=16
 fi
 
 echo "==> cargo bench --bench micro (kmeans, hungarian, pipeline tick)"
@@ -21,5 +26,9 @@ cargo bench -p utilcast-bench --bench micro
 echo "==> scaling_report (writes BENCH_controller.json, ${REPS} reps)"
 UTILCAST_STEPS="$REPS" cargo run --release -p utilcast-bench --bin scaling_report
 
+echo "==> forecast_report (writes BENCH_forecast.json, ${FC_RETRAINS} retrains)"
+UTILCAST_STEPS="$FC_RETRAINS" cargo run --release -p utilcast-bench --bin forecast_report
+
 echo "Benchmarks complete. Speedup summary:"
 grep -E '"(baseline|optimized)_tick_micros"|"speedup"' BENCH_controller.json
+grep -E '"speedup"|"(mean|max)_micros"' BENCH_forecast.json

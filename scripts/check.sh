@@ -19,4 +19,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Smoke-run the forecast hot-path benchmark at tiny scale: proves the
+# bench binary stays runnable without spending real timing reps. The
+# output directory is redirected so the committed BENCH_forecast.json
+# numbers are never clobbered by a smoke run.
+echo "==> bench smoke (forecast_report, tiny scale)"
+SMOKE_DIR="$(mktemp -d)"
+UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=64 UTILCAST_STEPS=2 \
+  cargo run --release -q -p utilcast-bench --bin forecast_report
+rm -rf "$SMOKE_DIR"
+
 echo "All checks passed."
