@@ -1,0 +1,396 @@
+//! Collection-plane ingest report: wall-clock cost of a full driver tick
+//! (transmission decisions → transport → metering → controller ingest →
+//! clustering stage), comparing the seed per-report path against the flat
+//! frame path.
+//!
+//! The seed path is pinned exactly: one [`AdaptiveTransmitter`] per node,
+//! a fresh `Vec<Report>` per tick with one heap allocation per report,
+//! per-report metering, `Controller::tick` (which sorts the batch), and
+//! the nested points path into the clustering stage (`flat_points =
+//! false`: a fresh per-tick `Vec<Vec<f64>>` that the clusterer
+//! re-flattens). The optimized path is the default configuration: one SoA
+//! [`TransmitterBank`] per driver, a recycled [`ReportFrame`], one
+//! metering call per frame, `Controller::tick_frame`, and the recycled
+//! flat strided-points entry into the stage. Both paths are driven over
+//! identical deterministic inputs; a built-in guard first runs the real
+//! `Simulation` with both stacks and aborts (non-zero exit) unless the
+//! two `SimReport`s are bit-identical.
+//!
+//! Rows:
+//! - `d = 1` **end-to-end**: the full tick including the controller's
+//!   clustering stage, at `N` and `N/10` nodes. The `N`-node row is the
+//!   headline number: the acceptance bar is a ≥ 3x speedup.
+//! - `d = 2` **ingest-plane**: decisions + transport + metering + flat
+//!   store apply only (the simnet controller is scalar, so the vector
+//!   ingest plane is measured up to the controller boundary).
+//!
+//! Results go to `BENCH_ingest.json` (in `UTILCAST_BENCH_DIR`, default the
+//! working directory). Scale knobs: `UTILCAST_NODES` = headline node count
+//! (default 100000), `UTILCAST_STEPS` = measured ticks per pass (default
+//! 40). The `scripts/check.sh` smoke mode shrinks both and redirects the
+//! output directory so quick runs never clobber the committed numbers.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use utilcast_bench::{report, Scale};
+use utilcast_core::compute::ComputeOptions;
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBank};
+use utilcast_datasets::{presets, Resource};
+use utilcast_simnet::controller::{Controller, ControllerConfig};
+use utilcast_simnet::sim::{SimConfig, Simulation};
+use utilcast_simnet::threaded::run_threaded;
+use utilcast_simnet::transport::{IngestMode, Meter, Report, ReportFrame};
+
+/// Clusters in the end-to-end controller, matching the paper-scale
+/// `K = 10` workload.
+const K: usize = 10;
+/// Transmission budget `B` for every row (the paper's default regime).
+const BUDGET: f64 = 0.3;
+
+/// One seed-vs-frame measurement pair (microseconds per tick).
+#[derive(Serialize)]
+struct PathPair {
+    seed_micros: f64,
+    frame_micros: f64,
+    speedup: f64,
+}
+
+impl PathPair {
+    fn new(seed_micros: f64, frame_micros: f64) -> Self {
+        PathPair {
+            seed_micros,
+            frame_micros,
+            speedup: seed_micros / frame_micros.max(1e-9),
+        }
+    }
+}
+
+/// One benchmarked configuration.
+#[derive(Serialize)]
+struct IngestRow {
+    nodes: usize,
+    width: usize,
+    /// `"end_to_end"` (full controller tick, `d = 1`) or `"ingest_plane"`
+    /// (decisions + transport + metering + store apply, `d = 2`).
+    mode: &'static str,
+    ticks: usize,
+    pair: PathPair,
+}
+
+/// The full report serialized to `BENCH_ingest.json`.
+#[derive(Serialize)]
+struct IngestBench {
+    budget: f64,
+    k: usize,
+    rows: Vec<IngestRow>,
+}
+
+/// Deterministic synthetic utilization for node `i`, dimension `r`, tick
+/// `t`: banded base load, slow per-node drift, small hash jitter — no RNG,
+/// so reruns are exactly reproducible and both paths see identical inputs.
+fn measurement(i: usize, r: usize, t: usize) -> f64 {
+    let band = (i % 10) as f64 / 10.0;
+    let drift = ((t as f64) * 0.05 + (i % 7) as f64 + r as f64).sin() * 0.04;
+    let jitter = (((i * 31 + r * 7 + t * 13) % 100) as f64 / 100.0 - 0.5) * 0.02;
+    (band + 0.05 + drift + jitter).clamp(0.0, 1.0)
+}
+
+/// Pre-generates the flat per-tick input matrix (`ticks` × `nodes·width`)
+/// so input synthesis never lands inside the timed region.
+fn inputs(nodes: usize, width: usize, ticks: usize) -> Vec<Vec<f64>> {
+    (0..ticks)
+        .map(|t| {
+            (0..nodes)
+                .flat_map(|i| (0..width).map(move |r| measurement(i, r, t)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Minimum wall-clock microseconds of `f` over `passes` runs — the
+/// standard minimum-time estimator, discarding scheduler interference
+/// instead of averaging it in. Both paths use the same estimator, so the
+/// speedup ratio stays honest.
+fn min_time_micros(passes: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..passes.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn controller(nodes: usize, flat_points: bool) -> Controller {
+    Controller::new(ControllerConfig {
+        num_nodes: nodes,
+        k: K.min(nodes),
+        compute: ComputeOptions {
+            flat_points,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("valid controller config")
+}
+
+fn tx_config() -> TransmitConfig {
+    TransmitConfig {
+        budget: BUDGET,
+        v0: 1.0,
+        gamma: 0.65,
+    }
+}
+
+/// Full driver tick over `ticks` steps, exactly the `Simulation::run`
+/// inner loop for the given ingest mode (decisions, transport, metering,
+/// `Controller::tick`/`tick_frame` with its clustering stage). Returns
+/// microseconds per tick.
+fn end_to_end(xs: &[Vec<f64>], nodes: usize, mode: IngestMode, passes: usize) -> f64 {
+    let total = match mode {
+        IngestMode::Reports => min_time_micros(passes, || {
+            let mut ctrl = controller(nodes, false);
+            let mut transmitters: Vec<AdaptiveTransmitter> = (0..nodes)
+                .map(|_| AdaptiveTransmitter::new(tx_config()))
+                .collect();
+            let meter = Meter::new();
+            for (t, x) in xs.iter().enumerate() {
+                let mut reports = Vec::new();
+                let zs: &[f64] = if t == 0 { x } else { ctrl.stored() };
+                for (i, &v) in x.iter().enumerate() {
+                    let decision = transmitters[i].decide(&[v], &[zs[i]]);
+                    if t == 0 || decision {
+                        reports.push(Report {
+                            node: i,
+                            t,
+                            values: vec![v],
+                        });
+                    }
+                }
+                for r in &reports {
+                    meter.record(r);
+                }
+                let tick = ctrl.tick(reports).expect("tick");
+                std::hint::black_box(tick.intermediate_rmse);
+            }
+            std::hint::black_box((meter.messages(), meter.bytes()));
+        }),
+        IngestMode::Frame => min_time_micros(passes, || {
+            let mut ctrl = controller(nodes, true);
+            let mut bank = TransmitterBank::new(tx_config(), nodes);
+            let mut decisions = Vec::with_capacity(nodes);
+            let mut frame = ReportFrame::with_capacity(1, nodes);
+            let meter = Meter::new();
+            for (t, x) in xs.iter().enumerate() {
+                let zs: &[f64] = if t == 0 { x } else { ctrl.stored() };
+                bank.decide_batch_against(x, zs, &mut decisions);
+                frame.reset(t);
+                for (i, &v) in x.iter().enumerate() {
+                    if t == 0 || decisions[i] {
+                        frame.push_scalar(i, v);
+                    }
+                }
+                meter.record_frame(&frame);
+                let tick = ctrl.tick_frame(&frame).expect("tick_frame");
+                std::hint::black_box(tick.intermediate_rmse);
+            }
+            std::hint::black_box((meter.messages(), meter.bytes()));
+        }),
+    };
+    total / xs.len() as f64
+}
+
+/// Ingest plane only, at payload width `d`: decisions, transport buffer,
+/// metering, and the flat stored-vector apply — everything up to (but not
+/// including) the scalar-only controller stage. Returns microseconds per
+/// tick.
+fn ingest_plane(
+    xs: &[Vec<f64>],
+    nodes: usize,
+    width: usize,
+    mode: IngestMode,
+    passes: usize,
+) -> f64 {
+    let total = match mode {
+        IngestMode::Reports => min_time_micros(passes, || {
+            let mut transmitters: Vec<AdaptiveTransmitter> = (0..nodes)
+                .map(|_| AdaptiveTransmitter::new(tx_config()))
+                .collect();
+            let mut stored = vec![0.0f64; nodes * width];
+            let meter = Meter::new();
+            for (t, x) in xs.iter().enumerate() {
+                let mut reports = Vec::new();
+                for (i, tr) in transmitters.iter_mut().enumerate() {
+                    let row = &x[i * width..(i + 1) * width];
+                    let z = if t == 0 {
+                        row
+                    } else {
+                        &stored[i * width..(i + 1) * width]
+                    };
+                    if tr.decide(row, z) || t == 0 {
+                        reports.push(Report {
+                            node: i,
+                            t,
+                            values: row.to_vec(),
+                        });
+                    }
+                }
+                for r in &reports {
+                    meter.record(r);
+                    stored[r.node * width..(r.node + 1) * width].copy_from_slice(&r.values);
+                }
+            }
+            std::hint::black_box((meter.messages(), meter.bytes(), stored));
+        }),
+        IngestMode::Frame => min_time_micros(passes, || {
+            let mut bank = TransmitterBank::with_width(tx_config(), nodes, width);
+            let mut decisions = Vec::with_capacity(nodes);
+            let mut frame = ReportFrame::with_capacity(width, nodes);
+            let mut stored = vec![0.0f64; nodes * width];
+            let meter = Meter::new();
+            for (t, x) in xs.iter().enumerate() {
+                let zs: &[f64] = if t == 0 { x } else { &stored };
+                bank.decide_batch_against(x, zs, &mut decisions);
+                frame.reset(t);
+                for (i, &d) in decisions.iter().enumerate() {
+                    if t == 0 || d {
+                        frame.push(i, &x[i * width..(i + 1) * width]);
+                    }
+                }
+                meter.record_frame(&frame);
+                for e in frame.iter() {
+                    stored[e.node * width..(e.node + 1) * width].copy_from_slice(e.values);
+                }
+            }
+            std::hint::black_box((meter.messages(), meter.bytes(), stored));
+        }),
+    };
+    total / xs.len() as f64
+}
+
+/// Hard guard: the frame path must produce a bit-identical `SimReport` to
+/// the seed per-report path, single-threaded and sharded, before any
+/// numbers are reported. Exits non-zero on divergence.
+fn parity_guard() {
+    let trace = presets::google_like()
+        .nodes(40)
+        .steps(120)
+        .seed(7)
+        .generate();
+    let config = |ingest: IngestMode, flat_points: bool| SimConfig {
+        k: 4,
+        warmup: 30,
+        retrain_every: 40,
+        ingest,
+        compute: ComputeOptions {
+            flat_points,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let seed_path = Simulation::new(config(IngestMode::Reports, false))
+        .expect("config")
+        .run(&trace, Resource::Cpu)
+        .expect("seed run");
+    let frame_path = Simulation::new(config(IngestMode::Frame, true))
+        .expect("config")
+        .run(&trace, Resource::Cpu)
+        .expect("frame run");
+    let sharded = run_threaded(&config(IngestMode::Frame, true), &trace, Resource::Cpu, 3)
+        .expect("threaded frame run");
+    if frame_path != seed_path || sharded != seed_path {
+        eprintln!("FAIL: frame ingest diverged from the seed per-report path");
+        eprintln!("  seed:     {seed_path:?}");
+        eprintln!("  frame:    {frame_path:?}");
+        eprintln!("  threaded: {sharded:?}");
+        std::process::exit(1);
+    }
+    println!("(parity guard: frame path bit-identical to seed path — ok)");
+}
+
+fn main() {
+    let scale = Scale::from_env(100_000, 40);
+    let ticks = scale.steps.max(2);
+    let headline = scale.nodes.max(10);
+    let small = (headline / 10).max(5);
+    let passes = 2;
+
+    report::banner(
+        "ingest-hot-path",
+        "per-tick collection plane: seed per-report path vs flat frame path",
+    );
+    parity_guard();
+
+    let mut rows = Vec::new();
+    for nodes in [small, headline] {
+        let xs = inputs(nodes, 1, ticks);
+        let pair = PathPair::new(
+            end_to_end(&xs, nodes, IngestMode::Reports, passes),
+            end_to_end(&xs, nodes, IngestMode::Frame, passes),
+        );
+        rows.push(IngestRow {
+            nodes,
+            width: 1,
+            mode: "end_to_end",
+            ticks,
+            pair,
+        });
+    }
+    for nodes in [small, headline] {
+        let xs = inputs(nodes, 2, ticks);
+        let pair = PathPair::new(
+            ingest_plane(&xs, nodes, 2, IngestMode::Reports, passes),
+            ingest_plane(&xs, nodes, 2, IngestMode::Frame, passes),
+        );
+        rows.push(IngestRow {
+            nodes,
+            width: 2,
+            mode: "ingest_plane",
+            ticks,
+            pair,
+        });
+    }
+
+    report::table(
+        &[
+            "mode",
+            "nodes",
+            "d",
+            "seed (us/tick)",
+            "frame (us/tick)",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.into(),
+                    format!("{}", r.nodes),
+                    format!("{}", r.width),
+                    format!("{:.0}", r.pair.seed_micros),
+                    format!("{:.0}", r.pair.frame_micros),
+                    format!("{:.1}x", r.pair.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let bench = IngestBench {
+        budget: BUDGET,
+        k: K,
+        rows,
+    };
+    let dir = std::env::var("UTILCAST_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/BENCH_ingest.json");
+    match serde_json::to_string_pretty(&bench) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize benchmark: {e}"),
+    }
+}

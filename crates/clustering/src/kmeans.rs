@@ -416,6 +416,39 @@ impl KMeans {
         Ok(dim)
     }
 
+    /// Validates a flat row-major point buffer and returns the point
+    /// count. Zero-dimensional points are representable in the nested API
+    /// but not in a flat buffer, so `dim == 0` is rejected as a dimension
+    /// mismatch.
+    fn validate_flat(&self, flat: &[f64], dim: usize) -> Result<usize, ClusteringError> {
+        if flat.is_empty() {
+            return Err(ClusteringError::EmptyInput);
+        }
+        if self.config.k == 0 {
+            return Err(ClusteringError::ZeroClusters);
+        }
+        if dim == 0 || !flat.len().is_multiple_of(dim) {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: dim,
+                index: flat.len().checked_div(dim).unwrap_or(0),
+                found: flat.len().checked_rem(dim).unwrap_or(0),
+            });
+        }
+        Ok(flat.len() / dim)
+    }
+
+    /// [`KMeans::degenerate`] over a flat buffer; identical output.
+    fn degenerate_flat(&self, flat: &[f64], n: usize, dim: usize) -> KMeansResult {
+        KMeansResult {
+            assignments: (0..n).collect(),
+            centroids: (0..self.config.k)
+                .map(|c| flat[(c % n) * dim..(c % n + 1) * dim].to_vec())
+                .collect(),
+            inertia: 0.0,
+            iterations: 0,
+        }
+    }
+
     /// The kernel to actually run: zero-dimensional points carry no
     /// distance information, so they take the nested reference path (the
     /// flat kernel's chunked iteration needs `dim >= 1`).
@@ -453,13 +486,104 @@ impl KMeans {
     /// [`ClusteringError::ZeroClusters`] for `k == 0`, and
     /// [`ClusteringError::DimensionMismatch`] for ragged input.
     pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, ClusteringError> {
-        let cfg = &self.config;
         let dim = self.validate(points)?;
-        if cfg.k >= points.len() {
+        if self.config.k >= points.len() {
             return Ok(self.degenerate(points));
         }
         let n = points.len();
         let flat = flatten(points, n, dim);
+        Ok(self.fit_restarts(points, &flat, n, dim))
+    }
+
+    /// Clusters points supplied as one contiguous row-major buffer
+    /// (`n * dim` values) — the allocation-free twin of [`KMeans::fit`]
+    /// for callers that already hold flat data (e.g. the controller's
+    /// stored vector). Produces bit-identical results to [`KMeans::fit`]
+    /// on the equivalent nested input: the default kernel consumes the
+    /// flat buffer directly, and the [`Kernel::Exact`] reference path
+    /// materializes the nested representation internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::EmptyInput`] for an empty buffer,
+    /// [`ClusteringError::ZeroClusters`] for `k == 0`, and
+    /// [`ClusteringError::DimensionMismatch`] when `dim == 0` or the
+    /// buffer length is not a multiple of `dim`.
+    pub fn fit_flat(&self, flat: &[f64], dim: usize) -> Result<KMeansResult, ClusteringError> {
+        let n = self.validate_flat(flat, dim)?;
+        if self.config.k >= n {
+            return Ok(self.degenerate_flat(flat, n, dim));
+        }
+        // The reference kernel is defined over the nested representation;
+        // build it here so flat callers can still select it. The default
+        // kernel never touches the nested slice.
+        let nested_for_exact: Vec<Vec<f64>>;
+        let points: &[Vec<f64>] = match self.effective_kernel(dim) {
+            Kernel::Exact => {
+                nested_for_exact = unflatten(flat, n, dim);
+                &nested_for_exact
+            }
+            Kernel::CachedNorms => &[],
+        };
+        Ok(self.fit_restarts(points, flat, n, dim))
+    }
+
+    /// Warm-started clustering over a contiguous row-major point buffer —
+    /// the flat twin of [`KMeans::fit_from`] (the initializer stays
+    /// nested, matching how warm centroids are carried between steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same input errors as [`KMeans::fit_flat`], plus
+    /// [`ClusteringError::InvalidInit`] when `init` does not contain
+    /// exactly `k` centroids of dimensionality `dim`.
+    pub fn fit_from_flat(
+        &self,
+        flat: &[f64],
+        dim: usize,
+        init: &[Vec<f64>],
+    ) -> Result<KMeansResult, ClusteringError> {
+        let cfg = &self.config;
+        let n = self.validate_flat(flat, dim)?;
+        if cfg.k >= n {
+            return Ok(self.degenerate_flat(flat, n, dim));
+        }
+        if init.len() != cfg.k {
+            return Err(ClusteringError::InvalidInit {
+                reason: format!("{} centroids supplied for k = {}", init.len(), cfg.k),
+            });
+        }
+        if let Some(bad) = init.iter().find(|c| c.len() != dim) {
+            return Err(ClusteringError::InvalidInit {
+                reason: format!(
+                    "centroid has dimension {} but points have dimension {dim}",
+                    bad.len()
+                ),
+            });
+        }
+        let result = match self.effective_kernel(dim) {
+            Kernel::Exact => self.lloyd_exact(&unflatten(flat, n, dim), init.to_vec()),
+            Kernel::CachedNorms => {
+                let init_flat = flatten(init, cfg.k, dim);
+                self.lloyd_flat(flat, n, dim, init_flat, resolve_threads(cfg.threads))
+            }
+        };
+        debug_assert_partition(&result, n, cfg.k);
+        Ok(result)
+    }
+
+    /// The shared restart driver behind [`KMeans::fit`] and
+    /// [`KMeans::fit_flat`]: runs `n_init` seeded restarts (parallel when
+    /// configured) and reduces them in restart order. `points` is only
+    /// consulted by the [`Kernel::Exact`] reference path.
+    fn fit_restarts(
+        &self,
+        points: &[Vec<f64>],
+        flat: &[f64],
+        n: usize,
+        dim: usize,
+    ) -> KMeansResult {
+        let cfg = &self.config;
         let n_init = cfg.n_init.max(1);
         let workers = resolve_threads(cfg.threads);
         let runs: Vec<KMeansResult> = if workers > 1 && n_init > 1 {
@@ -470,11 +594,16 @@ impl KMeans {
             let chunk = chunk_len(n_init, workers);
             std::thread::scope(|scope| {
                 for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                    let flat = &flat;
                     scope.spawn(move || {
                         for (off, slot) in slot_chunk.iter_mut().enumerate() {
-                            *slot =
-                                Some(self.fit_once(points, flat, dim, (w * chunk + off) as u64, 1));
+                            *slot = Some(self.fit_once(
+                                points,
+                                flat,
+                                n,
+                                dim,
+                                (w * chunk + off) as u64,
+                                1,
+                            ));
                         }
                     });
                 }
@@ -482,7 +611,7 @@ impl KMeans {
             slots.into_iter().flatten().collect()
         } else {
             (0..n_init)
-                .map(|r| self.fit_once(points, &flat, dim, r as u64, workers))
+                .map(|r| self.fit_once(points, flat, n, dim, r as u64, workers))
                 .collect()
         };
         // Reduce in restart order: earliest restart wins ties, so the
@@ -498,10 +627,10 @@ impl KMeans {
         // sequential fallback keeps this branch panic-free regardless.
         let best = match best {
             Some(b) => b,
-            None => self.fit_once(points, &flat, dim, 0, workers),
+            None => self.fit_once(points, flat, n, dim, 0, workers),
         };
         debug_assert_partition(&best, n, self.config.k);
-        Ok(best)
+        best
     }
 
     /// Clusters `points` starting Lloyd's descent from the given centroids
@@ -556,16 +685,17 @@ impl KMeans {
 
     /// One restart: seed centroids from the restart's derived RNG stream,
     /// then run Lloyd's descent through the configured kernel.
+    #[allow(clippy::too_many_arguments)]
     fn fit_once(
         &self,
         points: &[Vec<f64>],
         flat: &[f64],
+        n: usize,
         dim: usize,
         restart: u64,
         workers: usize,
     ) -> KMeansResult {
         let mut rng = StdRng::seed_from_u64(restart_seed(self.config.seed, restart));
-        let n = points.len();
         let init = if self.config.plus_plus_init {
             plus_plus_seed(flat, n, dim, self.config.k, &mut rng)
         } else {
@@ -1312,6 +1442,70 @@ mod tests {
             let (_, exact_d) = nearest_centroid(p, &res.centroids);
             assert!(sq_dist(p, &res.centroids[a]) <= exact_d + 1e-9);
         }
+    }
+
+    #[test]
+    fn fit_flat_is_bit_identical_to_fit() {
+        for (pts, k) in [(blob_field(400, 31), 6), (two_blobs(), 2)] {
+            let dim = pts[0].len();
+            let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+            for kernel in [Kernel::CachedNorms, Kernel::Exact] {
+                for threads in [1, 4] {
+                    let km = KMeans::new(KMeansConfig {
+                        k,
+                        n_init: 3,
+                        seed: 19,
+                        kernel,
+                        threads,
+                        ..Default::default()
+                    });
+                    let nested = km.fit(&pts).unwrap();
+                    let from_flat = km.fit_flat(&flat, dim).unwrap();
+                    assert_eq!(nested, from_flat, "kernel {kernel:?} threads {threads}");
+                    let warm_nested = km.fit_from(&pts, &nested.centroids).unwrap();
+                    let warm_flat = km.fit_from_flat(&flat, dim, &nested.centroids).unwrap();
+                    assert_eq!(warm_nested, warm_flat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_flat_degenerate_matches_nested() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let km = KMeans::new(KMeansConfig {
+            k: 5,
+            ..Default::default()
+        });
+        let nested = km.fit(&pts).unwrap();
+        assert_eq!(km.fit_flat(&[1.0, 2.0], 1).unwrap(), nested);
+        let init = vec![vec![0.0]; 5];
+        assert_eq!(km.fit_from_flat(&[1.0, 2.0], 1, &init).unwrap(), nested);
+    }
+
+    #[test]
+    fn fit_flat_rejects_malformed_buffers() {
+        let km = KMeans::new(KMeansConfig {
+            k: 2,
+            ..Default::default()
+        });
+        assert_eq!(
+            km.fit_flat(&[], 1).unwrap_err(),
+            ClusteringError::EmptyInput
+        );
+        assert!(matches!(
+            km.fit_flat(&[1.0, 2.0, 3.0], 2).unwrap_err(),
+            ClusteringError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            km.fit_flat(&[1.0, 2.0, 3.0], 0).unwrap_err(),
+            ClusteringError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            km.fit_from_flat(&[1.0, 2.0, 3.0], 1, &[vec![0.0]])
+                .unwrap_err(),
+            ClusteringError::InvalidInit { .. }
+        ));
     }
 
     #[test]

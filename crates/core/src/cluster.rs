@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use utilcast_clustering::hungarian::max_weight_matching;
-use utilcast_clustering::kmeans::{KMeans, KMeansConfig};
+use utilcast_clustering::kmeans::{KMeans, KMeansConfig, KMeansResult};
 use utilcast_clustering::similarity::{intersection_similarity, jaccard_similarity};
 use utilcast_clustering::ClusteringError;
 
@@ -133,6 +133,41 @@ impl DynamicClusterer {
     /// Propagates [`ClusteringError`] from k-means (empty input, ragged
     /// dimensions, `k == 0`).
     pub fn step(&mut self, points: &[Vec<f64>]) -> Result<ClusterStep, ClusteringError> {
+        let dim = points.first().map(|p| p.len()).unwrap_or(0);
+        let (km, warm_init) = self.prepare(dim);
+        let result = match warm_init {
+            Some(init) => km.fit_from(points, init)?,
+            None => km.fit(points)?,
+        };
+        self.finish(result)
+    }
+
+    /// [`DynamicClusterer::step`] over a contiguous row-major point buffer
+    /// (`n * dim` values) — the collection plane's flat ingest path hands
+    /// the controller's stored vector straight in here, with no per-tick
+    /// `Vec<Vec<f64>>` materialization. Bit-identical to
+    /// [`DynamicClusterer::step`] on the equivalent nested points (the
+    /// underlying flat k-means entry points keep that contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusteringError`] from k-means (empty buffer,
+    /// `dim == 0` or a length not a multiple of `dim`, `k == 0`).
+    pub fn step_flat(&mut self, flat: &[f64], dim: usize) -> Result<ClusterStep, ClusteringError> {
+        let (km, warm_init) = self.prepare(dim);
+        let result = match warm_init {
+            Some(init) => km.fit_from_flat(flat, dim, init)?,
+            None => km.fit_flat(flat, dim)?,
+        };
+        self.finish(result)
+    }
+
+    /// Builds this step's k-means instance and selects the warm-start
+    /// initializer: the previous step's matched centroids when warm
+    /// starting is enabled and usable; `None` on the first step, on the
+    /// periodic cold re-seed, or whenever the stored centroids no longer
+    /// match the data (k or dimension changed).
+    fn prepare(&self, dim: usize) -> (KMeans, Option<&Vec<Vec<f64>>>) {
         let k = self.config.k;
         let compute = self.config.compute;
         let km = KMeans::new(KMeansConfig {
@@ -144,13 +179,8 @@ impl DynamicClusterer {
             kernel: compute.kernel,
             ..Default::default()
         });
-        // Warm-start from the previous step's matched centroids when
-        // enabled and usable; fall back to a cold k-means++ fit on the
-        // first step, on the periodic cold re-seed, or whenever the stored
-        // centroids no longer match the data (k or dimension changed).
         let cold_due =
             compute.cold_reseed_every > 0 && self.t.is_multiple_of(compute.cold_reseed_every);
-        let dim = points.first().map(|p| p.len()).unwrap_or(0);
         let warm_init = if compute.warm_start && !cold_due {
             self.warm_centroids
                 .as_ref()
@@ -158,10 +188,14 @@ impl DynamicClusterer {
         } else {
             None
         };
-        let result = match warm_init {
-            Some(init) => km.fit_from(points, init)?,
-            None => km.fit(points)?,
-        };
+        (km, warm_init)
+    }
+
+    /// Re-indexes one k-means result against the assignment history and
+    /// advances the clusterer state — the shared back half of
+    /// [`DynamicClusterer::step`] and [`DynamicClusterer::step_flat`].
+    fn finish(&mut self, result: KMeansResult) -> Result<ClusterStep, ClusteringError> {
+        let k = self.config.k;
         self.t += 1;
 
         // Effective number of cluster labels: k-means may return fewer
@@ -503,6 +537,32 @@ mod tests {
             let pts = two_groups(0.2 + 0.01 * i as f64, 0.8 - 0.005 * i as f64);
             assert_eq!(seq.step(&pts).unwrap(), par.step(&pts).unwrap());
         }
+    }
+
+    #[test]
+    fn step_flat_is_bit_identical_to_step() {
+        // The flat ingest path must reproduce the nested path exactly,
+        // including across warm starts and the cold re-seed boundary.
+        let config = DynamicClustererConfig {
+            k: 2,
+            m: 3,
+            compute: ComputeOptions {
+                warm_start: true,
+                cold_reseed_every: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut nested = DynamicClusterer::new(config.clone());
+        let mut flat = DynamicClusterer::new(config);
+        for i in 0..12 {
+            let pts = two_groups(0.2 + 0.01 * i as f64, 0.8 - 0.005 * i as f64);
+            let buf: Vec<f64> = pts.iter().flatten().copied().collect();
+            let a = nested.step(&pts).unwrap();
+            let b = flat.step_flat(&buf, 1).unwrap();
+            assert_eq!(a, b, "diverged at step {i}");
+        }
+        assert_eq!(nested.snapshot(), flat.snapshot());
     }
 
     #[test]

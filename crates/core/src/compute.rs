@@ -48,6 +48,13 @@ pub struct ComputeOptions {
     /// thread count; it changes *when* each model retrains, so reports
     /// differ from the unstaggered schedule by construction.
     pub retrain_stagger: bool,
+    /// Feed the per-step k-means through the flat strided-points entry
+    /// point, recycling one buffer per step (default `true`). `false`
+    /// selects the reference path — a fresh per-tick `Vec<Vec<f64>>` that
+    /// the clusterer re-flattens internally — which is bit-identical but
+    /// allocates per node per step; kept selectable as the benchmark
+    /// baseline.
+    pub flat_points: bool,
 }
 
 impl Default for ComputeOptions {
@@ -58,6 +65,7 @@ impl Default for ComputeOptions {
             cold_reseed_every: 288,
             kernel: Kernel::CachedNorms,
             retrain_stagger: false,
+            flat_points: true,
         }
     }
 }
@@ -74,6 +82,7 @@ impl ComputeOptions {
             cold_reseed_every: 0,
             kernel: Kernel::Exact,
             retrain_stagger: false,
+            flat_points: false,
         }
     }
 }
@@ -90,6 +99,7 @@ mod tests {
         assert_eq!(c.cold_reseed_every, 288);
         assert_eq!(c.kernel, Kernel::CachedNorms);
         assert!(!c.retrain_stagger);
+        assert!(c.flat_points);
     }
 
     #[test]
@@ -99,5 +109,6 @@ mod tests {
         assert!(!c.warm_start);
         assert_eq!(c.kernel, Kernel::Exact);
         assert!(!c.retrain_stagger);
+        assert!(!c.flat_points);
     }
 }

@@ -121,6 +121,46 @@ pub fn node_offset(window: &[OffsetSnapshot<'_>], i: usize, j: usize) -> Vec<f64
     acc
 }
 
+/// One step of history used by the offset estimator, with the stored
+/// measurements in one contiguous row-major buffer (`n * dim` values) —
+/// the view the flat ingest path's history snapshots expose. Centroids
+/// stay nested: there are only `K` of them, and they are produced nested
+/// by the clustering stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffsetSnapshotFlat<'a> {
+    /// Stored measurements `z_{i,t-m}` for all nodes, row-major.
+    pub values: &'a [f64],
+    /// Values per node.
+    pub dim: usize,
+    /// Centroids `c_{j,t-m}` of that step.
+    pub centroids: &'a [Vec<f64>],
+}
+
+/// [`node_offset`] over flat-buffer snapshots; identical arithmetic, so
+/// the result is bit-identical to the nested path on equivalent inputs.
+///
+/// # Panics
+///
+/// Panics if `window` is empty or shapes are inconsistent.
+pub fn node_offset_flat(window: &[OffsetSnapshotFlat<'_>], i: usize, j: usize) -> Vec<f64> {
+    assert!(!window.is_empty(), "offset window must be non-empty");
+    let dim = window[0].dim;
+    let mut acc = vec![0.0; dim];
+    for snap in window {
+        assert_eq!(snap.dim, dim, "dimension mismatch in offset window");
+        let z = &snap.values[i * dim..(i + 1) * dim];
+        let cj = &snap.centroids[j];
+        let alpha = clip_alpha(z, j, snap.centroids);
+        for ((a, zv), cv) in acc.iter_mut().zip(z).zip(cj) {
+            *a += alpha * (zv - cv);
+        }
+    }
+    for a in &mut acc {
+        *a /= window.len() as f64;
+    }
+    acc
+}
+
 /// Eq. 12 without the `α` clipping (every deviation taken in full) — the
 /// ablation counterpart of [`node_offset`], used by the `ablation_offset_alpha`
 /// bench to quantify what the clipping buys.
@@ -249,6 +289,51 @@ mod tests {
         // Node 0 vs cluster 0: deviations +0.1 and -0.1, both unclipped.
         let s = node_offset(&window, 0, 0);
         assert!(s[0].abs() < 1e-12, "offset {:?}", s);
+    }
+
+    #[test]
+    fn flat_offset_is_bit_identical_to_nested() {
+        // Multi-node, multi-dimensional window with clipping active for
+        // some nodes: the flat view must reproduce the nested arithmetic
+        // exactly.
+        let values1 = vec![vec![0.3, 0.1], vec![0.9, 0.85], vec![0.55, 0.5]];
+        let centroids1 = vec![vec![0.2, 0.15], vec![0.9, 0.9]];
+        let values2 = vec![vec![0.1, 0.2], vec![0.95, 0.8], vec![0.45, 0.55]];
+        let centroids2 = vec![vec![0.25, 0.2], vec![0.85, 0.88]];
+        let flat1: Vec<f64> = values1.iter().flatten().copied().collect();
+        let flat2: Vec<f64> = values2.iter().flatten().copied().collect();
+        let nested = vec![
+            OffsetSnapshot {
+                values: &values1,
+                centroids: &centroids1,
+            },
+            OffsetSnapshot {
+                values: &values2,
+                centroids: &centroids2,
+            },
+        ];
+        let flat = vec![
+            OffsetSnapshotFlat {
+                values: &flat1,
+                dim: 2,
+                centroids: &centroids1,
+            },
+            OffsetSnapshotFlat {
+                values: &flat2,
+                dim: 2,
+                centroids: &centroids2,
+            },
+        ];
+        for i in 0..3 {
+            for j in 0..2 {
+                let a = node_offset(&nested, i, j);
+                let b = node_offset_flat(&flat, i, j);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "node {i} cluster {j}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 use utilcast_clustering::parallel::{chunk_len, resolve_threads};
+use utilcast_linalg::Matrix;
 use utilcast_timeseries::baselines::SampleAndHold;
 use utilcast_timeseries::harness::{RetrainPolicy, RetrainState, RetrainingForecaster};
 use utilcast_timeseries::Forecaster;
@@ -19,7 +20,7 @@ use crate::cluster::{
     ClusterStep, ClustererSnapshot, DynamicClusterer, DynamicClustererConfig, SimilarityMeasure,
 };
 use crate::compute::ComputeOptions;
-use crate::offset::{forecast_membership, node_offset, OffsetSnapshot};
+use crate::offset::{forecast_membership, node_offset_flat, OffsetSnapshotFlat};
 use crate::pipeline::{ClusterModel, ModelSpec};
 use crate::CoreError;
 
@@ -66,10 +67,14 @@ impl Default for ForecastStageConfig {
     }
 }
 
-/// One recorded step of controller state.
+/// One recorded step of controller state. The per-node values live in one
+/// contiguous `n x 1` [`Matrix`] (this stage is scalar) rather than a
+/// `Vec<Vec<f64>>`: the buffer is recycled between the snapshot falling
+/// out of the look-back window and the next step's clustering input, so
+/// the steady state allocates nothing per step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct Snapshot {
-    values: Vec<Vec<f64>>,
+    values: Matrix,
     centroids: Vec<Vec<f64>>,
     assignments: Vec<usize>,
 }
@@ -415,29 +420,34 @@ impl ForecastStage {
             });
         }
         self.t += 1;
-        // Build the per-node point set, recycling the buffer of the history
-        // snapshot that is about to fall out of the look-back window so the
-        // steady state allocates nothing per step.
-        let mut points: Vec<Vec<f64>> = if self.history.len() > self.config.m_prime {
+        // Copy this step's values into one flat buffer, recycling the
+        // storage of the history snapshot that is about to fall out of the
+        // look-back window so the steady state allocates nothing per step.
+        // The clusterer consumes the buffer directly through its flat
+        // strided-points entry point — no per-tick `Vec<Vec<f64>>`.
+        let mut values_buf: Vec<f64> = if self.history.len() > self.config.m_prime {
             self.history
                 .pop_back()
-                .map(|s| s.values)
+                .map(|s| s.values.into_vec())
                 .unwrap_or_default()
         } else {
             Vec::new()
         };
-        if points.len() == z.len() && points.iter().all(|p| p.len() == 1) {
-            for (p, &v) in points.iter_mut().zip(z) {
-                p[0] = v;
-            }
-        } else {
-            points = z.iter().map(|&v| vec![v]).collect();
-        }
+        values_buf.clear();
+        values_buf.extend_from_slice(z);
         let ClusterStep {
             assignments,
             centroids,
             ..
-        } = self.clusterer.step(&points)?;
+        } = if self.config.compute.flat_points {
+            self.clusterer.step_flat(&values_buf, 1)?
+        } else {
+            // Reference path: the seed's per-tick nested points build (one
+            // heap vector per node, re-flattened inside the clusterer).
+            // Bit-identical to the flat path; selectable for benchmarks.
+            let points: Vec<Vec<f64>> = z.iter().map(|&v| vec![v]).collect();
+            self.clusterer.step(&points)?
+        };
         let values: Vec<f64> = (0..self.forecasters.len())
             .map(|j| {
                 centroids
@@ -502,7 +512,7 @@ impl ForecastStage {
         }
 
         self.history.push_front(Snapshot {
-            values: points,
+            values: Matrix::from_vec(z.len(), 1, values_buf),
             centroids: centroids.clone(),
             assignments: assignments.clone(),
         });
@@ -540,19 +550,20 @@ impl ForecastStage {
             .iter()
             .map(|s| s.assignments.as_slice())
             .collect();
-        let window_snaps: Vec<OffsetSnapshot<'_>> = self
+        let window_snaps: Vec<OffsetSnapshotFlat<'_>> = self
             .history
             .iter()
-            .map(|s| OffsetSnapshot {
-                values: &s.values,
+            .map(|s| OffsetSnapshotFlat {
+                values: s.values.as_slice(),
+                dim: 1,
                 centroids: &s.centroids,
             })
             .collect();
-        let n = newest.values.len();
+        let n = newest.values.nrows();
         let mut out = vec![vec![0.0; n]; horizon];
         for i in 0..n {
             let j_star = forecast_membership(&window_assign, i, k);
-            let offset = node_offset(&window_snaps, i, j_star)[0];
+            let offset = node_offset_flat(&window_snaps, i, j_star)[0];
             for (h, row) in out.iter_mut().enumerate() {
                 row[i] = cluster_fc[j_star][h] + offset;
             }
@@ -617,6 +628,34 @@ mod tests {
         assert_eq!(stage.forecast_centroids(2).len(), 2);
         assert_eq!(stage.centroid_history(0).len(), 8);
         assert_eq!(stage.steps(), 8);
+    }
+
+    #[test]
+    fn flat_points_path_is_bit_identical_to_nested_reference() {
+        let config = |flat: bool| ForecastStageConfig {
+            compute: ComputeOptions {
+                flat_points: flat,
+                cold_reseed_every: 4,
+                ..Default::default()
+            },
+            ..quick(8, 3)
+        };
+        let mut flat_stage = ForecastStage::new(config(true)).unwrap();
+        let mut nested_stage = ForecastStage::new(config(false)).unwrap();
+        for t in 0..20 {
+            let z: Vec<f64> = (0..8)
+                .map(|i| {
+                    let base = (i % 3) as f64 * 0.3 + 0.1;
+                    base + ((t * 7 + i * 13) % 17) as f64 / 170.0
+                })
+                .collect();
+            let a = flat_stage.step(&z).unwrap();
+            let b = nested_stage.step(&z).unwrap();
+            assert_eq!(a, b, "stage reports diverged at t = {t}");
+        }
+        let a = flat_stage.forecast(2).unwrap();
+        let b = nested_stage.forecast(2).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -243,6 +243,230 @@ impl AdaptiveTransmitter {
     }
 }
 
+/// Structure-of-arrays state for a whole shard of adaptive transmitters
+/// stepped in lockstep.
+///
+/// Semantically a `Vec<AdaptiveTransmitter>` driven one tick at a time,
+/// but laid out as flat parallel arrays (virtual queues, send counters,
+/// one shared clock, and a contiguous last-stored mirror) so a fleet
+/// driver's decision pass is a single cache-friendly sweep: the penalty
+/// weight `V_t` is computed **once** per tick instead of one `powf` per
+/// node, and no per-node slices or allocations are touched.
+///
+/// The per-element arithmetic replicates
+/// [`AdaptiveTransmitter::decide_with_vt`] operation for operation, so a
+/// bank is bit-identical to a fleet of per-node transmitters over any
+/// trace (property-tested in `tests/bank_parity.rs`, the same contract
+/// the clustering kernels keep against their `Exact` reference).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransmitterBank {
+    config: TransmitConfig,
+    width: usize,
+    /// Virtual queue `Q_i(t)` per node.
+    queues: Vec<f64>,
+    /// Transmissions so far per node.
+    sent: Vec<u64>,
+    /// Last-stored values, row-major (`len() * width()`), mirroring the
+    /// copies the controller holds. Only consulted by
+    /// [`TransmitterBank::decide_batch`]; drivers that track stored state
+    /// elsewhere use [`TransmitterBank::decide_batch_against`].
+    stored: Vec<f64>,
+    /// Shared clock: every node in the bank has made `t` decisions.
+    t: u64,
+    /// Total transmissions across the bank.
+    total_sent: u64,
+}
+
+impl TransmitterBank {
+    /// Creates a bank of `n` scalar (`width == 1`) transmitters with
+    /// `Q(1) = 0` and a zeroed stored mirror.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(config: TransmitConfig, n: usize) -> Self {
+        TransmitterBank::with_width(config, n, 1)
+    }
+
+    /// Creates a bank of `n` transmitters carrying `width`-dimensional
+    /// measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `width == 0`.
+    pub fn with_width(config: TransmitConfig, n: usize, width: usize) -> Self {
+        assert!(n > 0, "bank must hold at least one transmitter");
+        assert!(width > 0, "measurements must be non-empty");
+        TransmitterBank {
+            config,
+            width,
+            queues: vec![0.0; n],
+            sent: vec![0; n],
+            stored: vec![0.0; n * width],
+            t: 0,
+            total_sent: 0,
+        }
+    }
+
+    /// The penalty weight `V_t` the next decision tick will use — the
+    /// bank-level analogue of [`AdaptiveTransmitter::next_vt`], computed
+    /// once for the whole shard because every node shares the clock.
+    pub fn next_vt(&self) -> f64 {
+        self.config.v0 * ((self.t + 2) as f64).powf(self.config.gamma)
+    }
+
+    /// Runs one decision tick for every node against an external stored
+    /// view `zs` (row-major, `len() * width()` values — e.g. the
+    /// controller's flat stored vector), writing per-node decisions into
+    /// `out` (cleared first; recycled across ticks by the caller).
+    ///
+    /// The bank's internal stored mirror is **not** consulted or updated:
+    /// drivers whose source of truth for `z` lives elsewhere (the
+    /// controller, which may regress on crash-restore) use this entry
+    /// point so their decisions match the per-node seed path bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` or `zs` have the wrong length.
+    pub fn decide_batch_against(&mut self, xs: &[f64], zs: &[f64], out: &mut Vec<bool>) {
+        let n = self.queues.len();
+        assert_eq!(
+            xs.len(),
+            n * self.width,
+            "measurement dimensionality mismatch"
+        );
+        assert_eq!(zs.len(), n * self.width, "stored dimensionality mismatch");
+        out.clear();
+        out.reserve(n);
+        // Same expression as the per-node path: V_t from the pre-increment
+        // clock, then one shared increment for the whole bank.
+        let vt = self.next_vt();
+        self.t += 1;
+        let d = self.width as f64;
+        let budget = self.config.budget;
+        let rows = xs.chunks_exact(self.width).zip(zs.chunks_exact(self.width));
+        for ((queue, sent), (x, z)) in self.queues.iter_mut().zip(self.sent.iter_mut()).zip(rows) {
+            let err: f64 = x.iter().zip(z).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / d;
+            let beta = *queue < vt * err;
+            *queue += if beta { 1.0 } else { 0.0 } - budget;
+            debug_assert!(
+                queue.is_finite(),
+                "virtual queue went non-finite at step {}",
+                self.t
+            );
+            debug_assert!(
+                *queue >= -(budget * self.t as f64) - 1e-6
+                    && *queue <= (1.0 - budget) * self.t as f64 + 1e-6,
+                "virtual queue {} outside [-B*t, (1-B)*t] at step {}",
+                queue,
+                self.t
+            );
+            if beta {
+                *sent += 1;
+                self.total_sent += 1;
+            }
+            out.push(beta);
+        }
+    }
+
+    /// Runs one decision tick for every node against the bank's own
+    /// stored mirror, updating the mirror rows of transmitting nodes —
+    /// the self-contained mode for drivers that do not track stored state
+    /// separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != len() * width()`.
+    pub fn decide_batch(&mut self, xs: &[f64], out: &mut Vec<bool>) {
+        // Take the mirror out so the decision pass can borrow it
+        // immutably alongside `&mut self`; per-node decisions only read
+        // their own row, so updating all rows after the pass is identical
+        // to the per-node update-after-decide protocol.
+        let mut stored = std::mem::take(&mut self.stored);
+        self.decide_batch_against(xs, &stored, out);
+        let rows = xs
+            .chunks_exact(self.width)
+            .zip(stored.chunks_exact_mut(self.width));
+        for (&send, (x, z)) in out.iter().zip(rows) {
+            if send {
+                z.copy_from_slice(x);
+            }
+        }
+        self.stored = stored;
+    }
+
+    /// Overwrites the stored mirror (row-major), e.g. to seed bootstrap
+    /// values before the first tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != len() * width()`.
+    pub fn store_all(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.stored.len(),
+            "stored dimensionality mismatch"
+        );
+        self.stored.copy_from_slice(values);
+    }
+
+    /// The configuration shared by every node in the bank.
+    pub fn config(&self) -> TransmitConfig {
+        self.config
+    }
+
+    /// Number of transmitters in the bank.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether the bank is empty (never true: construction requires
+    /// `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Values per measurement.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Decisions made so far (shared across all nodes).
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Per-node virtual-queue lengths `Q_i(t)`.
+    pub fn queues(&self) -> &[f64] {
+        &self.queues
+    }
+
+    /// Per-node transmission counts.
+    pub fn sent_counts(&self) -> &[u64] {
+        &self.sent
+    }
+
+    /// Total transmissions across the bank.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// The stored mirror, row-major.
+    pub fn stored(&self) -> &[f64] {
+        &self.stored
+    }
+
+    /// Bank-wide empirical transmission frequency so far (`0` before any
+    /// decision).
+    pub fn frequency(&self) -> f64 {
+        if self.t == 0 {
+            0.0
+        } else {
+            self.total_sent as f64 / (self.t as f64 * self.queues.len() as f64)
+        }
+    }
+}
+
 /// Uniform-sampling baseline: transmits at a fixed interval so that the
 /// average frequency equals the budget (Sec. VI-B's comparison baseline).
 ///
@@ -447,6 +671,71 @@ mod tests {
             }
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bank_matches_per_node_fleet_bitwise() {
+        // Smoke version of the tests/bank_parity.rs proptest suite: a bank
+        // and a fleet of per-node transmitters driven over the same noisy
+        // trace agree on every decision, queue, and counter, bit for bit.
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 17;
+        let config = TransmitConfig::with_budget(0.3);
+        let mut fleet: Vec<_> = (0..n).map(|_| AdaptiveTransmitter::new(config)).collect();
+        let mut bank = TransmitterBank::new(config, n);
+        let mut zs = vec![0.5; n];
+        let mut xs = vec![0.0; n];
+        let mut decisions = Vec::new();
+        for _ in 0..300 {
+            for x in xs.iter_mut() {
+                *x = (0.5 + 0.1 * standard_normal(&mut rng)).clamp(0.0, 1.0);
+            }
+            bank.decide_batch_against(&xs, &zs, &mut decisions);
+            for (i, tr) in fleet.iter_mut().enumerate() {
+                let d = tr.decide(&[xs[i]], &[zs[i]]);
+                assert_eq!(d, decisions[i]);
+            }
+            for (i, &d) in decisions.iter().enumerate() {
+                if d {
+                    zs[i] = xs[i];
+                }
+            }
+        }
+        for (i, tr) in fleet.iter().enumerate() {
+            assert!(tr.queue().to_bits() == bank.queues()[i].to_bits());
+            assert_eq!(tr.sent(), bank.sent_counts()[i]);
+            assert_eq!(tr.steps(), bank.steps());
+        }
+        let fleet_sent: u64 = fleet.iter().map(|t| t.sent()).sum();
+        assert_eq!(fleet_sent, bank.total_sent());
+    }
+
+    #[test]
+    fn bank_internal_mirror_tracks_transmissions() {
+        // decide_batch maintains the stored mirror exactly as a caller
+        // applying the update-after-decide protocol would.
+        let config = TransmitConfig::with_budget(0.5);
+        let mut bank = TransmitterBank::with_width(config, 3, 2);
+        bank.store_all(&[0.0; 6]);
+        let xs = [0.9, 0.8, 0.0, 0.0, 0.7, 0.6];
+        let mut out = Vec::new();
+        bank.decide_batch(&xs, &mut out);
+        for (i, &sent) in out.iter().enumerate() {
+            let row = &bank.stored()[2 * i..2 * i + 2];
+            if sent {
+                assert_eq!(row, &xs[2 * i..2 * i + 2]);
+            } else {
+                assert_eq!(row, &[0.0, 0.0]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement dimensionality mismatch")]
+    fn bank_rejects_wrong_length() {
+        let mut bank = TransmitterBank::new(TransmitConfig::default(), 4);
+        let mut out = Vec::new();
+        bank.decide_batch_against(&[0.0; 3], &[0.0; 4], &mut out);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use utilcast_core::compute::ComputeOptions;
 use utilcast_core::pipeline::ModelSpec;
 use utilcast_core::stage::{ForecastStage, ForecastStageConfig, StageSnapshot};
 
-use crate::transport::Report;
+use crate::transport::{Report, ReportFrame};
 use crate::SimError;
 
 /// Controller configuration (the central-node subset of the paper's
@@ -194,15 +194,18 @@ impl Controller {
     }
 
     /// Ingress validation: `Ok` with the payload value for an acceptable
-    /// report, `Err` with the rejection reason otherwise.
-    fn admit(&self, r: &Report) -> Result<f64, &'static str> {
-        if r.node >= self.stored.len() {
+    /// report, `Err` with the rejection reason otherwise. Shared verbatim
+    /// by the per-report ([`Controller::tick`]) and frame
+    /// ([`Controller::tick_frame`]) ingest paths, so the two quarantine
+    /// behaviours cannot drift apart.
+    fn admit_values(&self, node: usize, t: usize, values: &[f64]) -> Result<f64, &'static str> {
+        if node >= self.stored.len() {
             return Err("unknown node id");
         }
-        if r.values.len() != 1 {
+        if values.len() != 1 {
             return Err("wrong payload dimensionality");
         }
-        let v = r.values[0];
+        let v = values[0];
         if !v.is_finite() {
             return Err("non-finite value");
         }
@@ -210,12 +213,28 @@ impl Controller {
         if v < lo || v > hi {
             return Err("value out of range");
         }
-        if let Some(latest) = self.last_seen[r.node] {
-            if r.t <= latest {
+        if let Some(latest) = self.last_seen[node] {
+            if t <= latest {
                 return Err("duplicate or out-of-order report");
             }
         }
         Ok(v)
+    }
+
+    /// Shared tail of both ingest paths: count the tick's quarantine
+    /// total, advance the clock, and run the clustering + model-update
+    /// stage over the stored values.
+    fn finish_tick(&mut self, applied: usize, quarantined: usize) -> Result<TickReport, SimError> {
+        self.quarantined += quarantined as u64;
+        self.ticks += 1;
+        let report = self.stage.step(&self.stored).map_err(SimError::Core)?;
+        Ok(TickReport {
+            reports_applied: applied,
+            quarantined,
+            intermediate_rmse: report.intermediate_rmse,
+            retrained: report.retrained,
+            fallback_fit_failures: report.fallback_fit_failures,
+        })
     }
 
     /// Applies one tick's worth of reports (scalar payloads) and runs the
@@ -237,7 +256,7 @@ impl Controller {
         let mut applied = 0usize;
         let mut quarantined = 0usize;
         for r in reports {
-            match self.admit(&r) {
+            match self.admit_values(r.node, r.t, &r.values) {
                 Ok(v) => {
                     self.stored[r.node] = v;
                     self.last_seen[r.node] = Some(r.t);
@@ -246,17 +265,42 @@ impl Controller {
                 Err(_) => quarantined += 1,
             }
         }
-        self.quarantined += quarantined as u64;
-        self.ticks += 1;
+        self.finish_tick(applied, quarantined)
+    }
 
-        let report = self.stage.step(&self.stored).map_err(SimError::Core)?;
-        Ok(TickReport {
-            reports_applied: applied,
-            quarantined,
-            intermediate_rmse: report.intermediate_rmse,
-            retrained: report.retrained,
-            fallback_fit_failures: report.fallback_fit_failures,
-        })
+    /// [`Controller::tick`] over a flat [`ReportFrame`]: applies each
+    /// admitted entry straight into the flat stored vector, with no
+    /// per-report allocation and no sorting pass.
+    ///
+    /// Every frame entry runs the exact ingress validation of the
+    /// per-report path (same quarantine semantics, including intra-frame
+    /// duplicates). The caller must push entries in ascending node order —
+    /// which the drivers' shard sweep produces naturally, and which equals
+    /// the `(node, t)` sort order [`Controller::tick`] establishes since a
+    /// frame carries a single tick — so both paths apply reports in the
+    /// same order and stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering errors.
+    pub fn tick_frame(&mut self, frame: &ReportFrame) -> Result<TickReport, SimError> {
+        debug_assert!(
+            frame.nodes().windows(2).all(|w| w[0] <= w[1]),
+            "frame entries must arrive in ascending node order"
+        );
+        let mut applied = 0usize;
+        let mut quarantined = 0usize;
+        for e in frame.iter() {
+            match self.admit_values(e.node, e.t, e.values) {
+                Ok(v) => {
+                    self.stored[e.node] = v;
+                    self.last_seen[e.node] = Some(e.t);
+                    applied += 1;
+                }
+                Err(_) => quarantined += 1,
+            }
+        }
+        self.finish_tick(applied, quarantined)
     }
 
     /// Captures the complete controller state for checkpointing. The
@@ -414,6 +458,43 @@ mod tests {
         let r = c.tick(vec![report(0, 5, 0.6)]).unwrap();
         assert_eq!((r.reports_applied, r.quarantined), (1, 0));
         assert_eq!(c.stored()[0], 0.6);
+    }
+
+    #[test]
+    fn tick_frame_matches_tick_bitwise() {
+        // The frame ingest path must reproduce the per-report path exactly,
+        // including quarantine of bad values and intra-frame duplicates.
+        let mut per_report = Controller::new(quick_config(4, 2)).unwrap();
+        let mut framed = Controller::new(quick_config(4, 2)).unwrap();
+        for t in 0..25 {
+            let mut entries = vec![
+                (0, 0.1 + 0.01 * (t % 3) as f64),
+                (1, 0.5),
+                (3, 0.9 - 0.002 * t as f64),
+            ];
+            if t % 5 == 0 {
+                entries.push((1, 0.6)); // intra-tick duplicate -> quarantined
+                entries.push((9, 0.5)); // unknown node -> quarantined
+            }
+            if t % 7 == 0 {
+                entries.push((2, f64::NAN)); // non-finite -> quarantined
+                entries.push((2, 1.5)); // out of range -> quarantined
+            }
+            let reports: Vec<Report> = entries.iter().map(|&(n, v)| report(n, t, v)).collect();
+            let mut frame = ReportFrame::new(1);
+            frame.reset(t);
+            let mut sorted = entries.clone();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (n, v) in sorted {
+                frame.push_scalar(n, v);
+            }
+            let a = per_report.tick(reports).unwrap();
+            let b = framed.tick_frame(&frame).unwrap();
+            assert_eq!(a, b, "tick reports diverged at t = {t}");
+            assert_eq!(per_report.stored(), framed.stored());
+        }
+        assert_eq!(per_report.quarantined(), framed.quarantined());
+        assert_eq!(per_report.snapshot(), framed.snapshot());
     }
 
     #[test]

@@ -4,11 +4,11 @@ use serde::{Deserialize, Serialize};
 use utilcast_core::compute::ComputeOptions;
 use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::pipeline::ModelSpec;
-use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBank};
 use utilcast_datasets::{Resource, Trace};
 
 use crate::controller::{Controller, ControllerConfig};
-use crate::transport::{Meter, Report};
+use crate::transport::{IngestMode, Meter, Report, ReportFrame};
 use crate::SimError;
 
 /// Full simulation configuration (node side + controller side).
@@ -37,6 +37,10 @@ pub struct SimConfig {
     /// Threading and warm-start knobs for the controller compute (see
     /// [`ComputeOptions`]).
     pub compute: ComputeOptions,
+    /// Collection-plane wire format (see [`IngestMode`]). The default
+    /// [`IngestMode::Frame`] path is bit-identical to the per-report
+    /// reference path but allocation-free at steady state.
+    pub ingest: IngestMode,
 }
 
 impl Default for SimConfig {
@@ -53,6 +57,7 @@ impl Default for SimConfig {
             model: ModelSpec::SampleAndHold,
             seed: 0,
             compute: ComputeOptions::default(),
+            ingest: IngestMode::default(),
         }
     }
 }
@@ -87,9 +92,8 @@ pub struct SimReport {
 #[derive(Debug)]
 pub struct Simulation {
     config: SimConfig,
-    controller: Controller,
-    transmitters: Vec<AdaptiveTransmitter>,
-    meter: Meter,
+    /// Built once in [`Simulation::run`] when the trace fixes `N`.
+    controller: Option<Controller>,
 }
 
 impl Simulation {
@@ -112,18 +116,9 @@ impl Simulation {
                 reason: "k must be positive".into(),
             });
         }
-        // The controller is created lazily in run() when N is known; store
-        // a placeholder sized for 1 node to keep the struct simple.
-        let controller = Controller::new(ControllerConfig {
-            num_nodes: 1,
-            k: 1,
-            ..Default::default()
-        })?;
         Ok(Simulation {
             config,
-            controller,
-            transmitters: Vec::new(),
-            meter: Meter::new(),
+            controller: None,
         })
     }
 
@@ -136,7 +131,7 @@ impl Simulation {
     pub fn run(mut self, trace: &Trace, resource: Resource) -> Result<SimReport, SimError> {
         let n = trace.num_nodes();
         let steps = trace.num_steps();
-        self.controller = Controller::new(ControllerConfig {
+        let controller = self.controller.insert(Controller::new(ControllerConfig {
             num_nodes: n,
             k: self.config.k,
             m: self.config.m,
@@ -147,65 +142,80 @@ impl Simulation {
             seed: self.config.seed,
             compute: self.config.compute,
             ..Default::default()
-        })?;
-        self.transmitters = (0..n)
-            .map(|_| {
-                AdaptiveTransmitter::new(TransmitConfig {
-                    budget: self.config.budget,
-                    v0: self.config.v0,
-                    gamma: self.config.gamma,
-                })
-            })
-            .collect();
+        })?);
+        let tx_config = TransmitConfig {
+            budget: self.config.budget,
+            v0: self.config.v0,
+            gamma: self.config.gamma,
+        };
 
+        let meter = Meter::new();
         let mut staleness = TimeAveragedRmse::new();
         let mut intermediate = TimeAveragedRmse::new();
         let mut sent: u64 = 0;
-        for t in 0..steps {
-            let x = trace.snapshot(resource, t)?;
-            let mut reports = Vec::new();
-            if t == 0 {
-                // Bootstrap: everyone reports so the controller has a value
-                // for every node.
-                for (i, &v) in x.iter().enumerate() {
-                    // Consume the transmitters' clocks too.
-                    let _ = self.transmitters[i].decide(&[v], &[v]);
-                    reports.push(Report {
-                        node: i,
-                        t,
-                        values: vec![v],
-                    });
-                }
-            } else {
-                let stored = self.controller.stored();
-                for (i, &v) in x.iter().enumerate() {
-                    if self.transmitters[i].decide(&[v], &[stored[i]]) {
-                        reports.push(Report {
-                            node: i,
-                            t,
-                            values: vec![v],
-                        });
+        match self.config.ingest {
+            IngestMode::Reports => {
+                let mut transmitters: Vec<AdaptiveTransmitter> = (0..n)
+                    .map(|_| AdaptiveTransmitter::new(tx_config))
+                    .collect();
+                for t in 0..steps {
+                    let x = trace.snapshot(resource, t)?;
+                    let mut reports = Vec::new();
+                    // At t == 0 everyone reports (bootstrap) so the
+                    // controller has a value for every node; the transmitter
+                    // still consumes its clock against z = x.
+                    let zs: &[f64] = if t == 0 { &x } else { controller.stored() };
+                    for (i, &v) in x.iter().enumerate() {
+                        let decision = transmitters[i].decide(&[v], &[zs[i]]);
+                        if t == 0 || decision {
+                            reports.push(Report {
+                                node: i,
+                                t,
+                                values: vec![v],
+                            });
+                        }
                     }
+                    sent += reports.len() as u64;
+                    for r in &reports {
+                        meter.record(r);
+                    }
+                    let tick = controller.tick(reports)?;
+                    staleness.add(rmse_step_scalar(controller.stored(), &x));
+                    intermediate.add(tick.intermediate_rmse);
                 }
             }
-            sent += reports.len() as u64;
-            for r in &reports {
-                self.meter.record(r);
+            IngestMode::Frame => {
+                let mut bank = TransmitterBank::new(tx_config, n);
+                let mut decisions = Vec::with_capacity(n);
+                let mut frame = ReportFrame::with_capacity(1, n);
+                for t in 0..steps {
+                    let x = trace.snapshot(resource, t)?;
+                    let zs: &[f64] = if t == 0 { &x } else { controller.stored() };
+                    bank.decide_batch_against(&x, zs, &mut decisions);
+                    frame.reset(t);
+                    for (i, &v) in x.iter().enumerate() {
+                        if t == 0 || decisions[i] {
+                            frame.push_scalar(i, v);
+                        }
+                    }
+                    sent += frame.len() as u64;
+                    meter.record_frame(&frame);
+                    let tick = controller.tick_frame(&frame)?;
+                    staleness.add(rmse_step_scalar(controller.stored(), &x));
+                    intermediate.add(tick.intermediate_rmse);
+                }
             }
-            let tick = self.controller.tick(reports)?;
-            staleness.add(rmse_step_scalar(self.controller.stored(), &x));
-            intermediate.add(tick.intermediate_rmse);
         }
         Ok(SimReport {
             steps,
-            messages: self.meter.messages(),
-            bytes: self.meter.bytes(),
+            messages: meter.messages(),
+            bytes: meter.bytes(),
             realized_frequency: sent as f64 / (steps as f64 * n as f64),
             staleness_rmse: staleness.value(),
             intermediate_rmse: intermediate.value(),
-            quarantined: self.controller.quarantined(),
-            model_fallbacks: self.controller.model_fallbacks(),
-            fallback_fit_failures: self.controller.fallback_fit_failures(),
+            quarantined: controller.quarantined(),
+            model_fallbacks: controller.model_fallbacks(),
+            fallback_fit_failures: controller.fallback_fit_failures(),
         })
     }
 }
@@ -247,6 +257,23 @@ mod tests {
         );
         assert!(report.staleness_rmse >= 0.0 && report.staleness_rmse < 0.5);
         assert!(report.intermediate_rmse > 0.0);
+    }
+
+    #[test]
+    fn frame_path_matches_report_path_bitwise() {
+        let trace = small_trace();
+        let framed = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        let per_report = Simulation::new(SimConfig {
+            ingest: IngestMode::Reports,
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        assert_eq!(framed, per_report);
     }
 
     #[test]

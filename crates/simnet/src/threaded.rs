@@ -29,22 +29,25 @@ use crossbeam::channel::{self, Receiver, Sender};
 use std::any::Any;
 use std::thread::{self, JoinHandle};
 use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
-use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
+use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBank};
 use utilcast_datasets::{Resource, Trace};
 
 use crate::controller::{Controller, ControllerConfig, ControllerSnapshot};
 use crate::sim::{SimConfig, SimReport};
-use crate::transport::{Meter, Report};
+use crate::transport::{IngestMode, Meter, Report, ReportFrame};
 use crate::SimError;
 
 /// Per-tick instruction to a worker.
 #[derive(Debug, Clone)]
 enum WorkerMsg {
-    /// Run tick `t`'s transmission decisions and report back.
+    /// Run tick `t`'s transmission decisions and report back. In frame
+    /// mode the supervisor ships the shard's recycled output buffer along
+    /// with the inputs; in report mode `frame` is `None`.
     Tick {
         t: usize,
         xs: Vec<f64>,
         zs: Vec<f64>,
+        frame: Option<ReportFrame>,
     },
     /// Re-run tick `t`'s decisions to rebuild transmitter state after a
     /// respawn — no reports are emitted and nothing is metered (the
@@ -56,6 +59,16 @@ enum WorkerMsg {
     },
     /// Shut the worker down.
     Shutdown,
+}
+
+/// One shard's per-tick output batch.
+#[derive(Debug)]
+enum ShardBatch {
+    /// Per-report path: one heap `Report` per transmitting node.
+    Reports(Vec<Report>),
+    /// Frame path: the shard's recycled flat buffer, returned to the
+    /// supervisor for merging (and recycling into the next tick).
+    Frame(ReportFrame),
 }
 
 /// Supervision parameters for [`run_threaded_supervised`].
@@ -91,8 +104,20 @@ impl Default for SupervisorOptions {
 /// One worker's communication endpoints.
 struct ShardLink {
     in_tx: Sender<WorkerMsg>,
-    out_rx: Receiver<Vec<Report>>,
+    out_rx: Receiver<ShardBatch>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// A shard's node-side transmission state, shaped by the ingest mode.
+enum ShardState {
+    /// One [`AdaptiveTransmitter`] per node (the seed reference path).
+    PerNode(Vec<AdaptiveTransmitter>),
+    /// One SoA [`TransmitterBank`] for the whole shard plus a recycled
+    /// decision buffer (the flat frame path).
+    Bank {
+        bank: TransmitterBank,
+        decisions: Vec<bool>,
+    },
 }
 
 /// Runs one shard's transmission decisions for one tick; returns the
@@ -119,47 +144,95 @@ fn decide_shard(
         .collect()
 }
 
+/// The bank-based twin of [`decide_shard`]: one batched pass over the
+/// shard, bit-identical decisions, results in `out`.
+fn decide_bank(bank: &mut TransmitterBank, t: usize, xs: &[f64], zs: &[f64], out: &mut Vec<bool>) {
+    // Bootstrap tick compares against the measurement itself, exactly like
+    // the per-node path (everyone reports regardless of the decision).
+    let zref: &[f64] = if t == 0 { xs } else { zs };
+    bank.decide_batch_against(xs, zref, out);
+}
+
 /// The worker thread body for nodes `lo..hi`.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     lo: usize,
     hi: usize,
+    mode: IngestMode,
     tx_config: TransmitConfig,
     meter: Meter,
     in_rx: Receiver<WorkerMsg>,
-    out_tx: Sender<Vec<Report>>,
+    out_tx: Sender<ShardBatch>,
     panic_at: Option<usize>,
 ) {
-    let mut transmitters: Vec<AdaptiveTransmitter> = (lo..hi)
-        .map(|_| AdaptiveTransmitter::new(tx_config))
-        .collect();
+    let mut state = match mode {
+        IngestMode::Reports => ShardState::PerNode(
+            (lo..hi)
+                .map(|_| AdaptiveTransmitter::new(tx_config))
+                .collect(),
+        ),
+        IngestMode::Frame => ShardState::Bank {
+            bank: TransmitterBank::new(tx_config, hi - lo),
+            decisions: Vec::with_capacity(hi - lo),
+        },
+    };
     while let Ok(msg) = in_rx.recv() {
         match msg {
             WorkerMsg::Shutdown => break,
-            WorkerMsg::Replay { t, xs, zs } => {
-                decide_shard(&mut transmitters, t, &xs, &zs);
-            }
-            WorkerMsg::Tick { t, xs, zs } => {
+            WorkerMsg::Replay { t, xs, zs } => match &mut state {
+                ShardState::PerNode(transmitters) => {
+                    decide_shard(transmitters, t, &xs, &zs);
+                }
+                ShardState::Bank { bank, decisions } => {
+                    decide_bank(bank, t, &xs, &zs, decisions);
+                }
+            },
+            WorkerMsg::Tick { t, xs, zs, frame } => {
                 if panic_at == Some(t) {
                     // lint:allow(panic): injected fault for the chaos suite;
                     // the supervisor must observe a real worker panic
                     panic!("injected fault: worker for nodes {lo}..{hi} at tick {t}");
                 }
-                let reports: Vec<Report> = decide_shard(&mut transmitters, t, &xs, &zs)
-                    .into_iter()
-                    .enumerate()
-                    .filter(|&(_, send)| send)
-                    .map(|(off, _)| Report {
-                        node: lo + off,
-                        t,
-                        values: vec![xs[off]],
-                    })
-                    .collect();
-                // Meter only after every decision succeeded, so a panic
-                // mid-tick never leaves partial accounting behind.
-                for r in &reports {
-                    meter.record(r);
-                }
-                if out_tx.send(reports).is_err() {
+                let batch = match &mut state {
+                    ShardState::PerNode(transmitters) => {
+                        let reports: Vec<Report> = decide_shard(transmitters, t, &xs, &zs)
+                            .into_iter()
+                            .enumerate()
+                            .filter(|&(_, send)| send)
+                            .map(|(off, _)| Report {
+                                node: lo + off,
+                                t,
+                                values: vec![xs[off]],
+                            })
+                            .collect();
+                        // Meter only after every decision succeeded, so a
+                        // panic mid-tick never leaves partial accounting
+                        // behind.
+                        for r in &reports {
+                            meter.record(r);
+                        }
+                        ShardBatch::Reports(reports)
+                    }
+                    ShardState::Bank { bank, decisions } => {
+                        decide_bank(bank, t, &xs, &zs, decisions);
+                        // The supervisor ships the shard's recycled buffer
+                        // with the tick; a fresh one is only needed right
+                        // after a respawn, when the old buffer died with
+                        // the previous worker.
+                        let mut frame = frame.unwrap_or_else(|| ReportFrame::new(1));
+                        frame.reset(t);
+                        for (off, &x) in xs.iter().enumerate() {
+                            if t == 0 || decisions[off] {
+                                frame.push_scalar(lo + off, x);
+                            }
+                        }
+                        // One metering call for the whole shard, after all
+                        // decisions succeeded.
+                        meter.record_frame(&frame);
+                        ShardBatch::Frame(frame)
+                    }
+                };
+                if out_tx.send(batch).is_err() {
                     break;
                 }
             }
@@ -256,12 +329,14 @@ pub fn run_threaded_supervised(
         .map(|s| (s * n / shards, (s + 1) * n / shards))
         .collect();
 
+    let mode = config.ingest;
     let spawn = |(lo, hi): (usize, usize), panic_at: Option<usize>| -> ShardLink {
         let (in_tx, in_rx) = channel::unbounded::<WorkerMsg>();
-        let (out_tx, out_rx) = channel::unbounded::<Vec<Report>>();
+        let (out_tx, out_rx) = channel::unbounded::<ShardBatch>();
         let meter = meter.clone();
-        let handle =
-            thread::spawn(move || worker_loop(lo, hi, tx_config, meter, in_rx, out_tx, panic_at));
+        let handle = thread::spawn(move || {
+            worker_loop(lo, hi, mode, tx_config, meter, in_rx, out_tx, panic_at)
+        });
         ShardLink {
             in_tx,
             out_rx,
@@ -286,6 +361,15 @@ pub fn run_threaded_supervised(
     let mut last_checkpoint: Option<ControllerSnapshot> =
         checkpoints_wanted.then(|| controller.snapshot());
 
+    // Frame-mode recycled buffers: one per shard (shipped to the worker
+    // each tick and returned with its batch) plus one merge target. Worker
+    // death loses the in-flight shard buffer; the respawned worker simply
+    // allocates a fresh one.
+    let mut shard_bufs: Vec<Option<ReportFrame>> = (0..shards)
+        .map(|_| (mode == IngestMode::Frame).then(|| ReportFrame::new(1)))
+        .collect();
+    let mut merged = ReportFrame::with_capacity(1, if mode == IngestMode::Frame { n } else { 0 });
+
     let mut staleness = TimeAveragedRmse::new();
     let mut intermediate = TimeAveragedRmse::new();
     let mut sent: u64 = 0;
@@ -304,6 +388,7 @@ pub fn run_threaded_supervised(
             input_log[s].push((x[lo..hi].to_vec(), stored[lo..hi].to_vec()));
         }
         let mut tick_reports = Vec::new();
+        merged.reset(t);
         for (s, &b) in bounds.iter().enumerate() {
             // Same values the loop above logged for this shard, rebuilt
             // from the sources instead of read back out of the log.
@@ -316,13 +401,26 @@ pub fn run_threaded_supervised(
                         t,
                         xs: xs.clone(),
                         zs: zs.clone(),
+                        frame: shard_bufs[s].take(),
                     })
                     .is_ok();
                 if delivered {
-                    if let Ok(mut reports) = links[s].out_rx.recv() {
-                        sent += reports.len() as u64;
-                        tick_reports.append(&mut reports);
-                        break;
+                    match links[s].out_rx.recv() {
+                        Ok(ShardBatch::Reports(mut reports)) => {
+                            sent += reports.len() as u64;
+                            tick_reports.append(&mut reports);
+                            break;
+                        }
+                        Ok(ShardBatch::Frame(frame)) => {
+                            sent += frame.len() as u64;
+                            // Shards merge in ascending shard order, so the
+                            // merged frame is in ascending node order — the
+                            // same order `Controller::tick` sorts into.
+                            merged.extend_from(&frame);
+                            shard_bufs[s] = Some(frame);
+                            break;
+                        }
+                        Err(_) => {}
                     }
                 }
                 // The worker died. Reap it for the panic payload, then
@@ -350,7 +448,10 @@ pub fn run_threaded_supervised(
                 }
             }
         }
-        let tick = controller.tick(tick_reports)?;
+        let tick = match mode {
+            IngestMode::Reports => controller.tick(tick_reports)?,
+            IngestMode::Frame => controller.tick_frame(&merged)?,
+        };
         staleness.add(rmse_step_scalar(controller.stored(), &x));
         intermediate.add(tick.intermediate_rmse);
         if options.checkpoint_every > 0 && (t + 1) % options.checkpoint_every == 0 {
@@ -412,6 +513,59 @@ mod tests {
     }
 
     #[test]
+    fn report_mode_matches_frame_mode_across_shards() {
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
+        let reports_config = SimConfig {
+            ingest: crate::transport::IngestMode::Reports,
+            ..quick_config()
+        };
+        let reference = Simulation::new(reports_config.clone())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        for shards in [1, 3, 7] {
+            let framed = run_threaded(&quick_config(), &trace, Resource::Cpu, shards).unwrap();
+            let per_report = run_threaded(&reports_config, &trace, Resource::Cpu, shards).unwrap();
+            assert_eq!(framed, reference, "frame mode, {shards} shards diverged");
+            assert_eq!(
+                per_report, reference,
+                "report mode, {shards} shards diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_recovery_is_bit_identical_in_frame_mode() {
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
+        let reference = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        // The dying worker takes its recycled frame buffer with it; the
+        // respawned bank must be rebuilt by replay and stay bit-identical.
+        let supervised = run_threaded_supervised(
+            &quick_config(),
+            &trace,
+            Resource::Cpu,
+            4,
+            &SupervisorOptions {
+                worker_panic_at: Some((1, 33)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(supervised, reference);
+    }
+
+    #[test]
     fn more_shards_than_nodes_is_clamped() {
         let trace = presets::alibaba_like()
             .nodes(4)
@@ -439,14 +593,18 @@ mod tests {
             .steps(120)
             .seed(9)
             .generate();
-        let reference = Simulation::new(quick_config())
+        let config = SimConfig {
+            ingest: crate::transport::IngestMode::Reports,
+            ..quick_config()
+        };
+        let reference = Simulation::new(config.clone())
             .unwrap()
             .run(&trace, Resource::Cpu)
             .unwrap();
         // Shard 2 dies mid-run; the supervisor must rebuild its transmitter
         // state so exactly the same reports flow afterwards.
         let supervised = run_threaded_supervised(
-            &quick_config(),
+            &config,
             &trace,
             Resource::Cpu,
             4,

@@ -1,18 +1,45 @@
-//! Message types and bandwidth accounting.
+//! Message types, flat report frames, and bandwidth accounting.
 //!
 //! The point of the paper's adaptive transmission is to cut communication
-//! cost, so the simulation meters it: every measurement report is a
-//! [`Report`] whose wire size is modelled as a fixed header plus one `f64`
-//! per resource dimension, and a shared [`Meter`] (cheap `parking_lot`
-//! mutex, written by every node shard) accumulates totals.
+//! cost, so the simulation meters it: every measurement report is modelled
+//! as a fixed header plus one `f64` per resource dimension, and a shared
+//! [`Meter`] (plain atomics, written by every node shard) accumulates
+//! totals.
+//!
+//! Two wire representations exist:
+//!
+//! * [`Report`] — one heap-allocated record per transmission, the seed
+//!   representation retained for the reference ingest path
+//!   ([`IngestMode::Reports`]);
+//! * [`ReportFrame`] — one recycled flat buffer per shard per tick (node
+//!   ids + contiguous values + count), the batched representation of the
+//!   default [`IngestMode::Frame`] path. Frames are metered with **one**
+//!   accounting call ([`Meter::record_batch`]) and expose a compat
+//!   iterator ([`ReportFrame::iter`]) so the controller's quarantine and
+//!   validation logic is byte-for-byte shared with the per-report path.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Modelled header bytes per report (node id + timestamp + framing).
 pub const HEADER_BYTES: u64 = 16;
+
+/// Which node→controller ingest representation a driver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IngestMode {
+    /// Batched flat-buffer path (default): [`crate::transport::ReportFrame`]
+    /// per shard per tick, one meter call per frame, and
+    /// [`crate::controller::Controller::tick_frame`] batch ingest.
+    #[default]
+    Frame,
+    /// The seed per-record path: one [`Report`] allocation per
+    /// transmission, one meter call per report, and
+    /// [`crate::controller::Controller::tick`]. Kept selectable so
+    /// benchmarks and the determinism suite can compare against it.
+    Reports,
+}
 
 /// A measurement report from a local node to the controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,16 +59,190 @@ impl Report {
     }
 }
 
-/// Shared bandwidth meter.
+/// A borrowed view of one entry of a [`ReportFrame`], shaped like a
+/// [`Report`] so ingress validation code can treat both representations
+/// uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameEntry<'a> {
+    /// Sending node index.
+    pub node: usize,
+    /// Time step of the measurement.
+    pub t: usize,
+    /// Measurement payload (one value per resource dimension).
+    pub values: &'a [f64],
+}
+
+/// One tick's worth of reports from a shard, stored as flat buffers: node
+/// ids in one vector, payload values contiguous in another (`width` values
+/// per entry). Replaces a `Vec<Report>` — and its one-allocation-per-report
+/// cost — on the batched ingest path. The buffers are recycled across
+/// ticks via [`ReportFrame::reset`], so the steady state allocates
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportFrame {
+    t: usize,
+    width: usize,
+    nodes: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl ReportFrame {
+    /// Creates an empty frame for `width`-dimensional payloads at tick 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` (a report always carries at least one value).
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "frame width must be positive");
+        ReportFrame {
+            t: 0,
+            width,
+            nodes: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty frame with capacity for `entries` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn with_capacity(width: usize, entries: usize) -> Self {
+        assert!(width > 0, "frame width must be positive");
+        ReportFrame {
+            t: 0,
+            width,
+            nodes: Vec::with_capacity(entries),
+            values: Vec::with_capacity(entries * width),
+        }
+    }
+
+    /// Clears the frame for tick `t`, keeping the buffer capacity — this
+    /// is the recycling entry point drivers call once per tick.
+    pub fn reset(&mut self, t: usize) {
+        self.t = t;
+        self.nodes.clear();
+        self.values.clear();
+    }
+
+    /// Appends one scalar report (the paper's per-resource mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame width is not 1.
+    #[inline]
+    pub fn push_scalar(&mut self, node: usize, value: f64) {
+        assert_eq!(self.width, 1, "push_scalar on a width-{} frame", self.width);
+        self.nodes.push(node);
+        self.values.push(value);
+    }
+
+    /// Appends one report with a `width`-dimensional payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the frame width.
+    #[inline]
+    pub fn push(&mut self, node: usize, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.width,
+            "payload length {} on a width-{} frame",
+            values.len(),
+            self.width
+        );
+        self.nodes.push(node);
+        self.values.extend_from_slice(values);
+    }
+
+    /// Appends every entry of `other` (a shard frame being merged into a
+    /// combined tick frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths or ticks differ.
+    pub fn extend_from(&mut self, other: &ReportFrame) {
+        assert_eq!(self.width, other.width, "frame width mismatch on merge");
+        assert_eq!(self.t, other.t, "frame tick mismatch on merge");
+        self.nodes.extend_from_slice(&other.nodes);
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// The tick this frame belongs to.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Payload values per entry.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of reports in the frame.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the frame holds no reports.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node ids, in push order.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// The contiguous payload buffer (`len() * width()` values).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Modelled wire size of the whole frame: exactly the sum of
+    /// [`Report::wire_bytes`] over equivalent per-record reports, so the
+    /// two ingest paths meter identical byte totals.
+    pub fn wire_bytes(&self) -> u64 {
+        self.len() as u64 * (HEADER_BYTES + 8 * self.width as u64)
+    }
+
+    /// Iterates the frame as borrowed [`FrameEntry`] records in push
+    /// order — the compat view that lets the controller run the same
+    /// ingress validation it applies to [`Report`]s.
+    pub fn iter(&self) -> impl Iterator<Item = FrameEntry<'_>> {
+        let (t, width) = (self.t, self.width);
+        self.nodes
+            .iter()
+            .zip(self.values.chunks_exact(width))
+            .map(move |(&node, values)| FrameEntry { node, t, values })
+    }
+
+    /// Copies the frame out as owned [`Report`]s (test/diagnostic helper;
+    /// the hot path never materializes these).
+    pub fn to_reports(&self) -> Vec<Report> {
+        self.iter()
+            .map(|e| Report {
+                node: e.node,
+                t: e.t,
+                values: e.values.to_vec(),
+            })
+            .collect()
+    }
+}
+
+/// Shared bandwidth meter. Internally a pair of relaxed atomic counters:
+/// totals are only read after all writers have quiesced (end of run), so
+/// no ordering stronger than `Relaxed` is needed, and the frame path's
+/// one-call-per-frame batching keeps even the atomic traffic off the
+/// per-report fast path.
 #[derive(Debug, Clone, Default)]
 pub struct Meter {
-    inner: Arc<Mutex<MeterState>>,
+    inner: Arc<MeterState>,
 }
 
 #[derive(Debug, Default)]
 struct MeterState {
-    messages: u64,
-    bytes: u64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
 }
 
 impl Meter {
@@ -52,19 +253,30 @@ impl Meter {
 
     /// Records one report.
     pub fn record(&self, report: &Report) {
-        let mut state = self.inner.lock();
-        state.messages += 1;
-        state.bytes += report.wire_bytes();
+        self.record_batch(1, report.wire_bytes());
+    }
+
+    /// Records a batch of `messages` reports totalling `bytes` modelled
+    /// wire bytes — the frame path's single accounting call per shard per
+    /// tick.
+    pub fn record_batch(&self, messages: u64, bytes: u64) {
+        self.inner.messages.fetch_add(messages, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a whole frame in one call.
+    pub fn record_frame(&self, frame: &ReportFrame) {
+        self.record_batch(frame.len() as u64, frame.wire_bytes());
     }
 
     /// Total messages recorded.
     pub fn messages(&self) -> u64 {
-        self.inner.lock().messages
+        self.inner.messages.load(Ordering::Relaxed)
     }
 
     /// Total bytes recorded.
     pub fn bytes(&self) -> u64 {
-        self.inner.lock().bytes
+        self.inner.bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -132,5 +344,110 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(m.messages(), 400);
+    }
+
+    #[test]
+    fn frame_metering_matches_per_report_metering() {
+        let mut frame = ReportFrame::new(2);
+        frame.reset(5);
+        frame.push(3, &[0.1, 0.2]);
+        frame.push(7, &[0.3, 0.4]);
+        frame.push(9, &[0.5, 0.6]);
+        let per_report = Meter::new();
+        for r in frame.to_reports() {
+            per_report.record(&r);
+        }
+        let batched = Meter::new();
+        batched.record_frame(&frame);
+        assert_eq!(batched.messages(), per_report.messages());
+        assert_eq!(batched.bytes(), per_report.bytes());
+    }
+
+    #[test]
+    fn frame_iter_matches_equivalent_reports() {
+        let mut frame = ReportFrame::with_capacity(1, 4);
+        frame.reset(11);
+        frame.push_scalar(0, 0.25);
+        frame.push_scalar(4, 0.75);
+        assert_eq!(frame.len(), 2);
+        assert!(!frame.is_empty());
+        assert_eq!(frame.t(), 11);
+        let entries: Vec<_> = frame.iter().collect();
+        assert_eq!(entries[0].node, 0);
+        assert_eq!(entries[0].t, 11);
+        assert_eq!(entries[0].values, &[0.25]);
+        assert_eq!(entries[1].node, 4);
+        assert_eq!(entries[1].values, &[0.75]);
+        assert_eq!(
+            frame.to_reports(),
+            vec![
+                Report {
+                    node: 0,
+                    t: 11,
+                    values: vec![0.25]
+                },
+                Report {
+                    node: 4,
+                    t: 11,
+                    values: vec![0.75]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn frame_reset_recycles_capacity() {
+        let mut frame = ReportFrame::with_capacity(1, 8);
+        for i in 0..8 {
+            frame.push_scalar(i, 0.5);
+        }
+        let node_cap = frame.nodes.capacity();
+        let value_cap = frame.values.capacity();
+        frame.reset(1);
+        assert!(frame.is_empty());
+        assert_eq!(frame.t(), 1);
+        assert_eq!(frame.nodes.capacity(), node_cap);
+        assert_eq!(frame.values.capacity(), value_cap);
+    }
+
+    #[test]
+    fn frame_merge_keeps_shard_order() {
+        let mut merged = ReportFrame::new(1);
+        merged.reset(3);
+        let mut a = ReportFrame::new(1);
+        a.reset(3);
+        a.push_scalar(0, 0.1);
+        a.push_scalar(1, 0.2);
+        let mut b = ReportFrame::new(1);
+        b.reset(3);
+        b.push_scalar(2, 0.3);
+        merged.extend_from(&a);
+        merged.extend_from(&b);
+        assert_eq!(merged.nodes(), &[0, 1, 2]);
+        assert_eq!(merged.values(), &[0.1, 0.2, 0.3]);
+        assert_eq!(merged.wire_bytes(), 3 * (HEADER_BYTES + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "frame width must be positive")]
+    fn zero_width_frame_rejected() {
+        let _ = ReportFrame::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length")]
+    fn push_checks_width() {
+        let mut frame = ReportFrame::new(2);
+        frame.push(0, &[1.0]);
+    }
+
+    #[test]
+    fn frame_survives_serde_round_trip() {
+        let mut frame = ReportFrame::new(2);
+        frame.reset(9);
+        frame.push(1, &[0.1, 0.9]);
+        let json = serde_json::to_string(&frame).unwrap();
+        let back: ReportFrame = serde_json::from_str(&json).unwrap();
+        assert_eq!(frame, back);
     }
 }

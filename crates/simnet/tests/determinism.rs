@@ -10,7 +10,8 @@ use utilcast_core::compute::ComputeOptions;
 use utilcast_datasets::{presets, Resource, Trace};
 use utilcast_simnet::controller::{Controller, ControllerConfig};
 use utilcast_simnet::sim::{SimConfig, Simulation};
-use utilcast_simnet::transport::Report;
+use utilcast_simnet::threaded::run_threaded;
+use utilcast_simnet::transport::{IngestMode, Report, ReportFrame};
 
 fn trace() -> Trace {
     presets::google_like()
@@ -133,6 +134,71 @@ fn warm_start_is_a_distinct_code_path() {
     assert!(warm.intermediate_rmse.is_finite() && cold.intermediate_rmse.is_finite());
 }
 
+fn config_with_ingest(ingest: IngestMode) -> SimConfig {
+    SimConfig {
+        k: 4,
+        warmup: 30,
+        retrain_every: 40,
+        ingest,
+        ..Default::default()
+    }
+}
+
+/// The flat frame-based collection plane is bit-identical to the seed
+/// per-report path: same `SimReport` (exact `f64` equality) from the
+/// single-threaded driver and from the threaded driver at shard counts
+/// 1, 2, and 8.
+#[test]
+fn frame_ingest_bit_identical_to_report_ingest_at_any_shard_count() {
+    let trace = trace();
+    let seed_path = Simulation::new(config_with_ingest(IngestMode::Reports))
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+    let frame_path = Simulation::new(config_with_ingest(IngestMode::Frame))
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+    assert_eq!(frame_path, seed_path, "single-threaded frame path diverged");
+    // The full seed stack — per-report ingest plus the nested points path
+    // into the clustering stage — must also match the optimized stack.
+    let full_seed_stack = Simulation::new(SimConfig {
+        compute: ComputeOptions {
+            flat_points: false,
+            ..Default::default()
+        },
+        ..config_with_ingest(IngestMode::Reports)
+    })
+    .unwrap()
+    .run(&trace, Resource::Cpu)
+    .unwrap();
+    assert_eq!(full_seed_stack, seed_path, "nested points path diverged");
+    for shards in [1, 2, 8] {
+        let threaded_frame = run_threaded(
+            &config_with_ingest(IngestMode::Frame),
+            &trace,
+            Resource::Cpu,
+            shards,
+        )
+        .unwrap();
+        assert_eq!(
+            threaded_frame, seed_path,
+            "threaded frame path diverged at {shards} shards"
+        );
+        let threaded_reports = run_threaded(
+            &config_with_ingest(IngestMode::Reports),
+            &trace,
+            Resource::Cpu,
+            shards,
+        )
+        .unwrap();
+        assert_eq!(
+            threaded_reports, seed_path,
+            "threaded report path diverged at {shards} shards"
+        );
+    }
+}
+
 const PROP_NODES: usize = 6;
 
 fn arb_tick_reports() -> impl Strategy<Value = Vec<(usize, f64)>> {
@@ -189,6 +255,78 @@ proptest! {
         for (t, batch) in ticks.iter().enumerate().skip(split) {
             let a = uninterrupted.tick(to_reports(t, batch)).unwrap();
             let b = resumed.tick(to_reports(t, batch)).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(uninterrupted.stored(), resumed.stored());
+        prop_assert_eq!(uninterrupted.snapshot(), resumed.snapshot());
+    }
+
+    /// Frame ingest is bit-identical to per-report ingest at the controller
+    /// boundary for any report sequence — including out-of-range values,
+    /// unknown nodes, and intra-tick duplicates, all of which must be
+    /// quarantined identically on both paths.
+    #[test]
+    fn tick_frame_bit_identical_to_tick_for_any_batch(
+        ticks in proptest::collection::vec(arb_tick_reports(), 2..16),
+    ) {
+        let mut per_report = concurrent_controller();
+        let mut framed = concurrent_controller();
+        let mut frame = ReportFrame::new(1);
+        for (t, batch) in ticks.iter().enumerate() {
+            let reports: Vec<Report> = batch
+                .iter()
+                .map(|&(node, v)| Report { node, t, values: vec![v] })
+                .collect();
+            frame.reset(t);
+            let mut sorted = batch.clone();
+            sorted.sort_by_key(|&(node, _)| node);
+            for (node, v) in sorted {
+                frame.push_scalar(node, v);
+            }
+            let a = per_report.tick(reports).unwrap();
+            let b = framed.tick_frame(&frame).unwrap();
+            prop_assert_eq!(a, b, "tick {} diverged", t);
+        }
+        prop_assert_eq!(per_report.stored(), framed.stored());
+        prop_assert_eq!(per_report.quarantined(), framed.quarantined());
+        prop_assert_eq!(per_report.snapshot(), framed.snapshot());
+    }
+
+    /// Snapshot → restore → replay over the *frame* ingest path is
+    /// bit-identical to the uninterrupted frame-path run for any report
+    /// sequence and split point.
+    #[test]
+    fn snapshot_restore_bit_identical_on_frame_path(
+        ticks in proptest::collection::vec(arb_tick_reports(), 2..16),
+        split_pct in 0u32..100,
+    ) {
+        let split = (ticks.len() * split_pct as usize / 100).min(ticks.len() - 1);
+        let mut frame = ReportFrame::new(1);
+        let fill = |frame: &mut ReportFrame, t: usize, batch: &[(usize, f64)]| {
+            frame.reset(t);
+            let mut sorted = batch.to_vec();
+            sorted.sort_by_key(|&(node, _)| node);
+            for (node, v) in sorted {
+                frame.push_scalar(node, v);
+            }
+        };
+
+        let mut uninterrupted = concurrent_controller();
+        let mut resumed = concurrent_controller();
+        for (t, batch) in ticks[..split].iter().enumerate() {
+            fill(&mut frame, t, batch);
+            let a = uninterrupted.tick_frame(&frame).unwrap();
+            let b = resumed.tick_frame(&frame).unwrap();
+            prop_assert_eq!(a, b);
+        }
+
+        let json = serde_json::to_string(&resumed.snapshot()).unwrap();
+        let mut resumed = Controller::restore(serde_json::from_str(&json).unwrap()).unwrap();
+
+        for (t, batch) in ticks.iter().enumerate().skip(split) {
+            fill(&mut frame, t, batch);
+            let a = uninterrupted.tick_frame(&frame).unwrap();
+            let b = resumed.tick_frame(&frame).unwrap();
             prop_assert_eq!(a, b);
         }
         prop_assert_eq!(uninterrupted.stored(), resumed.stored());

@@ -3,9 +3,12 @@
 # primitives (k-means, Hungarian matching, pipeline tick) plus the
 # controller scaling report, which records the baseline-vs-optimized
 # N=1000/K=10/d=2 tick benchmark in BENCH_controller.json at the repo
-# root, and the forecast-training hot-path report, which records the
+# root, the forecast-training hot-path report, which records the
 # per-cluster retrain speedup (fused LSTM kernels + warm-started ARIMA)
-# and the staggered-retraining tick profile in BENCH_forecast.json.
+# and the staggered-retraining tick profile in BENCH_forecast.json, and
+# the collection-plane ingest report, which records the end-to-end tick
+# speedup of the flat frame path over the seed per-report path at
+# N=10k/100k in BENCH_ingest.json.
 #
 # Usage: scripts/bench.sh [--full]
 #   default    quick mode (few timing reps; minutes, not hours)
@@ -15,9 +18,11 @@ cd "$(dirname "$0")/.."
 
 REPS=32
 FC_RETRAINS=6
+INGEST_TICKS=40
 if [[ "${1:-}" == "--full" ]]; then
   REPS=256
   FC_RETRAINS=16
+  INGEST_TICKS=120
 fi
 
 echo "==> cargo bench --bench micro (kmeans, hungarian, pipeline tick)"
@@ -29,6 +34,10 @@ UTILCAST_STEPS="$REPS" cargo run --release -p utilcast-bench --bin scaling_repor
 echo "==> forecast_report (writes BENCH_forecast.json, ${FC_RETRAINS} retrains)"
 UTILCAST_STEPS="$FC_RETRAINS" cargo run --release -p utilcast-bench --bin forecast_report
 
+echo "==> ingest_report (writes BENCH_ingest.json, ${INGEST_TICKS} ticks/pass)"
+UTILCAST_STEPS="$INGEST_TICKS" cargo run --release -p utilcast-bench --bin ingest_report
+
 echo "Benchmarks complete. Speedup summary:"
 grep -E '"(baseline|optimized)_tick_micros"|"speedup"' BENCH_controller.json
 grep -E '"speedup"|"(mean|max)_micros"' BENCH_forecast.json
+grep -E '"speedup"' BENCH_ingest.json

@@ -29,4 +29,15 @@ UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=64 UTILCAST_STEPS=2 \
   cargo run --release -q -p utilcast-bench --bin forecast_report
 rm -rf "$SMOKE_DIR"
 
+# Smoke-run the collection-plane ingest benchmark at tiny scale. Besides
+# keeping the binary runnable, this exercises its built-in parity guard:
+# ingest_report exits non-zero unless the frame path's SimReport is
+# bit-identical to the seed per-report path (single-threaded and
+# sharded), so a frame/seed divergence fails the gate here.
+echo "==> bench smoke (ingest_report, tiny scale + frame/seed parity guard)"
+SMOKE_DIR="$(mktemp -d)"
+UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=64 UTILCAST_STEPS=2 \
+  cargo run --release -q -p utilcast-bench --bin ingest_report
+rm -rf "$SMOKE_DIR"
+
 echo "All checks passed."
