@@ -1,0 +1,176 @@
+//! Faults smoke gate: proves the link plane's two contractual properties
+//! end to end, exiting non-zero on any violation so `scripts/check.sh`
+//! and `scripts/bench.sh` can gate on it.
+//!
+//! 1. **Perfect-link bitwise identity** — forcing every frame through the
+//!    delivery plane (perfect links + ARQ) must reproduce the no-delivery
+//!    baseline `SimReport` bit-for-bit (link accounting aside), in the
+//!    single-threaded driver and in the threaded driver at several shard
+//!    counts, and `run_with_faults` under `FaultPlan::none()` must match
+//!    the same baseline.
+//! 2. **Lossy completion** — a heavily degraded link (loss, latency,
+//!    jitter, duplication, reordering) with ARQ and a staleness age limit
+//!    must still complete the full run with finite, bounded error.
+//!
+//! Scale knobs: `UTILCAST_NODES` (default 40), `UTILCAST_STEPS`
+//! (default 150).
+
+use std::process::ExitCode;
+
+use utilcast_bench::Scale;
+use utilcast_core::compute::ComputeOptions;
+use utilcast_core::transmit::ArqConfig;
+use utilcast_datasets::{presets, Resource, Trace};
+use utilcast_simnet::faults::{run_with_faults, FaultPlan};
+use utilcast_simnet::link::{DeliveryOptions, LinkPlan, LinkSummary};
+use utilcast_simnet::sim::{SimConfig, SimReport, Simulation};
+use utilcast_simnet::threaded::run_threaded;
+
+fn base_config() -> SimConfig {
+    SimConfig {
+        k: 3,
+        warmup: 30,
+        retrain_every: 40,
+        ..Default::default()
+    }
+}
+
+/// The baseline report with the plane's own accounting zeroed out, for
+/// bitwise comparison against a forced-plane run.
+fn neutral(report: &SimReport) -> SimReport {
+    SimReport {
+        link: LinkSummary::default(),
+        ..report.clone()
+    }
+}
+
+fn check_perfect_link_identity(trace: &Trace, baseline: &SimReport) -> Result<(), String> {
+    let forced = SimConfig {
+        delivery: DeliveryOptions {
+            arq: ArqConfig {
+                timeout: 4,
+                backoff_cap: 3,
+                max_retransmits: 8,
+            },
+            ..DeliveryOptions::none()
+        },
+        ..base_config()
+    };
+    let planed = Simulation::new(forced.clone())
+        .map_err(|e| e.to_string())?
+        .run(trace, Resource::Cpu)
+        .map_err(|e| e.to_string())?;
+    if planed.link.retransmits != 0 {
+        return Err(format!(
+            "perfect links retransmitted {} frames",
+            planed.link.retransmits
+        ));
+    }
+    if neutral(&planed) != *baseline {
+        return Err("single-threaded forced-plane run diverged from the baseline".into());
+    }
+    for shards in [1, 4] {
+        let threaded = run_threaded(&forced, trace, Resource::Cpu, shards)
+            .map_err(|e| format!("threaded forced-plane run failed at {shards} shards: {e}"))?;
+        if neutral(&threaded) != *baseline {
+            return Err(format!(
+                "threaded forced-plane run diverged from the baseline at {shards} shards"
+            ));
+        }
+    }
+    let no_faults = run_with_faults(&base_config(), trace, Resource::Cpu, &FaultPlan::none())
+        .map_err(|e| e.to_string())?;
+    if no_faults.sim != *baseline {
+        return Err("FaultPlan::none() run diverged from the baseline".into());
+    }
+    Ok(())
+}
+
+fn check_lossy_completion(trace: &Trace, steps: usize) -> Result<(), String> {
+    let lossy = SimConfig {
+        compute: ComputeOptions {
+            staleness_age_limit: 6,
+            ..Default::default()
+        },
+        delivery: DeliveryOptions {
+            link: LinkPlan {
+                loss_prob: 0.3,
+                dup_prob: 0.05,
+                reorder_prob: 0.1,
+                delay_ticks: 1,
+                jitter_ticks: 2,
+                seed: 19,
+                ..LinkPlan::perfect()
+            },
+            arq: ArqConfig {
+                timeout: 5,
+                backoff_cap: 3,
+                max_retransmits: 10,
+            },
+            ..DeliveryOptions::none()
+        },
+        ..base_config()
+    };
+    let report = Simulation::new(lossy)
+        .map_err(|e| e.to_string())?
+        .run(trace, Resource::Cpu)
+        .map_err(|e| format!("lossy run failed to complete: {e}"))?;
+    if report.steps != steps {
+        return Err(format!(
+            "lossy run stopped at {} of {steps} steps",
+            report.steps
+        ));
+    }
+    if !report.staleness_rmse.is_finite() || report.staleness_rmse >= 0.5 {
+        return Err(format!(
+            "lossy run error not bounded: staleness RMSE {}",
+            report.staleness_rmse
+        ));
+    }
+    if report.link.lost == 0 {
+        return Err("0.3 loss probability never dropped a frame".into());
+    }
+    println!(
+        "lossy run: staleness {:.4}, mean age {:.2}, peak age {}, \
+         lost {}, retransmits {}, duplicate frames {}, masked {}",
+        report.staleness_rmse,
+        report.mean_age,
+        report.peak_age,
+        report.link.lost,
+        report.link.retransmits,
+        report.duplicates,
+        report.masked_node_steps
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_env(40, 150);
+    let trace = presets::google_like()
+        .nodes(scale.nodes)
+        .steps(scale.steps)
+        .seed(7)
+        .generate();
+    let baseline = match Simulation::new(base_config()).and_then(|s| s.run(&trace, Resource::Cpu)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("FAIL: baseline run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} nodes x {} steps; baseline staleness {:.4}",
+        scale.nodes, scale.steps, baseline.staleness_rmse
+    );
+    if let Err(reason) = check_perfect_link_identity(&trace, &baseline) {
+        eprintln!("FAIL: perfect-link identity: {reason}");
+        return ExitCode::FAILURE;
+    }
+    println!("perfect-link delivery plane is bit-identical to the baseline");
+    if let Err(reason) = check_lossy_completion(&trace, scale.steps) {
+        eprintln!("FAIL: lossy completion: {reason}");
+        return ExitCode::FAILURE;
+    }
+    println!("faults smoke passed");
+    ExitCode::SUCCESS
+}

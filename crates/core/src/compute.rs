@@ -55,6 +55,13 @@ pub struct ComputeOptions {
     /// allocates per node per step; kept selectable as the benchmark
     /// baseline.
     pub flat_points: bool,
+    /// Mask nodes whose staleness age (ticks since their freshest admitted
+    /// measurement) exceeds this limit: before clustering/retraining their
+    /// stored value is imputed with the mean of the fresh nodes, so stale
+    /// state stops poisoning centroids and model fits when links degrade.
+    /// `0` disables masking (default) — every stored value is used as-is,
+    /// which preserves the seed behavior bit-identically.
+    pub staleness_age_limit: usize,
 }
 
 impl Default for ComputeOptions {
@@ -66,6 +73,7 @@ impl Default for ComputeOptions {
             kernel: Kernel::CachedNorms,
             retrain_stagger: false,
             flat_points: true,
+            staleness_age_limit: 0,
         }
     }
 }
@@ -83,6 +91,7 @@ impl ComputeOptions {
             kernel: Kernel::Exact,
             retrain_stagger: false,
             flat_points: false,
+            staleness_age_limit: 0,
         }
     }
 }
@@ -100,6 +109,7 @@ mod tests {
         assert_eq!(c.kernel, Kernel::CachedNorms);
         assert!(!c.retrain_stagger);
         assert!(c.flat_points);
+        assert_eq!(c.staleness_age_limit, 0, "masking is off by default");
     }
 
     #[test]

@@ -128,6 +128,54 @@ impl TimeAveragedRmse {
     }
 }
 
+/// Accumulator for age-of-information statistics: the per-tick mean and
+/// all-time peak of the per-node staleness age (ticks since the
+/// measurement timestamp of each node's freshest admitted report).
+///
+/// AoI is the right lens for what a degraded link costs the forecaster —
+/// a lossy link does not just drop samples, it makes the controller act
+/// on *old* state, and the mean/peak age quantify exactly how old.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AgeOfInformation {
+    sum_of_means: f64,
+    peak: usize,
+    ticks: usize,
+}
+
+impl AgeOfInformation {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one tick's mean age across nodes and that tick's oldest
+    /// per-node age.
+    pub fn add_tick(&mut self, mean_age: f64, peak_age: usize) {
+        self.sum_of_means += mean_age;
+        self.peak = self.peak.max(peak_age);
+        self.ticks += 1;
+    }
+
+    /// Mean over ticks of the per-tick mean node age; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.sum_of_means / self.ticks as f64
+        }
+    }
+
+    /// The oldest per-node age observed on any tick.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of accumulated ticks.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+}
+
 /// The paper's overall objective (Eq. 5): the quadratic mean of the
 /// per-horizon time-averaged RMSEs over `h ∈ [0, H]`.
 ///
@@ -217,5 +265,17 @@ mod tests {
     #[should_panic(expected = "node count mismatch")]
     fn rmse_rejects_mismatched_lengths() {
         let _ = rmse_step_scalar(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn age_of_information_tracks_mean_and_peak() {
+        let mut aoi = AgeOfInformation::new();
+        assert_eq!(aoi.mean(), 0.0);
+        assert_eq!(aoi.peak(), 0);
+        aoi.add_tick(1.0, 3);
+        aoi.add_tick(2.0, 1);
+        assert!((aoi.mean() - 1.5).abs() < 1e-12);
+        assert_eq!(aoi.peak(), 3);
+        assert_eq!(aoi.ticks(), 2);
     }
 }

@@ -523,6 +523,155 @@ impl UniformTransmitter {
     }
 }
 
+/// Automatic-repeat-request parameters for the delivery layer at the
+/// transmitter edge: how long to wait for an ack before retransmitting,
+/// how the wait grows, and when to give up.
+///
+/// The backoff is *deterministic* (no random jitter): the `i`-th
+/// retransmission of a payload waits `timeout · 2^min(i, backoff_cap)`
+/// ticks. Determinism matters here for the same reason it does everywhere
+/// else in the stack — a retransmission schedule driven by anything but
+/// counters would break bit-identical replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArqConfig {
+    /// Ticks to wait for an ack before the first retransmission.
+    /// `0` disables retransmission entirely (fire-and-forget).
+    pub timeout: usize,
+    /// Cap on the exponential-backoff doubling exponent, so the wait never
+    /// exceeds `timeout << backoff_cap` ticks.
+    pub backoff_cap: u32,
+    /// Retransmissions allowed per payload before it is abandoned.
+    pub max_retransmits: u32,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            timeout: 0,
+            backoff_cap: 4,
+            max_retransmits: 16,
+        }
+    }
+}
+
+impl ArqConfig {
+    /// Whether retransmission is enabled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.timeout > 0
+    }
+}
+
+/// One unacked payload tracked by a [`RetransmitQueue`].
+#[derive(Debug, Clone)]
+struct PendingSend<T> {
+    seq: u64,
+    payload: T,
+    /// Retransmissions performed so far.
+    attempts: u32,
+    /// Tick at which the next retransmission is due.
+    resend_at: usize,
+}
+
+/// The sender half of an at-least-once delivery layer: tracks
+/// sequence-numbered payloads until they are acknowledged, surfacing the
+/// ones whose ack timeout (with deterministic exponential backoff, see
+/// [`ArqConfig`]) has expired so the caller can retransmit them.
+///
+/// The queue is payload-generic so the simnet frame path and tests can
+/// reuse one implementation; it never touches a clock — the caller passes
+/// the current tick into [`RetransmitQueue::track`] and
+/// [`RetransmitQueue::poll`].
+#[derive(Debug, Clone)]
+pub struct RetransmitQueue<T> {
+    config: ArqConfig,
+    pending: Vec<PendingSend<T>>,
+    abandoned: u64,
+}
+
+impl<T: Clone> RetransmitQueue<T> {
+    /// Creates an empty queue with the given ARQ parameters.
+    pub fn new(config: ArqConfig) -> Self {
+        RetransmitQueue {
+            config,
+            pending: Vec::new(),
+            abandoned: 0,
+        }
+    }
+
+    /// Starts tracking a freshly sent payload. No-op when retransmission
+    /// is disabled (`timeout == 0`).
+    pub fn track(&mut self, seq: u64, payload: T, now: usize) {
+        if !self.config.is_enabled() {
+            return;
+        }
+        self.pending.push(PendingSend {
+            seq,
+            payload,
+            attempts: 0,
+            resend_at: now + self.config.timeout,
+        });
+    }
+
+    /// Acknowledges a sequence number, dropping its pending entry.
+    /// Returns whether the entry was still tracked (a duplicate ack
+    /// returns `false`).
+    pub fn ack(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|p| p.seq == seq) {
+            Some(idx) => {
+                self.pending.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Collects every payload whose ack timeout has expired at tick `now`,
+    /// advancing its backoff schedule. Payloads past `max_retransmits`
+    /// are dropped and counted as abandoned instead of returned.
+    ///
+    /// Returned clones are in sequence order (the retransmission order the
+    /// caller should put them on the wire in).
+    pub fn poll(&mut self, now: usize) -> Vec<(u64, T)> {
+        let mut due = Vec::new();
+        let config = self.config;
+        let mut abandoned = 0u64;
+        self.pending.retain_mut(|p| {
+            if p.resend_at > now {
+                return true;
+            }
+            if p.attempts >= config.max_retransmits {
+                abandoned += 1;
+                return false;
+            }
+            p.attempts += 1;
+            let wait = config
+                .timeout
+                .saturating_mul(1usize << p.attempts.min(config.backoff_cap));
+            p.resend_at = now + wait.max(1);
+            due.push((p.seq, p.payload.clone()));
+            true
+        });
+        self.abandoned += abandoned;
+        due.sort_by_key(|&(seq, _)| seq);
+        due
+    }
+
+    /// Sequence numbers still awaiting an ack.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is awaiting an ack.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Payloads dropped after exhausting their retransmission budget.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,5 +956,56 @@ mod tests {
         );
         // And it must respect the budget.
         assert!(ada.frequency() <= budget + 0.02, "freq {}", ada.frequency());
+    }
+
+    #[test]
+    fn retransmit_queue_resends_until_acked() {
+        let mut q = RetransmitQueue::new(ArqConfig {
+            timeout: 2,
+            backoff_cap: 4,
+            max_retransmits: 16,
+        });
+        q.track(0, "a", 0);
+        q.track(1, "b", 0);
+        assert!(q.poll(1).is_empty(), "timeout has not expired at tick 1");
+        // Both expire at tick 2, in sequence order.
+        let due = q.poll(2);
+        assert_eq!(due.iter().map(|&(s, _)| s).collect::<Vec<_>>(), [0, 1]);
+        // Ack one; only the other keeps retransmitting. After one attempt
+        // the backoff doubles to 4 ticks (due again at tick 6).
+        assert!(q.ack(0));
+        assert!(!q.ack(0), "duplicate ack is reported as unknown");
+        assert!(q.poll(5).is_empty());
+        let due = q.poll(6);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].0, 1);
+        assert!(q.ack(1));
+        assert!(q.is_empty());
+        assert_eq!(q.abandoned(), 0);
+    }
+
+    #[test]
+    fn retransmit_queue_abandons_after_budget() {
+        let mut q = RetransmitQueue::new(ArqConfig {
+            timeout: 1,
+            backoff_cap: 0,
+            max_retransmits: 2,
+        });
+        q.track(7, 42u32, 0);
+        assert_eq!(q.poll(1).len(), 1);
+        assert_eq!(q.poll(3).len(), 1);
+        // Third expiry exceeds max_retransmits: dropped, not returned.
+        assert!(q.poll(10).is_empty());
+        assert!(q.is_empty());
+        assert_eq!(q.abandoned(), 1);
+    }
+
+    #[test]
+    fn retransmit_queue_disabled_tracks_nothing() {
+        let mut q = RetransmitQueue::new(ArqConfig::default());
+        assert!(!q.config.is_enabled());
+        q.track(0, (), 0);
+        assert!(q.is_empty());
+        assert!(q.poll(100).is_empty());
     }
 }

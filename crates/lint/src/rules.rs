@@ -1,12 +1,16 @@
 //! The rule engine: repo-invariant checks over the token stream.
 //!
-//! Four rule families guard the invariants the controller pipeline
+//! Five rule families guard the invariants the controller pipeline
 //! depends on (see `DESIGN.md` §9):
 //!
 //! * **panic-freedom** (`panic`) — no `unwrap`/`expect` calls and no
-//!   `panic!`/`todo!`/`unimplemented!`/`unreachable!` macros in non-test
-//!   library code. A poisoned edge case must surface as a typed error,
-//!   not tear down the always-on controller loop.
+//!   `panic!`/`unreachable!` macros in non-test library code. A poisoned
+//!   edge case must surface as a typed error, not tear down the
+//!   always-on controller loop.
+//! * **stub-freedom** (`stub`) — no `todo!`/`unimplemented!` placeholder
+//!   macros and no `dbg!` debug prints in library crates. Placeholders
+//!   are panics that ship masquerading as work-in-progress, and `dbg!`
+//!   leaks stderr noise from the hot path.
 //! * **NaN-safety** (`nan-cmp`, `float-eq`) — no
 //!   `partial_cmp(..).unwrap()/expect()` comparators (one NaN in an
 //!   argmin/sort panics or corrupts ordering; use `f64::total_cmp`) and
@@ -41,6 +45,8 @@ use crate::lexer::{Lexed, Token, TokenKind};
 pub enum Rule {
     /// Panic-freedom: no `unwrap`/`expect`/panicking macros.
     Panic,
+    /// Stub-freedom: no `todo!`/`unimplemented!`/`dbg!` in library code.
+    Stub,
     /// NaN-safety: no `partial_cmp(..).unwrap()/expect()`.
     NanCmp,
     /// NaN-safety: no raw `==`/`!=` against float literals/constants.
@@ -57,6 +63,7 @@ impl Rule {
     /// All rules, in reporting order.
     pub const ALL: &'static [Rule] = &[
         Rule::Panic,
+        Rule::Stub,
         Rule::NanCmp,
         Rule::FloatEq,
         Rule::Determinism,
@@ -68,6 +75,7 @@ impl Rule {
     pub fn id(self) -> &'static str {
         match self {
             Rule::Panic => "panic",
+            Rule::Stub => "stub",
             Rule::NanCmp => "nan-cmp",
             Rule::FloatEq => "float-eq",
             Rule::Determinism => "determinism",
@@ -79,9 +87,8 @@ impl Rule {
     /// One-line description for `--rules` output and the docs.
     pub fn summary(self) -> &'static str {
         match self {
-            Rule::Panic => {
-                "no unwrap/expect or panic!/todo!/unimplemented!/unreachable! in library code"
-            }
+            Rule::Panic => "no unwrap/expect or panic!/unreachable! in library code",
+            Rule::Stub => "no todo!/unimplemented! placeholders or dbg! prints in library code",
             Rule::NanCmp => "no partial_cmp(..).unwrap()/expect(); use f64::total_cmp",
             Rule::FloatEq => "no ==/!= against float literals or NAN/INFINITY constants",
             Rule::Determinism => {
@@ -508,7 +515,7 @@ fn scan_panic_and_nan(file: &str, tokens: &[Token], kept: &[usize], out: &mut Ve
                     });
                 }
             }
-            "panic" | "todo" | "unimplemented" | "unreachable" => {
+            "panic" | "unreachable" => {
                 if next.is_some_and(|n| n.is_punct("!")) {
                     out.push(Diagnostic {
                         file: file.to_string(),
@@ -518,6 +525,32 @@ fn scan_panic_and_nan(file: &str, tokens: &[Token], kept: &[usize], out: &mut Ve
                             "`{}!` in library code; return a typed error instead",
                             t.text
                         ),
+                    });
+                }
+            }
+            "todo" | "unimplemented" => {
+                if next.is_some_and(|n| n.is_punct("!")) {
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::Stub,
+                        message: format!(
+                            "`{}!` placeholder in library code; implement the path \
+                             or return a typed error",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "dbg" => {
+                if next.is_some_and(|n| n.is_punct("!")) {
+                    out.push(Diagnostic {
+                        file: file.to_string(),
+                        line: t.line,
+                        rule: Rule::Stub,
+                        message: "`dbg!` debug print in library code; remove it or use a \
+                                  structured diagnostic"
+                            .to_string(),
                     });
                 }
             }
@@ -675,18 +708,37 @@ mod tests {
 
     #[test]
     fn panicking_macros_fire() {
-        for m in [
-            "panic!(\"x\")",
-            "todo!()",
-            "unimplemented!()",
-            "unreachable!()",
-        ] {
+        for m in ["panic!(\"x\")", "unreachable!()"] {
             let src = format!("fn f() {{ {m}; }}");
             assert_eq!(rules_fired(&src), vec![Rule::Panic], "{m}");
         }
         // `assert!` is a documented-contract check, not a panic-freedom
         // violation.
         assert!(lint("fn f() { assert!(x > 0); assert_eq!(a, b); }").is_empty());
+    }
+
+    #[test]
+    fn stub_macros_fire_as_their_own_rule() {
+        for m in ["todo!()", "unimplemented!(\"later\")", "dbg!(x)"] {
+            let src = format!("fn f() {{ {m}; }}");
+            assert_eq!(rules_fired(&src), vec![Rule::Stub], "{m}");
+        }
+        // Identifiers that merely share the name are fine without the bang,
+        // and test code may use all three.
+        assert!(lint("fn f() { let todo = 1; let dbg = todo; work(dbg); }").is_empty());
+        assert!(lint("#[cfg(test)]\nmod t { fn f() { dbg!(todo!()); } }").is_empty());
+    }
+
+    #[test]
+    fn stub_suppression_is_rule_specific() {
+        let src = "// lint:allow(stub): scaffolding kept for the next milestone\n\
+                   fn f() { todo!(); }";
+        assert!(lint(src).is_empty());
+        // A panic marker does not cover a stub violation.
+        let src = "// lint:allow(panic): wrong rule\nfn f() { todo!(); }";
+        let fired = rules_fired(src);
+        assert!(fired.contains(&Rule::Stub));
+        assert!(fired.contains(&Rule::Suppression));
     }
 
     #[test]

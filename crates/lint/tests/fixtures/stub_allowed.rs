@@ -1,0 +1,20 @@
+//! Fixture: the same stub sites, every one suppressed with a justified
+//! allow marker — must lint clean.
+
+pub fn forecast_horizon() -> usize {
+    // lint:allow(stub): scaffolding tracked by the forecasting milestone
+    todo!()
+}
+
+pub fn merge_windows(a: usize, b: usize) -> usize {
+    if a > b {
+        unimplemented!("descending merge") // lint:allow(stub): descending inputs rejected upstream
+    } else {
+        a + b
+    }
+}
+
+pub fn trace_value(x: f64) -> f64 {
+    let doubled = dbg!(x * 2.0); // lint:allow(stub): diagnostic kept for the repro in issue 12
+    doubled
+}

@@ -1,0 +1,29 @@
+//! Fixture: stub-freedom true positives.
+//! Doc mentions of todo!() or dbg!() must NOT fire; the code below must.
+
+/// Left as `todo!()` once — this doc line is not a violation.
+pub fn forecast_horizon() -> usize {
+    todo!() // line 6: stub
+}
+
+pub fn merge_windows(a: usize, b: usize) -> usize {
+    if a > b {
+        unimplemented!("descending merge") // line 11: stub
+    } else {
+        a + b
+    }
+}
+
+pub fn trace_value(x: f64) -> f64 {
+    let doubled = dbg!(x * 2.0); // line 18: stub
+    doubled
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_stub_and_dbg() {
+        let v = dbg!(21 * 2);
+        assert_eq!(v, 42);
+    }
+}

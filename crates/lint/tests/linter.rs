@@ -59,14 +59,26 @@ fn assert_suppressed(name: &str, suppressed: usize) {
 
 #[test]
 fn panic_rule_fires_outside_tests_only() {
-    // unwrap / expect / todo! / panic! in library code; the #[cfg(test)]
-    // module and the doc-comment mention must stay silent.
+    // unwrap / expect / unreachable! / panic! in library code; the
+    // #[cfg(test)] module and the doc-comment mention must stay silent.
     assert_fires("panic_violation.rs", Rule::Panic, &[6, 11, 15, 20], 4);
 }
 
 #[test]
 fn panic_rule_respects_allow_markers() {
     assert_suppressed("panic_allowed.rs", 3);
+}
+
+#[test]
+fn stub_rule_fires_on_placeholders_and_debug_prints() {
+    // todo! / unimplemented! / dbg! in library code; the #[cfg(test)]
+    // module and the doc-comment mention must stay silent.
+    assert_fires("stub_violation.rs", Rule::Stub, &[6, 11, 18], 3);
+}
+
+#[test]
+fn stub_rule_respects_allow_markers() {
+    assert_suppressed("stub_allowed.rs", 3);
 }
 
 #[test]

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use utilcast_core::compute::ComputeOptions;
+use utilcast_core::metrics::AgeOfInformation;
 use utilcast_core::pipeline::ModelSpec;
 use utilcast_core::stage::{ForecastStage, ForecastStageConfig, StageSnapshot};
 
@@ -62,13 +63,44 @@ impl Default for ControllerConfig {
     }
 }
 
+/// Why an individual report failed ingress validation. The two classes
+/// are counted separately: [`AdmitError::Corrupt`] means the payload
+/// itself is unusable (quarantine), while [`AdmitError::Stale`] means a
+/// well-formed value arrived late or twice — expected behaviour for an
+/// at-least-once delivery layer, tallied as a duplicate rather than
+/// lumped in with corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdmitError {
+    /// Unknown node, wrong dimensionality, non-finite or out-of-range
+    /// value — the report is quarantined.
+    Corrupt,
+    /// Timestamp not newer than the node's last accepted report — a
+    /// duplicate or out-of-order delivery, dropped but not quarantined.
+    Stale,
+}
+
 /// Per-tick summary from the controller.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TickReport {
     /// Reports accepted and applied this tick.
     pub reports_applied: usize,
-    /// Reports rejected by ingress validation this tick.
+    /// Reports rejected by ingress validation this tick (corrupt payload:
+    /// unknown node, wrong dims, non-finite or out-of-range value).
     pub quarantined: usize,
+    /// Well-formed reports dropped this tick because their timestamp was
+    /// not newer than the node's last accepted report — duplicate or
+    /// out-of-order deliveries from the link/delivery layer.
+    pub duplicates: usize,
+    /// Mean staleness age across nodes at this tick: ticks since each
+    /// node's freshest admitted measurement (never-seen nodes count as
+    /// `t + 1`).
+    pub mean_age: f64,
+    /// Oldest per-node staleness age at this tick.
+    pub peak_age: usize,
+    /// Nodes whose stored value was masked (imputed with the fresh-node
+    /// mean) this tick because their age exceeded
+    /// [`ComputeOptions::staleness_age_limit`].
+    pub masked: usize,
     /// Intermediate RMSE of the stored values against their centroids.
     pub intermediate_rmse: f64,
     /// Whether any model (re)trained.
@@ -76,6 +108,38 @@ pub struct TickReport {
     /// Degrade-path sample-and-hold fits that failed this tick (see
     /// [`ForecastStage::fallback_fit_failures`]).
     pub fallback_fit_failures: u64,
+}
+
+/// Per-source frame-sequence dedup state: the next sequence number not
+/// yet admitted plus the sorted set of admitted numbers ahead of it
+/// (frames can arrive out of order, so admission is not contiguous).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct SourceDedup {
+    /// Lowest sequence number not yet admitted from this source.
+    next: u64,
+    /// Admitted sequence numbers above `next`, kept sorted.
+    seen_ahead: Vec<u64>,
+}
+
+impl SourceDedup {
+    /// Admits a sequence number exactly once: `true` the first time it is
+    /// seen, `false` for every redelivery.
+    fn admit(&mut self, seq: u64) -> bool {
+        if seq < self.next {
+            return false;
+        }
+        match self.seen_ahead.binary_search(&seq) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.seen_ahead.insert(pos, seq);
+                while self.seen_ahead.first() == Some(&self.next) {
+                    self.seen_ahead.remove(0);
+                    self.next += 1;
+                }
+                true
+            }
+        }
+    }
 }
 
 /// Serializable checkpoint of the full controller state: the stale store,
@@ -93,6 +157,18 @@ pub struct ControllerSnapshot {
     pub ticks: usize,
     /// Reports quarantined so far.
     pub quarantined: u64,
+    /// Duplicate / out-of-order reports dropped so far.
+    pub duplicates: u64,
+    /// Whole frames rejected by sequence-number dedup so far.
+    pub duplicate_frames: u64,
+    /// Sequence-numbered frames admitted exactly once so far.
+    pub frames_admitted: u64,
+    /// Per-source frame-sequence dedup state.
+    frame_seen: Vec<SourceDedup>,
+    /// Accumulated staleness-age statistics.
+    pub age: AgeOfInformation,
+    /// Stored-node steps masked by the staleness limit so far.
+    pub masked_node_steps: u64,
     /// Newest accepted report timestamp per node.
     pub last_seen: Vec<Option<usize>>,
     /// The forecast-stage checkpoint.
@@ -106,8 +182,24 @@ pub struct Controller {
     stored: Vec<f64>,
     stage: ForecastStage,
     ticks: usize,
-    /// Reports rejected at ingress so far.
+    /// Reports rejected at ingress so far (corrupt payloads).
     quarantined: u64,
+    /// Duplicate / out-of-order reports dropped so far.
+    duplicates: u64,
+    /// Whole frames rejected by sequence-number dedup so far.
+    duplicate_frames: u64,
+    /// Sequence-numbered frames admitted exactly once so far.
+    frames_admitted: u64,
+    /// Per-source frame-sequence dedup state, grown lazily as sources
+    /// appear.
+    frame_seen: Vec<SourceDedup>,
+    /// Accumulated staleness-age statistics.
+    age: AgeOfInformation,
+    /// Stored-node steps masked by the staleness limit so far.
+    masked_node_steps: u64,
+    /// Recycled buffer for the masked copy of the store fed to the stage
+    /// when staleness masking is active.
+    stage_input: Vec<f64>,
     /// Newest accepted report timestamp per node, for duplicate and
     /// out-of-order rejection.
     last_seen: Vec<Option<usize>>,
@@ -161,6 +253,13 @@ impl Controller {
             stage,
             ticks: 0,
             quarantined: 0,
+            duplicates: 0,
+            duplicate_frames: 0,
+            frames_admitted: 0,
+            frame_seen: Vec::new(),
+            age: AgeOfInformation::new(),
+            masked_node_steps: 0,
+            stage_input: Vec::new(),
             last_seen: vec![None; config.num_nodes],
             config,
         })
@@ -181,6 +280,31 @@ impl Controller {
         self.quarantined
     }
 
+    /// Total duplicate / out-of-order reports dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Total whole frames rejected by sequence-number dedup so far.
+    pub fn duplicate_frames(&self) -> u64 {
+        self.duplicate_frames
+    }
+
+    /// Total sequence-numbered frames admitted (exactly once each) so far.
+    pub fn frames_admitted(&self) -> u64 {
+        self.frames_admitted
+    }
+
+    /// Accumulated staleness-age statistics over all ticks.
+    pub fn age(&self) -> &AgeOfInformation {
+        &self.age
+    }
+
+    /// Total stored-node steps masked by the staleness limit so far.
+    pub fn masked_node_steps(&self) -> u64 {
+        self.masked_node_steps
+    }
+
     /// Total forecaster fallback activations so far (see
     /// [`ForecastStage::model_fallbacks`]).
     pub fn model_fallbacks(&self) -> u64 {
@@ -198,39 +322,108 @@ impl Controller {
     /// by the per-report ([`Controller::tick`]) and frame
     /// ([`Controller::tick_frame`]) ingest paths, so the two quarantine
     /// behaviours cannot drift apart.
-    fn admit_values(&self, node: usize, t: usize, values: &[f64]) -> Result<f64, &'static str> {
+    fn admit_values(&self, node: usize, t: usize, values: &[f64]) -> Result<f64, AdmitError> {
         if node >= self.stored.len() {
-            return Err("unknown node id");
+            return Err(AdmitError::Corrupt); // unknown node id
         }
         if values.len() != 1 {
-            return Err("wrong payload dimensionality");
+            return Err(AdmitError::Corrupt); // wrong payload dimensionality
         }
         let v = values[0];
         if !v.is_finite() {
-            return Err("non-finite value");
+            return Err(AdmitError::Corrupt);
         }
         let (lo, hi) = self.config.value_bounds;
         if v < lo || v > hi {
-            return Err("value out of range");
+            return Err(AdmitError::Corrupt); // value out of range
         }
         if let Some(latest) = self.last_seen[node] {
             if t <= latest {
-                return Err("duplicate or out-of-order report");
+                return Err(AdmitError::Stale); // duplicate or out-of-order
             }
         }
         Ok(v)
     }
 
-    /// Shared tail of both ingest paths: count the tick's quarantine
-    /// total, advance the clock, and run the clustering + model-update
-    /// stage over the stored values.
-    fn finish_tick(&mut self, applied: usize, quarantined: usize) -> Result<TickReport, SimError> {
+    /// Per-node staleness age at tick `now`: ticks since the freshest
+    /// admitted measurement, with never-seen nodes aged `now + 1`.
+    fn node_age(&self, node: usize, now: usize) -> usize {
+        match self.last_seen[node] {
+            Some(latest) => now.saturating_sub(latest),
+            None => now + 1,
+        }
+    }
+
+    /// Shared tail of both ingest paths: count the tick's rejects, track
+    /// staleness ages, advance the clock, and run the clustering +
+    /// model-update stage — over the raw store, or over a masked copy
+    /// when a staleness limit is configured and some node exceeds it.
+    fn finish_tick(
+        &mut self,
+        applied: usize,
+        quarantined: usize,
+        duplicates: usize,
+    ) -> Result<TickReport, SimError> {
         self.quarantined += quarantined as u64;
+        self.duplicates += duplicates as u64;
+        let now = self.ticks;
         self.ticks += 1;
-        let report = self.stage.step(&self.stored).map_err(SimError::Core)?;
+
+        // Staleness-age statistics (AoI): how old each node's stored
+        // value is at the moment the stage consumes it.
+        let n = self.stored.len();
+        let mut age_sum = 0usize;
+        let mut peak_age = 0usize;
+        for node in 0..n {
+            let age = self.node_age(node, now);
+            age_sum += age;
+            peak_age = peak_age.max(age);
+        }
+        let mean_age = age_sum as f64 / n as f64;
+        self.age.add_tick(mean_age, peak_age);
+
+        // Graceful degradation: when a staleness limit is set, nodes aged
+        // past it are masked — their stored value is replaced by the mean
+        // of the fresh nodes before clustering/retraining, so stale state
+        // cannot drag centroids or model fits. With the limit at 0
+        // (default) the stage consumes the raw store, byte-for-byte the
+        // seed behaviour.
+        let limit = self.config.compute.staleness_age_limit;
+        let mut masked = 0usize;
+        let report = if limit > 0 && peak_age > limit {
+            let mut fresh_sum = 0.0f64;
+            let mut fresh_count = 0usize;
+            for node in 0..n {
+                if self.node_age(node, now) <= limit {
+                    fresh_sum += self.stored[node];
+                    fresh_count += 1;
+                }
+            }
+            self.stage_input.clear();
+            self.stage_input.extend_from_slice(&self.stored);
+            // With every node stale there is nothing to impute from, so
+            // the store passes through unmasked.
+            if fresh_count > 0 {
+                let fresh_mean = fresh_sum / fresh_count as f64;
+                for node in 0..n {
+                    if self.node_age(node, now) > limit {
+                        self.stage_input[node] = fresh_mean;
+                        masked += 1;
+                    }
+                }
+            }
+            self.masked_node_steps += masked as u64;
+            self.stage.step(&self.stage_input).map_err(SimError::Core)?
+        } else {
+            self.stage.step(&self.stored).map_err(SimError::Core)?
+        };
         Ok(TickReport {
             reports_applied: applied,
             quarantined,
+            duplicates,
+            mean_age,
+            peak_age,
+            masked,
             intermediate_rmse: report.intermediate_rmse,
             retrained: report.retrained,
             fallback_fit_failures: report.fallback_fit_failures,
@@ -255,6 +448,7 @@ impl Controller {
         reports.sort_by_key(|r| (r.node, r.t));
         let mut applied = 0usize;
         let mut quarantined = 0usize;
+        let mut duplicates = 0usize;
         for r in reports {
             match self.admit_values(r.node, r.t, &r.values) {
                 Ok(v) => {
@@ -262,10 +456,46 @@ impl Controller {
                     self.last_seen[r.node] = Some(r.t);
                     applied += 1;
                 }
-                Err(_) => quarantined += 1,
+                Err(AdmitError::Corrupt) => quarantined += 1,
+                Err(AdmitError::Stale) => duplicates += 1,
             }
         }
-        self.finish_tick(applied, quarantined)
+        self.finish_tick(applied, quarantined, duplicates)
+    }
+
+    /// Applies one frame's entries into the store (after frame-level
+    /// dedup), updating the per-tick counters. Shared by
+    /// [`Controller::tick_frame`] and [`Controller::tick_frames`].
+    fn ingest_frame(
+        &mut self,
+        frame: &ReportFrame,
+        applied: &mut usize,
+        quarantined: &mut usize,
+        duplicates: &mut usize,
+    ) {
+        if let Some(seq) = frame.seq() {
+            let source = frame.source();
+            if self.frame_seen.len() <= source {
+                self.frame_seen
+                    .resize_with(source + 1, SourceDedup::default);
+            }
+            if !self.frame_seen[source].admit(seq) {
+                self.duplicate_frames += 1;
+                return;
+            }
+            self.frames_admitted += 1;
+        }
+        for e in frame.iter() {
+            match self.admit_values(e.node, e.t, e.values) {
+                Ok(v) => {
+                    self.stored[e.node] = v;
+                    self.last_seen[e.node] = Some(e.t);
+                    *applied += 1;
+                }
+                Err(AdmitError::Corrupt) => *quarantined += 1,
+                Err(AdmitError::Stale) => *duplicates += 1,
+            }
+        }
     }
 
     /// [`Controller::tick`] over a flat [`ReportFrame`]: applies each
@@ -274,33 +504,50 @@ impl Controller {
     ///
     /// Every frame entry runs the exact ingress validation of the
     /// per-report path (same quarantine semantics, including intra-frame
-    /// duplicates). The caller must push entries in ascending node order —
-    /// which the drivers' shard sweep produces naturally, and which equals
-    /// the `(node, t)` sort order [`Controller::tick`] establishes since a
+    /// duplicates). On the healthy direct path the drivers' shard sweep
+    /// pushes entries in ascending node order — which equals the
+    /// `(node, t)` sort order [`Controller::tick`] establishes since a
     /// frame carries a single tick — so both paths apply reports in the
-    /// same order and stay bit-identical.
+    /// same order and stay bit-identical. Under a degraded link no
+    /// ordering is assumed: corrupted node ids and redelivered frames are
+    /// handled by validation and sequence dedup instead.
+    ///
+    /// Frames carrying a delivery-layer sequence number
+    /// ([`ReportFrame::seq`]) are deduplicated per source before any entry
+    /// is applied: a redelivered sequence number drops the whole frame
+    /// (counted in [`Controller::duplicate_frames`]), giving exactly-once
+    /// admission on top of at-least-once delivery.
     ///
     /// # Errors
     ///
     /// Propagates clustering errors.
     pub fn tick_frame(&mut self, frame: &ReportFrame) -> Result<TickReport, SimError> {
-        debug_assert!(
-            frame.nodes().windows(2).all(|w| w[0] <= w[1]),
-            "frame entries must arrive in ascending node order"
-        );
         let mut applied = 0usize;
         let mut quarantined = 0usize;
-        for e in frame.iter() {
-            match self.admit_values(e.node, e.t, e.values) {
-                Ok(v) => {
-                    self.stored[e.node] = v;
-                    self.last_seen[e.node] = Some(e.t);
-                    applied += 1;
-                }
-                Err(_) => quarantined += 1,
-            }
+        let mut duplicates = 0usize;
+        self.ingest_frame(frame, &mut applied, &mut quarantined, &mut duplicates);
+        self.finish_tick(applied, quarantined, duplicates)
+    }
+
+    /// One tick over a batch of delivered frames — the delivery-plane
+    /// ingest entry point. Under a degraded link a single tick can
+    /// deliver zero frames (all in flight or lost) or several (delayed
+    /// originals, retransmissions, duplicates), so the controller accepts
+    /// a slice: each frame passes sequence dedup and per-entry validation
+    /// in delivery order, then the clustering + model-update stage runs
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates clustering errors.
+    pub fn tick_frames(&mut self, frames: &[ReportFrame]) -> Result<TickReport, SimError> {
+        let mut applied = 0usize;
+        let mut quarantined = 0usize;
+        let mut duplicates = 0usize;
+        for frame in frames {
+            self.ingest_frame(frame, &mut applied, &mut quarantined, &mut duplicates);
         }
-        self.finish_tick(applied, quarantined)
+        self.finish_tick(applied, quarantined, duplicates)
     }
 
     /// Captures the complete controller state for checkpointing. The
@@ -311,6 +558,12 @@ impl Controller {
             stored: self.stored.clone(),
             ticks: self.ticks,
             quarantined: self.quarantined,
+            duplicates: self.duplicates,
+            duplicate_frames: self.duplicate_frames,
+            frames_admitted: self.frames_admitted,
+            frame_seen: self.frame_seen.clone(),
+            age: self.age,
+            masked_node_steps: self.masked_node_steps,
             last_seen: self.last_seen.clone(),
             stage: self.stage.snapshot(),
         }
@@ -339,6 +592,12 @@ impl Controller {
         controller.stored = snapshot.stored;
         controller.ticks = snapshot.ticks;
         controller.quarantined = snapshot.quarantined;
+        controller.duplicates = snapshot.duplicates;
+        controller.duplicate_frames = snapshot.duplicate_frames;
+        controller.frames_admitted = snapshot.frames_admitted;
+        controller.frame_seen = snapshot.frame_seen;
+        controller.age = snapshot.age;
+        controller.masked_node_steps = snapshot.masked_node_steps;
         controller.last_seen = snapshot.last_seen;
         Ok(controller)
     }
@@ -446,18 +705,101 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_and_stale_reports_are_quarantined() {
+    fn duplicate_and_stale_reports_are_dropped_not_quarantined() {
         let mut c = Controller::new(quick_config(2, 1)).unwrap();
-        // Two reports for node 0 with the same timestamp: one survives.
+        // Two reports for node 0 with the same timestamp: one survives;
+        // the redelivery counts as a duplicate, not corruption.
         let r = c.tick(vec![report(0, 0, 0.3), report(0, 0, 0.3)]).unwrap();
-        assert_eq!((r.reports_applied, r.quarantined), (1, 1));
+        assert_eq!((r.reports_applied, r.quarantined, r.duplicates), (1, 0, 1));
         // A replayed older timestamp is rejected, a newer one accepted.
         let r = c.tick(vec![report(0, 0, 0.9)]).unwrap();
-        assert_eq!((r.reports_applied, r.quarantined), (0, 1));
+        assert_eq!((r.reports_applied, r.quarantined, r.duplicates), (0, 0, 1));
         assert_eq!(c.stored()[0], 0.3);
         let r = c.tick(vec![report(0, 5, 0.6)]).unwrap();
-        assert_eq!((r.reports_applied, r.quarantined), (1, 0));
+        assert_eq!((r.reports_applied, r.quarantined, r.duplicates), (1, 0, 0));
         assert_eq!(c.stored()[0], 0.6);
+        assert_eq!(c.duplicates(), 2);
+        assert_eq!(c.quarantined(), 0);
+    }
+
+    #[test]
+    fn staleness_age_is_tracked_per_tick() {
+        let mut c = Controller::new(quick_config(2, 1)).unwrap();
+        // Tick 0: both nodes report -> ages 0.
+        let r = c.tick(vec![report(0, 0, 0.3), report(1, 0, 0.4)]).unwrap();
+        assert_eq!((r.mean_age, r.peak_age), (0.0, 0));
+        // Tick 1: only node 0 reports -> node 1 is one tick old.
+        let r = c.tick(vec![report(0, 1, 0.5)]).unwrap();
+        assert_eq!((r.mean_age, r.peak_age), (0.5, 1));
+        // Tick 2: silence -> ages 1 and 2.
+        let r = c.tick(vec![]).unwrap();
+        assert_eq!((r.mean_age, r.peak_age), (1.5, 2));
+        assert_eq!(c.age().peak(), 2);
+        assert!((c.age().mean() - (0.0 + 0.5 + 1.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_nodes_are_masked_past_the_age_limit() {
+        let mut config = quick_config(3, 1);
+        config.compute.staleness_age_limit = 2;
+        let mut c = Controller::new(config).unwrap();
+        // All three report at tick 0, then node 2 goes silent.
+        c.tick(vec![
+            report(0, 0, 0.2),
+            report(1, 0, 0.4),
+            report(2, 0, 0.9),
+        ])
+        .unwrap();
+        let mut masked_ticks = 0usize;
+        for t in 1..=4 {
+            let r = c.tick(vec![report(0, t, 0.2), report(1, t, 0.4)]).unwrap();
+            if r.masked > 0 {
+                masked_ticks += 1;
+                assert_eq!(r.masked, 1, "only node 2 is stale");
+            }
+        }
+        // Node 2's age passes the limit of 2 at ticks 3 and 4.
+        assert_eq!(masked_ticks, 2);
+        assert_eq!(c.masked_node_steps(), 2);
+        // Masking feeds the stage an imputed copy; the store itself keeps
+        // the stale value for when the node comes back.
+        assert_eq!(c.stored()[2], 0.9);
+    }
+
+    #[test]
+    fn sequence_numbered_frames_are_admitted_exactly_once() {
+        let mut c = Controller::new(quick_config(2, 1)).unwrap();
+        let mut frame = ReportFrame::new(1);
+        frame.reset(0);
+        frame.push_scalar(0, 0.3);
+        frame.push_scalar(1, 0.7);
+        frame.set_source(0);
+        frame.set_seq(0);
+        // Original plus an immediate redelivery in the same tick.
+        let r = c.tick_frames(&[frame.clone(), frame.clone()]).unwrap();
+        assert_eq!((r.reports_applied, r.duplicates), (2, 0));
+        assert_eq!(c.duplicate_frames(), 1);
+        assert_eq!(c.frames_admitted(), 1);
+        // A late redelivery on a later tick is also rejected wholesale.
+        let r = c.tick_frames(&[frame.clone()]).unwrap();
+        assert_eq!((r.reports_applied, r.quarantined, r.duplicates), (0, 0, 0));
+        assert_eq!(c.duplicate_frames(), 2);
+        // Out-of-order admission: seq 3 before seq 1 and 2, all fresh.
+        for (seq, t) in [(3u64, 1usize), (1, 2), (2, 3)] {
+            frame.reset(t);
+            frame.push_scalar(0, 0.5);
+            frame.set_seq(seq);
+            let r = c.tick_frames(&[frame.clone()]).unwrap();
+            assert_eq!(r.reports_applied, 1, "seq {seq} should admit");
+        }
+        assert_eq!(c.frames_admitted(), 4);
+        // Redelivering any of them after the window compacts still fails.
+        frame.reset(9);
+        frame.push_scalar(0, 0.5);
+        frame.set_seq(2);
+        let r = c.tick_frames(&[frame.clone()]).unwrap();
+        assert_eq!(r.reports_applied, 0);
+        assert_eq!(c.duplicate_frames(), 3);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig};
 use utilcast_datasets::{Resource, Trace};
 
 use crate::controller::{Controller, ControllerConfig, ControllerSnapshot};
+use crate::link::{LinkModel, LinkPlan};
 use crate::sim::{SimConfig, SimReport};
 use crate::transport::Report;
 use crate::SimError;
@@ -70,6 +71,12 @@ pub struct FaultPlan {
     pub checkpoint_every: usize,
     /// RNG seed for fault sampling.
     pub seed: u64,
+    /// Degraded-link model applied to reports that survive the legacy
+    /// loss/partition/corruption stages: latency, jitter, duplication,
+    /// reordering, bounded capacity, and its own loss and corruption (see
+    /// [`LinkPlan`]). A perfect plan bypasses the link entirely and keeps
+    /// the run bit-identical to earlier versions.
+    pub link: LinkPlan,
 }
 
 impl Default for FaultPlan {
@@ -83,6 +90,7 @@ impl Default for FaultPlan {
             partitions: Vec::new(),
             checkpoint_every: 0,
             seed: 0,
+            link: LinkPlan::perfect(),
         }
     }
 }
@@ -99,10 +107,12 @@ impl FaultPlan {
             partitions: Vec::new(),
             checkpoint_every: 0,
             seed: 0,
+            link: LinkPlan::perfect(),
         }
     }
 
     fn validate(&self) -> Result<(), SimError> {
+        self.link.validate()?;
         for (name, v) in [
             ("crash_prob", self.crash_prob),
             ("restart_prob", self.restart_prob),
@@ -196,6 +206,7 @@ pub fn run_with_faults(
         retrain_every: config.retrain_every,
         model: config.model.clone(),
         seed: config.seed,
+        compute: config.compute,
         ..Default::default()
     })?;
     let mut transmitters: Vec<AdaptiveTransmitter> = (0..n)
@@ -208,6 +219,12 @@ pub fn run_with_faults(
         })
         .collect();
     let mut rng = StdRng::seed_from_u64(plan.seed);
+    // Degraded channel between the nodes and the controller. Reports that
+    // survive the legacy loss/partition/corruption stages travel through
+    // it one at a time; a perfect plan keeps the channel out of the path
+    // entirely (and consumes no randomness).
+    let mut link: Option<LinkModel<Report>> =
+        (!plan.link.is_perfect()).then(|| LinkModel::new(plan.link, 0));
     let mut up = vec![true; n];
     let mut staleness = TimeAveragedRmse::new();
     let mut intermediate = TimeAveragedRmse::new();
@@ -280,10 +297,24 @@ pub fn run_with_faults(
                         corrupt(&mut r, variant, n);
                         corrupted_reports += 1;
                     }
-                    delivered_bytes += r.wire_bytes();
-                    delivered += 1;
-                    reports.push(r);
+                    match &mut link {
+                        Some(link) => link.send(r, t, n),
+                        None => {
+                            delivered_bytes += r.wire_bytes();
+                            delivered += 1;
+                            reports.push(r);
+                        }
+                    }
                 }
+            }
+        }
+        // Drain the channel: bandwidth is metered at delivery, so lost
+        // payloads cost nothing and duplicated payloads cost twice.
+        if let Some(link) = &mut link {
+            for r in link.collect(t) {
+                delivered_bytes += r.wire_bytes();
+                delivered += 1;
+                reports.push(r);
             }
         }
         let tick = controller.tick(reports)?;
@@ -305,6 +336,11 @@ pub fn run_with_faults(
             quarantined: controller.quarantined(),
             model_fallbacks: controller.model_fallbacks(),
             fallback_fit_failures: controller.fallback_fit_failures(),
+            duplicates: controller.duplicates(),
+            mean_age: controller.age().mean(),
+            peak_age: controller.age().peak(),
+            masked_node_steps: controller.masked_node_steps(),
+            link: link.as_ref().map(|l| *l.summary()).unwrap_or_default(),
         },
         down_node_steps,
         lost_reports,

@@ -21,7 +21,12 @@
 //! threaded driver supervises its workers and respawns them after panics
 //! ([`threaded::run_threaded_supervised`]), and [`faults`] injects node
 //! crashes, message loss, partitions, corruption, and controller crashes
-//! to quantify how gracefully accuracy degrades.
+//! to quantify how gracefully accuracy degrades. The [`link`] module
+//! models degraded channels — loss, latency/jitter, duplication,
+//! reordering, bounded capacity — and layers sequence-numbered,
+//! ack/retransmit frame delivery on top (at-least-once delivery,
+//! exactly-once admission), while the controller tracks per-node
+//! staleness age and can mask nodes aged past a configurable limit.
 //!
 //! # Example
 //!
@@ -45,6 +50,7 @@
 pub mod controller;
 mod error;
 pub mod faults;
+pub mod link;
 pub mod sim;
 pub mod threaded;
 pub mod transport;

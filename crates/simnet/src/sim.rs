@@ -8,6 +8,7 @@ use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBa
 use utilcast_datasets::{Resource, Trace};
 
 use crate::controller::{Controller, ControllerConfig};
+use crate::link::{DeliveryOptions, DeliveryPlane, LinkModel, LinkSummary};
 use crate::transport::{IngestMode, Meter, Report, ReportFrame};
 use crate::SimError;
 
@@ -41,6 +42,11 @@ pub struct SimConfig {
     /// [`IngestMode::Frame`] path is bit-identical to the per-report
     /// reference path but allocation-free at steady state.
     pub ingest: IngestMode,
+    /// Link degradation + at-least-once delivery layer between the nodes
+    /// and the controller (see [`DeliveryOptions`]). The default is fully
+    /// passthrough: the drivers skip the layer entirely and run the seed
+    /// fast path bit-identically.
+    pub delivery: DeliveryOptions,
 }
 
 impl Default for SimConfig {
@@ -58,6 +64,7 @@ impl Default for SimConfig {
             seed: 0,
             compute: ComputeOptions::default(),
             ingest: IngestMode::default(),
+            delivery: DeliveryOptions::default(),
         }
     }
 }
@@ -86,6 +93,19 @@ pub struct SimReport {
     /// means some cluster kept a broken primary model and held its last
     /// observation.
     pub fallback_fit_failures: u64,
+    /// Well-formed reports dropped as duplicate / out-of-order deliveries
+    /// (at-least-once redeliveries caught by per-node timestamps).
+    pub duplicates: u64,
+    /// Mean over ticks of the mean per-node staleness age (ticks since
+    /// each node's freshest admitted measurement).
+    pub mean_age: f64,
+    /// Oldest per-node staleness age observed on any tick.
+    pub peak_age: usize,
+    /// Node-steps masked out of clustering/retraining because their age
+    /// exceeded the configured staleness limit.
+    pub masked_node_steps: u64,
+    /// Link-plane accounting (all zeros on the passthrough fast path).
+    pub link: LinkSummary,
 }
 
 /// The deterministic single-threaded driver.
@@ -114,6 +134,14 @@ impl Simulation {
         if config.k == 0 {
             return Err(SimError::InvalidConfig {
                 reason: "k must be positive".into(),
+            });
+        }
+        config.delivery.validate()?;
+        if config.delivery.arq.is_enabled() && config.ingest == IngestMode::Reports {
+            return Err(SimError::InvalidConfig {
+                reason: "ARQ retransmission requires frame ingest \
+                         (sequence numbers live on ReportFrame)"
+                    .into(),
             });
         }
         Ok(Simulation {
@@ -153,11 +181,21 @@ impl Simulation {
         let mut staleness = TimeAveragedRmse::new();
         let mut intermediate = TimeAveragedRmse::new();
         let mut sent: u64 = 0;
+        let mut link_summary = LinkSummary::default();
+        // The delivery layer only engages when configured to degrade
+        // something; otherwise the seed fast path below runs verbatim, so
+        // healthy runs stay bit-identical and pay nothing.
+        let delivery_active = !self.config.delivery.is_passthrough();
         match self.config.ingest {
             IngestMode::Reports => {
                 let mut transmitters: Vec<AdaptiveTransmitter> = (0..n)
                     .map(|_| AdaptiveTransmitter::new(tx_config))
                     .collect();
+                // In report mode the whole tick's report batch crosses the
+                // link as one payload with one corruption draw per report —
+                // the same per-entry stream a frame of equal size consumes.
+                let mut link = delivery_active
+                    .then(|| LinkModel::<Vec<Report>>::new(self.config.delivery.link, 0));
                 for t in 0..steps {
                     let x = trace.snapshot(resource, t)?;
                     let mut reports = Vec::new();
@@ -176,18 +214,41 @@ impl Simulation {
                         }
                     }
                     sent += reports.len() as u64;
-                    for r in &reports {
-                        meter.record(r);
-                    }
-                    let tick = controller.tick(reports)?;
+                    let tick = match &mut link {
+                        None => {
+                            for r in &reports {
+                                meter.record(r);
+                            }
+                            controller.tick(reports)?
+                        }
+                        Some(link) => {
+                            link.send(reports, t, n);
+                            let mut arrived: Vec<Report> = Vec::new();
+                            for batch in link.collect(t) {
+                                arrived.extend(batch);
+                            }
+                            // Bandwidth is counted at delivery: lost
+                            // batches cost nothing, duplicates cost twice.
+                            for r in &arrived {
+                                meter.record(r);
+                            }
+                            controller.tick(arrived)?
+                        }
+                    };
                     staleness.add(rmse_step_scalar(controller.stored(), &x));
                     intermediate.add(tick.intermediate_rmse);
+                }
+                if let Some(link) = &link {
+                    link_summary = *link.summary();
                 }
             }
             IngestMode::Frame => {
                 let mut bank = TransmitterBank::new(tx_config, n);
                 let mut decisions = Vec::with_capacity(n);
                 let mut frame = ReportFrame::with_capacity(1, n);
+                let mut plane =
+                    delivery_active.then(|| DeliveryPlane::new(1, &self.config.delivery));
+                let mut inbox: Vec<ReportFrame> = Vec::new();
                 for t in 0..steps {
                     let x = trace.snapshot(resource, t)?;
                     let zs: &[f64] = if t == 0 { &x } else { controller.stored() };
@@ -199,10 +260,30 @@ impl Simulation {
                         }
                     }
                     sent += frame.len() as u64;
-                    meter.record_frame(&frame);
-                    let tick = controller.tick_frame(&frame)?;
+                    let tick = match &mut plane {
+                        None => {
+                            meter.record_frame(&frame);
+                            controller.tick_frame(&frame)?
+                        }
+                        Some(plane) => {
+                            plane.submit(0, t, Some(&frame), n);
+                            plane.collect_into(t, &mut inbox);
+                            // Bandwidth is counted at delivery; every
+                            // delivered frame (retransmissions and
+                            // duplicates included) costs wire bytes.
+                            for f in &inbox {
+                                meter.record_frame(f);
+                            }
+                            let tick = controller.tick_frames(&inbox)?;
+                            plane.ack_delivered(&inbox, t);
+                            tick
+                        }
+                    };
                     staleness.add(rmse_step_scalar(controller.stored(), &x));
                     intermediate.add(tick.intermediate_rmse);
+                }
+                if let Some(plane) = &plane {
+                    link_summary = plane.summary();
                 }
             }
         }
@@ -216,6 +297,11 @@ impl Simulation {
             quarantined: controller.quarantined(),
             model_fallbacks: controller.model_fallbacks(),
             fallback_fit_failures: controller.fallback_fit_failures(),
+            duplicates: controller.duplicates(),
+            mean_age: controller.age().mean(),
+            peak_age: controller.age().peak(),
+            masked_node_steps: controller.masked_node_steps(),
+            link: link_summary,
         })
     }
 }
@@ -274,6 +360,99 @@ mod tests {
         .run(&trace, Resource::Cpu)
         .unwrap();
         assert_eq!(framed, per_report);
+    }
+
+    #[test]
+    fn forced_delivery_plane_with_perfect_links_is_bit_identical() {
+        // Enabling ARQ forces every frame through the delivery plane
+        // (sequence numbers, tracking, acks) even though the links are
+        // perfect — the layer must change nothing but its own accounting.
+        use crate::link::LinkSummary;
+        use utilcast_core::transmit::ArqConfig;
+        let trace = small_trace();
+        let seed = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        let planed = Simulation::new(SimConfig {
+            delivery: crate::link::DeliveryOptions {
+                arq: ArqConfig {
+                    timeout: 4,
+                    backoff_cap: 3,
+                    max_retransmits: 8,
+                },
+                ..crate::link::DeliveryOptions::none()
+            },
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        assert_eq!(
+            planed.link.sent, 150,
+            "one frame per tick crossed the plane"
+        );
+        assert_eq!(planed.link.delivered, 150);
+        assert_eq!(planed.link.retransmits, 0, "perfect links never time out");
+        assert_eq!(planed.link.acks_sent, 150);
+        // Identical in every field except the plane's own accounting.
+        let neutral = SimReport {
+            link: LinkSummary::default(),
+            ..planed
+        };
+        assert_eq!(neutral, seed);
+    }
+
+    #[test]
+    fn lossy_delayed_links_degrade_but_complete() {
+        use crate::link::{DeliveryOptions, LinkPlan};
+        use utilcast_core::transmit::ArqConfig;
+        let trace = small_trace();
+        let seed = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        let lossy = Simulation::new(SimConfig {
+            delivery: DeliveryOptions {
+                link: LinkPlan {
+                    loss_prob: 0.3,
+                    delay_ticks: 1,
+                    jitter_ticks: 2,
+                    dup_prob: 0.1,
+                    reorder_prob: 0.1,
+                    seed: 23,
+                    ..LinkPlan::perfect()
+                },
+                ack_link: LinkPlan {
+                    loss_prob: 0.2,
+                    seed: 29,
+                    ..LinkPlan::perfect()
+                },
+                arq: ArqConfig {
+                    timeout: 3,
+                    backoff_cap: 3,
+                    max_retransmits: 10,
+                },
+            },
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        assert_eq!(lossy.steps, 150);
+        assert!(lossy.link.lost > 0, "30% loss must drop frames");
+        assert!(lossy.link.retransmits > 0, "loss must force retransmits");
+        assert!(
+            lossy.link.delivered > 0 && lossy.staleness_rmse.is_finite(),
+            "run must complete with finite metrics"
+        );
+        assert!(
+            lossy.staleness_rmse > seed.staleness_rmse,
+            "degraded links must cost accuracy: {} vs {}",
+            lossy.staleness_rmse,
+            seed.staleness_rmse
+        );
+        assert!(lossy.mean_age > seed.mean_age);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBa
 use utilcast_datasets::{Resource, Trace};
 
 use crate::controller::{Controller, ControllerConfig, ControllerSnapshot};
+use crate::link::{DeliveryPlane, LinkModel, LinkSummary};
 use crate::sim::{SimConfig, SimReport};
 use crate::transport::{IngestMode, Meter, Report, ReportFrame};
 use crate::SimError;
@@ -302,6 +303,14 @@ pub fn run_threaded_supervised(
             reason: format!("budget must be within (0, 1], got {}", config.budget),
         });
     }
+    config.delivery.validate()?;
+    if config.delivery.arq.is_enabled() && config.ingest == IngestMode::Reports {
+        return Err(SimError::InvalidConfig {
+            reason: "ARQ retransmission requires frame ingest \
+                     (sequence numbers live on ReportFrame)"
+                .into(),
+        });
+    }
     let n = trace.num_nodes();
     let steps = trace.num_steps();
     let shards = shards.min(n);
@@ -318,6 +327,17 @@ pub fn run_threaded_supervised(
         ..Default::default()
     })?;
     let meter = Meter::new();
+    // When the delivery layer is active, bandwidth is accounted at
+    // delivery by the supervisor (lost traffic costs nothing, duplicates
+    // cost twice); the workers then meter into a detached scratch meter
+    // whose totals are discarded. On the passthrough fast path the
+    // workers meter the real counters directly, exactly as before.
+    let delivery_active = !config.delivery.is_passthrough();
+    let worker_meter = if delivery_active {
+        Meter::new()
+    } else {
+        meter.clone()
+    };
     let tx_config = TransmitConfig {
         budget: config.budget,
         v0: config.v0,
@@ -333,7 +353,7 @@ pub fn run_threaded_supervised(
     let spawn = |(lo, hi): (usize, usize), panic_at: Option<usize>| -> ShardLink {
         let (in_tx, in_rx) = channel::unbounded::<WorkerMsg>();
         let (out_tx, out_rx) = channel::unbounded::<ShardBatch>();
-        let meter = meter.clone();
+        let meter = worker_meter.clone();
         let handle = thread::spawn(move || {
             worker_loop(lo, hi, mode, tx_config, meter, in_rx, out_tx, panic_at)
         });
@@ -369,6 +389,21 @@ pub fn run_threaded_supervised(
         .map(|_| (mode == IngestMode::Frame).then(|| ReportFrame::new(1)))
         .collect();
     let mut merged = ReportFrame::with_capacity(1, if mode == IngestMode::Frame { n } else { 0 });
+
+    // Delivery plane (frame mode) / per-shard link models (report mode).
+    // Each shard keeps its own seeded RNG stream, so results are
+    // independent of shard interleaving and match the reference driver.
+    let mut plane = (delivery_active && mode == IngestMode::Frame)
+        .then(|| DeliveryPlane::new(shards, &config.delivery));
+    let mut report_links: Vec<LinkModel<Vec<Report>>> =
+        if delivery_active && mode == IngestMode::Reports {
+            (0..shards)
+                .map(|s| LinkModel::new(config.delivery.link, s))
+                .collect()
+        } else {
+            Vec::new()
+        };
+    let mut inbox: Vec<ReportFrame> = Vec::new();
 
     let mut staleness = TimeAveragedRmse::new();
     let mut intermediate = TimeAveragedRmse::new();
@@ -408,15 +443,28 @@ pub fn run_threaded_supervised(
                     match links[s].out_rx.recv() {
                         Ok(ShardBatch::Reports(mut reports)) => {
                             sent += reports.len() as u64;
-                            tick_reports.append(&mut reports);
+                            if delivery_active {
+                                // The whole tick batch travels as one link
+                                // payload (same granularity as a frame), so
+                                // the RNG stream matches frame mode for the
+                                // same plan.
+                                report_links[s].send(reports, t, n);
+                            } else {
+                                tick_reports.append(&mut reports);
+                            }
                             break;
                         }
                         Ok(ShardBatch::Frame(frame)) => {
                             sent += frame.len() as u64;
-                            // Shards merge in ascending shard order, so the
-                            // merged frame is in ascending node order — the
-                            // same order `Controller::tick` sorts into.
-                            merged.extend_from(&frame);
+                            if let Some(plane) = &mut plane {
+                                plane.submit(s, t, Some(&frame), n);
+                            } else {
+                                // Shards merge in ascending shard order, so
+                                // the merged frame is in ascending node order
+                                // — the same order `Controller::tick` sorts
+                                // into.
+                                merged.extend_from(&frame);
+                            }
                             shard_bufs[s] = Some(frame);
                             break;
                         }
@@ -449,8 +497,33 @@ pub fn run_threaded_supervised(
             }
         }
         let tick = match mode {
-            IngestMode::Reports => controller.tick(tick_reports)?,
-            IngestMode::Frame => controller.tick_frame(&merged)?,
+            IngestMode::Reports => {
+                if delivery_active {
+                    for link in &mut report_links {
+                        for batch in link.collect(t) {
+                            // Bandwidth is metered at delivery: lost batches
+                            // cost nothing, duplicated batches cost twice.
+                            for r in &batch {
+                                meter.record(r);
+                            }
+                            tick_reports.extend(batch);
+                        }
+                    }
+                }
+                controller.tick(tick_reports)?
+            }
+            IngestMode::Frame => match &mut plane {
+                None => controller.tick_frame(&merged)?,
+                Some(plane) => {
+                    plane.collect_into(t, &mut inbox);
+                    for f in &inbox {
+                        meter.record_frame(f);
+                    }
+                    let tick = controller.tick_frames(&inbox)?;
+                    plane.ack_delivered(&inbox, t);
+                    tick
+                }
+            },
         };
         staleness.add(rmse_step_scalar(controller.stored(), &x));
         intermediate.add(tick.intermediate_rmse);
@@ -467,6 +540,13 @@ pub fn run_threaded_supervised(
             let _ = handle.join();
         }
     }
+    let mut link_summary = LinkSummary::default();
+    if let Some(plane) = &plane {
+        link_summary = plane.summary();
+    }
+    for link in &report_links {
+        link_summary.merge(link.summary());
+    }
     Ok(SimReport {
         steps,
         messages: meter.messages(),
@@ -477,6 +557,11 @@ pub fn run_threaded_supervised(
         quarantined: controller.quarantined(),
         model_fallbacks: controller.model_fallbacks(),
         fallback_fit_failures: controller.fallback_fit_failures(),
+        duplicates: controller.duplicates(),
+        mean_age: controller.age().mean(),
+        peak_age: controller.age().peak(),
+        masked_node_steps: controller.masked_node_steps(),
+        link: link_summary,
     })
 }
 
@@ -563,6 +648,89 @@ mod tests {
         )
         .unwrap();
         assert_eq!(supervised, reference);
+    }
+
+    #[test]
+    fn forced_delivery_plane_matches_seed_across_shards() {
+        // Perfect links + ARQ force every frame through the delivery plane
+        // in the threaded driver too; the run must stay bit-identical to
+        // the plain threaded run (which itself matches the reference) in
+        // every field except the plane's own accounting.
+        use crate::link::DeliveryOptions;
+        use utilcast_core::transmit::ArqConfig;
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
+        let seed = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        let planed_config = SimConfig {
+            delivery: DeliveryOptions {
+                arq: ArqConfig {
+                    timeout: 4,
+                    backoff_cap: 3,
+                    max_retransmits: 8,
+                },
+                ..DeliveryOptions::none()
+            },
+            ..quick_config()
+        };
+        for shards in [1, 3, 7] {
+            let planed = run_threaded(&planed_config, &trace, Resource::Cpu, shards).unwrap();
+            assert_eq!(planed.link.retransmits, 0, "perfect links never time out");
+            assert!(planed.link.sent >= 120, "at least one frame per tick");
+            assert_eq!(planed.link.sent, planed.link.delivered);
+            let neutral = SimReport {
+                link: LinkSummary::default(),
+                ..planed
+            };
+            assert_eq!(neutral, seed, "{shards} shards diverged under the plane");
+        }
+    }
+
+    #[test]
+    fn lossy_links_in_threaded_driver_match_reference_driver() {
+        // A degraded plan is still fully deterministic: per-shard RNG
+        // streams derive from (seed, shard), so the threaded driver with
+        // the same shard count as the reference's plane must agree with
+        // itself run-to-run and complete with sane metrics.
+        use crate::link::{DeliveryOptions, LinkPlan};
+        use utilcast_core::transmit::ArqConfig;
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
+        let config = SimConfig {
+            delivery: DeliveryOptions {
+                link: LinkPlan {
+                    loss_prob: 0.2,
+                    delay_ticks: 1,
+                    jitter_ticks: 2,
+                    dup_prob: 0.05,
+                    reorder_prob: 0.1,
+                    seed: 77,
+                    ..LinkPlan::perfect()
+                },
+                arq: ArqConfig {
+                    timeout: 6,
+                    backoff_cap: 3,
+                    max_retransmits: 10,
+                },
+                ..DeliveryOptions::none()
+            },
+            ..quick_config()
+        };
+        let a = run_threaded(&config, &trace, Resource::Cpu, 4).unwrap();
+        let b = run_threaded(&config, &trace, Resource::Cpu, 4).unwrap();
+        assert_eq!(a, b, "lossy threaded run must be reproducible");
+        assert!(a.link.lost > 0, "0.2 loss never fired");
+        assert!(a.link.retransmits > 0, "loss must trigger retransmission");
+        assert!(a.staleness_rmse.is_finite());
+        assert_eq!(a.steps, 120);
     }
 
     #[test]

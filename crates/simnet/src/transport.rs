@@ -84,6 +84,14 @@ pub struct ReportFrame {
     width: usize,
     nodes: Vec<usize>,
     values: Vec<f64>,
+    /// Delivery-layer sequence number, assigned by the sending edge when
+    /// the at-least-once delivery plane is active; `None` on the classic
+    /// direct path (and on the wire-parity fast path, where frames never
+    /// need dedup).
+    seq: Option<u64>,
+    /// Index of the sending shard (the delivery plane's retransmission
+    /// and ack state is per source).
+    source: usize,
 }
 
 impl ReportFrame {
@@ -99,6 +107,8 @@ impl ReportFrame {
             width,
             nodes: Vec::new(),
             values: Vec::new(),
+            seq: None,
+            source: 0,
         }
     }
 
@@ -114,15 +124,21 @@ impl ReportFrame {
             width,
             nodes: Vec::with_capacity(entries),
             values: Vec::with_capacity(entries * width),
+            seq: None,
+            source: 0,
         }
     }
 
     /// Clears the frame for tick `t`, keeping the buffer capacity — this
-    /// is the recycling entry point drivers call once per tick.
+    /// is the recycling entry point drivers call once per tick. The
+    /// delivery-layer sequence number is cleared (a recycled buffer is a
+    /// new logical frame); the source shard index is kept, since a buffer
+    /// is recycled within one shard.
     pub fn reset(&mut self, t: usize) {
         self.t = t;
         self.nodes.clear();
         self.values.clear();
+        self.seq = None;
     }
 
     /// Appends one scalar report (the paper's per-resource mode).
@@ -171,6 +187,38 @@ impl ReportFrame {
     /// The tick this frame belongs to.
     pub fn t(&self) -> usize {
         self.t
+    }
+
+    /// The delivery-layer sequence number, if one has been assigned.
+    pub fn seq(&self) -> Option<u64> {
+        self.seq
+    }
+
+    /// Assigns the delivery-layer sequence number.
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = Some(seq);
+    }
+
+    /// The sending shard index (meaningful only under the delivery plane).
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// Sets the sending shard index.
+    pub fn set_source(&mut self, source: usize) {
+        self.source = source;
+    }
+
+    /// Mutable view of the node ids — crate-internal, used by the link
+    /// model's deterministic corruption injector.
+    pub(crate) fn nodes_mut(&mut self) -> &mut [usize] {
+        &mut self.nodes
+    }
+
+    /// Mutable view of the payload buffer — crate-internal, used by the
+    /// link model's deterministic corruption injector.
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
     }
 
     /// Payload values per entry.

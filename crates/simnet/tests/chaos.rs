@@ -5,11 +5,18 @@
 //! respawn) demonstrably active, and accuracy degrading by a bounded
 //! factor rather than collapsing.
 
+use proptest::prelude::*;
+use std::collections::HashSet;
+use utilcast_core::compute::ComputeOptions;
 use utilcast_core::pipeline::ModelSpec;
+use utilcast_core::transmit::ArqConfig;
 use utilcast_datasets::{presets, Resource, Trace};
+use utilcast_simnet::controller::{Controller, ControllerConfig};
 use utilcast_simnet::faults::{run_with_faults, FaultPlan, PartitionWindow};
-use utilcast_simnet::sim::SimConfig;
+use utilcast_simnet::link::{DeliveryOptions, DeliveryPlane, LinkPlan};
+use utilcast_simnet::sim::{SimConfig, Simulation};
 use utilcast_simnet::threaded::{run_threaded, run_threaded_supervised, SupervisorOptions};
+use utilcast_simnet::transport::ReportFrame;
 use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
 
 fn chaos_trace() -> Trace {
@@ -62,6 +69,7 @@ fn everything_plan() -> FaultPlan {
         }],
         checkpoint_every: 25,
         seed: 42,
+        ..FaultPlan::none()
     }
 }
 
@@ -145,6 +153,161 @@ fn crash_at_checkpoint_boundary_replays_bit_identically() {
     )
     .unwrap();
     assert_eq!(recovered, reference);
+}
+
+#[test]
+fn lossy_links_mask_stale_nodes_and_still_complete() {
+    // Heavy loss plus a staleness age limit: nodes fall behind, the
+    // controller masks them out of the clustering stage instead of letting
+    // ancient values distort it, and the run still finishes with bounded
+    // error and a nonzero information age.
+    let trace = chaos_trace();
+    let config = SimConfig {
+        compute: ComputeOptions {
+            staleness_age_limit: 3,
+            ..Default::default()
+        },
+        delivery: DeliveryOptions {
+            link: LinkPlan {
+                loss_prob: 0.4,
+                delay_ticks: 1,
+                jitter_ticks: 2,
+                seed: 31,
+                ..LinkPlan::perfect()
+            },
+            ..DeliveryOptions::none()
+        },
+        ..chaos_config()
+    };
+    let report = Simulation::new(config.clone())
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+    assert_eq!(report.steps, 200);
+    assert!(report.link.lost > 0, "0.4 loss never fired");
+    assert!(report.mean_age > 0.0, "loss must raise the information age");
+    assert!(report.peak_age >= 3);
+    assert!(
+        report.masked_node_steps > 0,
+        "an age limit of 3 under 40% loss must mask some node-steps"
+    );
+    assert!(report.staleness_rmse.is_finite() && report.staleness_rmse < 0.5);
+    // The threaded driver completes under the same degraded plan.
+    let threaded = run_threaded(&config, &trace, Resource::Cpu, 4).unwrap();
+    assert_eq!(threaded.steps, 200);
+    assert!(threaded.masked_node_steps > 0);
+}
+
+/// Builds the controller used by the exactly-once admission property: a
+/// handful of nodes, warmup far beyond the horizon so every tick stays in
+/// the cheap pre-forecast regime.
+fn admission_controller(num_nodes: usize) -> Controller {
+    Controller::new(ControllerConfig {
+        num_nodes,
+        k: 2,
+        warmup: 1_000_000,
+        retrain_every: 1_000_000,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+proptest! {
+    /// **Exactly-once admission under loss + delay + reorder + duplication.**
+    /// Frames cross a degraded forward link with ARQ retransmission and a
+    /// perfect ack link; however many copies of each frame the controller
+    /// receives, and in whatever order, each sequence number is admitted at
+    /// most once, every surplus copy is counted as a duplicate frame, and —
+    /// whenever no frame exhausted its retransmission budget — every
+    /// submitted frame is admitted eventually (at-least-once delivery).
+    #[test]
+    fn sequence_admission_is_exactly_once_under_chaos(
+        loss in 0.0f64..0.6,
+        dup in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+        delay in 0usize..3,
+        jitter in 0usize..3,
+        seed in 0u64..1_000,
+        ticks in 5usize..20,
+    ) {
+        let n = 4;
+        let options = DeliveryOptions {
+            link: LinkPlan {
+                loss_prob: loss,
+                dup_prob: dup,
+                reorder_prob: reorder,
+                delay_ticks: delay,
+                jitter_ticks: jitter,
+                seed,
+                ..LinkPlan::perfect()
+            },
+            ack_link: LinkPlan::perfect(),
+            arq: ArqConfig {
+                timeout: 4,
+                backoff_cap: 2,
+                max_retransmits: 32,
+            },
+        };
+        let mut plane = DeliveryPlane::new(1, &options);
+        let mut controller = admission_controller(n);
+        let mut inbox: Vec<ReportFrame> = Vec::new();
+        let mut frame = ReportFrame::new(1);
+        let mut distinct: HashSet<u64> = HashSet::new();
+        let mut delivered_frames: u64 = 0;
+
+        let mut ingest = |plane: &mut DeliveryPlane,
+                          controller: &mut Controller,
+                          inbox: &mut Vec<ReportFrame>,
+                          t: usize|
+         -> Result<(), TestCaseError> {
+            plane.collect_into(t, inbox);
+            for f in inbox.iter() {
+                delivered_frames += 1;
+                distinct.insert(f.seq().ok_or_else(|| {
+                    TestCaseError::fail("delivered frame lost its sequence number")
+                })?);
+            }
+            controller.tick_frames(inbox).map_err(|e| {
+                TestCaseError::fail(format!("controller rejected a tick: {e}"))
+            })?;
+            plane.ack_delivered(inbox, t);
+            Ok(())
+        };
+
+        for t in 0..ticks {
+            frame.reset(t);
+            for node in 0..n {
+                frame.push_scalar(node, 0.25 + 0.1 * node as f64);
+            }
+            plane.submit(0, t, Some(&frame), n);
+            ingest(&mut plane, &mut controller, &mut inbox, t)?;
+        }
+        // Drain: keep the clock running (acks, retransmissions, late
+        // arrivals) until the plane settles or the bound proves it never
+        // will. 32 retransmits at a backoff capped at 16 ticks settle well
+        // inside this horizon.
+        let mut t = ticks;
+        while !plane.is_idle() && t < ticks + 1_000 {
+            plane.submit(0, t, None, n);
+            ingest(&mut plane, &mut controller, &mut inbox, t)?;
+            t += 1;
+        }
+        prop_assert!(plane.is_idle(), "plane never settled within the drain bound");
+
+        let summary = plane.summary();
+        // Exactly-once admission: one admission per distinct sequence, and
+        // every surplus copy accounted as a duplicate frame.
+        prop_assert_eq!(controller.frames_admitted(), distinct.len() as u64);
+        prop_assert_eq!(
+            controller.duplicate_frames(),
+            delivered_frames - distinct.len() as u64
+        );
+        // At-least-once delivery: unless a frame ran out its retransmission
+        // budget, everything submitted was eventually admitted.
+        if summary.abandoned == 0 {
+            prop_assert_eq!(controller.frames_admitted(), ticks as u64);
+        }
+    }
 }
 
 #[test]

@@ -199,6 +199,67 @@ fn frame_ingest_bit_identical_to_report_ingest_at_any_shard_count() {
     }
 }
 
+/// Under injected in-flight corruption, the frame and per-report ingest
+/// paths stay bit-identical — same quarantine and duplicate counters, same
+/// link accounting — at shard counts 1, 2, and 8. This holds because the
+/// link draws corruption **per payload entry**: a frame with E entries and
+/// a report batch with E entries consume the same RNG stream, and each
+/// shard's stream derives from `(plan seed, shard)` alone.
+#[test]
+fn corrupt_link_frame_ingest_bit_identical_to_report_ingest() {
+    use utilcast_simnet::link::{DeliveryOptions, LinkPlan};
+    let trace = trace();
+    let corrupt_config = |ingest: IngestMode| SimConfig {
+        delivery: DeliveryOptions {
+            link: LinkPlan {
+                corrupt_prob: 0.25,
+                seed: 23,
+                ..LinkPlan::perfect()
+            },
+            ..DeliveryOptions::none()
+        },
+        ..config_with_ingest(ingest)
+    };
+    let report_path = Simulation::new(corrupt_config(IngestMode::Reports))
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+    let frame_path = Simulation::new(corrupt_config(IngestMode::Frame))
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+    assert!(
+        report_path.quarantined > 0,
+        "0.25 corruption never fired in 200 ticks"
+    );
+    assert_eq!(report_path.link.corrupted, report_path.quarantined);
+    assert_eq!(
+        frame_path, report_path,
+        "single-threaded frame path diverged under corruption"
+    );
+    for shards in [1, 2, 8] {
+        let threaded_frame = run_threaded(
+            &corrupt_config(IngestMode::Frame),
+            &trace,
+            Resource::Cpu,
+            shards,
+        )
+        .unwrap();
+        let threaded_reports = run_threaded(
+            &corrupt_config(IngestMode::Reports),
+            &trace,
+            Resource::Cpu,
+            shards,
+        )
+        .unwrap();
+        assert!(threaded_frame.quarantined > 0);
+        assert_eq!(
+            threaded_frame, threaded_reports,
+            "frame vs report ingest diverged under corruption at {shards} shards"
+        );
+    }
+}
+
 const PROP_NODES: usize = 6;
 
 fn arb_tick_reports() -> impl Strategy<Value = Vec<(usize, f64)>> {

@@ -1,0 +1,118 @@
+//! Link-loss ablation: how accuracy and information age degrade as the
+//! delivery link drops a growing fraction of frames, with and without ARQ
+//! retransmission, and what a staleness age limit buys on top.
+//!
+//! Sweeps the loss rate over the same trace and reports staleness RMSE,
+//! mean/peak age of information, and the delivery plane's accounting. The
+//! sweep is written to `lossy_links.json` (in `UTILCAST_BENCH_DIR`,
+//! default the working directory).
+//!
+//! Run with: `cargo run --release --example lossy_links`
+
+use serde::Serialize;
+use utilcast::core::compute::ComputeOptions;
+use utilcast::core::transmit::ArqConfig;
+use utilcast::datasets::{presets, Resource};
+use utilcast::simnet::link::{DeliveryOptions, LinkPlan};
+use utilcast::simnet::sim::{SimConfig, SimReport, Simulation};
+
+/// One sweep point: a loss rate under one delivery configuration.
+#[derive(Serialize)]
+struct SweepRow {
+    loss: f64,
+    arq: bool,
+    age_limit: usize,
+    report: SimReport,
+}
+
+fn config_for(loss: f64, arq: bool, age_limit: usize) -> SimConfig {
+    SimConfig {
+        k: 3,
+        warmup: 60,
+        retrain_every: 60,
+        compute: ComputeOptions {
+            staleness_age_limit: age_limit,
+            ..Default::default()
+        },
+        delivery: DeliveryOptions {
+            link: LinkPlan {
+                loss_prob: loss,
+                delay_ticks: 1,
+                jitter_ticks: 1,
+                seed: 41,
+                ..LinkPlan::perfect()
+            },
+            arq: if arq {
+                ArqConfig {
+                    timeout: 4,
+                    backoff_cap: 3,
+                    max_retransmits: 8,
+                }
+            } else {
+                ArqConfig::default()
+            },
+            ..DeliveryOptions::none()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = presets::google_like()
+        .nodes(40)
+        .steps(400)
+        .seed(12)
+        .generate();
+
+    println!("40 nodes x 400 steps: staleness RMSE and age of information");
+    println!("as the link drops frames (delay 1 tick + 1 tick jitter)\n");
+    println!(
+        "{:>5} {:>5} {:>7} {:>10} {:>9} {:>9} {:>7} {:>8} {:>7}",
+        "loss", "arq", "age-lim", "staleness", "mean-age", "peak-age", "masked", "retrans", "lost"
+    );
+
+    let mut rows = Vec::new();
+    for &(arq, age_limit) in &[(false, 0), (true, 0), (true, 8)] {
+        for loss in [0.0, 0.1, 0.2, 0.4, 0.6] {
+            let config = config_for(loss, arq, age_limit);
+            let report = Simulation::new(config)?.run(&trace, Resource::Cpu)?;
+            println!(
+                "{:>5.2} {:>5} {:>7} {:>10.4} {:>9.2} {:>9} {:>7} {:>8} {:>7}",
+                loss,
+                arq,
+                age_limit,
+                report.staleness_rmse,
+                report.mean_age,
+                report.peak_age,
+                report.masked_node_steps,
+                report.link.retransmits,
+                report.link.lost
+            );
+            rows.push(SweepRow {
+                loss,
+                arq,
+                age_limit,
+                report,
+            });
+        }
+        println!();
+    }
+
+    println!("ARQ holds the mean age near the no-loss floor until the loss");
+    println!("rate overwhelms the retransmission budget; the age limit then");
+    println!("caps how long a silent node can distort the clustering stage.");
+
+    let dir = std::env::var("UTILCAST_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let path = format!("{dir}/lossy_links.json");
+    match serde_json::to_string_pretty(&rows) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                println!("(wrote {path})");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize sweep: {e}"),
+    }
+    Ok(())
+}

@@ -37,6 +37,9 @@ UTILCAST_STEPS="$FC_RETRAINS" cargo run --release -p utilcast-bench --bin foreca
 echo "==> ingest_report (writes BENCH_ingest.json, ${INGEST_TICKS} ticks/pass)"
 UTILCAST_STEPS="$INGEST_TICKS" cargo run --release -p utilcast-bench --bin ingest_report
 
+echo "==> faults_smoke (lossy completion + perfect-link bitwise identity)"
+cargo run --release -p utilcast-bench --bin faults_smoke
+
 echo "Benchmarks complete. Speedup summary:"
 grep -E '"(baseline|optimized)_tick_micros"|"speedup"' BENCH_controller.json
 grep -E '"speedup"|"(mean|max)_micros"' BENCH_forecast.json
