@@ -30,6 +30,12 @@ pub enum ClusteringError {
         /// What was wrong with the initializer.
         reason: String,
     },
+    /// A per-point weight vector does not match the points or contains
+    /// unusable values (non-finite, negative, or summing to zero).
+    InvalidWeights {
+        /// What was wrong with the weights.
+        reason: String,
+    },
     /// An assignment vector contains a cluster label outside `[0, k)`.
     MalformedAssignment {
         /// Index of the offending node.
@@ -67,6 +73,9 @@ impl fmt::Display for ClusteringError {
             }
             ClusteringError::InvalidInit { reason } => {
                 write!(f, "invalid warm-start initializer: {reason}")
+            }
+            ClusteringError::InvalidWeights { reason } => {
+                write!(f, "invalid point weights: {reason}")
             }
             ClusteringError::MalformedAssignment { index, label, k } => {
                 write!(

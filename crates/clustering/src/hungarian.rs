@@ -63,6 +63,69 @@ pub fn max_weight_matching(weights: &Matrix) -> Matching {
     }
 }
 
+/// [`max_weight_matching`] over a possibly rectangular or empty weight
+/// matrix: the matrix is zero-padded to square before matching, so every
+/// real row still receives exactly one column. Rows beyond the real column
+/// count land on padded zero-weight columns (`assignment[row] >= ncols`),
+/// which callers read as "no historical counterpart" — a fresh label.
+/// An empty matrix yields an empty matching.
+///
+/// The hierarchical controller needs this: shards can report different
+/// cluster counts across steps (cluster death/birth) or none at all
+/// (empty shard), so the similarity matrix fed to re-indexing is not
+/// guaranteed square or non-empty the way the single-level path's is.
+/// Square inputs delegate to [`max_weight_matching`] unchanged.
+///
+/// # Example
+///
+/// ```
+/// use utilcast_linalg::Matrix;
+/// use utilcast_clustering::hungarian::max_weight_matching_padded;
+///
+/// // 3 new clusters matched against 2 historical ones: one row must take
+/// // a fresh label (column index >= 2).
+/// let w = Matrix::from_rows(&[&[9.0, 1.0], &[1.0, 9.0], &[2.0, 2.0]]);
+/// let m = max_weight_matching_padded(&w);
+/// assert_eq!(m.assignment[..2], [0, 1]);
+/// assert!(m.assignment[2] >= 2);
+/// assert_eq!(m.total_weight, 18.0);
+/// ```
+pub fn max_weight_matching_padded(weights: &Matrix) -> Matching {
+    let rows = weights.nrows();
+    let cols = weights.ncols();
+    if rows == 0 || cols == 0 {
+        return Matching {
+            assignment: Vec::new(),
+            total_weight: 0.0,
+        };
+    }
+    if rows == cols {
+        return max_weight_matching(weights);
+    }
+    let n = rows.max(cols);
+    let mut padded = Matrix::zeros(n, n);
+    for r in 0..rows {
+        for c in 0..cols {
+            padded[(r, c)] = weights[(r, c)];
+        }
+    }
+    let matched = max_weight_matching(&padded);
+    // Keep only the real rows; their columns may point past the real
+    // column count (a padded, zero-weight column = a fresh label), so the
+    // total re-sums real cells only.
+    let assignment: Vec<usize> = matched.assignment[..rows].to_vec();
+    let total_weight = assignment
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c < cols)
+        .map(|(r, &c)| weights[(r, c)])
+        .sum();
+    Matching {
+        assignment,
+        total_weight,
+    }
+}
+
 /// Finds the one-to-one row→column assignment minimizing total cost.
 ///
 /// This is the classic `O(n³)` Hungarian algorithm with row/column
@@ -303,5 +366,76 @@ mod tests {
     #[should_panic(expected = "square")]
     fn rejects_non_square() {
         let _ = max_weight_matching(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn padded_square_input_matches_unpadded() {
+        let w = Matrix::from_rows(&[&[3.0, 7.0, 2.0], &[4.0, 1.0, 8.0], &[6.0, 5.0, 9.0]]);
+        assert_eq!(max_weight_matching_padded(&w), max_weight_matching(&w));
+    }
+
+    #[test]
+    fn padded_handles_cluster_birth() {
+        // More new clusters (rows) than historical labels (cols): every
+        // row is matched, the extra row takes a fresh padded label, and
+        // the real rows keep the obvious diagonal.
+        let w = Matrix::from_rows(&[&[9.0, 1.0], &[1.0, 9.0], &[0.5, 0.5]]);
+        let m = max_weight_matching_padded(&w);
+        assert_eq!(m.assignment.len(), 3);
+        assert_is_permutation(&m.assignment);
+        assert_eq!(m.assignment[0], 0);
+        assert_eq!(m.assignment[1], 1);
+        assert_eq!(m.assignment[2], 2, "extra cluster takes the fresh label");
+        assert_eq!(m.total_weight, 18.0);
+    }
+
+    #[test]
+    fn padded_handles_cluster_death() {
+        // Fewer new clusters (rows) than historical labels (cols): each
+        // row still gets the best historical column; the leftover column
+        // simply goes unmatched.
+        let w = Matrix::from_rows(&[&[1.0, 8.0, 2.0], &[7.0, 1.0, 3.0]]);
+        let m = max_weight_matching_padded(&w);
+        assert_eq!(m.assignment, vec![1, 0]);
+        assert_eq!(m.total_weight, 15.0);
+    }
+
+    #[test]
+    fn padded_empty_matrix_yields_empty_matching() {
+        // An empty shard contributes no clusters at all; the matcher must
+        // degrade to an empty matching, not panic like the strict API.
+        for (r, c) in [(0, 0), (0, 3), (3, 0)] {
+            let m = max_weight_matching_padded(&Matrix::zeros(r, c));
+            assert!(m.assignment.is_empty(), "{r}x{c} must match nothing");
+            assert_eq!(m.total_weight, 0.0);
+        }
+    }
+
+    #[test]
+    fn padded_all_identical_weights_is_deterministic() {
+        // All-identical similarities (e.g. every shard reporting the same
+        // centroid): any permutation is optimal, so the only requirements
+        // are a valid permutation and run-to-run determinism.
+        for (r, c) in [(4, 4), (3, 5), (5, 3)] {
+            let mut w = Matrix::zeros(r, c);
+            for i in 0..r {
+                for j in 0..c {
+                    w[(i, j)] = 2.5;
+                }
+            }
+            let first = max_weight_matching_padded(&w);
+            assert_eq!(first.assignment.len(), r);
+            // Columns must be distinct (one-to-one), drawn from the padded
+            // label space [0, max(r, c)).
+            let mut seen = vec![false; r.max(c)];
+            for &col in &first.assignment {
+                assert!(col < r.max(c));
+                assert!(!seen[col], "column {col} used twice");
+                seen[col] = true;
+            }
+            for _ in 0..3 {
+                assert_eq!(max_weight_matching_padded(&w), first, "{r}x{c} wobbled");
+            }
+        }
     }
 }

@@ -1060,6 +1060,304 @@ fn plus_plus_seed(flat: &[f64], n: usize, dim: usize, k: usize, rng: &mut StdRng
     centroids
 }
 
+/// Validates a weighted flat point buffer: non-empty, `k >= 1`, a
+/// consistent `dim`, one finite non-negative weight per point, and at
+/// least some positive total mass. Returns the point count.
+fn validate_weighted(
+    flat: &[f64],
+    dim: usize,
+    weights: &[f64],
+    k: usize,
+) -> Result<usize, ClusteringError> {
+    if flat.is_empty() {
+        return Err(ClusteringError::EmptyInput);
+    }
+    if k == 0 {
+        return Err(ClusteringError::ZeroClusters);
+    }
+    if dim == 0 || !flat.len().is_multiple_of(dim) {
+        return Err(ClusteringError::DimensionMismatch {
+            expected: dim,
+            index: flat.len().checked_div(dim).unwrap_or(0),
+            found: flat.len().checked_rem(dim).unwrap_or(0),
+        });
+    }
+    let n = flat.len() / dim;
+    if weights.len() != n {
+        return Err(ClusteringError::InvalidWeights {
+            reason: format!("{} weights supplied for {n} points", weights.len()),
+        });
+    }
+    if let Some((i, &w)) = weights
+        .iter()
+        .enumerate()
+        .find(|&(_, &w)| !w.is_finite() || w < 0.0)
+    {
+        return Err(ClusteringError::InvalidWeights {
+            reason: format!("weight {w} at point {i} is not finite and non-negative"),
+        });
+    }
+    if weights.iter().sum::<f64>() <= 0.0 {
+        return Err(ClusteringError::InvalidWeights {
+            reason: "total weight must be positive".into(),
+        });
+    }
+    Ok(n)
+}
+
+/// Deterministic weighted farthest-point ("maxmin") seeding: the first
+/// centroid is the heaviest point, each subsequent one the point with the
+/// largest weight-scaled squared distance to its nearest chosen centroid.
+/// No RNG — the hierarchical merge step must be a pure function of its
+/// inputs, and at merge scale (shards × K points) maxmin seeding is both
+/// cheap and well-spread. Ties keep the lowest index (`total_cmp` argmax
+/// with strict improvement).
+fn weighted_maxmin_seed(flat: &[f64], n: usize, dim: usize, weights: &[f64], k: usize) -> Vec<f64> {
+    let pt = |i: usize| &flat[i * dim..(i + 1) * dim];
+    let mut centroids = Vec::with_capacity(k * dim);
+    let mut first = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.total_cmp(&weights[first]) == std::cmp::Ordering::Greater {
+            first = i;
+        }
+    }
+    centroids.extend_from_slice(pt(first));
+    let mut dists: Vec<f64> = (0..n).map(|i| sq_dist(pt(i), pt(first))).collect();
+    for _ in 1..k {
+        let mut next = 0usize;
+        let mut best = f64::NEG_INFINITY;
+        for (i, &d) in dists.iter().enumerate() {
+            let scaled = weights[i] * d;
+            if scaled.total_cmp(&best) == std::cmp::Ordering::Greater {
+                best = scaled;
+                next = i;
+            }
+        }
+        centroids.extend_from_slice(pt(next));
+        for (i, d) in dists.iter_mut().enumerate() {
+            let nd = sq_dist(pt(i), pt(next));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Weighted Lloyd descent: assignment ignores weights (nearest centroid),
+/// the update step computes mass-weighted means `Σ wᵢxᵢ / Σ wᵢ`, and the
+/// inertia is `Σ wᵢ‖xᵢ − c_{aᵢ}‖²`. Sequential by design — the merge
+/// problem is tiny (shards × K points) — and mirrors [`KMeans::lloyd_flat`]'s
+/// structure: partition fixed-point stop, farthest-point reseed of
+/// weightless clusters, movement tolerance, final assignment pass.
+#[allow(clippy::too_many_arguments)]
+fn lloyd_weighted(
+    flat: &[f64],
+    n: usize,
+    dim: usize,
+    weights: &[f64],
+    mut centroids: Vec<f64>,
+    k: usize,
+    max_iters: usize,
+    tol: f64,
+) -> KMeansResult {
+    let pt = |i: usize| &flat[i * dim..(i + 1) * dim];
+    let mut assignments = vec![0usize; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut sums = vec![0.0f64; k * dim];
+    let mut mass = vec![0.0f64; k];
+    let mut iterations = 0;
+    let mut converged = false;
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        for (i, a) in assignments.iter_mut().enumerate() {
+            let p = pt(i);
+            let mut best = 0usize;
+            let mut best_d = sq_dist(p, &centroids[..dim]);
+            for (c, centroid) in centroids.chunks_exact(dim).enumerate().skip(1) {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best = c;
+                    best_d = d;
+                }
+            }
+            *a = best;
+        }
+        // Partition fixed point: the weighted means recompute identically,
+        // so nothing can move — stop without the no-op update.
+        if iter > 0 && assignments == prev {
+            converged = true;
+            break;
+        }
+        prev.copy_from_slice(&assignments);
+        sums.fill(0.0);
+        mass.fill(0.0);
+        for (i, &a) in assignments.iter().enumerate() {
+            let w = weights[i];
+            mass[a] += w;
+            for (s, &v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(pt(i)) {
+                *s += w * v;
+            }
+        }
+        let mut movement: f64 = 0.0;
+        for c in 0..k {
+            if mass[c] <= 0.0 {
+                // Empty (or all-weightless) cluster: re-seed at the point
+                // with the largest weighted distance to its assigned
+                // centroid, keeping the argmax deterministic via
+                // `total_cmp`.
+                let Some(far) = (0..n).max_by(|&i, &j| {
+                    let di = weights[i] * sq_dist(pt(i), &centroids[assignments[i] * dim..][..dim]);
+                    let dj = weights[j] * sq_dist(pt(j), &centroids[assignments[j] * dim..][..dim]);
+                    di.total_cmp(&dj)
+                }) else {
+                    continue; // n == 0 cannot reach here (validated)
+                };
+                movement += sq_dist(&centroids[c * dim..(c + 1) * dim], pt(far));
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(pt(far));
+                continue;
+            }
+            let mut delta = 0.0;
+            for (coord, s) in centroids[c * dim..(c + 1) * dim]
+                .iter_mut()
+                .zip(&sums[c * dim..(c + 1) * dim])
+            {
+                let new = s / mass[c];
+                delta += (*coord - new) * (*coord - new);
+                *coord = new;
+            }
+            movement += delta;
+        }
+        if movement <= tol {
+            break;
+        }
+    }
+    if !converged {
+        for (i, a) in assignments.iter_mut().enumerate() {
+            let p = pt(i);
+            let mut best = 0usize;
+            let mut best_d = sq_dist(p, &centroids[..dim]);
+            for (c, centroid) in centroids.chunks_exact(dim).enumerate().skip(1) {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best = c;
+                    best_d = d;
+                }
+            }
+            *a = best;
+        }
+    }
+    let mut inertia = 0.0;
+    for (i, &a) in assignments.iter().enumerate() {
+        inertia += weights[i] * sq_dist(pt(i), &centroids[a * dim..(a + 1) * dim]);
+    }
+    KMeansResult {
+        assignments,
+        centroids: unflatten(&centroids, k, dim),
+        inertia,
+        iterations,
+    }
+}
+
+/// Weighted k-means over a flat row-major point buffer: point `i` carries
+/// mass `weights[i]`, so a point of weight `w` pulls centroids like `w`
+/// coincident unit-weight points. This is the hierarchical controller's
+/// global merge primitive — the points are per-shard centroids, the
+/// weights their member counts — so it is fully deterministic (no RNG:
+/// maxmin seeding, see [`fit_weighted_from_flat`] for the warm-started
+/// form) and sequential (the merge problem is `shards × K` points).
+///
+/// In the `k >= n` degenerate case every point becomes its own centroid,
+/// exactly like [`KMeans::fit_flat`].
+///
+/// # Errors
+///
+/// Returns the input errors of [`KMeans::fit_flat`], plus
+/// [`ClusteringError::InvalidWeights`] when `weights` does not hold one
+/// finite non-negative value per point with a positive total.
+pub fn fit_weighted_flat(
+    flat: &[f64],
+    dim: usize,
+    weights: &[f64],
+    config: &KMeansConfig,
+) -> Result<KMeansResult, ClusteringError> {
+    let n = validate_weighted(flat, dim, weights, config.k)?;
+    if config.k >= n {
+        return Ok(degenerate_weighted(flat, n, dim, config.k));
+    }
+    let init = weighted_maxmin_seed(flat, n, dim, weights, config.k);
+    Ok(lloyd_weighted(
+        flat,
+        n,
+        dim,
+        weights,
+        init,
+        config.k,
+        config.max_iters,
+        config.tol,
+    ))
+}
+
+/// Warm-started [`fit_weighted_flat`]: runs the weighted Lloyd descent
+/// from caller-supplied centroids (e.g. the previous step's merged global
+/// centroids) instead of maxmin seeding.
+///
+/// # Errors
+///
+/// Returns the same errors as [`fit_weighted_flat`], plus
+/// [`ClusteringError::InvalidInit`] when `init` does not contain exactly
+/// `k` centroids of dimensionality `dim`.
+pub fn fit_weighted_from_flat(
+    flat: &[f64],
+    dim: usize,
+    weights: &[f64],
+    init: &[Vec<f64>],
+    config: &KMeansConfig,
+) -> Result<KMeansResult, ClusteringError> {
+    let n = validate_weighted(flat, dim, weights, config.k)?;
+    if config.k >= n {
+        return Ok(degenerate_weighted(flat, n, dim, config.k));
+    }
+    if init.len() != config.k {
+        return Err(ClusteringError::InvalidInit {
+            reason: format!("{} centroids supplied for k = {}", init.len(), config.k),
+        });
+    }
+    if let Some(bad) = init.iter().find(|c| c.len() != dim) {
+        return Err(ClusteringError::InvalidInit {
+            reason: format!(
+                "centroid has dimension {} but points have dimension {dim}",
+                bad.len()
+            ),
+        });
+    }
+    let init_flat = flatten(init, config.k, dim);
+    Ok(lloyd_weighted(
+        flat,
+        n,
+        dim,
+        weights,
+        init_flat,
+        config.k,
+        config.max_iters,
+        config.tol,
+    ))
+}
+
+/// The `k >= n` degenerate weighted result — identical in shape to
+/// [`KMeans::degenerate_flat`]: every point is its own centroid (weights
+/// are irrelevant when nothing is averaged), extras cycle the points.
+fn degenerate_weighted(flat: &[f64], n: usize, dim: usize, k: usize) -> KMeansResult {
+    KMeansResult {
+        assignments: (0..n).collect(),
+        centroids: (0..k)
+            .map(|c| flat[(c % n) * dim..(c % n + 1) * dim].to_vec())
+            .collect(),
+        inertia: 0.0,
+        iterations: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1527,5 +1825,125 @@ mod tests {
         assert_eq!(res.assignments[0], res.assignments[2]);
         assert_eq!(res.assignments[3], res.assignments[4]);
         assert_eq!(res.assignments[5], res.assignments[6]);
+    }
+
+    #[test]
+    fn weighted_fit_k1_yields_weighted_mean() {
+        let flat = [0.0, 1.0, 10.0];
+        let weights = [1.0, 1.0, 2.0];
+        let cfg = KMeansConfig {
+            k: 1,
+            ..Default::default()
+        };
+        let res = fit_weighted_flat(&flat, 1, &weights, &cfg).unwrap();
+        // (0 + 1 + 2·10) / 4 = 5.25
+        assert!((res.centroids[0][0] - 5.25).abs() < 1e-12);
+        assert_eq!(res.assignments, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn weighted_fit_approximates_replicated_points() {
+        // A point of weight w must act like w coincident unit-weight
+        // points: same partition, centroids equal up to rounding (the
+        // accumulation order differs: w·x vs x + x + ...).
+        let flat = [0.1, 0.2, 0.8, 0.9];
+        let weights = [3.0, 1.0, 1.0, 2.0];
+        let replicated = [0.1, 0.1, 0.1, 0.2, 0.8, 0.9, 0.9];
+        let unit = [1.0; 7];
+        let init = vec![vec![0.0], vec![1.0]];
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let a = fit_weighted_from_flat(&flat, 1, &weights, &init, &cfg).unwrap();
+        let b = fit_weighted_from_flat(&replicated, 1, &unit, &init, &cfg).unwrap();
+        for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+            assert!((ca[0] - cb[0]).abs() < 1e-12, "{ca:?} vs {cb:?}");
+        }
+        assert!((a.inertia - b.inertia).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_fit_is_deterministic() {
+        let flat: Vec<f64> = (0..30).map(|i| (i % 7) as f64 * 0.13).collect();
+        let weights: Vec<f64> = (0..30).map(|i| 1.0 + (i % 4) as f64).collect();
+        let cfg = KMeansConfig {
+            k: 4,
+            ..Default::default()
+        };
+        let first = fit_weighted_flat(&flat, 1, &weights, &cfg).unwrap();
+        for _ in 0..3 {
+            assert_eq!(fit_weighted_flat(&flat, 1, &weights, &cfg).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn weighted_warm_start_from_solution_converges_immediately() {
+        let flat = [0.1, 0.12, 0.8, 0.82];
+        let weights = [2.0, 1.0, 1.0, 3.0];
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let cold = fit_weighted_flat(&flat, 1, &weights, &cfg).unwrap();
+        let warm = fit_weighted_from_flat(&flat, 1, &weights, &cold.centroids, &cfg).unwrap();
+        assert_eq!(warm.assignments, cold.assignments);
+        assert_eq!(warm.centroids, cold.centroids);
+        assert!(warm.iterations <= 2, "warm start took {}", warm.iterations);
+    }
+
+    #[test]
+    fn weighted_fit_tolerates_zero_weight_points() {
+        // Zero-weight points are assigned but pull nothing; centroids are
+        // determined by the massive points alone.
+        let flat = [0.2, 0.5, 0.8];
+        let weights = [1.0, 0.0, 1.0];
+        let init = vec![vec![0.0], vec![1.0]];
+        let cfg = KMeansConfig {
+            k: 2,
+            ..Default::default()
+        };
+        let res = fit_weighted_from_flat(&flat, 1, &weights, &init, &cfg).unwrap();
+        let mut got = vec![res.centroids[0][0], res.centroids[1][0]];
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![0.2, 0.8]);
+        assert_eq!(res.assignments.len(), 3);
+    }
+
+    #[test]
+    fn weighted_fit_degenerate_matches_flat_shape() {
+        let flat = [0.3, 0.7];
+        let weights = [5.0, 1.0];
+        let cfg = KMeansConfig {
+            k: 4,
+            ..Default::default()
+        };
+        let res = fit_weighted_flat(&flat, 1, &weights, &cfg).unwrap();
+        assert_eq!(res.assignments, vec![0, 1]);
+        assert_eq!(res.centroids.len(), 4);
+        assert_eq!(res.inertia, 0.0);
+    }
+
+    #[test]
+    fn weighted_fit_rejects_bad_weights() {
+        let cfg = KMeansConfig {
+            k: 1,
+            ..Default::default()
+        };
+        for weights in [
+            vec![1.0],           // wrong length
+            vec![1.0, f64::NAN], // non-finite
+            vec![1.0, -1.0],     // negative
+            vec![0.0, 0.0],      // no mass at all
+        ] {
+            assert!(matches!(
+                fit_weighted_flat(&[0.1, 0.9], 1, &weights, &cfg).unwrap_err(),
+                ClusteringError::InvalidWeights { .. }
+            ));
+        }
+        assert_eq!(
+            fit_weighted_flat(&[], 1, &[], &cfg).unwrap_err(),
+            ClusteringError::EmptyInput
+        );
     }
 }

@@ -8,16 +8,133 @@
 //! total similarity via maximum-weight bipartite matching (Eq. 11, solved
 //! with the Hungarian algorithm). The centroid of each *re-indexed* cluster
 //! then forms one coherent time series suitable for forecasting.
+//!
+//! # Hierarchical (two-level) mode
+//!
+//! With [`ComputeOptions::shards`] `> 1` the per-step k-means becomes a
+//! two-level pass: nodes are split into deterministic contiguous shards,
+//! each shard clusters its own points (fanned out over threads, one
+//! derived seed and one warm-centroid set per shard), and the shard
+//! centroids — weighted by member counts — feed a small global weighted
+//! k-means whose labels every node inherits through its shard centroid.
+//! The merged result then flows through the *same* history-based Hungarian
+//! re-indexing as the single-level path, so cluster identity (and with it
+//! forecaster state) survives re-sharding: the matching is over node-level
+//! assignments, which do not care how the partition was computed.
+//!
+//! [`ShardKernel::MiniBatch`] replaces each warm shard's full Lloyd fit
+//! with an incremental step: only a rotating `1/`[`MINI_BATCH_ROTATION`]
+//! batch of the shard is re-assigned per tick (cached labels carry the
+//! rest), while the centroid update still averages all current values.
+//! That drops the per-tick assignment cost from `O(n·K)` to
+//! `O(n·K / 8 + n)` — the speedup lever behind the hierarchical
+//! controller benchmark.
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
-use utilcast_clustering::hungarian::max_weight_matching;
-use utilcast_clustering::kmeans::{KMeans, KMeansConfig, KMeansResult};
+use utilcast_clustering::hungarian::max_weight_matching_padded;
+use utilcast_clustering::kmeans::{
+    fit_weighted_flat, fit_weighted_from_flat, KMeans, KMeansConfig, KMeansResult,
+};
+use utilcast_clustering::parallel::{chunk_len, resolve_threads};
 use utilcast_clustering::similarity::{intersection_similarity, jaccard_similarity};
 use utilcast_clustering::ClusteringError;
 
-use crate::compute::ComputeOptions;
+use crate::compute::{ComputeOptions, ShardKernel};
+
+/// Rotation period of the mini-batch shard kernel: each tick re-assigns
+/// the shard points whose local index `i` satisfies
+/// `(i + t) % MINI_BATCH_ROTATION == 0`, so every node is re-assigned at
+/// least once per `MINI_BATCH_ROTATION` ticks and the per-tick assignment
+/// cost drops from `O(n·K)` to `O(n·K / 8)`. The centroid update still
+/// averages **all** current values (a `K`-free pass), so centroids track
+/// the data every tick even while stale labels wait for their rotation.
+const MINI_BATCH_ROTATION: usize = 8;
+
+/// One mini-batch step for one shard (see [`MINI_BATCH_ROTATION`]):
+/// re-assigns the rotating batch against the previous shard centroids,
+/// recomputes every centroid as the mean of its (partially refreshed)
+/// members' current values, and scores the result. A centroid left with
+/// no members keeps its previous position so it can re-acquire points on
+/// a later rotation. Fully sequential, no RNG — bit-identical wherever
+/// it runs.
+fn mini_batch_step(
+    flat: &[f64],
+    n: usize,
+    dim: usize,
+    k: usize,
+    warm: &[Vec<f64>],
+    prev_assign: &[usize],
+    t: usize,
+) -> KMeansResult {
+    let mut assignments = prev_assign.to_vec();
+    let mut i = (MINI_BATCH_ROTATION - t % MINI_BATCH_ROTATION) % MINI_BATCH_ROTATION;
+    while i < n {
+        let x = &flat[i * dim..(i + 1) * dim];
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (j, c) in warm.iter().enumerate() {
+            let d: f64 = x.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = j;
+            }
+        }
+        assignments[i] = best;
+        i += MINI_BATCH_ROTATION;
+    }
+    let mut sums = vec![0.0f64; k * dim];
+    let mut counts = vec![0usize; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        counts[a] += 1;
+        for (slot, v) in sums[a * dim..(a + 1) * dim]
+            .iter_mut()
+            .zip(&flat[i * dim..(i + 1) * dim])
+        {
+            *slot += v;
+        }
+    }
+    let centroids: Vec<Vec<f64>> = (0..k)
+        .map(|j| {
+            if counts[j] > 0 {
+                sums[j * dim..(j + 1) * dim]
+                    .iter()
+                    .map(|v| v / counts[j] as f64)
+                    .collect()
+            } else {
+                warm[j].clone()
+            }
+        })
+        .collect();
+    let mut inertia = 0.0;
+    for (i, &a) in assignments.iter().enumerate() {
+        inertia += flat[i * dim..(i + 1) * dim]
+            .iter()
+            .zip(centroids[a].iter())
+            .map(|(x, c)| (x - c) * (x - c))
+            .sum::<f64>();
+    }
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations: 1,
+    }
+}
+
+/// Derives shard `shard`'s base seed from the clusterer seed with a
+/// SplitMix64-style mix (the same mixer k-means uses for restart seeds),
+/// so every shard runs an independent deterministic stream regardless of
+/// which thread fits it.
+fn shard_seed(seed: u64, shard: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(shard.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Which cluster-evolution similarity to use when re-indexing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -99,6 +216,17 @@ pub struct DynamicClusterer {
     /// The previous step's matched centroids, used as the warm-start
     /// initializer when [`ComputeOptions::warm_start`] is enabled.
     warm_centroids: Option<Vec<Vec<f64>>>,
+    /// Per-shard local centroids from the previous hierarchical step
+    /// (pre-merge), used to warm-start each shard's fit when
+    /// [`ComputeOptions::shards`] `> 1`. Empty outside hierarchical mode;
+    /// entries that no longer match the shard shape are ignored.
+    shard_warm: Vec<Vec<Vec<f64>>>,
+    /// Per-shard local assignments from the previous hierarchical step,
+    /// kept only under [`ShardKernel::MiniBatch`]: the rotating batch
+    /// refreshes a slice of these each tick and the rest carry over.
+    /// Empty under the full kernel; entries that no longer match the
+    /// shard shape are ignored (the shard re-anchors with a full fit).
+    shard_assign: Vec<Vec<usize>>,
     /// Time step counter.
     t: usize,
 }
@@ -110,6 +238,8 @@ impl DynamicClusterer {
             config,
             history: VecDeque::new(),
             warm_centroids: None,
+            shard_warm: Vec::new(),
+            shard_assign: Vec::new(),
             t: 0,
         }
     }
@@ -134,6 +264,23 @@ impl DynamicClusterer {
     /// dimensions, `k == 0`).
     pub fn step(&mut self, points: &[Vec<f64>]) -> Result<ClusterStep, ClusteringError> {
         let dim = points.first().map(|p| p.len()).unwrap_or(0);
+        if self.config.compute.shards > 1 && dim > 0 {
+            // Hierarchical mode is defined over the flat layout; validate
+            // and flatten here so both entry points share one kernel.
+            if let Some((i, bad)) = points.iter().enumerate().find(|(_, p)| p.len() != dim) {
+                return Err(ClusteringError::DimensionMismatch {
+                    expected: dim,
+                    index: i,
+                    found: bad.len(),
+                });
+            }
+            let mut flat = Vec::with_capacity(points.len() * dim);
+            for p in points {
+                flat.extend_from_slice(p);
+            }
+            let result = self.hierarchical_fit(&flat, dim)?;
+            return self.finish(result);
+        }
         let (km, warm_init) = self.prepare(dim);
         let result = match warm_init {
             Some(init) => km.fit_from(points, init)?,
@@ -154,12 +301,215 @@ impl DynamicClusterer {
     /// Propagates [`ClusteringError`] from k-means (empty buffer,
     /// `dim == 0` or a length not a multiple of `dim`, `k == 0`).
     pub fn step_flat(&mut self, flat: &[f64], dim: usize) -> Result<ClusterStep, ClusteringError> {
+        if self.config.compute.shards > 1 {
+            let result = self.hierarchical_fit(flat, dim)?;
+            return self.finish(result);
+        }
         let (km, warm_init) = self.prepare(dim);
         let result = match warm_init {
             Some(init) => km.fit_from_flat(flat, dim, init)?,
             None => km.fit_flat(flat, dim)?,
         };
         self.finish(result)
+    }
+
+    /// The two-level clustering pass (see module docs): per-shard fits
+    /// fanned out over threads, then a weighted global merge over the
+    /// shard centroids. Returns a node-level [`KMeansResult`] shaped
+    /// exactly like the single-level fit so [`DynamicClusterer::finish`]
+    /// needs no hierarchical awareness: `assignments[i]` is node `i`'s
+    /// merged global label, `centroids` are the `k` merged centroids, and
+    /// `inertia` decomposes as `Σ shard inertias + merge inertia` (each
+    /// node's distance to its shard centroid plus the weighted distance of
+    /// that centroid to its global one).
+    ///
+    /// Determinism: shard bounds, per-shard seeds ([`shard_seed`]), and
+    /// the merge are all pure functions of the inputs and `t`; the thread
+    /// fan-out writes into per-shard slots and the reduction walks them in
+    /// shard order, so results are bit-identical at any thread count.
+    fn hierarchical_fit(
+        &mut self,
+        flat: &[f64],
+        dim: usize,
+    ) -> Result<KMeansResult, ClusteringError> {
+        if flat.is_empty() {
+            return Err(ClusteringError::EmptyInput);
+        }
+        let k = self.config.k;
+        if k == 0 {
+            return Err(ClusteringError::ZeroClusters);
+        }
+        if dim == 0 || !flat.len().is_multiple_of(dim) {
+            return Err(ClusteringError::DimensionMismatch {
+                expected: dim,
+                index: flat.len().checked_div(dim).unwrap_or(0),
+                found: flat.len().checked_rem(dim).unwrap_or(0),
+            });
+        }
+        let n = flat.len() / dim;
+        let compute = self.config.compute;
+        // Never more shards than nodes; a tiny population degrades to
+        // fewer (possibly single-node) shards rather than empty ones.
+        let shards = compute.shards.min(n);
+        let cold_due =
+            compute.cold_reseed_every > 0 && self.t.is_multiple_of(compute.cold_reseed_every);
+        let warm_ok = compute.warm_start && !cold_due;
+        // Deterministic contiguous partition: shard `s` owns nodes
+        // [s*n/shards, (s+1)*n/shards) — balanced to within one node and
+        // independent of thread count.
+        let bounds = |s: usize| (s * n / shards, (s + 1) * n / shards);
+
+        let fit_shard = |s: usize| -> Result<KMeansResult, ClusteringError> {
+            let (lo, hi) = bounds(s);
+            let shard_flat = &flat[lo * dim..hi * dim];
+            let shard_k = k.min(hi - lo);
+            let warm = if warm_ok {
+                self.shard_warm
+                    .get(s)
+                    .filter(|init| init.len() == shard_k && init.iter().all(|c| c.len() == dim))
+            } else {
+                None
+            };
+            // Mini-batch kernel: a warm shard with a usable assignment
+            // cache re-assigns only the rotating batch and nudges every
+            // centroid toward the current data (see [`mini_batch_step`]);
+            // cold shards (no usable warm set) still anchor with a full
+            // fit, which also rebuilds the cache.
+            if compute.shard_kernel == ShardKernel::MiniBatch {
+                if let (Some(init), Some(prev)) = (
+                    warm,
+                    self.shard_assign
+                        .get(s)
+                        .filter(|a| a.len() == hi - lo && a.iter().all(|&l| l < shard_k)),
+                ) {
+                    return Ok(mini_batch_step(
+                        shard_flat,
+                        hi - lo,
+                        dim,
+                        shard_k,
+                        init,
+                        prev,
+                        self.t,
+                    ));
+                }
+            }
+            let km = KMeans::new(KMeansConfig {
+                k: shard_k,
+                max_iters: self.config.max_iters,
+                n_init: self.config.n_init,
+                seed: shard_seed(self.config.seed, s as u64).wrapping_add(self.t as u64),
+                threads: 1,
+                kernel: compute.kernel,
+                ..Default::default()
+            });
+            match warm {
+                Some(init) => km.fit_from_flat(shard_flat, dim, init),
+                None => km.fit_flat(shard_flat, dim),
+            }
+        };
+
+        // Fan the shard fits out over threads: each worker owns a
+        // contiguous run of result slots, and the reduction below walks
+        // the slots in shard order regardless of completion order.
+        let workers = resolve_threads(compute.threads).min(shards);
+        let mut slots: Vec<Option<Result<KMeansResult, ClusteringError>>> =
+            (0..shards).map(|_| None).collect();
+        if workers > 1 {
+            let chunk = chunk_len(shards, workers);
+            std::thread::scope(|scope| {
+                for (w, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let fit_shard = &fit_shard;
+                    scope.spawn(move || {
+                        for (i, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = Some(fit_shard(w * chunk + i));
+                        }
+                    });
+                }
+            });
+        } else {
+            for (s, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(fit_shard(s));
+            }
+        }
+        let mut shard_results: Vec<KMeansResult> = Vec::with_capacity(shards);
+        for (s, slot) in slots.into_iter().enumerate() {
+            let result = match slot {
+                Some(r) => r?,
+                // A slot can only stay empty if a worker died before
+                // reaching it; recompute inline rather than panic.
+                None => fit_shard(s)?,
+            };
+            shard_results.push(result);
+        }
+
+        // Gather the merge inputs in canonical shard order: every shard
+        // centroid becomes one weighted point (weight = member count).
+        let mut merged_flat: Vec<f64> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(shards);
+        let mut shard_inertia = 0.0;
+        let mut iterations = 0usize;
+        for result in &shard_results {
+            offsets.push(weights.len());
+            let mut counts = vec![0usize; result.centroids.len()];
+            for &a in &result.assignments {
+                counts[a] += 1;
+            }
+            for (centroid, &count) in result.centroids.iter().zip(counts.iter()) {
+                merged_flat.extend_from_slice(centroid);
+                weights.push(count as f64);
+            }
+            shard_inertia += result.inertia;
+            iterations = iterations.max(result.iterations);
+        }
+
+        // Small global merge: weighted k-means over `Σ min(k, |shard|)`
+        // centroid points, warm-started from the previous step's matched
+        // global centroids when available (keeps the merged centroids —
+        // and through them the labels — temporally continuous).
+        let merge_config = KMeansConfig {
+            k,
+            max_iters: self.config.max_iters,
+            seed: self.config.seed.wrapping_add(self.t as u64),
+            ..Default::default()
+        };
+        let global_warm = if warm_ok {
+            self.warm_centroids
+                .as_ref()
+                .filter(|init| init.len() == k && init.iter().all(|c| c.len() == dim))
+        } else {
+            None
+        };
+        let merge = match global_warm {
+            Some(init) => fit_weighted_from_flat(&merged_flat, dim, &weights, init, &merge_config)?,
+            None => fit_weighted_flat(&merged_flat, dim, &weights, &merge_config)?,
+        };
+
+        // Every node inherits the merge label of its shard centroid.
+        let mut assignments = vec![0usize; n];
+        for (s, result) in shard_results.iter().enumerate() {
+            let (lo, _) = bounds(s);
+            for (i, &a) in result.assignments.iter().enumerate() {
+                assignments[lo + i] = merge.assignments[offsets[s] + a];
+            }
+        }
+        self.shard_warm = Vec::with_capacity(shards);
+        self.shard_assign.clear();
+        for result in shard_results {
+            // The assignment cache only pays its O(n) memory under the
+            // mini-batch kernel; the full kernel re-assigns everything
+            // anyway, so it keeps none.
+            if compute.shard_kernel == ShardKernel::MiniBatch {
+                self.shard_assign.push(result.assignments);
+            }
+            self.shard_warm.push(result.centroids);
+        }
+        Ok(KMeansResult {
+            assignments,
+            centroids: merge.centroids,
+            inertia: shard_inertia + merge.inertia,
+            iterations: iterations.max(merge.iterations),
+        })
     }
 
     /// Builds this step's k-means instance and selects the warm-start
@@ -220,7 +570,7 @@ impl DynamicClusterer {
                     jaccard_similarity(&result.assignments, hist_refs[0], label_space)?
                 }
             };
-            let matching = max_weight_matching(&w);
+            let matching = max_weight_matching_padded(&w);
             // matching.assignment[kmeans_label] = final label.
             let assignments: Vec<usize> = result
                 .assignments
@@ -266,6 +616,8 @@ impl DynamicClusterer {
     pub fn reset(&mut self) {
         self.history.clear();
         self.warm_centroids = None;
+        self.shard_warm.clear();
+        self.shard_assign.clear();
         self.t = 0;
     }
 
@@ -275,6 +627,8 @@ impl DynamicClusterer {
             config: self.config.clone(),
             history: self.history.iter().cloned().collect(),
             warm_centroids: self.warm_centroids.clone(),
+            shard_warm: self.shard_warm.clone(),
+            shard_assign: self.shard_assign.clone(),
             t: self.t,
         }
     }
@@ -288,6 +642,8 @@ impl DynamicClusterer {
             config: snapshot.config,
             history: snapshot.history.into(),
             warm_centroids: snapshot.warm_centroids,
+            shard_warm: snapshot.shard_warm,
+            shard_assign: snapshot.shard_assign,
             t: snapshot.t,
         }
     }
@@ -305,6 +661,17 @@ pub struct ClustererSnapshot {
     /// The previous step's matched centroids (warm-start initializer), if
     /// any step has run.
     pub warm_centroids: Option<Vec<Vec<f64>>>,
+    /// Per-shard local centroids from the previous hierarchical step
+    /// (pre-merge); empty outside hierarchical mode. Defaults to empty so
+    /// snapshots written before the hierarchical tier existed restore
+    /// cleanly (a shard simply cold-starts its first post-restore fit).
+    #[serde(default)]
+    pub shard_warm: Vec<Vec<Vec<f64>>>,
+    /// Per-shard local assignments carried by the mini-batch shard kernel;
+    /// empty under the full kernel. Defaults to empty for the same
+    /// backward-compatibility reason as `shard_warm`.
+    #[serde(default)]
+    pub shard_assign: Vec<Vec<usize>>,
     /// Time step counter.
     pub t: usize,
 }
@@ -569,6 +936,225 @@ mod tests {
     fn empty_input_errors() {
         let mut dc = DynamicClusterer::new(DynamicClustererConfig::default());
         assert!(dc.step(&[]).is_err());
+    }
+
+    fn hier_config(shards: usize, threads: usize) -> DynamicClustererConfig {
+        DynamicClustererConfig {
+            k: 2,
+            compute: ComputeOptions {
+                shards,
+                threads,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Two well-separated groups interleaved so every contiguous shard
+    /// sees members of both.
+    fn interleaved_groups(n: usize, a: f64, b: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let base = if i % 2 == 0 { a } else { b };
+                vec![base + 0.001 * (i / 2) as f64]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hierarchical_labels_stay_stable_across_steps() {
+        let mut dc = DynamicClusterer::new(hier_config(3, 1));
+        let s1 = dc.step(&interleaved_groups(12, 0.2, 0.8)).unwrap();
+        let mut prev = s1.assignments.clone();
+        for i in 1..20 {
+            let drift = i as f64 * 0.002;
+            let s = dc
+                .step(&interleaved_groups(12, 0.2 + drift, 0.8 - drift))
+                .unwrap();
+            assert_eq!(s.assignments, prev, "labels flipped at step {i}");
+            prev = s.assignments;
+        }
+    }
+
+    #[test]
+    fn hierarchical_partition_matches_flat_on_separated_groups() {
+        // On clearly separated data the two-level pass must find the same
+        // partition as the single-level one (labels are path-specific).
+        let mut flat = DynamicClusterer::new(hier_config(1, 1));
+        let mut hier = DynamicClusterer::new(hier_config(4, 1));
+        for i in 0..15 {
+            let pts = interleaved_groups(16, 0.1 + 0.001 * i as f64, 0.9);
+            let a = flat.step(&pts).unwrap();
+            let b = hier.step(&pts).unwrap();
+            let shape = |s: &ClusterStep| -> Vec<bool> {
+                s.assignments
+                    .iter()
+                    .map(|&l| l == s.assignments[0])
+                    .collect()
+            };
+            assert_eq!(shape(&a), shape(&b), "partitions differ at step {i}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_is_bit_identical_at_any_thread_count() {
+        let mut runs: Vec<Vec<ClusterStep>> = Vec::new();
+        for threads in [1, 2, 8] {
+            let mut dc = DynamicClusterer::new(hier_config(4, threads));
+            let mut steps = Vec::new();
+            for i in 0..12 {
+                let pts = interleaved_groups(17, 0.2 + 0.01 * i as f64, 0.8);
+                steps.push(dc.step(&pts).unwrap());
+            }
+            runs.push(steps);
+        }
+        assert_eq!(runs[0], runs[1], "threads=2 diverged from threads=1");
+        assert_eq!(runs[0], runs[2], "threads=8 diverged from threads=1");
+    }
+
+    #[test]
+    fn hierarchical_step_flat_is_bit_identical_to_step() {
+        let mut nested = DynamicClusterer::new(hier_config(3, 2));
+        let mut flat = DynamicClusterer::new(hier_config(3, 2));
+        for i in 0..10 {
+            let pts = interleaved_groups(11, 0.2 + 0.01 * i as f64, 0.8);
+            let buf: Vec<f64> = pts.iter().flatten().copied().collect();
+            let a = nested.step(&pts).unwrap();
+            let b = flat.step_flat(&buf, 1).unwrap();
+            assert_eq!(a, b, "diverged at step {i}");
+        }
+        assert_eq!(nested.snapshot(), flat.snapshot());
+    }
+
+    #[test]
+    fn hierarchical_snapshot_restore_replays_identically() {
+        let mut dc = DynamicClusterer::new(hier_config(3, 1));
+        for i in 0..5 {
+            dc.step(&interleaved_groups(13, 0.2 + 0.01 * i as f64, 0.8))
+                .unwrap();
+        }
+        let snap = dc.snapshot();
+        assert!(
+            !snap.shard_warm.is_empty(),
+            "shard warm centroids travel with the snapshot"
+        );
+        let mut restored = DynamicClusterer::restore(snap);
+        for i in 5..12 {
+            let pts = interleaved_groups(13, 0.2 + 0.01 * i as f64, 0.8);
+            assert_eq!(
+                dc.step(&pts).unwrap(),
+                restored.step(&pts).unwrap(),
+                "diverged at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn old_snapshots_without_shard_warm_restore() {
+        // Snapshot JSON written before the hierarchical tier existed has
+        // no `shard_warm` field; it must deserialize to the empty default.
+        let mut dc = DynamicClusterer::new(DynamicClustererConfig {
+            k: 2,
+            ..Default::default()
+        });
+        dc.step(&two_groups(0.2, 0.8)).unwrap();
+        let mut json = serde_json::to_value(&dc.snapshot()).unwrap();
+        match &mut json {
+            serde::Value::Map(entries) => entries.retain(|(k, _)| k != "shard_warm"),
+            other => panic!("snapshot serialized to non-map {other:?}"),
+        }
+        let snap: ClustererSnapshot = serde_json::from_value(json).unwrap();
+        assert!(snap.shard_warm.is_empty());
+        let restored = DynamicClusterer::restore(snap);
+        assert_eq!(restored.steps(), 1);
+    }
+
+    #[test]
+    fn identity_survives_resharding() {
+        // Changing the shard count mid-stream re-partitions the nodes, but
+        // the Hungarian matching runs over node-level history, so final
+        // labels must not flip.
+        let mut dc = DynamicClusterer::new(hier_config(2, 1));
+        let s1 = dc.step(&interleaved_groups(12, 0.2, 0.8)).unwrap();
+        let snap = dc.snapshot();
+        for shards in [1, 3, 4, 6] {
+            let mut snap = snap.clone();
+            snap.config.compute.shards = shards;
+            // Old per-shard warm sets no longer match the new partition;
+            // they are shape-filtered away rather than trusted.
+            let mut re = DynamicClusterer::restore(snap);
+            let s2 = re.step(&interleaved_groups(12, 0.21, 0.79)).unwrap();
+            assert_eq!(
+                s1.assignments, s2.assignments,
+                "labels flipped after re-sharding to {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn mini_batch_shard_kernel_tracks_drift() {
+        let config = DynamicClustererConfig {
+            k: 2,
+            compute: ComputeOptions {
+                shards: 3,
+                shard_kernel: ShardKernel::MiniBatch,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut dc = DynamicClusterer::new(config.clone());
+        let mut dc2 = DynamicClusterer::new(config);
+        let s1 = dc.step(&interleaved_groups(12, 0.2, 0.8)).unwrap();
+        let mut prev = s1.assignments.clone();
+        let mut last = None;
+        for i in 1..25 {
+            let drift = i as f64 * 0.004;
+            let pts = interleaved_groups(12, 0.2 + drift, 0.8 - drift);
+            let s = dc.step(&pts).unwrap();
+            assert_eq!(s.assignments, prev, "labels flipped at step {i}");
+            prev = s.assignments.clone();
+            last = Some((s, pts));
+        }
+        // The rotating-batch nudges still track the drifting groups: the
+        // centroid update averages current values every tick, so only
+        // labels (not centroids) wait for their rotation slot.
+        let (s, pts) = last.unwrap();
+        let low_label = s.assignments[0];
+        assert!((s.centroids[low_label][0] - pts[0][0]).abs() < 0.05);
+        // And the mini-batch stream is deterministic.
+        let mut replay = Vec::new();
+        let s1b = dc2.step(&interleaved_groups(12, 0.2, 0.8)).unwrap();
+        replay.push(s1b);
+        for i in 1..25 {
+            let drift = i as f64 * 0.004;
+            replay.push(
+                dc2.step(&interleaved_groups(12, 0.2 + drift, 0.8 - drift))
+                    .unwrap(),
+            );
+        }
+        assert_eq!(replay.last().unwrap(), &s);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_degrades_gracefully() {
+        let mut dc = DynamicClusterer::new(hier_config(64, 2));
+        let s = dc.step(&two_groups(0.2, 0.8)).unwrap();
+        assert_eq!(s.assignments.len(), 6);
+        assert_eq!(s.assignments[0], s.assignments[1]);
+        assert_ne!(s.assignments[0], s.assignments[3]);
+    }
+
+    #[test]
+    fn hierarchical_rejects_bad_input() {
+        let mut dc = DynamicClusterer::new(hier_config(2, 1));
+        assert!(dc.step(&[]).is_err());
+        assert!(dc.step_flat(&[], 1).is_err());
+        assert!(dc.step_flat(&[0.1, 0.2, 0.3], 2).is_err());
+        let ragged = vec![vec![0.1], vec![0.2, 0.3]];
+        assert!(matches!(
+            dc.step(&ragged),
+            Err(ClusteringError::DimensionMismatch { index: 1, .. })
+        ));
     }
 
     #[test]

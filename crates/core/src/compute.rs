@@ -18,10 +18,40 @@
 //! * `kernel` — the Lloyd-iteration kernel: the optimized flat
 //!   cached-norm kernel (default) or the original nested exact-distance
 //!   reference kernel (see [`Kernel`]).
+//! * `shards` / `shard_kernel` — the hierarchical two-level controller:
+//!   with `shards > 1` each deterministic contiguous node shard clusters
+//!   locally (in parallel across shards), and the count-weighted shard
+//!   centroids feed a small global merge that preserves cluster identity
+//!   through the usual Hungarian re-indexing. Turns the per-tick
+//!   clustering cost from one `O(N·K·d)` descent into `shards`
+//!   independent `O((N/shards)·K·d)` descents plus an `O(shards·K²·d)`
+//!   merge — the scaling lever for `N` in the millions.
 
 use serde::{Deserialize, Serialize};
 
 pub use utilcast_clustering::kmeans::Kernel;
+
+/// Per-shard Lloyd kernel for the hierarchical (two-level) controller,
+/// selected by [`ComputeOptions::shard_kernel`] and only consulted when
+/// [`ComputeOptions::shards`] `> 1`. Follows the [`Kernel`] enum pattern:
+/// a full reference mode plus an incremental optimized mode, both
+/// deterministic at any thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ShardKernel {
+    /// Run each shard's k-means to convergence every step (warm-started
+    /// from the shard's previous centroids when warm starts are on).
+    #[default]
+    Full,
+    /// Mini-batch/incremental mode: a warm shard re-assigns only a
+    /// rotating 1/8 batch of its nodes per step (cached labels carry the
+    /// rest, so every node is refreshed at least once per 8 ticks) while
+    /// the centroid update still averages **all** current values — the
+    /// per-tick assignment cost drops from `O(n·K)` to `O(n·K/8 + n)`,
+    /// amortizing convergence across the tick stream. Cold steps (first
+    /// step, periodic cold re-seed, shape change) still run the full fit
+    /// so the stream re-anchors and the label cache rebuilds.
+    MiniBatch,
+}
 
 /// Knobs for the controller's per-step compute (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +92,21 @@ pub struct ComputeOptions {
     /// `0` disables masking (default) — every stored value is used as-is,
     /// which preserves the seed behavior bit-identically.
     pub staleness_age_limit: usize,
+    /// Shard count for the hierarchical two-level clustering: nodes are
+    /// partitioned into this many deterministic contiguous shards, each
+    /// shard clusters its own nodes (in parallel across shards, seeded
+    /// per shard), and the shard centroids — weighted by member counts —
+    /// feed a small global merge whose labels go through the usual
+    /// Hungarian re-indexing against node-level history. `<= 1` (default
+    /// `1`) runs the seed single-level clustering bit-identically; the
+    /// hierarchical result at any fixed shard count is itself
+    /// bit-identical at every thread count.
+    #[serde(default)]
+    pub shards: usize,
+    /// Per-shard Lloyd kernel when `shards > 1` (default
+    /// [`ShardKernel::Full`]; ignored by the single-level path).
+    #[serde(default)]
+    pub shard_kernel: ShardKernel,
 }
 
 impl Default for ComputeOptions {
@@ -74,6 +119,8 @@ impl Default for ComputeOptions {
             retrain_stagger: false,
             flat_points: true,
             staleness_age_limit: 0,
+            shards: 1,
+            shard_kernel: ShardKernel::Full,
         }
     }
 }
@@ -92,6 +139,8 @@ impl ComputeOptions {
             retrain_stagger: false,
             flat_points: false,
             staleness_age_limit: 0,
+            shards: 1,
+            shard_kernel: ShardKernel::Full,
         }
     }
 }
@@ -110,6 +159,8 @@ mod tests {
         assert!(!c.retrain_stagger);
         assert!(c.flat_points);
         assert_eq!(c.staleness_age_limit, 0, "masking is off by default");
+        assert_eq!(c.shards, 1, "single-level clustering by default");
+        assert_eq!(c.shard_kernel, ShardKernel::Full);
     }
 
     #[test]
@@ -120,5 +171,22 @@ mod tests {
         assert_eq!(c.kernel, Kernel::Exact);
         assert!(!c.retrain_stagger);
         assert!(!c.flat_points);
+        assert_eq!(c.shards, 1);
+        assert_eq!(c.shard_kernel, ShardKernel::Full);
+    }
+
+    #[test]
+    fn snapshots_without_shard_fields_deserialize_to_single_level() {
+        // Checkpoints written before the hierarchical tier existed carry
+        // no shard fields; they must restore onto the single-level path
+        // (`shards == 0` is treated as `<= 1` everywhere).
+        let json = r#"{
+            "threads": 1, "warm_start": true, "cold_reseed_every": 288,
+            "kernel": "CachedNorms", "retrain_stagger": false,
+            "flat_points": true, "staleness_age_limit": 0
+        }"#;
+        let c: ComputeOptions = serde_json::from_str(json).unwrap();
+        assert!(c.shards <= 1);
+        assert_eq!(c.shard_kernel, ShardKernel::Full);
     }
 }

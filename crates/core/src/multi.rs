@@ -72,7 +72,8 @@ pub struct MultiPipelineConfig {
     /// Base k-means seed (each resource stage gets `seed + resource`).
     pub seed: u64,
     /// Threading and warm-start knobs shared by every resource stage (see
-    /// [`ComputeOptions`]).
+    /// [`ComputeOptions`]); with [`ComputeOptions::shards`] `> 1` every
+    /// stage clusters through the hierarchical two-level pass.
     pub compute: ComputeOptions,
 }
 
@@ -393,5 +394,29 @@ mod tests {
     fn forecast_before_step_errors() {
         let mp = MultiPipeline::new(quick(4, 2, 2)).unwrap();
         assert!(matches!(mp.forecast(1), Err(CoreError::NotStarted)));
+    }
+
+    #[test]
+    fn hierarchical_compute_is_thread_invariant_across_resources() {
+        // The shared ComputeOptions reach every per-resource stage; the
+        // hierarchical pass must stay bit-identical across thread counts
+        // with multiple stages running.
+        let config = |threads: usize| MultiPipelineConfig {
+            compute: ComputeOptions {
+                shards: 3,
+                threads,
+                ..Default::default()
+            },
+            ..quick(8, 2, 2)
+        };
+        let mut seq = MultiPipeline::new(config(1)).unwrap();
+        let mut par = MultiPipeline::new(config(8)).unwrap();
+        for t in 0..15 {
+            let x: Vec<Vec<f64>> = (0..8).map(|i| two_group_vec(t, i, 8, 2)).collect();
+            let a = seq.step(&x).unwrap();
+            let b = par.step(&x).unwrap();
+            assert_eq!(a, b, "diverged at step {t}");
+        }
+        assert_eq!(seq.forecast(2).unwrap(), par.forecast(2).unwrap());
     }
 }

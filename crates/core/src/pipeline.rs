@@ -207,7 +207,8 @@ pub struct PipelineConfig {
     /// RNG seed (k-means seeding).
     pub seed: u64,
     /// Threading and warm-start knobs for the controller-side compute (see
-    /// [`ComputeOptions`]).
+    /// [`ComputeOptions`]); with [`ComputeOptions::shards`] `> 1` the
+    /// per-step clustering runs the hierarchical two-level pass.
     pub compute: ComputeOptions,
 }
 
@@ -629,6 +630,41 @@ mod tests {
                 (fc[2][i] - expected).abs() < 0.15,
                 "node {i}: forecast {} vs expected {expected}",
                 fc[2][i]
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_pipeline_forecasts_like_flat() {
+        // End to end: the two-level clustering drops into the pipeline via
+        // ComputeOptions and still recovers the two utilization groups.
+        let n = 10;
+        let mut flat = Pipeline::new(quick_config(n, 2)).unwrap();
+        let mut hier = Pipeline::new(PipelineConfig {
+            compute: ComputeOptions {
+                shards: 4,
+                threads: 2,
+                ..Default::default()
+            },
+            ..quick_config(n, 2)
+        })
+        .unwrap();
+        run(&mut flat, 60, n);
+        run(&mut hier, 60, n);
+        let a = flat.forecast(3).unwrap();
+        let b = hier.forecast(3).unwrap();
+        for i in 0..n {
+            let expected = if i < n / 2 { 0.25 } else { 0.75 };
+            assert!(
+                (b[2][i] - expected).abs() < 0.15,
+                "node {i}: hierarchical forecast {} vs expected {expected}",
+                b[2][i]
+            );
+            assert!(
+                (a[2][i] - b[2][i]).abs() < 0.1,
+                "node {i}: flat {} vs hierarchical {}",
+                a[2][i],
+                b[2][i]
             );
         }
     }

@@ -46,7 +46,9 @@ pub struct ForecastStageConfig {
     /// K-means seed.
     pub seed: u64,
     /// Threading and warm-start knobs for the per-step clustering and the
-    /// per-cluster retraining (see [`ComputeOptions`]).
+    /// per-cluster retraining (see [`ComputeOptions`]); with
+    /// [`ComputeOptions::shards`] `> 1` the per-step clustering runs the
+    /// hierarchical two-level pass.
     pub compute: ComputeOptions,
 }
 
@@ -656,6 +658,42 @@ mod tests {
         let a = flat_stage.forecast(2).unwrap();
         let b = nested_stage.forecast(2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hierarchical_stage_is_thread_invariant_on_both_point_paths() {
+        // shards > 1 flows from the stage config into the clusterer; the
+        // result must be bit-identical across thread counts and across the
+        // flat/nested point paths.
+        let config = |threads: usize, flat: bool| ForecastStageConfig {
+            compute: ComputeOptions {
+                shards: 3,
+                threads,
+                flat_points: flat,
+                ..Default::default()
+            },
+            ..quick(10, 3)
+        };
+        let mut reference = ForecastStage::new(config(1, true)).unwrap();
+        let mut threaded = ForecastStage::new(config(8, true)).unwrap();
+        let mut nested = ForecastStage::new(config(8, false)).unwrap();
+        for t in 0..20 {
+            let z: Vec<f64> = (0..10)
+                .map(|i| {
+                    let base = (i % 3) as f64 * 0.3 + 0.1;
+                    base + ((t * 7 + i * 13) % 17) as f64 / 170.0
+                })
+                .collect();
+            let a = reference.step(&z).unwrap();
+            let b = threaded.step(&z).unwrap();
+            let c = nested.step(&z).unwrap();
+            assert_eq!(a, b, "threads=8 diverged at t = {t}");
+            assert_eq!(a, c, "nested path diverged at t = {t}");
+        }
+        assert_eq!(
+            reference.forecast(2).unwrap(),
+            threaded.forecast(2).unwrap()
+        );
     }
 
     #[test]

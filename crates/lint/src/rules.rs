@@ -16,10 +16,12 @@
 //!   argmin/sort panics or corrupts ordering; use `f64::total_cmp`) and
 //!   no `==`/`!=` against float literals or `f64::NAN`-style constants
 //!   (use `total_cmp` or an epsilon helper).
-//! * **determinism** (`determinism`) — no `HashMap`/`HashSet`,
-//!   `Instant::now`/`SystemTime::now`, `thread_rng`, or `from_entropy`
-//!   in library crates: iteration order and wall-clock reads would break
-//!   the bit-identical thread-count determinism established in PR 2.
+//! * **determinism** (`determinism`) — no `HashMap`/`HashSet` (including
+//!   uses through `as`/`type` aliases and `use std::collections::*`
+//!   wildcard imports), `Instant::now`/`SystemTime::now`, `thread_rng`,
+//!   or `from_entropy` in library crates: iteration order and wall-clock
+//!   reads would break the bit-identical thread-count determinism
+//!   established in PR 2 and relied on by the sharded merge paths.
 //! * **hygiene** (`hygiene`) — crate roots keep `#![forbid(unsafe_code)]`
 //!   and every vendored dependency is documented (checked at repo level
 //!   in [`crate::lint_repo`]).
@@ -92,7 +94,8 @@ impl Rule {
             Rule::NanCmp => "no partial_cmp(..).unwrap()/expect(); use f64::total_cmp",
             Rule::FloatEq => "no ==/!= against float literals or NAN/INFINITY constants",
             Rule::Determinism => {
-                "no HashMap/HashSet, Instant::now/SystemTime::now, thread_rng, or from_entropy"
+                "no HashMap/HashSet (incl. aliases and std::collections::* imports), \
+                 Instant::now/SystemTime::now, thread_rng, or from_entropy"
             }
             Rule::Hygiene => "crate roots forbid unsafe_code; vendored deps stay documented",
             Rule::Suppression => "lint:allow markers must be well-formed and actually used",
@@ -616,10 +619,89 @@ fn scan_float_eq(file: &str, tokens: &[Token], kept: &[usize], out: &mut Vec<Dia
 /// Determinism rule: flags identifiers whose presence in library code
 /// can make controller output depend on hasher seeds, wall-clock time,
 /// or OS entropy.
+///
+/// Beyond the literal `HashMap`/`HashSet` tokens, two smuggling routes
+/// are tracked (a hash map iterated inside a merge/reduction path is
+/// exactly the bug class the rule exists for, however it got into
+/// scope):
+///
+/// * **renames** — `use std::collections::HashMap as Map;` or
+///   `type Labels = HashMap<..>;` bind a new name to a hash container;
+///   every later use of the alias is flagged, not just the defining line.
+/// * **wildcard imports** — `use std::collections::*;` pulls `HashMap`
+///   and `HashSet` into scope with no token naming them; the wildcard
+///   import itself is flagged.
 fn scan_determinism(file: &str, tokens: &[Token], kept: &[usize], out: &mut Vec<Diagnostic>) {
+    // Pass 1: collect hash-container aliases (`HashMap as X`,
+    // `type X = HashMap`) and the kept-positions where each alias is
+    // *defined* — the definition line already fires via its
+    // `HashMap`/`HashSet` token, so only later uses report the alias.
+    let mut aliases: Vec<(String, &'static str)> = Vec::new();
+    let mut defining: Vec<usize> = Vec::new();
     for (pos, &idx) in kept.iter().enumerate() {
         let t = &tokens[idx];
+        let source = if t.is_ident("HashMap") {
+            "HashMap"
+        } else if t.is_ident("HashSet") {
+            "HashSet"
+        } else {
+            continue;
+        };
+        // `use ... HashMap as Alias`
+        if kept.get(pos + 1).is_some_and(|&k| tokens[k].is_ident("as")) {
+            if let Some(&k) = kept.get(pos + 2) {
+                if tokens[k].kind == TokenKind::Ident {
+                    aliases.push((tokens[k].text.clone(), source));
+                    defining.push(pos + 2);
+                }
+            }
+        }
+        // `type Alias = HashMap<..>`
+        if pos >= 3
+            && tokens[kept[pos - 1]].is_punct("=")
+            && tokens[kept[pos - 3]].is_ident("type")
+            && tokens[kept[pos - 2]].kind == TokenKind::Ident
+        {
+            aliases.push((tokens[kept[pos - 2]].text.clone(), source));
+            defining.push(pos - 2);
+        }
+    }
+    for (pos, &idx) in kept.iter().enumerate() {
+        let t = &tokens[idx];
+        // `use std::collections::*` (wildcard import of the hash
+        // containers without naming them).
+        if t.is_ident("collections")
+            && kept.get(pos + 1).is_some_and(|&k| tokens[k].is_punct("::"))
+            && kept.get(pos + 2).is_some_and(|&k| tokens[k].is_punct("*"))
+        {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::Determinism,
+                message: "wildcard import of std::collections pulls HashMap/HashSet \
+                          into scope unnamed; import ordered containers explicitly"
+                    .to_string(),
+            });
+            continue;
+        }
         if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((_, source)) = aliases
+            .iter()
+            .find(|(alias, _)| alias == &t.text)
+            .filter(|_| !defining.contains(&pos))
+        {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::Determinism,
+                message: format!(
+                    "`{}` is an alias of `{source}`, whose iteration order is \
+                     nondeterministic; use BTreeMap/BTreeSet or an index-keyed Vec",
+                    t.text
+                ),
+            });
             continue;
         }
         let message = match t.text.as_str() {
@@ -794,6 +876,53 @@ mod tests {
         // Non-clock uses of the same type names stay legal.
         assert!(lint("fn f(deadline: Instant) -> Instant { deadline }").is_empty());
         assert!(lint("use std::collections::BTreeMap;").is_empty());
+    }
+
+    #[test]
+    fn determinism_tracks_use_renames() {
+        // The import fires once (HashMap token) and each later use of the
+        // alias fires again — renaming must not launder the container out
+        // of a merge path.
+        let src = "use std::collections::HashMap as Map;\n\
+                   fn merge(counts: Map<u64, usize>) -> usize {\n\
+                       counts.len()\n\
+                   }";
+        let diags = lint(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == Rule::Determinism));
+        assert_eq!(diags[1].line, 2);
+        assert!(diags[1].message.contains("alias of `HashMap`"));
+        // HashSet renames are tracked the same way.
+        let fired = rules_fired("use std::collections::HashSet as Seen;\nfn f(s: Seen<u64>) {}");
+        assert_eq!(fired, vec![Rule::Determinism, Rule::Determinism]);
+    }
+
+    #[test]
+    fn determinism_tracks_type_aliases() {
+        let src = "type Labels = HashMap<u64, usize>;\n\
+                   fn gather(l: &Labels) -> usize { l.len() }";
+        let diags = lint(src);
+        // Line 1 fires via the HashMap token; line 2 via the alias.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[1].line, 2);
+        assert!(diags[1].message.contains("alias of `HashMap`"));
+    }
+
+    #[test]
+    fn determinism_flags_collections_wildcard_imports() {
+        let fired = rules_fired("use std::collections::*;\nfn f() {}");
+        assert_eq!(fired, vec![Rule::Determinism]);
+        // Naming ordered containers stays legal; a wildcard elsewhere is
+        // not this rule's business.
+        assert!(lint("use std::collections::{BTreeMap, BTreeSet};").is_empty());
+        assert!(lint("use crate::shard::*;").is_empty());
+    }
+
+    #[test]
+    fn determinism_alias_definition_fires_once_per_line() {
+        // The defining occurrence is not double-reported as an alias use.
+        let diags = lint("use std::collections::HashMap as Map;");
+        assert_eq!(diags.len(), 1, "{diags:?}");
     }
 
     #[test]

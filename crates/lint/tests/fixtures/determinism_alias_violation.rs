@@ -1,0 +1,21 @@
+//! Fixture: determinism violations smuggled through renames and wildcard
+//! imports — the bug class the sharded merge paths must stay free of.
+
+use std::collections::HashMap as Labels; // line 4: determinism (import)
+use std::collections::*; // line 5: determinism (wildcard import)
+
+/// `type` aliases of hash containers are tracked the same way.
+type Members = HashSet<u64>; // line 8: determinism (HashSet)
+
+/// Merging per-shard counts through the alias fires at the use site.
+pub fn merge_labels(per_shard: Vec<Labels>) -> usize { // line 11: alias use
+    let mut total = 0;
+    for shard in per_shard {
+        total += shard.len();
+    }
+    total
+}
+
+pub fn member_count(members: Members) -> usize { // line 19: alias use
+    members.len()
+}

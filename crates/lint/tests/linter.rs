@@ -119,6 +119,20 @@ fn determinism_rule_fires_on_unordered_state() {
 }
 
 #[test]
+fn determinism_rule_tracks_aliases_and_wildcards() {
+    // A hash container renamed via `use .. as` or a `type` alias, a
+    // wildcard std::collections import, and each later alias use — the
+    // routes a nondeterministic map could sneak into a shard-merge
+    // reduction without a `HashMap` token at the use site.
+    assert_fires(
+        "determinism_alias_violation.rs",
+        Rule::Determinism,
+        &[4, 5, 8, 11, 19],
+        5,
+    );
+}
+
+#[test]
 fn determinism_rule_respects_allow_markers() {
     // One marker above the import, one covering both mentions on the
     // construction line.

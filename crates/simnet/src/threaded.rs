@@ -404,6 +404,16 @@ pub fn run_threaded_supervised(
             Vec::new()
         };
     let mut inbox: Vec<ReportFrame> = Vec::new();
+    // Hierarchical controller + frame mode without a delivery plane: the
+    // workers already produce one frame per supervisor shard, so hand the
+    // per-shard frames straight to the controller's multi-frame entry
+    // point instead of copying them into one merged frame first. The
+    // admitted set is identical (admission is per node/tick and the
+    // frames arrive in ascending node order); this only skips the merge
+    // copy that the hierarchical tick would immediately re-partition.
+    let route_shard_frames =
+        mode == IngestMode::Frame && !delivery_active && config.compute.shards > 1;
+    let mut shard_frames: Vec<ReportFrame> = Vec::with_capacity(shards);
 
     let mut staleness = TimeAveragedRmse::new();
     let mut intermediate = TimeAveragedRmse::new();
@@ -458,6 +468,13 @@ pub fn run_threaded_supervised(
                             sent += frame.len() as u64;
                             if let Some(plane) = &mut plane {
                                 plane.submit(s, t, Some(&frame), n);
+                            } else if route_shard_frames {
+                                // Shard `s`'s frame is `shard_frames[s]`
+                                // (every shard yields exactly one frame per
+                                // tick here); the buffer returns to
+                                // `shard_bufs` after the controller tick.
+                                shard_frames.push(frame);
+                                break;
                             } else {
                                 // Shards merge in ascending shard order, so
                                 // the merged frame is in ascending node order
@@ -513,6 +530,13 @@ pub fn run_threaded_supervised(
                 controller.tick(tick_reports)?
             }
             IngestMode::Frame => match &mut plane {
+                None if route_shard_frames => {
+                    let tick = controller.tick_frames(&shard_frames)?;
+                    for (s, frame) in shard_frames.drain(..).enumerate() {
+                        shard_bufs[s] = Some(frame);
+                    }
+                    tick
+                }
                 None => controller.tick_frame(&merged)?,
                 Some(plane) => {
                     plane.collect_into(t, &mut inbox);

@@ -6,7 +6,7 @@
 //! concurrent paths are active.
 
 use proptest::prelude::*;
-use utilcast_core::compute::ComputeOptions;
+use utilcast_core::compute::{ComputeOptions, ShardKernel};
 use utilcast_datasets::{presets, Resource, Trace};
 use utilcast_simnet::controller::{Controller, ControllerConfig};
 use utilcast_simnet::sim::{SimConfig, Simulation};
@@ -134,6 +134,78 @@ fn warm_start_is_a_distinct_code_path() {
     assert!(warm.intermediate_rmse.is_finite() && cold.intermediate_rmse.is_finite());
 }
 
+/// A hierarchical (two-level) controller configured with a single shard
+/// must reproduce the seed single-level `SimReport` bit-for-bit at any
+/// thread count: `shards <= 1` (including the serde-default `0` from old
+/// checkpoints) takes the seed code path verbatim.
+#[test]
+fn single_shard_hierarchical_reproduces_seed_report_at_any_thread_count() {
+    let seed_report = run_with(ComputeOptions::default());
+    for shards in [0, 1] {
+        for threads in [1, 2, 8] {
+            let report = run_with(ComputeOptions {
+                shards,
+                threads,
+                ..Default::default()
+            });
+            assert_eq!(
+                report, seed_report,
+                "shards = {shards}, threads = {threads} diverged from the seed"
+            );
+        }
+    }
+}
+
+/// The genuinely hierarchical configurations (2 and 8 clustering shards)
+/// are each bit-identical across thread counts: the shard fan-out changes
+/// wall-clock only, never results.
+#[test]
+fn hierarchical_report_bit_identical_at_any_thread_count() {
+    for shards in [2, 8] {
+        let sequential = run_with(ComputeOptions {
+            shards,
+            threads: 1,
+            ..Default::default()
+        });
+        assert_eq!(sequential.steps, 200);
+        assert!(sequential.intermediate_rmse.is_finite());
+        for threads in [2, 8] {
+            let parallel = run_with(ComputeOptions {
+                shards,
+                threads,
+                ..Default::default()
+            });
+            assert_eq!(
+                parallel, sequential,
+                "shards = {shards}, threads = {threads} diverged"
+            );
+        }
+    }
+}
+
+/// The mini-batch shard kernel (one warm Lloyd nudge per shard per tick)
+/// is a different schedule from the full kernel but equally deterministic:
+/// bit-identical across thread counts, including across cold re-seeds.
+#[test]
+fn mini_batch_shard_kernel_bit_identical_at_any_thread_count() {
+    let compute = |threads: usize| ComputeOptions {
+        shards: 4,
+        shard_kernel: ShardKernel::MiniBatch,
+        cold_reseed_every: 13,
+        threads,
+        ..Default::default()
+    };
+    let sequential = run_with(compute(1));
+    assert!(sequential.intermediate_rmse.is_finite());
+    for threads in [2, 8] {
+        assert_eq!(
+            run_with(compute(threads)),
+            sequential,
+            "threads = {threads} diverged"
+        );
+    }
+}
+
 fn config_with_ingest(ingest: IngestMode) -> SimConfig {
     SimConfig {
         k: 4,
@@ -195,6 +267,36 @@ fn frame_ingest_bit_identical_to_report_ingest_at_any_shard_count() {
         assert_eq!(
             threaded_reports, seed_path,
             "threaded report path diverged at {shards} shards"
+        );
+    }
+}
+
+/// With a hierarchical controller, the threaded driver routes each
+/// supervisor shard's frame straight into `Controller::tick_frames`
+/// instead of merging first. The `SimReport` must be bit-identical to the
+/// single-threaded driver's merged-frame run at every supervisor shard
+/// count — supervisor sharding and clustering sharding are independent
+/// axes, and neither may leak into results.
+#[test]
+fn hierarchical_threaded_driver_bit_identical_at_any_supervisor_shard_count() {
+    let trace = trace();
+    let hier_config = SimConfig {
+        compute: ComputeOptions {
+            shards: 4,
+            ..Default::default()
+        },
+        ..config_with_ingest(IngestMode::Frame)
+    };
+    let reference = Simulation::new(hier_config.clone())
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+    for supervisor_shards in [1, 2, 8] {
+        let threaded =
+            run_threaded(&hier_config, &trace, Resource::Cpu, supervisor_shards).unwrap();
+        assert_eq!(
+            threaded, reference,
+            "hierarchical run diverged at {supervisor_shards} supervisor shards"
         );
     }
 }

@@ -7,7 +7,7 @@ use utilcast_datasets::Resource;
 use utilcast_simnet::controller::{Controller, ControllerConfig};
 use utilcast_simnet::sim::{SimConfig, Simulation};
 use utilcast_simnet::threaded::run_threaded;
-use utilcast_simnet::transport::{Meter, Report, HEADER_BYTES};
+use utilcast_simnet::transport::{Meter, Report, ReportFrame, HEADER_BYTES};
 
 const PROP_NODES: usize = 5;
 
@@ -117,6 +117,44 @@ proptest! {
             .unwrap();
         let threaded = run_threaded(&config, &trace, Resource::Cpu, shards).unwrap();
         prop_assert_eq!(reference, threaded);
+    }
+
+    /// Splitting any report stream across `S` per-shard frames admits
+    /// exactly the same set as handing the controller one merged frame:
+    /// same stored values, same quarantine and duplicate counters, same
+    /// tick reports, for any batch mix of valid, out-of-range, unknown-node
+    /// and duplicate entries. This is the contract the threaded driver's
+    /// hierarchical frame routing relies on.
+    #[test]
+    fn sharded_frames_admit_same_set_as_merged_frame(
+        ticks in proptest::collection::vec(arb_tick_reports(), 2..16),
+        shards in 1usize..5,
+    ) {
+        let mut merged_ctl = prop_controller();
+        let mut sharded_ctl = prop_controller();
+        let mut merged = ReportFrame::new(1);
+        let mut split: Vec<ReportFrame> = (0..shards).map(|_| ReportFrame::new(1)).collect();
+        for (t, batch) in ticks.iter().enumerate() {
+            let mut sorted = batch.clone();
+            sorted.sort_by_key(|&(node, _)| node);
+            merged.reset(t);
+            for frame in &mut split {
+                frame.reset(t);
+            }
+            // Contiguous chunks of the sorted stream, mirroring how the
+            // threaded driver's shards partition the node range.
+            for (i, &(node, v)) in sorted.iter().enumerate() {
+                merged.push_scalar(node, v);
+                split[i * shards / sorted.len().max(1)].push_scalar(node, v);
+            }
+            let a = merged_ctl.tick_frame(&merged).unwrap();
+            let b = sharded_ctl.tick_frames(&split).unwrap();
+            prop_assert_eq!(a, b, "tick {} diverged", t);
+        }
+        prop_assert_eq!(merged_ctl.stored(), sharded_ctl.stored());
+        prop_assert_eq!(merged_ctl.quarantined(), sharded_ctl.quarantined());
+        prop_assert_eq!(merged_ctl.duplicates(), sharded_ctl.duplicates());
+        prop_assert_eq!(merged_ctl.snapshot(), sharded_ctl.snapshot());
     }
 
     /// Realized frequency never exceeds budget by more than the queue

@@ -40,6 +40,17 @@ UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=64 UTILCAST_STEPS=2 \
   cargo run --release -q -p utilcast-bench --bin ingest_report
 rm -rf "$SMOKE_DIR"
 
+# Smoke-run the controller scaling benchmark (hierarchical tier) at tiny
+# scale. Exercises scaling_report's built-in single-shard parity guard:
+# the binary exits non-zero unless the shards<=1 hierarchical
+# configuration reproduces the seed SimReport bit-for-bit at several
+# thread counts and the sharded configuration is thread-count invariant.
+echo "==> bench smoke (scaling_report, tiny scale + single-shard parity guard)"
+SMOKE_DIR="$(mktemp -d)"
+UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=64 UTILCAST_STEPS=2 \
+  cargo run --release -q -p utilcast-bench --bin scaling_report
+rm -rf "$SMOKE_DIR"
+
 # Faults smoke: the link-plane contract at small scale. Exits non-zero
 # unless (a) a lossy/delayed/duplicating link run completes with bounded
 # error, and (b) forcing every frame through the delivery plane with

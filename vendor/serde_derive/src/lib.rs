@@ -4,19 +4,31 @@
 //! (concrete `to_value`/`from_value` methods over a `Value` tree) for
 //! non-generic structs with named fields and non-generic enums with
 //! unit, tuple, and struct variants — the full set of shapes used in
-//! this workspace. Implemented directly on `proc_macro::TokenStream`
-//! because `syn`/`quote` are unavailable offline: the input is parsed
-//! with a small hand-rolled walker and the impls are emitted as source
-//! strings with fully qualified paths.
+//! this workspace. The field attribute `#[serde(default)]` is honored on
+//! deserialization (a missing/null entry falls back to
+//! `Default::default()`, matching upstream's behavior for absent
+//! fields); other `#[serde(...)]` attributes are accepted and ignored.
+//! Implemented directly on `proc_macro::TokenStream` because
+//! `syn`/`quote` are unavailable offline: the input is parsed with a
+//! small hand-rolled walker and the impls are emitted as source strings
+//! with fully qualified paths.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Shape of the deriving type.
 enum Kind {
     /// Struct with named fields (possibly zero).
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
     /// Enum with the listed variants.
     Enum(Vec<Variant>),
+}
+
+/// One named field and its serde-relevant attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing entry deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -29,7 +41,7 @@ enum VariantShape {
     /// Tuple variant with the given arity.
     Tuple(usize),
     /// Struct variant with named fields.
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Input {
@@ -37,7 +49,7 @@ struct Input {
     kind: Kind,
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_input(input) {
         Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
@@ -45,7 +57,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_input(input) {
         Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
@@ -122,9 +134,20 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
 /// Advances past leading `#[...]` attributes and a `pub`/`pub(...)`
 /// visibility marker.
 fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    take_attrs_and_vis(tokens, i);
+}
+
+/// Like [`skip_attrs_and_vis`], but reports whether one of the skipped
+/// attributes was `#[serde(default)]` (or a `#[serde(...)]` list
+/// containing `default`).
+fn take_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    default |= attr_is_serde_default(g.stream());
+                }
                 *i += 2; // '#' plus the bracketed attribute group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -136,19 +159,36 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1; // pub(crate) and friends
                 }
             }
-            _ => return,
+            _ => return default,
         }
     }
 }
 
+/// Whether a bracketed attribute body is `serde(...)` with `default`
+/// among its arguments.
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref arg) if arg.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Parses `name: Type, ...` out of a brace-delimited field list,
-/// returning the field names in declaration order.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+/// returning the fields (name plus serde attributes) in declaration
+/// order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = take_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -162,7 +202,10 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             other => return Err(format!("expected `:` after `{field}`, found {other:?}")),
         }
         skip_type(&tokens, &mut i);
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
@@ -267,7 +310,8 @@ fn gen_serialize(input: &Input) -> String {
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value(&self.{f}))"
+                         ::serde::Serialize::to_value(&self.{f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -313,13 +357,18 @@ fn serialize_variant_arm(name: &str, v: &Variant) -> String {
             )
         }
         VariantShape::Struct(fields) => {
-            let binds = fields.join(", ");
+            let binds = fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::to_value({f}))"
+                         ::serde::Serialize::to_value({f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -332,19 +381,33 @@ fn serialize_variant_arm(name: &str, v: &Variant) -> String {
     }
 }
 
+/// One `name: <expr>,` struct-literal initializer for a deserialized
+/// field, reading the entry out of the map binding `source`. With
+/// `#[serde(default)]` a missing entry (which [`serde::get_field`]
+/// surfaces as `Null`) falls back to `Default::default()` instead of
+/// erroring, matching upstream serde's absent-field behavior.
+fn field_init(f: &Field, source: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match ::serde::get_field({source}, \"{name}\") {{\n\
+                 ::serde::Value::Null => ::std::default::Default::default(),\n\
+                 present => ::serde::Deserialize::from_value(present)?,\n\
+             }},"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::from_value(\
+             ::serde::get_field({source}, \"{name}\"))?,"
+        )
+    }
+}
+
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.kind {
         Kind::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::get_field(entries, \"{f}\"))?,"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "entries")).collect();
             format!(
                 "let entries = match v {{\n\
                      ::serde::Value::Map(e) => e,\n\
@@ -443,15 +506,7 @@ fn deserialize_variant_arm(name: &str, v: &Variant) -> String {
             )
         }
         VariantShape::Struct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(\
-                         ::serde::get_field(fields, \"{f}\"))?,"
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "fields")).collect();
             format!(
                 "\"{vname}\" => {{\n\
                      let fields = match inner {{\n\
