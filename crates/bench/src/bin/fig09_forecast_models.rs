@@ -52,20 +52,21 @@ fn main() {
                 .collect();
             let collected = collect(&trace, resource, 0.3, Policy::Adaptive);
 
-            let mut results: Vec<(String, Vec<f64>)> = Vec::new();
-            results.push((
-                "sample-and-hold K=3".into(),
-                pipeline_forecast_rmse(
-                    &truth,
-                    pipeline_config(ModelSpec::SampleAndHold, scale.nodes),
-                    &horizons,
-                    warm,
+            let mut results: Vec<(String, Vec<f64>)> = vec![
+                (
+                    "sample-and-hold K=3".into(),
+                    pipeline_forecast_rmse(
+                        &truth,
+                        pipeline_config(ModelSpec::SampleAndHold, scale.nodes),
+                        &horizons,
+                        warm,
+                    ),
                 ),
-            ));
-            results.push((
-                "sample-and-hold K=N".into(),
-                per_node_hold_rmse(&collected, &horizons, warm),
-            ));
+                (
+                    "sample-and-hold K=N".into(),
+                    per_node_hold_rmse(&collected, &horizons, warm),
+                ),
+            ];
             results.push((
                 "arima".into(),
                 pipeline_forecast_rmse(

@@ -65,7 +65,7 @@ fn training_time(
 
 fn main() {
     let scale = Scale::from_env(40, 2000);
-    let warmup = (scale.steps / 2).min(1000).max(100);
+    let warmup = (scale.steps / 2).clamp(100, 1000);
     let every = 288;
     report::banner(
         "tab2",

@@ -277,7 +277,9 @@ pub fn sample_hold_forecast_rmse_opts(
     clip_offsets: bool,
 ) -> Vec<f64> {
     let steps = collected.z.len();
-    let mut history: VecDeque<(Vec<usize>, Vec<Vec<f64>>, Vec<Vec<f64>>)> = VecDeque::new();
+    // (assignments, per-node value vectors, centroid vectors) per retained step.
+    type HistoryEntry = (Vec<usize>, Vec<Vec<f64>>, Vec<Vec<f64>>);
+    let mut history: VecDeque<HistoryEntry> = VecDeque::new();
     let mut accs = vec![TimeAveragedRmse::new(); horizons.len()];
     for t in 0..steps {
         let z = &collected.z[t];
@@ -303,14 +305,14 @@ pub fn sample_hold_forecast_rmse_opts(
         let n = z.len();
         // Per-node prediction (horizon-independent under sample-and-hold).
         let mut pred = vec![0.0; n];
-        for i in 0..n {
+        for (i, p) in pred.iter_mut().enumerate() {
             let j_star = forecast_membership(&window_assign, i, k);
             let offset = if clip_offsets {
                 node_offset(&window_snaps, i, j_star)[0]
             } else {
                 utilcast_core::offset::node_offset_unclipped(&window_snaps, i, j_star)[0]
             };
-            pred[i] = history.front().expect("just pushed").2[j_star][0] + offset;
+            *p = history.front().expect("just pushed").2[j_star][0] + offset;
         }
         for (hi, &h) in horizons.iter().enumerate() {
             if t + h >= steps {

@@ -81,6 +81,11 @@ impl StaticClustering {
     ///
     /// Panics if `values.len()` differs from the fitted node count or
     /// `values` is empty.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // clustering::baselines::StaticClustering::centroids_at
     pub fn centroids_at(&self, values: &[Vec<f64>]) -> Vec<Vec<f64>> {
         assert_eq!(
             values.len(),
@@ -121,6 +126,10 @@ impl StaticClustering {
 /// Returns [`ClusteringError::EmptyInput`] for no values,
 /// [`ClusteringError::ZeroClusters`] for `k == 0`, and
 /// [`ClusteringError::TooManyClusters`] if `k > values.len()`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: clustering::baselines::min_distance_step
 pub fn min_distance_step(
     values: &[Vec<f64>],
     k: usize,

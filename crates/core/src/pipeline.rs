@@ -307,6 +307,11 @@ impl Pipeline {
     ///
     /// Returns [`CoreError::InvalidConfig`] when `num_nodes == 0`,
     /// `k == 0`, `k > num_nodes`, or the budget is outside `(0, 1]`.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // core::pipeline::Pipeline::new
     pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
         if config.num_nodes == 0 {
             return Err(CoreError::InvalidConfig {
@@ -424,6 +429,11 @@ impl Pipeline {
     /// count, and propagates clustering/forecasting errors. Forecaster
     /// training failures are non-fatal for baselines that cannot fail, but
     /// any error from a model's `fit` is surfaced.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // core::pipeline::Pipeline::step
     pub fn step(&mut self, x: &[f64]) -> Result<StepReport, CoreError> {
         if x.len() != self.config.num_nodes {
             return Err(CoreError::NodeCountMismatch {
@@ -624,12 +634,11 @@ mod tests {
         run(&mut p, 60, n);
         let fc = p.forecast(3).unwrap();
         // Low-group nodes forecast near 0.25, high-group near 0.75.
-        for i in 0..n {
+        for (i, got) in fc[2].iter().enumerate().take(n) {
             let expected = if i < n / 2 { 0.25 } else { 0.75 };
             assert!(
-                (fc[2][i] - expected).abs() < 0.15,
-                "node {i}: forecast {} vs expected {expected}",
-                fc[2][i]
+                (got - expected).abs() < 0.15,
+                "node {i}: forecast {got} vs expected {expected}"
             );
         }
     }

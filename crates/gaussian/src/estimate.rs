@@ -110,6 +110,12 @@ impl Estimator for ClusterEqualEstimator {
 }
 
 impl FittedEstimator for FittedClusterEqual {
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // gaussian::protocol::run_with_k ->
+    // gaussian::estimate::FittedClusterEqual::estimate
     fn estimate(&self, observed: &[f64]) -> Result<Vec<f64>, GaussianError> {
         Ok(self.assignment.iter().map(|&slot| observed[slot]).collect())
     }

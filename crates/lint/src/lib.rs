@@ -8,24 +8,33 @@
 //! NaN-safety, determinism, and hygiene (see [`rules`] for the
 //! catalogue and DESIGN.md §9 for the policy).
 //!
-//! There is no registry access in the build environment, so the scanner
-//! is a hand-rolled token-level lexer ([`lexer`]) rather than a `syn` or
-//! dylint pass: comment-, string-, and attribute-aware, which is exactly
-//! enough to avoid the classic grep false positives (doc examples,
-//! `#[should_panic]`, test modules) without a full parser.
+//! There is no registry access in the build environment, so the whole
+//! stack is hand-rolled and dependency-free: a token-level lexer
+//! ([`lexer`]), an item-level recursive-descent parser ([`parser`]),
+//! and a cross-crate call-graph layer ([`analysis`]) running three
+//! dataflow passes (panic-reachability, determinism taint, arithmetic
+//! audit) on top. The PR 3 token rules keep running as a fallback tier
+//! for anything the parser cannot vouch for — and parse coverage of the
+//! library crates is itself a gated metric.
 //!
 //! Run it with `cargo run -p utilcast-lint` from anywhere in the repo;
-//! `scripts/check.sh` runs it ahead of clippy.
+//! `scripts/check.sh` runs it ahead of clippy (in `--baseline` diff
+//! mode by default). `--sarif`/`--json` emit machine-readable reports.
 
 #![forbid(unsafe_code)]
 
+pub mod analysis;
+pub mod baseline;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use analysis::{analyze_sources, AnalysisConfig, AnalysisReport, AnalysisStats};
 pub use rules::{check_crate_root, lint_file, Diagnostic, FileOutcome, Rule};
 
 /// The crates whose `src/` trees must satisfy every rule family.
@@ -51,6 +60,8 @@ pub struct Report {
     pub files: usize,
     /// Violations silenced by valid `lint:allow` markers.
     pub suppressed: usize,
+    /// Call-graph and coverage counters from the AST tier.
+    pub stats: AnalysisStats,
 }
 
 impl Report {
@@ -69,10 +80,11 @@ pub fn lint_source(file: &str, src: &str) -> FileOutcome {
 
 /// Scans the whole repository rooted at `root`.
 ///
-/// Token rules run over `crates/<lib>/src/**/*.rs` for every crate in
-/// [`LIBRARY_CRATES`]; hygiene additionally checks each crate root for
-/// `#![forbid(unsafe_code)]` and that every directory under `vendor/`
-/// is documented in `vendor/README.md`.
+/// The full stack runs over `crates/<lib>/src/**/*.rs` for every crate
+/// in [`LIBRARY_CRATES`]: token rules, parse-coverage gating, and the
+/// three call-graph passes (see [`analysis`]). Hygiene additionally
+/// checks each crate root for `#![forbid(unsafe_code)]` and that every
+/// directory under `vendor/` is documented in `vendor/README.md`.
 ///
 /// # Errors
 ///
@@ -80,6 +92,8 @@ pub fn lint_source(file: &str, src: &str) -> FileOutcome {
 /// a repository layout problem is a hard error, not a lint finding.
 pub fn lint_repo(root: &Path) -> io::Result<Report> {
     let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let mut root_checks: Vec<Diagnostic> = Vec::new();
     for krate in LIBRARY_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
         let mut files = Vec::new();
@@ -88,18 +102,20 @@ pub fn lint_repo(root: &Path) -> io::Result<Report> {
         for path in files {
             let src = fs::read_to_string(&path)?;
             let label = relative_label(root, &path);
-            let lexed = lexer::lex(&src);
-            let outcome = rules::lint_file(&label, &lexed);
-            report.files += 1;
-            report.suppressed += outcome.suppressed;
-            report.diagnostics.extend(outcome.diagnostics);
             if path.file_name().is_some_and(|n| n == "lib.rs") {
-                if let Some(diag) = rules::check_crate_root(&label, &lexed) {
-                    report.diagnostics.push(diag);
+                if let Some(diag) = rules::check_crate_root(&label, &lexer::lex(&src)) {
+                    root_checks.push(diag);
                 }
             }
+            sources.push((label, src));
         }
     }
+    report.files = sources.len();
+    let analyzed = analysis::analyze_sources(sources, &AnalysisConfig::default());
+    report.diagnostics = analyzed.diagnostics;
+    report.suppressed = analyzed.suppressed;
+    report.stats = analyzed.stats;
+    report.diagnostics.extend(root_checks);
     report.diagnostics.extend(check_vendor_docs(root)?);
     report
         .diagnostics

@@ -1,48 +1,115 @@
-//! CLI entry point: `cargo run -p utilcast-lint [-- [--root DIR] [FILES..]]`.
+//! CLI entry point: `cargo run -p utilcast-lint [-- OPTIONS [FILES..]]`.
 //!
-//! With no arguments, scans the repository's library crates and the
-//! vendor inventory, printing `file:line: [rule] message` per violation
-//! and exiting nonzero when any survive. With file arguments, lints just
-//! those files (handy when iterating on a fix). `--rules` prints the
-//! rule catalogue.
+//! With no arguments, runs the full stack (token tier, parse-coverage
+//! gate, call-graph passes, hygiene) over the repository's library
+//! crates, printing `file:line: [rule] message` per violation and
+//! exiting nonzero when any survive. Options:
+//!
+//! * `--rules` — print the rule catalogue and exit.
+//! * `--explain <rule>` — print the long-form description of one rule.
+//! * `--root DIR` — analyze the workspace rooted at DIR.
+//! * `--baseline [FILE]` — diff mode: hide findings recorded in the
+//!   baseline (default `lint-baseline.txt` at the repo root) and fail
+//!   only on new ones.
+//! * `--update-baseline [FILE]` — rewrite the baseline from the current
+//!   findings and exit clean.
+//! * `--sarif FILE` / `--json FILE` — also write a machine-readable
+//!   report (`-` for stdout).
+//! * `FILES..` — lint just those files with the token tier (iteration
+//!   helper; the graph passes need the whole workspace).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use utilcast_lint::{find_repo_root, lint_repo, lint_source, rules::count_by_rule, Rule};
+use utilcast_lint::{
+    baseline, find_repo_root, lint_repo, lint_source, output, rules::count_by_rule, Diagnostic,
+    Rule,
+};
+
+/// Baseline file name at the workspace root.
+const DEFAULT_BASELINE: &str = "lint-baseline.txt";
+
+struct Options {
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+    baseline: Option<Option<PathBuf>>,
+    update_baseline: Option<Option<PathBuf>>,
+    sarif: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
 
 fn main() -> ExitCode {
-    let mut root: Option<PathBuf> = None;
-    let mut files: Vec<PathBuf> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        root: None,
+        files: Vec::new(),
+        baseline: None,
+        update_baseline: None,
+        sarif: None,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--rules" => {
                 for rule in Rule::ALL {
-                    println!("{:<13} {}", rule.id(), rule.summary());
+                    println!("{:<18} {}", rule.id(), rule.summary());
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next().as_deref().and_then(Rule::from_id) {
+                Some(rule) => {
+                    println!("{}: {}\n\n{}", rule.id(), rule.summary(), rule.explain());
+                    return ExitCode::SUCCESS;
+                }
+                None => {
+                    eprintln!("utilcast-lint: --explain requires a rule id (see --rules)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--root" => match args.next() {
-                Some(dir) => root = Some(PathBuf::from(dir)),
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("utilcast-lint: --root requires a directory");
                     return ExitCode::FAILURE;
                 }
             },
+            "--baseline" => {
+                opts.baseline = Some(next_optional_path(&mut args));
+            }
+            "--update-baseline" => {
+                opts.update_baseline = Some(next_optional_path(&mut args));
+            }
+            "--sarif" => match args.next() {
+                Some(p) => opts.sarif = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("utilcast-lint: --sarif requires a file path (or `-`)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => opts.json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("utilcast-lint: --json requires a file path (or `-`)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: utilcast-lint [--root DIR] [--rules] [FILES..]");
+                println!(
+                    "usage: utilcast-lint [--root DIR] [--rules] [--explain RULE]\n\
+                     \u{20}                    [--baseline [FILE]] [--update-baseline [FILE]]\n\
+                     \u{20}                    [--sarif FILE] [--json FILE] [FILES..]"
+                );
                 return ExitCode::SUCCESS;
             }
-            other => files.push(PathBuf::from(other)),
+            other => opts.files.push(PathBuf::from(other)),
         }
     }
 
-    if !files.is_empty() {
+    if !opts.files.is_empty() {
         let mut violations = 0usize;
-        for path in &files {
+        for path in &opts.files {
             let src = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
@@ -56,7 +123,7 @@ fn main() -> ExitCode {
             }
             violations += outcome.diagnostics.len();
         }
-        return summarize(violations, files.len(), 0);
+        return summarize(violations, opts.files.len(), 0);
     }
 
     let cwd = match std::env::current_dir() {
@@ -66,7 +133,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let root = match root.or_else(|| find_repo_root(&cwd)) {
+    let root = match opts.root.clone().or_else(|| find_repo_root(&cwd)) {
         Some(r) => r,
         None => {
             eprintln!(
@@ -83,18 +150,105 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for diag in &report.diagnostics {
+
+    let stats = &report.stats;
+    eprintln!(
+        "parse coverage: {:.1}% ({}/{} items) | {} fns, {} edges, {} public APIs | \
+         {} loop-bounded + {} assert-guarded sites, {} audited, {} proven seeds",
+        stats.coverage_pct(),
+        stats.items_parsed,
+        stats.items_total,
+        stats.fns,
+        stats.edges,
+        stats.public_apis,
+        stats.bounded_indexes,
+        stats.assert_sites,
+        stats.audited_sites,
+        stats.proven_seeds,
+    );
+
+    if let Some(path) = &opts.sarif {
+        if let Err(e) = write_report(path, &output::to_sarif(&report.diagnostics)) {
+            eprintln!("utilcast-lint: cannot write SARIF report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = write_report(path, &output::to_json(&report.diagnostics)) {
+            eprintln!("utilcast-lint: cannot write JSON report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(file) = &opts.update_baseline {
+        let path = file.clone().unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+        if let Err(e) = baseline::write(&path, &report.diagnostics) {
+            eprintln!("utilcast-lint: cannot write baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "utilcast-lint: baseline updated ({} finding(s) recorded in {})",
+            report.diagnostics.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let visible: Vec<&Diagnostic> = if let Some(file) = &opts.baseline {
+        let path = file.clone().unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+        let accepted = match baseline::read(&path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("utilcast-lint: cannot read baseline: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (fresh, baselined, fixed) = baseline::diff(&report.diagnostics, &accepted);
+        if baselined > 0 || fixed > 0 {
+            eprintln!(
+                "baseline: {baselined} accepted finding(s) hidden, {fixed} entry(ies) \
+                 no longer match (run --update-baseline to prune)"
+            );
+        }
+        fresh
+    } else {
+        report.diagnostics.iter().collect()
+    };
+
+    for diag in &visible {
         println!("{diag}");
     }
-    if !report.diagnostics.is_empty() {
-        let counts = count_by_rule(&report.diagnostics);
+    if !visible.is_empty() {
+        let owned: Vec<Diagnostic> = visible.iter().map(|d| (*d).clone()).collect();
+        let counts = count_by_rule(&owned);
         let breakdown: Vec<String> = counts
             .iter()
             .map(|(rule, n)| format!("{n} {rule}"))
             .collect();
         eprintln!("breakdown: {}", breakdown.join(", "));
     }
-    summarize(report.diagnostics.len(), report.files, report.suppressed)
+    summarize(visible.len(), report.files, report.suppressed)
+}
+
+/// Consumes the next argument as a path iff it does not look like a
+/// flag (so `--baseline --sarif x` treats the baseline path as absent).
+fn next_optional_path(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+) -> Option<PathBuf> {
+    match args.peek() {
+        Some(next) if !next.starts_with('-') => args.next().map(PathBuf::from),
+        _ => None,
+    }
+}
+
+/// Writes a rendered report to `path`, with `-` meaning stdout.
+fn write_report(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if path.as_os_str() == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text)
+    }
 }
 
 fn summarize(violations: usize, files: usize, suppressed: usize) -> ExitCode {

@@ -37,6 +37,7 @@
 //! violation to suppress is itself reported (`suppression`), so every
 //! exception stays auditable.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -59,6 +60,16 @@ pub enum Rule {
     Hygiene,
     /// Meta: malformed or unused `lint:allow` markers.
     Suppression,
+    /// Graph pass 1: unaudited panic site reachable from a public API.
+    PanicPath,
+    /// Graph pass 2: ambient entropy/clock taint on SimReport paths, or
+    /// an RNG seed not provably derived from explicit inputs.
+    Taint,
+    /// Graph pass 3: truncating casts / unchecked offset arithmetic in
+    /// the hot kernels.
+    Arith,
+    /// Meta: an item the parser could not classify (coverage gate).
+    Parse,
 }
 
 impl Rule {
@@ -71,6 +82,10 @@ impl Rule {
         Rule::Determinism,
         Rule::Hygiene,
         Rule::Suppression,
+        Rule::PanicPath,
+        Rule::Taint,
+        Rule::Arith,
+        Rule::Parse,
     ];
 
     /// The identifier used in diagnostics and `lint:allow(...)` markers.
@@ -83,6 +98,10 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Hygiene => "hygiene",
             Rule::Suppression => "suppression",
+            Rule::PanicPath => "panic-path",
+            Rule::Taint => "determinism-taint",
+            Rule::Arith => "arith",
+            Rule::Parse => "parse",
         }
     }
 
@@ -99,6 +118,100 @@ impl Rule {
             }
             Rule::Hygiene => "crate roots forbid unsafe_code; vendored deps stay documented",
             Rule::Suppression => "lint:allow markers must be well-formed and actually used",
+            Rule::PanicPath => {
+                "no unaudited panic site (unwrap/expect, panic-family macro, \
+                 unbounded index/slice, fallible integer division) reachable from a public API"
+            }
+            Rule::Taint => {
+                "ambient entropy/clock sources must not reach SimReport-producing paths, \
+                 and every RNG seed must provably derive from explicit inputs"
+            }
+            Rule::Arith => {
+                "hot-kernel casts must not truncate and offset arithmetic must use \
+                 checked_/wrapping_ forms (or carry a justification)"
+            }
+            Rule::Parse => "every library-crate item must be classified by the item parser",
+        }
+    }
+
+    /// Long-form explanation for `--explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Panic => {
+                "Token tier. The controller loop is always-on: a poisoned edge case \
+                 must surface as a typed error, never tear the process down. `unwrap()`, \
+                 `expect()`, `panic!`, and `unreachable!` are flagged in non-test library \
+                 code. Fix: return a typed error, restructure infallibly, or add \
+                 `// lint:allow(panic): <why>` on the line."
+            }
+            Rule::Stub => {
+                "Token tier. `todo!`/`unimplemented!` are panics dressed as progress and \
+                 `dbg!` leaks stderr noise from the hot path. Implement the path or \
+                 return a typed error."
+            }
+            Rule::NanCmp => {
+                "Token tier. `partial_cmp(..).unwrap()` panics the first time a NaN \
+                 enters an argmin or sort. Use `f64::total_cmp` or map NaN to an \
+                 explicit sort key."
+            }
+            Rule::FloatEq => {
+                "Token tier. `==`/`!=` against float literals or NAN/INFINITY constants \
+                 is almost always a precision bug (and `x == f64::NAN` is always false). \
+                 Use `total_cmp`, an epsilon helper, or justify the exact compare."
+            }
+            Rule::Determinism => {
+                "Token tier. SimReport bit-identity across thread counts and shard \
+                 layouts (PR 2/PR 7) dies the moment iteration order or wall-clock \
+                 reads enter a merge path. Hash containers (including `use .. as` \
+                 renames, `type` aliases, and `std::collections::*` wildcards), \
+                 `Instant::now`, `SystemTime::now`, `thread_rng`, and `from_entropy` \
+                 are flagged in library code."
+            }
+            Rule::Hygiene => {
+                "Repo tier. Crate roots must carry `#![forbid(unsafe_code)]` and every \
+                 directory under vendor/ must be documented in vendor/README.md."
+            }
+            Rule::Suppression => {
+                "Meta. A `// lint:allow(rule): justification` marker must name a \
+                 defined rule, carry a non-empty justification, and actually suppress \
+                 a violation on the line it binds to. Markers naming rules this linter \
+                 does not define are reported as stale."
+            }
+            Rule::PanicPath => {
+                "Graph pass. The analyzer parses every library crate, builds a \
+                 cross-crate call graph (method calls resolve by name — a sound \
+                 over-approximation), and walks from every public API looking for \
+                 transitive paths to a panic site: unwrap/expect, panic-family macros, \
+                 index/slice expressions that are not provably loop-bounded, and \
+                 integer division with a possibly-zero divisor. Indexing by an active \
+                 `for`-range variable (or an affine combination anchored by one, e.g. \
+                 `base + j`) is recognized as bounded-by-construction; `assert!`-family \
+                 contract checks are exempt. Each diagnostic prints one exemplar call \
+                 chain from a public API. Fix: use get()/checked_div and return a typed \
+                 error, or audit the site with `// lint:allow(panic-path): <chain + why>` \
+                 (a marker above an `fn` signature audits every site in that fn)."
+            }
+            Rule::Taint => {
+                "Graph pass. Ambient nondeterminism sources (`thread_rng`, \
+                 `from_entropy`, `Instant::now`, `SystemTime::now`, `env::var`) are \
+                 taint roots; the pass reports any root reachable from a \
+                 SimReport-producing function, with the call chain. Independently, \
+                 every `seed_from_u64`/`from_seed` argument must be provably built \
+                 from fn parameters, clean locals, and constants — SplitMix64 streams \
+                 derived from an explicit seed pass, ambient entropy fails."
+            }
+            Rule::Arith => {
+                "Graph pass. In the hot kernels (kmeans, linalg kernels, transmit, \
+                 frame offsets, simnet transport), `as` casts to narrow integer types, \
+                 float-to-int casts, and offset-named locals built with unchecked \
+                 `+`/`*` are flagged. Use try_from/round/checked_/wrapping_ forms, or \
+                 justify the range with `// lint:allow(arith): <bound>`."
+            }
+            Rule::Parse => {
+                "Meta. The AST passes can only vouch for code the item parser \
+                 classified. Parse coverage of the library crates is printed on every \
+                 run and gated at 100%: an unclassifiable item is itself a diagnostic."
+            }
         }
     }
 
@@ -147,44 +260,37 @@ pub struct FileOutcome {
 }
 
 /// A parsed `lint:allow` marker bound to a source line.
-struct Allow {
-    rule: Rule,
+///
+/// The `used` flag is a `Cell` because the marker pool is shared across
+/// tiers: the token rules claim markers first, then the graph passes
+/// (which hold the pool behind a shared reference) claim theirs, and
+/// only afterwards are the leftovers reported unused.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule the marker suppresses.
+    pub rule: Rule,
     /// The code line the marker suppresses.
-    bound_line: u32,
+    pub bound_line: u32,
     /// The line the marker itself appears on (for unused reports).
-    marker_line: u32,
-    used: bool,
+    pub marker_line: u32,
+    /// Set once any tier consumes the marker.
+    pub used: Cell<bool>,
 }
 
 /// Runs the token-level rules (`panic`, `nan-cmp`, `float-eq`,
 /// `determinism`) over one lexed library-crate file and applies the
-/// suppression protocol.
+/// suppression protocol, including the unused-marker report. This is
+/// the standalone entry point; [`crate::analysis::analyze_sources`]
+/// composes [`token_tier`] with the graph passes instead so markers can
+/// be claimed by either tier.
 pub fn lint_file(file: &str, lexed: &Lexed) -> FileOutcome {
     let mut outcome = FileOutcome::default();
-    let (mut allows, marker_diags) = collect_allows(file, lexed);
-    let kept = strip_test_regions(&lexed.tokens);
-
-    let mut raw = Vec::new();
-    scan_panic_and_nan(file, &lexed.tokens, &kept, &mut raw);
-    scan_float_eq(file, &lexed.tokens, &kept, &mut raw);
-    scan_determinism(file, &lexed.tokens, &kept, &mut raw);
-
-    for diag in raw {
-        // A marker covers every violation of its rule on the bound line
-        // (e.g. `sx == 0.0 || sy == 0.0` is one guard, one justification).
-        let allow = allows
-            .iter_mut()
-            .find(|a| a.rule == diag.rule && a.bound_line == diag.line);
-        match allow {
-            Some(a) => {
-                a.used = true;
-                outcome.suppressed += 1;
-            }
-            None => outcome.diagnostics.push(diag),
-        }
-    }
+    let (allows, marker_diags) = collect_allows(file, lexed);
+    let (diags, suppressed) = token_tier(file, lexed, &allows);
+    outcome.diagnostics = diags;
+    outcome.suppressed = suppressed;
     for a in &allows {
-        if !a.used {
+        if !a.used.get() {
             outcome.diagnostics.push(Diagnostic {
                 file: file.to_string(),
                 line: a.marker_line,
@@ -199,6 +305,37 @@ pub fn lint_file(file: &str, lexed: &Lexed) -> FileOutcome {
     outcome.diagnostics.extend(marker_diags);
     outcome.diagnostics.sort_by_key(|d| (d.line, d.rule));
     outcome
+}
+
+/// Runs the token-level scans and claims matching markers from the
+/// shared pool. Returns the surviving diagnostics plus the number of
+/// violations suppressed. Does *not* report unused markers — the caller
+/// does that after every tier has had its chance.
+pub fn token_tier(file: &str, lexed: &Lexed, allows: &[Allow]) -> (Vec<Diagnostic>, usize) {
+    let kept = strip_test_regions(&lexed.tokens);
+
+    let mut raw = Vec::new();
+    scan_panic_and_nan(file, &lexed.tokens, &kept, &mut raw);
+    scan_float_eq(file, &lexed.tokens, &kept, &mut raw);
+    scan_determinism(file, &lexed.tokens, &kept, &mut raw);
+
+    let mut out = Vec::new();
+    let mut suppressed = 0usize;
+    for diag in raw {
+        // A marker covers every violation of its rule on the bound line
+        // (e.g. `sx == 0.0 || sy == 0.0` is one guard, one justification).
+        let allow = allows
+            .iter()
+            .find(|a| a.rule == diag.rule && a.bound_line == diag.line);
+        match allow {
+            Some(a) => {
+                a.used.set(true);
+                suppressed += 1;
+            }
+            None => out.push(diag),
+        }
+    }
+    (out, suppressed)
 }
 
 /// Checks the crate-root hygiene rule: the file must carry
@@ -221,11 +358,24 @@ pub fn check_crate_root(file: &str, lexed: &Lexed) -> Option<Diagnostic> {
     })
 }
 
+/// How a marker failed to parse.
+enum MarkerError {
+    /// Syntactically broken (missing parens, empty justification, ...).
+    Syntax(String),
+    /// Well-formed but names a rule this linter does not define — a
+    /// stale marker left behind by a renamed or retired rule.
+    Stale(String),
+}
+
 /// Parses every `lint:allow(<rule>): <justification>` marker in the
 /// file's comments and binds each to the code line it suppresses: the
 /// marker's own line when that line holds code, otherwise the next line
 /// that does (so a comment-only marker line covers the statement below).
-fn collect_allows(file: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
+///
+/// Every `lint:allow` occurrence in a comment is parsed, not just the
+/// first — a stale second marker hiding behind a valid one used to pass
+/// silently.
+pub fn collect_allows(file: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
     let mut code_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
     code_lines.sort_unstable();
     code_lines.dedup();
@@ -233,80 +383,115 @@ fn collect_allows(file: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for comment in &lexed.comments {
-        let Some(pos) = comment.text.find("lint:allow") else {
-            continue;
-        };
-        let rest = &comment.text[pos + "lint:allow".len()..];
-        let parsed = parse_marker_body(rest);
-        match parsed {
-            Ok((rules, _justification)) => {
-                let bound = if code_lines.binary_search(&comment.line).is_ok() {
-                    Some(comment.line)
-                } else {
-                    // First code line strictly after the marker line.
-                    let idx = code_lines.partition_point(|&l| l <= comment.line);
-                    code_lines.get(idx).copied()
-                };
-                match bound {
-                    Some(bound_line) => {
-                        for rule in rules {
-                            allows.push(Allow {
-                                rule,
-                                bound_line,
-                                marker_line: comment.line,
-                                used: false,
-                            });
+        // Each marker's body extends to the next `lint:allow` (or the
+        // comment's end), so stacked markers parse independently.
+        let positions: Vec<usize> = comment
+            .text
+            .match_indices("lint:allow")
+            .map(|(p, _)| p)
+            .collect();
+        for (n, &pos) in positions.iter().enumerate() {
+            let body_end = positions.get(n + 1).copied().unwrap_or(comment.text.len());
+            let rest = &comment.text[pos + "lint:allow".len()..body_end];
+            match parse_marker_body(rest) {
+                Ok((rules, _justification)) => {
+                    let bound = if code_lines.binary_search(&comment.line).is_ok() {
+                        Some(comment.line)
+                    } else {
+                        // First code line strictly after the marker line.
+                        let idx = code_lines.partition_point(|&l| l <= comment.line);
+                        code_lines.get(idx).copied()
+                    };
+                    match bound {
+                        Some(bound_line) => {
+                            for rule in rules {
+                                allows.push(Allow {
+                                    rule,
+                                    bound_line,
+                                    marker_line: comment.line,
+                                    used: Cell::new(false),
+                                });
+                            }
                         }
+                        None => diags.push(Diagnostic {
+                            file: file.to_string(),
+                            line: comment.line,
+                            rule: Rule::Suppression,
+                            message: "suppression marker has no code line to cover".to_string(),
+                        }),
                     }
-                    None => diags.push(Diagnostic {
-                        file: file.to_string(),
-                        line: comment.line,
-                        rule: Rule::Suppression,
-                        message: "suppression marker has no code line to cover".to_string(),
-                    }),
                 }
+                Err(MarkerError::Stale(id)) => diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: comment.line,
+                    rule: Rule::Suppression,
+                    message: format!(
+                        "stale suppression marker: `{id}` is not a rule this linter \
+                         defines (known rules: {}); delete or update the marker",
+                        known_rule_ids()
+                    ),
+                }),
+                Err(MarkerError::Syntax(reason)) => diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: comment.line,
+                    rule: Rule::Suppression,
+                    message: format!("malformed suppression marker: {reason}"),
+                }),
             }
-            Err(reason) => diags.push(Diagnostic {
-                file: file.to_string(),
-                line: comment.line,
-                rule: Rule::Suppression,
-                message: format!("malformed suppression marker: {reason}"),
-            }),
         }
     }
     (allows, diags)
 }
 
+/// Comma-joined ids of the rules a marker may name.
+fn known_rule_ids() -> String {
+    let ids: Vec<&str> = Rule::ALL
+        .iter()
+        .filter(|r| !matches!(r, Rule::Suppression | Rule::Parse))
+        .map(|r| r.id())
+        .collect();
+    ids.join(", ")
+}
+
 /// Parses the part of a marker after `lint:allow`: expects
 /// `(<rule>[, <rule>...]): <non-empty justification>`.
-fn parse_marker_body(rest: &str) -> Result<(Vec<Rule>, String), String> {
+fn parse_marker_body(rest: &str) -> Result<(Vec<Rule>, String), MarkerError> {
     let rest = rest.trim_start();
     let Some(inner) = rest.strip_prefix('(') else {
-        return Err("expected `(` after lint:allow".to_string());
+        return Err(MarkerError::Syntax(
+            "expected `(` after lint:allow".to_string(),
+        ));
     };
     let Some(close) = inner.find(')') else {
-        return Err("missing `)` in rule list".to_string());
+        return Err(MarkerError::Syntax("missing `)` in rule list".to_string()));
     };
     let mut rules = Vec::new();
     for id in inner[..close].split(',') {
         let id = id.trim();
+        if id.is_empty() {
+            return Err(MarkerError::Syntax("empty rule list".to_string()));
+        }
         match Rule::from_id(id) {
-            Some(Rule::Suppression) | None => {
-                return Err(format!("unknown rule `{id}`"));
+            // `suppression` and `parse` are meta rules: suppressing the
+            // suppressor (or the coverage gate) would defeat the audit.
+            Some(Rule::Suppression | Rule::Parse) | None => {
+                return Err(MarkerError::Stale(id.to_string()));
             }
             Some(rule) => rules.push(rule),
         }
     }
     if rules.is_empty() {
-        return Err("empty rule list".to_string());
+        return Err(MarkerError::Syntax("empty rule list".to_string()));
     }
     let after = &inner[close + 1..];
     let Some(justification) = after.trim_start().strip_prefix(':') else {
-        return Err("expected `: <justification>` after rule list".to_string());
+        return Err(MarkerError::Syntax(
+            "expected `: <justification>` after rule list".to_string(),
+        ));
     };
     let justification = justification.trim();
     if justification.is_empty() {
-        return Err("empty justification".to_string());
+        return Err(MarkerError::Syntax("empty justification".to_string()));
     }
     Ok((rules, justification.to_string()))
 }
@@ -518,44 +703,38 @@ fn scan_panic_and_nan(file: &str, tokens: &[Token], kept: &[usize], out: &mut Ve
                     });
                 }
             }
-            "panic" | "unreachable" => {
-                if next.is_some_and(|n| n.is_punct("!")) {
-                    out.push(Diagnostic {
-                        file: file.to_string(),
-                        line: t.line,
-                        rule: Rule::Panic,
-                        message: format!(
-                            "`{}!` in library code; return a typed error instead",
-                            t.text
-                        ),
-                    });
-                }
+            "panic" | "unreachable" if next.is_some_and(|n| n.is_punct("!")) => {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: Rule::Panic,
+                    message: format!(
+                        "`{}!` in library code; return a typed error instead",
+                        t.text
+                    ),
+                });
             }
-            "todo" | "unimplemented" => {
-                if next.is_some_and(|n| n.is_punct("!")) {
-                    out.push(Diagnostic {
-                        file: file.to_string(),
-                        line: t.line,
-                        rule: Rule::Stub,
-                        message: format!(
-                            "`{}!` placeholder in library code; implement the path \
-                             or return a typed error",
-                            t.text
-                        ),
-                    });
-                }
+            "todo" | "unimplemented" if next.is_some_and(|n| n.is_punct("!")) => {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: Rule::Stub,
+                    message: format!(
+                        "`{}!` placeholder in library code; implement the path \
+                         or return a typed error",
+                        t.text
+                    ),
+                });
             }
-            "dbg" => {
-                if next.is_some_and(|n| n.is_punct("!")) {
-                    out.push(Diagnostic {
-                        file: file.to_string(),
-                        line: t.line,
-                        rule: Rule::Stub,
-                        message: "`dbg!` debug print in library code; remove it or use a \
-                                  structured diagnostic"
-                            .to_string(),
-                    });
-                }
+            "dbg" if next.is_some_and(|n| n.is_punct("!")) => {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: Rule::Stub,
+                    message: "`dbg!` debug print in library code; remove it or use a \
+                              structured diagnostic"
+                        .to_string(),
+                });
             }
             _ => {}
         }

@@ -1,0 +1,154 @@
+//! Lexer/parser edge cases the token scanner historically got wrong —
+//! raw strings, nested block comments, lifetimes vs char literals,
+//! turbofish, `cfg_attr` — plus a property test that token spans survive
+//! a lex → render → lex round trip.
+
+use proptest::prelude::*;
+use utilcast_lint::lexer::{lex, TokenKind};
+use utilcast_lint::parser::parse_file;
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_escapes_and_quotes() {
+    let toks = kinds(r##"let s = r"a\b"; let t = r#"quote " inside"#;"##);
+    let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 2, "{toks:?}");
+    assert_eq!(strs[0].1, r#"r"a\b""#);
+    assert_eq!(strs[1].1, r###"r#"quote " inside"#"###);
+    // Nothing inside the raw strings leaked out as separate tokens.
+    assert!(toks.iter().all(|(_, t)| t != "quote" && t != "inside"));
+}
+
+#[test]
+fn block_comments_nest() {
+    let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.comments[0].text.contains("inner"));
+    let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(texts, ["fn", "f", "(", ")", "{", "}"]);
+}
+
+#[test]
+fn lifetimes_and_chars_disambiguate() {
+    let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|(k, _)| *k == TokenKind::Lifetime)
+        .collect();
+    let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2, "{toks:?}");
+    assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+    assert_eq!(chars.len(), 1, "{toks:?}");
+    assert_eq!(chars[0].1, "'a'");
+    // Escaped char literals are chars too, never lifetimes.
+    let esc = kinds(r"let nl = '\n';");
+    assert!(esc
+        .iter()
+        .any(|(k, t)| *k == TokenKind::Char && t == r"'\n'"));
+}
+
+#[test]
+fn turbofish_parses_without_confusing_comparisons() {
+    let src =
+        "pub fn f(xs: &[u64]) -> Vec<u64> {\n    xs.iter().copied().collect::<Vec<u64>>()\n}\n";
+    let lexed = lex(src);
+    let parsed = parse_file(&lexed);
+    assert_eq!(parsed.coverage.parsed, parsed.coverage.total);
+    assert_eq!(parsed.items.len(), 1);
+    // `::<` must stay two tokens `::` + `<`, not a comparison mess.
+    let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+    assert!(texts.windows(2).any(|w| w == ["::", "<"]), "{texts:?}");
+}
+
+#[test]
+fn cfg_attr_items_parse_fully() {
+    let src = "#[cfg_attr(test, derive(Debug, Clone))]\n\
+               pub struct Sample {\n    pub x: u64,\n}\n\n\
+               #[cfg_attr(feature = \"extra\", allow(dead_code))]\n\
+               fn helper(v: &[f64]) -> f64 {\n    v.iter().sum()\n}\n";
+    let parsed = parse_file(&lex(src));
+    assert_eq!(
+        parsed.coverage.parsed, parsed.coverage.total,
+        "cfg_attr items must not dent parse coverage"
+    );
+    assert_eq!(parsed.items.len(), 2);
+}
+
+/// Identifier pool — includes `r` and `b`, which double as raw/byte
+/// literal prefixes and must still lex as plain identifiers standalone.
+const IDENTS: &[&str] = &[
+    "alpha", "beta_2", "r", "b", "xs", "_tmp", "gamma9", "fn_like",
+];
+
+/// Operator pool, covering 1-, 2-, and 3-char puncts (maximal munch).
+const PUNCTS: &[&str] = &[
+    "::", "->", "=>", "..", "..=", "==", "!=", "<=", ">=", "&&", "||", "+=", "<<", ">>=", "+", "-",
+    "*", "/", "%", "=", "<", ">", "!", "&", ",", ";", "(", ")", "[", "]", "{", "}", "#", "?",
+];
+
+/// One standalone token: an atom that the lexer must reproduce verbatim
+/// when atoms are joined with single spaces.
+fn atom() -> impl Strategy<Value = String> {
+    (0usize..7, 0u64..1_000_000u64).prop_map(|(kind, seed)| {
+        let s = seed as usize;
+        match kind {
+            0 => IDENTS[s % IDENTS.len()].to_string(),
+            1 => format!("{seed}"),                                // int
+            2 => format!("{}.{}", s % 1000, s % 97),               // float
+            3 => format!("\"s{} v\"", s % 128),                    // string
+            4 => format!("'{}'", (b'a' + (s % 26) as u8) as char), // char
+            5 => format!("'{}", ["a", "out", "x1", "de"][s % 4]),  // lifetime
+            _ => PUNCTS[s % PUNCTS.len()].to_string(),
+        }
+    })
+}
+
+proptest! {
+    /// lex(atoms joined by spaces) yields exactly those atoms back, and
+    /// re-lexing the rendered token texts is a fixed point (kinds, texts,
+    /// and relative order all survive).
+    #[test]
+    fn token_span_round_trip(atoms in proptest::collection::vec(atom(), 0..48)) {
+        let src = atoms.join(" ");
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.tokens.len(), atoms.len());
+        for (tok, atom) in lexed.tokens.iter().zip(&atoms) {
+            prop_assert_eq!(&tok.text, atom);
+        }
+
+        let rendered = lexed
+            .tokens
+            .iter()
+            .map(|t| t.text.clone())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let again = lex(&rendered);
+        prop_assert_eq!(again.tokens.len(), lexed.tokens.len());
+        for (a, b) in again.tokens.iter().zip(&lexed.tokens) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(&a.text, &b.text);
+        }
+    }
+
+    /// Line numbers are monotone and match the newlines actually emitted.
+    #[test]
+    fn token_lines_are_monotone(atoms in proptest::collection::vec(atom(), 1..32)) {
+        let src = atoms.join("\n");
+        let lexed = lex(&src);
+        let mut prev = 0u32;
+        for tok in &lexed.tokens {
+            prop_assert!(tok.line >= prev, "line went backwards at {:?}", tok);
+            prev = tok.line;
+        }
+        if let Some(last) = lexed.tokens.last() {
+            prop_assert!(last.line as usize <= src.lines().count());
+        }
+    }
+}

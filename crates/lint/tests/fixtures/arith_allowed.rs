@@ -1,0 +1,11 @@
+//! Negative fixture for the arithmetic audit: the same hot-kernel sites,
+//! each justified with a site-level marker.
+
+pub fn pack(total: usize, base: usize, stride: usize, col: usize) -> u32 {
+    // lint:allow(arith): base, stride, and col are all < 2^16 by contract
+    let idx = base * stride + col;
+    // lint:allow(arith): total is a per-tick counter bounded by the node count
+    let tag = total as u32;
+    // lint:allow(arith): idx < 2^32 follows from the operand bounds above
+    tag.wrapping_add(idx as u32)
+}

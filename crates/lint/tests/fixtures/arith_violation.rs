@@ -1,0 +1,8 @@
+//! Positive fixture for the arithmetic audit (analyzed as a hot kernel):
+//! a truncating narrow cast and an unchecked offset computation.
+
+pub fn pack(total: usize, base: usize, stride: usize, col: usize) -> u32 {
+    let idx = base * stride + col;
+    let tag = total as u32;
+    tag.wrapping_add(idx as u32)
+}

@@ -1,0 +1,12 @@
+//! Negative fixture for the panic-reachability pass: the same reachable
+//! site, but audited with a fn-scope marker citing the chain.
+
+pub fn lookup(values: &[f64], which: usize) -> f64 {
+    pick(values, which)
+}
+
+// lint:allow(panic-path): fn-scope audit: callers pass which < values.len() / 2
+// by contract; exemplar chain: lookup -> pick
+fn pick(values: &[f64], which: usize) -> f64 {
+    values[which * 2]
+}

@@ -1,0 +1,10 @@
+//! Positive fixture for the panic-reachability pass: a public API whose
+//! private helper indexes with an unbounded computed expression.
+
+pub fn lookup(values: &[f64], which: usize) -> f64 {
+    pick(values, which)
+}
+
+fn pick(values: &[f64], which: usize) -> f64 {
+    values[which * 2]
+}

@@ -1,0 +1,7 @@
+//! Fixture for the stale-marker detector: the suppression names a rule
+//! this linter does not define (a typo, or a rule renamed since).
+
+pub fn total(values: &[f64]) -> f64 {
+    // lint:allow(panics-everywhere): this rule id does not exist
+    values.iter().sum()
+}

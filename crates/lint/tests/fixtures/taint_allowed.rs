@@ -1,0 +1,20 @@
+//! Negative fixture for the determinism-taint pass: the SimReport path
+//! touches no ambient state and the RNG seed is a pure function of an
+//! explicit seed parameter (a provable derivation).
+
+pub struct SimReport {
+    pub ticks: u64,
+}
+
+pub fn run_sim(cfg: &SimConfig) -> SimReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(SIM_STREAM));
+    SimReport {
+        ticks: step(&mut rng),
+    }
+}
+
+const SIM_STREAM: u64 = 7;
+
+fn step(rng: &mut StdRng) -> u64 {
+    rng.next_u64()
+}

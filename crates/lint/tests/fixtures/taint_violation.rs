@@ -1,0 +1,25 @@
+//! Positive fixture for the determinism-taint pass: a SimReport-producing
+//! path reaches ambient process state, and an RNG is seeded from a value
+//! that is not provably derived from an explicit seed parameter.
+
+pub struct SimReport {
+    pub ticks: u64,
+}
+
+pub fn run_sim() -> SimReport {
+    let shift = ambient_shift();
+    SimReport { ticks: shift }
+}
+
+fn ambient_shift() -> u64 {
+    match std::env::var("UTILCAST_SHIFT") {
+        Ok(v) => v.len() as u64,
+        Err(_) => 0,
+    }
+}
+
+pub fn build_rng() -> StdRng {
+    // `entropy_pool` is a thread-local handle, not an explicit seed input,
+    // so the derivation cannot be proven from this fn's signature.
+    StdRng::seed_from_u64(entropy_pool.take())
+}

@@ -175,4 +175,16 @@ fn repository_lints_clean() {
         "library crates must lint clean:\n{}",
         rendered.join("\n")
     );
+    // The parse-coverage gate: every item in the seven library crates
+    // must be covered by the parser (fallback-tier-only files are a
+    // regression even when no token rule fires in them).
+    assert_eq!(
+        report.stats.items_parsed, report.stats.items_total,
+        "parse coverage regressed below 100%"
+    );
+    assert!(report.stats.items_total > 1000, "item census collapsed");
+    assert!(
+        report.stats.public_apis > 100,
+        "public-API census collapsed"
+    );
 }

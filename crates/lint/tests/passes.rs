@@ -1,0 +1,170 @@
+//! End-to-end tests for the call-graph passes (panic-reachability,
+//! determinism taint, arithmetic audit) driven through
+//! [`analyze_sources`] on small fixture workspaces, plus the stale-marker
+//! detector.
+
+use std::path::Path;
+
+use utilcast_lint::{analyze_sources, AnalysisConfig, AnalysisReport, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => panic!("fixture {} unreadable: {e}", path.display()),
+    }
+}
+
+/// Analyzes one fixture as a tiny one-file workspace; `hot` additionally
+/// marks it as an arithmetic-audit kernel.
+fn analyze(name: &str, hot: bool) -> AnalysisReport {
+    let config = if hot {
+        AnalysisConfig {
+            hot_paths: vec![name.to_string()],
+        }
+    } else {
+        AnalysisConfig::default()
+    };
+    analyze_sources(vec![(name.to_string(), fixture(name))], &config)
+}
+
+#[test]
+fn panic_path_reports_the_full_chain() {
+    let report = analyze("panic_path_violation.rs", false);
+    let paths: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::PanicPath)
+        .collect();
+    assert_eq!(paths.len(), 1, "got {:?}", report.diagnostics);
+    let d = paths[0];
+    assert_eq!(d.line, 9, "site line should be the indexing expression");
+    assert!(
+        d.message.contains("reachable via") && d.message.contains("lookup"),
+        "chain missing from {:?}",
+        d.message
+    );
+    assert!(
+        d.message.contains("pick"),
+        "chain should end at the containing fn: {:?}",
+        d.message
+    );
+    assert_eq!(report.stats.public_apis, 1);
+    assert!(report.stats.edges >= 1, "lookup -> pick edge not resolved");
+}
+
+#[test]
+fn panic_path_honors_fn_scope_audit() {
+    let report = analyze("panic_path_allowed.rs", false);
+    assert!(
+        report.diagnostics.is_empty(),
+        "expected clean, got {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.stats.audited_sites, 1);
+}
+
+#[test]
+fn taint_flags_ambient_state_and_unproven_seeds() {
+    let report = analyze("taint_violation.rs", false);
+    let taints: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::Taint)
+        .collect();
+    assert_eq!(taints.len(), 2, "got {:?}", report.diagnostics);
+    assert!(
+        taints
+            .iter()
+            .any(|d| d.message.contains("env::var") && d.message.contains("SimReport")),
+        "ambient-state finding missing: {taints:?}"
+    );
+    assert!(
+        taints
+            .iter()
+            .any(|d| d.message.contains("not provably derived")),
+        "seed-origin finding missing: {taints:?}"
+    );
+    assert_eq!(report.stats.simreport_fns, 1);
+    assert_eq!(report.stats.proven_seeds, 0);
+}
+
+#[test]
+fn taint_accepts_proven_seed_derivation() {
+    let report = analyze("taint_allowed.rs", false);
+    assert!(
+        report.diagnostics.is_empty(),
+        "expected clean, got {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.stats.simreport_fns, 1);
+    assert_eq!(report.stats.proven_seeds, 1);
+}
+
+#[test]
+fn arith_audit_fires_only_in_hot_kernels() {
+    let report = analyze("arith_violation.rs", true);
+    let ariths: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::Arith)
+        .collect();
+    assert!(ariths.len() >= 2, "got {:?}", report.diagnostics);
+    assert!(
+        ariths
+            .iter()
+            .any(|d| d.message.contains("cast can truncate")),
+        "narrow-cast finding missing: {ariths:?}"
+    );
+    assert!(
+        ariths.iter().any(|d| d.message.contains("unchecked")),
+        "offset-arith finding missing: {ariths:?}"
+    );
+
+    // The same file analyzed cold produces no arithmetic findings.
+    let cold = analyze("arith_violation.rs", false);
+    assert!(
+        cold.diagnostics.iter().all(|d| d.rule != Rule::Arith),
+        "arith audit leaked outside hot paths: {:?}",
+        cold.diagnostics
+    );
+}
+
+#[test]
+fn arith_audit_honors_site_markers() {
+    let report = analyze("arith_allowed.rs", true);
+    assert!(
+        report.diagnostics.is_empty(),
+        "expected clean, got {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 3);
+}
+
+#[test]
+fn stale_markers_are_flagged_not_honored() {
+    let report = analyze("stale_allow.rs", false);
+    let stale: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == Rule::Suppression)
+        .collect();
+    assert_eq!(stale.len(), 1, "got {:?}", report.diagnostics);
+    assert!(
+        stale[0].message.contains("stale suppression marker")
+            && stale[0].message.contains("panics-everywhere"),
+        "unexpected message: {:?}",
+        stale[0].message
+    );
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn coverage_stats_track_every_item() {
+    let report = analyze("panic_path_violation.rs", false);
+    assert_eq!(report.stats.items_parsed, report.stats.items_total);
+    assert!((report.stats.coverage_pct() - 100.0).abs() < f64::EPSILON);
+}

@@ -507,7 +507,7 @@ mod tests {
         };
         let report = run_with_faults(&quick_config(), &trace, Resource::Cpu, &plan).unwrap();
         assert!(report.controller_crashes > 0);
-        assert!(report.checkpoints >= 1 + 200 / 25);
+        assert!(report.checkpoints > 200 / 25);
         assert!(report.sim.staleness_rmse.is_finite());
         // Recovery costs some freshness but the run stays bounded.
         assert!(report.sim.staleness_rmse < 0.5);

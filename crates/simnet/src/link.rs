@@ -191,6 +191,12 @@ impl LinkPayload for ReportFrame {
         self.len()
     }
 
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // simnet::link::LinkModel::send ->
+    // simnet::link::ReportFrame::corrupt_entry
     fn corrupt_entry(&mut self, idx: usize, variant: usize, num_nodes: usize) {
         let width = self.width();
         match variant {
@@ -234,6 +240,11 @@ impl LinkPayload for Vec<Report> {
         self.len()
     }
 
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // simnet::link::LinkModel::send -> simnet::link::Vec::corrupt_entry
     fn corrupt_entry(&mut self, idx: usize, variant: usize, num_nodes: usize) {
         self[idx].corrupt_entry(0, variant, num_nodes);
     }
@@ -501,6 +512,11 @@ impl DeliveryPlane {
     /// frames, then put this tick's frame on the wire (sequence-numbered
     /// and tracked when ARQ is enabled). Pass `None` to run only the
     /// ack/retransmission half — e.g. drain ticks after the trace ends.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // simnet::link::DeliveryPlane::submit
     pub fn submit(
         &mut self,
         shard: usize,
@@ -541,6 +557,11 @@ impl DeliveryPlane {
     /// Acks every sequence-numbered frame in `delivered` back through the
     /// reverse links (the ack itself may be lost or delayed — that is
     /// what forces retransmissions and, in turn, duplicate deliveries).
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // simnet::link::DeliveryPlane::ack_delivered
     pub fn ack_delivered(&mut self, delivered: &[ReportFrame], now: usize) {
         for frame in delivered {
             if let Some(seq) = frame.seq() {

@@ -156,6 +156,11 @@ fn decide_bank(bank: &mut TransmitterBank, t: usize, xs: &[f64], zs: &[f64], out
 
 /// The worker thread body for nodes `lo..hi`.
 #[allow(clippy::too_many_arguments)]
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: simnet::threaded::run_threaded_supervised ->
+// simnet::threaded::worker_loop
 fn worker_loop(
     lo: usize,
     hi: usize,

@@ -96,7 +96,7 @@ fn compound_faults_leave_every_mechanism_active() {
     );
     assert!(report.corrupted_reports > 0, "no corruption fired");
     assert!(report.controller_crashes > 0, "no controller crash fired");
-    assert!(report.checkpoints >= 1 + 200 / 25);
+    assert!(report.checkpoints > 200 / 25);
 
     // ...and every resilience mechanism responded. (The quarantine counter
     // is controller state, so a controller crash rewinds it to the last

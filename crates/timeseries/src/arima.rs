@@ -262,6 +262,12 @@ impl Arima {
     /// capping mid-search poisons the simplex with non-finite values and
     /// stalls Nelder–Mead's convergence test. `f64::INFINITY` disables the
     /// screen.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // timeseries::arima::auto_arima_warm ->
+    // timeseries::arima::Arima::fit_differenced
     fn fit_differenced(
         &mut self,
         w: &[f64],
@@ -366,6 +372,12 @@ impl Arima {
 }
 
 /// Unpacks a flat parameter vector into (φ, θ, Φ, Θ, μ) for `order`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: timeseries::arima::auto_arima_warm ->
+// timeseries::arima::Arima::fit_differenced ->
+// timeseries::arima::unpack_order
 fn unpack_order(o: ArimaOrder, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, f64) {
     let mut i = 0;
     let phi = x[i..i + o.p].to_vec();
@@ -383,6 +395,12 @@ fn unpack_order(o: ArimaOrder, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<
 /// Expands `poly(B) * seasonal_poly(B^s)` where both polynomials have the
 /// form `1 - c_1 B - c_2 B² - ...`; returns the combined lag coefficients
 /// `a` such that the product is `1 - Σ a_i B^i` (index 0 unused).
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain:
+// timeseries::arima::Arima::forecast_with_interval ->
+// timeseries::arima::expand
 fn expand(coef: &[f64], scoef: &[f64], s: usize) -> Vec<f64> {
     // Represent polynomials with full coefficient vectors (constant term 1).
     let deg = coef.len() + scoef.len() * s;
@@ -429,6 +447,12 @@ fn expand_ma(theta: &[f64], stheta: &[f64], s: usize) -> Vec<f64> {
 /// and non-invertible MA fits (the innovation recursion `e_t = ... − Σ b_j
 /// e_{t-1-j}` diverges when extended beyond the training window) — CSS is
 /// happy to pick either because they can fit one-step residuals in-sample.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: timeseries::arima::auto_arima_warm ->
+// timeseries::arima::Arima::fit_differenced ->
+// timeseries::arima::recursion_is_stable
 fn recursion_is_stable(coefs: &[f64], horizon: usize) -> bool {
     if coefs.is_empty() {
         return true;
@@ -577,6 +601,11 @@ impl Arima {
     /// # Errors
     ///
     /// Same conditions as [`Arima::forecast`] (via the `Forecaster` trait).
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // timeseries::arima::Arima::forecast_with_interval
     pub fn forecast_with_interval(
         &self,
         history: &[f64],
@@ -745,6 +774,11 @@ pub struct ArimaWarmStart {
 
 impl ArimaWarmStart {
     /// The retained solution for `order`, if any.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // timeseries::arima::ArimaWarmStart::get
     pub fn get(&self, order: ArimaOrder) -> Option<&[f64]> {
         self.entries
             .binary_search_by(|e| e.order.cmp(&order))
@@ -753,6 +787,11 @@ impl ArimaWarmStart {
     }
 
     /// Stores (or replaces) the solution for `order`.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // timeseries::arima::ArimaWarmStart::put
     pub fn put(&mut self, order: ArimaOrder, x: Vec<f64>) {
         match self.entries.binary_search_by(|e| e.order.cmp(&order)) {
             Ok(i) => self.entries[i].x = x,

@@ -114,6 +114,12 @@ impl Drift {
 }
 
 impl Forecaster for Drift {
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // clustering::baselines::StaticClustering::fit ->
+    // timeseries::baselines::Drift::fit
     fn fit(&mut self, history: &[f64]) -> Result<(), TimeSeriesError> {
         if history.len() < 2 {
             return Err(TimeSeriesError::TooShort {

@@ -47,6 +47,10 @@ pub struct DiffState {
 /// assert_eq!(fc, vec![40.0, 42.0]);
 /// # Ok::<(), utilcast_timeseries::TimeSeriesError>(())
 /// ```
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: timeseries::diff::difference
 pub fn difference(
     series: &[f64],
     d: usize,
@@ -89,6 +93,10 @@ pub fn difference(
 
 /// Integrates forecasts of the differenced series back to the original
 /// scale, inverting the operations recorded in `state`.
+// lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+// dimensions validated at the public boundary and restated by debug_assert
+// contracts; the overflow-checked debug-assert CI job backstops the proof
+// at runtime; exemplar chain: timeseries::diff::integrate
 pub fn integrate(forecasts: &[f64], state: &DiffState) -> Vec<f64> {
     let mut current = forecasts.to_vec();
     // Undo operations in reverse order.

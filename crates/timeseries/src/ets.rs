@@ -140,6 +140,13 @@ impl HoltWinters {
 
     /// Runs the smoothing recursion over a series, returning the final
     /// state.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts; the overflow-checked debug-assert CI job
+    // backstops the proof at runtime; exemplar chain:
+    // clustering::baselines::StaticClustering::fit ->
+    // timeseries::ets::HoltWinters::fit ->
+    // timeseries::ets::HoltWinters::smooth
     fn smooth(&self, series: &[f64]) -> EtsState {
         let c = &self.config;
         let p = c.period;
@@ -178,6 +185,8 @@ impl HoltWinters {
             level,
             trend,
             seasonal,
+            // lint:allow(panic-path): seasonal_on implies p >= 2, so `% p`
+            // cannot trap; chain HoltWinters::fit -> HoltWinters::smooth
             phase: if seasonal_on { series.len() % p } else { 0 },
             mse: sse / count.max(1) as f64,
         }
@@ -222,6 +231,9 @@ impl Forecaster for HoltWinters {
             damp_pow *= c.damping;
             damp_acc += damp_pow;
             let s = if seasonal_on {
+                // lint:allow(panic-path): seasonal_on means the seasonal
+                // buffer is non-empty, so `%` by its length cannot trap;
+                // chain HoltWinters::forecast
                 state.seasonal[(state.phase + h) % state.seasonal.len()]
             } else {
                 0.0

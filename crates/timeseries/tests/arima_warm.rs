@@ -6,9 +6,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use utilcast_linalg::rng::standard_normal;
-use utilcast_timeseries::arima::{
-    auto_arima_warm, ArimaFitOptions, ArimaGrid, ArimaOrder, ArimaWarmStart,
-};
+use utilcast_timeseries::arima::{auto_arima_warm, ArimaFitOptions, ArimaGrid, ArimaWarmStart};
 use utilcast_timeseries::Forecaster;
 
 fn ar1_series(n: usize, phi: f64, seed: u64) -> Vec<f64> {
