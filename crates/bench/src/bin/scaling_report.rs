@@ -13,7 +13,12 @@
 //! original implementation) against the optimized path (warm-start
 //! clustering + threaded k-means/retraining).
 //!
-//! The third section benchmarks the hierarchical (two-level) controller:
+//! The third section benchmarks the SIMD lane-kernel tier: the warm
+//! k-means descent under the scalar `CachedNorms` kernel vs its
+//! `SimdNorms` lane twin at `N` up to one million nodes, with per-kernel
+//! GFLOP/s and GB/s, guarded by a bitwise result-parity check.
+//!
+//! The fourth section benchmarks the hierarchical (two-level) controller:
 //! the `N=100k, K=10` scalar controller tick under the flat baseline, flat
 //! warm, and hierarchical full/mini-batch shard kernels, plus the `N=1M`
 //! tick that motivates the tier. It is guarded by a single-shard parity
@@ -30,8 +35,9 @@
 use std::time::Instant;
 
 use serde::Serialize;
+use utilcast_bench::report::ResolvedConfig;
 use utilcast_bench::{report, Scale};
-use utilcast_clustering::parallel::resolve_threads;
+use utilcast_clustering::kmeans::{KMeans, KMeansConfig, Kernel};
 use utilcast_core::compute::{ComputeOptions, ShardKernel};
 use utilcast_core::multi::{MultiPipeline, MultiPipelineConfig};
 use utilcast_core::pipeline::{Pipeline, PipelineConfig, TransmissionMode};
@@ -81,22 +87,46 @@ struct MillionNodeTier {
     slot_headroom: f64,
 }
 
+/// One SIMD-tier measurement: the warm k-means descent (`fit_from_flat`,
+/// where the assignment kernel dominates at `k = 10`) timed under the
+/// scalar `CachedNorms` kernel and its lane twin `SimdNorms`. The two are
+/// bit-identical by construction, and a guard verifies it on the real
+/// result before anything is timed. GFLOP/s counts `n·k·(2d + 2)`
+/// assignment flops plus `2·n·d` update flops per Lloyd iteration; GB/s
+/// counts the point buffer, centroid buffer, and assignment vector touched
+/// per iteration.
+#[derive(Serialize)]
+struct SimdKernelRow {
+    nodes: usize,
+    dim: usize,
+    k: usize,
+    iterations: usize,
+    reps: usize,
+    cached_micros: f64,
+    simd_micros: f64,
+    speedup: f64,
+    cached_gflops: f64,
+    simd_gflops: f64,
+    simd_gbps: f64,
+}
+
 /// The tick benchmark's parameters and measurements, serialized to
-/// `BENCH_controller.json`. `resolved_threads` records what `threads: 0`
-/// ("auto") resolved to on the benchmarking machine, so recorded speedups
-/// can be read in context.
+/// `BENCH_controller.json`. `resolved` records the compute configuration
+/// the optimized path actually ran under (thread auto-detection included),
+/// so recorded speedups can be read in context.
 #[derive(Serialize)]
 struct ControllerBench {
     nodes: usize,
     k: usize,
     resources: usize,
     reps: usize,
-    resolved_threads: usize,
+    resolved: ResolvedConfig,
     baseline_tick_micros: f64,
     optimized_tick_micros: f64,
     speedup: f64,
     baseline_compute: ComputeOptions,
     optimized_compute: ComputeOptions,
+    simd_kernels: Vec<SimdKernelRow>,
     hierarchical: HierarchicalTier,
     million_node: MillionNodeTier,
 }
@@ -190,6 +220,130 @@ fn time_stage_ticks(
         best = best.min(start.elapsed().as_secs_f64() * 1e6);
     }
     best
+}
+
+/// Minimum wall-clock microseconds of `f` over `reps` runs — the standard
+/// minimum-time estimator, discarding scheduler interference instead of
+/// averaging it in.
+fn min_time_micros(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// The SIMD lane-kernel tier: warm `fit_from_flat` descents (3 Lloyd
+/// iterations, sequential, `k = 10`) under `CachedNorms` vs `SimdNorms`,
+/// at `N = 100k` for `d ∈ {2, 8}` and `N = 1M` for `d = 2` (all scaled by
+/// `UTILCAST_NODES` in smoke runs). A bitwise parity guard on the full
+/// result (assignments, centroids, inertia, iteration count) runs before
+/// any timing and exits nonzero on divergence.
+fn simd_kernel_bench(scale: &Scale) -> Vec<SimdKernelRow> {
+    report::banner(
+        "simd-kernels",
+        "warm k-means assignment: CachedNorms vs SimdNorms lane kernel",
+    );
+    let shapes: Vec<(usize, usize, usize)> = if scale.nodes > 0 {
+        let n = scale.nodes.max(64);
+        vec![(n, 2, 3), (n, 8, 3)]
+    } else {
+        vec![(100_000, 2, 6), (100_000, 8, 6), (1_000_000, 2, 2)]
+    };
+    let mut rows = Vec::new();
+    for (n, dim, reps) in shapes {
+        let k = 10usize.min(n / 2);
+        let flat: Vec<f64> = (0..n)
+            .flat_map(|i| (0..dim).map(move |r| measurement(i, r, i % 13)))
+            .collect();
+        // Warm centroids from strided rows: a near-converged initializer,
+        // like the controller's previous-step centroids.
+        let init: Vec<Vec<f64>> = (0..k)
+            .map(|j| {
+                let row = j * n / k;
+                flat[row * dim..(row + 1) * dim].to_vec()
+            })
+            .collect();
+        let config = |kernel: Kernel| KMeansConfig {
+            k,
+            max_iters: 3,
+            tol: 0.0,
+            threads: 1,
+            kernel,
+            ..Default::default()
+        };
+        let fit = |kernel: Kernel| {
+            KMeans::new(config(kernel))
+                .fit_from_flat(&flat, dim, &init)
+                .expect("warm fit")
+        };
+        let cached = fit(Kernel::CachedNorms);
+        let simd = fit(Kernel::SimdNorms);
+        if cached.assignments != simd.assignments
+            || cached.centroids != simd.centroids
+            || cached.inertia.to_bits() != simd.inertia.to_bits()
+            || cached.iterations != simd.iterations
+        {
+            eprintln!(
+                "PARITY FAILURE: SimdNorms diverged from CachedNorms at \
+                 n={n} d={dim} (inertia {} vs {})",
+                cached.inertia, simd.inertia
+            );
+            std::process::exit(1);
+        }
+        let time = |kernel: Kernel| {
+            min_time_micros(reps, || {
+                std::hint::black_box(fit(kernel));
+            })
+        };
+        let cached_micros = time(Kernel::CachedNorms);
+        let simd_micros = time(Kernel::SimdNorms);
+        let iters = cached.iterations.max(1);
+        let flops = (iters * (n * k * (2 * dim + 2) + 2 * n * dim)) as f64;
+        let bytes = (iters * (n * dim + k * dim + n) * 8) as f64;
+        rows.push(SimdKernelRow {
+            nodes: n,
+            dim,
+            k,
+            iterations: iters,
+            reps,
+            cached_micros,
+            simd_micros,
+            speedup: cached_micros / simd_micros.max(1e-9),
+            cached_gflops: flops / (cached_micros.max(1e-9) * 1e3),
+            simd_gflops: flops / (simd_micros.max(1e-9) * 1e3),
+            simd_gbps: bytes / (simd_micros.max(1e-9) * 1e3),
+        });
+    }
+    println!("parity guard: SimdNorms bit-identical to CachedNorms on every shape");
+    report::table(
+        &[
+            "nodes",
+            "d",
+            "cached (us)",
+            "simd (us)",
+            "speedup",
+            "GFLOP/s",
+            "GB/s",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.nodes.to_string(),
+                    r.dim.to_string(),
+                    format!("{:.0}", r.cached_micros),
+                    format!("{:.0}", r.simd_micros),
+                    format!("{:.2}x", r.speedup),
+                    format!("{:.2}", r.simd_gflops),
+                    format!("{:.2}", r.simd_gbps),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    rows
 }
 
 /// Shard count heuristic: ~1.5k nodes per shard (the sweet spot measured
@@ -420,20 +574,20 @@ fn controller_tick_bench(scale: &Scale, reps: usize) {
             ],
         ],
     );
+    let simd_kernels = simd_kernel_bench(scale);
     let (hierarchical, million_node) = hierarchical_tick_bench(scale, reps);
     let bench = ControllerBench {
         nodes: n,
         k,
         resources: d,
         reps,
-        // What `threads: 0` ("auto") resolves to here, for reading the
-        // recorded numbers in context.
-        resolved_threads: resolve_threads(0),
+        resolved: ResolvedConfig::capture(&optimized_compute),
         baseline_tick_micros: baseline,
         optimized_tick_micros: optimized,
         speedup,
         baseline_compute,
         optimized_compute,
+        simd_kernels,
         hierarchical,
         million_node,
     };

@@ -17,19 +17,24 @@
 //! * **Warm starts** — [`KMeans::fit_from`] runs a single Lloyd descent from
 //!   caller-supplied centroids (e.g. the previous time step's result), which
 //!   converges in a handful of iterations on slowly drifting data.
-//! * **Two kernels** — [`Kernel::CachedNorms`] (default) flattens points and
-//!   centroids into contiguous buffers allocated once per fit, ranks
+//! * **Three kernels** — [`Kernel::CachedNorms`] (default) flattens points
+//!   and centroids into contiguous buffers allocated once per fit, ranks
 //!   centroids by `‖c‖² − 2·x·c` (the `‖x‖²` term is constant per point),
 //!   and derives the final inertia from the same identity with per-point
-//!   norms cached up front. [`Kernel::Exact`] is the original
-//!   implementation — exact squared-distance scans over the nested
-//!   `Vec<Vec<f64>>` representation with per-iteration buffer allocation —
-//!   kept selectable as the benchmark baseline and for differential
-//!   testing.
+//!   norms cached up front. [`Kernel::SimdNorms`] computes the same scores
+//!   through a transposed centroid buffer whose inner loop streams
+//!   unit-stride lanes shaped for SIMD autovectorization — bit-identical
+//!   to `CachedNorms` by construction, because the per-centroid reduction
+//!   order is preserved (see `utilcast_linalg::simd`). [`Kernel::Exact`]
+//!   is the original implementation — exact squared-distance scans over
+//!   the nested `Vec<Vec<f64>>` representation with per-iteration buffer
+//!   allocation — kept selectable as the benchmark baseline and for
+//!   differential testing.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use utilcast_linalg::simd;
 
 use crate::parallel::{chunk_len, resolve_threads};
 use crate::ClusteringError;
@@ -57,6 +62,17 @@ pub enum Kernel {
     /// (clamped at zero per point) rather than explicit differences.
     #[default]
     CachedNorms,
+    /// Vectorized kernel: identical math to [`Kernel::CachedNorms`], but
+    /// the assignment scan walks a *transposed* `dim x k` centroid buffer
+    /// with the dimension loop outermost, so the inner loop updates `k`
+    /// independent accumulators through unit-stride memory — the shape
+    /// LLVM autovectorizes to SIMD (see `utilcast_linalg::simd`). Each
+    /// per-centroid score still accumulates its `dim` terms in ascending
+    /// order, exactly like the scalar dot, so results are **bit-identical
+    /// to `CachedNorms`** on every input, at every thread count (the
+    /// `dim == 1` scalar fast path is shared verbatim). The weighted
+    /// merge descent gains the same transposed scan.
+    SimdNorms,
 }
 
 /// Configuration for [`KMeans`].
@@ -174,6 +190,9 @@ struct Scratch {
     sums: Vec<f64>,
     counts: Vec<usize>,
     centroid_norms: Vec<f64>,
+    /// Transposed `dim x k` centroid buffer for the [`Kernel::SimdNorms`]
+    /// assignment scan (empty unless that kernel runs).
+    cent_t: Vec<f64>,
     /// Search structure of the scalar assignment fast path (unused unless
     /// `dim == 1`).
     scalar_index: ScalarIndex,
@@ -189,6 +208,7 @@ impl Scratch {
             sums: vec![0.0; k * dim],
             counts: vec![0usize; k],
             centroid_norms: vec![0.0; k],
+            cent_t: Vec::new(),
             scalar_index: ScalarIndex::default(),
         }
     }
@@ -220,11 +240,7 @@ fn nearest_by_norms(p: &[f64], centroids: &[f64], norms: &[f64]) -> (usize, f64)
         }
     } else {
         for (c, (centroid, &norm)) in centroids.chunks_exact(dim).zip(norms).enumerate() {
-            let mut dot = 0.0;
-            for (x, y) in p.iter().zip(centroid) {
-                dot += x * y;
-            }
-            let score = norm - 2.0 * dot;
+            let score = norm - 2.0 * utilcast_linalg::kernels::dot(p, centroid);
             if score < best_score {
                 best = c;
                 best_score = score;
@@ -397,10 +413,86 @@ fn assign_step(
     });
 }
 
+/// [`assign_step`] through the [`Kernel::SimdNorms`] point-blocked scan:
+/// points are processed `simd::POINT_BLOCK` at a time — each block is
+/// transposed once, then `utilcast_linalg::simd::norm_scores_block_lanes`
+/// runs a register-blocked mini-GEMM against the `dim x k` transposed
+/// centroid buffer (broadcast centroid value, unit-stride accumulate over
+/// the eight points) and `simd::argmin_block` picks each point's winner.
+/// The sub-block remainder falls back to the per-point
+/// `simd::norm_scores_lanes` scan. Every point×centroid dot still gains
+/// its `dim` terms in ascending order — the same order as
+/// [`nearest_by_norms`]'s scalar dot — and the argmin comparison sequence
+/// is identical, so this step is bit-identical to [`assign_step`] on every
+/// input. Pure per point; the fan-out mirrors [`assign_step`].
+// lint:allow(panic-path): fn-scope audit: assignment labels are < k and
+// flat buffers are validated to n * dim by validate_flat/validate_weighted
+// before any kernel runs, so every centroid and point window stays in
+// bounds; exemplar chain: clustering::kmeans::KMeans::fit_from_flat ->
+// clustering::kmeans::KMeans::lloyd_flat ->
+// clustering::kmeans::assign_step_simd
+fn assign_step_simd(
+    flat: &[f64],
+    dim: usize,
+    cent_t: &[f64],
+    norms: &[f64],
+    assignments: &mut [usize],
+    scores: &mut [f64],
+    workers: usize,
+) {
+    let k = norms.len();
+    const PB: usize = simd::POINT_BLOCK;
+    let assign_run = |pts: &[f64], asg: &mut [usize], scs: &mut [f64]| {
+        // Block-sized scratch per worker (one transposed point block plus
+        // k x PB accumulator/score tiles); tiny next to the n * k * dim
+        // scan they enable.
+        let mut pts_t = vec![0.0f64; dim * PB];
+        let mut acc = vec![0.0f64; k];
+        let mut cand = vec![0.0f64; k * PB];
+        let mut idx = vec![0usize; PB];
+        let mut best = vec![0.0f64; PB];
+        let mut blocks = pts.chunks_exact(dim * PB);
+        let mut asg_blocks = asg.chunks_exact_mut(PB);
+        let mut scs_blocks = scs.chunks_exact_mut(PB);
+        for ((block, ab), sb) in (&mut blocks).zip(&mut asg_blocks).zip(&mut scs_blocks) {
+            simd::transpose_point_block(block, dim, &mut pts_t);
+            simd::norm_scores_block_lanes(&pts_t, cent_t, k, norms, &mut cand);
+            simd::argmin_block(&cand, k, &mut idx, &mut best);
+            ab.copy_from_slice(&idx);
+            sb.copy_from_slice(&best);
+        }
+        for ((p, a), s) in blocks
+            .remainder()
+            .chunks_exact(dim)
+            .zip(asg_blocks.into_remainder().iter_mut())
+            .zip(scs_blocks.into_remainder().iter_mut())
+        {
+            simd::norm_scores_lanes(p, cent_t, k, norms, &mut acc, &mut cand[..k]);
+            (*a, *s) = simd::argmin_score(&cand[..k]);
+        }
+    };
+    let n = assignments.len();
+    if workers <= 1 || n < MIN_PARALLEL_POINTS {
+        assign_run(flat, assignments, scores);
+        return;
+    }
+    let chunk = chunk_len(n, workers);
+    std::thread::scope(|scope| {
+        for ((pts, asg), scs) in flat
+            .chunks(chunk * dim)
+            .zip(assignments.chunks_mut(chunk))
+            .zip(scores.chunks_mut(chunk))
+        {
+            let assign_run = &assign_run;
+            scope.spawn(move || assign_run(pts, asg, scs));
+        }
+    });
+}
+
 /// Recomputes `‖c‖²` for every centroid in the flat buffer into `norms`.
 fn refresh_norms(centroids: &[f64], dim: usize, norms: &mut [f64]) {
     for (norm, c) in norms.iter_mut().zip(centroids.chunks_exact(dim)) {
-        *norm = c.iter().map(|v| v * v).sum();
+        *norm = utilcast_linalg::kernels::sq_norm(c);
     }
 }
 
@@ -554,7 +646,7 @@ impl KMeans {
                 nested_for_exact = unflatten(flat, n, dim);
                 &nested_for_exact
             }
-            Kernel::CachedNorms => &[],
+            Kernel::CachedNorms | Kernel::SimdNorms => &[],
         };
         Ok(self.fit_restarts(points, flat, n, dim))
     }
@@ -594,7 +686,7 @@ impl KMeans {
         }
         let result = match self.effective_kernel(dim) {
             Kernel::Exact => self.lloyd_exact(&unflatten(flat, n, dim), init.to_vec()),
-            Kernel::CachedNorms => {
+            Kernel::CachedNorms | Kernel::SimdNorms => {
                 let init_flat = flatten(init, cfg.k, dim);
                 self.lloyd_flat(flat, n, dim, init_flat, resolve_threads(cfg.threads))
             }
@@ -703,7 +795,7 @@ impl KMeans {
         }
         let result = match self.effective_kernel(dim) {
             Kernel::Exact => self.lloyd_exact(points, init.to_vec()),
-            Kernel::CachedNorms => {
+            Kernel::CachedNorms | Kernel::SimdNorms => {
                 let n = points.len();
                 let flat = flatten(points, n, dim);
                 let init_flat = flatten(init, cfg.k, dim);
@@ -734,7 +826,7 @@ impl KMeans {
         };
         match self.effective_kernel(dim) {
             Kernel::Exact => self.lloyd_exact(points, unflatten(&init, self.config.k, dim)),
-            Kernel::CachedNorms => self.lloyd_flat(flat, n, dim, init, workers),
+            Kernel::CachedNorms | Kernel::SimdNorms => self.lloyd_flat(flat, n, dim, init, workers),
         }
     }
 
@@ -759,22 +851,35 @@ impl KMeans {
     ) -> KMeansResult {
         let cfg = &self.config;
         let k = cfg.k;
+        let kernel = self.effective_kernel(dim);
         let mut scratch = Scratch::new(n, k, dim);
         for (pn, p) in scratch.point_norms.iter_mut().zip(flat.chunks_exact(dim)) {
-            *pn = p.iter().map(|v| v * v).sum();
+            *pn = utilcast_linalg::kernels::sq_norm(p);
         }
-        let mut iterations = 0;
-        let mut converged = false;
-        for iter in 0..cfg.max_iters {
-            iterations = iter + 1;
-            // Assignment step (parallel, pure per point).
-            refresh_norms(&centroids, dim, &mut scratch.centroid_norms);
+        // One assignment dispatch for both the iteration loop and the final
+        // pass: the `dim == 1` scalar fast path is shared by both flat
+        // kernels (it is already branch-free and lane-friendly), the
+        // transposed SimdNorms scan covers `dim >= 2`, and every arm
+        // produces bit-identical assignments and scores.
+        let run_assign = |centroids: &[f64], scratch: &mut Scratch| {
+            refresh_norms(centroids, dim, &mut scratch.centroid_norms);
             if dim == 1 {
                 assign_step_scalar(
                     flat,
-                    &centroids,
+                    centroids,
                     &scratch.centroid_norms,
                     &mut scratch.scalar_index,
+                    &mut scratch.assignments,
+                    &mut scratch.scores,
+                    workers,
+                );
+            } else if kernel == Kernel::SimdNorms {
+                simd::transpose_centroids(centroids, k, dim, &mut scratch.cent_t);
+                assign_step_simd(
+                    flat,
+                    dim,
+                    &scratch.cent_t,
+                    &scratch.centroid_norms,
                     &mut scratch.assignments,
                     &mut scratch.scores,
                     workers,
@@ -783,13 +888,20 @@ impl KMeans {
                 assign_step(
                     flat,
                     dim,
-                    &centroids,
+                    centroids,
                     &scratch.centroid_norms,
                     &mut scratch.assignments,
                     &mut scratch.scores,
                     workers,
                 );
             }
+        };
+        let mut iterations = 0;
+        let mut converged = false;
+        for iter in 0..cfg.max_iters {
+            iterations = iter + 1;
+            // Assignment step (parallel, pure per point).
+            run_assign(&centroids, &mut scratch);
             // Partition fixed point: if the assignment reproduced the
             // previous iteration's partition, the update step recomputes
             // exactly the same means (same sums in the same order), so the
@@ -871,28 +983,7 @@ impl KMeans {
         // scores (`‖x‖² + ‖c‖² − 2·x·c`), clamped at zero per point,
         // accumulated sequentially in point order.
         if !converged {
-            refresh_norms(&centroids, dim, &mut scratch.centroid_norms);
-            if dim == 1 {
-                assign_step_scalar(
-                    flat,
-                    &centroids,
-                    &scratch.centroid_norms,
-                    &mut scratch.scalar_index,
-                    &mut scratch.assignments,
-                    &mut scratch.scores,
-                    workers,
-                );
-            } else {
-                assign_step(
-                    flat,
-                    dim,
-                    &centroids,
-                    &scratch.centroid_norms,
-                    &mut scratch.assignments,
-                    &mut scratch.scores,
-                    workers,
-                );
-            }
+            run_assign(&centroids, &mut scratch);
         }
         let mut inertia = 0.0;
         for (&pn, &s) in scratch.point_norms.iter().zip(&scratch.scores) {
@@ -1034,9 +1125,13 @@ fn debug_assert_partition(result: &KMeansResult, n: usize, k: usize) {
 }
 
 /// Squared Euclidean distance between two equal-length vectors.
+///
+/// Delegates to the workspace-wide scalar reference
+/// [`utilcast_linalg::kernels::sq_dist`] (same ascending-index reduction,
+/// re-exported here for the clustering API's historical callers).
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    utilcast_linalg::kernels::sq_dist(a, b)
 }
 
 /// Returns the index of and squared distance to the nearest centroid.
@@ -1205,6 +1300,12 @@ fn weighted_maxmin_seed(flat: &[f64], n: usize, dim: usize, weights: &[f64], k: 
 /// problem is tiny (shards × K points) — and mirrors [`KMeans::lloyd_flat`]'s
 /// structure: partition fixed-point stop, farthest-point reseed of
 /// weightless clusters, movement tolerance, final assignment pass.
+///
+/// [`Kernel::SimdNorms`] swaps the per-point distance scan for the
+/// transposed lane scan (`sq_dist_scores_lanes`), which accumulates each
+/// per-centroid distance in the same ascending-dimension order as
+/// [`sq_dist`] and compares winners in the same sequence — bit-identical
+/// results. The other kernels take the scalar scan.
 #[allow(clippy::too_many_arguments)]
 // lint:allow(panic-path): fn-scope audit: assignment labels are < k and
 // flat buffers are validated to n * dim by validate_flat/validate_weighted
@@ -1220,29 +1321,57 @@ fn lloyd_weighted(
     k: usize,
     max_iters: usize,
     tol: f64,
+    kernel: Kernel,
 ) -> KMeansResult {
     let pt = |i: usize| &flat[i * dim..(i + 1) * dim];
     let mut assignments = vec![0usize; n];
     let mut prev = vec![usize::MAX; n];
     let mut sums = vec![0.0f64; k * dim];
     let mut mass = vec![0.0f64; k];
+    let lanes = kernel == Kernel::SimdNorms;
+    let mut cent_t = Vec::new();
+    let mut dists = vec![0.0f64; if lanes { k } else { 0 }];
+    // Assignment scan shared by the iteration loop and the final pass. The
+    // scalar arm seeds the running best with centroid 0's distance and
+    // compares the rest with strict `<`; the lane arm computes all k
+    // distances first (bitwise equal per centroid) and replays exactly
+    // that comparison sequence.
+    let mut scan = |centroids: &[f64], assignments: &mut [usize], cent_t: &mut Vec<f64>| {
+        if lanes {
+            simd::transpose_centroids(centroids, k, dim, cent_t);
+            for (i, a) in assignments.iter_mut().enumerate() {
+                simd::sq_dist_scores_lanes(pt(i), cent_t, k, &mut dists);
+                let mut best = 0usize;
+                let mut best_d = dists[0];
+                for (c, &d) in dists.iter().enumerate().skip(1) {
+                    if d < best_d {
+                        best = c;
+                        best_d = d;
+                    }
+                }
+                *a = best;
+            }
+        } else {
+            for (i, a) in assignments.iter_mut().enumerate() {
+                let p = pt(i);
+                let mut best = 0usize;
+                let mut best_d = sq_dist(p, &centroids[..dim]);
+                for (c, centroid) in centroids.chunks_exact(dim).enumerate().skip(1) {
+                    let d = sq_dist(p, centroid);
+                    if d < best_d {
+                        best = c;
+                        best_d = d;
+                    }
+                }
+                *a = best;
+            }
+        }
+    };
     let mut iterations = 0;
     let mut converged = false;
     for iter in 0..max_iters.max(1) {
         iterations = iter + 1;
-        for (i, a) in assignments.iter_mut().enumerate() {
-            let p = pt(i);
-            let mut best = 0usize;
-            let mut best_d = sq_dist(p, &centroids[..dim]);
-            for (c, centroid) in centroids.chunks_exact(dim).enumerate().skip(1) {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best = c;
-                    best_d = d;
-                }
-            }
-            *a = best;
-        }
+        scan(&centroids, &mut assignments, &mut cent_t);
         // Partition fixed point: the weighted means recompute identically,
         // so nothing can move — stop without the no-op update.
         if iter > 0 && assignments == prev {
@@ -1293,19 +1422,7 @@ fn lloyd_weighted(
         }
     }
     if !converged {
-        for (i, a) in assignments.iter_mut().enumerate() {
-            let p = pt(i);
-            let mut best = 0usize;
-            let mut best_d = sq_dist(p, &centroids[..dim]);
-            for (c, centroid) in centroids.chunks_exact(dim).enumerate().skip(1) {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best = c;
-                    best_d = d;
-                }
-            }
-            *a = best;
-        }
+        scan(&centroids, &mut assignments, &mut cent_t);
     }
     let mut inertia = 0.0;
     for (i, &a) in assignments.iter().enumerate() {
@@ -1355,6 +1472,7 @@ pub fn fit_weighted_flat(
         config.k,
         config.max_iters,
         config.tol,
+        config.kernel,
     ))
 }
 
@@ -1401,6 +1519,7 @@ pub fn fit_weighted_from_flat(
         config.k,
         config.max_iters,
         config.tol,
+        config.kernel,
     ))
 }
 
@@ -1587,6 +1706,12 @@ mod tests {
         for (a, b) in exact.centroids.iter().zip(&fast.centroids) {
             assert!(sq_dist(a, b) < 1e-18);
         }
+        // The vectorized tier shares CachedNorms' score formula and
+        // reduction order, so it must agree with Exact on assignments and
+        // with CachedNorms bit for bit.
+        let simd = mk(Kernel::SimdNorms);
+        assert_eq!(exact.assignments, simd.assignments);
+        assert_eq!(fast, simd, "SimdNorms diverged from CachedNorms");
     }
 
     #[test]

@@ -40,8 +40,9 @@ use utilcast_clustering::kmeans::{
 use utilcast_clustering::parallel::{chunk_len, resolve_threads};
 use utilcast_clustering::similarity::{intersection_similarity, jaccard_similarity};
 use utilcast_clustering::ClusteringError;
+use utilcast_linalg::simd;
 
-use crate::compute::{ComputeOptions, ShardKernel};
+use crate::compute::{ComputeOptions, Kernel, ShardKernel};
 
 /// Rotation period of the mini-batch shard kernel: each tick re-assigns
 /// the shard points whose local index `i` satisfies
@@ -59,6 +60,14 @@ const MINI_BATCH_ROTATION: usize = 8;
 /// no members keeps its previous position so it can re-acquire points on
 /// a later rotation. Fully sequential, no RNG — bit-identical wherever
 /// it runs.
+///
+/// Under [`Kernel::SimdNorms`] the rotating re-assignment scans a
+/// transposed `dim x k` centroid buffer through
+/// `utilcast_linalg::simd::sq_dist_scores_lanes`, which accumulates each
+/// per-centroid distance in the same ascending-dimension order as the
+/// scalar zip-sum and replays the same running-best comparison — results
+/// are bit-identical to the scalar scan.
+#[allow(clippy::too_many_arguments)]
 // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
 // dimensions validated at the public boundary and restated by debug_assert
 // contracts; the overflow-checked debug-assert CI job backstops the proof
@@ -73,22 +82,41 @@ fn mini_batch_step(
     warm: &[Vec<f64>],
     prev_assign: &[usize],
     t: usize,
+    kernel: Kernel,
 ) -> KMeansResult {
     let mut assignments = prev_assign.to_vec();
+    let lanes = kernel == Kernel::SimdNorms;
+    let mut cent_t = Vec::new();
+    let mut dists = Vec::new();
+    if lanes {
+        cent_t.resize(k * dim, 0.0);
+        for (j, c) in warm.iter().enumerate() {
+            for (d, &v) in c.iter().enumerate() {
+                cent_t[d * k + j] = v;
+            }
+        }
+        dists.resize(k, 0.0);
+    }
     // lint:allow(panic-path): MINI_BATCH_ROTATION is a nonzero const (8);
     // chain DynamicClusterer::step -> hierarchical_fit -> mini_batch_step
     let mut i = (MINI_BATCH_ROTATION - t % MINI_BATCH_ROTATION) % MINI_BATCH_ROTATION;
     while i < n {
         let x = &flat[i * dim..(i + 1) * dim];
-        let mut best = 0usize;
-        let mut best_d = f64::INFINITY;
-        for (j, c) in warm.iter().enumerate() {
-            let d: f64 = x.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
-            if d < best_d {
-                best_d = d;
-                best = j;
+        let best = if lanes {
+            simd::sq_dist_scores_lanes(x, &cent_t, k, &mut dists);
+            simd::argmin(&dists)
+        } else {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (j, c) in warm.iter().enumerate() {
+                let d: f64 = x.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
             }
-        }
+            best
+        };
         assignments[i] = best;
         i += MINI_BATCH_ROTATION;
     }
@@ -409,6 +437,7 @@ impl DynamicClusterer {
                         init,
                         prev,
                         self.t,
+                        compute.kernel,
                     ));
                 }
             }
@@ -490,6 +519,7 @@ impl DynamicClusterer {
             k,
             max_iters: self.config.max_iters,
             seed: self.config.seed.wrapping_add(self.t as u64),
+            kernel: compute.kernel,
             ..Default::default()
         };
         let global_warm = if warm_ok {

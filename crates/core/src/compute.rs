@@ -16,8 +16,12 @@
 //!   single short Lloyd descent replaces `n_init` cold restarts. A periodic
 //!   cold re-seed bounds how long a poor local optimum can persist.
 //! * `kernel` — the Lloyd-iteration kernel: the optimized flat
-//!   cached-norm kernel (default) or the original nested exact-distance
-//!   reference kernel (see [`Kernel`]).
+//!   cached-norm kernel (default), its SIMD-shaped transposed-scan twin,
+//!   or the original nested exact-distance reference kernel (see
+//!   [`Kernel`]).
+//! * `bank_kernel` — the collection plane's batch-decide kernel: the seed
+//!   per-row loop (default) or the phased lane sweeps (see
+//!   [`BankKernel`]); both bit-identical.
 //! * `shards` / `shard_kernel` — the hierarchical two-level controller:
 //!   with `shards > 1` each deterministic contiguous node shard clusters
 //!   locally (in parallel across shards), and the count-weighted shard
@@ -29,6 +33,7 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use crate::transmit::BankKernel;
 pub use utilcast_clustering::kmeans::Kernel;
 
 /// Per-shard Lloyd kernel for the hierarchical (two-level) controller,
@@ -107,6 +112,14 @@ pub struct ComputeOptions {
     /// [`ShardKernel::Full`]; ignored by the single-level path).
     #[serde(default)]
     pub shard_kernel: ShardKernel,
+    /// Batch-decide kernel for the collection plane's
+    /// [`TransmitterBank`](crate::transmit::TransmitterBank) sweeps
+    /// (default [`BankKernel::PerRow`], the seed loop shape). Both kernels
+    /// are bit-identical; [`BankKernel::Lanes`] runs the phased batched
+    /// passes shaped for SIMD. Absent from old checkpoints, which
+    /// deserialize to the default.
+    #[serde(default)]
+    pub bank_kernel: BankKernel,
 }
 
 impl Default for ComputeOptions {
@@ -121,6 +134,7 @@ impl Default for ComputeOptions {
             staleness_age_limit: 0,
             shards: 1,
             shard_kernel: ShardKernel::Full,
+            bank_kernel: BankKernel::PerRow,
         }
     }
 }
@@ -141,6 +155,7 @@ impl ComputeOptions {
             staleness_age_limit: 0,
             shards: 1,
             shard_kernel: ShardKernel::Full,
+            bank_kernel: BankKernel::PerRow,
         }
     }
 }
@@ -161,6 +176,7 @@ mod tests {
         assert_eq!(c.staleness_age_limit, 0, "masking is off by default");
         assert_eq!(c.shards, 1, "single-level clustering by default");
         assert_eq!(c.shard_kernel, ShardKernel::Full);
+        assert_eq!(c.bank_kernel, BankKernel::PerRow);
     }
 
     #[test]
@@ -173,6 +189,7 @@ mod tests {
         assert!(!c.flat_points);
         assert_eq!(c.shards, 1);
         assert_eq!(c.shard_kernel, ShardKernel::Full);
+        assert_eq!(c.bank_kernel, BankKernel::PerRow);
     }
 
     #[test]
@@ -188,5 +205,10 @@ mod tests {
         let c: ComputeOptions = serde_json::from_str(json).unwrap();
         assert!(c.shards <= 1);
         assert_eq!(c.shard_kernel, ShardKernel::Full);
+        assert_eq!(
+            c.bank_kernel,
+            BankKernel::PerRow,
+            "old checkpoints take the seed bank kernel"
+        );
     }
 }

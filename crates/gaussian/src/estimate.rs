@@ -1,7 +1,7 @@
 //! Test-phase estimators: how non-monitor values are inferred from the
 //! monitors' observations.
 
-use utilcast_clustering::kmeans::sq_dist;
+use utilcast_linalg::kernels::sq_dist;
 use utilcast_linalg::Matrix;
 
 use crate::model::GaussianModel;

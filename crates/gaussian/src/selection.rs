@@ -9,7 +9,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use utilcast_clustering::kmeans::{sq_dist, KMeans, KMeansConfig};
+use utilcast_clustering::kmeans::{KMeans, KMeansConfig};
+use utilcast_linalg::kernels::sq_dist;
 use utilcast_linalg::Matrix;
 
 use crate::model::GaussianModel;

@@ -26,6 +26,39 @@ pub fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }
 
+/// Scalar dot product `Σ_i a[i]·b[i]` in ascending index order.
+///
+/// This is **the** scalar reference for every dot-product-shaped primitive in
+/// the workspace (k-means cached-norm scores, similarity measures, LSTM gemv
+/// rows): terms are added one at a time, left to right, starting from `0.0`,
+/// with no FMA. Lane kernels in [`crate::simd`] cite this exact reduction
+/// order in their bitwise/tolerance contracts.
+///
+/// Trailing elements of the longer slice are ignored (zip semantics), which
+/// lets callers pass a strided row prefix.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Scalar squared Euclidean distance `Σ_i (a[i]−b[i])²` in ascending index
+/// order.
+///
+/// The scalar reference for all distance computations (k-means assignment,
+/// empty-cluster reseeding, Gaussian cluster selection, transmitter error
+/// norms). Same left-to-right, FMA-free reduction contract as [`dot`].
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Scalar squared norm `Σ_i a[i]²` in ascending index order — [`dot`] of a
+/// slice with itself, used for the cached-norm term in k-means scoring.
+#[inline]
+pub fn sq_norm(a: &[f64]) -> f64 {
+    a.iter().map(|&x| x * x).sum()
+}
+
 /// `y += A x` for row-major `A` (`rows x cols`): `y[r] += Σ_c A[r,c]·x[c]`.
 ///
 /// Accumulates into each `y[r]` in ascending `c` order starting from the

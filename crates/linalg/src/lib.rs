@@ -30,6 +30,7 @@ pub mod kernels;
 mod matrix;
 pub mod optimize;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 
 pub use cholesky::Cholesky;

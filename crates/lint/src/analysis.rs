@@ -47,6 +47,8 @@ impl Default for AnalysisConfig {
             hot_paths: vec![
                 "clustering/src/kmeans.rs".to_string(),
                 "linalg/src/kernels.rs".to_string(),
+                "linalg/src/simd.rs".to_string(),
+                "timeseries/src/lstm.rs".to_string(),
                 "core/src/transmit.rs".to_string(),
                 "core/src/offset.rs".to_string(),
                 "simnet/src/transport.rs".to_string(),

@@ -1,7 +1,7 @@
 //! The single-threaded reference simulation driver.
 
 use serde::{Deserialize, Serialize};
-use utilcast_core::compute::ComputeOptions;
+use utilcast_core::compute::{BankKernel, ComputeOptions};
 use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::pipeline::ModelSpec;
 use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBank};
@@ -245,6 +245,10 @@ impl Simulation {
             IngestMode::Frame => {
                 let mut bank = TransmitterBank::new(tx_config, n);
                 let mut decisions = Vec::with_capacity(n);
+                // Scratch error buffer for the lane kernel; unused (and
+                // unallocated) on the per-row path.
+                let mut errs = Vec::new();
+                let bank_kernel = self.config.compute.bank_kernel;
                 let mut frame = ReportFrame::with_capacity(1, n);
                 let mut plane =
                     delivery_active.then(|| DeliveryPlane::new(1, &self.config.delivery));
@@ -252,7 +256,12 @@ impl Simulation {
                 for t in 0..steps {
                     let x = trace.snapshot(resource, t)?;
                     let zs: &[f64] = if t == 0 { &x } else { controller.stored() };
-                    bank.decide_batch_against(&x, zs, &mut decisions);
+                    match bank_kernel {
+                        BankKernel::PerRow => bank.decide_batch_against(&x, zs, &mut decisions),
+                        BankKernel::Lanes => {
+                            bank.decide_batch_lanes_against(&x, zs, &mut errs, &mut decisions)
+                        }
+                    }
                     frame.reset(t);
                     for (i, &v) in x.iter().enumerate() {
                         if t == 0 || decisions[i] {

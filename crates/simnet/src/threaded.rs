@@ -28,6 +28,7 @@
 use crossbeam::channel::{self, Receiver, Sender};
 use std::any::Any;
 use std::thread::{self, JoinHandle};
+use utilcast_core::compute::BankKernel;
 use utilcast_core::metrics::{rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, TransmitterBank};
 use utilcast_datasets::{Resource, Trace};
@@ -113,11 +114,14 @@ struct ShardLink {
 enum ShardState {
     /// One [`AdaptiveTransmitter`] per node (the seed reference path).
     PerNode(Vec<AdaptiveTransmitter>),
-    /// One SoA [`TransmitterBank`] for the whole shard plus a recycled
-    /// decision buffer (the flat frame path).
+    /// One SoA [`TransmitterBank`] for the whole shard plus recycled
+    /// decision and lane-error buffers (the flat frame path).
     Bank {
         bank: TransmitterBank,
         decisions: Vec<bool>,
+        /// Scratch per-node error buffer for [`BankKernel::Lanes`]; stays
+        /// empty on the per-row path.
+        errs: Vec<f64>,
     },
 }
 
@@ -146,12 +150,25 @@ fn decide_shard(
 }
 
 /// The bank-based twin of [`decide_shard`]: one batched pass over the
-/// shard, bit-identical decisions, results in `out`.
-fn decide_bank(bank: &mut TransmitterBank, t: usize, xs: &[f64], zs: &[f64], out: &mut Vec<bool>) {
+/// shard, bit-identical decisions, results in `out`. Both bank kernels
+/// produce bit-identical decisions; [`BankKernel::Lanes`] runs the phased
+/// SIMD-shaped sweeps through the shared `errs` scratch.
+fn decide_bank(
+    bank: &mut TransmitterBank,
+    kernel: BankKernel,
+    t: usize,
+    xs: &[f64],
+    zs: &[f64],
+    errs: &mut Vec<f64>,
+    out: &mut Vec<bool>,
+) {
     // Bootstrap tick compares against the measurement itself, exactly like
     // the per-node path (everyone reports regardless of the decision).
     let zref: &[f64] = if t == 0 { xs } else { zs };
-    bank.decide_batch_against(xs, zref, out);
+    match kernel {
+        BankKernel::PerRow => bank.decide_batch_against(xs, zref, out),
+        BankKernel::Lanes => bank.decide_batch_lanes_against(xs, zref, errs, out),
+    }
 }
 
 /// The worker thread body for nodes `lo..hi`.
@@ -165,6 +182,7 @@ fn worker_loop(
     lo: usize,
     hi: usize,
     mode: IngestMode,
+    bank_kernel: BankKernel,
     tx_config: TransmitConfig,
     meter: Meter,
     in_rx: Receiver<WorkerMsg>,
@@ -180,6 +198,7 @@ fn worker_loop(
         IngestMode::Frame => ShardState::Bank {
             bank: TransmitterBank::new(tx_config, hi - lo),
             decisions: Vec::with_capacity(hi - lo),
+            errs: Vec::new(),
         },
     };
     while let Ok(msg) = in_rx.recv() {
@@ -189,8 +208,12 @@ fn worker_loop(
                 ShardState::PerNode(transmitters) => {
                     decide_shard(transmitters, t, &xs, &zs);
                 }
-                ShardState::Bank { bank, decisions } => {
-                    decide_bank(bank, t, &xs, &zs, decisions);
+                ShardState::Bank {
+                    bank,
+                    decisions,
+                    errs,
+                } => {
+                    decide_bank(bank, bank_kernel, t, &xs, &zs, errs, decisions);
                 }
             },
             WorkerMsg::Tick { t, xs, zs, frame } => {
@@ -219,8 +242,12 @@ fn worker_loop(
                         }
                         ShardBatch::Reports(reports)
                     }
-                    ShardState::Bank { bank, decisions } => {
-                        decide_bank(bank, t, &xs, &zs, decisions);
+                    ShardState::Bank {
+                        bank,
+                        decisions,
+                        errs,
+                    } => {
+                        decide_bank(bank, bank_kernel, t, &xs, &zs, errs, decisions);
                         // The supervisor ships the shard's recycled buffer
                         // with the tick; a fresh one is only needed right
                         // after a respawn, when the old buffer died with
@@ -355,12 +382,23 @@ pub fn run_threaded_supervised(
         .collect();
 
     let mode = config.ingest;
+    let bank_kernel = config.compute.bank_kernel;
     let spawn = |(lo, hi): (usize, usize), panic_at: Option<usize>| -> ShardLink {
         let (in_tx, in_rx) = channel::unbounded::<WorkerMsg>();
         let (out_tx, out_rx) = channel::unbounded::<ShardBatch>();
         let meter = worker_meter.clone();
         let handle = thread::spawn(move || {
-            worker_loop(lo, hi, mode, tx_config, meter, in_rx, out_tx, panic_at)
+            worker_loop(
+                lo,
+                hi,
+                mode,
+                bank_kernel,
+                tx_config,
+                meter,
+                in_rx,
+                out_tx,
+                panic_at,
+            )
         });
         ShardLink {
             in_tx,

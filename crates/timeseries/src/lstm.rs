@@ -11,27 +11,38 @@
 //! such models are needed for the whole datacenter, so each one trains in
 //! seconds on a laptop core (Table II).
 //!
-//! Two compute paths implement the same math (see [`LstmKernel`]): the
+//! Three compute paths implement the same math (see [`LstmKernel`]): the
 //! original allocating scalar loops (`Exact`, kept as the differential
-//! reference) and a fused flat-buffer path (`FusedFlat`, the default) built
+//! reference), a fused flat-buffer path (`FusedFlat`, the default) built
 //! on the blocked kernels in `utilcast_linalg::kernels` with one recycled
-//! workspace per fit instead of per-step `Vec<Vec<f64>>` caches. The two
-//! paths are bit-identical by construction — every accumulator sees the same
-//! IEEE op sequence — and a proptest suite enforces it.
+//! workspace per fit instead of per-step `Vec<Vec<f64>>` caches, and a
+//! SIMD-shaped lane path (`SimdFlat`) that swaps each fused kernel for its
+//! `utilcast_linalg::simd` lane twin. `Exact` and `FusedFlat` are
+//! bit-identical by construction — every accumulator sees the same IEEE op
+//! sequence — and a proptest suite enforces it. `SimdFlat` is bit-identical
+//! too whenever `hidden < utilcast_linalg::simd::LANES` (the lane dot
+//! degenerates to the scalar tail); at wider hidden sizes the lane `gemv`
+//! row dots reassociate and the parity suite bounds the drift by the
+//! documented tolerance envelope instead.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use utilcast_linalg::kernels::{gemv_acc, gemv_t_acc, lstm_gate_fuse, rank1_acc};
 use utilcast_linalg::rng::normal;
+use utilcast_linalg::simd::{gemv_lanes, gemv_t_lanes, lstm_gate_fuse_lanes, rank1_lanes};
 
 use crate::{Forecaster, TimeSeriesError};
 
 /// Which compute path the trainer runs.
 ///
-/// Both produce bit-identical weights, training MSE, and forecasts; the
-/// fused path is the production default, the exact path is the transparent
-/// scalar reference kept for differential tests and benchmarking.
+/// `Exact` and `FusedFlat` produce bit-identical weights, training MSE, and
+/// forecasts; the fused path is the production default, the exact path is
+/// the transparent scalar reference kept for differential tests and
+/// benchmarking. `SimdFlat` matches them bit for bit when
+/// `hidden < utilcast_linalg::simd::LANES`; at wider hidden sizes its lane
+/// `gemv` reassociates the per-row dot and results agree within the
+/// tolerance envelope documented in `utilcast_linalg::simd`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum LstmKernel {
     /// The original nested-`Vec` scalar loops with per-step cache
@@ -41,6 +52,12 @@ pub enum LstmKernel {
     /// and a recycled forward/backward workspace.
     #[default]
     FusedFlat,
+    /// The fused flat path with every kernel swapped for its SIMD-shaped
+    /// lane twin from `utilcast_linalg::simd` (fixed-width `[f64; 8]`
+    /// accumulators over `chunks_exact`, shaped so LLVM autovectorizes).
+    /// Same workspace, same op count — only the `gemv` row-dot reduction
+    /// order differs, and only when `hidden >= 8`.
+    SimdFlat,
 }
 
 /// Hyperparameters for [`Lstm`].
@@ -60,7 +77,8 @@ pub struct LstmConfig {
     pub grad_clip: f64,
     /// RNG seed for weight initialization and sample shuffling.
     pub seed: u64,
-    /// Compute path; both produce bit-identical results.
+    /// Compute path; see [`LstmKernel`] for the parity contract between
+    /// the three.
     pub kernel: LstmKernel,
 }
 
@@ -354,10 +372,13 @@ struct Workspace {
     zeros: Vec<f64>,
     /// Head gradient buffer, `hidden + 1`.
     head_grads: Vec<f64>,
+    /// `true` routes every kernel call through the SIMD-shaped lane twins
+    /// in `utilcast_linalg::simd` ([`LstmKernel::SimdFlat`]).
+    simd: bool,
 }
 
 impl Workspace {
-    fn new(layers: &[LstmLayer], steps: usize) -> Self {
+    fn new(layers: &[LstmLayer], steps: usize, simd: bool) -> Self {
         let h = layers.last().map_or(0, |l| l.hidden);
         Workspace {
             layers: layers
@@ -378,6 +399,7 @@ impl Workspace {
             dc_scratch: vec![0.0; h],
             zeros: vec![0.0; h],
             head_grads: vec![0.0; h + 1],
+            simd,
         }
     }
 }
@@ -390,6 +412,10 @@ impl Workspace {
 /// At `t == 0` the recurrent contribution is skipped outright — the exact
 /// path adds `w * 0.0` terms there, which cannot change any accumulator bit
 /// (an accumulator built from `+=` of finite terms is never `-0.0`).
+///
+/// With `simd` set, every kernel call routes to its lane twin in
+/// `utilcast_linalg::simd`; only the `gemv` row-dot reduction order can
+/// differ, and only when the row length reaches the lane width.
 // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
 // affine in the hidden/input dims fixed at construction, with buffer
 // lengths debug_asserted at kernel entry; exemplar chain:
@@ -403,13 +429,20 @@ fn forward_layer_fused(
     z: &mut [f64],
     zeros: &[f64],
     lw: &mut LayerWs,
+    simd: bool,
 ) {
     let h = layer.hidden;
     let input = layer.input;
+    let gemv = if simd { gemv_lanes } else { gemv_acc };
+    let gate_fuse = if simd {
+        lstm_gate_fuse_lanes
+    } else {
+        lstm_gate_fuse
+    };
     for t in 0..steps {
         let z_t = &mut z[..4 * h];
         z_t.copy_from_slice(layer.b());
-        gemv_acc(
+        gemv(
             z_t,
             layer.wx(),
             4 * h,
@@ -423,12 +456,12 @@ fn forward_layer_fused(
         // state: skipping the gemv and fusing against the shared zero buffer
         // reproduces the exact path's arithmetic term for term.
         let c_prev: &[f64] = if t > 0 {
-            gemv_acc(z_t, layer.wh(), 4 * h, h, &h_done[(t - 1) * h..]);
+            gemv(z_t, layer.wh(), 4 * h, h, &h_done[(t - 1) * h..]);
             &c_done[(t - 1) * h..]
         } else {
             &zeros[..h]
         };
-        lstm_gate_fuse(
+        gate_fuse(
             z_t,
             c_prev,
             h,
@@ -447,6 +480,8 @@ fn forward_layer_fused(
 /// Bit-identical to [`LstmLayer::backward`]: the scalar path skips rows with
 /// an exactly-zero `dz`, which only ever adds `±0.0` terms — a bitwise no-op
 /// on accumulators that `+=` finite values — so the kernels run unconditionally.
+/// With `simd` set, the rank-1 and transposed-gemv calls route to their lane
+/// twins, which are order-preserving (bitwise) — see `utilcast_linalg::simd`.
 #[allow(clippy::too_many_arguments)]
 // lint:allow(panic-path): fn-scope audit: gate and weight offsets are
 // affine in the hidden/input dims fixed at construction, with buffer
@@ -469,9 +504,12 @@ fn backward_layer_fused(
     dh_carry: &mut [f64],
     dc_carry: &mut [f64],
     dc_scratch: &mut [f64],
+    simd: bool,
 ) {
     let h = layer.hidden;
     let input = layer.input;
+    let rank1 = if simd { rank1_lanes } else { rank1_acc };
+    let gemv_t = if simd { gemv_t_lanes } else { gemv_t_acc };
     let wh_off = layer.wh_offset();
     let b_off = layer.b_offset();
     for v in dh_carry.iter_mut() {
@@ -503,15 +541,15 @@ fn backward_layer_fused(
             dc_scratch[j] = dc * gf;
         }
         let dz_t = &dz[..4 * h];
-        rank1_acc(&mut grads[..wh_off], dz_t, &xs[t * input..(t + 1) * input]);
+        rank1(&mut grads[..wh_off], dz_t, &xs[t * input..(t + 1) * input]);
         if t > 0 {
-            rank1_acc(&mut grads[wh_off..b_off], dz_t, &lw_hs[(t - 1) * h..t * h]);
+            rank1(&mut grads[wh_off..b_off], dz_t, &lw_hs[(t - 1) * h..t * h]);
         }
         for (g, &d) in grads[b_off..].iter_mut().zip(dz_t) {
             *g += d;
         }
         if let Some(dx) = dx_out.as_deref_mut() {
-            gemv_t_acc(
+            gemv_t(
                 &mut dx[t * input..(t + 1) * input],
                 layer.wx(),
                 4 * h,
@@ -522,7 +560,7 @@ fn backward_layer_fused(
         for v in dh_carry.iter_mut() {
             *v = 0.0;
         }
-        gemv_t_acc(dh_carry, layer.wh(), 4 * h, h, dz_t);
+        gemv_t(dh_carry, layer.wh(), 4 * h, h, dz_t);
         dc_carry.copy_from_slice(dc_scratch);
     }
 }
@@ -553,7 +591,10 @@ impl Adam {
         const B2: f64 = 0.999;
         const EPS: f64 = 1e-8;
         self.t += 1;
+        // lint:allow(arith): t counts Adam steps (epochs x samples), far
+        // below 2^31 for any fit this crate accepts
         let bc1 = 1.0 - B1.powi(self.t as i32);
+        // lint:allow(arith): same bound as the line above
         let bc2 = 1.0 - B2.powi(self.t as i32);
         for (i, &g0) in grads.iter().enumerate() {
             let g = g0.clamp(-clip, clip);
@@ -686,13 +727,22 @@ impl Lstm {
     // timeseries::lstm::Lstm::forward_fused
     fn forward_fused(state: &LstmState, ws: &mut Workspace, window: &[f64]) -> f64 {
         let steps = window.len();
+        let simd = ws.simd;
         for (idx, layer) in state.layers.iter().enumerate() {
             let (below, cur) = ws.layers.split_at_mut(idx);
             let lw = &mut cur[0];
             if idx == 0 {
-                forward_layer_fused(layer, window, steps, &mut ws.z, &ws.zeros, lw);
+                forward_layer_fused(layer, window, steps, &mut ws.z, &ws.zeros, lw, simd);
             } else {
-                forward_layer_fused(layer, &below[idx - 1].hs, steps, &mut ws.z, &ws.zeros, lw);
+                forward_layer_fused(
+                    layer,
+                    &below[idx - 1].hs,
+                    steps,
+                    &mut ws.z,
+                    &ws.zeros,
+                    lw,
+                    simd,
+                );
             }
         }
         let h = state.head_w.len();
@@ -791,6 +841,7 @@ fn fused_train_sample(
             &mut ws.dh_carry,
             &mut ws.dc_carry,
             &mut ws.dc_scratch,
+            ws.simd,
         );
     }
     // Apply Adam updates in place — no delta vectors allocated.
@@ -938,7 +989,8 @@ impl Forecaster for Lstm {
             .collect();
         let mut head_opt = Adam::new(c.hidden + 1, c.learning_rate);
         let mut ws = match c.kernel {
-            LstmKernel::FusedFlat => Some(Workspace::new(&state.layers, c.window)),
+            LstmKernel::FusedFlat => Some(Workspace::new(&state.layers, c.window, false)),
+            LstmKernel::SimdFlat => Some(Workspace::new(&state.layers, c.window, true)),
             LstmKernel::Exact => None,
         };
 
@@ -1010,7 +1062,8 @@ impl Forecaster for Lstm {
             .map(|v| ((v - state.lo) / span).clamp(-0.5, 1.5))
             .collect();
         let mut ws = match self.config.kernel {
-            LstmKernel::FusedFlat => Some(Workspace::new(&state.layers, w)),
+            LstmKernel::FusedFlat => Some(Workspace::new(&state.layers, w, false)),
+            LstmKernel::SimdFlat => Some(Workspace::new(&state.layers, w, true)),
             LstmKernel::Exact => None,
         };
         let mut out = Vec::with_capacity(horizon);
@@ -1200,6 +1253,55 @@ mod tests {
     }
 
     #[test]
+    fn simd_kernel_bit_identical_below_lane_width() {
+        // With hidden < LANES every lane reduction degenerates to the
+        // scalar tail, so SimdFlat must reproduce FusedFlat bit for bit.
+        let series: Vec<f64> = (0..120)
+            .map(|t| 0.4 + 0.3 * (t as f64 * 0.21).sin() + 0.01 * (t % 7) as f64)
+            .collect();
+        let cfg = LstmConfig {
+            hidden: 4,
+            ..tiny_config()
+        };
+        let mut fused = Lstm::new(cfg.clone());
+        let mut simd = Lstm::new(LstmConfig {
+            kernel: LstmKernel::SimdFlat,
+            ..cfg
+        });
+        fused.fit(&series).unwrap();
+        simd.fit(&series).unwrap();
+        assert_eq!(fused.state, simd.state, "fitted state must match bitwise");
+        assert_eq!(
+            fused.forecast(&series, 8).unwrap(),
+            simd.forecast(&series, 8).unwrap()
+        );
+    }
+
+    #[test]
+    fn simd_kernel_close_to_fused_at_lane_width() {
+        // At hidden >= LANES the lane gemv reassociates; training still has
+        // to land on an equivalent model (same series, same seed).
+        let series: Vec<f64> = (0..120)
+            .map(|t| 0.4 + 0.3 * (t as f64 * 0.21).sin() + 0.01 * (t % 7) as f64)
+            .collect();
+        let mut fused = Lstm::new(tiny_config());
+        let mut simd = Lstm::new(LstmConfig {
+            kernel: LstmKernel::SimdFlat,
+            ..tiny_config()
+        });
+        fused.fit(&series).unwrap();
+        simd.fit(&series).unwrap();
+        let a = fused.forecast(&series, 4).unwrap();
+        let b = simd.forecast(&series, 4).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (x - y).abs() < 1e-3,
+                "forecasts diverged beyond tolerance: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
     fn gradient_check_single_layer() {
         // Numerical gradient check of the LSTM layer backward pass: perturb
         // one weight and compare finite difference against analytic grad.
@@ -1248,17 +1350,17 @@ mod tests {
         let xs = vec![0.3, -0.2, -0.1, 0.4, 0.5, 0.05];
         let steps = 3;
         let fused_loss = |l: &LstmLayer| -> f64 {
-            let mut ws = Workspace::new(std::slice::from_ref(l), steps);
+            let mut ws = Workspace::new(std::slice::from_ref(l), steps, false);
             let mut z = vec![0.0; 4 * l.hidden];
             let zeros = vec![0.0; l.hidden];
-            forward_layer_fused(l, &xs, steps, &mut z, &zeros, &mut ws.layers[0]);
+            forward_layer_fused(l, &xs, steps, &mut z, &zeros, &mut ws.layers[0], false);
             ws.layers[0].hs[(steps - 1) * l.hidden..].iter().sum()
         };
-        let mut ws = Workspace::new(std::slice::from_ref(&layer), steps);
+        let mut ws = Workspace::new(std::slice::from_ref(&layer), steps, false);
         {
             let mut z = vec![0.0; 4 * layer.hidden];
             let zeros = vec![0.0; layer.hidden];
-            forward_layer_fused(&layer, &xs, steps, &mut z, &zeros, &mut ws.layers[0]);
+            forward_layer_fused(&layer, &xs, steps, &mut z, &zeros, &mut ws.layers[0], false);
         }
         // dLoss/dh = 1 on the last step only.
         let mut dh = vec![0.0; steps * layer.hidden];
@@ -1282,6 +1384,7 @@ mod tests {
             &mut ws.dh_carry,
             &mut ws.dc_carry,
             &mut ws.dc_scratch,
+            false,
         );
         let eps = 1e-6;
         // Probe entries across all three parameter blocks.

@@ -10,6 +10,16 @@
 # speedup of the flat frame path over the seed per-report path at
 # N=10k/100k in BENCH_ingest.json.
 #
+# The three report binaries are built with RUSTFLAGS="-C target-cpu=native"
+# (into their own target dir, target/native, so the portable build cache
+# is untouched): the vectorized kernel tiers (Kernel::SimdNorms,
+# LstmKernel::SimdFlat, BankKernel::Lanes) are safe Rust shaped for
+# autovectorization, and the default x86-64 target caps codegen at SSE2 —
+# native codegen lets the committed JSONs reflect the host's real vector
+# width (AVX2/AVX-512 where present). Parity guards run in the same
+# binaries, so the bitwise contracts are re-checked under native codegen
+# on every refresh.
+#
 # Usage: scripts/bench.sh [--full]
 #   default    quick mode (few timing reps; minutes, not hours)
 #   --full     more timing reps for stabler numbers
@@ -25,17 +35,27 @@ if [[ "${1:-}" == "--full" ]]; then
   INGEST_TICKS=120
 fi
 
+# Native-codegen build environment for the report binaries only.
+NATIVE_TARGET_DIR="target/native"
+NATIVE_RUSTFLAGS="-C target-cpu=native"
+
+report() {
+  local bin="$1"
+  RUSTFLAGS="$NATIVE_RUSTFLAGS" CARGO_TARGET_DIR="$NATIVE_TARGET_DIR" \
+    cargo run --release -p utilcast-bench --bin "$bin"
+}
+
 echo "==> cargo bench --bench micro (kmeans, hungarian, pipeline tick)"
 cargo bench -p utilcast-bench --bench micro
 
-echo "==> scaling_report (writes BENCH_controller.json, ${REPS} reps)"
-UTILCAST_STEPS="$REPS" cargo run --release -p utilcast-bench --bin scaling_report
+echo "==> scaling_report (writes BENCH_controller.json, ${REPS} reps, native codegen)"
+UTILCAST_STEPS="$REPS" report scaling_report
 
-echo "==> forecast_report (writes BENCH_forecast.json, ${FC_RETRAINS} retrains)"
-UTILCAST_STEPS="$FC_RETRAINS" cargo run --release -p utilcast-bench --bin forecast_report
+echo "==> forecast_report (writes BENCH_forecast.json, ${FC_RETRAINS} retrains, native codegen)"
+UTILCAST_STEPS="$FC_RETRAINS" report forecast_report
 
-echo "==> ingest_report (writes BENCH_ingest.json, ${INGEST_TICKS} ticks/pass)"
-UTILCAST_STEPS="$INGEST_TICKS" cargo run --release -p utilcast-bench --bin ingest_report
+echo "==> ingest_report (writes BENCH_ingest.json, ${INGEST_TICKS} ticks/pass, native codegen)"
+UTILCAST_STEPS="$INGEST_TICKS" report ingest_report
 
 echo "==> faults_smoke (lossy completion + perfect-link bitwise identity)"
 cargo run --release -p utilcast-bench --bin faults_smoke
