@@ -120,7 +120,20 @@ pub struct ComputeOptions {
     /// deserialize to the default.
     #[serde(default)]
     pub bank_kernel: BankKernel,
+    /// Maximum horizon (steps ahead) precomputed into the cached
+    /// [`ForecastTable`](crate::table::ForecastTable) — the read plane
+    /// answers point queries for horizon indices `0..max_query_horizon`
+    /// in O(1). Affects only the table (build cost is linear in it);
+    /// the recompute path and every report stay bit-identical at any
+    /// setting. `0` — including checkpoints written before the read plane
+    /// existed, which carry no field — means the default depth of 16 (see
+    /// [`ComputeOptions::query_horizon`], the only consumer).
+    #[serde(default)]
+    pub max_query_horizon: usize,
 }
+
+/// Table depth used when [`ComputeOptions::max_query_horizon`] is unset.
+pub const DEFAULT_QUERY_HORIZON: usize = 16;
 
 impl Default for ComputeOptions {
     fn default() -> Self {
@@ -135,11 +148,23 @@ impl Default for ComputeOptions {
             shards: 1,
             shard_kernel: ShardKernel::Full,
             bank_kernel: BankKernel::PerRow,
+            max_query_horizon: DEFAULT_QUERY_HORIZON,
         }
     }
 }
 
 impl ComputeOptions {
+    /// The effective forecast-table depth: `max_query_horizon`, with `0`
+    /// (unset / pre-table checkpoint) normalized to
+    /// [`DEFAULT_QUERY_HORIZON`] — the same convention as `shards == 0`
+    /// meaning single-level.
+    pub fn query_horizon(&self) -> usize {
+        if self.max_query_horizon == 0 {
+            DEFAULT_QUERY_HORIZON
+        } else {
+            self.max_query_horizon
+        }
+    }
     /// The compute path of the original implementation — fully sequential,
     /// cold k-means++ restarts every step, exact-distance reference kernel
     /// with per-iteration allocation, synchronized retrains — used as the
@@ -156,6 +181,7 @@ impl ComputeOptions {
             shards: 1,
             shard_kernel: ShardKernel::Full,
             bank_kernel: BankKernel::PerRow,
+            max_query_horizon: DEFAULT_QUERY_HORIZON,
         }
     }
 }
@@ -177,6 +203,7 @@ mod tests {
         assert_eq!(c.shards, 1, "single-level clustering by default");
         assert_eq!(c.shard_kernel, ShardKernel::Full);
         assert_eq!(c.bank_kernel, BankKernel::PerRow);
+        assert_eq!(c.max_query_horizon, 16);
     }
 
     #[test]
@@ -190,6 +217,10 @@ mod tests {
         assert_eq!(c.shards, 1);
         assert_eq!(c.shard_kernel, ShardKernel::Full);
         assert_eq!(c.bank_kernel, BankKernel::PerRow);
+        assert_eq!(
+            c.max_query_horizon, 16,
+            "read-plane depth does not belong to the seed contract"
+        );
     }
 
     #[test]
@@ -209,6 +240,12 @@ mod tests {
             c.bank_kernel,
             BankKernel::PerRow,
             "old checkpoints take the seed bank kernel"
+        );
+        assert_eq!(c.max_query_horizon, 0, "field absent from old JSON");
+        assert_eq!(
+            c.query_horizon(),
+            16,
+            "old checkpoints take the default read-plane depth"
         );
     }
 }

@@ -60,6 +60,7 @@ pub mod multi;
 pub mod offset;
 pub mod pipeline;
 pub mod stage;
+pub mod table;
 pub mod transmit;
 
 pub use error::CoreError;

@@ -497,6 +497,29 @@ impl Pipeline {
         self.stage.forecast(horizon)
     }
 
+    /// The cached forecast read plane: the current-generation
+    /// [`ForecastTable`](crate::table::ForecastTable), rebuilt only when
+    /// the stage's inputs changed since the last call and published for
+    /// concurrent readers (see [`crate::table`]). `table.node_forecast(i,
+    /// h)` is bitwise identical to `forecast(H)[h][i]` at the table's
+    /// horizon `H`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    pub fn forecast_table(
+        &mut self,
+    ) -> Result<std::sync::Arc<crate::table::ForecastTable>, CoreError> {
+        self.stage.forecast_table()
+    }
+
+    /// A cloneable handle to the forecast-table publication cell for
+    /// query-serving threads (see
+    /// [`ForecastStage::table_handle`](crate::stage::ForecastStage::table_handle)).
+    pub fn table_handle(&self) -> crate::table::TableCell {
+        self.stage.table_handle()
+    }
+
     /// Convenience: the estimate of the *current* state (`h = 0`), which is
     /// simply the stored values (the paper defines `x̂_{i,t} := z_{i,t}`).
     ///

@@ -8,6 +8,7 @@
 //! controller all run the *same* code.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use utilcast_clustering::parallel::{chunk_len, resolve_threads};
@@ -20,8 +21,12 @@ use crate::cluster::{
     ClusterStep, ClustererSnapshot, DynamicClusterer, DynamicClustererConfig, SimilarityMeasure,
 };
 use crate::compute::ComputeOptions;
-use crate::offset::{forecast_membership, node_offset_flat, OffsetSnapshotFlat};
+use crate::offset::OffsetSnapshotFlat;
 use crate::pipeline::{ClusterModel, ModelSpec};
+use crate::table::{
+    assemble_forecast, interval_half_widths, resolve_nodes, ForecastTable, TableCell,
+    INTERVAL_WINDOW,
+};
 use crate::CoreError;
 
 /// Configuration of one forecast stage.
@@ -102,6 +107,15 @@ pub struct StageSnapshot {
     degraded: Vec<bool>,
     model_fallbacks: u64,
     fallback_fit_failures: u64,
+    /// Read-plane bookkeeping (absent from pre-table checkpoints, which
+    /// restore with everything zeroed — bit-identical because the table is
+    /// derived state).
+    #[serde(default)]
+    generation: u64,
+    #[serde(default)]
+    table_rebuilds: u64,
+    #[serde(default)]
+    reads_served: u64,
 }
 
 /// Report of one stage step.
@@ -118,6 +132,18 @@ pub struct StageReport {
     /// Sample-and-hold stand-in fits that failed while degrading clusters
     /// this step (see [`ForecastStage::fallback_fit_failures`]).
     pub fallback_fit_failures: u64,
+    /// Cumulative forecast-table rebuilds so far (see
+    /// [`ForecastStage::forecast_table_rebuilds`]). Zero in runs that never
+    /// query the read plane. Absent from old serialized reports, which
+    /// deserialize to zero.
+    #[serde(default)]
+    pub forecast_table_rebuilds: u64,
+    /// Cumulative table reads served so far (see
+    /// [`ForecastStage::forecast_reads_served`]). Zero in runs that never
+    /// query the read plane. Absent from old serialized reports, which
+    /// deserialize to zero.
+    #[serde(default)]
+    pub forecast_reads_served: u64,
 }
 
 /// What happened when one cluster's forecaster observed its centroid.
@@ -208,6 +234,19 @@ pub struct ForecastStage {
     /// degrading a cluster — the cluster then keeps its broken primary and
     /// forecasts hold the last observation.
     fallback_fit_failures: u64,
+    /// Monotone input-version counter for the read plane: bumped whenever
+    /// anything a [`ForecastTable`] is derived from changes (every step
+    /// slides the membership/offset window; retrains, fallback activations
+    /// and recoveries swap models mid-bookkeeping). A published table is
+    /// fresh exactly while its generation matches.
+    generation: u64,
+    /// Times [`ForecastStage::forecast_table`] actually rebuilt (cache
+    /// misses; hits serve the published table untouched).
+    table_rebuilds: u64,
+    /// The publication cell readers clone handles of; also owns the
+    /// reads-served counter so detached readers and the stage share one
+    /// total.
+    cell: TableCell,
 }
 
 impl std::fmt::Debug for ForecastStage {
@@ -273,6 +312,9 @@ impl ForecastStage {
             degraded: vec![false; config.k],
             model_fallbacks: 0,
             fallback_fit_failures: 0,
+            generation: 0,
+            table_rebuilds: 0,
+            cell: TableCell::new(),
             config,
             clusterer,
             forecasters,
@@ -299,6 +341,9 @@ impl ForecastStage {
             degraded: self.degraded.clone(),
             model_fallbacks: self.model_fallbacks,
             fallback_fit_failures: self.fallback_fit_failures,
+            generation: self.generation,
+            table_rebuilds: self.table_rebuilds,
+            reads_served: self.cell.reads_served(),
         }
     }
 
@@ -332,6 +377,9 @@ impl ForecastStage {
         stage.degraded = snapshot.degraded;
         stage.model_fallbacks = snapshot.model_fallbacks;
         stage.fallback_fit_failures = snapshot.fallback_fit_failures;
+        stage.generation = snapshot.generation;
+        stage.table_rebuilds = snapshot.table_rebuilds;
+        stage.cell.set_reads_served(snapshot.reads_served);
         Ok(stage)
     }
 
@@ -354,6 +402,8 @@ impl ForecastStage {
     fn degrade(&mut self, j: usize) -> bool {
         self.model_fallbacks += 1;
         self.degraded[j] = true;
+        // Fallback activation swaps the serving model: retire any table.
+        self.generation += 1;
         let mut hold = ClusterModel::SampleAndHold(SampleAndHold::new());
         // Sample-and-hold fits on any non-empty history, and observe()
         // always records before fitting, so failure is unexpected — but it
@@ -381,6 +431,8 @@ impl ForecastStage {
         if recovered {
             self.forecasters[j].install_model(primary);
             self.degraded[j] = false;
+            // Recovery swaps the serving model: retire any table.
+            self.generation += 1;
         }
         recovered
     }
@@ -422,6 +474,9 @@ impl ForecastStage {
             });
         }
         self.t += 1;
+        // Every step slides the membership/offset window and feeds the
+        // models, so any published forecast table becomes stale now.
+        self.generation += 1;
         // Copy this step's values into one flat buffer, recycling the
         // storage of the history snapshot that is about to fall out of the
         // look-back window so the steady state allocates nothing per step.
@@ -530,6 +585,8 @@ impl ForecastStage {
             intermediate_rmse,
             retrained,
             fallback_fit_failures: self.fallback_fit_failures - fit_failures_before,
+            forecast_table_rebuilds: self.table_rebuilds,
+            forecast_reads_served: self.cell.reads_served(),
         })
     }
 
@@ -540,13 +597,25 @@ impl ForecastStage {
     ///
     /// Returns [`CoreError::NotStarted`] before the first step.
     pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, CoreError> {
-        let newest = self.history.front().ok_or(CoreError::NotStarted)?;
-        let k = self.config.k;
+        let (resolution, _) = self.resolve_window()?;
         let cluster_fc: Vec<Vec<f64>> = self
             .forecasters
             .iter()
             .map(|f| f.forecast_or_hold(horizon))
             .collect();
+        Ok(assemble_forecast(&cluster_fc, &resolution, horizon))
+    }
+
+    /// Resolves every node's membership and offset over the current
+    /// look-back window — the shared per-node preamble of the recompute
+    /// path and the table builder — returning the resolution and the node
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    fn resolve_window(&self) -> Result<(crate::table::NodeResolution, usize), CoreError> {
+        let newest = self.history.front().ok_or(CoreError::NotStarted)?;
         let window_assign: Vec<&[usize]> = self
             .history
             .iter()
@@ -562,15 +631,122 @@ impl ForecastStage {
             })
             .collect();
         let n = newest.values.nrows();
-        let mut out = vec![vec![0.0; n]; horizon];
-        for i in 0..n {
-            let j_star = forecast_membership(&window_assign, i, k);
-            let offset = node_offset_flat(&window_snaps, i, j_star)[0];
-            for (h, row) in out.iter_mut().enumerate() {
-                row[i] = cluster_fc[j_star][h] + offset;
+        Ok((
+            resolve_nodes(&window_assign, &window_snaps, n, self.config.k),
+            n,
+        ))
+    }
+
+    /// The read plane's input-version counter: bumped by every step and by
+    /// every fallback activation/recovery. A [`ForecastTable`] is fresh
+    /// exactly while [`ForecastTable::generation`] matches this.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Builds a fresh [`ForecastTable`] out to
+    /// [`ComputeOptions::max_query_horizon`] from current stage state: the
+    /// same `forecast_or_hold` trajectories and the same window resolution
+    /// as [`ForecastStage::forecast`] (so `node_forecast(i, h)` is bitwise
+    /// identical to `forecast(H)[h][i]` at `H = max_query_horizon`), plus
+    /// Gaussian interval half-widths fitted on the recent centroid
+    /// history.
+    ///
+    /// Does not publish or count the build; use
+    /// [`ForecastStage::forecast_table`] for the cached, published plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    // lint:allow(panic-path): fn-scope audit: index arithmetic is affine in
+    // dimensions validated at the public boundary and restated by
+    // debug_assert contracts (the history tail slice starts at
+    // `history.len() - w` with `w` the minimum history length across
+    // forecasters, capped at INTERVAL_WINDOW); the overflow-checked
+    // debug-assert CI job backstops the proof at runtime; exemplar chain:
+    // core::stage::ForecastStage::build_forecast_table
+    pub fn build_forecast_table(&self) -> Result<ForecastTable, CoreError> {
+        let (resolution, _) = self.resolve_window()?;
+        let horizon = self.config.compute.query_horizon();
+        let k = self.config.k;
+        let mut cluster_fc = Vec::with_capacity(k * horizon);
+        for f in &self.forecasters {
+            cluster_fc.extend_from_slice(&f.forecast_or_hold(horizon));
+        }
+        // Interval model: K rows of the last `w` centroid observations.
+        // Bounded by the shortest history so the matrix stays rectangular.
+        let w = self
+            .forecasters
+            .iter()
+            .map(|f| f.history().len())
+            .min()
+            .unwrap_or(0)
+            .min(INTERVAL_WINDOW);
+        let intervals = if w >= 2 {
+            let mut rows = Vec::with_capacity(k * w);
+            for f in &self.forecasters {
+                let history = f.history();
+                rows.extend_from_slice(&history[history.len() - w..]);
+            }
+            interval_half_widths(&Matrix::from_vec(k, w, rows), horizon)
+        } else {
+            vec![0.0; k * horizon]
+        };
+        Ok(ForecastTable::from_parts(
+            self.generation,
+            horizon,
+            k,
+            cluster_fc,
+            intervals,
+            resolution,
+        ))
+    }
+
+    /// The cached forecast table for the current generation: serves the
+    /// published table when it is fresh, otherwise rebuilds (counted in
+    /// [`ForecastStage::forecast_table_rebuilds`]) and publishes through
+    /// the epoch cell so detached [`TableCell`] handles observe the new
+    /// table immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotStarted`] before the first step.
+    pub fn forecast_table(&mut self) -> Result<Arc<ForecastTable>, CoreError> {
+        if let Some(table) = self.cell.load() {
+            if table.generation() == self.generation {
+                return Ok(table);
             }
         }
-        Ok(out)
+        let table = Arc::new(self.build_forecast_table()?);
+        self.table_rebuilds += 1;
+        self.cell.publish(Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// A cloneable handle to the publication cell — the read side of the
+    /// forecast plane, handed to query-serving threads. Handles observe
+    /// every future publication without further coordination.
+    pub fn table_handle(&self) -> TableCell {
+        self.cell.clone()
+    }
+
+    /// Records `n` forecast-table reads served (delegates to the shared
+    /// cell counter, so reads recorded by detached handles and by the
+    /// stage accumulate into one total).
+    pub fn record_reads(&self, n: u64) {
+        self.cell.record_reads(n);
+    }
+
+    /// Total forecast-table reads served so far across the stage and all
+    /// detached handles.
+    pub fn forecast_reads_served(&self) -> u64 {
+        self.cell.reads_served()
+    }
+
+    /// Times [`ForecastStage::forecast_table`] rebuilt the table (cache
+    /// misses; the published table served everything else).
+    pub fn forecast_table_rebuilds(&self) -> u64 {
+        self.table_rebuilds
     }
 
     /// Forecasts each cluster's centroid for horizons `1..=horizon`
@@ -953,6 +1129,126 @@ mod tests {
             a.step(&[0.2, 0.2, 0.7, 0.7]).unwrap(),
             b.step(&[0.2, 0.2, 0.7, 0.7]).unwrap()
         );
+    }
+
+    #[test]
+    fn forecast_table_matches_recompute_bitwise() {
+        let mut stage = ForecastStage::new(quick(6, 2)).unwrap();
+        assert!(stage.forecast_table().is_err(), "no step yet");
+        for t in 0..25 {
+            let z: Vec<f64> = (0..6)
+                .map(|i| {
+                    let base = if i < 3 { 0.2 } else { 0.8 };
+                    base + ((t * 7 + i * 13) % 17) as f64 / 170.0
+                })
+                .collect();
+            stage.step(&z).unwrap();
+            let table = stage.forecast_table().unwrap();
+            let horizon = table.horizon();
+            let reference = stage.forecast(horizon).unwrap();
+            assert_eq!(
+                table.forecast_matrix(),
+                reference,
+                "table diverged from recompute at t = {t}"
+            );
+            for (h, row) in reference.iter().enumerate() {
+                for (i, &v) in row.iter().enumerate() {
+                    assert_eq!(table.node_forecast(i, h).to_bits(), v.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_table_is_cached_per_generation() {
+        let mut stage = ForecastStage::new(quick(4, 2)).unwrap();
+        stage.step(&[0.1, 0.12, 0.9, 0.88]).unwrap();
+        let g = stage.generation();
+        let a = stage.forecast_table().unwrap();
+        let b = stage.forecast_table().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "fresh table must be served from cache");
+        assert_eq!(stage.forecast_table_rebuilds(), 1);
+        assert_eq!(a.generation(), g);
+        stage.step(&[0.1, 0.12, 0.9, 0.88]).unwrap();
+        assert!(stage.generation() > g, "a step must retire the table");
+        let c = stage.forecast_table().unwrap();
+        assert_eq!(stage.forecast_table_rebuilds(), 2);
+        assert_eq!(c.generation(), stage.generation());
+        // Detached handles observe publications and share the read count.
+        let handle = stage.table_handle();
+        assert_eq!(handle.load().unwrap().generation(), stage.generation());
+        handle.record_reads(5);
+        stage.record_reads(2);
+        assert_eq!(stage.forecast_reads_served(), 7);
+    }
+
+    #[test]
+    fn fallback_activation_retires_the_table() {
+        let mut stage = ForecastStage::new(ForecastStageConfig {
+            model: unfittable_model(),
+            ..quick(4, 2)
+        })
+        .unwrap();
+        // Steps 1..=4: no training yet, generation tracks t exactly.
+        for i in 0..4 {
+            stage
+                .step(&[0.1, 0.12, 0.9, 0.88 + 0.001 * i as f64])
+                .unwrap();
+        }
+        assert_eq!(stage.generation(), 4);
+        // Step 5 is the first (failing) fit: both clusters degrade, so the
+        // generation advances by the step plus two fallback activations.
+        stage.step(&[0.1, 0.12, 0.9, 0.884]).unwrap();
+        assert_eq!(stage.generation(), 7);
+        // The rebuilt table reflects the degraded models bit-identically.
+        let table = stage.forecast_table().unwrap();
+        assert_eq!(
+            table.forecast_matrix(),
+            stage.forecast(table.horizon()).unwrap()
+        );
+    }
+
+    #[test]
+    fn table_counters_survive_snapshot_restore() {
+        let mut stage = ForecastStage::new(quick(4, 2)).unwrap();
+        for _ in 0..6 {
+            stage.step(&[0.2, 0.21, 0.7, 0.72]).unwrap();
+        }
+        stage.forecast_table().unwrap();
+        stage.record_reads(11);
+        let snapshot = stage.snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: StageSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = ForecastStage::restore(back).unwrap();
+        assert_eq!(restored.generation(), stage.generation());
+        assert_eq!(restored.forecast_table_rebuilds(), 1);
+        assert_eq!(restored.forecast_reads_served(), 11);
+        // The restored stage rebuilds (tables are derived state, not
+        // checkpointed) to a bitwise-identical table.
+        let a = stage.forecast_table().unwrap();
+        let b = restored.forecast_table().unwrap();
+        assert_eq!(*a, *b);
+        assert_eq!(restored.forecast_table_rebuilds(), 2);
+    }
+
+    #[test]
+    fn pre_table_snapshots_restore_with_zeroed_read_plane() {
+        // Simulate a checkpoint written before the read plane existed by
+        // stripping the new fields from the JSON.
+        let mut stage = ForecastStage::new(quick(4, 2)).unwrap();
+        for _ in 0..4 {
+            stage.step(&[0.2, 0.21, 0.7, 0.72]).unwrap();
+        }
+        let json = serde_json::to_string(&stage.snapshot()).unwrap();
+        // The three read-plane fields are serialized last; truncating at
+        // the first of them yields exactly the pre-table JSON shape.
+        let cut = json.find(",\"generation\"").unwrap();
+        let old_json = format!("{}}}", &json[..cut]);
+        let old: StageSnapshot = serde_json::from_str(&old_json).unwrap();
+        let restored = ForecastStage::restore(old).unwrap();
+        assert_eq!(restored.generation(), 0);
+        assert_eq!(restored.forecast_table_rebuilds(), 0);
+        assert_eq!(restored.forecast_reads_served(), 0);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 
 use proptest::prelude::*;
 use utilcast_core::allocate::{place_tasks, score_placements, Placement, TaskRequest};
+use utilcast_core::compute::ComputeOptions;
 use utilcast_core::detect::{Detector, DetectorConfig, Threshold};
 use utilcast_core::metrics::{objective, rmse_step_scalar, TimeAveragedRmse};
 use utilcast_core::offset::{clip_alpha, forecast_membership};
+use utilcast_core::pipeline::ModelSpec;
+use utilcast_core::stage::{ForecastStage, ForecastStageConfig};
 use utilcast_core::transmit::{AdaptiveTransmitter, TransmitConfig, UniformTransmitter};
 
 proptest! {
@@ -207,5 +210,88 @@ proptest! {
         };
         prop_assert!(run(3) <= run(2));
         prop_assert!(run(2) <= run(1));
+    }
+}
+
+/// An AutoArima spec whose empty grid can never fit: every training attempt
+/// diverges, so the stage degrades every cluster to the sample-and-hold
+/// stand-in — the cheapest deterministic way to cross fallback boundaries.
+fn unfittable_model() -> ModelSpec {
+    use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
+    ModelSpec::AutoArima {
+        grid: ArimaGrid {
+            p: vec![],
+            d: vec![],
+            q: vec![],
+            sp: vec![],
+            sd: vec![],
+            sq: vec![],
+            s: 0,
+        },
+        options: ArimaFitOptions::default(),
+    }
+}
+
+proptest! {
+    /// The published forecast table answers every `(node, horizon)` query
+    /// bitwise identically to the recompute path at every step of a run
+    /// that crosses warmup, retrain, re-shard, and fallback boundaries,
+    /// for any thread count in {1, 2, 8} and shard count in {1, 4}.
+    #[test]
+    fn forecast_table_parity_across_boundaries(
+        seed in 0u64..50,
+        threads_idx in 0usize..3,
+        shard_idx in 0usize..2,
+        fallback_idx in 0usize..2,
+    ) {
+        let threads = [1usize, 2, 8][threads_idx];
+        let shards = [1usize, 4][shard_idx];
+        let model = if fallback_idx == 1 {
+            unfittable_model()
+        } else {
+            ModelSpec::SampleAndHold
+        };
+        let mut stage = ForecastStage::new(ForecastStageConfig {
+            num_nodes: 8,
+            k: 2,
+            warmup: 5,
+            retrain_every: 10,
+            model,
+            seed,
+            compute: ComputeOptions {
+                threads,
+                shards,
+                max_query_horizon: 4,
+                ..ComputeOptions::default()
+            },
+            ..ForecastStageConfig::default()
+        })
+        .unwrap();
+        // 26 steps cross the warmup fit (step 5) and two retrains (15, 25);
+        // with the unfittable model each of those becomes a fallback
+        // activation (or failed recovery) instead.
+        for t in 0..26usize {
+            let z: Vec<f64> = (0..8)
+                .map(|i| {
+                    let base = (i % 2) as f64 * 0.4 + 0.1;
+                    base + ((t * 7 + i * 13 + seed as usize) % 17) as f64 / 100.0
+                })
+                .collect();
+            stage.step(&z).unwrap();
+            let table = stage.forecast_table().unwrap();
+            let reference = stage.forecast(table.horizon()).unwrap();
+            for (h, row) in reference.iter().enumerate() {
+                for (i, &v) in row.iter().enumerate() {
+                    prop_assert_eq!(
+                        table.node_forecast(i, h).to_bits(),
+                        v.to_bits(),
+                        "node {} horizon {} diverged at t = {}",
+                        i,
+                        h,
+                        t
+                    );
+                }
+            }
+        }
     }
 }

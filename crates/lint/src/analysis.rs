@@ -51,6 +51,7 @@ impl Default for AnalysisConfig {
                 "timeseries/src/lstm.rs".to_string(),
                 "core/src/transmit.rs".to_string(),
                 "core/src/offset.rs".to_string(),
+                "core/src/table.rs".to_string(),
                 "simnet/src/transport.rs".to_string(),
             ],
         }

@@ -108,6 +108,14 @@ pub struct TickReport {
     /// Degrade-path sample-and-hold fits that failed this tick (see
     /// [`ForecastStage::fallback_fit_failures`]).
     pub fallback_fit_failures: u64,
+    /// Cumulative forecast-table rebuilds so far (see
+    /// [`ForecastStage::forecast_table_rebuilds`]); zero in runs that never
+    /// query the read plane.
+    pub forecast_table_rebuilds: u64,
+    /// Cumulative forecast-table reads served so far (see
+    /// [`ForecastStage::forecast_reads_served`]); zero in runs that never
+    /// query the read plane.
+    pub forecast_reads_served: u64,
 }
 
 /// Per-source frame-sequence dedup state: the next sequence number not
@@ -440,6 +448,8 @@ impl Controller {
             intermediate_rmse: report.intermediate_rmse,
             retrained: report.retrained,
             fallback_fit_failures: report.fallback_fit_failures,
+            forecast_table_rebuilds: report.forecast_table_rebuilds,
+            forecast_reads_served: report.forecast_reads_served,
         })
     }
 
@@ -631,10 +641,79 @@ impl Controller {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Core`] with [`CoreError::NotStarted`] before the
-    /// first tick.
+    /// Returns [`SimError::NoTick`] before the first tick.
     pub fn forecast(&self, horizon: usize) -> Result<Vec<Vec<f64>>, SimError> {
+        if self.ticks == 0 {
+            return Err(SimError::NoTick);
+        }
         self.stage.forecast(horizon).map_err(SimError::Core)
+    }
+
+    /// The cached forecast read plane: the current-generation
+    /// [`ForecastTable`](utilcast_core::table::ForecastTable), rebuilt
+    /// only when the stage's inputs changed since the last call and
+    /// published so detached [`table_handle`](Controller::table_handle)
+    /// readers observe it (see [`utilcast_core::table`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoTick`] before the first tick.
+    pub fn forecast_table(
+        &mut self,
+    ) -> Result<std::sync::Arc<utilcast_core::table::ForecastTable>, SimError> {
+        if self.ticks == 0 {
+            return Err(SimError::NoTick);
+        }
+        self.stage.forecast_table().map_err(SimError::Core)
+    }
+
+    /// A cloneable handle to the forecast-table publication cell for
+    /// query-serving threads (see
+    /// [`ForecastStage::table_handle`]).
+    pub fn table_handle(&self) -> utilcast_core::table::TableCell {
+        self.stage.table_handle()
+    }
+
+    /// Serves `probes` deterministic point queries against the cached
+    /// forecast table — the drivers' stand-in for a network query endpoint
+    /// between ticks. The probe pattern (node and horizon derived from the
+    /// tick counter) is a pure function of controller state, so replay
+    /// from a checkpoint reproduces the same reads and the same counters
+    /// bit for bit. With `probes == 0` this is a no-op (the seed path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoTick`] when probes are requested before the
+    /// first tick.
+    pub fn serve_query_probes(&mut self, probes: usize) -> Result<(), SimError> {
+        if probes == 0 {
+            return Ok(());
+        }
+        let table = self.forecast_table()?;
+        let n = table.num_nodes();
+        let horizon = table.horizon();
+        let t = self.ticks;
+        for p in 0..probes {
+            let node = t.wrapping_mul(31).wrapping_add(p.wrapping_mul(17)) % n;
+            let h = t.wrapping_add(p) % horizon;
+            // The value itself is discarded — the probes exist to exercise
+            // and count the read path deterministically.
+            let _ = table.node_forecast(node, h);
+        }
+        self.stage.record_reads(probes as u64);
+        Ok(())
+    }
+
+    /// Total forecast-table rebuilds so far (see
+    /// [`ForecastStage::forecast_table_rebuilds`]).
+    pub fn forecast_table_rebuilds(&self) -> u64 {
+        self.stage.forecast_table_rebuilds()
+    }
+
+    /// Total forecast-table reads served so far (see
+    /// [`ForecastStage::forecast_reads_served`]).
+    pub fn forecast_reads_served(&self) -> u64 {
+        self.stage.forecast_reads_served()
     }
 }
 
@@ -929,8 +1008,82 @@ mod tests {
 
     #[test]
     fn forecast_requires_a_tick() {
-        let c = Controller::new(quick_config(4, 2)).unwrap();
-        assert!(c.forecast(1).is_err());
+        let mut c = Controller::new(quick_config(4, 2)).unwrap();
+        assert!(matches!(c.forecast(1), Err(SimError::NoTick)));
+        assert!(matches!(c.forecast_table(), Err(SimError::NoTick)));
+        assert!(matches!(c.serve_query_probes(3), Err(SimError::NoTick)));
+        // After the first tick the typed error clears.
+        c.tick(vec![report(0, 0, 0.5)]).unwrap();
+        assert!(c.forecast(1).is_ok());
+        assert!(c.forecast_table().is_ok());
+    }
+
+    #[test]
+    fn query_probes_count_reads_and_reuse_the_table() {
+        let mut c = Controller::new(quick_config(4, 2)).unwrap();
+        c.tick(vec![report(0, 0, 0.5), report(1, 0, 0.2)]).unwrap();
+        c.serve_query_probes(10).unwrap();
+        c.serve_query_probes(10).unwrap();
+        // Same tick: one rebuild serves both probe batches.
+        assert_eq!(c.forecast_table_rebuilds(), 1);
+        assert_eq!(c.forecast_reads_served(), 20);
+        let r = c.tick(vec![report(0, 1, 0.5)]).unwrap();
+        assert_eq!(r.forecast_table_rebuilds, 1);
+        assert_eq!(r.forecast_reads_served, 20);
+        c.serve_query_probes(5).unwrap();
+        assert_eq!(c.forecast_table_rebuilds(), 2);
+        assert_eq!(c.forecast_reads_served(), 25);
+    }
+
+    #[test]
+    fn forecast_table_matches_forecast_bitwise() {
+        let mut c = Controller::new(quick_config(6, 2)).unwrap();
+        for t in 0..20 {
+            let reports = (0..6)
+                .map(|i| report(i, t, if i < 3 { 0.2 } else { 0.8 }))
+                .collect();
+            c.tick(reports).unwrap();
+            let table = c.forecast_table().unwrap();
+            let reference = c.forecast(table.horizon()).unwrap();
+            assert_eq!(
+                table.forecast_matrix(),
+                reference,
+                "table diverged at t = {t}"
+            );
+        }
+        // The wire codec serves table reads bitwise through encode/decode.
+        use crate::transport::{QueryRequest, QueryResponse};
+        let table = c.forecast_table().unwrap();
+        let request = QueryRequest {
+            node: 4,
+            horizon: 1,
+        };
+        let response = QueryResponse::from_table(&table, &request).unwrap();
+        assert_eq!(response.generation, table.generation());
+        assert_eq!(
+            response.value.to_bits(),
+            table.node_forecast(4, 1).to_bits()
+        );
+        let mut buf = Vec::new();
+        response.encode_into(&mut buf);
+        assert_eq!(QueryResponse::decode(&buf), Some(response));
+        // Out-of-range queries are refused, not panicked on.
+        assert!(QueryResponse::from_table(
+            &table,
+            &QueryRequest {
+                node: 99,
+                horizon: 0
+            }
+        )
+        .is_none());
+        assert!(QueryResponse::from_table(
+            &table,
+            &QueryRequest {
+                node: 0,
+                horizon: table.horizon()
+            }
+        )
+        .is_none());
     }
 
     #[test]

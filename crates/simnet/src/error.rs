@@ -24,6 +24,9 @@ pub enum SimError {
         /// The worker's panic payload (or a disconnect description).
         reason: String,
     },
+    /// A forecast (or forecast table) was requested before the first tick:
+    /// the controller has no clustered state to resolve nodes against yet.
+    NoTick,
 }
 
 impl fmt::Display for SimError {
@@ -35,6 +38,7 @@ impl fmt::Display for SimError {
             SimError::WorkerFailed { shard, reason } => {
                 write!(f, "worker thread {shard} failed: {reason}")
             }
+            SimError::NoTick => write!(f, "forecast requested before the first tick"),
         }
     }
 }
@@ -75,5 +79,10 @@ mod tests {
         assert!(e.source().is_none());
         let e: SimError = CoreError::NotStarted.into();
         assert!(e.source().is_some());
+        assert_eq!(
+            SimError::NoTick.to_string(),
+            "forecast requested before the first tick"
+        );
+        assert!(SimError::NoTick.source().is_none());
     }
 }

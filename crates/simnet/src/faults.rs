@@ -341,6 +341,8 @@ pub fn run_with_faults(
             peak_age: controller.age().peak(),
             masked_node_steps: controller.masked_node_steps(),
             link: link.as_ref().map(|l| *l.summary()).unwrap_or_default(),
+            forecast_table_rebuilds: controller.forecast_table_rebuilds(),
+            forecast_reads_served: controller.forecast_reads_served(),
         },
         down_node_steps,
         lost_reports,

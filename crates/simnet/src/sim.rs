@@ -47,6 +47,14 @@ pub struct SimConfig {
     /// passthrough: the drivers skip the layer entirely and run the seed
     /// fast path bit-identically.
     pub delivery: DeliveryOptions,
+    /// Forecast-table point queries served between ticks — the drivers'
+    /// stand-in for a live query endpoint (see
+    /// [`Controller::serve_query_probes`]). `0` (default, and absent from
+    /// old configs) serves nothing and preserves the seed path
+    /// bit-identically; the probe pattern is deterministic, so any fixed
+    /// count replays identically across drivers and checkpoint restores.
+    #[serde(default)]
+    pub query_probe: usize,
 }
 
 impl Default for SimConfig {
@@ -65,6 +73,7 @@ impl Default for SimConfig {
             compute: ComputeOptions::default(),
             ingest: IngestMode::default(),
             delivery: DeliveryOptions::default(),
+            query_probe: 0,
         }
     }
 }
@@ -106,6 +115,16 @@ pub struct SimReport {
     pub masked_node_steps: u64,
     /// Link-plane accounting (all zeros on the passthrough fast path).
     pub link: LinkSummary,
+    /// Forecast-table rebuilds over the run (zero unless
+    /// [`SimConfig::query_probe`] serves reads; absent from old serialized
+    /// reports, which deserialize to zero).
+    #[serde(default)]
+    pub forecast_table_rebuilds: u64,
+    /// Forecast-table reads served over the run (zero unless
+    /// [`SimConfig::query_probe`] is set; absent from old serialized
+    /// reports, which deserialize to zero).
+    #[serde(default)]
+    pub forecast_reads_served: u64,
 }
 
 /// The deterministic single-threaded driver.
@@ -237,6 +256,9 @@ impl Simulation {
                     };
                     staleness.add(rmse_step_scalar(controller.stored(), &x));
                     intermediate.add(tick.intermediate_rmse);
+                    // Query plane: serve the configured probe batch between
+                    // ticks (no-op at the default of 0).
+                    controller.serve_query_probes(self.config.query_probe)?;
                 }
                 if let Some(link) = &link {
                     link_summary = *link.summary();
@@ -290,6 +312,9 @@ impl Simulation {
                     };
                     staleness.add(rmse_step_scalar(controller.stored(), &x));
                     intermediate.add(tick.intermediate_rmse);
+                    // Query plane: serve the configured probe batch between
+                    // ticks (no-op at the default of 0).
+                    controller.serve_query_probes(self.config.query_probe)?;
                 }
                 if let Some(plane) = &plane {
                     link_summary = plane.summary();
@@ -311,6 +336,8 @@ impl Simulation {
             peak_age: controller.age().peak(),
             masked_node_steps: controller.masked_node_steps(),
             link: link_summary,
+            forecast_table_rebuilds: controller.forecast_table_rebuilds(),
+            forecast_reads_served: controller.forecast_reads_served(),
         })
     }
 }
@@ -369,6 +396,36 @@ mod tests {
         .run(&trace, Resource::Cpu)
         .unwrap();
         assert_eq!(framed, per_report);
+    }
+
+    #[test]
+    fn query_probes_change_only_the_read_plane_counters() {
+        let trace = small_trace();
+        let seed = Simulation::new(quick_config())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        assert_eq!(seed.forecast_table_rebuilds, 0, "no queries, no table");
+        assert_eq!(seed.forecast_reads_served, 0);
+        let probed = Simulation::new(SimConfig {
+            query_probe: 4,
+            ..quick_config()
+        })
+        .unwrap()
+        .run(&trace, Resource::Cpu)
+        .unwrap();
+        // One table per tick (every tick bumps the generation), four
+        // deterministic reads each.
+        assert_eq!(probed.forecast_table_rebuilds, 150);
+        assert_eq!(probed.forecast_reads_served, 4 * 150);
+        // Every simulation outcome other than the read-plane accounting is
+        // bit-identical: queries never perturb the pipeline.
+        let neutral = SimReport {
+            forecast_table_rebuilds: 0,
+            forecast_reads_served: 0,
+            ..probed
+        };
+        assert_eq!(neutral, seed);
     }
 
     #[test]

@@ -594,6 +594,11 @@ pub fn run_threaded_supervised(
         };
         staleness.add(rmse_step_scalar(controller.stored(), &x));
         intermediate.add(tick.intermediate_rmse);
+        // Query plane: serve the configured probe batch between ticks
+        // (no-op at the default of 0). Runs before the checkpoint is cut so
+        // a restored controller carries the same generation and read
+        // counters the original had.
+        controller.serve_query_probes(config.query_probe)?;
         if options.checkpoint_every > 0 && (t + 1) % options.checkpoint_every == 0 {
             last_checkpoint = Some(controller.snapshot());
         }
@@ -629,6 +634,8 @@ pub fn run_threaded_supervised(
         peak_age: controller.age().peak(),
         masked_node_steps: controller.masked_node_steps(),
         link: link_summary,
+        forecast_table_rebuilds: controller.forecast_table_rebuilds(),
+        forecast_reads_served: controller.forecast_reads_served(),
     })
 }
 
@@ -662,6 +669,44 @@ mod tests {
             let threaded = run_threaded(&quick_config(), &trace, Resource::Cpu, shards).unwrap();
             assert_eq!(threaded, reference, "{shards} shards diverged");
         }
+    }
+
+    #[test]
+    fn query_probes_match_reference_driver_and_survive_crashes() {
+        let trace = presets::google_like()
+            .nodes(20)
+            .steps(120)
+            .seed(9)
+            .generate();
+        let probed_config = SimConfig {
+            query_probe: 3,
+            ..quick_config()
+        };
+        let reference = Simulation::new(probed_config.clone())
+            .unwrap()
+            .run(&trace, Resource::Cpu)
+            .unwrap();
+        assert_eq!(reference.forecast_reads_served, 3 * 120);
+        assert_eq!(reference.forecast_table_rebuilds, 120);
+        for shards in [1, 3] {
+            let threaded = run_threaded(&probed_config, &trace, Resource::Cpu, shards).unwrap();
+            assert_eq!(threaded, reference, "{shards} shards diverged with probes");
+        }
+        // A controller crash restored from checkpoint must replay the probe
+        // stream (generation + read counters ride in the snapshot).
+        let crashed = run_threaded_supervised(
+            &probed_config,
+            &trace,
+            Resource::Cpu,
+            3,
+            &SupervisorOptions {
+                controller_crash_at: Some(60),
+                checkpoint_every: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(crashed, reference, "crash recovery diverged with probes");
     }
 
     #[test]

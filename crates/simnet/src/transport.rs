@@ -277,6 +277,132 @@ impl ReportFrame {
     }
 }
 
+/// A point query against the forecast read plane: "node `node`'s forecast
+/// at horizon index `horizon`" (`horizon + 1` steps ahead). The compact
+/// fixed-width wire shape of the future network query endpoint: a
+/// little-endian `u64` node id plus a `u32` horizon, decoded without
+/// allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Queried node index.
+    pub node: usize,
+    /// Horizon index (`0`-based; index `h` answers `h + 1` steps ahead).
+    pub horizon: usize,
+}
+
+impl QueryRequest {
+    /// Encoded payload bytes: node (`u64` LE) + horizon (`u32` LE).
+    pub const WIRE_BYTES: u64 = 12;
+
+    /// Modelled wire size in bytes (header + payload), matching the
+    /// [`Report`] accounting convention.
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + Self::WIRE_BYTES
+    }
+
+    /// Appends the fixed-width encoding to `out` (recycled buffers, no
+    /// allocation beyond the buffer's own growth). A horizon beyond
+    /// `u32::MAX` saturates: no table stores that many horizons, so the
+    /// serving side rejects the saturated query exactly like the original.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.node as u64).to_le_bytes());
+        let horizon = u32::try_from(self.horizon).unwrap_or(u32::MAX);
+        out.extend_from_slice(&horizon.to_le_bytes());
+    }
+
+    /// Decodes a request from the start of `bytes`; `None` when the buffer
+    /// is truncated or a field does not fit the platform's `usize`.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let node = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+        let horizon = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?);
+        Some(QueryRequest {
+            node: usize::try_from(node).ok()?,
+            horizon: usize::try_from(horizon).ok()?,
+        })
+    }
+}
+
+/// The answer to a [`QueryRequest`], resolved from a published
+/// [`ForecastTable`](utilcast_core::table::ForecastTable) in O(1): the
+/// point forecast, its Gaussian interval half-width, and the table
+/// generation it was served from (so clients can detect staleness across
+/// retrains). Fixed-width little-endian encoding; floats travel as raw
+/// IEEE-754 bits so the decoded value is bitwise identical to the served
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Echoed node index.
+    pub node: usize,
+    /// Echoed horizon index.
+    pub horizon: usize,
+    /// Generation of the table that served the read.
+    pub generation: u64,
+    /// The point forecast (`cluster trajectory + node offset`).
+    pub value: f64,
+    /// Gaussian forecast-interval half-width (`value ± interval`); zero
+    /// when the interval model was unfittable.
+    pub interval: f64,
+}
+
+impl QueryResponse {
+    /// Encoded payload bytes: node (`u64`) + horizon (`u32`) + generation
+    /// (`u64`) + value (`f64` bits) + interval (`f64` bits), all LE.
+    pub const WIRE_BYTES: u64 = 36;
+
+    /// Modelled wire size in bytes (header + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        HEADER_BYTES + Self::WIRE_BYTES
+    }
+
+    /// Resolves `request` against `table`: `None` when the node or horizon
+    /// is out of the table's range (the serving layer's bounds check, so
+    /// malformed queries never reach the panicking indexed reads).
+    pub fn from_table(
+        table: &utilcast_core::table::ForecastTable,
+        request: &QueryRequest,
+    ) -> Option<Self> {
+        if request.node >= table.num_nodes() || request.horizon >= table.horizon() {
+            return None;
+        }
+        Some(QueryResponse {
+            node: request.node,
+            horizon: request.horizon,
+            generation: table.generation(),
+            value: table.node_forecast(request.node, request.horizon),
+            interval: table.node_interval(request.node, request.horizon),
+        })
+    }
+
+    /// Appends the fixed-width encoding to `out`. Floats are encoded as
+    /// raw bits, so encode/decode round-trips are bitwise exact (NaN
+    /// payloads included).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.node as u64).to_le_bytes());
+        let horizon = u32::try_from(self.horizon).unwrap_or(u32::MAX);
+        out.extend_from_slice(&horizon.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.value.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.interval.to_bits().to_le_bytes());
+    }
+
+    /// Decodes a response from the start of `bytes`; `None` when the
+    /// buffer is truncated or a field does not fit the platform's `usize`.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let node = u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?);
+        let horizon = u32::from_le_bytes(bytes.get(8..12)?.try_into().ok()?);
+        let generation = u64::from_le_bytes(bytes.get(12..20)?.try_into().ok()?);
+        let value = f64::from_bits(u64::from_le_bytes(bytes.get(20..28)?.try_into().ok()?));
+        let interval = f64::from_bits(u64::from_le_bytes(bytes.get(28..36)?.try_into().ok()?));
+        Some(QueryResponse {
+            node: usize::try_from(node).ok()?,
+            horizon: usize::try_from(horizon).ok()?,
+            generation,
+            value,
+            interval,
+        })
+    }
+}
+
 /// Shared bandwidth meter. Internally a pair of relaxed atomic counters:
 /// totals are only read after all writers have quiesced (end of run), so
 /// no ordering stronger than `Relaxed` is needed, and the frame path's
@@ -331,6 +457,69 @@ impl Meter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn query_codec_round_trips_bitwise() {
+        let request = QueryRequest {
+            node: 123_456,
+            horizon: 7,
+        };
+        let mut buf = Vec::new();
+        request.encode_into(&mut buf);
+        assert_eq!(buf.len() as u64, QueryRequest::WIRE_BYTES);
+        assert_eq!(request.wire_bytes(), HEADER_BYTES + 12);
+        assert_eq!(QueryRequest::decode(&buf), Some(request));
+
+        let response = QueryResponse {
+            node: 123_456,
+            horizon: 7,
+            generation: 42,
+            value: 0.1 + 0.2, // a value with a non-trivial bit pattern
+            interval: f64::MIN_POSITIVE,
+        };
+        buf.clear();
+        response.encode_into(&mut buf);
+        assert_eq!(buf.len() as u64, QueryResponse::WIRE_BYTES);
+        assert_eq!(response.wire_bytes(), HEADER_BYTES + 36);
+        let back = QueryResponse::decode(&buf).unwrap();
+        assert_eq!(back.value.to_bits(), response.value.to_bits());
+        assert_eq!(back.interval.to_bits(), response.interval.to_bits());
+        assert_eq!(back, response);
+        // Appending to a shared buffer decodes from the right offset.
+        let mut shared = Vec::new();
+        request.encode_into(&mut shared);
+        response.encode_into(&mut shared);
+        assert_eq!(
+            QueryResponse::decode(&shared[QueryRequest::WIRE_BYTES as usize..]),
+            Some(response)
+        );
+    }
+
+    #[test]
+    fn truncated_query_buffers_are_rejected() {
+        let request = QueryRequest {
+            node: 5,
+            horizon: 2,
+        };
+        let response = QueryResponse {
+            node: 5,
+            horizon: 2,
+            generation: 1,
+            value: 0.5,
+            interval: 0.0,
+        };
+        let mut buf = Vec::new();
+        request.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(QueryRequest::decode(&buf[..cut]), None, "cut {cut}");
+        }
+        buf.clear();
+        response.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(QueryResponse::decode(&buf[..cut]), None, "cut {cut}");
+        }
+        assert_eq!(QueryRequest::decode(&[]), None);
+    }
 
     #[test]
     fn wire_size_counts_header_and_payload() {

@@ -1,7 +1,9 @@
 //! Property-based tests for the simulation substrate.
 
 use proptest::prelude::*;
+use utilcast_core::compute::ComputeOptions;
 use utilcast_core::pipeline::ModelSpec;
+use utilcast_core::table::ForecastTable;
 use utilcast_datasets::presets;
 use utilcast_datasets::Resource;
 use utilcast_simnet::controller::{Controller, ControllerConfig};
@@ -181,6 +183,119 @@ proptest! {
             report.realized_frequency <= budget + 0.15,
             "budget {budget}: frequency {}",
             report.realized_frequency
+        );
+    }
+}
+
+/// An AutoArima spec whose empty grid can never fit: every training attempt
+/// diverges, forcing the controller's stage onto the sample-and-hold
+/// fallback — the cheapest deterministic way to cross fallback boundaries.
+fn unfittable_model() -> ModelSpec {
+    use utilcast_timeseries::arima::{ArimaFitOptions, ArimaGrid};
+    ModelSpec::AutoArima {
+        grid: ArimaGrid {
+            p: vec![],
+            d: vec![],
+            q: vec![],
+            sp: vec![],
+            sd: vec![],
+            sq: vec![],
+            s: 0,
+        },
+        options: ArimaFitOptions::default(),
+    }
+}
+
+proptest! {
+    /// A controller checkpoint that survived a JSON round trip restores a
+    /// read plane that serves bit-identical answers: at every tick after
+    /// the split, the restored controller's forecast table matches the
+    /// uninterrupted one entry for entry (values, intervals, generation),
+    /// and the table itself round-trips through serde bitwise — across
+    /// retrain and fallback boundaries, for threads in {1, 2, 8} and
+    /// clustering shards in {1, 4}.
+    #[test]
+    fn restored_read_plane_serves_bit_identical_answers(
+        seed in 0u64..30,
+        threads_idx in 0usize..3,
+        shard_idx in 0usize..2,
+        fallback_idx in 0usize..2,
+        split in 6usize..24,
+    ) {
+        let threads = [1usize, 2, 8][threads_idx];
+        let shards = [1usize, 4][shard_idx];
+        let model = if fallback_idx == 1 {
+            unfittable_model()
+        } else {
+            ModelSpec::SampleAndHold
+        };
+        let config = ControllerConfig {
+            num_nodes: 8,
+            k: 2,
+            warmup: 5,
+            retrain_every: 10,
+            model,
+            seed,
+            compute: ComputeOptions {
+                threads,
+                shards,
+                max_query_horizon: 3,
+                ..ComputeOptions::default()
+            },
+            ..Default::default()
+        };
+        let to_reports = |t: usize| -> Vec<Report> {
+            (0..8)
+                .map(|node| {
+                    let base = (node % 2) as f64 * 0.4 + 0.1;
+                    let v = base + ((t * 7 + node * 13 + seed as usize) % 17) as f64 / 100.0;
+                    Report { node, t, values: vec![v] }
+                })
+                .collect()
+        };
+
+        let mut live = Controller::new(config.clone()).unwrap();
+        for t in 0..split {
+            live.tick(to_reports(t)).unwrap();
+        }
+        // Crash: recover a second controller from a checkpoint that
+        // survived a JSON round trip, as an on-disk one would.
+        let json = serde_json::to_string(&live.snapshot()).unwrap();
+        let mut restored = Controller::restore(serde_json::from_str(&json).unwrap()).unwrap();
+
+        // 26 ticks cross the warmup fit (tick 5) and two retrains (15, 25);
+        // the unfittable model turns those into fallback activations.
+        for t in split..26 {
+            live.tick(to_reports(t)).unwrap();
+            restored.tick(to_reports(t)).unwrap();
+            let a = live.forecast_table().unwrap();
+            let b = restored.forecast_table().unwrap();
+            prop_assert_eq!(a.generation(), b.generation(), "generation diverged at t = {}", t);
+            for h in 0..a.horizon() {
+                for i in 0..a.num_nodes() {
+                    prop_assert_eq!(
+                        a.node_forecast(i, h).to_bits(),
+                        b.node_forecast(i, h).to_bits(),
+                        "forecast for node {} horizon {} diverged at t = {}", i, h, t
+                    );
+                    prop_assert_eq!(
+                        a.node_interval(i, h).to_bits(),
+                        b.node_interval(i, h).to_bits(),
+                        "interval for node {} horizon {} diverged at t = {}", i, h, t
+                    );
+                }
+            }
+            // The table is itself checkpointable state: a serde round trip
+            // preserves every answer bitwise.
+            let round: ForecastTable =
+                serde_json::from_str(&serde_json::to_string(&*a).unwrap()).unwrap();
+            prop_assert_eq!(&round, &*a);
+        }
+        // Neither controller served a table before the split, so the
+        // rebuild counters advanced in lockstep after it.
+        prop_assert_eq!(
+            live.forecast_table_rebuilds(),
+            restored.forecast_table_rebuilds()
         );
     }
 }

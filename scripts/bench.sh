@@ -8,7 +8,9 @@
 # and the staggered-retraining tick profile in BENCH_forecast.json, and
 # the collection-plane ingest report, which records the end-to-end tick
 # speedup of the flat frame path over the seed per-report path at
-# N=10k/100k in BENCH_ingest.json.
+# N=10k/100k in BENCH_ingest.json, and the forecast read-plane query
+# report, which records the cached-table per-read speedup over the
+# recompute path plus multi-reader throughput in BENCH_query.json.
 #
 # The three report binaries are built with RUSTFLAGS="-C target-cpu=native"
 # (into their own target dir, target/native, so the portable build cache
@@ -57,6 +59,9 @@ UTILCAST_STEPS="$FC_RETRAINS" report forecast_report
 echo "==> ingest_report (writes BENCH_ingest.json, ${INGEST_TICKS} ticks/pass, native codegen)"
 UTILCAST_STEPS="$INGEST_TICKS" report ingest_report
 
+echo "==> query_report (writes BENCH_query.json, native codegen)"
+report query_report
+
 echo "==> faults_smoke (lossy completion + perfect-link bitwise identity)"
 cargo run --release -p utilcast-bench --bin faults_smoke
 
@@ -64,3 +69,4 @@ echo "Benchmarks complete. Speedup summary:"
 grep -E '"(baseline|optimized)_tick_micros"|"speedup"' BENCH_controller.json
 grep -E '"speedup"|"(mean|max)_micros"' BENCH_forecast.json
 grep -E '"speedup"' BENCH_ingest.json
+grep -E '"speedup"|"reads_per_sec"' BENCH_query.json

@@ -60,6 +60,18 @@ UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=64 UTILCAST_STEPS=2 \
   cargo run --release -q -p utilcast-bench --bin scaling_report
 rm -rf "$SMOKE_DIR"
 
+# Smoke-run the forecast read-plane benchmark at tiny scale. Exercises
+# query_report's built-in parity guard: the binary exits non-zero unless
+# the cached forecast table is bitwise identical to the recompute path at
+# every sampled tick — across retrain and fallback boundaries and across
+# a serialized snapshot/restore split — and the headline per-read speedup
+# clears the 100x acceptance bar.
+echo "==> bench smoke (query_report, tiny scale + table/recompute parity guard)"
+SMOKE_DIR="$(mktemp -d)"
+UTILCAST_BENCH_DIR="$SMOKE_DIR" UTILCAST_NODES=256 UTILCAST_STEPS=2 \
+  cargo run --release -q -p utilcast-bench --bin query_report
+rm -rf "$SMOKE_DIR"
+
 # Faults smoke: the link-plane contract at small scale. Exits non-zero
 # unless (a) a lossy/delayed/duplicating link run completes with bounded
 # error, and (b) forcing every frame through the delivery plane with
